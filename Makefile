@@ -1,0 +1,43 @@
+# Convenience targets for the bounded polynomial randomized consensus repo.
+
+GO ?= go
+
+.PHONY: all build test test-race test-short bench experiments experiments-quick fuzz vet fmt clean
+
+all: vet test build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -timeout 1200s ./...
+
+test-race:
+	$(GO) test -race -timeout 1800s ./...
+
+test-short:
+	$(GO) test -short -timeout 600s ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -timeout 3600s ./...
+
+experiments:
+	$(GO) run ./cmd/experiments
+
+experiments-quick:
+	$(GO) run ./cmd/experiments -quick
+
+# Run each fuzz target briefly (extend -fuzztime for deeper exploration).
+fuzz:
+	$(GO) test -fuzz FuzzShrinkNormalize -fuzztime 30s ./internal/strip/
+	$(GO) test -fuzz FuzzGameCounterEquivalence -fuzztime 30s ./internal/strip/
+	$(GO) test -fuzz FuzzEdgeFromCounters -fuzztime 30s ./internal/strip/
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w .
+
+clean:
+	$(GO) clean ./...

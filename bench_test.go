@@ -1,0 +1,198 @@
+package consensus
+
+// This file holds the benchmark harness required by DESIGN.md §5: one
+// benchmark per experiment (E1..E10 — the paper's quantitative lemmas and
+// claims; the preliminary paper has no numbered tables or figures, so the
+// per-lemma experiments play that role), plus micro-benchmarks for the
+// library's hot paths. Regenerate all experiment tables with
+//
+//	go run ./cmd/experiments
+//
+// and the benchmark numbers with
+//
+//	go test -bench=. -benchmem ./...
+
+import (
+	"io"
+	"testing"
+
+	"github.com/dsrepro/consensus/internal/core"
+	"github.com/dsrepro/consensus/internal/harness"
+	"github.com/dsrepro/consensus/internal/register"
+	"github.com/dsrepro/consensus/internal/scan"
+	"github.com/dsrepro/consensus/internal/sched"
+	"github.com/dsrepro/consensus/internal/strip"
+	"github.com/dsrepro/consensus/internal/walk"
+)
+
+// benchExperiment runs one experiment in quick mode per iteration.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := harness.Get(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		harness.RunAndRender(e, harness.RunOpts{Quick: true, Trials: 3, Seed: int64(i + 1)}, io.Discard)
+	}
+}
+
+func BenchmarkE1CoinAgreement(b *testing.B) { benchExperiment(b, "E1") }
+func BenchmarkE2CoinSteps(b *testing.B)     { benchExperiment(b, "E2") }
+func BenchmarkE3Overflow(b *testing.B)      { benchExperiment(b, "E3") }
+func BenchmarkE4Rounds(b *testing.B)        { benchExperiment(b, "E4") }
+func BenchmarkE5TotalWork(b *testing.B)     { benchExperiment(b, "E5") }
+func BenchmarkE6Space(b *testing.B)         { benchExperiment(b, "E6") }
+func BenchmarkE7ScanRetries(b *testing.B)   { benchExperiment(b, "E7") }
+func BenchmarkE8Strip(b *testing.B)         { benchExperiment(b, "E8") }
+func BenchmarkE9Adversary(b *testing.B)     { benchExperiment(b, "E9") }
+func BenchmarkE10WalkTrace(b *testing.B)    { benchExperiment(b, "E10") }
+func BenchmarkE11Ablations(b *testing.B)    { benchExperiment(b, "E11") }
+func BenchmarkE12Quadrants(b *testing.B)    { benchExperiment(b, "E12") }
+
+// BenchmarkSolve measures one full consensus instance (mixed inputs, random
+// schedule) at several sizes and for each algorithm.
+func BenchmarkSolve(b *testing.B) {
+	cases := []struct {
+		name string
+		alg  Algorithm
+		n    int
+	}{
+		{"bounded/n=2", Bounded, 2},
+		{"bounded/n=4", Bounded, 4},
+		{"bounded/n=8", Bounded, 8},
+		{"aspnes-herlihy/n=4", AspnesHerlihy, 4},
+		{"local-coin/n=4", LocalCoin, 4},
+		{"strong-coin/n=4", StrongCoin, 4},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			inputs := make([]int, c.n)
+			for i := range inputs {
+				inputs[i] = i % 2
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := Solve(Config{
+					Inputs:    inputs,
+					Algorithm: c.alg,
+					Seed:      int64(i + 1),
+					Schedule:  Schedule{Kind: RandomSchedule},
+					MaxSteps:  200_000_000,
+					B:         2,
+				})
+				if err != nil {
+					b.Fatalf("Solve: %v", err)
+				}
+				if res.Value != 0 && res.Value != 1 {
+					b.Fatalf("bad decision %d", res.Value)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSharedCoinFlip measures a standalone weak shared coin resolution.
+func BenchmarkSharedCoinFlip(b *testing.B) {
+	for _, n := range []int{2, 8} {
+		b.Run("n="+string(rune('0'+n)), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := FlipCoin(CoinConfig{N: n, B: 2, Seed: int64(i + 1)}); err != nil {
+					b.Fatalf("FlipCoin: %v", err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSnapshotScan measures the arrow scannable memory's scan cost with
+// quiescent writers (the clean fast path).
+func BenchmarkSnapshotScan(b *testing.B) {
+	for _, n := range []int{4, 16} {
+		name := "n=4"
+		if n == 16 {
+			name = "n=16"
+		}
+		b.Run(name, func(b *testing.B) {
+			mem := scan.NewArrow[int](n, register.DirectFactory)
+			b.ReportAllocs()
+			b.ResetTimer()
+			_, err := sched.Run(sched.Config{N: n, Seed: 1}, func(p *sched.Proc) {
+				if p.ID() != 0 {
+					return
+				}
+				for i := 0; i < b.N; i++ {
+					mem.Scan(p)
+				}
+			})
+			if err != nil {
+				b.Fatalf("Run: %v", err)
+			}
+		})
+	}
+}
+
+// BenchmarkIncRow measures one rounds-strip advance (graph decode + max-path
+// analysis + counter increment), the protocol's per-round bookkeeping cost.
+func BenchmarkIncRow(b *testing.B) {
+	for _, n := range []int{4, 16, 32} {
+		name := map[int]string{4: "n=4", 16: "n=16", 32: "n=32"}[n]
+		b.Run(name, func(b *testing.B) {
+			e := strip.CounterMatrix(n)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				row, err := strip.IncRow(i%n, e, 2)
+				if err != nil {
+					b.Fatalf("IncRow: %v", err)
+				}
+				e[i%n] = row
+			}
+		})
+	}
+}
+
+// BenchmarkWalkValue measures the pure coin_value evaluation.
+func BenchmarkWalkValue(b *testing.B) {
+	params := walk.Params{N: 32, B: 4, M: 1024}
+	c := make([]int, 32)
+	for i := range c {
+		c[i] = i - 16
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = params.Value(c)
+	}
+}
+
+// BenchmarkSchedulerStep measures the raw cost of one scheduled atomic step
+// (channel handoff round trip), the simulation's unit of time.
+func BenchmarkSchedulerStep(b *testing.B) {
+	b.ReportAllocs()
+	_, err := sched.Run(sched.Config{N: 1, Seed: 1}, func(p *sched.Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Step()
+		}
+	})
+	if err != nil {
+		b.Fatalf("Run: %v", err)
+	}
+}
+
+// BenchmarkExecuteBoundedBloom measures the full stack over Bloom-constructed
+// arrow registers (deepest substrate).
+func BenchmarkExecuteBoundedBloom(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		out, err := core.Execute(core.KindBounded, core.Config{B: 2, UseBloomArrows: true}, core.ExecConfig{
+			Inputs:    []int{0, 1},
+			Seed:      int64(i + 1),
+			Adversary: sched.NewRandom(int64(i)),
+			MaxSteps:  200_000_000,
+		})
+		if err != nil || out.Err != nil {
+			b.Fatalf("Execute: %v / %v", err, out.Err)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+// Command cointool explores the paper's bounded weak shared coin (§3): it
+// runs standalone coin instances, reports per-process outcomes, agreement
+// rate, walk lengths, and compares them with the theoretical bounds of
+// Lemmas 3.1 and 3.2.
+//
+// Usage:
+//
+//	cointool -n 8 -b 4 -trials 100
+//	cointool -n 8 -b 4 -m 16 -trials 100      # aggressively bounded counters
+//	cointool -n 8 -b 4 -trace                 # print one walk trajectory
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	consensus "github.com/dsrepro/consensus"
+	"github.com/dsrepro/consensus/internal/sched"
+	"github.com/dsrepro/consensus/internal/walk"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		n      = flag.Int("n", 8, "number of processes")
+		b      = flag.Int("b", 4, "barrier multiplier")
+		m      = flag.Int("m", 0, "counter bound (0 = derived default, -1 = unbounded)")
+		trials = flag.Int("trials", 50, "number of coin instances")
+		seed   = flag.Int64("seed", 1, "random seed")
+		trace  = flag.Bool("trace", false, "print one walk trajectory and exit")
+	)
+	flag.Parse()
+
+	if *trace {
+		return runTrace(*n, *b, *m, *seed)
+	}
+
+	params := walk.Params{N: *n, B: *b, M: *m}
+	if params.M == 0 {
+		params.M = params.DefaultM()
+	}
+	agreed, headsRuns := 0, 0
+	var totalSteps int64
+	for k := 0; k < *trials; k++ {
+		res, err := consensus.FlipCoin(consensus.CoinConfig{
+			N: *n, B: *b, M: *m, Seed: *seed + int64(k),
+			Schedule: consensus.Schedule{Kind: consensus.RandomSchedule},
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cointool: %v\n", err)
+			return 1
+		}
+		if res.Agreed {
+			agreed++
+			if res.Outcomes[0] == "heads" {
+				headsRuns++
+			}
+		}
+		totalSteps += res.WalkSteps
+	}
+	fmt.Printf("params            : n=%d b=%d m=%d (barrier ±%d)\n", *n, *b, params.M, *b**n)
+	fmt.Printf("trials            : %d\n", *trials)
+	fmt.Printf("agreement rate    : %.3f (Lemma 3.1 lower bound: %.3f)\n",
+		float64(agreed)/float64(*trials), 1-params.TheoreticalDisagreement())
+	fmt.Printf("heads | agreement : %.3f\n", float64(headsRuns)/float64(max(agreed, 1)))
+	fmt.Printf("mean walk steps   : %.1f (Lemma 3.2 theory: %.1f)\n",
+		float64(totalSteps)/float64(*trials), params.TheoreticalExpectedSteps())
+	return 0
+}
+
+func runTrace(n, b, m int, seed int64) int {
+	params := walk.Params{N: n, B: b, M: m}
+	if params.M == 0 {
+		params.M = params.DefaultM()
+	}
+	coin, err := walk.NewSharedCoin(params)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cointool: %v\n", err)
+		return 1
+	}
+	var values []int
+	coin.OnStep = func(_, v int) { values = append(values, v) }
+	if _, err := sched.Run(sched.Config{
+		N: n, Seed: seed, Adversary: sched.NewRandom(seed + 1), MaxSteps: 200_000_000,
+	}, func(p *sched.Proc) { coin.Flip(p) }); err != nil {
+		fmt.Fprintf(os.Stderr, "cointool: %v\n", err)
+		return 1
+	}
+	barrier := b * n
+	fmt.Printf("walk trajectory (n=%d b=%d, barriers ±%d, %d steps):\n", n, b, barrier, len(values))
+	width := 61
+	for i, v := range values {
+		if len(values) > 120 && i%(len(values)/120) != 0 && i != len(values)-1 {
+			continue
+		}
+		pos := (v + barrier) * (width - 1) / (2 * barrier)
+		if pos < 0 {
+			pos = 0
+		}
+		if pos >= width {
+			pos = width - 1
+		}
+		row := make([]byte, width)
+		for j := range row {
+			row[j] = ' '
+		}
+		row[0], row[width/2], row[width-1] = '|', '.', '|'
+		row[pos] = '*'
+		fmt.Printf("%6d %s %+d\n", i, string(row), v)
+	}
+	return 0
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

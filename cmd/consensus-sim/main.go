@@ -1,0 +1,155 @@
+// Command consensus-sim runs one consensus instance and reports the outcome
+// and cost, exposing every knob of the public API.
+//
+// Usage examples:
+//
+//	consensus-sim -inputs 0,1,1,0
+//	consensus-sim -inputs 0,1 -alg aspnes-herlihy -schedule random -seed 7
+//	consensus-sim -inputs 1,0,1 -schedule lagger -victim 0 -period 64
+//	consensus-sim -inputs 0,1,1 -crash 1:200,2:800
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	consensus "github.com/dsrepro/consensus"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		inputsFlag = flag.String("inputs", "0,1", "comma-separated binary inputs, one per process")
+		algFlag    = flag.String("alg", "bounded", "algorithm: bounded | aspnes-herlihy | local-coin | strong-coin | abrahamson")
+		schedFlag  = flag.String("schedule", "round-robin", "schedule: round-robin | random | lagger")
+		victim     = flag.Int("victim", 0, "lagger: starved process id")
+		period     = flag.Int("period", 16, "lagger: victim scheduled once per period steps")
+		crashFlag  = flag.String("crash", "", "crashes as pid:step,pid:step")
+		seed       = flag.Int64("seed", 1, "random seed (runs replay exactly for equal seeds)")
+		maxSteps   = flag.Int64("max-steps", 100_000_000, "abort after this many atomic steps")
+		b          = flag.Int("b", 4, "shared-coin barrier multiplier")
+		m          = flag.Int("m", 0, "coin counter bound (0 = derived default)")
+		bloom      = flag.Bool("bloom", false, "build arrow registers from Bloom's 2W2R construction")
+		trace      = flag.Bool("trace", false, "print the protocol event log (round advances, preference changes, coin flips, decisions)")
+	)
+	flag.Parse()
+
+	inputs, err := parseInputs(*inputsFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "consensus-sim: %v\n", err)
+		return 2
+	}
+	alg, err := parseAlg(*algFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "consensus-sim: %v\n", err)
+		return 2
+	}
+	schedule, err := parseSchedule(*schedFlag, *victim, *period, *crashFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "consensus-sim: %v\n", err)
+		return 2
+	}
+
+	cfg := consensus.Config{
+		Inputs:         inputs,
+		Algorithm:      alg,
+		Seed:           *seed,
+		Schedule:       schedule,
+		MaxSteps:       *maxSteps,
+		B:              *b,
+		M:              *m,
+		UseBloomArrows: *bloom,
+	}
+	if *trace {
+		cfg.TraceWriter = os.Stdout
+	}
+	res, err := consensus.Solve(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "consensus-sim: run ended early: %v\n", err)
+	}
+
+	fmt.Printf("algorithm : %v\n", alg)
+	fmt.Printf("inputs    : %v\n", inputs)
+	fmt.Printf("decision  : %d\n", res.Value)
+	fmt.Printf("steps     : %d (per process %v)\n", res.Steps, res.PerProcSteps)
+	fmt.Printf("rounds    : %v\n", res.Rounds)
+	fmt.Printf("coinflips : %v\n", res.CoinFlips)
+	fmt.Printf("max|coin| : %d\n", res.MaxAbsCoin)
+	if res.MaxRound > 0 {
+		fmt.Printf("max round : %d (unbounded round numbers!)\n", res.MaxRound)
+	} else {
+		fmt.Printf("max round : none stored (bounded rounds strip)\n")
+	}
+	for i, d := range res.Decided {
+		if !d {
+			fmt.Printf("process %d : UNDECIDED (crashed or budget)\n", i)
+		}
+	}
+	if err != nil {
+		return 1
+	}
+	return 0
+}
+
+func parseInputs(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || (v != 0 && v != 1) {
+			return nil, fmt.Errorf("invalid input %q (want 0 or 1)", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseAlg(s string) (consensus.Algorithm, error) {
+	switch s {
+	case "bounded":
+		return consensus.Bounded, nil
+	case "aspnes-herlihy", "ah":
+		return consensus.AspnesHerlihy, nil
+	case "local-coin", "local":
+		return consensus.LocalCoin, nil
+	case "strong-coin", "strong":
+		return consensus.StrongCoin, nil
+	case "abrahamson", "a88":
+		return consensus.Abrahamson, nil
+	default:
+		return 0, fmt.Errorf("unknown algorithm %q", s)
+	}
+}
+
+func parseSchedule(kind string, victim, period int, crash string) (consensus.Schedule, error) {
+	var s consensus.Schedule
+	switch kind {
+	case "round-robin", "rr":
+		s.Kind = consensus.RoundRobin
+	case "random":
+		s.Kind = consensus.RandomSchedule
+	case "lagger":
+		s.Kind = consensus.LaggerSchedule
+		s.Victim, s.Period = victim, period
+	default:
+		return s, fmt.Errorf("unknown schedule %q", kind)
+	}
+	if crash != "" {
+		s.CrashAt = make(map[int]int64)
+		for _, part := range strings.Split(crash, ",") {
+			var pid int
+			var step int64
+			if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d:%d", &pid, &step); err != nil {
+				return s, fmt.Errorf("invalid crash spec %q (want pid:step)", part)
+			}
+			s.CrashAt[pid] = step
+		}
+	}
+	return s, nil
+}

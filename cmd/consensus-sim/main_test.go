@@ -1,0 +1,68 @@
+package main
+
+import (
+	"testing"
+
+	consensus "github.com/dsrepro/consensus"
+)
+
+func TestParseInputs(t *testing.T) {
+	in, err := parseInputs("0,1, 1 ,0")
+	if err != nil {
+		t.Fatalf("parseInputs: %v", err)
+	}
+	want := []int{0, 1, 1, 0}
+	for i := range want {
+		if in[i] != want[i] {
+			t.Fatalf("parseInputs = %v, want %v", in, want)
+		}
+	}
+	for _, bad := range []string{"", "2", "a", "0,,1"} {
+		if _, err := parseInputs(bad); err == nil {
+			t.Fatalf("parseInputs(%q): expected error", bad)
+		}
+	}
+}
+
+func TestParseAlg(t *testing.T) {
+	cases := map[string]consensus.Algorithm{
+		"bounded":        consensus.Bounded,
+		"aspnes-herlihy": consensus.AspnesHerlihy,
+		"ah":             consensus.AspnesHerlihy,
+		"local-coin":     consensus.LocalCoin,
+		"local":          consensus.LocalCoin,
+		"strong-coin":    consensus.StrongCoin,
+		"strong":         consensus.StrongCoin,
+		"abrahamson":     consensus.Abrahamson,
+		"a88":            consensus.Abrahamson,
+	}
+	for s, want := range cases {
+		got, err := parseAlg(s)
+		if err != nil || got != want {
+			t.Fatalf("parseAlg(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := parseAlg("nope"); err == nil {
+		t.Fatal("expected error for unknown algorithm")
+	}
+}
+
+func TestParseSchedule(t *testing.T) {
+	s, err := parseSchedule("lagger", 2, 64, "")
+	if err != nil || s.Kind != consensus.LaggerSchedule || s.Victim != 2 || s.Period != 64 {
+		t.Fatalf("parseSchedule lagger = %+v, %v", s, err)
+	}
+	s, err = parseSchedule("random", 0, 0, "1:100, 2:500")
+	if err != nil {
+		t.Fatalf("parseSchedule crash: %v", err)
+	}
+	if s.CrashAt[1] != 100 || s.CrashAt[2] != 500 {
+		t.Fatalf("CrashAt = %v", s.CrashAt)
+	}
+	if _, err := parseSchedule("bogus", 0, 0, ""); err == nil {
+		t.Fatal("expected error for unknown schedule")
+	}
+	if _, err := parseSchedule("rr", 0, 0, "oops"); err == nil {
+		t.Fatal("expected error for malformed crash spec")
+	}
+}

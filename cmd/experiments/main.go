@@ -1,0 +1,68 @@
+// Command experiments regenerates every experiment table from DESIGN.md /
+// EXPERIMENTS.md: the quantitative lemmas and claims of Attiya–Dolev–Shavit,
+// "Bounded Polynomial Randomized Consensus" (PODC 1989).
+//
+// Usage:
+//
+//	experiments [-run E1,E5] [-trials N] [-seed S] [-quick] [-list]
+//
+// With no -run flag every experiment runs in ID order.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/dsrepro/consensus/internal/harness"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		runIDs = flag.String("run", "", "comma-separated experiment IDs (e.g. E1,E5); empty = all")
+		trials = flag.Int("trials", 0, "trials per configuration (0 = per-experiment default)")
+		seed   = flag.Int64("seed", 1, "random seed")
+		quick  = flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
+		list   = flag.Bool("list", false, "list experiments and exit")
+		format = flag.String("format", "text", "output format: text | markdown | csv")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range harness.All() {
+			fmt.Printf("%-4s %-50s paper: %s\n", e.ID, e.Title, e.PaperRef)
+		}
+		return 0
+	}
+
+	var selected []harness.Experiment
+	if *runIDs == "" {
+		selected = harness.All()
+	} else {
+		for _, id := range strings.Split(*runIDs, ",") {
+			id = strings.TrimSpace(id)
+			e, ok := harness.Get(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (use -list)\n", id)
+				return 2
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	f, err := harness.ParseFormat(*format)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		return 2
+	}
+	opts := harness.RunOpts{Trials: *trials, Seed: *seed, Quick: *quick}
+	for _, e := range selected {
+		harness.RunAndRenderAs(e, opts, os.Stdout, f)
+	}
+	return 0
+}

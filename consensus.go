@@ -1,0 +1,411 @@
+// Package consensus is a Go implementation of bounded polynomial randomized
+// consensus for asynchronous shared-memory systems, after Attiya, Dolev and
+// Shavit, "Bounded Polynomial Randomized Consensus" (PODC 1989).
+//
+// The package lets n simulated asynchronous processes, communicating only
+// through atomic read/write registers, agree on a binary value with:
+//
+//   - consistency — no two processes decide differently,
+//   - validity — a common input is the decision,
+//   - finite expected waiting — every process decides in polynomial expected
+//     time, against any schedule, and
+//   - bounded memory — every register holds values from a fixed finite range,
+//     no matter how long the execution runs.
+//
+// The primary algorithm (Bounded) is the paper's: a bounded scannable memory
+// (snapshot) built from single-writer registers plus two-writer "arrow"
+// handshake bits, a bounded weak shared coin driven by a random walk with
+// truncated counters, and a bounded rounds strip that represents only the
+// K-clamped distances between process rounds as a weighted graph maintained
+// with per-edge counters modulo 3K.
+//
+// Three baselines are included for comparison: AspnesHerlihy (polynomial time
+// but unbounded memory — the algorithm the paper bounds), LocalCoin (bounded
+// memory but exponential expected time — independent local flips), and
+// StrongCoin (assumes the atomic global coin-flip primitive of Chor, Israeli
+// and Li).
+//
+// Executions run under a deterministic, seedable adversarial scheduler:
+// every atomic register access is one scheduler step, and a pluggable
+// adversary chooses the interleaving — including starvation and crash
+// failures. Given equal seeds, runs replay exactly.
+//
+// # Quick start
+//
+//	res, err := consensus.Solve(consensus.Config{
+//		Inputs: []int{0, 1, 1, 0},
+//		Seed:   42,
+//	})
+//	if err != nil { ... }
+//	fmt.Println("agreed on", res.Value)
+package consensus
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"github.com/dsrepro/consensus/internal/core"
+	"github.com/dsrepro/consensus/internal/scan"
+	"github.com/dsrepro/consensus/internal/sched"
+	"github.com/dsrepro/consensus/internal/walk"
+)
+
+// Algorithm selects the consensus protocol.
+type Algorithm int
+
+// Available algorithms.
+const (
+	// Bounded is the paper's algorithm: bounded memory, polynomial expected
+	// time. The default.
+	Bounded Algorithm = iota + 1
+	// AspnesHerlihy is the unbounded-memory polynomial-time baseline.
+	AspnesHerlihy
+	// LocalCoin is the bounded-memory exponential-time baseline using
+	// independent local coin flips.
+	LocalCoin
+	// StrongCoin assumes an atomic global coin-flip primitive (one shared
+	// random bit per round).
+	StrongCoin
+	// Abrahamson is the unbounded-memory exponential-time baseline ([A88]
+	// style): explicit round numbers and independent local coin flips — the
+	// fourth quadrant of the design matrix the paper's introduction narrates.
+	Abrahamson
+)
+
+// String implements fmt.Stringer.
+func (a Algorithm) String() string {
+	switch a {
+	case Bounded:
+		return "bounded"
+	case AspnesHerlihy:
+		return "aspnes-herlihy"
+	case LocalCoin:
+		return "local-coin"
+	case StrongCoin:
+		return "strong-coin"
+	case Abrahamson:
+		return "abrahamson"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+func (a Algorithm) kind() (core.Kind, error) {
+	switch a {
+	case Bounded:
+		return core.KindBounded, nil
+	case AspnesHerlihy:
+		return core.KindAHUnbounded, nil
+	case LocalCoin:
+		return core.KindExpLocal, nil
+	case StrongCoin:
+		return core.KindStrongCoin, nil
+	case Abrahamson:
+		return core.KindAbrahamson, nil
+	default:
+		return 0, fmt.Errorf("consensus: unknown algorithm %d", int(a))
+	}
+}
+
+// ScheduleKind selects the adversary controlling the interleaving.
+type ScheduleKind int
+
+// Available schedule kinds.
+const (
+	// RoundRobin cycles through processes fairly. The default.
+	RoundRobin ScheduleKind = iota + 1
+	// RandomSchedule picks a uniformly random runnable process each step.
+	RandomSchedule
+	// LaggerSchedule starves one victim process, scheduling it only once
+	// every Period steps.
+	LaggerSchedule
+)
+
+// Schedule configures the adversary. The zero value is round-robin with no
+// crashes.
+type Schedule struct {
+	Kind ScheduleKind
+	// Victim and Period configure LaggerSchedule.
+	Victim int
+	Period int
+	// CrashAt permanently stops scheduling each listed process once the
+	// global step count reaches the given value, on top of any Kind.
+	CrashAt map[int]int64
+}
+
+func (s Schedule) adversary(seed int64) (sched.Adversary, error) {
+	var adv sched.Adversary
+	switch s.Kind {
+	case 0, RoundRobin:
+		adv = sched.NewRoundRobin()
+	case RandomSchedule:
+		adv = sched.NewRandom(seed ^ 0x5ca1ab1e)
+	case LaggerSchedule:
+		period := s.Period
+		if period <= 0 {
+			period = 16
+		}
+		adv = sched.NewLagger(s.Victim, period, seed^0x5ca1ab1e)
+	default:
+		return nil, fmt.Errorf("consensus: unknown schedule kind %d", int(s.Kind))
+	}
+	if len(s.CrashAt) > 0 {
+		adv = sched.NewCrash(adv, s.CrashAt)
+	}
+	return adv, nil
+}
+
+// MemoryKind selects the scannable-memory (snapshot) implementation.
+type MemoryKind int
+
+// Available memory kinds.
+const (
+	// ArrowMemory is the paper's bounded arrow-handshake snapshot. The
+	// default.
+	ArrowMemory MemoryKind = iota + 1
+	// SeqSnapMemory is the unbounded sequence-number snapshot baseline.
+	SeqSnapMemory
+	// WaitFreeMemory is the bounded wait-free atomic snapshot (Afek et al.),
+	// the successor construction to the paper's scannable memory: scans
+	// cannot be starved by writers.
+	WaitFreeMemory
+)
+
+func (m MemoryKind) kind() (scan.Kind, error) {
+	switch m {
+	case 0, ArrowMemory:
+		return scan.KindArrow, nil
+	case SeqSnapMemory:
+		return scan.KindSeqSnap, nil
+	case WaitFreeMemory:
+		return scan.KindWaitFree, nil
+	default:
+		return 0, fmt.Errorf("consensus: unknown memory kind %d", int(m))
+	}
+}
+
+// Config configures one consensus instance.
+type Config struct {
+	// Inputs holds each process's initial binary value; len(Inputs) is the
+	// number of processes. Required.
+	Inputs []int
+
+	// Algorithm selects the protocol (default Bounded).
+	Algorithm Algorithm
+
+	// Seed makes the run deterministic: process randomness and seeded
+	// adversaries derive from it.
+	Seed int64
+
+	// Schedule configures the adversarial scheduler (default round-robin).
+	Schedule Schedule
+
+	// MaxSteps aborts the run after this many atomic steps (0 = no limit).
+	// Aborted runs return ErrStepBudget with partial results.
+	MaxSteps int64
+
+	// K is the rounds-strip constant (default 2, the paper's choice).
+	K int
+	// B is the shared-coin barrier multiplier (default 4). Larger B lowers
+	// the per-round disagreement probability at the cost of longer walks.
+	B int
+	// M bounds each coin counter (default: derived from B and n per the
+	// paper's Lemma 3.3).
+	M int
+
+	// Memory selects the snapshot implementation (default ArrowMemory).
+	Memory MemoryKind
+	// UseBloomArrows builds the arrow registers from Bloom's 2W2R
+	// construction over SWMR registers instead of the direct atomic model.
+	UseBloomArrows bool
+	// FastDecide enables the footnote-5 style speedup of the Bounded
+	// algorithm: deciders publish a decided marker that others adopt
+	// immediately. Ignored by the other algorithms.
+	FastDecide bool
+
+	// TraceWriter, if non-nil, receives a human-readable protocol event log
+	// (round advances, preference changes, coin flips, decisions) in
+	// scheduler order — one line per event.
+	TraceWriter io.Writer
+}
+
+// Result reports the outcome of a consensus run.
+type Result struct {
+	// Value is the agreed value (0 or 1), or -1 if no process decided.
+	Value int
+	// Decided and Values report each process's individual outcome.
+	Decided []bool
+	Values  []int
+
+	// Steps is the total number of atomic shared-memory steps taken.
+	Steps int64
+	// PerProcSteps breaks Steps down by process.
+	PerProcSteps []int64
+	// Rounds is each process's count of round advances.
+	Rounds []int64
+	// CoinFlips is each process's count of random-walk steps.
+	CoinFlips []int64
+
+	// MaxAbsCoin is the largest |coin counter| written (space accounting).
+	MaxAbsCoin int64
+	// MaxRound is the largest explicit round number written — 0 for the
+	// bounded algorithm, which stores none.
+	MaxRound int64
+}
+
+// Errors returned by Solve, wrapped from the scheduler.
+var (
+	// ErrStepBudget reports that MaxSteps elapsed before every process
+	// decided.
+	ErrStepBudget = sched.ErrStepBudget
+	// ErrStalled reports that every remaining process was crashed by the
+	// schedule before deciding. Survivors' decisions are still reported.
+	ErrStalled = sched.ErrStalled
+)
+
+// Solve runs one consensus instance to completion and returns the outcome.
+// The error is nil when every process decided; ErrStepBudget or ErrStalled
+// (with partial results) otherwise.
+func Solve(cfg Config) (Result, error) {
+	if len(cfg.Inputs) == 0 {
+		return Result{}, errors.New("consensus: Config.Inputs must not be empty")
+	}
+	alg := cfg.Algorithm
+	if alg == 0 {
+		alg = Bounded
+	}
+	kind, err := alg.kind()
+	if err != nil {
+		return Result{}, err
+	}
+	memKind, err := cfg.Memory.kind()
+	if err != nil {
+		return Result{}, err
+	}
+	adv, err := cfg.Schedule.adversary(cfg.Seed)
+	if err != nil {
+		return Result{}, err
+	}
+	var tracer core.Tracer
+	if cfg.TraceWriter != nil {
+		w := cfg.TraceWriter
+		// Events before a process's first scheduler step (and all events in
+		// free-running mode) can be emitted concurrently; guard the writer.
+		var mu sync.Mutex
+		tracer = func(e core.Event) {
+			mu.Lock()
+			defer mu.Unlock()
+			fmt.Fprintln(w, e)
+		}
+	}
+	out, err := core.Execute(kind, core.Config{
+		K:              cfg.K,
+		B:              cfg.B,
+		M:              cfg.M,
+		MemKind:        memKind,
+		UseBloomArrows: cfg.UseBloomArrows,
+		FastDecide:     cfg.FastDecide,
+	}, core.ExecConfig{
+		Inputs:    cfg.Inputs,
+		Seed:      cfg.Seed,
+		Adversary: adv,
+		MaxSteps:  cfg.MaxSteps,
+		Tracer:    tracer,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	value, err := out.Agreement()
+	if err != nil {
+		// A consistency violation would be a bug in the library, not a user
+		// error; surface it loudly.
+		return Result{}, err
+	}
+	res := Result{
+		Value:        value,
+		Decided:      out.Decided,
+		Values:       out.Values,
+		Steps:        out.Sched.Steps,
+		PerProcSteps: out.Sched.PerProc,
+		Rounds:       out.Metrics.Rounds,
+		CoinFlips:    out.Metrics.CoinFlips,
+		MaxAbsCoin:   out.Metrics.MaxAbsCoin,
+		MaxRound:     out.Metrics.MaxRound,
+	}
+	return res, out.Err
+}
+
+// CoinConfig configures a standalone weak shared coin (see FlipCoin).
+type CoinConfig struct {
+	// N is the number of processes driving the walk. Required.
+	N int
+	// B is the barrier multiplier (default 4).
+	B int
+	// M bounds each counter (default: derived; negative = unbounded).
+	M int
+	// Seed makes the run deterministic.
+	Seed int64
+	// Schedule configures the adversary (default round-robin).
+	Schedule Schedule
+}
+
+// CoinResult reports a standalone shared-coin run.
+type CoinResult struct {
+	// Outcomes[i] is what process i observed: "heads" or "tails". Processes
+	// may disagree — that is the coin's weakness, bounded by (n-1)/(2B).
+	Outcomes []string
+	// Agreed reports whether all processes observed the same outcome.
+	Agreed bool
+	// WalkSteps is the total number of counter moves.
+	WalkSteps int64
+	// MaxAbsCounter is the largest |counter| reached.
+	MaxAbsCounter int
+}
+
+// FlipCoin runs the paper's bounded weak shared coin once, standalone, and
+// reports what each process observed.
+func FlipCoin(cfg CoinConfig) (CoinResult, error) {
+	if cfg.N < 1 {
+		return CoinResult{}, fmt.Errorf("consensus: CoinConfig.N must be >= 1, got %d", cfg.N)
+	}
+	params := walk.Params{N: cfg.N, B: cfg.B, M: cfg.M}
+	if params.B == 0 {
+		params.B = 4
+	}
+	if params.M == 0 {
+		params.M = params.DefaultM()
+	}
+	if params.M < 0 {
+		params.M = 0 // unbounded
+	}
+	coin, err := walk.NewSharedCoin(params)
+	if err != nil {
+		return CoinResult{}, err
+	}
+	adv, err := cfg.Schedule.adversary(cfg.Seed)
+	if err != nil {
+		return CoinResult{}, err
+	}
+	outcomes := make([]walk.Outcome, cfg.N)
+	_, err = sched.Run(sched.Config{N: cfg.N, Seed: cfg.Seed, Adversary: adv}, func(p *sched.Proc) {
+		outcomes[p.ID()] = coin.Flip(p)
+	})
+	if err != nil {
+		return CoinResult{}, err
+	}
+	res := CoinResult{
+		Outcomes:      make([]string, cfg.N),
+		Agreed:        true,
+		WalkSteps:     coin.TotalWalkSteps(),
+		MaxAbsCounter: coin.MaxAbsCounter(),
+	}
+	for i, o := range outcomes {
+		res.Outcomes[i] = o.String()
+		if o != outcomes[0] {
+			res.Agreed = false
+		}
+	}
+	return res, nil
+}

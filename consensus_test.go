@@ -1,0 +1,190 @@
+package consensus
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestSolveDefaultsQuickstart(t *testing.T) {
+	res, err := Solve(Config{Inputs: []int{0, 1, 1, 0}, Seed: 42, MaxSteps: 20_000_000})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if res.Value != 0 && res.Value != 1 {
+		t.Fatalf("Value = %d", res.Value)
+	}
+	for i, d := range res.Decided {
+		if !d {
+			t.Fatalf("process %d undecided", i)
+		}
+		if res.Values[i] != res.Value {
+			t.Fatalf("process %d decided %d, agreement says %d", i, res.Values[i], res.Value)
+		}
+	}
+	if res.Steps == 0 || res.MaxAbsCoin < 0 {
+		t.Fatalf("metrics not populated: %+v", res)
+	}
+}
+
+func TestSolveValidityAllAlgorithms(t *testing.T) {
+	for _, alg := range []Algorithm{Bounded, AspnesHerlihy, LocalCoin, StrongCoin, Abrahamson} {
+		for _, input := range []int{0, 1} {
+			res, err := Solve(Config{
+				Inputs:    []int{input, input, input},
+				Algorithm: alg,
+				Seed:      7,
+				Schedule:  Schedule{Kind: RandomSchedule},
+				MaxSteps:  20_000_000,
+			})
+			if err != nil {
+				t.Fatalf("%v: %v", alg, err)
+			}
+			if res.Value != input {
+				t.Fatalf("%v: validity violated: decided %d from all-%d inputs", alg, res.Value, input)
+			}
+		}
+	}
+}
+
+func TestSolveRejectsBadConfig(t *testing.T) {
+	if _, err := Solve(Config{}); err == nil {
+		t.Fatal("expected error for empty inputs")
+	}
+	if _, err := Solve(Config{Inputs: []int{0}, Algorithm: Algorithm(99)}); err == nil {
+		t.Fatal("expected error for unknown algorithm")
+	}
+	if _, err := Solve(Config{Inputs: []int{0}, Memory: MemoryKind(99)}); err == nil {
+		t.Fatal("expected error for unknown memory kind")
+	}
+	if _, err := Solve(Config{Inputs: []int{0}, Schedule: Schedule{Kind: ScheduleKind(99)}}); err == nil {
+		t.Fatal("expected error for unknown schedule kind")
+	}
+	if _, err := Solve(Config{Inputs: []int{0, 3}}); err == nil {
+		t.Fatal("expected error for non-binary input")
+	}
+}
+
+func TestSolveStepBudget(t *testing.T) {
+	_, err := Solve(Config{Inputs: []int{0, 1, 0, 1}, Seed: 1, MaxSteps: 50})
+	if !errors.Is(err, ErrStepBudget) {
+		t.Fatalf("err = %v, want ErrStepBudget", err)
+	}
+}
+
+func TestSolveCrashSchedule(t *testing.T) {
+	res, err := Solve(Config{
+		Inputs:   []int{0, 1, 1},
+		Seed:     9,
+		Schedule: Schedule{Kind: RandomSchedule, CrashAt: map[int]int64{1: 100, 2: 300}},
+		MaxSteps: 20_000_000,
+	})
+	if err != nil && !errors.Is(err, ErrStalled) {
+		t.Fatalf("err = %v", err)
+	}
+	if !res.Decided[0] {
+		t.Fatal("survivor did not decide")
+	}
+}
+
+func TestSolveLaggerSchedule(t *testing.T) {
+	res, err := Solve(Config{
+		Inputs:   []int{1, 0, 1},
+		Seed:     5,
+		Schedule: Schedule{Kind: LaggerSchedule, Victim: 1, Period: 32},
+		MaxSteps: 30_000_000,
+	})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if res.Value != 0 && res.Value != 1 {
+		t.Fatalf("Value = %d", res.Value)
+	}
+}
+
+func TestSolveDeterministicReplay(t *testing.T) {
+	cfg := Config{Inputs: []int{1, 0, 1, 0}, Seed: 77, Schedule: Schedule{Kind: RandomSchedule}, MaxSteps: 20_000_000}
+	a, err := Solve(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Solve(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Value != b.Value || a.Steps != b.Steps {
+		t.Fatalf("replay diverged: (%d,%d) vs (%d,%d)", a.Value, a.Steps, b.Value, b.Steps)
+	}
+}
+
+func TestSolveBoundedHasNoExplicitRounds(t *testing.T) {
+	res, err := Solve(Config{Inputs: []int{0, 1}, Seed: 3, MaxSteps: 20_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxRound != 0 {
+		t.Fatalf("bounded algorithm wrote explicit round %d", res.MaxRound)
+	}
+	res, err = Solve(Config{Inputs: []int{0, 1}, Algorithm: AspnesHerlihy, Seed: 3, MaxSteps: 20_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxRound == 0 {
+		t.Fatal("unbounded baseline reported no rounds")
+	}
+}
+
+func TestSolveSeqSnapMemory(t *testing.T) {
+	res, err := Solve(Config{
+		Inputs: []int{0, 1, 0}, Seed: 11, Memory: SeqSnapMemory,
+		Schedule: Schedule{Kind: RandomSchedule}, MaxSteps: 20_000_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != 0 && res.Value != 1 {
+		t.Fatalf("Value = %d", res.Value)
+	}
+}
+
+func TestFlipCoin(t *testing.T) {
+	res, err := FlipCoin(CoinConfig{N: 4, B: 4, Seed: 13, Schedule: Schedule{Kind: RandomSchedule}})
+	if err != nil {
+		t.Fatalf("FlipCoin: %v", err)
+	}
+	if len(res.Outcomes) != 4 {
+		t.Fatalf("outcomes = %v", res.Outcomes)
+	}
+	for _, o := range res.Outcomes {
+		if o != "heads" && o != "tails" {
+			t.Fatalf("bad outcome %q", o)
+		}
+	}
+	if res.WalkSteps == 0 {
+		t.Fatal("no walk steps recorded")
+	}
+	if _, err := FlipCoin(CoinConfig{N: 0}); err == nil {
+		t.Fatal("expected error for N=0")
+	}
+}
+
+func TestAlgorithmStrings(t *testing.T) {
+	for _, a := range []Algorithm{Bounded, AspnesHerlihy, LocalCoin, StrongCoin, Abrahamson} {
+		if a.String() == "" {
+			t.Fatalf("algorithm %d has empty name", int(a))
+		}
+	}
+}
+
+func ExampleSolve() {
+	res, err := Solve(Config{
+		Inputs: []int{1, 1, 1},
+		Seed:   1,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("decided:", res.Value)
+	// Output: decided: 1
+}

@@ -1,0 +1,67 @@
+package consensus_test
+
+import (
+	"fmt"
+
+	consensus "github.com/dsrepro/consensus"
+)
+
+// Agree on a binary value among processes with conflicting inputs.
+func ExampleSolve_mixedInputs() {
+	res, err := consensus.Solve(consensus.Config{
+		Inputs:   []int{0, 1, 1, 0},
+		Seed:     7,
+		Schedule: consensus.Schedule{Kind: consensus.RandomSchedule},
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	agreed := true
+	for _, v := range res.Values {
+		if v != res.Value {
+			agreed = false
+		}
+	}
+	fmt.Println("all processes agreed:", agreed)
+	// Output: all processes agreed: true
+}
+
+// Multivalued consensus: the paper's "arbitrary initial values" extension.
+func ExampleSolveMulti() {
+	v, err := consensus.SolveMulti(consensus.Config{Seed: 11}, []uint64{42, 42, 42})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("decided:", v)
+	// Output: decided: 42
+}
+
+// The standalone weak shared coin (§3): all processes usually observe the
+// same outcome; the disagreement probability is bounded by (n-1)/(2B).
+func ExampleFlipCoin() {
+	res, err := consensus.FlipCoin(consensus.CoinConfig{N: 4, B: 8, Seed: 5})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("processes observed one outcome:", res.Agreed)
+	// Output: processes observed one outcome: true
+}
+
+// Crash tolerance: survivors decide even when others stop forever.
+func ExampleSolve_crashes() {
+	res, err := consensus.Solve(consensus.Config{
+		Inputs:   []int{1, 0, 1},
+		Seed:     3,
+		Schedule: consensus.Schedule{Kind: consensus.RandomSchedule, CrashAt: map[int]int64{2: 200}},
+		MaxSteps: 100_000_000,
+	})
+	if err != nil && err != consensus.ErrStalled {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("survivor 0 decided:", res.Decided[0])
+	// Output: survivor 0 decided: true
+}

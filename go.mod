@@ -1,0 +1,3 @@
+module github.com/dsrepro/consensus
+
+go 1.22

@@ -1,0 +1,43 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/dsrepro/consensus/internal/sched"
+)
+
+// TestAblationK1BreaksConsistency shows the paper's K=2 is load-bearing: with
+// K=1 (decide as soon as every disagreer is one round behind), a disagreeing
+// process one round back can catch up and decide the other value. Measured
+// over 300 adversarial runs, K=1 violates consistency in a substantial
+// fraction, while K=2 and K=3 never do.
+func TestAblationK1BreaksConsistency(t *testing.T) {
+	violationsAt := func(k int, trials int64) int {
+		violations := 0
+		for seed := int64(0); seed < trials; seed++ {
+			out, err := Execute(KindBounded, Config{K: k, B: 2}, ExecConfig{
+				Inputs: []int{0, 1, 0, 1}, Seed: seed,
+				Adversary: sched.NewRandom(seed*3 + 1), MaxSteps: 50_000_000,
+			})
+			if err != nil {
+				t.Fatalf("K=%d seed %d: %v", k, seed, err)
+			}
+			if out.Err != nil {
+				continue
+			}
+			if _, err := out.Agreement(); err != nil {
+				violations++
+			}
+		}
+		return violations
+	}
+
+	if v := violationsAt(1, 300); v == 0 {
+		t.Fatal("K=1 never violated consistency over 300 runs — the K=2 requirement would look unnecessary, contradicting the paper's analysis")
+	}
+	for _, k := range []int{2, 3} {
+		if v := violationsAt(k, 100); v != 0 {
+			t.Fatalf("K=%d violated consistency %d times — the protocol is broken", k, v)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"github.com/dsrepro/consensus/internal/register"
+	"github.com/dsrepro/consensus/internal/scan"
+	"github.com/dsrepro/consensus/internal/sched"
+)
+
+// Abrahamson is the remaining quadrant of the paper's related-work matrix:
+// an [A88]-style protocol that is unbounded in memory (explicit round
+// numbers) AND exponential in expected time (independent local coin flips,
+// no shared coin). Together with AHUnbounded (unbounded, polynomial),
+// ExpLocal (bounded, exponential) and Bounded (bounded, polynomial — the
+// paper), the four protocols cover the full space/time design matrix the
+// introduction narrates:
+//
+//	                 exponential time        polynomial time
+//	unbounded space  Abrahamson [A88]        AHUnbounded [AH88]
+//	bounded space    ExpLocal [ADS89-style]  Bounded (this paper)
+type Abrahamson struct {
+	cfg Config
+	mem scan.Memory[UEntry]
+
+	rounds   []atomic.Int64
+	flips    []atomic.Int64
+	maxRound atomic.Int64
+
+	traceSink
+}
+
+// NewAbrahamson builds an instance. B and M are ignored (no shared coin).
+func NewAbrahamson(cfg Config) (*Abrahamson, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	factory := register.DirectFactory
+	if cfg.UseBloomArrows {
+		factory = register.BloomFactory
+	}
+	mem, err := scan.New[UEntry](cfg.MemKind, cfg.N, factory)
+	if err != nil {
+		return nil, err
+	}
+	return &Abrahamson{
+		cfg:    cfg,
+		mem:    mem,
+		rounds: make([]atomic.Int64, cfg.N),
+		flips:  make([]atomic.Int64, cfg.N),
+	}, nil
+}
+
+// Name implements Protocol.
+func (a *Abrahamson) Name() string { return "abrahamson" }
+
+// Metrics implements Protocol.
+func (a *Abrahamson) Metrics() Metrics {
+	m := Metrics{
+		Rounds:    make([]int64, a.cfg.N),
+		CoinFlips: make([]int64, a.cfg.N),
+		MaxRound:  a.maxRound.Load(),
+	}
+	for i := 0; i < a.cfg.N; i++ {
+		m.Rounds[i] = a.rounds[i].Load()
+		m.CoinFlips[i] = a.flips[i].Load()
+	}
+	return m
+}
+
+func (a *Abrahamson) inc(p *sched.Proc, st UEntry) UEntry {
+	st = st.Clone()
+	st.Round++
+	a.rounds[p.ID()].Add(1)
+	atomicMax(&a.maxRound, st.Round)
+	a.emit(Event{Step: p.Now(), Pid: p.ID(), Kind: EvRoundAdvance, Round: st.Round})
+	return st
+}
+
+// Run implements Protocol for one process: the unbounded-round decide/adopt
+// structure with an independent local coin on conflict.
+func (a *Abrahamson) Run(p *sched.Proc, input int) int {
+	i := p.ID()
+	st := UEntry{Pref: int8(input)}
+	st = a.inc(p, st)
+	a.mem.Write(p, st)
+	a.emit(Event{Step: p.Now(), Pid: i, Kind: EvStart, Round: st.Round, Detail: "pref=" + prefString(st.Pref)})
+
+	for {
+		view := a.mem.Scan(p)
+		normalizeUView(view)
+		view[i] = st
+
+		rmax, agree, v := uLeaders(view)
+
+		if st.Pref != Bottom && st.Round == rmax {
+			ok := true
+			for j, ent := range view {
+				if j == i || ent.Pref == st.Pref {
+					continue
+				}
+				if ent.Round > st.Round-int64(a.cfg.K) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				a.emit(Event{Step: p.Now(), Pid: i, Kind: EvDecide, Round: st.Round, Detail: prefString(st.Pref)})
+				return int(st.Pref)
+			}
+		}
+
+		if agree {
+			st = a.inc(p, st)
+			st.Pref = v
+			a.mem.Write(p, st)
+			continue
+		}
+
+		// Conflict: withdraw first (the paper's ⊥ pause — see ExpLocal for
+		// why it is load-bearing), then flip and advance.
+		if st.Pref != Bottom {
+			st = st.Clone()
+			st.Pref = Bottom
+			a.mem.Write(p, st)
+			continue
+		}
+		st = a.inc(p, st)
+		st.Pref = int8(p.Rand().Intn(2))
+		a.flips[i].Add(1)
+		a.mem.Write(p, st)
+		a.emit(Event{Step: p.Now(), Pid: i, Kind: EvCoinFlip, Round: st.Round, Detail: "local=" + prefString(st.Pref)})
+	}
+}

@@ -1,0 +1,335 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"github.com/dsrepro/consensus/internal/register"
+	"github.com/dsrepro/consensus/internal/scan"
+	"github.com/dsrepro/consensus/internal/sched"
+	"github.com/dsrepro/consensus/internal/strip"
+	"github.com/dsrepro/consensus/internal/walk"
+)
+
+// Config parameterizes a protocol instance.
+type Config struct {
+	// N is the number of processes.
+	N int
+	// K is the rounds-strip constant; the paper fixes K = 2 (the default
+	// when zero).
+	K int
+	// B is the shared-coin barrier multiplier (paper's b; default 4).
+	B int
+	// M bounds each coin counter to {-(M+1)..M+1}; 0 picks the Lemma 3.3
+	// default (comfortably above the barrier); negative means unbounded
+	// counters (only meaningful for the unbounded baseline).
+	M int
+	// MemKind selects the scannable-memory implementation (default Arrow).
+	MemKind scan.Kind
+	// UseBloomArrows builds the Arrow memory's 2W2R registers from Bloom's
+	// SWMR construction instead of the direct atomic model.
+	UseBloomArrows bool
+	// FastDecide enables the footnote-5 style speedup in the bounded
+	// protocol: deciders publish a decided marker, and any process seeing
+	// one immediately decides the same value (safe because a decision is
+	// final — Lemma 6.6 makes every future decision equal to it).
+	FastDecide bool
+}
+
+// withDefaults fills in zero fields.
+func (c Config) withDefaults() Config {
+	if c.K == 0 {
+		c.K = 2
+	}
+	if c.B == 0 {
+		c.B = 4
+	}
+	if c.MemKind == 0 {
+		c.MemKind = scan.KindArrow
+	}
+	return c
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.N < 1 {
+		return fmt.Errorf("core: N must be >= 1, got %d", c.N)
+	}
+	if c.K < 0 || c.B < 0 || c.M < 0 {
+		return fmt.Errorf("core: negative parameter in %+v", c)
+	}
+	return nil
+}
+
+// Metrics aggregates per-run accounting common to all protocols.
+type Metrics struct {
+	// Rounds[i] is the number of inc operations (local round advances)
+	// process i performed.
+	Rounds []int64
+	// CoinFlips[i] is the number of walk steps process i performed.
+	CoinFlips []int64
+	// MaxAbsCoin is the largest |coin counter| ever written.
+	MaxAbsCoin int64
+	// MaxRound is the largest explicit round number ever written (unbounded
+	// protocols only; 0 for the bounded protocol, which has none).
+	MaxRound int64
+	// StripLen is the largest per-process coin-strip length ever written
+	// (unbounded protocols only).
+	StripLen int64
+}
+
+// Bounded is the paper's §5 consensus protocol with bounded memory and
+// polynomial expected time.
+type Bounded struct {
+	cfg    Config
+	params walk.Params
+	mem    scan.Memory[Entry]
+
+	rounds     []atomic.Int64
+	flips      []atomic.Int64
+	maxAbsCoin atomic.Int64
+
+	traceSink
+
+	// OnScan, if non-nil, is invoked after every scan with the scanning
+	// process and its (normalized) view, in scan-serialization order. It is
+	// an analysis hook (e.g. the §6.1 virtual-round tracker in
+	// internal/vround); invocations are serialized under the step scheduler.
+	// Do not set in free-running mode.
+	OnScan func(pid int, view []Entry)
+}
+
+// NewBounded builds a bounded-protocol instance.
+func NewBounded(cfg Config) (*Bounded, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	params := walk.Params{N: cfg.N, B: cfg.B, M: cfg.M}
+	if params.M == 0 {
+		params.M = params.DefaultM()
+	}
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	factory := register.DirectFactory
+	if cfg.UseBloomArrows {
+		factory = register.BloomFactory
+	}
+	mem, err := scan.New[Entry](cfg.MemKind, cfg.N, factory)
+	if err != nil {
+		return nil, err
+	}
+	return &Bounded{
+		cfg:    cfg,
+		params: params,
+		mem:    mem,
+		rounds: make([]atomic.Int64, cfg.N),
+		flips:  make([]atomic.Int64, cfg.N),
+	}, nil
+}
+
+// Name implements Protocol.
+func (b *Bounded) Name() string { return "bounded" }
+
+// Config returns the effective configuration.
+func (b *Bounded) Config() Config { return b.cfg }
+
+// CoinParams returns the effective shared-coin parameters.
+func (b *Bounded) CoinParams() walk.Params { return b.params }
+
+// Metrics implements Protocol. Call only after the run completes.
+func (b *Bounded) Metrics() Metrics {
+	m := Metrics{
+		Rounds:     make([]int64, b.cfg.N),
+		CoinFlips:  make([]int64, b.cfg.N),
+		MaxAbsCoin: b.maxAbsCoin.Load(),
+	}
+	for i := 0; i < b.cfg.N; i++ {
+		m.Rounds[i] = b.rounds[i].Load()
+		m.CoinFlips[i] = b.flips[i].Load()
+	}
+	return m
+}
+
+// inc is the paper's inc(round): advance the cyclic coin pointer, zero the
+// slot that will serve the next round's coin, and recompute the edge-counter
+// row from the scanned view via inc_graph.
+func (b *Bounded) inc(p *sched.Proc, st Entry, view []Entry) (Entry, error) {
+	k := b.cfg.K
+	st = st.Clone()
+	st.CurrentCoin = next(st.CurrentCoin, k)
+	st.Coin[next(st.CurrentCoin, k)] = 0
+	mat := edgeMatrix(view)
+	mat[p.ID()] = st.Edge
+	row, err := strip.IncRow(p.ID(), mat, k)
+	if err != nil {
+		return Entry{}, err
+	}
+	st.Edge = row
+	b.rounds[p.ID()].Add(1)
+	b.emit(Event{Step: p.Now(), Pid: p.ID(), Kind: EvRoundAdvance, Round: b.rounds[p.ID()].Load()})
+	return st, nil
+}
+
+// nextCoinValue is the paper's next_coin_value(round): assemble the counter
+// array for the caller's current round from the scanned view — own current
+// slot, plus the matching slot of every process at most K-1 rounds ahead —
+// and evaluate the walk.
+func (b *Bounded) nextCoinValue(i int, st Entry, view []Entry, g *strip.Graph) walk.Outcome {
+	k := b.cfg.K
+	c := make([]int, b.cfg.N)
+	for j := range view {
+		switch {
+		case j == i:
+			c[j] = st.Coin[coinSlot(st.CurrentCoin, 0, k)]
+		case g.Has[j][i] && g.W[j][i] < k:
+			c[j] = view[j].Coin[coinSlot(view[j].CurrentCoin, g.W[j][i], k)]
+		default:
+			c[j] = 0 // more than K-1 ahead (contribution withdrawn) or behind
+		}
+	}
+	return b.params.Value(c)
+}
+
+// flipNextCoin is the paper's flip_next_coin: one bounded walk step on the
+// caller's coin counter for its current round.
+func (b *Bounded) flipNextCoin(p *sched.Proc, st Entry) Entry {
+	k := b.cfg.K
+	st = st.Clone()
+	slot := coinSlot(st.CurrentCoin, 0, k)
+	st.Coin[slot] = b.params.StepCounter(st.Coin[slot], p.Rand())
+	b.flips[p.ID()].Add(1)
+	atomicMax(&b.maxAbsCoin, int64(abs(st.Coin[slot])))
+	b.emit(Event{Step: p.Now(), Pid: p.ID(), Kind: EvCoinFlip, Round: b.rounds[p.ID()].Load(),
+		Detail: fmt.Sprintf("c=%d", st.Coin[slot])})
+	return st
+}
+
+// atomicMax raises *a to v if v is larger (CAS loop; safe under free-running
+// concurrency).
+func atomicMax(a *atomic.Int64, v int64) {
+	for {
+		cur := a.Load()
+		if v <= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Run implements Protocol: the §5 main loop for one process. It returns the
+// decided value (0 or 1).
+func (b *Bounded) Run(p *sched.Proc, input int) int {
+	i := p.ID()
+	st := NewEntry(b.cfg.N, b.cfg.K)
+
+	// Initial write: prefer the input and enter round 1. The first inc sees
+	// the scanned (possibly already-moving) edge counters.
+	view := b.mem.Scan(p)
+	normalizeView(view, b.cfg.N, b.cfg.K)
+	if b.OnScan != nil {
+		b.OnScan(i, view)
+	}
+	st, err := b.inc(p, st, view)
+	if err != nil {
+		panic(fmt.Sprintf("core: bounded proc %d: %v", i, err))
+	}
+	st.Pref = int8(input)
+	b.mem.Write(p, st)
+	b.emit(Event{Step: p.Now(), Pid: i, Kind: EvStart, Round: b.rounds[i].Load(), Detail: "pref=" + prefString(st.Pref)})
+
+	for {
+		view := b.mem.Scan(p)
+		normalizeView(view, b.cfg.N, b.cfg.K)
+		view[i] = st // own slot: exactly what we last wrote
+		if b.OnScan != nil {
+			b.OnScan(i, view)
+		}
+		g, err := decodeView(view, b.cfg.K)
+		if err != nil {
+			panic(fmt.Sprintf("core: bounded proc %d: %v", i, err))
+		}
+
+		// FastDecide short-circuit: a published decision is final, so adopt
+		// and decide it immediately (footnote 5 speedup; off by default).
+		if b.cfg.FastDecide {
+			for j := range view {
+				if j != i && view[j].Decided {
+					v := view[j].Pref
+					b.emit(Event{Step: p.Now(), Pid: i, Kind: EvDecide, Round: b.rounds[i].Load(), Detail: prefString(v) + " (fast)"})
+					return int(v)
+				}
+			}
+		}
+
+		// Line 2: decide when leading and every disagreer trails by K.
+		if st.Pref != Bottom && g.Leader(i) && disagreersTrailByK(view, g, i, st.Pref) {
+			if b.cfg.FastDecide {
+				st = st.Clone()
+				st.Decided = true
+				b.mem.Write(p, st)
+			}
+			b.emit(Event{Step: p.Now(), Pid: i, Kind: EvDecide, Round: b.rounds[i].Load(), Detail: prefString(st.Pref)})
+			return int(st.Pref)
+		}
+
+		// Lines 3-4: adopt the leaders' common value and advance a round.
+		if v, ok := leadersAgree(view, g); ok {
+			st, err = b.inc(p, st, view)
+			if err != nil {
+				panic(fmt.Sprintf("core: bounded proc %d: %v", i, err))
+			}
+			old := st.Pref
+			st.Pref = v
+			b.mem.Write(p, st)
+			if old != v {
+				b.emit(Event{Step: p.Now(), Pid: i, Kind: EvPrefChange, Round: b.rounds[i].Load(),
+					Detail: prefString(old) + "->" + prefString(v)})
+			}
+			continue
+		}
+
+		// Lines 5-6: leaders disagree — withdraw the preference.
+		if st.Pref != Bottom {
+			old := st.Pref
+			st = st.Clone()
+			st.Pref = Bottom
+			b.mem.Write(p, st)
+			b.emit(Event{Step: p.Now(), Pid: i, Kind: EvPrefChange, Round: b.rounds[i].Load(),
+				Detail: prefString(old) + "->⊥"})
+			continue
+		}
+
+		// Lines 7-8: drive the shared coin; adopt its outcome when decided.
+		switch cv := b.nextCoinValue(i, st, view, g); cv {
+		case walk.Undecided:
+			st = b.flipNextCoin(p, st)
+			b.mem.Write(p, st)
+		default:
+			b.emit(Event{Step: p.Now(), Pid: i, Kind: EvCoinDecided, Round: b.rounds[i].Load(), Detail: cv.String()})
+			st, err = b.inc(p, st, view)
+			if err != nil {
+				panic(fmt.Sprintf("core: bounded proc %d: %v", i, err))
+			}
+			st.Pref = outcomeBit(cv)
+			b.mem.Write(p, st)
+			b.emit(Event{Step: p.Now(), Pid: i, Kind: EvPrefChange, Round: b.rounds[i].Load(),
+				Detail: "⊥->" + prefString(st.Pref)})
+		}
+	}
+}
+
+// outcomeBit maps a decided coin outcome to a consensus value.
+func outcomeBit(o walk.Outcome) int8 {
+	if o == walk.Heads {
+		return 1
+	}
+	return 0
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/dsrepro/consensus/internal/sched"
+)
+
+// Protocol is a consensus protocol instance ready to run once: per-process
+// bodies that each return a decision, plus post-run metrics.
+type Protocol interface {
+	// Name identifies the protocol in tables and logs.
+	Name() string
+	// Run executes one process's side of the protocol and returns its
+	// decision. It must be called exactly once per pid, concurrently for all
+	// pids of one instance.
+	Run(p *sched.Proc, input int) int
+	// Metrics returns accounting collected during the run. Call after the
+	// run completes.
+	Metrics() Metrics
+}
+
+// Kind names a protocol implementation.
+type Kind int
+
+// Protocol kinds.
+const (
+	KindBounded Kind = iota + 1
+	KindAHUnbounded
+	KindExpLocal
+	KindStrongCoin
+	KindAbrahamson
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindBounded:
+		return "bounded"
+	case KindAHUnbounded:
+		return "ah-unbounded"
+	case KindExpLocal:
+		return "exp-local"
+	case KindStrongCoin:
+		return "strong-coin"
+	case KindAbrahamson:
+		return "abrahamson"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// New builds a fresh protocol instance of the given kind.
+func New(kind Kind, cfg Config) (Protocol, error) {
+	switch kind {
+	case KindBounded:
+		return NewBounded(cfg)
+	case KindAHUnbounded:
+		return NewAHUnbounded(cfg)
+	case KindExpLocal:
+		return NewExpLocal(cfg)
+	case KindStrongCoin:
+		return NewStrongCoin(cfg)
+	case KindAbrahamson:
+		return NewAbrahamson(cfg)
+	default:
+		return nil, fmt.Errorf("core: unknown protocol kind %d", int(kind))
+	}
+}
+
+// Outcome is the result of executing one consensus instance.
+type Outcome struct {
+	// Decided[i] reports whether process i decided; Values[i] is its
+	// decision (meaningful only when Decided[i]).
+	Decided []bool
+	Values  []int
+	// Sched is the scheduler-level accounting (total atomic steps etc.).
+	Sched sched.Result
+	// Metrics is the protocol-level accounting.
+	Metrics Metrics
+	// Err is nil for a clean run, or sched.ErrStepBudget / sched.ErrStalled.
+	Err error
+}
+
+// AllDecided reports whether every process decided.
+func (o Outcome) AllDecided() bool {
+	for _, d := range o.Decided {
+		if !d {
+			return false
+		}
+	}
+	return true
+}
+
+// Agreement checks consistency: no two decided processes hold different
+// values. It returns the common decided value (or -1 if nobody decided).
+func (o Outcome) Agreement() (int, error) {
+	v := -1
+	for i, d := range o.Decided {
+		if !d {
+			continue
+		}
+		if v == -1 {
+			v = o.Values[i]
+		} else if v != o.Values[i] {
+			return -1, fmt.Errorf("core: consistency violated: processes decided both %d and %d", v, o.Values[i])
+		}
+	}
+	return v, nil
+}
+
+// ExecConfig configures one execution of a protocol instance.
+type ExecConfig struct {
+	// Inputs holds each process's initial value (0 or 1); its length sets N.
+	Inputs []int
+	// Seed drives all randomness (process coins and seeded adversaries).
+	Seed int64
+	// Adversary picks the schedule; nil defaults to round-robin.
+	Adversary sched.Adversary
+	// MaxSteps bounds the run (0 = unbounded).
+	MaxSteps int64
+	// Tracer, if non-nil, receives protocol events (round advances,
+	// preference changes, coin flips, decisions) in scheduler order. Events
+	// emitted before a process's first scheduler step (each protocol's
+	// initial round advance) may arrive concurrently — a Tracer touching
+	// shared state must synchronize itself.
+	Tracer Tracer
+}
+
+// Execute builds a protocol of the given kind and runs it once under the
+// adversarial scheduler, collecting decisions and metrics.
+func Execute(kind Kind, cfg Config, ec ExecConfig) (Outcome, error) {
+	n := len(ec.Inputs)
+	if n == 0 {
+		return Outcome{}, fmt.Errorf("core: no inputs")
+	}
+	for _, v := range ec.Inputs {
+		if v != 0 && v != 1 {
+			return Outcome{}, fmt.Errorf("core: inputs must be binary, got %d", v)
+		}
+	}
+	cfg.N = n
+	proto, err := New(kind, cfg)
+	if err != nil {
+		return Outcome{}, err
+	}
+	return ExecuteProto(proto, ec)
+}
+
+// ExecuteProto runs an already-constructed protocol instance once.
+func ExecuteProto(proto Protocol, ec ExecConfig) (Outcome, error) {
+	if ec.Tracer != nil {
+		if s, ok := proto.(interface{ SetTracer(Tracer) }); ok {
+			s.SetTracer(ec.Tracer)
+		}
+	}
+	n := len(ec.Inputs)
+	out := Outcome{
+		Decided: make([]bool, n),
+		Values:  make([]int, n),
+	}
+	res, runErr := sched.Run(sched.Config{
+		N:         n,
+		Seed:      ec.Seed,
+		Adversary: ec.Adversary,
+		MaxSteps:  ec.MaxSteps,
+	}, func(p *sched.Proc) {
+		v := proto.Run(p, ec.Inputs[p.ID()])
+		out.Values[p.ID()] = v
+		out.Decided[p.ID()] = true
+	})
+	out.Sched = res
+	out.Metrics = proto.Metrics()
+	out.Err = runErr
+	return out, nil
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"github.com/dsrepro/consensus/internal/register"
+	"github.com/dsrepro/consensus/internal/scan"
+	"github.com/dsrepro/consensus/internal/sched"
+	"github.com/dsrepro/consensus/internal/strip"
+)
+
+// ExpLocal is the exponential-time, bounded-space baseline (Abrahamson-style
+// as reconstructed over the paper's bounded rounds strip): identical control
+// structure to the bounded protocol, but conflicts are resolved by each
+// process flipping an *independent local* coin instead of driving the shared
+// coin. Agreement then requires the independent flips to coincide, which
+// happens with exponentially small probability as n grows — the behaviour the
+// shared coin exists to fix. It is an exact ablation: same substrate, same
+// decide rule, only the randomness source differs.
+type ExpLocal struct {
+	cfg Config
+	mem scan.Memory[Entry]
+
+	rounds []atomic.Int64
+	flips  []atomic.Int64
+
+	traceSink
+
+	// Flip chooses the preference adopted on a leader conflict. It defaults
+	// to a fair local coin. Tests override it with a deterministic rule to
+	// demonstrate the impossibility the paper's introduction cites: with
+	// only atomic reads and writes, *deterministic* protocols can be
+	// scheduled so that they never decide.
+	Flip func(p *sched.Proc, cur int8) int8
+}
+
+// NewExpLocal builds an exponential-baseline instance. B and M are ignored
+// (no shared coin).
+func NewExpLocal(cfg Config) (*ExpLocal, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	factory := register.DirectFactory
+	if cfg.UseBloomArrows {
+		factory = register.BloomFactory
+	}
+	mem, err := scan.New[Entry](cfg.MemKind, cfg.N, factory)
+	if err != nil {
+		return nil, err
+	}
+	return &ExpLocal{
+		cfg:    cfg,
+		mem:    mem,
+		rounds: make([]atomic.Int64, cfg.N),
+		flips:  make([]atomic.Int64, cfg.N),
+		Flip:   func(p *sched.Proc, _ int8) int8 { return int8(p.Rand().Intn(2)) },
+	}, nil
+}
+
+// Name implements Protocol.
+func (l *ExpLocal) Name() string { return "exp-local" }
+
+// Metrics implements Protocol.
+func (l *ExpLocal) Metrics() Metrics {
+	m := Metrics{Rounds: make([]int64, l.cfg.N), CoinFlips: make([]int64, l.cfg.N)}
+	for i := 0; i < l.cfg.N; i++ {
+		m.Rounds[i] = l.rounds[i].Load()
+		m.CoinFlips[i] = l.flips[i].Load()
+	}
+	return m
+}
+
+// inc advances the rounds strip exactly as the bounded protocol does (the
+// coin slots exist but stay zero).
+func (l *ExpLocal) inc(p *sched.Proc, st Entry, view []Entry) (Entry, error) {
+	k := l.cfg.K
+	st = st.Clone()
+	st.CurrentCoin = next(st.CurrentCoin, k)
+	mat := edgeMatrix(view)
+	mat[p.ID()] = st.Edge
+	row, err := strip.IncRow(p.ID(), mat, k)
+	if err != nil {
+		return Entry{}, err
+	}
+	st.Edge = row
+	l.rounds[p.ID()].Add(1)
+	l.emit(Event{Step: p.Now(), Pid: p.ID(), Kind: EvRoundAdvance, Round: l.rounds[p.ID()].Load()})
+	return st, nil
+}
+
+// Run implements Protocol for one process.
+func (l *ExpLocal) Run(p *sched.Proc, input int) int {
+	i := p.ID()
+	st := NewEntry(l.cfg.N, l.cfg.K)
+
+	view := l.mem.Scan(p)
+	normalizeView(view, l.cfg.N, l.cfg.K)
+	st, err := l.inc(p, st, view)
+	if err != nil {
+		panic(fmt.Sprintf("core: exp-local proc %d: %v", i, err))
+	}
+	st.Pref = int8(input)
+	l.mem.Write(p, st)
+
+	for {
+		view := l.mem.Scan(p)
+		normalizeView(view, l.cfg.N, l.cfg.K)
+		view[i] = st
+		g, err := decodeView(view, l.cfg.K)
+		if err != nil {
+			panic(fmt.Sprintf("core: exp-local proc %d: %v", i, err))
+		}
+
+		if st.Pref != Bottom && g.Leader(i) && disagreersTrailByK(view, g, i, st.Pref) {
+			l.emit(Event{Step: p.Now(), Pid: i, Kind: EvDecide, Round: l.rounds[i].Load(), Detail: prefString(st.Pref)})
+			return int(st.Pref)
+		}
+
+		if v, ok := leadersAgree(view, g); ok {
+			st, err = l.inc(p, st, view)
+			if err != nil {
+				panic(fmt.Sprintf("core: exp-local proc %d: %v", i, err))
+			}
+			st.Pref = v
+			l.mem.Write(p, st)
+			continue
+		}
+
+		// Conflict: first withdraw the preference at the same round (the
+		// paper's lines 5-6 — the pause is load-bearing: without it a
+		// climbing process can pass a decided leader without ever seeing
+		// it, breaking consistency at ~1/2000 schedules), then adopt an
+		// independent local coin flip and advance.
+		if st.Pref != Bottom {
+			old := st.Pref
+			st = st.Clone()
+			st.Pref = Bottom
+			l.mem.Write(p, st)
+			l.emit(Event{Step: p.Now(), Pid: i, Kind: EvPrefChange, Round: l.rounds[i].Load(),
+				Detail: prefString(old) + "->⊥"})
+			continue
+		}
+		st, err = l.inc(p, st, view)
+		if err != nil {
+			panic(fmt.Sprintf("core: exp-local proc %d: %v", i, err))
+		}
+		st.Pref = l.Flip(p, st.Pref)
+		l.flips[i].Add(1)
+		l.mem.Write(p, st)
+		l.emit(Event{Step: p.Now(), Pid: i, Kind: EvCoinFlip, Round: l.rounds[i].Load(),
+			Detail: "local=" + prefString(st.Pref)})
+	}
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/dsrepro/consensus/internal/sched"
+)
+
+// TestPCTSweepFindsNoViolations sweeps PCT schedules (depths 1..4, many
+// seeds) over the bounded protocol: PCT's guarantee means a depth-d schedule
+// bug would be hit with probability >= 1/(n·Lᵈ⁻¹) per seed, so a clean sweep
+// is considerably stronger evidence than uniform-random schedules alone.
+// As a sanity check the same sweep at K=1 must rediscover the known
+// consistency bug (see TestAblationK1BreaksConsistency).
+func TestPCTSweepFindsNoViolations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("PCT sweep skipped in -short mode")
+	}
+	const n = 4
+	inputs := []int{0, 1, 1, 0}
+	for depth := 1; depth <= 4; depth++ {
+		depth := depth
+		t.Run(fmt.Sprintf("depth=%d", depth), func(t *testing.T) {
+			t.Parallel()
+			for seed := int64(0); seed < 40; seed++ {
+				out, err := Execute(KindBounded, Config{B: 2}, ExecConfig{
+					Inputs:    inputs,
+					Seed:      seed,
+					Adversary: sched.NewPCT(n, 50_000, depth, seed*101+int64(depth)),
+					MaxSteps:  100_000_000,
+				})
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if out.Err != nil {
+					t.Fatalf("seed %d: run error: %v", seed, out.Err)
+				}
+				if !out.AllDecided() {
+					t.Fatalf("seed %d: not all decided", seed)
+				}
+				if _, err := out.Agreement(); err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+			}
+		})
+	}
+}
+
+// TestPCTSweepRediscoversK1Bug: the same PCT sweep applied to the broken
+// K=1 variant must find consistency violations — evidence the sweep has
+// genuine bug-finding power, not just green-side bias.
+func TestPCTSweepRediscoversK1Bug(t *testing.T) {
+	if testing.Short() {
+		t.Skip("PCT sweep skipped in -short mode")
+	}
+	const n = 4
+	inputs := []int{0, 1, 0, 1}
+	found := false
+	for depth := 1; depth <= 4 && !found; depth++ {
+		for seed := int64(0); seed < 60 && !found; seed++ {
+			out, err := Execute(KindBounded, Config{K: 1, B: 2}, ExecConfig{
+				Inputs:    inputs,
+				Seed:      seed,
+				Adversary: sched.NewPCT(n, 50_000, depth, seed*77+int64(depth)),
+				MaxSteps:  100_000_000,
+			})
+			if err != nil || out.Err != nil {
+				continue
+			}
+			if _, err := out.Agreement(); err != nil {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("PCT sweep failed to rediscover the K=1 consistency bug that random schedules find easily")
+	}
+}

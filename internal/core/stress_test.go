@@ -1,0 +1,161 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/dsrepro/consensus/internal/sched"
+)
+
+// TestStressConsistencyAcrossSeedsAndAdversaries is the soak test: hundreds
+// of seeded executions per protocol across the full adversary zoo, each
+// checked for termination, consistency, and non-triviality (the decision is
+// some process's input). Run time is a few seconds; skipped with -short.
+func TestStressConsistencyAcrossSeedsAndAdversaries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test skipped in -short mode")
+	}
+	advs := []struct {
+		name string
+		mk   func(seed int64) sched.Adversary
+	}{
+		{"rr", func(int64) sched.Adversary { return sched.NewRoundRobin() }},
+		{"random", func(s int64) sched.Adversary { return sched.NewRandom(s) }},
+		{"lagger", func(s int64) sched.Adversary { return sched.NewLagger(int(s)%3, 24, s) }},
+		{"quantum", func(s int64) sched.Adversary { return sched.NewQuantum(32) }},
+		{"flipflop", func(s int64) sched.Adversary {
+			return sched.FuncAdversary(func(w []int, step int64) int {
+				if (step/32)%2 == 0 {
+					return w[0]
+				}
+				return w[len(w)-1]
+			})
+		}},
+	}
+	inputSets := [][]int{
+		{0, 0, 0},
+		{1, 1, 1},
+		{0, 1, 1},
+		{1, 0, 1, 0},
+		{1, 1, 0, 0, 1},
+	}
+	for _, kind := range allKinds {
+		for _, adv := range advs {
+			t.Run(fmt.Sprintf("%v/%s", kind, adv.name), func(t *testing.T) {
+				t.Parallel()
+				for seed := int64(0); seed < 25; seed++ {
+					inputs := inputSets[seed%int64(len(inputSets))]
+					out, err := Execute(kind, Config{B: 2}, ExecConfig{
+						Inputs:    inputs,
+						Seed:      seed,
+						Adversary: adv.mk(seed*37 + 5),
+						MaxSteps:  100_000_000,
+					})
+					if err != nil {
+						t.Fatalf("seed %d: %v", seed, err)
+					}
+					if out.Err != nil {
+						t.Fatalf("seed %d: run error %v (rounds %v)", seed, out.Err, out.Metrics.Rounds)
+					}
+					if !out.AllDecided() {
+						t.Fatalf("seed %d: not all decided", seed)
+					}
+					v, err := out.Agreement()
+					if err != nil {
+						t.Fatalf("seed %d: %v (values %v, inputs %v)", seed, err, out.Values, inputs)
+					}
+					hasInput := false
+					for _, in := range inputs {
+						if in == v {
+							hasInput = true
+						}
+					}
+					if !hasInput {
+						t.Fatalf("seed %d: decided %d, not among inputs %v (non-triviality)", seed, v, inputs)
+					}
+					allSame := true
+					for _, in := range inputs {
+						if in != inputs[0] {
+							allSame = false
+						}
+					}
+					if allSame && v != inputs[0] {
+						t.Fatalf("seed %d: validity violated: inputs %v, decided %d", seed, inputs, v)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestStressCrashQuorums crashes every proper subset pattern of a 4-process
+// run; survivors must decide and agree, for every protocol.
+func TestStressCrashQuorums(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test skipped in -short mode")
+	}
+	for _, kind := range allKinds {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			t.Parallel()
+			for mask := 1; mask < 15; mask++ { // at least one crash, at least one survivor
+				crashAt := map[int]int64{}
+				for pid := 0; pid < 4; pid++ {
+					if mask&(1<<pid) != 0 {
+						crashAt[pid] = int64(100 * (pid + 1))
+					}
+				}
+				for seed := int64(0); seed < 4; seed++ {
+					out, err := Execute(kind, Config{B: 2}, ExecConfig{
+						Inputs:    []int{0, 1, 1, 0},
+						Seed:      seed,
+						Adversary: sched.NewCrash(sched.NewRandom(seed+int64(mask)), crashAt),
+						MaxSteps:  100_000_000,
+					})
+					if err != nil {
+						t.Fatalf("mask %04b seed %d: %v", mask, seed, err)
+					}
+					for pid := 0; pid < 4; pid++ {
+						if mask&(1<<pid) == 0 && !out.Decided[pid] {
+							t.Fatalf("mask %04b seed %d: survivor %d undecided (err %v)", mask, seed, pid, out.Err)
+						}
+					}
+					if _, err := out.Agreement(); err != nil {
+						t.Fatalf("mask %04b seed %d: %v", mask, seed, err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestStressLargeN runs the bounded protocol at n=24 once per schedule to
+// catch scaling assumptions (graph decode, slot arithmetic) that small-n
+// tests would miss.
+func TestStressLargeN(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test skipped in -short mode")
+	}
+	const n = 24
+	inputs := make([]int, n)
+	for i := range inputs {
+		inputs[i] = i % 2
+	}
+	for _, adv := range []sched.Adversary{sched.NewRoundRobin(), sched.NewRandom(3)} {
+		out, err := Execute(KindBounded, Config{B: 1}, ExecConfig{
+			Inputs: inputs, Seed: 11, Adversary: adv, MaxSteps: 400_000_000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Err != nil {
+			t.Fatalf("run error: %v", out.Err)
+		}
+		if !out.AllDecided() {
+			t.Fatal("not all decided at n=24")
+		}
+		if _, err := out.Agreement(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"github.com/dsrepro/consensus/internal/register"
+	"github.com/dsrepro/consensus/internal/scan"
+	"github.com/dsrepro/consensus/internal/sched"
+)
+
+// Oracle models the Chor–Israeli–Li atomic coin-flip primitive: for each
+// round there is one globally shared random bit; the first process to flip
+// for a round draws it, and every later flipper for the same round observes
+// the same bit. One flip is one atomic step. (This is exactly the "powerful
+// atomic coin flip operation" whose availability [CIL87] assumes and whose
+// absence motivates the rest of the literature.)
+type Oracle struct {
+	mu   sync.Mutex
+	bits map[int64]int8
+}
+
+// NewOracle returns an empty oracle.
+func NewOracle() *Oracle { return &Oracle{bits: make(map[int64]int8)} }
+
+// Flip returns the shared random bit of the given round, drawing it from the
+// caller's randomness if this is the first flip for that round.
+func (o *Oracle) Flip(p *sched.Proc, round int64) int8 {
+	p.Step()
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if b, ok := o.bits[round]; ok {
+		return b
+	}
+	b := int8(p.Rand().Intn(2))
+	o.bits[round] = b
+	return b
+}
+
+// Rounds returns how many distinct rounds have been flipped (a space
+// accounting hook: the oracle's state grows with rounds).
+func (o *Oracle) Rounds() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return len(o.bits)
+}
+
+// StrongCoin is the CIL-style baseline: the unbounded round structure of
+// AHUnbounded with the Oracle primitive replacing the random-walk shared
+// coin. Because flippers of one round always agree, conflicts die in O(1)
+// expected rounds regardless of the adversary.
+type StrongCoin struct {
+	cfg    Config
+	mem    scan.Memory[UEntry]
+	oracle *Oracle
+
+	rounds   []atomic.Int64
+	flips    []atomic.Int64
+	maxRound atomic.Int64
+
+	traceSink
+}
+
+// NewStrongCoin builds a strong-coin baseline instance. B and M are ignored.
+func NewStrongCoin(cfg Config) (*StrongCoin, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	factory := register.DirectFactory
+	if cfg.UseBloomArrows {
+		factory = register.BloomFactory
+	}
+	mem, err := scan.New[UEntry](cfg.MemKind, cfg.N, factory)
+	if err != nil {
+		return nil, err
+	}
+	return &StrongCoin{
+		cfg:    cfg,
+		mem:    mem,
+		oracle: NewOracle(),
+		rounds: make([]atomic.Int64, cfg.N),
+		flips:  make([]atomic.Int64, cfg.N),
+	}, nil
+}
+
+// Name implements Protocol.
+func (s *StrongCoin) Name() string { return "strong-coin" }
+
+// Metrics implements Protocol.
+func (s *StrongCoin) Metrics() Metrics {
+	m := Metrics{
+		Rounds:    make([]int64, s.cfg.N),
+		CoinFlips: make([]int64, s.cfg.N),
+		MaxRound:  s.maxRound.Load(),
+	}
+	for i := 0; i < s.cfg.N; i++ {
+		m.Rounds[i] = s.rounds[i].Load()
+		m.CoinFlips[i] = s.flips[i].Load()
+	}
+	return m
+}
+
+func (s *StrongCoin) inc(p *sched.Proc, st UEntry) UEntry {
+	st = st.Clone()
+	st.Round++
+	s.rounds[p.ID()].Add(1)
+	atomicMax(&s.maxRound, st.Round)
+	s.emit(Event{Step: p.Now(), Pid: p.ID(), Kind: EvRoundAdvance, Round: st.Round})
+	return st
+}
+
+// Run implements Protocol for one process.
+func (s *StrongCoin) Run(p *sched.Proc, input int) int {
+	i := p.ID()
+	st := UEntry{Pref: int8(input)}
+	st = s.inc(p, st)
+	s.mem.Write(p, st)
+
+	for {
+		view := s.mem.Scan(p)
+		normalizeUView(view)
+		view[i] = st
+
+		rmax, agree, v := uLeaders(view)
+
+		if st.Pref != Bottom && st.Round == rmax {
+			ok := true
+			for j, ent := range view {
+				if j == i || ent.Pref == st.Pref {
+					continue
+				}
+				if ent.Round > st.Round-int64(s.cfg.K) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				s.emit(Event{Step: p.Now(), Pid: i, Kind: EvDecide, Round: st.Round, Detail: prefString(st.Pref)})
+				return int(st.Pref)
+			}
+		}
+
+		if agree {
+			st = s.inc(p, st)
+			st.Pref = v
+			s.mem.Write(p, st)
+			continue
+		}
+
+		// Conflict: withdraw first (the paper's ⊥ pause — see ExpLocal for
+		// why it is load-bearing), then one atomic oracle flip resolves the
+		// round's coin.
+		if st.Pref != Bottom {
+			st = st.Clone()
+			st.Pref = Bottom
+			s.mem.Write(p, st)
+			continue
+		}
+		bit := s.oracle.Flip(p, st.Round)
+		s.flips[i].Add(1)
+		s.emit(Event{Step: p.Now(), Pid: i, Kind: EvCoinFlip, Round: st.Round, Detail: "oracle=" + prefString(bit)})
+		st = s.inc(p, st)
+		st.Pref = bit
+		s.mem.Write(p, st)
+	}
+}

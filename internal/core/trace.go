@@ -1,0 +1,93 @@
+package core
+
+import "fmt"
+
+// EventKind classifies protocol trace events.
+type EventKind int
+
+// Trace event kinds.
+const (
+	// EvStart: the process wrote its initial preference.
+	EvStart EventKind = iota + 1
+	// EvRoundAdvance: the process performed inc (entered a new round).
+	EvRoundAdvance
+	// EvPrefChange: the process's published preference changed.
+	EvPrefChange
+	// EvCoinFlip: one random-walk step on the shared coin.
+	EvCoinFlip
+	// EvCoinDecided: the process observed a decided shared coin.
+	EvCoinDecided
+	// EvDecide: the process decided and halted.
+	EvDecide
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case EvStart:
+		return "start"
+	case EvRoundAdvance:
+		return "round+"
+	case EvPrefChange:
+		return "pref"
+	case EvCoinFlip:
+		return "flip"
+	case EvCoinDecided:
+		return "coin"
+	case EvDecide:
+		return "decide"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one protocol-level occurrence during a run.
+type Event struct {
+	// Step is the global scheduler step at emission.
+	Step int64
+	// Pid is the process the event belongs to.
+	Pid int
+	// Kind classifies the event.
+	Kind EventKind
+	// Round is the process's local round count at emission.
+	Round int64
+	// Detail is a short human-readable annotation (new preference, coin
+	// outcome, decided value, ...).
+	Detail string
+}
+
+// String implements fmt.Stringer.
+func (e Event) String() string {
+	s := fmt.Sprintf("step %7d  p%-2d r%-3d %-7s", e.Step, e.Pid, e.Round, e.Kind)
+	if e.Detail != "" {
+		s += " " + e.Detail
+	}
+	return s
+}
+
+// Tracer receives protocol events. Under the step scheduler invocations are
+// serialized; in free-running mode a Tracer must synchronize itself.
+type Tracer func(Event)
+
+// traceSink embeds an optional tracer into a protocol.
+type traceSink struct {
+	tracer Tracer
+}
+
+// SetTracer installs t (call before the run starts).
+func (s *traceSink) SetTracer(t Tracer) { s.tracer = t }
+
+// emit fires an event if a tracer is installed.
+func (s *traceSink) emit(e Event) {
+	if s.tracer != nil {
+		s.tracer(e)
+	}
+}
+
+// prefString renders a preference value for trace details.
+func prefString(p int8) string {
+	if p == Bottom {
+		return "⊥"
+	}
+	return fmt.Sprintf("%d", p)
+}

@@ -1,0 +1,218 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"github.com/dsrepro/consensus/internal/register"
+	"github.com/dsrepro/consensus/internal/scan"
+	"github.com/dsrepro/consensus/internal/sched"
+	"github.com/dsrepro/consensus/internal/walk"
+)
+
+// UEntry is the register value of the Aspnes–Herlihy-style unbounded
+// baseline: an explicit (unbounded) round number and an unbounded strip of
+// unbounded coin counters, one slot per round. This is the memory layout the
+// paper's contribution eliminates.
+type UEntry struct {
+	Pref  int8
+	Round int64
+	// Strip[r-1] is the process's contribution to the shared coin of round r.
+	// It only ever grows.
+	Strip []int
+}
+
+// Clone returns a deep copy safe to mutate.
+func (e UEntry) Clone() UEntry {
+	e.Strip = append([]int(nil), e.Strip...)
+	return e
+}
+
+// AHUnbounded is the unbounded polynomial-time baseline ([AH88]-style): the
+// same decide/adopt/flip structure as the bounded protocol, but rounds are
+// plain integers and every round has its own fresh unbounded coin counter.
+type AHUnbounded struct {
+	cfg    Config
+	params walk.Params // M unbounded
+	mem    scan.Memory[UEntry]
+
+	rounds   []atomic.Int64
+	flips    []atomic.Int64
+	maxAbs   atomic.Int64
+	maxRound atomic.Int64
+	stripLen atomic.Int64
+
+	traceSink
+}
+
+// NewAHUnbounded builds an unbounded-baseline instance. Config.M is ignored:
+// counters are always unbounded.
+func NewAHUnbounded(cfg Config) (*AHUnbounded, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	params := walk.Params{N: cfg.N, B: cfg.B} // M=0: unbounded
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	factory := register.DirectFactory
+	if cfg.UseBloomArrows {
+		factory = register.BloomFactory
+	}
+	mem, err := scan.New[UEntry](cfg.MemKind, cfg.N, factory)
+	if err != nil {
+		return nil, err
+	}
+	return &AHUnbounded{
+		cfg:    cfg,
+		params: params,
+		mem:    mem,
+		rounds: make([]atomic.Int64, cfg.N),
+		flips:  make([]atomic.Int64, cfg.N),
+	}, nil
+}
+
+// Name implements Protocol.
+func (u *AHUnbounded) Name() string { return "ah-unbounded" }
+
+// PeekEntry returns the current register value of process j without a
+// scheduler step — a hook for protocol-aware ("strong") adversaries and
+// metrics. Returns the zero entry if the memory implementation does not
+// support peeking.
+func (u *AHUnbounded) PeekEntry(j int) UEntry {
+	if p, ok := u.mem.(interface{ PeekSlot(int) UEntry }); ok {
+		return p.PeekSlot(j)
+	}
+	return UEntry{}
+}
+
+// Metrics implements Protocol.
+func (u *AHUnbounded) Metrics() Metrics {
+	m := Metrics{
+		Rounds:     make([]int64, u.cfg.N),
+		CoinFlips:  make([]int64, u.cfg.N),
+		MaxAbsCoin: u.maxAbs.Load(),
+		MaxRound:   u.maxRound.Load(),
+		StripLen:   u.stripLen.Load(),
+	}
+	for i := 0; i < u.cfg.N; i++ {
+		m.Rounds[i] = u.rounds[i].Load()
+		m.CoinFlips[i] = u.flips[i].Load()
+	}
+	return m
+}
+
+// coinValue sums every process's contribution to round r's coin.
+func (u *AHUnbounded) coinValue(view []UEntry, r int64) walk.Outcome {
+	c := make([]int, len(view))
+	for j, ent := range view {
+		if int(r) <= len(ent.Strip) {
+			c[j] = ent.Strip[r-1]
+		}
+	}
+	return u.params.Value(c)
+}
+
+// leaders returns the maximal round and whether all processes at it share one
+// non-Bottom preference (and that preference).
+func uLeaders(view []UEntry) (rmax int64, agree bool, v int8) {
+	for _, ent := range view {
+		if ent.Round > rmax {
+			rmax = ent.Round
+		}
+	}
+	v = Bottom
+	for _, ent := range view {
+		if ent.Round != rmax {
+			continue
+		}
+		if ent.Pref == Bottom {
+			return rmax, false, Bottom
+		}
+		if v == Bottom {
+			v = ent.Pref
+		} else if v != ent.Pref {
+			return rmax, false, Bottom
+		}
+	}
+	return rmax, v != Bottom, v
+}
+
+// inc advances the process's round, growing the strip with a fresh counter.
+func (u *AHUnbounded) inc(p *sched.Proc, st UEntry) UEntry {
+	st = st.Clone()
+	st.Round++
+	for int64(len(st.Strip)) < st.Round {
+		st.Strip = append(st.Strip, 0)
+	}
+	u.rounds[p.ID()].Add(1)
+	atomicMax(&u.maxRound, st.Round)
+	atomicMax(&u.stripLen, int64(len(st.Strip)))
+	u.emit(Event{Step: p.Now(), Pid: p.ID(), Kind: EvRoundAdvance, Round: st.Round})
+	return st
+}
+
+// Run implements Protocol for one process.
+func (u *AHUnbounded) Run(p *sched.Proc, input int) int {
+	i := p.ID()
+	st := UEntry{Pref: int8(input)}
+	st = u.inc(p, st)
+	u.mem.Write(p, st)
+	u.emit(Event{Step: p.Now(), Pid: i, Kind: EvStart, Round: st.Round, Detail: "pref=" + prefString(st.Pref)})
+
+	for {
+		view := u.mem.Scan(p)
+		normalizeUView(view)
+		view[i] = st
+
+		rmax, agree, v := uLeaders(view)
+
+		// Decide: leading, and every disagreer at least K rounds behind.
+		if st.Pref != Bottom && st.Round == rmax {
+			ok := true
+			for j, ent := range view {
+				if j == i || ent.Pref == st.Pref {
+					continue
+				}
+				if ent.Round > st.Round-int64(u.cfg.K) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				u.emit(Event{Step: p.Now(), Pid: i, Kind: EvDecide, Round: st.Round, Detail: prefString(st.Pref)})
+				return int(st.Pref)
+			}
+		}
+
+		// Adopt the leaders' common value.
+		if agree {
+			st = u.inc(p, st)
+			st.Pref = v
+			u.mem.Write(p, st)
+			continue
+		}
+
+		// Withdraw a conflicting preference.
+		if st.Pref != Bottom {
+			st = st.Clone()
+			st.Pref = Bottom
+			u.mem.Write(p, st)
+			continue
+		}
+
+		// Drive the coin of the current round.
+		switch cv := u.coinValue(view, st.Round); cv {
+		case walk.Undecided:
+			st = st.Clone()
+			st.Strip[st.Round-1] = u.params.StepCounter(st.Strip[st.Round-1], p.Rand())
+			u.flips[i].Add(1)
+			atomicMax(&u.maxAbs, int64(abs(st.Strip[st.Round-1])))
+			u.mem.Write(p, st)
+		default:
+			st = u.inc(p, st)
+			st.Pref = outcomeBit(cv)
+			u.mem.Write(p, st)
+		}
+	}
+}

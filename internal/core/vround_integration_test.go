@@ -1,0 +1,98 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/dsrepro/consensus/internal/sched"
+	"github.com/dsrepro/consensus/internal/vround"
+)
+
+// TestVirtualRoundsOnRealExecutions replays the §6.1 analysis on live runs of
+// the bounded protocol: feed every scan (in serialization order) to the
+// virtual-round tracker and check the properties the correctness proof needs:
+//
+//   - virtual rounds never decrease (§6.1),
+//   - every process decides at a virtual round >= 1,
+//   - Lemma 6.5: once some process has decided in virtual round r, no process
+//     is ever observed in a round larger than r + 2.
+func TestVirtualRoundsOnRealExecutions(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		const n = 4
+		proto, err := NewBounded(Config{N: n, B: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tracker := vround.New(n, proto.Config().K)
+		prev := tracker.Rounds()
+		firstDecision := int64(-1)
+		maxAfterDecision := int64(0)
+		var observeErr error
+		proto.OnScan = func(pid int, view []Entry) {
+			if observeErr != nil {
+				return
+			}
+			if err := tracker.Observe(edgeMatrix(view)); err != nil {
+				observeErr = err
+				return
+			}
+			cur := tracker.Rounds()
+			for j := range cur {
+				if cur[j] < prev[j] {
+					observeErr = errDecreased(j, prev[j], cur[j])
+					return
+				}
+			}
+			prev = cur
+			if firstDecision >= 0 && tracker.MaxRound() > maxAfterDecision {
+				maxAfterDecision = tracker.MaxRound()
+			}
+		}
+
+		inputs := make([]int, n)
+		for i := range inputs {
+			inputs[i] = i % 2
+		}
+		decideRounds := make([]int64, n)
+		_, err = sched.Run(sched.Config{
+			N: n, Seed: seed, Adversary: sched.NewRandom(seed*3 + 1), MaxSteps: 50_000_000,
+		}, func(p *sched.Proc) {
+			proto.Run(p, inputs[p.ID()])
+			// Decision happens immediately after the deciding scan; capture
+			// the decider's virtual round (serialized under the scheduler).
+			r := tracker.Round(p.ID())
+			decideRounds[p.ID()] = r
+			if firstDecision < 0 || r < firstDecision {
+				firstDecision = r
+				maxAfterDecision = tracker.MaxRound()
+			}
+		})
+		if err != nil {
+			t.Fatalf("seed %d: Run: %v", seed, err)
+		}
+		if observeErr != nil {
+			t.Fatalf("seed %d: %v", seed, observeErr)
+		}
+		for i, r := range decideRounds {
+			if r < 1 {
+				t.Fatalf("seed %d: process %d decided at virtual round %d", seed, i, r)
+			}
+		}
+		if firstDecision >= 0 && maxAfterDecision > firstDecision+2 {
+			t.Fatalf("seed %d: Lemma 6.5 violated: first decision at round %d, later round %d observed",
+				seed, firstDecision, maxAfterDecision)
+		}
+	}
+}
+
+func errDecreased(pid int, from, to int64) error {
+	return &vroundErr{pid: pid, from: from, to: to}
+}
+
+type vroundErr struct {
+	pid      int
+	from, to int64
+}
+
+func (e *vroundErr) Error() string {
+	return "virtual round decreased"
+}

@@ -1,0 +1,120 @@
+package harness
+
+import (
+	"fmt"
+
+	"github.com/dsrepro/consensus/internal/core"
+	"github.com/dsrepro/consensus/internal/scan"
+	"github.com/dsrepro/consensus/internal/sched"
+)
+
+// e11Ablations sweeps the design choices DESIGN.md calls out:
+//
+//   - the rounds-strip constant K (the paper fixes K=2; K=1 breaks
+//     consistency, K>2 only costs),
+//   - the coin barrier B (small B: frequent coin disagreement, more rounds;
+//     large B: longer walks — a U-shaped total-cost curve),
+//   - the snapshot implementation (bounded arrows vs unbounded seqsnap),
+//   - the 2W2R register substrate (direct atomic model vs Bloom's
+//     construction from SWMR registers).
+func e11Ablations() Experiment {
+	return Experiment{
+		ID: "E11", Title: "design-choice ablations (K, B, memory, registers)", PaperRef: "§4-§5 design choices",
+		Run: func(o RunOpts) []*Table {
+			const n = 4
+			trials := o.trials(40)
+			var tables []*Table
+
+			// --- K sweep: consistency and cost ---
+			kt := &Table{
+				Title:   fmt.Sprintf("rounds-strip constant K (n=%d, %d trials per K, random adversary)", n, trials),
+				Columns: []string{"K", "consistency violations", "steps mean"},
+			}
+			ks := []int{1, 2, 3}
+			if o.Quick {
+				ks = []int{1, 2}
+			}
+			for _, k := range ks {
+				violations := 0
+				var steps []float64
+				for s := 0; s < trials; s++ {
+					out, err := consensusTrial(core.KindBounded, core.Config{K: k, B: 2},
+						mixedInputs(n), o.Seed+int64(s*7+1), sched.NewRandom(int64(s*3+1)), 50_000_000)
+					if err != nil || out.Err != nil {
+						continue
+					}
+					if _, err := out.Agreement(); err != nil {
+						violations++
+						continue
+					}
+					steps = append(steps, float64(out.Sched.Steps))
+				}
+				kt.Add(k, violations, Mean(steps))
+			}
+			kt.Note("K=1 decides while a disagreer is only one round back and breaks consistency; the paper's K=2 is the minimum safe value.")
+			tables = append(tables, kt)
+
+			// --- B sweep: the coin trade-off ---
+			bt := &Table{
+				Title:   fmt.Sprintf("coin barrier B (n=%d, %d trials per B, lockstep schedule)", n, trials),
+				Columns: []string{"B", "steps mean", "coin flips mean", "rounds mean"},
+			}
+			bs := []int{1, 2, 4, 8, 16}
+			if o.Quick {
+				bs = []int{1, 4}
+			}
+			for _, b := range bs {
+				var steps, flips, rounds []float64
+				for s := 0; s < trials; s++ {
+					out, err := consensusTrial(core.KindBounded, core.Config{B: b},
+						mixedInputs(n), o.Seed+int64(s*11+2), sched.NewRoundRobin(), 50_000_000)
+					if err != nil || out.Err != nil {
+						continue
+					}
+					steps = append(steps, float64(out.Sched.Steps))
+					var f int64
+					for _, v := range out.Metrics.CoinFlips {
+						f += v
+					}
+					flips = append(flips, float64(f))
+					rounds = append(rounds, maxRounds(out))
+				}
+				bt.Add(b, Mean(steps), Mean(flips), Mean(rounds))
+			}
+			bt.Note("larger B lengthens each walk but rarely buys fewer rounds at this scale — the paper's analysis needs B = Θ(1) only.")
+			tables = append(tables, bt)
+
+			// --- substrate: memory and register implementations ---
+			st := &Table{
+				Title:   fmt.Sprintf("substrate variants (n=%d, %d trials each, random adversary)", n, trials),
+				Columns: []string{"variant", "steps mean", "steps p95"},
+			}
+			variants := []struct {
+				name string
+				cfg  core.Config
+			}{
+				{"arrow memory + direct 2W2R", core.Config{B: 2}},
+				{"arrow memory + Bloom 2W2R", core.Config{B: 2, UseBloomArrows: true}},
+				{"seqsnap memory (unbounded)", core.Config{B: 2, MemKind: scan.KindSeqSnap}},
+				{"waitfree snapshot (Afek et al.)", core.Config{B: 2, MemKind: scan.KindWaitFree}},
+				{"arrow + fast-decide (footnote 5)", core.Config{B: 2, FastDecide: true}},
+			}
+			for _, v := range variants {
+				var steps []float64
+				for s := 0; s < trials; s++ {
+					out, err := consensusTrial(core.KindBounded, v.cfg,
+						mixedInputs(n), o.Seed+int64(s*13+3), sched.NewRandom(int64(s*5+2)), 50_000_000)
+					if err != nil || out.Err != nil {
+						continue
+					}
+					steps = append(steps, float64(out.Sched.Steps))
+				}
+				st.Add(v.name, Mean(steps), Percentile(steps, 95))
+			}
+			st.Note("Bloom arrows double each arrow operation's step cost; the unbounded snapshot is cheaper per scan but pays with unbounded registers (E6).")
+			tables = append(tables, st)
+
+			return tables
+		},
+	}
+}

@@ -1,0 +1,242 @@
+package harness
+
+import (
+	"fmt"
+
+	"github.com/dsrepro/consensus/internal/sched"
+	"github.com/dsrepro/consensus/internal/walk"
+)
+
+// coinTrial runs one standalone shared-coin instance and reports whether all
+// processes agreed, the total walk steps, and whether any counter overflowed.
+func coinTrial(params walk.Params, seed int64) (agreed bool, steps int64, overflowed bool, err error) {
+	coin, err := walk.NewSharedCoin(params)
+	if err != nil {
+		return false, 0, false, err
+	}
+	outcomes := make([]walk.Outcome, params.N)
+	_, err = sched.Run(sched.Config{
+		N: params.N, Seed: seed,
+		Adversary: sched.NewRandom(seed ^ 0x9bdcf),
+		MaxSteps:  200_000_000,
+	}, func(p *sched.Proc) {
+		outcomes[p.ID()] = coin.Flip(p)
+	})
+	if err != nil {
+		return false, 0, false, err
+	}
+	agreed = true
+	for _, o := range outcomes {
+		if o != outcomes[0] {
+			agreed = false
+		}
+	}
+	overflowed = params.Bounded() && coin.MaxAbsCounter() > params.M
+	return agreed, coin.TotalWalkSteps(), overflowed, nil
+}
+
+// e1CoinAgreement measures the empirical coin disagreement probability as a
+// function of the barrier multiplier B (Lemma 3.1: bounded by (n-1)/(2B)).
+func e1CoinAgreement() Experiment {
+	return Experiment{
+		ID: "E1", Title: "shared-coin agreement vs barrier B", PaperRef: "Lemma 3.1",
+		Run: func(o RunOpts) []*Table {
+			const n = 8
+			bs := []int{1, 2, 4, 8, 16}
+			if o.Quick {
+				bs = []int{1, 4}
+			}
+			trials := o.trials(200)
+			t := &Table{
+				Title:   fmt.Sprintf("n=%d, %d trials per B, random adversary", n, trials),
+				Columns: []string{"B", "disagree(meas)", "bound (n-1)/2B", "within bound"},
+			}
+			for _, b := range bs {
+				params := walk.Params{N: n, B: b}
+				params.M = params.DefaultM()
+				dis := 0
+				for k := 0; k < trials; k++ {
+					agreed, _, _, err := coinTrial(params, o.Seed+int64(1000*b+k))
+					if err != nil {
+						t.Note("B=%d trial %d failed: %v", b, k, err)
+						continue
+					}
+					if !agreed {
+						dis++
+					}
+				}
+				meas := float64(dis) / float64(trials)
+				bound := params.TheoreticalDisagreement()
+				t.Add(b, meas, bound, meas <= bound)
+			}
+			t.Note("Lemma 3.1 is an upper bound on adversarial schedules; random schedules should sit well inside it.")
+
+			// Second table: a protocol-aware ("strong") adversary that tries
+			// to manufacture disagreement — it rushes a designated victim to
+			// scan whenever the walk hovers at the barrier, so the victim
+			// decides on a fleeting crossing while everyone else keeps
+			// walking and may exit through the other barrier.
+			adv := &Table{
+				Title:   fmt.Sprintf("n=%d, %d trials per B, barrier-chasing strong adversary", n, trials),
+				Columns: []string{"B", "disagree(meas)", "bound (n-1)/2B", "within bound"},
+			}
+			for _, b := range bs {
+				params := walk.Params{N: n, B: b}
+				params.M = params.DefaultM()
+				dis := 0
+				for k := 0; k < trials; k++ {
+					if strongAdversaryDisagrees(params, o.Seed+int64(9000*b+k)) {
+						dis++
+					}
+				}
+				meas := float64(dis) / float64(trials)
+				bound := params.TheoreticalDisagreement()
+				adv.Add(b, meas, bound, meas <= bound)
+			}
+			adv.Note("disagreement becomes visible and shrinks as B grows — Lemma 3.1's trade-off.")
+			return []*Table{t, adv}
+		},
+	}
+}
+
+// strongAdversaryDisagrees runs one coin instance under a barrier-chasing
+// adversary and reports whether processes disagreed on the outcome.
+func strongAdversaryDisagrees(params walk.Params, seed int64) bool {
+	coin, err := walk.NewSharedCoin(params)
+	if err != nil {
+		return false
+	}
+	outcomes := make([]walk.Outcome, params.N)
+	const victim = 0
+	barrier := params.B * params.N
+	adv := sched.FuncAdversary(func(waiting []int, step int64) int {
+		sum := coin.WalkValuePeek()
+		near := sum >= barrier-1 || sum <= -(barrier-1)
+		if near && outcomes[victim] == walk.Undecided {
+			for _, pid := range waiting {
+				if pid == victim {
+					return pid
+				}
+			}
+		}
+		// Otherwise keep the walk moving without the victim when possible.
+		for i := len(waiting) - 1; i >= 0; i-- {
+			if waiting[i] != victim {
+				return waiting[(int(step)+i)%len(waiting)]
+			}
+		}
+		return waiting[0]
+	})
+	_, err = sched.Run(sched.Config{N: params.N, Seed: seed, Adversary: adv, MaxSteps: 200_000_000},
+		func(p *sched.Proc) { outcomes[p.ID()] = coin.Flip(p) })
+	if err != nil {
+		return false
+	}
+	for _, o := range outcomes {
+		if o != outcomes[0] {
+			return true
+		}
+	}
+	return false
+}
+
+// e2CoinSteps measures expected total walk steps versus n (Lemma 3.2:
+// (B+1)·n²) and fits the growth exponent.
+func e2CoinSteps() Experiment {
+	return Experiment{
+		ID: "E2", Title: "shared-coin walk steps vs n", PaperRef: "Lemma 3.2",
+		Run: func(o RunOpts) []*Table {
+			const b = 3
+			ns := []int{2, 4, 8, 16, 32}
+			if o.Quick {
+				ns = []int{2, 4, 8}
+			}
+			trials := o.trials(25)
+			t := &Table{
+				Title:   fmt.Sprintf("B=%d, %d trials per n", b, trials),
+				Columns: []string{"n", "steps(meas mean)", "steps(meas p95)", "theory (B+1)^2 n^2", "ratio"},
+			}
+			var xs, ys []float64
+			for _, n := range ns {
+				params := walk.Params{N: n, B: b}
+				params.M = params.DefaultM()
+				var samples []float64
+				for k := 0; k < trials; k++ {
+					_, steps, _, err := coinTrial(params, o.Seed+int64(100*n+k))
+					if err != nil {
+						t.Note("n=%d trial %d failed: %v", n, k, err)
+						continue
+					}
+					samples = append(samples, float64(steps))
+				}
+				mean := Mean(samples)
+				theory := params.TheoreticalExpectedSteps()
+				t.Add(n, mean, Percentile(samples, 95), theory, mean/theory)
+				xs = append(xs, float64(n))
+				ys = append(ys, mean)
+			}
+			exp, _ := FitPowerLaw(xs, ys)
+			t.Note("fitted growth exponent: %.2f (theory: 2.0)", exp)
+			return []*Table{t}
+		},
+	}
+}
+
+// e3Overflow measures how often bounded counters saturate (forcing heads) as
+// a function of the bound M (Lemmas 3.3/3.4: vanishing for M >> barrier).
+func e3Overflow() Experiment {
+	return Experiment{
+		ID: "E3", Title: "counter-overflow frequency vs bound M", PaperRef: "Lemmas 3.3/3.4",
+		Run: func(o RunOpts) []*Table {
+			const n, b = 4, 2
+			barrier := b * n
+			ms := []int{barrier, 2 * barrier, 4 * barrier, barrier * barrier, 4 * barrier * barrier}
+			if o.Quick {
+				ms = []int{barrier, 4 * barrier}
+			}
+			trials := o.trials(200)
+			t := &Table{
+				Title:   fmt.Sprintf("n=%d B=%d (barrier %d), %d trials per M", n, b, barrier, trials),
+				Columns: []string{"M", "overflow freq", "heads freq", "disagree freq"},
+			}
+			for _, m := range ms {
+				params := walk.Params{N: n, B: b, M: m}
+				over, heads, dis := 0, 0, 0
+				for k := 0; k < trials; k++ {
+					coin, err := walk.NewSharedCoin(params)
+					if err != nil {
+						t.Note("M=%d: %v", m, err)
+						break
+					}
+					outcomes := make([]walk.Outcome, n)
+					_, err = sched.Run(sched.Config{
+						N: n, Seed: o.Seed + int64(17*m+k),
+						Adversary: sched.NewRandom(int64(m + k)),
+						MaxSteps:  200_000_000,
+					}, func(p *sched.Proc) { outcomes[p.ID()] = coin.Flip(p) })
+					if err != nil {
+						t.Note("M=%d trial %d: %v", m, k, err)
+						continue
+					}
+					if coin.MaxAbsCounter() > m {
+						over++
+					}
+					agreedHeads := true
+					for _, oc := range outcomes {
+						if oc != outcomes[0] {
+							dis++
+							agreedHeads = false
+							break
+						}
+					}
+					if agreedHeads && outcomes[0] == walk.Heads {
+						heads++
+					}
+				}
+				t.Add(m, float64(over)/float64(trials), float64(heads)/float64(trials), float64(dis)/float64(trials))
+			}
+			t.Note("overflow frequency must vanish as M grows past the barrier; heads freq should approach 1/2.")
+			return []*Table{t}
+		},
+	}
+}

@@ -1,0 +1,127 @@
+package harness
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanStddevPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if Mean(xs) != 3 {
+		t.Fatalf("Mean = %v", Mean(xs))
+	}
+	if s := Stddev(xs); math.Abs(s-math.Sqrt(2.5)) > 1e-12 {
+		t.Fatalf("Stddev = %v", s)
+	}
+	if Percentile(xs, 0) != 1 || Percentile(xs, 100) != 5 {
+		t.Fatal("percentile extremes wrong")
+	}
+	if Percentile(xs, 50) != 3 {
+		t.Fatalf("median = %v", Percentile(xs, 50))
+	}
+	if Mean(nil) != 0 || Stddev(nil) != 0 || Percentile(nil, 50) != 0 || Max(nil) != 0 {
+		t.Fatal("empty-input behaviour wrong")
+	}
+	if Max(xs) != 5 {
+		t.Fatalf("Max = %v", Max(xs))
+	}
+}
+
+func TestFitPowerLawRecoversExponent(t *testing.T) {
+	xs := []float64{2, 4, 8, 16, 32}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3.5 * math.Pow(x, 2.25)
+	}
+	e, c := FitPowerLaw(xs, ys)
+	if math.Abs(e-2.25) > 1e-9 || math.Abs(c-3.5) > 1e-9 {
+		t.Fatalf("fit = (%v, %v), want (2.25, 3.5)", e, c)
+	}
+	if e, _ := FitPowerLaw([]float64{1}, []float64{1}); e != 0 {
+		t.Fatal("short input must return 0")
+	}
+	if e, _ := FitPowerLaw([]float64{1, -2}, []float64{1, 2}); e != 0 {
+		t.Fatal("non-positive input must return 0")
+	}
+}
+
+func TestQuickFitPowerLawExact(t *testing.T) {
+	f := func(e8 uint8, c8 uint8) bool {
+		e := float64(e8%50)/10 + 0.1
+		c := float64(c8%90)/10 + 0.1
+		xs := []float64{1, 2, 3, 5, 8, 13}
+		ys := make([]float64, len(xs))
+		for i, x := range xs {
+			ys[i] = c * math.Pow(x, e)
+		}
+		ge, gc := FitPowerLaw(xs, ys)
+		return math.Abs(ge-e) < 1e-6 && math.Abs(gc-c) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{Title: "demo", Columns: []string{"a", "bb"}}
+	tab.Add(1, 2.5)
+	tab.Add("x", "y")
+	tab.Note("hello %d", 7)
+	var buf bytes.Buffer
+	tab.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"## demo", "a", "bb", "2.500", "hello 7"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistryCompleteAndOrdered(t *testing.T) {
+	es := All()
+	if len(es) != 12 {
+		t.Fatalf("expected 12 experiments, got %d", len(es))
+	}
+	for i, e := range es {
+		if e.ID == "" || e.Title == "" || e.PaperRef == "" || e.Run == nil {
+			t.Fatalf("experiment %d incomplete: %+v", i, e)
+		}
+		if idNum(e.ID) != i+1 {
+			t.Fatalf("experiments out of order: %v at %d", e.ID, i)
+		}
+	}
+	if _, ok := Get("E3"); !ok {
+		t.Fatal("Get(E3) failed")
+	}
+	if _, ok := Get("E99"); ok {
+		t.Fatal("Get(E99) should fail")
+	}
+}
+
+// TestAllExperimentsRunQuick executes every experiment in quick mode — a
+// smoke test that the full harness produces tables without errors.
+func TestAllExperimentsRunQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness smoke test skipped in -short mode")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			RunAndRender(e, RunOpts{Quick: true, Trials: 3, Seed: 12345}, &buf)
+			out := buf.String()
+			if !strings.Contains(out, e.ID) {
+				t.Fatalf("output missing header:\n%s", out)
+			}
+			if strings.Count(out, "\n") < 4 {
+				t.Fatalf("suspiciously short output:\n%s", out)
+			}
+			if strings.Contains(out, "failed:") {
+				t.Fatalf("experiment reported failures:\n%s", out)
+			}
+		})
+	}
+}

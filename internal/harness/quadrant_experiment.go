@@ -1,0 +1,81 @@
+package harness
+
+import (
+	"fmt"
+
+	"github.com/dsrepro/consensus/internal/core"
+	"github.com/dsrepro/consensus/internal/sched"
+)
+
+// e12Quadrants is the capstone: the full design matrix the paper's
+// introduction narrates, measured. Four protocols cover the four quadrants
+// of {bounded, unbounded} space × {polynomial, exponential} expected time:
+//
+//	                 exponential time        polynomial time
+//	unbounded space  Abrahamson [A88]        AHUnbounded [AH88]
+//	bounded space    ExpLocal [ADS89-style]  Bounded (this paper)
+//
+// Space is classified from measured register contents (explicit round
+// numbers present or not); time from total-step growth under the lockstep
+// schedule, where the local-coin protocols blow up exponentially.
+func e12Quadrants() Experiment {
+	return Experiment{
+		ID: "E12", Title: "the space/time quadrant matrix, measured", PaperRef: "§1 (problem statement and related work)",
+		Run: func(o RunOpts) []*Table {
+			trials := o.trials(8)
+			nSmall, nBig := 6, 12
+			if o.Quick {
+				nSmall, nBig = 3, 4
+			}
+			const budget = 200_000_000
+
+			kinds := []core.Kind{core.KindBounded, core.KindAHUnbounded, core.KindExpLocal, core.KindAbrahamson}
+			t := &Table{
+				Title: fmt.Sprintf("lockstep schedule, mixed inputs, %d trials per cell (n=%d and n=%d)", trials, nSmall, nBig),
+				Columns: []string{
+					"protocol", "rounds stored", "space class",
+					fmt.Sprintf("steps n=%d", nSmall), fmt.Sprintf("steps n=%d", nBig), "growth", "time class",
+				},
+			}
+			for _, kind := range kinds {
+				measure := func(n int) (float64, bool) {
+					var steps []float64
+					unboundedSpace := false
+					for k := 0; k < trials; k++ {
+						out, err := consensusTrial(kind, core.Config{B: 2}, mixedInputs(n),
+							o.Seed+int64(17*n+k), sched.NewRoundRobin(), budget)
+						if err != nil || out.Err != nil {
+							continue
+						}
+						steps = append(steps, float64(out.Sched.Steps))
+						if out.Metrics.MaxRound > 0 {
+							unboundedSpace = true
+						}
+					}
+					return Mean(steps), unboundedSpace
+				}
+				small, ub1 := measure(nSmall)
+				big, ub2 := measure(nBig)
+				unbounded := ub1 || ub2
+				growth := 0.0
+				if small > 0 {
+					growth = big / small
+				}
+				spaceClass := "bounded"
+				if unbounded {
+					spaceClass = "UNBOUNDED"
+				}
+				// Polynomial reference: n doubling from nSmall to nBig with a
+				// degree<=4 polynomial grows at most 2^4 = 16x; the
+				// exponential protocols grow far faster under lockstep.
+				timeClass := "polynomial"
+				if growth > 40 {
+					timeClass = "EXPONENTIAL"
+				}
+				t.Add(kind.String(), unbounded, spaceClass, small, big, fmt.Sprintf("%.1fx", growth), timeClass)
+			}
+			t.Note("the paper's contribution is the bottom-right cell: bounded space AND polynomial time.")
+			return []*Table{t}
+		},
+	}
+}

@@ -1,0 +1,85 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// RunOpts scales an experiment run.
+type RunOpts struct {
+	// Trials is the per-configuration trial count (each experiment applies
+	// its own sensible floor/ceiling). Zero picks the default.
+	Trials int
+	// Seed drives all randomness.
+	Seed int64
+	// Quick shrinks sweeps for smoke tests and benchmarks.
+	Quick bool
+}
+
+func (o RunOpts) trials(def int) int {
+	t := o.Trials
+	if t <= 0 {
+		t = def
+	}
+	if o.Quick && t > 5 {
+		t = 5
+	}
+	return t
+}
+
+// Experiment is one reproducible experiment from DESIGN.md §5.
+type Experiment struct {
+	// ID is the experiment identifier ("E1" .. "E10").
+	ID string
+	// Title is a short human label.
+	Title string
+	// PaperRef names the lemma/claim of the paper the experiment probes.
+	PaperRef string
+	// Run executes the experiment and returns its result tables.
+	Run func(o RunOpts) []*Table
+}
+
+// All returns every experiment in ID order.
+func All() []Experiment {
+	es := []Experiment{
+		e1CoinAgreement(),
+		e2CoinSteps(),
+		e3Overflow(),
+		e4Rounds(),
+		e5TotalWork(),
+		e6Space(),
+		e7ScanRetries(),
+		e8StripRange(),
+		e9Adversaries(),
+		e10WalkTrace(),
+		e11Ablations(),
+		e12Quadrants(),
+	}
+	sort.Slice(es, func(i, j int) bool { return idNum(es[i].ID) < idNum(es[j].ID) })
+	return es
+}
+
+func idNum(id string) int {
+	var n int
+	fmt.Sscanf(id, "E%d", &n)
+	return n
+}
+
+// Get returns the experiment with the given ID.
+func Get(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// RunAndRender runs an experiment and writes its tables to w.
+func RunAndRender(e Experiment, o RunOpts, w io.Writer) {
+	fmt.Fprintf(w, "# %s — %s  (paper: %s)\n\n", e.ID, e.Title, e.PaperRef)
+	for _, t := range e.Run(o) {
+		t.Render(w)
+	}
+}

@@ -1,0 +1,111 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Format selects an output rendering for experiment tables.
+type Format int
+
+// Output formats.
+const (
+	// FormatText is the fixed-width plain-text rendering (default).
+	FormatText Format = iota + 1
+	// FormatMarkdown renders GitHub-flavoured markdown tables.
+	FormatMarkdown
+	// FormatCSV renders one CSV block per table, prefixed with a comment
+	// line carrying the title.
+	FormatCSV
+)
+
+// ParseFormat maps a flag value to a Format.
+func ParseFormat(s string) (Format, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "text":
+		return FormatText, nil
+	case "markdown", "md":
+		return FormatMarkdown, nil
+	case "csv":
+		return FormatCSV, nil
+	default:
+		return 0, fmt.Errorf("harness: unknown format %q (want text, markdown or csv)", s)
+	}
+}
+
+// RenderAs writes the table in the requested format.
+func (t *Table) RenderAs(w io.Writer, f Format) {
+	switch f {
+	case FormatMarkdown:
+		t.renderMarkdown(w)
+	case FormatCSV:
+		t.renderCSV(w)
+	default:
+		t.Render(w)
+	}
+}
+
+func (t *Table) renderMarkdown(w io.Writer) {
+	fmt.Fprintf(w, "### %s\n\n", t.Title)
+	fmt.Fprintf(w, "| %s |\n", strings.Join(escapeCells(t.Columns, "|", "\\|"), " | "))
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	fmt.Fprintf(w, "| %s |\n", strings.Join(sep, " | "))
+	for _, row := range t.Rows {
+		fmt.Fprintf(w, "| %s |\n", strings.Join(escapeCells(row, "|", "\\|"), " | "))
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "\n*%s*\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+func (t *Table) renderCSV(w io.Writer) {
+	fmt.Fprintf(w, "# %s\n", t.Title)
+	fmt.Fprintln(w, strings.Join(csvCells(t.Columns), ","))
+	for _, row := range t.Rows {
+		fmt.Fprintln(w, strings.Join(csvCells(row), ","))
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "# %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+func escapeCells(cells []string, old, new string) []string {
+	out := make([]string, len(cells))
+	for i, c := range cells {
+		out[i] = strings.ReplaceAll(c, old, new)
+	}
+	return out
+}
+
+func csvCells(cells []string) []string {
+	out := make([]string, len(cells))
+	for i, c := range cells {
+		if strings.ContainsAny(c, ",\"\n") {
+			c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+		}
+		out[i] = c
+	}
+	return out
+}
+
+// RunAndRenderAs runs an experiment and writes its tables in the requested
+// format.
+func RunAndRenderAs(e Experiment, o RunOpts, w io.Writer, f Format) {
+	switch f {
+	case FormatMarkdown:
+		fmt.Fprintf(w, "## %s — %s  (paper: %s)\n\n", e.ID, e.Title, e.PaperRef)
+	case FormatCSV:
+		fmt.Fprintf(w, "# === %s — %s (paper: %s) ===\n", e.ID, e.Title, e.PaperRef)
+	default:
+		fmt.Fprintf(w, "# %s — %s  (paper: %s)\n\n", e.ID, e.Title, e.PaperRef)
+	}
+	for _, t := range e.Run(o) {
+		t.RenderAs(w, f)
+	}
+}

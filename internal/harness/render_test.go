@@ -1,0 +1,102 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sampleTable() *Table {
+	t := &Table{Title: "sample", Columns: []string{"a", "b|c"}}
+	t.Add(1, "x,y")
+	t.Add(2.5, `quo"te`)
+	t.Note("note %d", 1)
+	return t
+}
+
+func TestParseFormat(t *testing.T) {
+	cases := map[string]Format{
+		"":         FormatText,
+		"text":     FormatText,
+		"markdown": FormatMarkdown,
+		"MD":       FormatMarkdown,
+		"csv":      FormatCSV,
+	}
+	for s, want := range cases {
+		got, err := ParseFormat(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseFormat(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseFormat("xml"); err == nil {
+		t.Fatal("expected error for unknown format")
+	}
+}
+
+func TestRenderMarkdown(t *testing.T) {
+	var buf bytes.Buffer
+	sampleTable().RenderAs(&buf, FormatMarkdown)
+	out := buf.String()
+	for _, want := range []string{"### sample", "| a | b\\|c |", "| --- | --- |", "| 1 | x,y |", "*note 1*"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	var buf bytes.Buffer
+	sampleTable().RenderAs(&buf, FormatCSV)
+	out := buf.String()
+	for _, want := range []string{"# sample", "a,b|c", `1,"x,y"`, `2.500,"quo""te"`, "# note 1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("csv missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderAsTextDefault(t *testing.T) {
+	var buf bytes.Buffer
+	sampleTable().RenderAs(&buf, FormatText)
+	if !strings.Contains(buf.String(), "## sample") {
+		t.Fatalf("text render wrong:\n%s", buf.String())
+	}
+}
+
+func TestRunAndRenderAsHeaders(t *testing.T) {
+	e, ok := Get("E8")
+	if !ok {
+		t.Fatal("E8 missing")
+	}
+	for f, want := range map[Format]string{
+		FormatText:     "# E8 —",
+		FormatMarkdown: "## E8 —",
+		FormatCSV:      "# === E8 —",
+	} {
+		var buf bytes.Buffer
+		RunAndRenderAs(e, RunOpts{Quick: true, Trials: 2, Seed: 1}, &buf, f)
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("format %d missing header %q", int(f), want)
+		}
+	}
+}
+
+func TestHistString(t *testing.T) {
+	got := histString(map[int64]int{3: 2, 1: 5})
+	if got != "1:5 3:2 " {
+		t.Fatalf("histString = %q", got)
+	}
+	if histString(nil) != "" {
+		t.Fatal("empty histogram should render empty")
+	}
+}
+
+func TestMixedInputs(t *testing.T) {
+	in := mixedInputs(5)
+	want := []int{0, 1, 0, 1, 0}
+	for i := range want {
+		if in[i] != want[i] {
+			t.Fatalf("mixedInputs = %v", in)
+		}
+	}
+}

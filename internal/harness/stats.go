@@ -1,0 +1,113 @@
+// Package harness provides the experiment infrastructure that regenerates
+// every quantitative claim of the paper (see DESIGN.md §5 and
+// EXPERIMENTS.md): workload construction, parameter sweeps, summary
+// statistics, power-law fitting, and fixed-width table rendering shared by
+// cmd/experiments and the root benchmark suite.
+package harness
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Stddev returns the sample standard deviation of xs (0 for fewer than two
+// samples).
+func Stddev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		s += (x - m) * (x - m)
+	}
+	return math.Sqrt(s / float64(len(xs)-1))
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using
+// nearest-rank on a sorted copy.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	rank := int(math.Ceil(p/100*float64(len(s)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return s[rank]
+}
+
+// Max returns the maximum of xs (0 for empty input).
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// FitPowerLaw fits y = c·x^e by least squares in log-log space and returns
+// the exponent e and coefficient c. All inputs must be positive; series
+// shorter than 2 return (0, 0).
+func FitPowerLaw(xs, ys []float64) (exponent, coeff float64) {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return 0, 0
+	}
+	var sx, sy, sxx, sxy float64
+	n := float64(len(xs))
+	for i := range xs {
+		if xs[i] <= 0 || ys[i] <= 0 {
+			return 0, 0
+		}
+		lx, ly := math.Log(xs[i]), math.Log(ys[i])
+		sx += lx
+		sy += ly
+		sxx += lx * lx
+		sxy += lx * ly
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0, 0
+	}
+	exponent = (n*sxy - sx*sy) / den
+	coeff = math.Exp((sy - exponent*sx) / n)
+	return exponent, coeff
+}
+
+// F formats a float compactly for tables.
+func F(x float64) string {
+	switch {
+	case x == math.Trunc(x) && math.Abs(x) < 1e7:
+		return fmt.Sprintf("%.0f", x)
+	case math.Abs(x) >= 1000:
+		return fmt.Sprintf("%.3g", x)
+	default:
+		return fmt.Sprintf("%.3f", x)
+	}
+}

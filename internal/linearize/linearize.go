@@ -1,0 +1,170 @@
+// Package linearize provides a Wing–Gong style linearizability checker for
+// single-register read/write histories. It is a test oracle: the register
+// constructions in internal/register and the atomicity assumptions of the
+// scannable memory are validated by recording operation histories under
+// adversarial schedules and asking this package whether each history is
+// linearizable with respect to a sequential register.
+//
+// The search is exponential in the worst case but histories produced by the
+// tests are small (tens of operations), and memoization on (completed-set,
+// register-value) keeps it fast in practice.
+package linearize
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Op is one completed operation on a single register.
+type Op struct {
+	Proc    int   // process that performed the operation
+	IsWrite bool  // write or read
+	Val     int   // value written, or value the read returned
+	Start   int64 // global step at invocation
+	End     int64 // global step at response; must be >= Start
+}
+
+func (o Op) String() string {
+	kind := "R"
+	if o.IsWrite {
+		kind = "W"
+	}
+	return fmt.Sprintf("%s(p%d,v%d)[%d,%d]", kind, o.Proc, o.Val, o.Start, o.End)
+}
+
+// History is a set of completed operations on one register.
+type History []Op
+
+// Check reports whether h is linearizable for an atomic read/write register
+// with the given initial value: there must exist a total order of the
+// operations that respects real-time precedence (a.End < b.Start ⇒ a before
+// b) in which every read returns the value of the latest preceding write (or
+// init if none precedes it).
+//
+// Histories longer than 64 operations are rejected with an error (the checker
+// uses a bitmask over operations).
+func Check(h History, init int) (bool, error) {
+	n := len(h)
+	if n == 0 {
+		return true, nil
+	}
+	if n > 64 {
+		return false, fmt.Errorf("linearize: history too long (%d ops, max 64)", n)
+	}
+	ops := make([]Op, n)
+	copy(ops, h)
+	sort.SliceStable(ops, func(i, j int) bool { return ops[i].Start < ops[j].Start })
+	for _, o := range ops {
+		if o.End < o.Start {
+			return false, fmt.Errorf("linearize: operation %v ends before it starts", o)
+		}
+	}
+
+	// precedes[i] lists ops that must come after op i is scheduled... we need
+	// the converse: an op is a candidate to linearize next iff no pending op
+	// strictly precedes it in real time.
+	type key struct {
+		mask uint64
+		val  int
+	}
+	seen := make(map[key]bool)
+
+	var dfs func(doneMask uint64, cur int) bool
+	dfs = func(doneMask uint64, cur int) bool {
+		if doneMask == (uint64(1)<<n)-1 {
+			return true
+		}
+		k := key{doneMask, cur}
+		if seen[k] {
+			return false
+		}
+		seen[k] = true
+		for i := 0; i < n; i++ {
+			if doneMask&(1<<i) != 0 {
+				continue
+			}
+			// i is a candidate iff no other pending op strictly precedes it.
+			candidate := true
+			for j := 0; j < n; j++ {
+				if j == i || doneMask&(1<<j) != 0 {
+					continue
+				}
+				if ops[j].End < ops[i].Start {
+					candidate = false
+					break
+				}
+			}
+			if !candidate {
+				continue
+			}
+			if ops[i].IsWrite {
+				if dfs(doneMask|1<<i, ops[i].Val) {
+					return true
+				}
+			} else if ops[i].Val == cur {
+				if dfs(doneMask|1<<i, cur) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return dfs(0, init), nil
+}
+
+// CheckRegularSWMR verifies the regular-register contract on a single-writer
+// history: every read must return either the value of the latest write that
+// completed before the read began (or init if none), or the value of some
+// write overlapping the read. Writes must be sequential (single writer).
+func CheckRegularSWMR(h History, init int) (bool, error) {
+	var writes []Op
+	var reads []Op
+	for _, o := range h {
+		if o.End < o.Start {
+			return false, fmt.Errorf("linearize: operation %v ends before it starts", o)
+		}
+		if o.IsWrite {
+			writes = append(writes, o)
+		} else {
+			reads = append(reads, o)
+		}
+	}
+	sort.SliceStable(writes, func(i, j int) bool { return writes[i].Start < writes[j].Start })
+	for i := 1; i < len(writes); i++ {
+		// End == Start of the next op is adjacency under the step-clock
+		// convention (Start is sampled before the op's first step), not
+		// overlap.
+		if writes[i-1].End > writes[i].Start {
+			return false, fmt.Errorf("linearize: writes overlap in single-writer history: %v, %v", writes[i-1], writes[i])
+		}
+	}
+	for _, r := range reads {
+		allowed := map[int]bool{}
+		latest := init
+		for _, w := range writes {
+			if w.End < r.Start {
+				latest = w.Val // writes sorted: last such wins
+			} else if w.Start <= r.End {
+				allowed[w.Val] = true // overlapping write
+			}
+		}
+		allowed[latest] = true
+		if !allowed[r.Val] {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// Recorder collects a History from concurrent operations. It is not itself
+// synchronized; under the step scheduler the recorded sections are naturally
+// serialized, and free-running tests must guard it externally.
+type Recorder struct {
+	ops History
+}
+
+// Add appends one completed operation.
+func (r *Recorder) Add(op Op) { r.ops = append(r.ops, op) }
+
+// History returns the recorded operations.
+func (r *Recorder) History() History { return r.ops }

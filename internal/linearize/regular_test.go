@@ -1,0 +1,101 @@
+package linearize
+
+import "testing"
+
+func mustRegular(t *testing.T, h History, init int) bool {
+	t.Helper()
+	ok, err := CheckRegularSWMR(h, init)
+	if err != nil {
+		t.Fatalf("CheckRegularSWMR: %v", err)
+	}
+	return ok
+}
+
+func TestRegularEmptyAndInitOnly(t *testing.T) {
+	if !mustRegular(t, nil, 0) {
+		t.Fatal("empty history must be regular")
+	}
+	h := History{{Proc: 1, Val: 7, Start: 0, End: 1}}
+	if mustRegular(t, h, 0) {
+		t.Fatal("read of unwritten value must fail")
+	}
+	if !mustRegular(t, h, 7) {
+		t.Fatal("read of init must pass")
+	}
+}
+
+func TestRegularLatestCompletedWrite(t *testing.T) {
+	h := History{
+		{Proc: 0, IsWrite: true, Val: 1, Start: 0, End: 1},
+		{Proc: 0, IsWrite: true, Val: 2, Start: 2, End: 3},
+		{Proc: 1, Val: 2, Start: 4, End: 5},
+	}
+	if !mustRegular(t, h, 0) {
+		t.Fatal("read of latest completed write must pass")
+	}
+	h[2].Val = 1 // stale: an intervening write completed
+	if mustRegular(t, h, 0) {
+		t.Fatal("stale read must fail regularity")
+	}
+}
+
+func TestRegularOverlappingWriteAllowsOldOrNew(t *testing.T) {
+	w := Op{Proc: 0, IsWrite: true, Val: 5, Start: 10, End: 20}
+	for _, val := range []int{0, 5} {
+		h := History{w, {Proc: 1, Val: val, Start: 12, End: 18}}
+		if !mustRegular(t, h, 0) {
+			t.Fatalf("overlapping read of %d must pass", val)
+		}
+	}
+	h := History{w, {Proc: 1, Val: 9, Start: 12, End: 18}}
+	if mustRegular(t, h, 0) {
+		t.Fatal("overlapping read must not invent values")
+	}
+}
+
+func TestRegularPermitsNewOldInversion(t *testing.T) {
+	// The defining gap between regular and atomic: two sequential reads
+	// overlapping one write may return new then old.
+	h := History{
+		{Proc: 0, IsWrite: true, Val: 1, Start: 0, End: 100},
+		{Proc: 1, Val: 1, Start: 10, End: 20},
+		{Proc: 1, Val: 0, Start: 30, End: 40},
+	}
+	if !mustRegular(t, h, 0) {
+		t.Fatal("regularity must permit new-old inversion")
+	}
+	// ... which atomicity must reject.
+	ok, err := Check(h, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("atomicity must reject new-old inversion")
+	}
+}
+
+func TestRegularRejectsMalformedHistories(t *testing.T) {
+	h := History{{Proc: 0, IsWrite: true, Val: 1, Start: 5, End: 3}}
+	if _, err := CheckRegularSWMR(h, 0); err == nil {
+		t.Fatal("expected error for End < Start")
+	}
+	h = History{
+		{Proc: 0, IsWrite: true, Val: 1, Start: 0, End: 10},
+		{Proc: 0, IsWrite: true, Val: 2, Start: 5, End: 15},
+	}
+	if _, err := CheckRegularSWMR(h, 0); err == nil {
+		t.Fatal("expected error for overlapping single-writer writes")
+	}
+}
+
+func TestRegularAdjacentWritesAreNotOverlap(t *testing.T) {
+	// End == next Start is adjacency under the step-clock convention.
+	h := History{
+		{Proc: 0, IsWrite: true, Val: 1, Start: 0, End: 5},
+		{Proc: 0, IsWrite: true, Val: 2, Start: 5, End: 9},
+		{Proc: 1, Val: 2, Start: 10, End: 11},
+	}
+	if !mustRegular(t, h, 0) {
+		t.Fatal("adjacent writes must be accepted")
+	}
+}

@@ -1,0 +1,227 @@
+// Package register models the atomic read/write registers the paper builds
+// on: single-writer multi-reader (SWMR) atomic registers, toggle-bit wrappers
+// (the paper adds an alternating bit to every V_i so consecutive writes always
+// differ), and two-writer two-reader (2W2R) atomic registers — both a direct
+// model and Bloom's 1987 construction of a 2W2R register from two SWMR
+// registers, the construction the paper cites for its arrow registers.
+//
+// Every register operation counts as one atomic step of the owning process:
+// implementations call Proc.Step before touching shared state, so under the
+// step scheduler (package sched) register operations serialize exactly at the
+// scheduler's grant points. A mutex guards the stored value only to keep
+// free-running mode (real goroutines) race-free; under the step scheduler it
+// is never contended.
+package register
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/dsrepro/consensus/internal/sched"
+)
+
+// SWMR is a single-writer multi-reader atomic register holding a value of
+// type T. Only the owner process may write; any process may read. It models a
+// hardware atomic register: one read or write is one atomic step.
+type SWMR[T any] struct {
+	owner int
+	mu    sync.Mutex
+	v     T
+}
+
+// NewSWMR returns an SWMR register owned (writable) by process owner,
+// initialized to init.
+func NewSWMR[T any](owner int, init T) *SWMR[T] {
+	return &SWMR[T]{owner: owner, v: init}
+}
+
+// Owner returns the pid of the register's single writer.
+func (r *SWMR[T]) Owner() int { return r.owner }
+
+// Read returns the register's current value. One atomic step.
+func (r *SWMR[T]) Read(p *sched.Proc) T {
+	p.Step()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.v
+}
+
+// Write stores v. One atomic step. Calling Write from a process other than
+// the owner is a bug in the algorithm under simulation and panics.
+func (r *SWMR[T]) Write(p *sched.Proc, v T) {
+	if p.ID() != r.owner {
+		panic(fmt.Sprintf("register: process %d wrote SWMR register owned by %d", p.ID(), r.owner))
+	}
+	p.Step()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.v = v
+}
+
+// Peek returns the current value without a scheduler step or process context.
+// It is for test oracles and metrics collection only — never for algorithm
+// logic, which must pay for its reads.
+func (r *SWMR[T]) Peek() T {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.v
+}
+
+// Toggled pairs a value with the paper's alternating bit: "an alternating bit
+// field is assumed to be added to each register V_i, such that two values
+// written in consecutive writes by the same process, always differ" (§2.2).
+type Toggled[T any] struct {
+	Val    T
+	Toggle bool
+}
+
+// ToggledSWMR wraps an SWMR register so every write flips the toggle bit.
+// The writer tracks the bit locally (it is the only writer).
+type ToggledSWMR[T any] struct {
+	reg  *SWMR[Toggled[T]]
+	next bool
+}
+
+// NewToggledSWMR returns a toggle-bit SWMR register owned by owner.
+func NewToggledSWMR[T any](owner int, init T) *ToggledSWMR[T] {
+	return &ToggledSWMR[T]{reg: NewSWMR(owner, Toggled[T]{Val: init}), next: true}
+}
+
+// Read returns the current value and toggle bit. One atomic step.
+func (r *ToggledSWMR[T]) Read(p *sched.Proc) Toggled[T] { return r.reg.Read(p) }
+
+// Write stores v with a flipped toggle bit. One atomic step.
+func (r *ToggledSWMR[T]) Write(p *sched.Proc, v T) {
+	r.reg.Write(p, Toggled[T]{Val: v, Toggle: r.next})
+	r.next = !r.next
+}
+
+// Peek is the no-step test/metrics accessor.
+func (r *ToggledSWMR[T]) Peek() Toggled[T] { return r.reg.Peek() }
+
+// TwoWriter is a two-writer two-reader atomic boolean register, the primitive
+// the paper's arrow registers A_ij require. Implementations are provided both
+// as a direct atomic model (Direct2W) and as Bloom's construction from SWMR
+// registers (Bloom2W); the scannable memory accepts either via this
+// interface.
+type TwoWriter interface {
+	// Read returns the current bit. p must be one of the two parties.
+	Read(p *sched.Proc) bool
+	// Write stores the bit. p must be one of the two parties.
+	Write(p *sched.Proc, v bool)
+}
+
+// Direct2W is the direct atomic model of a 2W2R boolean register: one read or
+// write is one atomic step. It stands in for the bounded constructions cited
+// by the paper when experiments do not need sub-operation granularity.
+type Direct2W struct {
+	a, b int // the two parties allowed to access the register
+	mu   sync.Mutex
+	v    bool
+}
+
+// NewDirect2W returns a direct-model 2W2R register shared by processes a and b.
+func NewDirect2W(a, b int, init bool) *Direct2W {
+	return &Direct2W{a: a, b: b, v: init}
+}
+
+func (r *Direct2W) checkParty(pid int) {
+	if pid != r.a && pid != r.b {
+		panic(fmt.Sprintf("register: process %d accessed 2W2R register of (%d,%d)", pid, r.a, r.b))
+	}
+}
+
+// Read implements TwoWriter. One atomic step.
+func (r *Direct2W) Read(p *sched.Proc) bool {
+	r.checkParty(p.ID())
+	p.Step()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.v
+}
+
+// Write implements TwoWriter. One atomic step.
+func (r *Direct2W) Write(p *sched.Proc, v bool) {
+	r.checkParty(p.ID())
+	p.Step()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.v = v
+}
+
+// Bloom2W implements a two-writer atomic boolean register from two SWMR
+// atomic registers, after B. Bloom, "Constructing two-writer atomic
+// registers" (PODC 1987) — the construction the paper cites ([Bl87]) as a
+// source of bounded 2W2R registers.
+//
+// Each writer w ∈ {0,1} owns an SWMR sub-register holding (value, tag).
+// Writer 0 writes its value with tag equal to writer 1's current tag; writer
+// 1 writes its value with tag equal to the complement of writer 0's current
+// tag. Tags equal ⇒ writer 0 wrote last; tags differ ⇒ writer 1 wrote last. A
+// reader reads both sub-registers and returns the value of the later writer.
+// A write costs two atomic steps (read other tag, write own sub-register); a
+// read costs two atomic steps.
+type Bloom2W struct {
+	a, b  int // a plays Bloom writer 0, b plays writer 1
+	sub   [2]*SWMR[bloomCell]
+	party func(pid int) int
+}
+
+type bloomCell struct {
+	val bool
+	tag bool
+}
+
+// NewBloom2W returns a Bloom-construction 2W2R register shared by processes
+// a and b (a is Bloom's writer 0, b is writer 1).
+func NewBloom2W(a, b int, init bool) *Bloom2W {
+	r := &Bloom2W{a: a, b: b}
+	// Initial state: tags equal, writer 0's cell holds the initial value —
+	// consistent with "writer 0 wrote last".
+	r.sub[0] = NewSWMR(a, bloomCell{val: init})
+	r.sub[1] = NewSWMR(b, bloomCell{})
+	return r
+}
+
+func (r *Bloom2W) role(pid int) int {
+	switch pid {
+	case r.a:
+		return 0
+	case r.b:
+		return 1
+	default:
+		panic(fmt.Sprintf("register: process %d accessed Bloom 2W2R register of (%d,%d)", pid, r.a, r.b))
+	}
+}
+
+// Write implements TwoWriter. Two atomic steps.
+func (r *Bloom2W) Write(p *sched.Proc, v bool) {
+	w := r.role(p.ID())
+	other := r.sub[1-w].Read(p)
+	tag := other.tag
+	if w == 1 {
+		tag = !tag
+	}
+	r.sub[w].Write(p, bloomCell{val: v, tag: tag})
+}
+
+// Read implements TwoWriter. Two atomic steps.
+func (r *Bloom2W) Read(p *sched.Proc) bool {
+	r.role(p.ID()) // enforce that only the two parties access the register
+	c0 := r.sub[0].Read(p)
+	c1 := r.sub[1].Read(p)
+	if c0.tag == c1.tag {
+		return c0.val // writer 0 wrote last
+	}
+	return c1.val // writer 1 wrote last
+}
+
+// TwoWriterFactory builds a 2W2R register for parties (a, b); it lets the
+// scannable memory be assembled over either register substrate.
+type TwoWriterFactory func(a, b int, init bool) TwoWriter
+
+// DirectFactory builds direct-model 2W2R registers.
+func DirectFactory(a, b int, init bool) TwoWriter { return NewDirect2W(a, b, init) }
+
+// BloomFactory builds Bloom-construction 2W2R registers over SWMR registers.
+func BloomFactory(a, b int, init bool) TwoWriter { return NewBloom2W(a, b, init) }

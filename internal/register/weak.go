@@ -1,0 +1,146 @@
+package register
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/dsrepro/consensus/internal/sched"
+)
+
+// This file models the weaker register classes below the atomic registers the
+// paper assumes, and Lamport's classical constructions between them — the
+// substrate the paper's citations ([L86b], [BL87], [IL88], ...) provide. The
+// point of including them is fidelity: the repository demonstrates, under the
+// same adversarial scheduler, that
+//
+//   - a safe register really can return garbage when a read overlaps a write
+//     (its operations take multiple scheduler steps, so overlap is real);
+//   - suppressing writes that do not change the value turns a safe bit into a
+//     regular bit (Lamport);
+//   - a unary array of regular bits yields a multivalued regular register
+//     (Lamport's construction from "On Interprocess Communication II").
+//
+// Histories are validated with linearize.CheckRegularSWMR.
+
+// SafeBool is a single-writer safe boolean register. A write takes two
+// scheduler steps (begin, commit); a read takes one. A read that lands
+// between a write's begin and commit is torn: it returns an arbitrary value
+// drawn from the reader's randomness, as the safe-register contract allows.
+type SafeBool struct {
+	owner   int
+	mu      sync.Mutex
+	v       bool
+	writing bool
+}
+
+// NewSafeBool returns a safe boolean register owned by owner.
+func NewSafeBool(owner int, init bool) *SafeBool {
+	return &SafeBool{owner: owner, v: init}
+}
+
+// Write stores v. Two atomic steps; reads between them are torn.
+func (r *SafeBool) Write(p *sched.Proc, v bool) {
+	if p.ID() != r.owner {
+		panic(fmt.Sprintf("register: process %d wrote SafeBool owned by %d", p.ID(), r.owner))
+	}
+	p.Step()
+	r.mu.Lock()
+	r.writing = true
+	r.mu.Unlock()
+
+	p.Step()
+	r.mu.Lock()
+	r.v = v
+	r.writing = false
+	r.mu.Unlock()
+}
+
+// Read returns the stored value, or an arbitrary value if it overlaps a
+// write. One atomic step.
+func (r *SafeBool) Read(p *sched.Proc) bool {
+	p.Step()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.writing {
+		return p.Rand().Intn(2) == 1 // torn read: anything goes
+	}
+	return r.v
+}
+
+// RegularBool is Lamport's regular boolean register built from a safe one:
+// the writer suppresses writes that do not change the value, so every
+// overlapping read's arbitrary bit is necessarily either the old or the new
+// value — exactly the regular contract.
+type RegularBool struct {
+	safe *SafeBool
+	last bool // writer-local cache of the stored value
+}
+
+// NewRegularBool returns a regular boolean register owned by owner.
+func NewRegularBool(owner int, init bool) *RegularBool {
+	return &RegularBool{safe: NewSafeBool(owner, init), last: init}
+}
+
+// Write stores v: zero steps if the value is unchanged, two otherwise.
+func (r *RegularBool) Write(p *sched.Proc, v bool) {
+	if v == r.last {
+		return
+	}
+	r.safe.Write(p, v)
+	r.last = v
+}
+
+// Read returns the current or a concurrently-written value. One atomic step.
+func (r *RegularBool) Read(p *sched.Proc) bool { return r.safe.Read(p) }
+
+// RegularInt is Lamport's m-valued regular register built from a unary array
+// of regular bits: writing v sets bit v and then clears bits v-1 .. 0 in
+// descending order; a read scans upward and returns the index of the first
+// set bit. Bits above the latest written value may stay stale-set, which is
+// harmless: a reader that passes the current value's bit can only stop at a
+// bit set by an older (then-current) or concurrent write — regular behaviour.
+type RegularInt struct {
+	owner int
+	m     int
+	bits  []*RegularBool
+}
+
+// NewRegularInt returns a regular register over values 0..m-1, owned by
+// owner, initialized to init.
+func NewRegularInt(owner, m, init int) (*RegularInt, error) {
+	if m < 2 {
+		return nil, fmt.Errorf("register: RegularInt needs m >= 2, got %d", m)
+	}
+	if init < 0 || init >= m {
+		return nil, fmt.Errorf("register: init %d outside [0..%d)", init, m)
+	}
+	r := &RegularInt{owner: owner, m: m, bits: make([]*RegularBool, m)}
+	for i := range r.bits {
+		r.bits[i] = NewRegularBool(owner, i == init)
+	}
+	return r, nil
+}
+
+// Write stores v in at most 2·(v+1) atomic steps.
+func (r *RegularInt) Write(p *sched.Proc, v int) {
+	if v < 0 || v >= r.m {
+		panic(fmt.Sprintf("register: RegularInt write %d outside [0..%d)", v, r.m))
+	}
+	r.bits[v].Write(p, true)
+	for j := v - 1; j >= 0; j-- {
+		r.bits[j].Write(p, false)
+	}
+}
+
+// Read scans upward and returns the first set bit's index, in at most m
+// atomic steps. If every bit reads false (possible only under torn
+// interleavings the construction's proof excludes for regular sub-bits), the
+// maximal value is returned.
+func (r *RegularInt) Read(p *sched.Proc) int {
+	for j := 0; j < r.m; j++ {
+		if r.bits[j].Read(p) {
+			return j
+		}
+	}
+	return r.m - 1
+}

@@ -1,0 +1,204 @@
+package register
+
+import (
+	"testing"
+
+	"github.com/dsrepro/consensus/internal/linearize"
+	"github.com/dsrepro/consensus/internal/sched"
+)
+
+// recordWeakHistory drives one writer (pid 0) and one reader (pid 1) over a
+// register with Write(p, int)/Read(p) int semantics and records the history.
+type intReg interface {
+	write(p *sched.Proc, v int)
+	read(p *sched.Proc) int
+}
+
+type safeAsInt struct{ r *SafeBool }
+
+func (a safeAsInt) write(p *sched.Proc, v int) { a.r.Write(p, v == 1) }
+func (a safeAsInt) read(p *sched.Proc) int     { return b2i(a.r.Read(p)) }
+
+type regularAsInt struct{ r *RegularBool }
+
+func (a regularAsInt) write(p *sched.Proc, v int) { a.r.Write(p, v == 1) }
+func (a regularAsInt) read(p *sched.Proc) int     { return b2i(a.r.Read(p)) }
+
+type regularIntAsInt struct{ r *RegularInt }
+
+func (a regularIntAsInt) write(p *sched.Proc, v int) { a.r.Write(p, v) }
+func (a regularIntAsInt) read(p *sched.Proc) int     { return a.r.Read(p) }
+
+func recordWeakHistory(t *testing.T, reg intReg, seed int64, writeVals []int, reads int) linearize.History {
+	t.Helper()
+	var rec linearize.Recorder
+	_, err := sched.Run(sched.Config{N: 2, Seed: seed, Adversary: sched.NewRandom(seed * 131)}, func(p *sched.Proc) {
+		if p.ID() == 0 {
+			for _, v := range writeVals {
+				start := p.Now()
+				reg.write(p, v)
+				end := p.Now()
+				if end < start {
+					end = start
+				}
+				rec.Add(linearize.Op{Proc: 0, IsWrite: true, Val: v, Start: start, End: end})
+			}
+			return
+		}
+		for k := 0; k < reads; k++ {
+			start := p.Now()
+			v := reg.read(p)
+			rec.Add(linearize.Op{Proc: 1, Val: v, Start: start, End: p.Now()})
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return rec.History()
+}
+
+// filterRealWrites drops zero-duration writes (suppressed no-op writes of
+// RegularBool record Start==End with no steps; they are not operations).
+func filterRealWrites(h linearize.History) linearize.History {
+	var out linearize.History
+	for _, o := range h {
+		if o.IsWrite && o.Start == o.End {
+			continue
+		}
+		out = append(out, o)
+	}
+	return out
+}
+
+func TestSafeBoolViolatesRegularityEventually(t *testing.T) {
+	// Writer repeatedly writes true (no value change); torn reads may return
+	// false — a regularity violation the checker must catch on some seed.
+	violated := false
+	for seed := int64(0); seed < 400 && !violated; seed++ {
+		reg := NewSafeBool(0, true)
+		h := recordWeakHistory(t, safeAsInt{reg}, seed, []int{1, 1, 1, 1, 1, 1}, 8)
+		ok, err := linearize.CheckRegularSWMR(h, 1)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !ok {
+			violated = true
+		}
+	}
+	if !violated {
+		t.Fatal("safe register never produced a torn read over 400 adversarial schedules (model too strong)")
+	}
+}
+
+func TestSafeBoolIsRegularWhenValuesChange(t *testing.T) {
+	// For a *bit*, a torn read during a value-changing write returns one of
+	// {false,true} = {old,new}: no regularity violation is possible.
+	for seed := int64(0); seed < 100; seed++ {
+		reg := NewSafeBool(0, false)
+		h := recordWeakHistory(t, safeAsInt{reg}, seed, []int{1, 0, 1, 0, 1}, 8)
+		ok, err := linearize.CheckRegularSWMR(h, 0)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !ok {
+			t.Fatalf("seed %d: alternating writes to a safe bit violated regularity:\n%v", seed, h)
+		}
+	}
+}
+
+func TestRegularBoolIsRegular(t *testing.T) {
+	// Lamport: suppressing no-op writes makes the safe bit regular, even with
+	// repeated same-value writes.
+	for seed := int64(0); seed < 300; seed++ {
+		reg := NewRegularBool(0, true)
+		h := recordWeakHistory(t, regularAsInt{reg}, seed, []int{1, 1, 0, 0, 1, 1, 1}, 8)
+		ok, err := linearize.CheckRegularSWMR(filterRealWrites(h), 1)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !ok {
+			t.Fatalf("seed %d: RegularBool violated regularity:\n%v", seed, h)
+		}
+	}
+}
+
+func TestRegularIntSequential(t *testing.T) {
+	_, err := sched.Run(sched.Config{N: 1, Seed: 1}, func(p *sched.Proc) {
+		reg, err := NewRegularInt(0, 5, 3)
+		if err != nil {
+			t.Errorf("NewRegularInt: %v", err)
+			return
+		}
+		if got := reg.Read(p); got != 3 {
+			t.Errorf("initial Read = %d, want 3", got)
+		}
+		for _, v := range []int{0, 4, 2, 2, 1} {
+			reg.Write(p, v)
+			if got := reg.Read(p); got != v {
+				t.Errorf("Read after Write(%d) = %d", v, got)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestRegularIntIsRegularUnderConcurrency(t *testing.T) {
+	for seed := int64(0); seed < 300; seed++ {
+		reg, err := NewRegularInt(0, 4, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := recordWeakHistory(t, regularIntAsInt{reg}, seed, []int{2, 3, 1, 0, 3, 2}, 8)
+		ok, err := linearize.CheckRegularSWMR(filterRealWrites(h), 0)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !ok {
+			t.Fatalf("seed %d: RegularInt violated regularity:\n%v", seed, h)
+		}
+	}
+}
+
+func TestRegularIntValidation(t *testing.T) {
+	if _, err := NewRegularInt(0, 1, 0); err == nil {
+		t.Fatal("expected error for m < 2")
+	}
+	if _, err := NewRegularInt(0, 3, 7); err == nil {
+		t.Fatal("expected error for init out of range")
+	}
+	reg, err := NewRegularInt(0, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = sched.Run(sched.Config{N: 1, Seed: 1}, func(p *sched.Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic for out-of-range write")
+			}
+		}()
+		reg.Write(p, 9)
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestSafeBoolOwnerEnforced(t *testing.T) {
+	reg := NewSafeBool(0, false)
+	_, err := sched.Run(sched.Config{N: 2, Seed: 1}, func(p *sched.Proc) {
+		if p.ID() != 1 {
+			return
+		}
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic on non-owner write")
+			}
+		}()
+		reg.Write(p, true)
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}

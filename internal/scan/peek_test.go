@@ -1,0 +1,45 @@
+package scan
+
+import (
+	"testing"
+
+	"github.com/dsrepro/consensus/internal/register"
+	"github.com/dsrepro/consensus/internal/sched"
+)
+
+func TestArrowPeekSlotSeesLatestWrite(t *testing.T) {
+	mem := NewArrow[int](2, register.DirectFactory)
+	if got := mem.PeekSlot(0); got != 0 {
+		t.Fatalf("initial PeekSlot = %d", got)
+	}
+	_, err := sched.Run(sched.Config{N: 2, Seed: 1}, func(p *sched.Proc) {
+		if p.ID() == 0 {
+			mem.Write(p, 41)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mem.PeekSlot(0); got != 41 {
+		t.Fatalf("PeekSlot = %d, want 41", got)
+	}
+	if got := mem.PeekSlot(1); got != 0 {
+		t.Fatalf("unwritten PeekSlot = %d, want 0", got)
+	}
+}
+
+func TestSeqSnapPeekSlotSeesLatestWrite(t *testing.T) {
+	mem := NewSeqSnap[string](2)
+	_, err := sched.Run(sched.Config{N: 2, Seed: 1}, func(p *sched.Proc) {
+		if p.ID() == 1 {
+			mem.Write(p, "x")
+			mem.Write(p, "y")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mem.PeekSlot(1); got != "y" {
+		t.Fatalf("PeekSlot = %q, want y", got)
+	}
+}

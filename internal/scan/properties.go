@@ -1,0 +1,190 @@
+package scan
+
+import "fmt"
+
+// This file contains a history-based checker for the paper's three scannable
+// memory properties (§2.1). Tests record every write and scan with global
+// step timestamps and ask the checker whether P1 (regularity), P2 (snapshot)
+// and P3 (scan serializability) held.
+//
+// The paper's global-time model: operation a precedes b (a → b) iff a.End <
+// b.Start; a can affect b iff not (b → a). A write W by process j
+// "potentially coexists" with an operation O iff W can affect O and no later
+// write W' by j satisfies W → W' → O (Definition 2.1). Because a process's
+// writes are sequential, only j's next write after W needs checking.
+
+// WriteRec records one write operation execution. Seq is the 1-based index of
+// this write among the writes of Proc; Seq 0 is reserved for the virtual
+// initial write (which precedes everything).
+type WriteRec struct {
+	Proc  int
+	Seq   int
+	Start int64
+	End   int64
+}
+
+// ScanRec records one scan operation execution. View[j] is the Seq of the
+// write by process j whose value the scan returned (0 = initial value).
+type ScanRec struct {
+	Proc  int
+	View  []int
+	Start int64
+	End   int64
+}
+
+// HistoryRec is a complete recorded execution over one scannable memory.
+type HistoryRec struct {
+	N      int
+	Writes []WriteRec
+	Scans  []ScanRec
+}
+
+// writeTable indexes writes by (proc, seq) and fabricates the virtual initial
+// write (seq 0) with an interval preceding all operations.
+type writeTable struct {
+	byProc map[int][]WriteRec // sorted by Seq, Seq k at index k-1
+}
+
+func newWriteTable(h *HistoryRec) (*writeTable, error) {
+	t := &writeTable{byProc: make(map[int][]WriteRec)}
+	for _, w := range h.Writes {
+		t.byProc[w.Proc] = append(t.byProc[w.Proc], w)
+	}
+	for proc, ws := range t.byProc {
+		for k, w := range ws {
+			if w.Seq != k+1 {
+				return nil, fmt.Errorf("scan: writes of process %d not recorded in Seq order (got Seq %d at position %d)", proc, w.Seq, k)
+			}
+			// End == next Start is adjacency under the step-clock convention
+			// (Start is sampled before the op's first step), not overlap.
+			if k > 0 && ws[k-1].End > w.Start {
+				return nil, fmt.Errorf("scan: writes %d and %d of process %d overlap", k, k+1, proc)
+			}
+		}
+	}
+	return t, nil
+}
+
+// get returns the write (proc, seq). Seq 0 yields the virtual initial write.
+func (t *writeTable) get(proc, seq int) (WriteRec, error) {
+	if seq == 0 {
+		return WriteRec{Proc: proc, Seq: 0, Start: -1, End: -1}, nil
+	}
+	ws := t.byProc[proc]
+	if seq < 1 || seq > len(ws) {
+		return WriteRec{}, fmt.Errorf("scan: scan returned nonexistent write (proc %d, seq %d, have %d)", proc, seq, len(ws))
+	}
+	return ws[seq-1], nil
+}
+
+// next returns the write following (proc, seq), if any.
+func (t *writeTable) next(proc, seq int) (WriteRec, bool) {
+	ws := t.byProc[proc]
+	if seq < len(ws) {
+		return ws[seq], true
+	}
+	return WriteRec{}, false
+}
+
+// potentiallyCoexists reports Definition 2.1 for write W versus an operation
+// interval [oStart, oEnd].
+func (t *writeTable) potentiallyCoexists(w WriteRec, oStart, oEnd int64) bool {
+	if w.Start > oEnd { // o precedes w: w cannot affect o
+		return false
+	}
+	if nw, ok := t.next(w.Proc, w.Seq); ok && nw.End < oStart {
+		return false // a later write by the same process fully precedes o
+	}
+	return true
+}
+
+// CheckP1 verifies regularity: every value a scan returns was written by a
+// write that potentially coexisted with the scan.
+func CheckP1(h *HistoryRec) error {
+	t, err := newWriteTable(h)
+	if err != nil {
+		return err
+	}
+	for si, s := range h.Scans {
+		if len(s.View) != h.N {
+			return fmt.Errorf("scan: scan %d has view of length %d, want %d", si, len(s.View), h.N)
+		}
+		for j, seq := range s.View {
+			w, err := t.get(j, seq)
+			if err != nil {
+				return fmt.Errorf("scan %d (proc %d): %w", si, s.Proc, err)
+			}
+			if !t.potentiallyCoexists(w, s.Start, s.End) {
+				return fmt.Errorf("P1 violated: scan %d (proc %d, [%d,%d]) returned write (proc %d, seq %d, [%d,%d]) that did not potentially coexist",
+					si, s.Proc, s.Start, s.End, j, seq, w.Start, w.End)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckP2 verifies the snapshot property: any two writes whose values appear
+// in the same scan potentially coexist in at least one direction.
+func CheckP2(h *HistoryRec) error {
+	t, err := newWriteTable(h)
+	if err != nil {
+		return err
+	}
+	for si, s := range h.Scans {
+		for j := 0; j < len(s.View); j++ {
+			for k := j + 1; k < len(s.View); k++ {
+				wj, err := t.get(j, s.View[j])
+				if err != nil {
+					return err
+				}
+				wk, err := t.get(k, s.View[k])
+				if err != nil {
+					return err
+				}
+				// Virtual initial writes (Seq 0) participate too: their
+				// interval precedes everything and their successor is the
+				// process's first real write.
+				if !t.potentiallyCoexists(wj, wk.Start, wk.End) && !t.potentiallyCoexists(wk, wj.Start, wj.End) {
+					return fmt.Errorf("P2 violated: scan %d (proc %d) returned writes (proc %d seq %d [%d,%d]) and (proc %d seq %d [%d,%d]) that do not potentially coexist in either direction",
+						si, s.Proc, j, wj.Seq, wj.Start, wj.End, k, wk.Seq, wk.Start, wk.End)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// CheckP3 verifies scan serializability: the views of any two scans are
+// comparable under the componentwise write-index order.
+func CheckP3(h *HistoryRec) error {
+	for a := 0; a < len(h.Scans); a++ {
+		for b := a + 1; b < len(h.Scans); b++ {
+			sa, sb := h.Scans[a], h.Scans[b]
+			aLEb, bLEa := true, true
+			for j := 0; j < h.N; j++ {
+				if sa.View[j] > sb.View[j] {
+					aLEb = false
+				}
+				if sb.View[j] > sa.View[j] {
+					bLEa = false
+				}
+			}
+			if !aLEb && !bLEa {
+				return fmt.Errorf("P3 violated: scans %d (proc %d, view %v) and %d (proc %d, view %v) are incomparable",
+					a, sa.Proc, sa.View, b, sb.Proc, sb.View)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckAll runs P1, P2 and P3 and returns the first violation.
+func CheckAll(h *HistoryRec) error {
+	if err := CheckP1(h); err != nil {
+		return err
+	}
+	if err := CheckP2(h); err != nil {
+		return err
+	}
+	return CheckP3(h)
+}

@@ -1,0 +1,349 @@
+// Package scan implements the paper's §2 scannable memory: an n-slot shared
+// abstract data type with per-process write and a scan returning a snapshot
+// view satisfying regularity (P1), snapshot (P2), and scan serializability
+// (P3).
+//
+// Three implementations are provided:
+//
+//   - Arrow: the paper's bounded construction from SWMR registers with toggle
+//     bits plus pairs of 2W2R "arrow" registers and a double collect.
+//   - SeqSnap: an unbounded baseline that tags every write with a monotone
+//     sequence number and double-collects until clean; it satisfies P1–P3 but
+//     its registers grow without bound (the behaviour the paper eliminates).
+//   - Collect: a single-collect baseline that is only regular — it satisfies
+//     P1 but can violate P2/P3; it exists as a negative control for the
+//     property checker in properties.go.
+//
+// As in the paper, write is wait-free while scan may retry as long as new
+// writes keep completing (it never waits for other scans).
+package scan
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"github.com/dsrepro/consensus/internal/register"
+	"github.com/dsrepro/consensus/internal/sched"
+)
+
+// Memory is the scannable-memory abstract data type shared by n processes.
+// Slot i is written only by process i; Scan returns one value per slot.
+type Memory[T any] interface {
+	// Write stores v in the calling process's slot. Wait-free.
+	Write(p *sched.Proc, v T)
+	// Scan returns a view of all n slots (index = pid). Slot p.ID() is the
+	// value the caller last wrote (zero value of T before any write).
+	Scan(p *sched.Proc) []T
+	// N returns the number of slots.
+	N() int
+}
+
+// Arrow is the paper's bounded scannable memory (§2.2).
+//
+// For every ordered pair (i, j), arrows[i][j] is a 2W2R register written by
+// scanner i (clearing it to false) and writer j (setting it to true). A scan
+// by i clears its arrows, collects all values twice, re-reads its arrows, and
+// retries if any arrow was set or any toggle bit changed between the two
+// collects. A write by j first sets the arrow in every potential scanner's
+// register, then writes its value.
+//
+// Comparing only the toggle bits between the two collects is sufficient: a
+// single intervening write flips the toggle, and two or more intervening
+// writes necessarily set the scanner's arrow after it was cleared (the second
+// write's arrow-set follows the first write's value-write, which follows the
+// scanner's clear).
+type Arrow[T any] struct {
+	n      int
+	vals   []*register.ToggledSWMR[T]
+	arrows [][]register.TwoWriter // arrows[i][j], i != j
+	local  []T                    // local[i]: last value written by i (owner-only access)
+
+	retries []atomic.Int64 // per-pid scan retry counts (metrics)
+}
+
+// NewArrow builds an Arrow memory for n processes using factory (direct
+// atomic 2W2R registers or Bloom's construction) for the arrow registers.
+func NewArrow[T any](n int, factory register.TwoWriterFactory) *Arrow[T] {
+	a := &Arrow[T]{
+		n:       n,
+		vals:    make([]*register.ToggledSWMR[T], n),
+		arrows:  make([][]register.TwoWriter, n),
+		local:   make([]T, n),
+		retries: make([]atomic.Int64, n),
+	}
+	var zero T
+	for i := 0; i < n; i++ {
+		a.vals[i] = register.NewToggledSWMR(i, zero)
+		a.arrows[i] = make([]register.TwoWriter, n)
+		for j := 0; j < n; j++ {
+			if i != j {
+				a.arrows[i][j] = factory(i, j, false)
+			}
+		}
+	}
+	return a
+}
+
+// N implements Memory.
+func (a *Arrow[T]) N() int { return a.n }
+
+// Write implements Memory: set the arrow in every other process's scanner
+// register, then publish the value. Wait-free; n atomic steps (2n with Bloom
+// arrow registers).
+func (a *Arrow[T]) Write(p *sched.Proc, v T) {
+	i := p.ID()
+	for j := 0; j < a.n; j++ {
+		if j != i {
+			a.arrows[j][i].Write(p, true)
+		}
+	}
+	a.vals[i].Write(p, v)
+	a.local[i] = v
+}
+
+// Scan implements Memory: clear arrows, double-collect, re-read arrows, retry
+// until a clean pass. Not wait-free, but lock-free in the paper's sense: a
+// retry implies some other process completed a new write.
+func (a *Arrow[T]) Scan(p *sched.Proc) []T {
+	i := p.ID()
+	v1 := make([]register.Toggled[T], a.n)
+	v2 := make([]register.Toggled[T], a.n)
+	for {
+		for j := 0; j < a.n; j++ {
+			if j != i {
+				a.arrows[i][j].Write(p, false)
+			}
+		}
+		for j := 0; j < a.n; j++ {
+			if j != i {
+				v1[j] = a.vals[j].Read(p)
+			}
+		}
+		for j := 0; j < a.n; j++ {
+			if j != i {
+				v2[j] = a.vals[j].Read(p)
+			}
+		}
+		clean := true
+		for j := 0; j < a.n && clean; j++ {
+			if j == i {
+				continue
+			}
+			if a.arrows[i][j].Read(p) || v1[j].Toggle != v2[j].Toggle {
+				clean = false
+			}
+		}
+		if clean {
+			out := make([]T, a.n)
+			for j := 0; j < a.n; j++ {
+				if j == i {
+					out[j] = a.local[i]
+				} else {
+					out[j] = v2[j].Val
+				}
+			}
+			return out
+		}
+		a.retries[i].Add(1)
+	}
+}
+
+// Retries returns the total number of scan retries performed by pid so far.
+func (a *Arrow[T]) Retries(pid int) int64 { return a.retries[pid].Load() }
+
+// PeekSlot returns the current value of slot j without a scheduler step or
+// process context — for protocol-aware adversaries and metrics only, never
+// for algorithm logic (which must pay for a scan).
+func (a *Arrow[T]) PeekSlot(j int) T { return a.vals[j].Peek().Val }
+
+// seqCell is a value stamped with an unbounded sequence number.
+type seqCell[T any] struct {
+	val T
+	seq uint64
+}
+
+// SeqSnap is the unbounded sequence-number snapshot baseline: every write
+// increments a per-process counter with no bound, and a scan double-collects
+// until two consecutive collects see identical sequence vectors.
+type SeqSnap[T any] struct {
+	n     int
+	vals  []*register.SWMR[seqCell[T]]
+	local []T
+	seq   []uint64 // next sequence number per writer (owner-only access)
+
+	retries []atomic.Int64
+}
+
+// NewSeqSnap builds a SeqSnap memory for n processes.
+func NewSeqSnap[T any](n int) *SeqSnap[T] {
+	s := &SeqSnap[T]{
+		n:       n,
+		vals:    make([]*register.SWMR[seqCell[T]], n),
+		local:   make([]T, n),
+		seq:     make([]uint64, n),
+		retries: make([]atomic.Int64, n),
+	}
+	for i := 0; i < n; i++ {
+		s.vals[i] = register.NewSWMR(i, seqCell[T]{})
+	}
+	return s
+}
+
+// N implements Memory.
+func (s *SeqSnap[T]) N() int { return s.n }
+
+// Write implements Memory. One atomic step; the sequence number grows without
+// bound (this is the point of the baseline).
+func (s *SeqSnap[T]) Write(p *sched.Proc, v T) {
+	i := p.ID()
+	s.seq[i]++
+	s.vals[i].Write(p, seqCell[T]{val: v, seq: s.seq[i]})
+	s.local[i] = v
+}
+
+// Scan implements Memory: double-collect until two consecutive collects agree
+// on every sequence number.
+func (s *SeqSnap[T]) Scan(p *sched.Proc) []T {
+	i := p.ID()
+	prev := make([]seqCell[T], s.n)
+	cur := make([]seqCell[T], s.n)
+	for j := 0; j < s.n; j++ {
+		if j != i {
+			prev[j] = s.vals[j].Read(p)
+		}
+	}
+	for {
+		for j := 0; j < s.n; j++ {
+			if j != i {
+				cur[j] = s.vals[j].Read(p)
+			}
+		}
+		clean := true
+		for j := 0; j < s.n && clean; j++ {
+			if j != i && cur[j].seq != prev[j].seq {
+				clean = false
+			}
+		}
+		if clean {
+			out := make([]T, s.n)
+			for j := 0; j < s.n; j++ {
+				if j == i {
+					out[j] = s.local[i]
+				} else {
+					out[j] = cur[j].val
+				}
+			}
+			return out
+		}
+		s.retries[i].Add(1)
+		prev, cur = cur, prev
+	}
+}
+
+// Retries returns the total number of scan retries performed by pid so far.
+func (s *SeqSnap[T]) Retries(pid int) int64 { return s.retries[pid].Load() }
+
+// PeekSlot returns the current value of slot j without a scheduler step —
+// for adversaries and metrics only.
+func (s *SeqSnap[T]) PeekSlot(j int) T { return s.vals[j].Peek().val }
+
+// MaxSeq returns the largest sequence number written so far — the
+// space-accounting hook showing this implementation is unbounded.
+func (s *SeqSnap[T]) MaxSeq() uint64 {
+	var m uint64
+	for _, r := range s.vals {
+		if c := r.Peek(); c.seq > m {
+			m = c.seq
+		}
+	}
+	return m
+}
+
+// Collect is the single-collect baseline: a "scan" is one read of each slot
+// with no consistency check. It is regular (P1) but not a snapshot (P2/P3
+// can fail). It exists as a negative control proving the property checker
+// can detect violations.
+type Collect[T any] struct {
+	n     int
+	vals  []*register.SWMR[T]
+	local []T
+}
+
+// NewCollect builds a Collect memory for n processes.
+func NewCollect[T any](n int) *Collect[T] {
+	c := &Collect[T]{n: n, vals: make([]*register.SWMR[T], n), local: make([]T, n)}
+	for i := 0; i < n; i++ {
+		c.vals[i] = register.NewSWMR[T](i, *new(T))
+	}
+	return c
+}
+
+// N implements Memory.
+func (c *Collect[T]) N() int { return c.n }
+
+// Write implements Memory. One atomic step.
+func (c *Collect[T]) Write(p *sched.Proc, v T) {
+	c.vals[p.ID()].Write(p, v)
+	c.local[p.ID()] = v
+}
+
+// Scan implements Memory: one read per slot, no retry.
+func (c *Collect[T]) Scan(p *sched.Proc) []T {
+	i := p.ID()
+	out := make([]T, c.n)
+	for j := 0; j < c.n; j++ {
+		if j == i {
+			out[j] = c.local[i]
+		} else {
+			out[j] = c.vals[j].Read(p)
+		}
+	}
+	return out
+}
+
+// Kind names a Memory implementation for configuration surfaces.
+type Kind int
+
+// Memory implementation kinds.
+const (
+	KindArrow Kind = iota + 1
+	KindSeqSnap
+	KindCollect
+	KindWaitFree
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindArrow:
+		return "arrow"
+	case KindSeqSnap:
+		return "seqsnap"
+	case KindCollect:
+		return "collect"
+	case KindWaitFree:
+		return "waitfree"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// New builds a Memory of the given kind for n processes. The factory is used
+// only by KindArrow (pass nil for the others to get direct registers).
+func New[T any](kind Kind, n int, factory register.TwoWriterFactory) (Memory[T], error) {
+	switch kind {
+	case KindArrow:
+		if factory == nil {
+			factory = register.DirectFactory
+		}
+		return NewArrow[T](n, factory), nil
+	case KindSeqSnap:
+		return NewSeqSnap[T](n), nil
+	case KindCollect:
+		return NewCollect[T](n), nil
+	case KindWaitFree:
+		return NewWaitFree[T](n), nil
+	default:
+		return nil, fmt.Errorf("scan: unknown memory kind %d", int(kind))
+	}
+}

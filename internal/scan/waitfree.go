@@ -1,0 +1,180 @@
+package scan
+
+import (
+	"sync/atomic"
+
+	"github.com/dsrepro/consensus/internal/register"
+	"github.com/dsrepro/consensus/internal/sched"
+)
+
+// WaitFree is a bounded, wait-free atomic snapshot, after Afek, Attiya,
+// Dolev, Gafni, Merritt and Shavit ("Atomic Snapshots of Shared Memory") —
+// the successor construction, by an overlapping author set, to this paper's
+// non-wait-free §2 scannable memory. It is included as the natural
+// "extensions" item: the consensus protocol runs unchanged over it, and its
+// scans cannot be starved by writers (contrast experiment E7).
+//
+// Structure (single-writer registers only, all bounded):
+//
+//   - R_i holds (value, embedded view, toggle, handshake bits p_i[1..n]).
+//   - For every pair, scanner i owns a handshake bit h_i[j].
+//   - update_i(v): take an embedded snapshot d := Scan(); for every j read
+//     h_j[i] and set p_i[j] := ¬h_j[i]; publish (v, d, ¬toggle, p) in one
+//     atomic write.
+//   - scan_i: repeat { for every j: read R_j and equalize h_i[j] := p_j[i]
+//     ("shake hands"); double collect; writer j moved iff p_j[i] ≠ h_i[j]
+//     (a latch — further writes keep it set, so no ABA) or its toggle
+//     changed between the collects (catches the one write per iteration
+//     that straddles the handshake). If no writer moved, the second collect
+//     is a snapshot. Otherwise count a move event per moved writer; on a
+//     writer's second event, borrow its embedded view. }
+//
+// Why borrowing is safe: every observed move event is caused by a write that
+// *landed* inside the scan. A writer's second event is caused by a later
+// write of the same (sequential) writer, whose embedded Scan began after the
+// first event's write completed — i.e. entirely within this scan — so its
+// embedded view is a snapshot valid inside this scan's interval.
+//
+// Why it is wait-free: every retried iteration fires at least one move
+// event, and a writer is borrowed from at its second event, so a scan
+// finishes within at most 2n+1 iterations.
+type WaitFree[T any] struct {
+	n     int
+	regs  []*register.SWMR[wfRec[T]]
+	hands [][]*register.SWMR[bool] // hands[i][j]: scanner i's bit toward writer j
+	local []T                      // local[i]: last value written by i (owner-only)
+
+	// writer-local mirrors (owner-only access)
+	toggles []bool
+	pvecs   [][]bool
+
+	retries []atomic.Int64
+	borrows []atomic.Int64
+}
+
+type wfRec[T any] struct {
+	val    T
+	view   []T // immutable once published
+	toggle bool
+	p      []bool // immutable once published
+}
+
+// NewWaitFree builds a wait-free snapshot for n processes.
+func NewWaitFree[T any](n int) *WaitFree[T] {
+	w := &WaitFree[T]{
+		n:       n,
+		regs:    make([]*register.SWMR[wfRec[T]], n),
+		hands:   make([][]*register.SWMR[bool], n),
+		local:   make([]T, n),
+		toggles: make([]bool, n),
+		pvecs:   make([][]bool, n),
+		retries: make([]atomic.Int64, n),
+		borrows: make([]atomic.Int64, n),
+	}
+	for i := 0; i < n; i++ {
+		w.regs[i] = register.NewSWMR(i, wfRec[T]{p: make([]bool, n)})
+		w.hands[i] = make([]*register.SWMR[bool], n)
+		w.pvecs[i] = make([]bool, n)
+		for j := 0; j < n; j++ {
+			if i != j {
+				w.hands[i][j] = register.NewSWMR(i, false)
+			}
+		}
+	}
+	return w
+}
+
+// N implements Memory.
+func (w *WaitFree[T]) N() int { return w.n }
+
+// Write implements Memory (the construction's update): embedded snapshot,
+// handshake flips, one atomic publish. Wait-free.
+func (w *WaitFree[T]) Write(p *sched.Proc, v T) {
+	i := p.ID()
+	view := w.Scan(p)
+	newP := make([]bool, w.n)
+	for j := 0; j < w.n; j++ {
+		if j == i {
+			continue
+		}
+		newP[j] = !w.hands[j][i].Read(p)
+	}
+	w.toggles[i] = !w.toggles[i]
+	w.regs[i].Write(p, wfRec[T]{val: v, view: view, toggle: w.toggles[i], p: newP})
+	w.local[i] = v
+	w.pvecs[i] = newP
+}
+
+// Scan implements Memory. Wait-free: at most 2n+1 handshake/double-collect
+// iterations before a clean return or a borrow.
+func (w *WaitFree[T]) Scan(p *sched.Proc) []T {
+	i := p.ID()
+	events := make([]int, w.n)
+	myHand := make([]bool, w.n)
+	c1 := make([]wfRec[T], w.n)
+	c2 := make([]wfRec[T], w.n)
+	for {
+		// Handshake: equalize my bit with each writer's current bit.
+		for j := 0; j < w.n; j++ {
+			if j == i {
+				continue
+			}
+			rec := w.regs[j].Read(p)
+			myHand[j] = rec.p[i]
+			w.hands[i][j].Write(p, myHand[j])
+		}
+		for j := 0; j < w.n; j++ {
+			if j != i {
+				c1[j] = w.regs[j].Read(p)
+			}
+		}
+		for j := 0; j < w.n; j++ {
+			if j != i {
+				c2[j] = w.regs[j].Read(p)
+			}
+		}
+		clean := true
+		for j := 0; j < w.n; j++ {
+			if j == i {
+				continue
+			}
+			moved := c1[j].p[i] != myHand[j] || c2[j].p[i] != myHand[j] ||
+				c1[j].toggle != c2[j].toggle
+			if !moved {
+				continue
+			}
+			clean = false
+			events[j]++
+			if events[j] >= 2 && c2[j].view != nil {
+				// Borrow: c2[j]'s embedded view was taken entirely within
+				// this scan.
+				w.borrows[i].Add(1)
+				out := append([]T(nil), c2[j].view...)
+				return out
+			}
+		}
+		if clean {
+			out := make([]T, w.n)
+			for j := 0; j < w.n; j++ {
+				if j == i {
+					out[j] = w.local[i]
+				} else {
+					out[j] = c2[j].val
+				}
+			}
+			return out
+		}
+		w.retries[i].Add(1)
+	}
+}
+
+// Retries returns the number of retried scan iterations by pid.
+func (w *WaitFree[T]) Retries(pid int) int64 { return w.retries[pid].Load() }
+
+// Borrows returns how many of pid's scans completed by borrowing an embedded
+// view.
+func (w *WaitFree[T]) Borrows(pid int) int64 { return w.borrows[pid].Load() }
+
+// PeekSlot returns the current value of slot j without a scheduler step —
+// for adversaries and metrics only.
+func (w *WaitFree[T]) PeekSlot(j int) T { return w.regs[j].Peek().val }

@@ -1,0 +1,136 @@
+package sched
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestPCTPrefersOneProcessBetweenChangePoints(t *testing.T) {
+	// With depth 1 (no change points) the highest-priority process runs
+	// whenever it is waiting: in a run where all processes loop forever, one
+	// process should take the overwhelming majority of steps.
+	counts := make([]int64, 3)
+	var mu sync.Mutex
+	_, _ = Run(Config{N: 3, Seed: 2, MaxSteps: 3000, Adversary: NewPCT(3, 3000, 1, 7)}, func(p *Proc) {
+		for {
+			p.Step()
+			mu.Lock()
+			counts[p.ID()]++
+			mu.Unlock()
+		}
+	})
+	max := counts[0]
+	for _, c := range counts[1:] {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 2900 {
+		t.Fatalf("PCT depth 1 did not dominate with one process: %v", counts)
+	}
+}
+
+func TestPCTChangePointsRotateLeadership(t *testing.T) {
+	// With many change points, several processes should get solid step
+	// shares.
+	counts := make([]int64, 3)
+	var mu sync.Mutex
+	_, _ = Run(Config{N: 3, Seed: 2, MaxSteps: 3000, Adversary: NewPCT(3, 3000, 10, 7)}, func(p *Proc) {
+		for {
+			p.Step()
+			mu.Lock()
+			counts[p.ID()]++
+			mu.Unlock()
+		}
+	})
+	active := 0
+	for _, c := range counts {
+		if c > 100 {
+			active++
+		}
+	}
+	if active < 2 {
+		t.Fatalf("PCT with 10 change points kept leadership static: %v", counts)
+	}
+}
+
+func TestPCTIsDeterministicPerSeed(t *testing.T) {
+	trace := func(seed int64) []int {
+		var order []int
+		var mu sync.Mutex
+		_, _ = Run(Config{N: 4, Seed: 1, MaxSteps: 200, Adversary: NewPCT(4, 200, 3, seed)}, func(p *Proc) {
+			for {
+				p.Step()
+				mu.Lock()
+				order = append(order, p.ID())
+				mu.Unlock()
+			}
+		})
+		return order
+	}
+	a, b := trace(5), trace(5)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d", i)
+		}
+	}
+}
+
+func TestPCTParameterClamping(t *testing.T) {
+	// Degenerate parameters must not panic.
+	adv := NewPCT(2, 0, 0, 1)
+	if got := adv.Next([]int{0, 1}, 0); got != 0 && got != 1 {
+		t.Fatalf("Next = %d", got)
+	}
+}
+
+func TestQuantumSlicesInBursts(t *testing.T) {
+	var order []int
+	var mu sync.Mutex
+	_, _ = Run(Config{N: 3, Seed: 1, MaxSteps: 90, Adversary: NewQuantum(10)}, func(p *Proc) {
+		for {
+			p.Step()
+			mu.Lock()
+			order = append(order, p.ID())
+			mu.Unlock()
+		}
+	})
+	if len(order) != 90 {
+		t.Fatalf("got %d steps", len(order))
+	}
+	// Expect runs of length 10 rotating 0,1,2,0,1,2,...
+	for i := 0; i < 90; i++ {
+		want := (i / 10) % 3
+		if order[i] != want {
+			t.Fatalf("step %d ran p%d, want p%d (order %v...)", i, order[i], want, order[:min(i+3, 90)])
+		}
+	}
+}
+
+func TestQuantumOneIsRoundRobin(t *testing.T) {
+	var order []int
+	var mu sync.Mutex
+	_, _ = Run(Config{N: 2, Seed: 1, MaxSteps: 8, Adversary: NewQuantum(0)}, func(p *Proc) {
+		for {
+			p.Step()
+			mu.Lock()
+			order = append(order, p.ID())
+			mu.Unlock()
+		}
+	})
+	for i, pid := range order {
+		if pid != i%2 {
+			t.Fatalf("quantum 1 not round-robin: %v", order)
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,327 @@
+// Package sched provides a deterministic, adversarially scheduled execution
+// substrate for asynchronous shared-memory algorithms.
+//
+// Every atomic shared-memory action performed by a simulated process must be
+// preceded by a call to Proc.Step. Under the step scheduler, Step blocks the
+// calling goroutine until an Adversary selects that process to move; at most
+// one process is between Step and its atomic action at any time, so the
+// interleaving of atomic actions is exactly the sequence of scheduler grants.
+// This yields fully deterministic executions for a given (seed, adversary)
+// pair, which is what the correctness and complexity experiments in this
+// repository rely on.
+//
+// The package also provides a free-running mode (see RunFree) in which Step is
+// a no-op and processes race natively as goroutines; atomicity of individual
+// register operations is then guaranteed by the register implementations
+// themselves. Free-running mode is used for smoke tests that exercise real
+// concurrency.
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+)
+
+// Sentinel errors returned by Run.
+var (
+	// ErrStepBudget indicates the run exceeded Config.MaxSteps before every
+	// live process finished.
+	ErrStepBudget = errors.New("sched: step budget exceeded")
+
+	// ErrStalled indicates the adversary refused to schedule any waiting
+	// process (all remaining processes are crashed) while at least one
+	// process had not finished.
+	ErrStalled = errors.New("sched: execution stalled (all waiting processes crashed)")
+)
+
+// haltSignal is thrown (via panic) into a process goroutine blocked in Step
+// when the run is being torn down (budget exceeded or stall). It is recovered
+// by the goroutine wrapper inside Run and never escapes this package.
+type haltSignal struct{}
+
+// Proc is the handle a simulated process uses to interact with the scheduler.
+// It carries the process identity, a private deterministic random source, and
+// the gate through which every atomic step must pass. A Proc is owned by a
+// single goroutine and must not be shared.
+type Proc struct {
+	id    int
+	rng   *rand.Rand
+	steps int64
+	gate  gate
+}
+
+// gate abstracts how a Step is granted.
+type gate interface {
+	step(p *Proc)
+	now() int64
+}
+
+// ID returns the process identifier in [0, n).
+func (p *Proc) ID() int { return p.id }
+
+// Rand returns the process-private deterministic random source. Algorithms
+// must draw all randomness from here so runs are reproducible from the seed.
+func (p *Proc) Rand() *rand.Rand { return p.rng }
+
+// Steps reports how many atomic steps this process has performed so far.
+func (p *Proc) Steps() int64 { return p.steps }
+
+// Now returns the global step count at the time of the call. It is used by
+// instrumentation (history recording) to timestamp operation intervals; it is
+// not meant to be consulted by algorithm logic.
+func (p *Proc) Now() int64 { return p.gate.now() }
+
+// Step blocks until the scheduler grants this process its next atomic
+// shared-memory action. Register implementations call it internally; most
+// algorithm code never needs to call it directly.
+func (p *Proc) Step() {
+	p.gate.step(p)
+	p.steps++
+}
+
+// Adversary chooses which waiting process performs the next atomic step.
+type Adversary interface {
+	// Next picks a pid from waiting (sorted ascending, always non-empty) to
+	// schedule for the step numbered step (0-based). Returning a pid not in
+	// waiting is a programming error and aborts the run. Returning -1 means
+	// "refuse to schedule anyone" (every waiting process is considered
+	// crashed); if no further process can finish, the run ends with
+	// ErrStalled, and processes that already finished keep their results.
+	Next(waiting []int, step int64) int
+}
+
+// Config configures a scheduled run.
+type Config struct {
+	// N is the number of processes. Must be >= 1.
+	N int
+
+	// Seed seeds the run: the adversary constructors in this package and the
+	// per-process random sources are all derived from it.
+	Seed int64
+
+	// Adversary picks the interleaving. Nil defaults to round-robin.
+	Adversary Adversary
+
+	// MaxSteps bounds the total number of atomic steps; 0 means no bound.
+	// Exceeding it aborts the run with ErrStepBudget.
+	MaxSteps int64
+}
+
+// Result reports what happened during a run.
+type Result struct {
+	// Steps is the total number of atomic steps granted.
+	Steps int64
+
+	// PerProc is the number of steps each process performed.
+	PerProc []int64
+
+	// Finished reports which processes ran their body to completion. A
+	// process can be unfinished if it was crashed by the adversary or if the
+	// run hit the step budget.
+	Finished []bool
+}
+
+// event is how process goroutines talk to the scheduler loop.
+type event struct {
+	pid  int
+	done bool // true: body returned (or halted); false: requesting a step
+}
+
+// runner implements gate for scheduled runs.
+type runner struct {
+	events chan event
+	grants []chan bool // per-pid; false grant means halt
+	clock  atomic.Int64
+}
+
+func (r *runner) step(p *Proc) {
+	r.events <- event{pid: p.id}
+	if ok := <-r.grants[p.id]; !ok {
+		panic(haltSignal{})
+	}
+}
+
+func (r *runner) now() int64 { return r.clock.Load() }
+
+// Run executes body once per process under the configured adversarial
+// scheduler and blocks until every process has finished, crashed, or the step
+// budget is exhausted. It returns a Result together with ErrStepBudget or
+// ErrStalled when the run did not complete cleanly; the Result is valid in
+// all cases.
+func Run(cfg Config, body func(*Proc)) (Result, error) {
+	if cfg.N < 1 {
+		return Result{}, fmt.Errorf("sched: invalid N=%d", cfg.N)
+	}
+	adv := cfg.Adversary
+	if adv == nil {
+		adv = NewRoundRobin()
+	}
+
+	r := &runner{
+		events: make(chan event),
+		grants: make([]chan bool, cfg.N),
+	}
+	res := Result{
+		PerProc:  make([]int64, cfg.N),
+		Finished: make([]bool, cfg.N),
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.N; i++ {
+		r.grants[i] = make(chan bool, 1)
+		p := &Proc{
+			id:   i,
+			rng:  rand.New(rand.NewSource(cfg.Seed ^ int64(i)*0x7E3779B97F4A7C15 ^ 0x5DEECE66D)),
+			gate: r,
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if rec := recover(); rec != nil {
+					if _, ok := rec.(haltSignal); !ok {
+						panic(rec) // real bug in the algorithm body: propagate
+					}
+					r.events <- event{pid: p.id, done: true}
+				}
+			}()
+			body(p)
+			r.events <- event{pid: p.id, done: true}
+		}()
+	}
+
+	// Scheduler loop. Invariant: inflight counts goroutines that are running
+	// user code (granted, or not yet blocked for the first time). We only
+	// consult the adversary when inflight == 0, i.e. every live process is
+	// parked in Step, so the grant order fully determines the interleaving.
+	var err error
+	inflight := cfg.N
+	live := cfg.N
+	waiting := make([]int, 0, cfg.N)
+	halted := false
+
+	halt := func() {
+		if halted {
+			return
+		}
+		halted = true
+		for _, pid := range waiting {
+			r.grants[pid] <- false
+		}
+		inflight += len(waiting) // woken goroutines are now running their halt path
+		waiting = waiting[:0]
+	}
+
+	for live > 0 {
+		for inflight > 0 {
+			ev := <-r.events
+			if ev.done {
+				live--
+				inflight--
+				if !halted {
+					res.Finished[ev.pid] = true
+				}
+				continue
+			}
+			if halted {
+				// Late Step request after halt began: refuse immediately. The
+				// goroutine stays in flight; it will report done via its
+				// halt-panic recovery path.
+				r.grants[ev.pid] <- false
+				continue
+			}
+			waiting = insertSorted(waiting, ev.pid)
+			inflight--
+		}
+		if live == 0 {
+			break
+		}
+		if halted {
+			continue
+		}
+		if cfg.MaxSteps > 0 && res.Steps >= cfg.MaxSteps {
+			err = ErrStepBudget
+			halt()
+			continue
+		}
+		pick := adv.Next(waiting, res.Steps)
+		if pick == -1 {
+			err = ErrStalled
+			halt()
+			continue
+		}
+		idx := indexOf(waiting, pick)
+		if idx < 0 {
+			panic(fmt.Sprintf("sched: adversary picked pid %d not in waiting set %v", pick, waiting))
+		}
+		waiting = append(waiting[:idx], waiting[idx+1:]...)
+		res.Steps++
+		res.PerProc[pick]++
+		r.clock.Store(res.Steps)
+		inflight++
+		r.grants[pick] <- true
+	}
+	wg.Wait()
+	return res, err
+}
+
+// freeGate is a no-op gate for free-running (real concurrency) mode.
+type freeGate struct{ clock atomic.Int64 }
+
+func (g *freeGate) step(*Proc) { g.clock.Add(1) }
+func (g *freeGate) now() int64 { return g.clock.Load() }
+
+// RunFree executes body once per process as plain goroutines with no
+// scheduling gate: processes race natively and atomicity relies on the
+// register implementations. It blocks until all bodies return.
+func RunFree(n int, seed int64, body func(*Proc)) Result {
+	g := &freeGate{}
+	var wg sync.WaitGroup
+	procs := make([]*Proc, n)
+	for i := 0; i < n; i++ {
+		procs[i] = &Proc{
+			id:   i,
+			rng:  rand.New(rand.NewSource(seed ^ int64(i)*0x7E3779B97F4A7C15 ^ 0x5DEECE66D)),
+			gate: g,
+		}
+		wg.Add(1)
+		go func(p *Proc) {
+			defer wg.Done()
+			body(p)
+		}(procs[i])
+	}
+	wg.Wait()
+	res := Result{
+		Steps:    g.clock.Load(),
+		PerProc:  make([]int64, n),
+		Finished: make([]bool, n),
+	}
+	for i, p := range procs {
+		res.PerProc[i] = p.steps
+		res.Finished[i] = true
+	}
+	return res
+}
+
+func insertSorted(s []int, v int) []int {
+	i := 0
+	for i < len(s) && s[i] < v {
+		i++
+	}
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+func indexOf(s []int, v int) int {
+	for i, x := range s {
+		if x == v {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,313 @@
+package sched
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestRunSingleProcess(t *testing.T) {
+	ran := false
+	res, err := Run(Config{N: 1, Seed: 1}, func(p *Proc) {
+		p.Step()
+		p.Step()
+		ran = true
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !ran {
+		t.Fatal("body did not run")
+	}
+	if res.Steps != 2 {
+		t.Fatalf("Steps = %d, want 2", res.Steps)
+	}
+	if !res.Finished[0] {
+		t.Fatal("process 0 not marked finished")
+	}
+}
+
+func TestRunRejectsInvalidN(t *testing.T) {
+	if _, err := Run(Config{N: 0}, func(*Proc) {}); err == nil {
+		t.Fatal("expected error for N=0")
+	}
+}
+
+func TestRoundRobinOrderIsDeterministic(t *testing.T) {
+	order := make([]int, 0, 12)
+	var mu sync.Mutex
+	_, err := Run(Config{N: 3, Seed: 7}, func(p *Proc) {
+		for i := 0; i < 4; i++ {
+			p.Step()
+			mu.Lock()
+			order = append(order, p.ID())
+			mu.Unlock()
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []int{0, 1, 2, 0, 1, 2, 0, 1, 2, 0, 1, 2}
+	if len(order) != len(want) {
+		t.Fatalf("order length = %d, want %d", len(order), len(want))
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestRandomAdversaryIsReproducible(t *testing.T) {
+	trace := func(seed int64) []int {
+		var mu sync.Mutex
+		var order []int
+		_, err := Run(Config{N: 4, Seed: 9, Adversary: NewRandom(seed)}, func(p *Proc) {
+			for i := 0; i < 10; i++ {
+				p.Step()
+				mu.Lock()
+				order = append(order, p.ID())
+				mu.Unlock()
+			}
+		})
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return order
+	}
+	a, b := trace(42), trace(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed produced different schedules at step %d: %v vs %v", i, a, b)
+		}
+	}
+	c := trace(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical 40-step schedules (suspicious)")
+	}
+}
+
+func TestStepBudgetAborts(t *testing.T) {
+	res, err := Run(Config{N: 2, Seed: 1, MaxSteps: 10}, func(p *Proc) {
+		for {
+			p.Step()
+		}
+	})
+	if !errors.Is(err, ErrStepBudget) {
+		t.Fatalf("err = %v, want ErrStepBudget", err)
+	}
+	if res.Steps != 10 {
+		t.Fatalf("Steps = %d, want 10", res.Steps)
+	}
+	if res.Finished[0] || res.Finished[1] {
+		t.Fatal("looping processes must not be marked finished")
+	}
+}
+
+func TestCrashAdversaryStallsButKeepsSurvivors(t *testing.T) {
+	// Process 1 loops forever; process 0 finishes after 5 steps. Crashing
+	// process 1 at step 20 must end the run with ErrStalled while process 0
+	// is still recorded as finished.
+	res, err := Run(Config{
+		N: 2, Seed: 3,
+		Adversary: NewCrash(NewRoundRobin(), map[int]int64{1: 20}),
+	}, func(p *Proc) {
+		if p.ID() == 1 {
+			for {
+				p.Step()
+			}
+		}
+		for i := 0; i < 5; i++ {
+			p.Step()
+		}
+	})
+	if !errors.Is(err, ErrStalled) {
+		t.Fatalf("err = %v, want ErrStalled", err)
+	}
+	if !res.Finished[0] {
+		t.Fatal("survivor not marked finished")
+	}
+	if res.Finished[1] {
+		t.Fatal("crashed process marked finished")
+	}
+}
+
+func TestCrashAllProcessesStalls(t *testing.T) {
+	_, err := Run(Config{
+		N: 2, Seed: 3,
+		Adversary: NewCrash(NewRoundRobin(), map[int]int64{0: 0, 1: 0}),
+	}, func(p *Proc) { p.Step() })
+	if !errors.Is(err, ErrStalled) {
+		t.Fatalf("err = %v, want ErrStalled", err)
+	}
+}
+
+func TestLaggerStarvesVictim(t *testing.T) {
+	counts := make([]int64, 3)
+	var mu sync.Mutex
+	_, err := Run(Config{
+		N: 3, Seed: 5, MaxSteps: 300,
+		Adversary: NewLagger(0, 10, 11),
+	}, func(p *Proc) {
+		for {
+			p.Step()
+			mu.Lock()
+			counts[p.ID()]++
+			mu.Unlock()
+		}
+	})
+	if !errors.Is(err, ErrStepBudget) {
+		t.Fatalf("err = %v, want ErrStepBudget", err)
+	}
+	if counts[0] >= counts[1]/2 || counts[0] >= counts[2]/2 {
+		t.Fatalf("victim not starved: counts = %v", counts)
+	}
+	if counts[0] == 0 {
+		t.Fatalf("victim fully starved, want occasional scheduling: %v", counts)
+	}
+}
+
+func TestPerProcStepAccounting(t *testing.T) {
+	res, err := Run(Config{N: 3, Seed: 2}, func(p *Proc) {
+		for i := 0; i <= p.ID(); i++ {
+			p.Step()
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i, want := range []int64{1, 2, 3} {
+		if res.PerProc[i] != want {
+			t.Fatalf("PerProc[%d] = %d, want %d", i, res.PerProc[i], want)
+		}
+	}
+	if res.Steps != 6 {
+		t.Fatalf("Steps = %d, want 6", res.Steps)
+	}
+}
+
+func TestProcRandIsPerProcessDeterministic(t *testing.T) {
+	draw := func() [2]int64 {
+		var out [2]int64
+		var mu sync.Mutex
+		_, err := Run(Config{N: 2, Seed: 99}, func(p *Proc) {
+			v := p.Rand().Int63()
+			mu.Lock()
+			out[p.ID()] = v
+			mu.Unlock()
+		})
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return out
+	}
+	a, b := draw(), draw()
+	if a != b {
+		t.Fatalf("same seed, different draws: %v vs %v", a, b)
+	}
+	if a[0] == a[1] {
+		t.Fatal("distinct processes drew identical values (sources not independent)")
+	}
+}
+
+func TestNowAdvancesWithSteps(t *testing.T) {
+	var stamps []int64
+	var mu sync.Mutex
+	_, err := Run(Config{N: 1, Seed: 1}, func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			p.Step()
+			mu.Lock()
+			stamps = append(stamps, p.Now())
+			mu.Unlock()
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i := 1; i < len(stamps); i++ {
+		if stamps[i] <= stamps[i-1] {
+			t.Fatalf("Now not strictly increasing: %v", stamps)
+		}
+	}
+}
+
+func TestRunFreeCompletes(t *testing.T) {
+	var mu sync.Mutex
+	total := 0
+	res := RunFree(8, 17, func(p *Proc) {
+		for i := 0; i < 100; i++ {
+			p.Step()
+		}
+		mu.Lock()
+		total++
+		mu.Unlock()
+	})
+	if total != 8 {
+		t.Fatalf("finished bodies = %d, want 8", total)
+	}
+	if res.Steps != 800 {
+		t.Fatalf("Steps = %d, want 800", res.Steps)
+	}
+	for i, f := range res.Finished {
+		if !f {
+			t.Fatalf("process %d not finished", i)
+		}
+	}
+}
+
+// TestQuickAdversariesPreserveStepSerialization checks, over random seeds and
+// process counts, that the step scheduler serializes steps: a shared
+// non-atomic counter incremented between Step boundaries never loses updates,
+// because at most one process runs user code at a time.
+func TestQuickAdversariesPreserveStepSerialization(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%7) + 2
+		counter := 0 // deliberately unsynchronized: serialization must protect it
+		const perProc = 50
+		res, err := Run(Config{N: n, Seed: seed, Adversary: NewRandom(seed)}, func(p *Proc) {
+			for i := 0; i < perProc; i++ {
+				p.Step()
+				counter++
+			}
+		})
+		if err != nil {
+			return false
+		}
+		return counter == n*perProc && res.Steps == int64(n*perProc)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdversaryPanicsOnBadPick(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic when adversary picks a non-waiting pid")
+		}
+	}()
+	_, _ = Run(Config{
+		N: 2, Seed: 1,
+		Adversary: FuncAdversary(func([]int, int64) int { return 99 }),
+	}, func(p *Proc) { p.Step() })
+}
+
+func TestInsertSortedKeepsOrder(t *testing.T) {
+	s := []int{}
+	for _, v := range []int{5, 1, 3, 2, 4, 0} {
+		s = insertSorted(s, v)
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] != i {
+			t.Fatalf("insertSorted produced %v", s)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package strip
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// naiveIncRow is inc_graph with the max-path guard removed: a process
+// "catches up" along *every* incoming edge instead of only edges on maximum
+// paths. DESIGN.md calls this ablation out: the guard looks redundant but is
+// what keeps clamped direct edges (which under-report the true distance) from
+// being decremented while the true gap is still open.
+func naiveIncRow(i int, e [][]int, k int) ([]int, error) {
+	g, err := Decode(e, k)
+	if err != nil {
+		return nil, err
+	}
+	row := append([]int(nil), e[i]...)
+	for j := range e {
+		if j == i {
+			continue
+		}
+		catchUp := g.Has[j][i] // no OnMaxPathToAny guard
+		pullAhead := g.Has[i][j] && g.W[i][j] < k
+		if catchUp || pullAhead {
+			row[j] = Mod3K(row[j]+1, k)
+		}
+	}
+	return row, nil
+}
+
+// TestAblationNaiveIncDivergesFromGame shows that without the max-path guard
+// the counter representation stops tracking the token game (Claim 4.1 fails),
+// while the guarded version tracks it forever on the same move sequence.
+func TestAblationNaiveIncDivergesFromGame(t *testing.T) {
+	const n, k = 3, 2
+	const moves = 2000
+
+	run := func(inc func(int, [][]int, int) ([]int, error), seed int64) (diverged bool) {
+		game, err := NewGame(n, k, Normalized)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := CounterMatrix(n)
+		rng := rand.New(rand.NewSource(seed))
+		for s := 0; s < moves; s++ {
+			i := rng.Intn(n)
+			game.Move(i)
+			row, err := inc(i, e, k)
+			if err != nil {
+				return true // undecodable state: definitely diverged
+			}
+			e[i] = row
+			dec, err := Decode(e, k)
+			if err != nil {
+				return true
+			}
+			if !dec.Equal(FromPositions(game.Pos, k)) {
+				return true
+			}
+		}
+		return false
+	}
+
+	naiveDiverged := false
+	for seed := int64(0); seed < 20; seed++ {
+		if run(naiveIncRow, seed) {
+			naiveDiverged = true
+		}
+		if run(IncRow, seed) {
+			t.Fatalf("guarded IncRow diverged from the game on seed %d", seed)
+		}
+	}
+	if !naiveDiverged {
+		t.Fatal("naive inc (no max-path guard) tracked the game on every seed — the guard would be redundant, contradicting the paper's construction")
+	}
+}

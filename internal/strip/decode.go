@@ -1,0 +1,104 @@
+package strip
+
+import "fmt"
+
+// This file implements the paper's §4.3 concurrent representation of the
+// distance graph: for every unordered pair {i,j}, two counters e[i][j]
+// (written only by i) and e[j][i] (written only by j), each in {0..3K-1},
+// interpreted as pointers on a cycle of size 3K. The clockwise distance from
+// j's pointer to i's pointer, (e[i][j] - e[j][i]) mod 3K, is the weight of
+// edge (i,j) when it is at most K; in every reachable state at least one of
+// the two clockwise distances is <= K.
+//
+// A process advances a round by recomputing its whole counter row from a
+// snapshot (IncRow) and publishing it as part of its scannable-memory entry.
+
+// Mod3K returns x mod 3K normalized to [0, 3K).
+func Mod3K(x, k int) int {
+	m := 3 * k
+	x %= m
+	if x < 0 {
+		x += m
+	}
+	return x
+}
+
+// EdgeFromCounters decodes the relation between i and j from their counters:
+// it returns whether edge (i,j) exists and its weight, given eij = e[i][j]
+// and eji = e[j][i]. Exactly one direction exists unless the counters are
+// equal (tie: both directions, weight 0). An error is returned if neither
+// clockwise distance is within [0..K] — a state unreachable in legal
+// executions.
+func EdgeFromCounters(eij, eji, k int) (hasIJ, hasJI bool, wIJ, wJI int, err error) {
+	dij := Mod3K(eij-eji, k)
+	dji := Mod3K(eji-eij, k)
+	switch {
+	case dij == 0 && dji == 0:
+		return true, true, 0, 0, nil
+	case dij <= k && dji <= k:
+		return false, false, 0, 0, fmt.Errorf("strip: ambiguous counters (%d,%d) mod %d", eij, eji, 3*k)
+	case dij <= k:
+		return true, false, dij, 0, nil
+	case dji <= k:
+		return false, true, 0, dji, nil
+	default:
+		return false, false, 0, 0, fmt.Errorf("strip: undecodable counters (%d,%d) mod %d: both distances exceed K=%d", eij, eji, 3*k, k)
+	}
+}
+
+// Decode builds the distance graph from the full counter matrix e, where
+// e[i][j] is process i's counter toward j (e[i][i] is ignored).
+func Decode(e [][]int, k int) (*Graph, error) {
+	n := len(e)
+	g := NewGraph(n, k)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			hij, hji, wij, wji, err := EdgeFromCounters(e[i][j], e[j][i], k)
+			if err != nil {
+				return nil, fmt.Errorf("pair (%d,%d): %w", i, j, err)
+			}
+			g.Has[i][j], g.Has[j][i] = hij, hji
+			g.W[i][j], g.W[j][i] = wij, wji
+		}
+	}
+	return g, nil
+}
+
+// IncRow is the paper's inc_graph for process i: given a snapshot of all
+// counter rows, it returns i's new row, incrementing e[i][j] (mod 3K) for
+// every j where either
+//
+//   - (j,i) ∈ G and (j,i) lies on a maximum-weight path to i (i catches up
+//     one round toward j), or
+//   - (i,j) ∈ G and w(i,j) < K (i pulls one further round ahead of j,
+//     saturating at K).
+//
+// The returned slice is a fresh copy; e is not modified.
+func IncRow(i int, e [][]int, k int) ([]int, error) {
+	g, err := Decode(e, k)
+	if err != nil {
+		return nil, err
+	}
+	row := append([]int(nil), e[i]...)
+	for j := range e {
+		if j == i {
+			continue
+		}
+		catchUp := g.Has[j][i] && g.OnMaxPathToAny(j, i)
+		pullAhead := g.Has[i][j] && g.W[i][j] < k
+		if catchUp || pullAhead {
+			row[j] = Mod3K(row[j]+1, k)
+		}
+	}
+	return row, nil
+}
+
+// CounterMatrix allocates an n×n zero counter matrix (the initial state: all
+// tokens tied).
+func CounterMatrix(n int) [][]int {
+	e := make([][]int, n)
+	for i := range e {
+		e[i] = make([]int, n)
+	}
+	return e
+}

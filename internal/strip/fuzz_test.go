@@ -1,0 +1,113 @@
+package strip
+
+import "testing"
+
+// FuzzShrinkNormalize checks the §4.1 transformation invariants on arbitrary
+// position vectors: order preservation, gap clamping, minimal-token fixpoint,
+// idempotence, and the normalized range.
+func FuzzShrinkNormalize(f *testing.F) {
+	f.Add([]byte{0, 1, 2}, uint8(2))
+	f.Add([]byte{10, 0, 200, 7}, uint8(1))
+	f.Add([]byte{255, 255, 0}, uint8(4))
+	f.Fuzz(func(t *testing.T, raw []byte, kRaw uint8) {
+		if len(raw) == 0 || len(raw) > 16 {
+			return
+		}
+		k := int(kRaw%6) + 1
+		pos := make([]int, len(raw))
+		for i, b := range raw {
+			pos[i] = int(b)
+		}
+		s := Shrink(pos, k)
+		if MaxGap(s) > k {
+			t.Fatalf("Shrink(%v,%d)=%v: gap %d > K", pos, k, s, MaxGap(s))
+		}
+		for i := range pos {
+			for j := range pos {
+				if pos[i] < pos[j] && s[i] >= s[j] {
+					t.Fatalf("order broken: %v -> %v", pos, s)
+				}
+				if pos[i] == pos[j] && s[i] != s[j] {
+					t.Fatalf("tie broken: %v -> %v", pos, s)
+				}
+			}
+		}
+		minP, _ := Range(pos)
+		if minS, _ := Range(s); minS != minP {
+			t.Fatalf("min moved: %v -> %v", pos, s)
+		}
+		s2 := Shrink(s, k)
+		for i := range s {
+			if s2[i] != s[i] {
+				t.Fatalf("not idempotent: %v -> %v -> %v", pos, s, s2)
+			}
+		}
+		nrm := Normalize(s, k)
+		lo, hi := Range(nrm)
+		if lo < 0 || hi != k*len(raw) {
+			t.Fatalf("Normalize(%v,%d)=%v outside [0..%d]", s, k, nrm, k*len(raw))
+		}
+		if FromPositions(s, k).Validate() != nil {
+			t.Fatalf("graph of shrunken %v invalid", s)
+		}
+	})
+}
+
+// FuzzGameCounterEquivalence replays an arbitrary move sequence through the
+// normalized token game and the mod-3K counter representation and checks
+// Claim 4.1 equivalence at every step.
+func FuzzGameCounterEquivalence(f *testing.F) {
+	f.Add(uint8(3), uint8(2), []byte{0, 1, 2, 0, 0, 1})
+	f.Add(uint8(2), uint8(1), []byte{1, 1, 1, 1, 0})
+	f.Fuzz(func(t *testing.T, nRaw, kRaw uint8, moves []byte) {
+		n := int(nRaw%5) + 2
+		k := int(kRaw%3) + 1
+		if len(moves) > 300 {
+			moves = moves[:300]
+		}
+		game, err := NewGame(n, k, Normalized)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := CounterMatrix(n)
+		for s, mv := range moves {
+			i := int(mv) % n
+			game.Move(i)
+			row, err := IncRow(i, e, k)
+			if err != nil {
+				t.Fatalf("move %d: %v", s, err)
+			}
+			e[i] = row
+			dec, err := Decode(e, k)
+			if err != nil {
+				t.Fatalf("move %d: %v", s, err)
+			}
+			if !dec.Equal(FromPositions(game.Pos, k)) {
+				t.Fatalf("move %d: counters diverged from game (pos %v)", s, game.Pos)
+			}
+		}
+	})
+}
+
+// FuzzEdgeFromCounters checks that decoding arbitrary counter pairs either
+// fails cleanly or produces a well-formed edge.
+func FuzzEdgeFromCounters(f *testing.F) {
+	f.Add(0, 0, uint8(2))
+	f.Add(5, 1, uint8(2))
+	f.Fuzz(func(t *testing.T, eij, eji int, kRaw uint8) {
+		k := int(kRaw%5) + 1
+		hij, hji, wij, wji, err := EdgeFromCounters(eij, eji, k)
+		if err != nil {
+			return
+		}
+		if !hij && !hji {
+			t.Fatal("decoded edge has no direction")
+		}
+		if hij && hji && (wij != 0 || wji != 0) {
+			t.Fatalf("double edge with nonzero weights (%d,%d)", wij, wji)
+		}
+		if wij < 0 || wij > k || wji < 0 || wji > k {
+			t.Fatalf("weights (%d,%d) outside [0..%d]", wij, wji, k)
+		}
+	})
+}

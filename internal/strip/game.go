@@ -1,0 +1,191 @@
+// Package strip implements the paper's §4 bounded rounds strip: the token
+// game on the naturals, its shrinking and normalizing transformations, the
+// distance graph representation, and the concurrent implementation of the
+// graph with per-edge counters in {0..3K-1}.
+//
+// The layers correspond to the paper's presentation:
+//
+//	Game          — §4.1 sequential token game (raw / shrunken / normalized)
+//	Graph         — §4.2 distance graph G(S) and the abstract inc(i, G)
+//	Decode/IncRow — §4.3 edge-counter representation and inc_graph
+//
+// Claim 4.1 (a token_move in the game maps to inc on the graph) is verified
+// by property tests that run all layers in lockstep.
+package strip
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Mode selects which transformations the Game applies after each move.
+type Mode int
+
+// Game modes.
+const (
+	// Raw applies no transformation: true round numbers, unbounded.
+	Raw Mode = iota + 1
+	// Shrunken applies shrink_K after every move: gaps between consecutive
+	// tokens are clamped to K, but absolute positions still grow without
+	// bound.
+	Shrunken
+	// Normalized applies shrink_K then normalize_K: all positions stay in
+	// [0 .. K·n] forever. This is the bounded representation the paper's
+	// protocol uses (via the distance graph).
+	Normalized
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case Raw:
+		return "raw"
+	case Shrunken:
+		return "shrunken"
+	case Normalized:
+		return "normalized"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Game is the sequential token game: one token per process on the integers,
+// all initially at 0. Move advances one token and applies the mode's
+// transformations.
+type Game struct {
+	K    int
+	Mode Mode
+	Pos  []int
+}
+
+// NewGame returns a game for n tokens with gap constant K.
+func NewGame(n, k int, mode Mode) (*Game, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("strip: n must be >= 1, got %d", n)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("strip: K must be >= 1, got %d", k)
+	}
+	switch mode {
+	case Raw, Shrunken, Normalized:
+	default:
+		return nil, fmt.Errorf("strip: unknown mode %d", int(mode))
+	}
+	return &Game{K: k, Mode: mode, Pos: make([]int, n)}, nil
+}
+
+// N returns the number of tokens.
+func (g *Game) N() int { return len(g.Pos) }
+
+// Move performs move_token_i followed by the mode's transformations.
+func (g *Game) Move(i int) {
+	g.Pos[i]++
+	switch g.Mode {
+	case Shrunken:
+		g.Pos = Shrink(g.Pos, g.K)
+	case Normalized:
+		g.Pos = Normalize(Shrink(g.Pos, g.K), g.K)
+	}
+}
+
+// Shrink returns shrink_K(pos): the minimal token keeps its position; walking
+// up the sorted order, any gap strictly larger than K between consecutive
+// tokens becomes exactly K, and smaller gaps are preserved. Ties keep
+// distance zero. The relative order of tokens never changes.
+func Shrink(pos []int, k int) []int {
+	n := len(pos)
+	order := argsort(pos)
+	out := make([]int, n)
+	out[order[0]] = pos[order[0]]
+	for t := 1; t < n; t++ {
+		gap := pos[order[t]] - pos[order[t-1]]
+		if gap > k {
+			gap = k
+		}
+		out[order[t]] = out[order[t-1]] + gap
+	}
+	return out
+}
+
+// Normalize returns normalize_K(pos): every position is shifted so the
+// maximal token sits at K·n; applied after Shrink, all positions land in
+// [0 .. K·n].
+func Normalize(pos []int, k int) []int {
+	n := len(pos)
+	max := pos[0]
+	for _, p := range pos[1:] {
+		if p > max {
+			max = p
+		}
+	}
+	out := make([]int, n)
+	shift := k*n - max
+	for i, p := range pos {
+		out[i] = p + shift
+	}
+	return out
+}
+
+// MaxGap returns the largest gap between consecutive tokens in sorted order.
+func MaxGap(pos []int) int {
+	if len(pos) < 2 {
+		return 0
+	}
+	order := argsort(pos)
+	max := 0
+	for t := 1; t < len(pos); t++ {
+		if g := pos[order[t]] - pos[order[t-1]]; g > max {
+			max = g
+		}
+	}
+	return max
+}
+
+// Range returns the minimal and maximal token positions.
+func Range(pos []int) (min, max int) {
+	min, max = pos[0], pos[0]
+	for _, p := range pos[1:] {
+		if p < min {
+			min = p
+		}
+		if p > max {
+			max = p
+		}
+	}
+	return min, max
+}
+
+// Validate checks the invariants of the game's mode: Shrunken games have all
+// consecutive gaps <= K; Normalized games additionally have all positions in
+// [0 .. K·n].
+func (g *Game) Validate() error {
+	if g.Mode == Raw {
+		return nil
+	}
+	if mg := MaxGap(g.Pos); mg > g.K {
+		return fmt.Errorf("strip: consecutive gap %d exceeds K=%d in %v", mg, g.K, g.Pos)
+	}
+	if g.Mode == Normalized {
+		min, max := Range(g.Pos)
+		if min < 0 || max > g.K*g.N() {
+			return fmt.Errorf("strip: positions %v escape [0..%d]", g.Pos, g.K*g.N())
+		}
+	}
+	return nil
+}
+
+// argsort returns token indices sorted by position, breaking ties by index
+// so the transformation is deterministic.
+func argsort(pos []int) []int {
+	order := make([]int, len(pos))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		if pos[order[a]] != pos[order[b]] {
+			return pos[order[a]] < pos[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	return order
+}

@@ -1,0 +1,215 @@
+// Package timestamp implements a bounded sequential time-stamp system after
+// Israeli and Li ("Bounded Time Stamps", FOCS 1987 — the paper's [IL88]
+// citation). The paper's introduction frames its whole problem through this
+// lens: unbounded consensus constructions order events with ever-growing
+// time stamps, and boundedness is obtained by replacing them with bounded
+// time-stamp systems (the concurrent version is Dolev–Shavit [DS89]; the
+// sequential version implemented here is the conceptual core).
+//
+// A system serves n processes. Each process holds one live label; taking a
+// new time stamp produces a label that *dominates* every currently live
+// label, yet labels come from a fixed finite set: strings of n-1 trits
+// ordered positionwise by the 3-cycle 1≻0, 2≻1, 0≻2. Recency among live
+// labels is always recoverable from the labels alone — exactly what an
+// unbounded integer counter gives, without the unboundedness.
+package timestamp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// beats reports whether trit a dominates trit b on the 3-cycle (1≻0, 2≻1,
+// 0≻2). Equal trits do not beat each other.
+func beats(a, b uint8) bool { return a == (b+1)%3 }
+
+// Label is a bounded time stamp: n-1 trits. The zero label (all zeros) is
+// every process's initial label.
+type Label []uint8
+
+// String renders the label as a trit string.
+func (l Label) String() string {
+	var b strings.Builder
+	for _, t := range l {
+		fmt.Fprintf(&b, "%d", t)
+	}
+	return b.String()
+}
+
+// clone returns a copy.
+func (l Label) clone() Label { return append(Label(nil), l...) }
+
+// Dominates reports whether l ≻ o: at the first differing position, l's trit
+// beats o's. Equal labels do not dominate each other.
+func (l Label) Dominates(o Label) bool {
+	for i := range l {
+		if l[i] != o[i] {
+			return beats(l[i], o[i])
+		}
+	}
+	return false
+}
+
+// System is a bounded sequential time-stamp system for n processes. Its
+// methods must be called sequentially (one Take at a time) — that is the
+// "sequential" in the name; making Take concurrent is exactly the hard
+// problem [DS89] solves, out of scope for this package.
+type System struct {
+	n      int
+	labels []Label // live label per process
+	order  []int   // pids from oldest to newest take (ground truth for tests)
+}
+
+// New returns a system for n >= 2 processes, all holding the initial label.
+func New(n int) (*System, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("timestamp: need n >= 2, got %d", n)
+	}
+	s := &System{n: n, labels: make([]Label, n)}
+	for i := range s.labels {
+		s.labels[i] = make(Label, n-1)
+		s.order = append(s.order, i)
+	}
+	return s, nil
+}
+
+// Label returns process pid's current label (a copy).
+func (s *System) Label(pid int) Label { return s.labels[pid].clone() }
+
+// Take assigns process pid a fresh label dominating every other live label
+// and returns it.
+func (s *System) Take(pid int) Label {
+	others := make([]Label, 0, s.n-1)
+	for j, l := range s.labels {
+		if j != pid {
+			others = append(others, l)
+		}
+	}
+	nl := newLabel(others, s.n-1)
+	s.labels[pid] = nl
+
+	// Maintain the ground-truth recency order.
+	for i, p := range s.order {
+		if p == pid {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	s.order = append(s.order, pid)
+	return nl.clone()
+}
+
+// newLabel computes a label of the given length dominating every label in
+// others (each of that same length). The classic recursion: the live labels
+// at each position form at most two adjacent trit classes; pick the dominant
+// class's trit + 1 when the position has one class (beating everyone there
+// outright), or side with the dominant class and recurse on just its members
+// when there are two. Each recursion level discards at least one label, so
+// length n-1 always suffices for n-1 others.
+func newLabel(others []Label, length int) Label {
+	out := make(Label, length)
+	suffix := func(ls []Label) []Label {
+		t := make([]Label, len(ls))
+		for i, l := range ls {
+			t[i] = l[1:]
+		}
+		return t
+	}
+	build(others, out, suffix)
+	return out
+}
+
+func build(others []Label, out Label, suffix func([]Label) []Label) {
+	if len(out) == 0 {
+		return
+	}
+	if len(others) == 0 {
+		// Nobody left to dominate: zero-fill (any value works).
+		for i := range out {
+			out[i] = 0
+		}
+		return
+	}
+	present := map[uint8][]Label{}
+	for _, l := range others {
+		present[l[0]] = append(present[l[0]], l)
+	}
+	switch len(present) {
+	case 1:
+		// One class with trit t: t+1 beats them all; rest of the label is
+		// free (zero-fill).
+		var t uint8
+		for k := range present {
+			t = k
+		}
+		out[0] = (t + 1) % 3
+		for i := 1; i < len(out); i++ {
+			out[i] = 0
+		}
+	default:
+		// Two (or, transiently, three) classes: find the dominant trit — the
+		// one that beats another present trit and is not itself beaten by a
+		// present trit. With at most two classes it exists; with three (only
+		// possible mid-migration in a *concurrent* system, impossible here)
+		// fall back to the maximum count.
+		var dom uint8
+		found := false
+		for a := range present {
+			beatsSome, beatenBySome := false, false
+			for b := range present {
+				if beats(a, b) {
+					beatsSome = true
+				}
+				if beats(b, a) {
+					beatenBySome = true
+				}
+			}
+			if beatsSome && !beatenBySome {
+				dom = a
+				found = true
+			}
+		}
+		if !found {
+			for a := range present {
+				dom = a
+				break
+			}
+		}
+		out[0] = dom
+		build(suffix(present[dom]), out[1:], suffix)
+	}
+}
+
+// Newest returns the pid whose live label dominates all others, recovered
+// from the labels alone (not from the ground-truth order).
+func (s *System) Newest() (int, error) {
+	for i := 0; i < s.n; i++ {
+		ok := true
+		for j := 0; j < s.n; j++ {
+			if i == j {
+				continue
+			}
+			if !s.labels[i].Dominates(s.labels[j]) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return i, nil
+		}
+	}
+	return -1, fmt.Errorf("timestamp: no dominating label (system corrupted)")
+}
+
+// GroundTruthNewest returns the pid that actually took a stamp most
+// recently — the oracle the tests compare Newest against.
+func (s *System) GroundTruthNewest() int { return s.order[len(s.order)-1] }
+
+// LabelSpace returns the size of the (finite) label universe: 3^(n-1).
+func LabelSpace(n int) int {
+	out := 1
+	for i := 1; i < n; i++ {
+		out *= 3
+	}
+	return out
+}

@@ -1,0 +1,85 @@
+package universal
+
+import (
+	"fmt"
+
+	"github.com/dsrepro/consensus/internal/core"
+	"github.com/dsrepro/consensus/internal/sched"
+)
+
+// Queue is a linearizable FIFO queue derived from the universal Log — the
+// standard "any object" move of Herlihy's universality argument: operations
+// are appended to the agreed log, and the object's state (hence every
+// operation's return value) is recovered by deterministic replay of the
+// committed prefix. Nothing queue-specific is agreed on; consensus only
+// orders the operations.
+//
+// Command encoding (uint64): bit 63 set = dequeue marker (tagged with the
+// dequeuer's pid so replay can attribute the popped value); otherwise an
+// enqueue of the low 62 bits.
+type Queue struct {
+	log *Log
+	n   int
+}
+
+const (
+	deqFlag  = uint64(1) << 63
+	maxValue = uint64(1)<<62 - 1
+)
+
+// NewQueue builds a queue for n processes over the bounded protocol.
+func NewQueue(n int, cfg core.Config) (*Queue, error) {
+	log, err := NewLog(n, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Queue{log: log, n: n}, nil
+}
+
+// Enqueue appends v to the queue.
+func (q *Queue) Enqueue(p *sched.Proc, v uint64) error {
+	if v > maxValue {
+		return fmt.Errorf("universal: queue value %d exceeds 62 bits", v)
+	}
+	_, err := q.log.Append(p, v)
+	return err
+}
+
+// Dequeue removes and returns the oldest value, or ok=false if the queue was
+// empty at the operation's linearization point (its slot in the log).
+func (q *Queue) Dequeue(p *sched.Proc) (uint64, bool, error) {
+	cmd := deqFlag | uint64(p.ID())
+	slot, err := q.log.Append(p, cmd)
+	if err != nil {
+		return 0, false, err
+	}
+	// Replay the committed prefix up to and including our marker to find
+	// what (if anything) this dequeue popped.
+	cmds, oks, err := q.log.Committed(p, slot+1)
+	if err != nil {
+		return 0, false, err
+	}
+	var fifo []uint64
+	for s := 0; s <= slot; s++ {
+		if !oks[s] {
+			continue
+		}
+		c := cmds[s]
+		if c&deqFlag == 0 {
+			fifo = append(fifo, c)
+			continue
+		}
+		if len(fifo) == 0 {
+			if s == slot {
+				return 0, false, nil // our dequeue hit an empty queue
+			}
+			continue // someone else's empty dequeue
+		}
+		head := fifo[0]
+		fifo = fifo[1:]
+		if s == slot {
+			return head, true, nil
+		}
+	}
+	return 0, false, fmt.Errorf("universal: own dequeue marker missing from slot %d", slot)
+}

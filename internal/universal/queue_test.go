@@ -1,0 +1,134 @@
+package universal
+
+import (
+	"testing"
+
+	"github.com/dsrepro/consensus/internal/core"
+	"github.com/dsrepro/consensus/internal/sched"
+)
+
+func TestQueueSequentialFIFO(t *testing.T) {
+	q, err := NewQueue(2, core.Config{B: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = sched.Run(sched.Config{N: 2, Seed: 1, MaxSteps: 100_000_000}, func(p *sched.Proc) {
+		if p.ID() != 0 {
+			return
+		}
+		if _, ok, err := q.Dequeue(p); err != nil || ok {
+			t.Errorf("dequeue on empty = ok=%v err=%v", ok, err)
+			return
+		}
+		for _, v := range []uint64{10, 20, 30} {
+			if err := q.Enqueue(p, v); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		for _, want := range []uint64{10, 20, 30} {
+			v, ok, err := q.Dequeue(p)
+			if err != nil || !ok || v != want {
+				t.Errorf("Dequeue = (%d,%v,%v), want %d", v, ok, err, want)
+				return
+			}
+		}
+		if _, ok, _ := q.Dequeue(p); ok {
+			t.Error("queue should be empty again")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueueRejectsHugeValues(t *testing.T) {
+	q, err := NewQueue(1, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = sched.Run(sched.Config{N: 1, Seed: 1}, func(p *sched.Proc) {
+		if err := q.Enqueue(p, 1<<63); err == nil {
+			t.Error("expected error for 63-bit value")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQueueConcurrentClientsLinearizable: producers enqueue distinct values
+// while consumers dequeue concurrently. Afterwards: no value is dequeued
+// twice, every dequeued value was enqueued, and the dequeue order of values
+// from one producer preserves that producer's enqueue order (FIFO per
+// producer is implied by global FIFO).
+func TestQueueConcurrentClientsLinearizable(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		const n = 4
+		q, err := NewQueue(n, core.Config{B: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		type deq struct {
+			val uint64
+			ok  bool
+		}
+		results := make([][]deq, n)
+		_, err = sched.Run(sched.Config{N: n, Seed: seed, Adversary: sched.NewRandom(seed*3 + 1), MaxSteps: 800_000_000}, func(p *sched.Proc) {
+			i := p.ID()
+			if i < 2 { // producers
+				for k := 0; k < 3; k++ {
+					if err := q.Enqueue(p, uint64(100*(i+1)+k)); err != nil {
+						t.Errorf("enqueue: %v", err)
+						return
+					}
+				}
+				return
+			}
+			for k := 0; k < 4; k++ { // consumers
+				v, ok, err := q.Dequeue(p)
+				if err != nil {
+					t.Errorf("dequeue: %v", err)
+					return
+				}
+				results[i] = append(results[i], deq{v, ok})
+			}
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		seen := map[uint64]int{}
+		perProducer := map[int][]uint64{}
+		for i := 2; i < n; i++ {
+			for _, d := range results[i] {
+				if !d.ok {
+					continue
+				}
+				seen[d.val]++
+				perProducer[int(d.val/100)] = append(perProducer[int(d.val)/100], d.val)
+			}
+		}
+		for v, c := range seen {
+			if c != 1 {
+				t.Fatalf("seed %d: value %d dequeued %d times", seed, v, c)
+			}
+			if v < 100 || v > 299 || int(v%100) > 2 {
+				t.Fatalf("seed %d: dequeued value %d was never enqueued", seed, v)
+			}
+		}
+		// Per-consumer streams must respect each producer's order.
+		for i := 2; i < n; i++ {
+			last := map[int]uint64{}
+			for _, d := range results[i] {
+				if !d.ok {
+					continue
+				}
+				prod := int(d.val / 100)
+				if prev, ok := last[prod]; ok && d.val <= prev {
+					t.Fatalf("seed %d: consumer %d saw producer %d out of order: %d after %d", seed, i, prod, d.val, prev)
+				}
+				last[prod] = d.val
+			}
+		}
+	}
+}

@@ -1,0 +1,254 @@
+// Package universal makes the paper's motivation concrete: "a randomized
+// solution to the consensus problem ... provides a basis for constructing
+// novel universal synchronization primitives, such as the fetch and cons of
+// [H88], or the sticky bits of [P89]" (§1).
+//
+// It builds two objects from composed instances of the bounded consensus
+// protocol, all running inside a single simulated execution:
+//
+//   - StickyBit: Plotkin's write-once bit — the first value successfully
+//     written "sticks" and every subsequent read or write observes it.
+//   - Log: a fetch&cons-flavoured universal object — a totally ordered,
+//     agreed-upon append log. Every slot elects a winning process through n
+//     binary consensus instances (instance j asks "does process j win this
+//     slot?"; only j itself ever proposes 1, so a 1-decision can never be
+//     synthesized), and the winner's command is read from a per-slot
+//     announce register the winner filled before bidding. The log is
+//     lock-free with probabilistic per-slot progress; per-process
+//     wait-freedom would additionally need Herlihy's helping mechanism,
+//     which the paper does not cover.
+//
+// A consensus protocol instance is one-shot per process, so the Log
+// memoizes every (slot, instance, process) participation.
+package universal
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/dsrepro/consensus/internal/core"
+	"github.com/dsrepro/consensus/internal/register"
+	"github.com/dsrepro/consensus/internal/sched"
+)
+
+// StickyBit is Plotkin's write-once bit built from one binary consensus
+// instance: the stuck value is whatever consensus decides among the writers'
+// proposals; reads that may run concurrently with the first writes join the
+// consensus, so all parties agree. Reads before any write return Unset.
+type StickyBit struct {
+	proto core.Protocol
+
+	mu      sync.Mutex
+	touched map[int]int // pid -> decided value (participation is one-shot)
+	written bool
+}
+
+// Unset is returned by StickyBit.Read before any write occurred.
+const Unset = -1
+
+// NewStickyBit builds a sticky bit for n processes over the bounded
+// protocol.
+func NewStickyBit(n int, cfg core.Config) (*StickyBit, error) {
+	cfg.N = n
+	proto, err := core.NewBounded(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &StickyBit{proto: proto, touched: make(map[int]int)}, nil
+}
+
+// Write tries to stick v (0 or 1) and returns the value that actually stuck.
+func (s *StickyBit) Write(p *sched.Proc, v int) (int, error) {
+	if v != 0 && v != 1 {
+		return 0, fmt.Errorf("universal: sticky bit value must be binary, got %d", v)
+	}
+	s.mu.Lock()
+	s.written = true
+	if dec, ok := s.touched[p.ID()]; ok {
+		s.mu.Unlock()
+		return dec, nil
+	}
+	s.mu.Unlock()
+
+	dec := s.proto.Run(p, v)
+
+	s.mu.Lock()
+	s.touched[p.ID()] = dec
+	s.mu.Unlock()
+	return dec, nil
+}
+
+// Read returns the stuck value, or Unset if no write has started. A read
+// concurrent with the first writes joins the consensus (proposing 0), which
+// is what makes every observer agree on the stuck value.
+func (s *StickyBit) Read(p *sched.Proc) int {
+	s.mu.Lock()
+	if dec, ok := s.touched[p.ID()]; ok {
+		s.mu.Unlock()
+		return dec
+	}
+	if !s.written {
+		s.mu.Unlock()
+		return Unset
+	}
+	s.mu.Unlock()
+
+	dec := s.proto.Run(p, 0)
+	s.mu.Lock()
+	s.touched[p.ID()] = dec
+	s.mu.Unlock()
+	return dec
+}
+
+// announceRec is a per-slot bid: the command a process wants to commit.
+type announceRec struct {
+	cmd uint64
+	set bool
+}
+
+// slot elects one winner among the n processes and remembers everyone's
+// observation of the election.
+type slot struct {
+	announce []*register.SWMR[announceRec]
+	who      []core.Protocol // who[j]: "does process j win this slot?"
+
+	mu  sync.Mutex
+	dec []map[int]int // dec[j][pid]: pid's decided value for instance j
+}
+
+// runOnce runs instance j for process p with the given proposal, memoizing
+// so a process participates in each instance at most once.
+func (sl *slot) runOnce(p *sched.Proc, j, input int) int {
+	sl.mu.Lock()
+	if v, ok := sl.dec[j][p.ID()]; ok {
+		sl.mu.Unlock()
+		return v
+	}
+	sl.mu.Unlock()
+
+	v := sl.who[j].Run(p, input)
+
+	sl.mu.Lock()
+	sl.dec[j][p.ID()] = v
+	sl.mu.Unlock()
+	return v
+}
+
+// resolve determines the slot's winner from p's side. If propose is true, p
+// first announces cmd and bids for itself. The winner index is -1 when every
+// election instance decided 0 (a no-op slot). All processes agree on the
+// result because each instance's decisions are consistent and everyone scans
+// instances in the same order, stopping at the first 1.
+func (sl *slot) resolve(p *sched.Proc, propose bool, cmd uint64) (int, uint64) {
+	me := p.ID()
+	if propose {
+		sl.announce[me].Write(p, announceRec{cmd: cmd, set: true})
+	}
+	for j := range sl.who {
+		input := 0
+		if propose && j == me {
+			input = 1
+		}
+		if sl.runOnce(p, j, input) == 1 {
+			// Consensus validity: a 1-decision implies some participant
+			// proposed 1, and only j itself ever does — after announcing.
+			rec := sl.announce[j].Read(p)
+			if !rec.set {
+				panic("universal: winner without announcement (validity violated)")
+			}
+			return j, rec.cmd
+		}
+	}
+	return -1, 0
+}
+
+// Log is the universal append log.
+type Log struct {
+	n   int
+	cfg core.Config
+
+	mu     sync.Mutex
+	slots  []*slot
+	cursor []int // per-process: first slot not yet resolved by that process
+}
+
+// NewLog builds a universal log for n processes. Commands are arbitrary
+// uint64 values.
+func NewLog(n int, cfg core.Config) (*Log, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("universal: n must be >= 1, got %d", n)
+	}
+	cfg.N = n
+	return &Log{n: n, cfg: cfg, cursor: make([]int, n)}, nil
+}
+
+// slotAt lazily allocates slot s.
+func (l *Log) slotAt(s int) (*slot, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for len(l.slots) <= s {
+		sl := &slot{
+			announce: make([]*register.SWMR[announceRec], l.n),
+			who:      make([]core.Protocol, l.n),
+			dec:      make([]map[int]int, l.n),
+		}
+		for j := 0; j < l.n; j++ {
+			proto, err := core.NewBounded(l.cfg)
+			if err != nil {
+				return nil, err
+			}
+			sl.announce[j] = register.NewSWMR(j, announceRec{})
+			sl.who[j] = proto
+			sl.dec[j] = make(map[int]int)
+		}
+		l.slots = append(l.slots, sl)
+	}
+	return l.slots[s], nil
+}
+
+// Append commits cmd to the log and returns its slot index. It keeps bidding
+// at successive slots until it wins one. Note a process that has *read* a
+// slot (via Committed) has already fixed its participation there and bids
+// from the next unresolved slot onward.
+func (l *Log) Append(p *sched.Proc, cmd uint64) (int, error) {
+	i := p.ID()
+	for {
+		l.mu.Lock()
+		s := l.cursor[i]
+		l.cursor[i] = s + 1
+		l.mu.Unlock()
+		sl, err := l.slotAt(s)
+		if err != nil {
+			return 0, err
+		}
+		winner, _ := sl.resolve(p, true, cmd)
+		if winner == i {
+			return s, nil
+		}
+	}
+}
+
+// Committed returns process p's (agreed) view of the first maxSlots slots:
+// for each, the winning command, or ok=false for a no-op slot. Reading a
+// slot participates in its election with 0-bids, which is what makes the
+// view agreed-upon — and also means p cannot later win a slot it has read.
+func (l *Log) Committed(p *sched.Proc, maxSlots int) ([]uint64, []bool, error) {
+	cmds := make([]uint64, maxSlots)
+	oks := make([]bool, maxSlots)
+	for s := 0; s < maxSlots; s++ {
+		sl, err := l.slotAt(s)
+		if err != nil {
+			return nil, nil, err
+		}
+		winner, cmd := sl.resolve(p, false, 0)
+		if winner >= 0 {
+			cmds[s], oks[s] = cmd, true
+		}
+		l.mu.Lock()
+		if l.cursor[p.ID()] <= s {
+			l.cursor[p.ID()] = s + 1
+		}
+		l.mu.Unlock()
+	}
+	return cmds, oks, nil
+}

@@ -1,0 +1,237 @@
+package universal
+
+import (
+	"testing"
+
+	"github.com/dsrepro/consensus/internal/core"
+	"github.com/dsrepro/consensus/internal/sched"
+)
+
+func TestStickyBitSticks(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		bit, err := NewStickyBit(3, core.Config{B: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]int, 3)
+		_, err = sched.Run(sched.Config{N: 3, Seed: seed, Adversary: sched.NewRandom(seed + 2), MaxSteps: 50_000_000}, func(p *sched.Proc) {
+			switch p.ID() {
+			case 0:
+				v, err := bit.Write(p, 1)
+				if err != nil {
+					t.Error(err)
+				}
+				got[0] = v
+			case 1:
+				v, err := bit.Write(p, 0)
+				if err != nil {
+					t.Error(err)
+				}
+				got[1] = v
+			case 2:
+				got[2] = bit.Read(p)
+			}
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		// Writers must agree on the stuck value; the reader sees either the
+		// stuck value or Unset (if it read before any write started).
+		if got[0] != got[1] {
+			t.Fatalf("seed %d: writers observed different stuck values: %v", seed, got)
+		}
+		if got[2] != Unset && got[2] != got[0] {
+			t.Fatalf("seed %d: reader saw %d, stuck was %d", seed, got[2], got[0])
+		}
+	}
+}
+
+func TestStickyBitUnsetBeforeWrites(t *testing.T) {
+	bit, err := NewStickyBit(2, core.Config{B: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = sched.Run(sched.Config{N: 2, Seed: 1}, func(p *sched.Proc) {
+		if p.ID() == 0 {
+			if v := bit.Read(p); v != Unset {
+				t.Errorf("Read before writes = %d, want Unset", v)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStickyBitRejectsNonBinary(t *testing.T) {
+	bit, err := NewStickyBit(1, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = sched.Run(sched.Config{N: 1, Seed: 1}, func(p *sched.Proc) {
+		if _, err := bit.Write(p, 7); err == nil {
+			t.Error("expected error for non-binary value")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStickyBitIdempotentPerProcess(t *testing.T) {
+	bit, err := NewStickyBit(1, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = sched.Run(sched.Config{N: 1, Seed: 1}, func(p *sched.Proc) {
+		v1, _ := bit.Write(p, 1)
+		v2, _ := bit.Write(p, 0) // later write cannot re-stick
+		v3 := bit.Read(p)
+		if v1 != 1 || v2 != 1 || v3 != 1 {
+			t.Errorf("sticky bit not sticky: %d %d %d", v1, v2, v3)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLogValidation(t *testing.T) {
+	if _, err := NewLog(0, core.Config{}); err == nil {
+		t.Fatal("expected error for n=0")
+	}
+}
+
+func TestLogSingleAppender(t *testing.T) {
+	log, err := NewLog(2, core.Config{B: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = sched.Run(sched.Config{N: 2, Seed: 3, MaxSteps: 50_000_000}, func(p *sched.Proc) {
+		if p.ID() != 0 {
+			return
+		}
+		for k := uint64(1); k <= 3; k++ {
+			slot, err := log.Append(p, 100+k)
+			if err != nil {
+				t.Errorf("Append: %v", err)
+				return
+			}
+			_ = slot
+		}
+		cmds, oks, err := log.Committed(p, 3)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		want := []uint64{101, 102, 103}
+		for i := range want {
+			if !oks[i] || cmds[i] != want[i] {
+				t.Errorf("slot %d = (%d,%v), want %d", i, cmds[i], oks[i], want[i])
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLogConcurrentAppendersAgree: every process appends distinct commands
+// concurrently; afterwards all views agree, every command appears exactly
+// once, and no command is synthesized. Processes barrier between the append
+// and read phases (reading participates in elections with 0-bids, so early
+// readers would turn pending slots into no-ops — allowed semantics, but it
+// would force an unbounded view window for the assertions).
+func TestLogConcurrentAppendersAgree(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		const n = 3
+		log, err := NewLog(n, core.Config{B: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		const perProc = 2
+		const maxSlots = 40
+		views := make([][]uint64, n)
+		viewOK := make([][]bool, n)
+		appendsDone := 0 // serialized under the step scheduler
+		_, err = sched.Run(sched.Config{N: n, Seed: seed, Adversary: sched.NewRandom(seed*7 + 3), MaxSteps: 400_000_000}, func(p *sched.Proc) {
+			i := p.ID()
+			for k := 0; k < perProc; k++ {
+				cmd := uint64(100*(i+1) + k)
+				if _, err := log.Append(p, cmd); err != nil {
+					t.Errorf("append: %v", err)
+					return
+				}
+			}
+			appendsDone++
+			for appendsDone < n {
+				p.Step() // barrier: wait for all appenders
+			}
+			cmds, oks, err := log.Committed(p, maxSlots)
+			if err != nil {
+				t.Errorf("committed: %v", err)
+				return
+			}
+			views[i], viewOK[i] = cmds, oks
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		// All views identical.
+		for i := 1; i < n; i++ {
+			for s := 0; s < maxSlots; s++ {
+				if viewOK[i][s] != viewOK[0][s] || (viewOK[0][s] && views[i][s] != views[0][s]) {
+					t.Fatalf("seed %d: views diverge at slot %d: p0=(%d,%v) p%d=(%d,%v)",
+						seed, s, views[0][s], viewOK[0][s], i, views[i][s], viewOK[i][s])
+				}
+			}
+		}
+		// Every appended command appears exactly once; nothing synthesized.
+		count := map[uint64]int{}
+		for s := 0; s < maxSlots; s++ {
+			if viewOK[0][s] {
+				count[views[0][s]]++
+			}
+		}
+		for i := 0; i < n; i++ {
+			for k := 0; k < perProc; k++ {
+				cmd := uint64(100*(i+1) + k)
+				if count[cmd] != 1 {
+					t.Fatalf("seed %d: command %d committed %d times (views %v, ok %v)", seed, cmd, count[cmd], views[0], viewOK[0])
+				}
+				delete(count, cmd)
+			}
+		}
+		if len(count) != 0 {
+			t.Fatalf("seed %d: synthesized commands committed: %v", seed, count)
+		}
+	}
+}
+
+func TestLogAppendAfterReadSkipsReadSlots(t *testing.T) {
+	log, err := NewLog(2, core.Config{B: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = sched.Run(sched.Config{N: 2, Seed: 5, MaxSteps: 100_000_000}, func(p *sched.Proc) {
+		if p.ID() != 0 {
+			return
+		}
+		// Read two empty slots first; they become no-ops for this process.
+		if _, _, err := log.Committed(p, 2); err != nil {
+			t.Error(err)
+			return
+		}
+		slot, err := log.Append(p, 9)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if slot < 2 {
+			t.Errorf("append landed in a slot already read (slot %d)", slot)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

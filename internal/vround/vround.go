@@ -1,0 +1,149 @@
+// Package vround implements the paper's §6.1 virtual global rounds: the
+// analysis device that assigns every process an unbounded, monotonically
+// non-decreasing round number from the serialized sequence of scans, even
+// though the bounded protocol never stores any round number.
+//
+// The scan serializability property (P3) totally orders scan operation
+// executions; walking that order, the inductive definition is:
+//
+//	round(i, S{0})   = 0
+//	max              = max_i round(i, S{a-1})
+//	old_leaders      = { j : round(j, S{a-1}) = max }
+//	new_leaders(S{a}) = { j in old_leaders : j's edge-counter row changed }
+//
+//	if new_leaders is non-empty, pick j' in new_leaders:
+//	    round(i, S{a}) = max+1                 if i in new_leaders
+//	                   = max+1 - dist(j', i)   otherwise
+//	else, pick j' in old_leaders:
+//	    round(i, S{a}) = max - dist(j', i)
+//
+// where dist is the §4.2 maximum-path distance in the graph decoded from the
+// scanned edge counters. A Tracker consumes the edge-counter matrix of each
+// successive scan and maintains these numbers; tests verify the properties
+// the correctness proof relies on (monotonicity, leaders at the maximum,
+// agreement with graph distances, and the Lemma 6.5 spread bound).
+package vround
+
+import (
+	"fmt"
+
+	"github.com/dsrepro/consensus/internal/strip"
+)
+
+// Tracker assigns virtual global rounds from a serialized scan sequence.
+type Tracker struct {
+	n, k   int
+	rounds []int64
+	prev   [][]int // edge matrix seen in the previous scan (initially zeros)
+}
+
+// New returns a tracker for n processes with rounds-strip constant k. All
+// processes start at virtual round 0 with zeroed edge counters.
+func New(n, k int) *Tracker {
+	return &Tracker{
+		n:      n,
+		k:      k,
+		rounds: make([]int64, n),
+		prev:   strip.CounterMatrix(n),
+	}
+}
+
+// Rounds returns the current virtual round of every process. The returned
+// slice is a copy.
+func (t *Tracker) Rounds() []int64 {
+	return append([]int64(nil), t.rounds...)
+}
+
+// Round returns process i's current virtual round.
+func (t *Tracker) Round(i int) int64 { return t.rounds[i] }
+
+// MaxRound returns the maximal current virtual round.
+func (t *Tracker) MaxRound() int64 {
+	m := t.rounds[0]
+	for _, r := range t.rounds[1:] {
+		if r > m {
+			m = r
+		}
+	}
+	return m
+}
+
+// Observe consumes the edge-counter matrix of the next scan in the
+// serialization order and updates the virtual rounds.
+func (t *Tracker) Observe(e [][]int) error {
+	if len(e) != t.n {
+		return fmt.Errorf("vround: matrix has %d rows, want %d", len(e), t.n)
+	}
+	g, err := strip.Decode(e, t.k)
+	if err != nil {
+		return fmt.Errorf("vround: %w", err)
+	}
+
+	max := t.MaxRound()
+	var oldLeaders, newLeaders []int
+	for j := 0; j < t.n; j++ {
+		if t.rounds[j] != max {
+			continue
+		}
+		oldLeaders = append(oldLeaders, j)
+		if !equalRow(t.prev[j], e[j]) {
+			newLeaders = append(newLeaders, j)
+		}
+	}
+
+	next := make([]int64, t.n)
+	if len(newLeaders) > 0 {
+		ref := newLeaders[0]
+		isNew := make(map[int]bool, len(newLeaders))
+		for _, j := range newLeaders {
+			isNew[j] = true
+		}
+		for i := 0; i < t.n; i++ {
+			if isNew[i] {
+				next[i] = max + 1
+				continue
+			}
+			d, ok := g.Dist(ref, i)
+			if !ok {
+				return fmt.Errorf("vround: no path from leader %d to %d", ref, i)
+			}
+			next[i] = max + 1 - int64(d)
+		}
+	} else {
+		if len(oldLeaders) == 0 {
+			return fmt.Errorf("vround: no leaders at max round %d", max)
+		}
+		ref := oldLeaders[0]
+		for i := 0; i < t.n; i++ {
+			d, ok := g.Dist(ref, i)
+			if !ok {
+				return fmt.Errorf("vround: no path from leader %d to %d", ref, i)
+			}
+			next[i] = max - int64(d)
+		}
+	}
+
+	// Virtual rounds are non-decreasing: a process's number can be pulled up
+	// by others' movement but never down (§6.1: "it can only increase").
+	for i := 0; i < t.n; i++ {
+		if next[i] > t.rounds[i] {
+			t.rounds[i] = next[i]
+		}
+	}
+	for i := range e {
+		copy(t.prev[i], e[i])
+	}
+	return nil
+}
+
+func equalRow(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

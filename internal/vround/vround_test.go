@@ -1,0 +1,144 @@
+package vround
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/dsrepro/consensus/internal/strip"
+)
+
+// sequentialDriver plays the normalized token game and feeds the tracker one
+// "scan" (the full counter matrix) after every move, mimicking a perfectly
+// synchronous execution. In that setting virtual rounds must equal the true
+// (raw) round numbers exactly as long as no gap has been clamped.
+func TestTrackerMatchesRawRoundsWhileUnclamped(t *testing.T) {
+	const n, k = 3, 2
+	tr := New(n, k)
+	e := strip.CounterMatrix(n)
+	raw := make([]int64, n)
+
+	rng := rand.New(rand.NewSource(5))
+	for step := 0; step < 400; step++ {
+		// Keep the game tight so no shrinking occurs: a process may move only
+		// if afterwards the total spread stays within K.
+		minRaw := raw[0]
+		for _, r := range raw {
+			if r < minRaw {
+				minRaw = r
+			}
+		}
+		var candidates []int
+		for i := 0; i < n; i++ {
+			if raw[i]+1-minRaw <= int64(k) {
+				candidates = append(candidates, i)
+			}
+		}
+		i := candidates[rng.Intn(len(candidates))]
+
+		row, err := strip.IncRow(i, e, k)
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		e[i] = row
+		raw[i]++
+		if err := tr.Observe(e); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		for j := 0; j < n; j++ {
+			if tr.Round(j) != raw[j] {
+				t.Fatalf("step %d: virtual rounds %v diverged from raw %v", step, tr.Rounds(), raw)
+			}
+		}
+	}
+}
+
+func TestTrackerMonotoneUnderArbitraryMoves(t *testing.T) {
+	const n, k = 4, 2
+	tr := New(n, k)
+	e := strip.CounterMatrix(n)
+	rng := rand.New(rand.NewSource(77))
+	prev := tr.Rounds()
+	for step := 0; step < 3000; step++ {
+		i := rng.Intn(n)
+		row, err := strip.IncRow(i, e, k)
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		e[i] = row
+		if err := tr.Observe(e); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		cur := tr.Rounds()
+		for j := 0; j < n; j++ {
+			if cur[j] < prev[j] {
+				t.Fatalf("step %d: virtual round of %d decreased: %v -> %v", step, j, prev, cur)
+			}
+		}
+		prev = cur
+	}
+}
+
+func TestTrackerLeadersSitAtMax(t *testing.T) {
+	// After every observation, graph leaders must hold the maximal virtual
+	// round, and round differences of close pairs must match graph distance.
+	const n, k = 4, 2
+	tr := New(n, k)
+	e := strip.CounterMatrix(n)
+	rng := rand.New(rand.NewSource(13))
+	for step := 0; step < 2000; step++ {
+		i := rng.Intn(n)
+		row, err := strip.IncRow(i, e, k)
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		e[i] = row
+		if err := tr.Observe(e); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		g, err := strip.Decode(e, k)
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		max := tr.MaxRound()
+		for _, l := range g.Leaders() {
+			if tr.Round(l) != max {
+				t.Fatalf("step %d: leader %d at round %d, max %d (rounds %v)", step, l, tr.Round(l), max, tr.Rounds())
+			}
+		}
+		// Distance consistency: for every pair, round difference == graph
+		// distance whenever the distance is below the clamp ceiling K.
+		for a := 0; a < n; a++ {
+			for bIdx := 0; bIdx < n; bIdx++ {
+				if a == bIdx {
+					continue
+				}
+				if d, ok := g.Dist(a, bIdx); ok && d < k {
+					if got := tr.Round(a) - tr.Round(bIdx); got != int64(d) {
+						t.Fatalf("step %d: round diff (%d,%d) = %d, graph dist %d (rounds %v)", step, a, bIdx, got, d, tr.Rounds())
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestTrackerRejectsBadInput(t *testing.T) {
+	tr := New(3, 2)
+	if err := tr.Observe(strip.CounterMatrix(2)); err == nil {
+		t.Fatal("expected error for wrong matrix size")
+	}
+	bad := strip.CounterMatrix(3)
+	bad[0][1] = 3 // ambiguous vs e[1][0]=0 on a 6-cycle
+	if err := tr.Observe(bad); err == nil {
+		t.Fatal("expected error for undecodable matrix")
+	}
+}
+
+func TestTrackerRoundsCopyIsDetached(t *testing.T) {
+	tr := New(2, 2)
+	r := tr.Rounds()
+	r[0] = 99
+	if tr.Round(0) == 99 {
+		t.Fatal("Rounds() exposed internal storage")
+	}
+}

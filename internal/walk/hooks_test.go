@@ -1,0 +1,59 @@
+package walk
+
+import (
+	"testing"
+
+	"github.com/dsrepro/consensus/internal/sched"
+)
+
+func TestOnStepTraceIsConsistent(t *testing.T) {
+	coin, err := NewSharedCoin(Params{N: 3, B: 2, M: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace []int
+	var pids []int
+	coin.OnStep = func(pid, v int) {
+		trace = append(trace, v)
+		pids = append(pids, pid)
+	}
+	_, err = sched.Run(sched.Config{N: 3, Seed: 8, Adversary: sched.NewRandom(1), MaxSteps: 10_000_000}, func(p *sched.Proc) {
+		coin.Flip(p)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(trace)) != coin.TotalWalkSteps() {
+		t.Fatalf("trace length %d != total walk steps %d", len(trace), coin.TotalWalkSteps())
+	}
+	// Each step moves one counter one unit, but a process mutates its local
+	// counter before its write is scheduled, so consecutive traced values can
+	// differ by up to 2 (and by 0 when two opposite mutations interleave).
+	prev := 0
+	for i, v := range trace {
+		d := v - prev
+		if d > 2 || d < -2 {
+			t.Fatalf("step %d: walk value jumped from %d to %d", i, prev, v)
+		}
+		prev = v
+	}
+	for _, pid := range pids {
+		if pid < 0 || pid > 2 {
+			t.Fatalf("bad pid in trace: %d", pid)
+		}
+	}
+	// The final traced value matches the peek.
+	if trace[len(trace)-1] != coin.WalkValuePeek() {
+		t.Fatalf("final trace %d != peek %d", trace[len(trace)-1], coin.WalkValuePeek())
+	}
+}
+
+func TestWalkValuePeekStartsAtZero(t *testing.T) {
+	coin, err := NewSharedCoin(Params{N: 4, B: 2, M: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coin.WalkValuePeek() != 0 {
+		t.Fatalf("initial peek = %d", coin.WalkValuePeek())
+	}
+}

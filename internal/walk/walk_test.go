@@ -1,0 +1,309 @@
+package walk
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/dsrepro/consensus/internal/sched"
+)
+
+func TestParamsValidate(t *testing.T) {
+	cases := []struct {
+		p  Params
+		ok bool
+	}{
+		{Params{N: 1, B: 1}, true},
+		{Params{N: 8, B: 4, M: 100}, true},
+		{Params{N: 0, B: 1}, false},
+		{Params{N: 1, B: 0}, false},
+	}
+	for _, c := range cases {
+		err := c.p.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("Validate(%+v) error = %v, want ok=%v", c.p, err, c.ok)
+		}
+	}
+}
+
+func TestValueBarriers(t *testing.T) {
+	p := Params{N: 2, B: 3} // barrier at ±6
+	cases := []struct {
+		c    []int
+		want Outcome
+	}{
+		{[]int{0, 0}, Undecided},
+		{[]int{3, 3}, Undecided}, // sum == B·N is not across the barrier
+		{[]int{4, 3}, Heads},
+		{[]int{-4, -3}, Tails},
+		{[]int{-3, -3}, Undecided},
+		{[]int{10, -3}, Heads},
+	}
+	for _, c := range cases {
+		if got := p.Value(c.c); got != c.want {
+			t.Errorf("Value(%v) = %v, want %v", c.c, got, c.want)
+		}
+	}
+}
+
+func TestValueOverflowRuleForcesHeads(t *testing.T) {
+	p := Params{N: 2, B: 3, M: 5}
+	// Counter at M+1 = overflow: heads regardless of the sum (even strongly
+	// negative sums).
+	if got := p.Value([]int{6, -20}); got != Heads {
+		t.Fatalf("overflowed counter must force heads, got %v", got)
+	}
+	if got := p.Value([]int{-6, 0}); got != Heads {
+		t.Fatalf("negative overflow must also force heads, got %v", got)
+	}
+	// Unbounded mode has no overflow rule.
+	u := Params{N: 2, B: 3}
+	if got := u.Value([]int{6, -20}); got != Tails {
+		t.Fatalf("unbounded Value = %v, want Tails", got)
+	}
+}
+
+func TestStepCounterSaturates(t *testing.T) {
+	p := Params{N: 1, B: 1, M: 3}
+	rng := rand.New(rand.NewSource(1))
+	c := p.M + 1
+	for i := 0; i < 100; i++ {
+		c = p.StepCounter(c, rng)
+		if c > p.M+1 || c < -(p.M+1) {
+			t.Fatalf("counter escaped bounds: %d", c)
+		}
+	}
+}
+
+func TestStepCounterUnboundedWalks(t *testing.T) {
+	p := Params{N: 1, B: 1}
+	rng := rand.New(rand.NewSource(7))
+	c := 0
+	seenOutside := false
+	for i := 0; i < 10000; i++ {
+		c = p.StepCounter(c, rng)
+		if c > 50 || c < -50 {
+			seenOutside = true
+			break
+		}
+	}
+	if !seenOutside {
+		t.Fatal("unbounded walk never left [-50,50] in 10000 steps (suspicious)")
+	}
+}
+
+func TestStepCounterIsFair(t *testing.T) {
+	p := Params{N: 1, B: 1}
+	rng := rand.New(rand.NewSource(3))
+	ups := 0
+	const trials = 10000
+	for i := 0; i < trials; i++ {
+		if p.StepCounter(0, rng) == 1 {
+			ups++
+		}
+	}
+	if ups < trials*45/100 || ups > trials*55/100 {
+		t.Fatalf("coin flips biased: %d/%d ups", ups, trials)
+	}
+}
+
+func TestQuickValueSymmetry(t *testing.T) {
+	// Negating every counter swaps Heads and Tails (absent overflow, which
+	// breaks the symmetry by design).
+	f := func(raw []int8, b uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		p := Params{N: len(raw), B: int(b%8) + 1}
+		c := make([]int, len(raw))
+		neg := make([]int, len(raw))
+		for i, v := range raw {
+			c[i] = int(v)
+			neg[i] = -int(v)
+		}
+		a, z := p.Value(c), p.Value(neg)
+		switch a {
+		case Heads:
+			return z == Tails
+		case Tails:
+			return z == Heads
+		default:
+			return z == Undecided
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSharedCoinDecidesAndAgreesMostly(t *testing.T) {
+	const trials = 40
+	disagrees := 0
+	for seed := int64(0); seed < trials; seed++ {
+		coin, err := NewSharedCoin(Params{N: 4, B: 4, M: 10_000})
+		if err != nil {
+			t.Fatalf("NewSharedCoin: %v", err)
+		}
+		outcomes := make([]Outcome, 4)
+		_, err = sched.Run(sched.Config{N: 4, Seed: seed, Adversary: sched.NewRandom(seed + 5), MaxSteps: 5_000_000}, func(p *sched.Proc) {
+			outcomes[p.ID()] = coin.Flip(p)
+		})
+		if err != nil {
+			t.Fatalf("seed %d: Run: %v", seed, err)
+		}
+		for i := 0; i < 4; i++ {
+			if outcomes[i] == Undecided {
+				t.Fatalf("seed %d: process %d returned Undecided from Flip", seed, i)
+			}
+		}
+		for i := 1; i < 4; i++ {
+			if outcomes[i] != outcomes[0] {
+				disagrees++
+				break
+			}
+		}
+	}
+	// Lemma 3.1 bound for N=4, B=4 is 3/8; random (non-adaptive) schedules
+	// disagree far less. Allow a generous margin but catch broken coins.
+	if disagrees > trials/2 {
+		t.Fatalf("disagreement rate %d/%d exceeds any plausible bound", disagrees, trials)
+	}
+}
+
+func TestSharedCoinBothOutcomesOccur(t *testing.T) {
+	seen := map[Outcome]bool{}
+	for seed := int64(0); seed < 30; seed++ {
+		coin, err := NewSharedCoin(Params{N: 2, B: 2, M: 1000})
+		if err != nil {
+			t.Fatalf("NewSharedCoin: %v", err)
+		}
+		var first Outcome
+		_, err = sched.Run(sched.Config{N: 2, Seed: seed * 1777, Adversary: sched.NewRandom(seed), MaxSteps: 2_000_000}, func(p *sched.Proc) {
+			o := coin.Flip(p)
+			if p.ID() == 0 {
+				first = o
+			}
+		})
+		if err != nil {
+			t.Fatalf("seed %d: Run: %v", seed, err)
+		}
+		seen[first] = true
+	}
+	if !seen[Heads] || !seen[Tails] {
+		t.Fatalf("outcomes not diverse over 30 seeds: %v", seen)
+	}
+}
+
+func TestSharedCoinTinyMOverflowForcesHeads(t *testing.T) {
+	// With M=1, N=3, B=2 the counters saturate at ±2, so the summed walk can
+	// never cross the ±6 barrier: only the overflow rule can decide the coin,
+	// and it always says heads.
+	heads := 0
+	const trials = 30
+	for seed := int64(0); seed < trials; seed++ {
+		coin, err := NewSharedCoin(Params{N: 3, B: 2, M: 1})
+		if err != nil {
+			t.Fatalf("NewSharedCoin: %v", err)
+		}
+		var got Outcome
+		_, err = sched.Run(sched.Config{N: 3, Seed: seed, Adversary: sched.NewRandom(seed * 3), MaxSteps: 2_000_000}, func(p *sched.Proc) {
+			o := coin.Flip(p)
+			if p.ID() == 0 {
+				got = o
+			}
+		})
+		if err != nil {
+			t.Fatalf("seed %d: Run: %v", seed, err)
+		}
+		if got == Heads {
+			heads++
+		}
+	}
+	if heads != trials {
+		t.Fatalf("with M=1, %d/%d heads; overflow rule not dominating", heads, trials)
+	}
+}
+
+func TestSharedCoinWalkStepsAccounting(t *testing.T) {
+	coin, err := NewSharedCoin(Params{N: 2, B: 2, M: 1000})
+	if err != nil {
+		t.Fatalf("NewSharedCoin: %v", err)
+	}
+	_, err = sched.Run(sched.Config{N: 2, Seed: 12, MaxSteps: 2_000_000}, func(p *sched.Proc) {
+		coin.Flip(p)
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if coin.TotalWalkSteps() == 0 {
+		t.Fatal("no walk steps recorded")
+	}
+	var sum int64
+	for i := 0; i < 2; i++ {
+		sum += coin.WalkSteps(i)
+	}
+	if sum != coin.TotalWalkSteps() {
+		t.Fatalf("per-pid steps %d != total %d", sum, coin.TotalWalkSteps())
+	}
+}
+
+func TestSharedCoinExpectedStepsScaleQuadratically(t *testing.T) {
+	// Lemma 3.2: expected steps ≈ (B+1)·N². Compare N=2 vs N=6 mean walk
+	// steps: ratio should be roughly 9, certainly more than 3.
+	mean := func(n int) float64 {
+		var total int64
+		const trials = 15
+		for seed := int64(0); seed < trials; seed++ {
+			coin, err := NewSharedCoin(Params{N: n, B: 3, M: 1 << 20})
+			if err != nil {
+				t.Fatalf("NewSharedCoin: %v", err)
+			}
+			_, err = sched.Run(sched.Config{N: n, Seed: seed + 99, Adversary: sched.NewRandom(seed), MaxSteps: 50_000_000}, func(p *sched.Proc) {
+				coin.Flip(p)
+			})
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			total += coin.TotalWalkSteps()
+		}
+		return float64(total) / trials
+	}
+	m2, m6 := mean(2), mean(6)
+	if m6 < 3*m2 {
+		t.Fatalf("walk steps not superlinear in N: mean(2)=%.1f mean(6)=%.1f", m2, m6)
+	}
+}
+
+func TestTheoreticalHelpers(t *testing.T) {
+	p := Params{N: 9, B: 4}
+	if got := p.TheoreticalDisagreement(); got != 1.0 {
+		t.Fatalf("TheoreticalDisagreement = %v, want 1.0", got)
+	}
+	if got := p.TheoreticalExpectedSteps(); got != 25*81 {
+		t.Fatalf("TheoreticalExpectedSteps = %v, want 2025", got)
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	for o, want := range map[Outcome]string{Undecided: "undecided", Heads: "heads", Tails: "tails"} {
+		if o.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(o), o.String(), want)
+		}
+	}
+}
+
+func TestMaxAbsCounterTracksWalk(t *testing.T) {
+	coin, err := NewSharedCoin(Params{N: 2, B: 2, M: 50})
+	if err != nil {
+		t.Fatalf("NewSharedCoin: %v", err)
+	}
+	_, err = sched.Run(sched.Config{N: 2, Seed: 4, MaxSteps: 2_000_000}, func(p *sched.Proc) {
+		coin.Flip(p)
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got := coin.MaxAbsCounter(); got == 0 || got > coin.Params().M+1 {
+		t.Fatalf("MaxAbsCounter = %d, want in (0, %d]", got, coin.Params().M+1)
+	}
+}

@@ -1,0 +1,73 @@
+package consensus
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// SolveMulti decides on one value among arbitrary non-negative integer
+// inputs, implementing the paper's remark that "the protocol can be extended
+// to handle arbitrary initial values". The reduction is the standard
+// bit-by-bit one: the processes agree on the result's bits from the most
+// significant down, each process proposing the corresponding bit of its
+// candidate; a process whose candidate falls off the agreed prefix adopts the
+// smallest input that still matches (so the result is always one of the
+// inputs).
+//
+// The decision is guaranteed to be some process's input (multivalued
+// validity), all processes decide it (consistency), and each bit round
+// inherits the binary protocol's polynomial expected time and bounded memory.
+func SolveMulti(cfg Config, inputs []uint64) (uint64, error) {
+	if len(inputs) == 0 {
+		return 0, fmt.Errorf("consensus: SolveMulti needs at least one input")
+	}
+	if len(cfg.Inputs) != 0 {
+		return 0, fmt.Errorf("consensus: SolveMulti uses its own inputs; Config.Inputs must be empty")
+	}
+	n := len(inputs)
+
+	width := 1
+	for _, v := range inputs {
+		if b := bits.Len64(v); b > width {
+			width = b
+		}
+	}
+
+	candidates := append([]uint64(nil), inputs...)
+	var agreed uint64
+	for bit := width - 1; bit >= 0; bit-- {
+		sub := cfg
+		sub.Inputs = make([]int, n)
+		for i, c := range candidates {
+			sub.Inputs[i] = int(c>>uint(bit)) & 1
+		}
+		sub.Seed = cfg.Seed + int64(width-bit)*0x1f123
+		res, err := Solve(sub)
+		if err != nil {
+			return 0, fmt.Errorf("consensus: bit %d: %w", bit, err)
+		}
+		agreed |= uint64(res.Value) << uint(bit)
+
+		// Processes whose candidate mismatches the agreed prefix adopt the
+		// smallest input matching it. At least one input always matches:
+		// validity of the binary instance guarantees the agreed bit was some
+		// matching candidate's bit, and matching candidates are inputs that
+		// matched the previous prefix.
+		prefixMask := ^uint64(0) << uint(bit)
+		fallback, ok := uint64(0), false
+		for _, v := range inputs {
+			if v&prefixMask == agreed&prefixMask && (!ok || v < fallback) {
+				fallback, ok = v, true
+			}
+		}
+		if !ok {
+			return 0, fmt.Errorf("consensus: internal error: agreed prefix %b matches no input", agreed)
+		}
+		for i, c := range candidates {
+			if c&prefixMask != agreed&prefixMask {
+				candidates[i] = fallback
+			}
+		}
+	}
+	return agreed, nil
+}

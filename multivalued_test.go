@@ -1,0 +1,101 @@
+package consensus
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSolveMultiBasics(t *testing.T) {
+	inputs := []uint64{5, 9, 5, 130}
+	v, err := SolveMulti(Config{Seed: 3, Schedule: Schedule{Kind: RandomSchedule}, MaxSteps: 50_000_000}, inputs)
+	if err != nil {
+		t.Fatalf("SolveMulti: %v", err)
+	}
+	found := false
+	for _, in := range inputs {
+		if v == in {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("decided %d, not an input of %v", v, inputs)
+	}
+}
+
+func TestSolveMultiValidity(t *testing.T) {
+	for _, common := range []uint64{0, 1, 7, 1 << 40} {
+		v, err := SolveMulti(Config{Seed: 9}, []uint64{common, common, common})
+		if err != nil {
+			t.Fatalf("common=%d: %v", common, err)
+		}
+		if v != common {
+			t.Fatalf("common=%d: decided %d (validity)", common, v)
+		}
+	}
+}
+
+func TestSolveMultiSingleProcess(t *testing.T) {
+	v, err := SolveMulti(Config{Seed: 2}, []uint64{42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 42 {
+		t.Fatalf("decided %d, want 42", v)
+	}
+}
+
+func TestSolveMultiRejectsBadConfig(t *testing.T) {
+	if _, err := SolveMulti(Config{}, nil); err == nil {
+		t.Fatal("expected error for no inputs")
+	}
+	if _, err := SolveMulti(Config{Inputs: []int{0}}, []uint64{1}); err == nil {
+		t.Fatal("expected error when Config.Inputs is set")
+	}
+}
+
+// TestQuickSolveMultiDecidesAnInput: over random input vectors, the decision
+// is always one of the inputs and deterministic in the seed.
+func TestQuickSolveMultiDecidesAnInput(t *testing.T) {
+	f := func(raw []uint16, seed int64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 5 {
+			raw = raw[:5]
+		}
+		inputs := make([]uint64, len(raw))
+		for i, r := range raw {
+			inputs[i] = uint64(r)
+		}
+		cfg := Config{Seed: seed, Schedule: Schedule{Kind: RandomSchedule}, MaxSteps: 100_000_000}
+		v1, err := SolveMulti(cfg, inputs)
+		if err != nil {
+			return false
+		}
+		v2, err := SolveMulti(cfg, inputs)
+		if err != nil || v1 != v2 {
+			return false // non-deterministic replay
+		}
+		for _, in := range inputs {
+			if v1 == in {
+				return true
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveMultiAllAlgorithms(t *testing.T) {
+	for _, alg := range []Algorithm{Bounded, AspnesHerlihy, LocalCoin, StrongCoin, Abrahamson} {
+		v, err := SolveMulti(Config{Algorithm: alg, Seed: 4, MaxSteps: 50_000_000}, []uint64{3, 10, 3})
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		if v != 3 && v != 10 {
+			t.Fatalf("%v: decided %d", alg, v)
+		}
+	}
+}

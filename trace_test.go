@@ -1,0 +1,86 @@
+package consensus
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSolveTraceWriter(t *testing.T) {
+	var buf bytes.Buffer
+	res, err := Solve(Config{
+		Inputs:      []int{0, 1},
+		Seed:        3,
+		TraceWriter: &buf,
+		MaxSteps:    20_000_000,
+	})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"start", "round+", "decide"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("trace missing %q:\n%.500s", want, out)
+		}
+	}
+	// Every process that decided must have a decide event.
+	decides := strings.Count(out, " decide ")
+	wantDecides := 0
+	for _, d := range res.Decided {
+		if d {
+			wantDecides++
+		}
+	}
+	if decides != wantDecides {
+		t.Fatalf("trace has %d decide events, want %d", decides, wantDecides)
+	}
+	// Steps in the trace are non-decreasing.
+	lastStep := int64(-1)
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		step, ok := parseTraceStep(line)
+		if !ok {
+			t.Fatalf("unparseable trace line %q", line)
+		}
+		if step < lastStep {
+			t.Fatalf("trace steps not monotone: %q after %d", line, lastStep)
+		}
+		lastStep = step
+	}
+}
+
+// parseTraceStep extracts the step number from a line shaped like
+// "step    1234  p0  r1   round+ ...".
+func parseTraceStep(line string) (int64, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || fields[0] != "step" {
+		return 0, false
+	}
+	var v int64
+	for _, c := range fields[1] {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		v = v*10 + int64(c-'0')
+	}
+	return v, true
+}
+
+func TestSolveTraceForAllAlgorithms(t *testing.T) {
+	for _, alg := range []Algorithm{Bounded, AspnesHerlihy, LocalCoin, StrongCoin, Abrahamson} {
+		var buf bytes.Buffer
+		_, err := Solve(Config{
+			Inputs:      []int{1, 0},
+			Algorithm:   alg,
+			Seed:        5,
+			Schedule:    Schedule{Kind: RandomSchedule},
+			TraceWriter: &buf,
+			MaxSteps:    20_000_000,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		if !strings.Contains(buf.String(), "decide") {
+			t.Fatalf("%v: trace has no decide event:\n%.300s", alg, buf.String())
+		}
+	}
+}
