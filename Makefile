@@ -2,9 +2,15 @@
 
 GO ?= go
 
-.PHONY: all build test test-race test-short bench experiments experiments-quick fuzz vet fmt clean
+.PHONY: all ci build test test-race test-short bench experiments experiments-quick fuzz vet fmt fmt-check clean
 
 all: vet test build
+
+# ci is the full gate: formatting, vet, build, tests, and a short -race pass
+# over the concurrency-sensitive packages (the observability bus and the
+# scheduler).
+ci: fmt-check vet build test
+	$(GO) test -short -race -timeout 600s ./internal/obs ./internal/sched
 
 build:
 	$(GO) build ./...
@@ -38,6 +44,10 @@ vet:
 
 fmt:
 	gofmt -w .
+
+# fmt-check fails (listing the offending files) if anything is not gofmt-clean.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 clean:
 	$(GO) clean ./...

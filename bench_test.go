@@ -18,6 +18,7 @@ import (
 
 	"github.com/dsrepro/consensus/internal/core"
 	"github.com/dsrepro/consensus/internal/harness"
+	"github.com/dsrepro/consensus/internal/obs"
 	"github.com/dsrepro/consensus/internal/register"
 	"github.com/dsrepro/consensus/internal/scan"
 	"github.com/dsrepro/consensus/internal/sched"
@@ -91,6 +92,37 @@ func BenchmarkSolve(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkSolveObservability quantifies the observability overhead on a full
+// Bounded solve: the default metrics-only path (atomic counters, no recorder)
+// against a ring-buffer recorder and a JSONL export to io.Discard.
+func BenchmarkSolveObservability(b *testing.B) {
+	run := func(b *testing.B, mutate func(*Config)) {
+		b.Helper()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cfg := Config{
+				Inputs:   []int{0, 1, 1, 0},
+				Seed:     int64(i + 1),
+				B:        2,
+				MaxSteps: 200_000_000,
+			}
+			if mutate != nil {
+				mutate(&cfg)
+			}
+			if _, err := Solve(cfg); err != nil {
+				b.Fatalf("Solve: %v", err)
+			}
+		}
+	}
+	b.Run("metrics-only", func(b *testing.B) { run(b, nil) })
+	b.Run("ring-recorder", func(b *testing.B) {
+		run(b, func(c *Config) { c.Recorder = obs.NewRing(4096) })
+	})
+	b.Run("jsonl-discard", func(b *testing.B) {
+		run(b, func(c *Config) { c.TraceJSONL = io.Discard })
+	})
 }
 
 // BenchmarkSharedCoinFlip measures a standalone weak shared coin resolution.

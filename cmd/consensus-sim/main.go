@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -36,7 +37,9 @@ func run() int {
 		b          = flag.Int("b", 4, "shared-coin barrier multiplier")
 		m          = flag.Int("m", 0, "coin counter bound (0 = derived default)")
 		bloom      = flag.Bool("bloom", false, "build arrow registers from Bloom's 2W2R construction")
-		trace      = flag.Bool("trace", false, "print the protocol event log (round advances, preference changes, coin flips, decisions)")
+		trace      = flag.Bool("trace", false, "print the protocol event log to stderr (round advances, preference changes, coin flips, decisions)")
+		traceOut   = flag.String("trace-out", "", "write the full cross-layer event stream (register/scan/walk/strip/core) as JSONL to this file")
+		metrics    = flag.Bool("metrics", false, "print the cross-layer observability counters after the run")
 	)
 	flag.Parse()
 
@@ -67,9 +70,23 @@ func run() int {
 		UseBloomArrows: *bloom,
 	}
 	if *trace {
-		cfg.TraceWriter = os.Stdout
+		cfg.TraceWriter = os.Stderr
+	}
+	var traceFile *os.File
+	if *traceOut != "" {
+		traceFile, err = os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "consensus-sim: %v\n", err)
+			return 2
+		}
+		cfg.TraceJSONL = traceFile
 	}
 	res, err := consensus.Solve(cfg)
+	if traceFile != nil {
+		if cerr := traceFile.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "consensus-sim: run ended early: %v\n", err)
 	}
@@ -91,10 +108,35 @@ func run() int {
 			fmt.Printf("process %d : UNDECIDED (crashed or budget)\n", i)
 		}
 	}
+	if *metrics {
+		printMetrics(res)
+	}
+	if traceFile != nil {
+		fmt.Printf("trace     : %s (analyse with: go run ./cmd/traceview %s)\n", *traceOut, *traceOut)
+	}
 	if err != nil {
 		return 1
 	}
 	return 0
+}
+
+func printMetrics(res consensus.Result) {
+	fmt.Println("observability counters:")
+	for _, k := range sortedKeys(res.Counters) {
+		fmt.Printf("  %-22s %d\n", k, res.Counters[k])
+	}
+	for _, k := range sortedKeys(res.Gauges) {
+		fmt.Printf("  %-22s %d (max)\n", k, res.Gauges[k])
+	}
+}
+
+func sortedKeys(m map[string]int64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 func parseInputs(s string) ([]int, error) {

@@ -1,0 +1,171 @@
+// Command traceview summarises a JSONL trace produced by
+// consensus-sim -trace-out (or by consensus.Config.TraceJSONL directly).
+//
+// It renders per-layer and per-kind event counts, the steps each process
+// took to decide, and a scan-retry histogram:
+//
+//	consensus-sim -inputs 0,1,1,0 -trace-out run.jsonl
+//	traceview run.jsonl
+//	traceview -format markdown run.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+
+	"github.com/dsrepro/consensus/internal/harness"
+	"github.com/dsrepro/consensus/internal/obs"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	formatFlag := flag.String("format", "text", "output format: text | markdown | csv")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: traceview [-format text|markdown|csv] trace.jsonl\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	format, err := harness.ParseFormat(*formatFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "traceview: %v\n", err)
+		return 2
+	}
+	if flag.NArg() != 1 {
+		flag.Usage()
+		return 2
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "traceview: %v\n", err)
+		return 1
+	}
+	events, err := obs.ReadJSONL(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "traceview: %v\n", err)
+		return 1
+	}
+	if len(events) == 0 {
+		fmt.Fprintln(os.Stderr, "traceview: trace is empty")
+		return 1
+	}
+	for _, t := range summarise(flag.Arg(0), events) {
+		t.RenderAs(os.Stdout, format)
+	}
+	return 0
+}
+
+// summarise builds the analysis tables from a decoded event stream.
+func summarise(name string, events []Event) []*harness.Table {
+	var tables []*harness.Table
+
+	// Per-layer totals, in stack order (register at the bottom, core on top).
+	layerCounts := map[obs.Layer]int64{}
+	kindCounts := map[obs.Kind]int64{}
+	lastStep := int64(0)
+	for _, e := range events {
+		layerCounts[e.Kind.Layer()]++
+		kindCounts[e.Kind]++
+		if e.Step > lastStep {
+			lastStep = e.Step
+		}
+	}
+	lt := &harness.Table{
+		Title:   fmt.Sprintf("%s: events per layer (%d events over %d steps)", name, len(events), lastStep),
+		Columns: []string{"layer", "events", "share"},
+	}
+	for _, l := range []obs.Layer{obs.LayerRegister, obs.LayerScan, obs.LayerWalk, obs.LayerStrip, obs.LayerSched, obs.LayerCore} {
+		if c, ok := layerCounts[l]; ok {
+			lt.Add(l.String(), c, fmt.Sprintf("%.1f%%", 100*float64(c)/float64(len(events))))
+		}
+	}
+	tables = append(tables, lt)
+
+	kt := &harness.Table{
+		Title:   fmt.Sprintf("%s: events per kind", name),
+		Columns: []string{"kind", "events"},
+	}
+	for _, k := range obs.Kinds() {
+		if c, ok := kindCounts[k]; ok {
+			kt.Add(k.ID(), c)
+		}
+	}
+	tables = append(tables, kt)
+
+	// Steps to decide, per process: the Step field of each CoreDecide event.
+	decided := map[int]int64{}
+	started := map[int]bool{}
+	for _, e := range events {
+		switch e.Kind {
+		case obs.CoreStart:
+			started[e.Pid] = true
+		case obs.CoreDecide:
+			if _, ok := decided[e.Pid]; !ok {
+				decided[e.Pid] = e.Step
+			}
+		}
+	}
+	if len(started) > 0 || len(decided) > 0 {
+		pids := make([]int, 0, len(started))
+		for p := range started {
+			pids = append(pids, p)
+		}
+		for p := range decided {
+			if !started[p] {
+				pids = append(pids, p)
+			}
+		}
+		sort.Ints(pids)
+		dt := &harness.Table{
+			Title:   fmt.Sprintf("%s: steps to decide per process", name),
+			Columns: []string{"process", "decided at step"},
+		}
+		for _, p := range pids {
+			if s, ok := decided[p]; ok {
+				dt.Add(fmt.Sprintf("p%d", p), s)
+			} else {
+				dt.Add(fmt.Sprintf("p%d", p), "UNDECIDED")
+			}
+		}
+		dt.Note("steps are global scheduler steps, so later deciders include every process's work.")
+		tables = append(tables, dt)
+	}
+
+	// Scan-retry distribution: each scan.clean / scan.borrow event carries the
+	// number of retried collects that scan took in Value.
+	h := harness.NewHistogram(0, 1, 2, 4, 8, 16, 32, 64, 128)
+	for _, e := range events {
+		if e.Kind == obs.ScanClean || e.Kind == obs.ScanBorrow {
+			h.Observe(e.Value)
+		}
+	}
+	if snap := h.Snapshot(); snap.Count > 0 {
+		ht := &harness.Table{
+			Title:   fmt.Sprintf("%s: double-collect retries per scan (%d scans)", name, snap.Count),
+			Columns: []string{"retries ≤", "scans"},
+		}
+		for _, b := range snap.Buckets {
+			if b.Count == 0 {
+				continue
+			}
+			label := fmt.Sprintf("%d", b.Le)
+			if b.Le == math.MaxInt64 {
+				label = "more"
+			}
+			ht.Add(label, b.Count)
+		}
+		ht.Note("p50=%s p90=%s p99=%s max=%d", harness.F(snap.P50), harness.F(snap.P90), harness.F(snap.P99), snap.Max)
+		tables = append(tables, ht)
+	}
+
+	return tables
+}
+
+// Event aliases obs.Event for brevity in this package.
+type Event = obs.Event

@@ -44,9 +44,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"sync"
 
 	"github.com/dsrepro/consensus/internal/core"
+	"github.com/dsrepro/consensus/internal/obs"
 	"github.com/dsrepro/consensus/internal/scan"
 	"github.com/dsrepro/consensus/internal/sched"
 	"github.com/dsrepro/consensus/internal/walk"
@@ -227,8 +227,20 @@ type Config struct {
 
 	// TraceWriter, if non-nil, receives a human-readable protocol event log
 	// (round advances, preference changes, coin flips, decisions) in
-	// scheduler order — one line per event.
+	// scheduler order — one line per event. Only core-layer (protocol) events
+	// are written; the lower layers are too chatty for a human log.
 	TraceWriter io.Writer
+
+	// TraceJSONL, if non-nil, receives the full cross-layer event stream —
+	// register operations, scan retries, walk steps, strip moves, protocol
+	// events — as JSON lines (see internal/obs for the schema). The stream is
+	// flushed before Solve returns. Analyze it with cmd/traceview.
+	TraceJSONL io.Writer
+
+	// Recorder, if non-nil, receives every event as a value (no encoding) —
+	// e.g. an obs.Ring keeping the last N events in memory. It can be
+	// combined with TraceWriter and TraceJSONL.
+	Recorder obs.Recorder
 }
 
 // Result reports the outcome of a consensus run.
@@ -253,6 +265,15 @@ type Result struct {
 	// MaxRound is the largest explicit round number written — 0 for the
 	// bounded algorithm, which stores none.
 	MaxRound int64
+
+	// Counters is the cross-layer event-count registry keyed by stable event
+	// identifiers ("register.swmr.read", "scan.retry", "core.decide", ...).
+	// Zero-count kinds are omitted. Collected on every run — the counting
+	// path is a handful of atomic increments with no allocation.
+	Counters map[string]int64
+	// Gauges holds the registry's max-gauges ("core.max_abs_coin", ...),
+	// zero-valued gauges omitted.
+	Gauges map[string]int64
 }
 
 // Errors returned by Solve, wrapped from the scheduler.
@@ -288,18 +309,23 @@ func Solve(cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	var tracer core.Tracer
+	// One sink serves every trace surface: the human-readable log filters the
+	// shared event stream to the core layer, the JSONL export takes all of
+	// it, and the metrics registry counts regardless. With no consumer the
+	// sink is metrics-only, which costs atomic increments and no allocation.
+	var recs []obs.Recorder
 	if cfg.TraceWriter != nil {
-		w := cfg.TraceWriter
-		// Events before a process's first scheduler step (and all events in
-		// free-running mode) can be emitted concurrently; guard the writer.
-		var mu sync.Mutex
-		tracer = func(e core.Event) {
-			mu.Lock()
-			defer mu.Unlock()
-			fmt.Fprintln(w, e)
-		}
+		recs = append(recs, obs.FilterLayers(obs.NewTextRecorder(cfg.TraceWriter), obs.LayerCore))
 	}
+	var jsonl *obs.JSONLRecorder
+	if cfg.TraceJSONL != nil {
+		jsonl = obs.NewJSONLRecorder(cfg.TraceJSONL)
+		recs = append(recs, jsonl)
+	}
+	if cfg.Recorder != nil {
+		recs = append(recs, cfg.Recorder)
+	}
+	sink := obs.NewSink(obs.Tee(recs...))
 	out, err := core.Execute(kind, core.Config{
 		K:              cfg.K,
 		B:              cfg.B,
@@ -312,8 +338,13 @@ func Solve(cfg Config) (Result, error) {
 		Seed:      cfg.Seed,
 		Adversary: adv,
 		MaxSteps:  cfg.MaxSteps,
-		Tracer:    tracer,
+		Sink:      sink,
 	})
+	if jsonl != nil {
+		if ferr := jsonl.Flush(); ferr != nil && err == nil {
+			err = fmt.Errorf("consensus: flushing JSONL trace: %w", ferr)
+		}
+	}
 	if err != nil {
 		return Result{}, err
 	}
@@ -323,6 +354,7 @@ func Solve(cfg Config) (Result, error) {
 		// error; surface it loudly.
 		return Result{}, err
 	}
+	snap := sink.Registry().Snapshot()
 	res := Result{
 		Value:        value,
 		Decided:      out.Decided,
@@ -333,6 +365,8 @@ func Solve(cfg Config) (Result, error) {
 		CoinFlips:    out.Metrics.CoinFlips,
 		MaxAbsCoin:   out.Metrics.MaxAbsCoin,
 		MaxRound:     out.Metrics.MaxRound,
+		Counters:     snap.Counters,
+		Gauges:       snap.Gauges,
 	}
 	return res, out.Err
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"sync/atomic"
 
+	"github.com/dsrepro/consensus/internal/obs"
 	"github.com/dsrepro/consensus/internal/register"
 	"github.com/dsrepro/consensus/internal/scan"
 	"github.com/dsrepro/consensus/internal/sched"
@@ -55,6 +56,15 @@ func NewAbrahamson(cfg Config) (*Abrahamson, error) {
 // Name implements Protocol.
 func (a *Abrahamson) Name() string { return "abrahamson" }
 
+// SetSink installs the observability sink on the protocol and the memory
+// stack beneath it.
+func (a *Abrahamson) SetSink(s *obs.Sink) {
+	a.setSink(s)
+	if ss, ok := a.mem.(interface{ SetSink(*obs.Sink) }); ok {
+		ss.SetSink(s)
+	}
+}
+
 // Metrics implements Protocol.
 func (a *Abrahamson) Metrics() Metrics {
 	m := Metrics{
@@ -74,6 +84,7 @@ func (a *Abrahamson) inc(p *sched.Proc, st UEntry) UEntry {
 	st.Round++
 	a.rounds[p.ID()].Add(1)
 	atomicMax(&a.maxRound, st.Round)
+	a.sink.GaugeMax(obs.GaugeMaxRound, st.Round)
 	a.emit(Event{Step: p.Now(), Pid: p.ID(), Kind: EvRoundAdvance, Round: st.Round})
 	return st
 }
@@ -106,6 +117,7 @@ func (a *Abrahamson) Run(p *sched.Proc, input int) int {
 				}
 			}
 			if ok {
+				a.sink.Observe(obs.HistStepsToDecide, p.Steps())
 				a.emit(Event{Step: p.Now(), Pid: i, Kind: EvDecide, Round: st.Round, Detail: prefString(st.Pref)})
 				return int(st.Pref)
 			}

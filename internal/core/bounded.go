@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"github.com/dsrepro/consensus/internal/obs"
 	"github.com/dsrepro/consensus/internal/register"
 	"github.com/dsrepro/consensus/internal/scan"
 	"github.com/dsrepro/consensus/internal/sched"
@@ -135,6 +136,15 @@ func (b *Bounded) Name() string { return "bounded" }
 // Config returns the effective configuration.
 func (b *Bounded) Config() Config { return b.cfg }
 
+// SetSink installs the observability sink on the protocol and the whole
+// memory stack beneath it (scannable memory down to individual registers).
+func (b *Bounded) SetSink(s *obs.Sink) {
+	b.setSink(s)
+	if ss, ok := b.mem.(interface{ SetSink(*obs.Sink) }); ok {
+		ss.SetSink(s)
+	}
+}
+
 // CoinParams returns the effective shared-coin parameters.
 func (b *Bounded) CoinParams() walk.Params { return b.params }
 
@@ -162,7 +172,7 @@ func (b *Bounded) inc(p *sched.Proc, st Entry, view []Entry) (Entry, error) {
 	st.Coin[next(st.CurrentCoin, k)] = 0
 	mat := edgeMatrix(view)
 	mat[p.ID()] = st.Edge
-	row, err := strip.IncRow(p.ID(), mat, k)
+	row, err := strip.IncRowTraced(p.ID(), mat, k, p, b.sink)
 	if err != nil {
 		return Entry{}, err
 	}
@@ -198,11 +208,15 @@ func (b *Bounded) flipNextCoin(p *sched.Proc, st Entry) Entry {
 	k := b.cfg.K
 	st = st.Clone()
 	slot := coinSlot(st.CurrentCoin, 0, k)
-	st.Coin[slot] = b.params.StepCounter(st.Coin[slot], p.Rand())
+	st.Coin[slot] = b.params.StepCounterTraced(st.Coin[slot], p, b.sink)
 	b.flips[p.ID()].Add(1)
 	atomicMax(&b.maxAbsCoin, int64(abs(st.Coin[slot])))
-	b.emit(Event{Step: p.Now(), Pid: p.ID(), Kind: EvCoinFlip, Round: b.rounds[p.ID()].Load(),
-		Detail: fmt.Sprintf("c=%d", st.Coin[slot])})
+	b.sink.GaugeMax(obs.GaugeMaxAbsCoin, int64(abs(st.Coin[slot])))
+	ev := Event{Step: p.Now(), Pid: p.ID(), Kind: EvCoinFlip, Round: b.rounds[p.ID()].Load()}
+	if b.tracing() {
+		ev.Detail = fmt.Sprintf("c=%d", st.Coin[slot])
+	}
+	b.emit(ev)
 	return st
 }
 
@@ -256,6 +270,7 @@ func (b *Bounded) Run(p *sched.Proc, input int) int {
 			for j := range view {
 				if j != i && view[j].Decided {
 					v := view[j].Pref
+					b.sink.Observe(obs.HistStepsToDecide, p.Steps())
 					b.emit(Event{Step: p.Now(), Pid: i, Kind: EvDecide, Round: b.rounds[i].Load(), Detail: prefString(v) + " (fast)"})
 					return int(v)
 				}
@@ -269,6 +284,7 @@ func (b *Bounded) Run(p *sched.Proc, input int) int {
 				st.Decided = true
 				b.mem.Write(p, st)
 			}
+			b.sink.Observe(obs.HistStepsToDecide, p.Steps())
 			b.emit(Event{Step: p.Now(), Pid: i, Kind: EvDecide, Round: b.rounds[i].Load(), Detail: prefString(st.Pref)})
 			return int(st.Pref)
 		}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"github.com/dsrepro/consensus/internal/obs"
 	"github.com/dsrepro/consensus/internal/sched"
 )
 
@@ -125,6 +126,13 @@ type ExecConfig struct {
 	// initial round advance) may arrive concurrently — a Tracer touching
 	// shared state must synchronize itself.
 	Tracer Tracer
+
+	// Sink, if non-nil, is the unified observability sink: it is installed on
+	// the protocol and propagated down the whole memory stack (scan layer,
+	// registers) and into the scheduler, so one run produces a cross-layer
+	// event stream and metrics registry. Nil disables observability at zero
+	// cost.
+	Sink *obs.Sink
 }
 
 // Execute builds a protocol of the given kind and runs it once under the
@@ -154,6 +162,11 @@ func ExecuteProto(proto Protocol, ec ExecConfig) (Outcome, error) {
 			s.SetTracer(ec.Tracer)
 		}
 	}
+	if ec.Sink != nil {
+		if s, ok := proto.(interface{ SetSink(*obs.Sink) }); ok {
+			s.SetSink(ec.Sink)
+		}
+	}
 	n := len(ec.Inputs)
 	out := Outcome{
 		Decided: make([]bool, n),
@@ -164,6 +177,7 @@ func ExecuteProto(proto Protocol, ec ExecConfig) (Outcome, error) {
 		Seed:      ec.Seed,
 		Adversary: ec.Adversary,
 		MaxSteps:  ec.MaxSteps,
+		Sink:      ec.Sink,
 	}, func(p *sched.Proc) {
 		v := proto.Run(p, ec.Inputs[p.ID()])
 		out.Values[p.ID()] = v

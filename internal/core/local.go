@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"github.com/dsrepro/consensus/internal/obs"
 	"github.com/dsrepro/consensus/internal/register"
 	"github.com/dsrepro/consensus/internal/scan"
 	"github.com/dsrepro/consensus/internal/sched"
@@ -62,6 +63,15 @@ func NewExpLocal(cfg Config) (*ExpLocal, error) {
 // Name implements Protocol.
 func (l *ExpLocal) Name() string { return "exp-local" }
 
+// SetSink installs the observability sink on the protocol and the memory
+// stack beneath it.
+func (l *ExpLocal) SetSink(s *obs.Sink) {
+	l.setSink(s)
+	if ss, ok := l.mem.(interface{ SetSink(*obs.Sink) }); ok {
+		ss.SetSink(s)
+	}
+}
+
 // Metrics implements Protocol.
 func (l *ExpLocal) Metrics() Metrics {
 	m := Metrics{Rounds: make([]int64, l.cfg.N), CoinFlips: make([]int64, l.cfg.N)}
@@ -80,7 +90,7 @@ func (l *ExpLocal) inc(p *sched.Proc, st Entry, view []Entry) (Entry, error) {
 	st.CurrentCoin = next(st.CurrentCoin, k)
 	mat := edgeMatrix(view)
 	mat[p.ID()] = st.Edge
-	row, err := strip.IncRow(p.ID(), mat, k)
+	row, err := strip.IncRowTraced(p.ID(), mat, k, p, l.sink)
 	if err != nil {
 		return Entry{}, err
 	}
@@ -114,6 +124,7 @@ func (l *ExpLocal) Run(p *sched.Proc, input int) int {
 		}
 
 		if st.Pref != Bottom && g.Leader(i) && disagreersTrailByK(view, g, i, st.Pref) {
+			l.sink.Observe(obs.HistStepsToDecide, p.Steps())
 			l.emit(Event{Step: p.Now(), Pid: i, Kind: EvDecide, Round: l.rounds[i].Load(), Detail: prefString(st.Pref)})
 			return int(st.Pref)
 		}

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"github.com/dsrepro/consensus/internal/obs"
 	"github.com/dsrepro/consensus/internal/register"
 	"github.com/dsrepro/consensus/internal/scan"
 	"github.com/dsrepro/consensus/internal/sched"
@@ -87,6 +88,15 @@ func NewStrongCoin(cfg Config) (*StrongCoin, error) {
 // Name implements Protocol.
 func (s *StrongCoin) Name() string { return "strong-coin" }
 
+// SetSink installs the observability sink on the protocol and the memory
+// stack beneath it.
+func (s *StrongCoin) SetSink(sk *obs.Sink) {
+	s.setSink(sk)
+	if ss, ok := s.mem.(interface{ SetSink(*obs.Sink) }); ok {
+		ss.SetSink(sk)
+	}
+}
+
 // Metrics implements Protocol.
 func (s *StrongCoin) Metrics() Metrics {
 	m := Metrics{
@@ -106,6 +116,7 @@ func (s *StrongCoin) inc(p *sched.Proc, st UEntry) UEntry {
 	st.Round++
 	s.rounds[p.ID()].Add(1)
 	atomicMax(&s.maxRound, st.Round)
+	s.sink.GaugeMax(obs.GaugeMaxRound, st.Round)
 	s.emit(Event{Step: p.Now(), Pid: p.ID(), Kind: EvRoundAdvance, Round: st.Round})
 	return st
 }
@@ -136,6 +147,7 @@ func (s *StrongCoin) Run(p *sched.Proc, input int) int {
 				}
 			}
 			if ok {
+				s.sink.Observe(obs.HistStepsToDecide, p.Steps())
 				s.emit(Event{Step: p.Now(), Pid: i, Kind: EvDecide, Round: st.Round, Detail: prefString(st.Pref)})
 				return int(st.Pref)
 			}

@@ -1,6 +1,10 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+
+	"github.com/dsrepro/consensus/internal/obs"
+)
 
 // EventKind classifies protocol trace events.
 type EventKind int
@@ -41,7 +45,9 @@ func (k EventKind) String() string {
 	}
 }
 
-// Event is one protocol-level occurrence during a run.
+// Event is one protocol-level occurrence during a run. It predates the
+// unified obs.Event and is kept as the protocol-facing trace type; traceSink
+// mirrors every emission onto the obs sink as a core-layer obs.Event.
 type Event struct {
 	// Step is the global scheduler step at emission.
 	Step int64
@@ -69,19 +75,81 @@ func (e Event) String() string {
 // serialized; in free-running mode a Tracer must synchronize itself.
 type Tracer func(Event)
 
-// traceSink embeds an optional tracer into a protocol.
+// obsKind maps a legacy protocol event kind onto the unified obs kind.
+func obsKind(k EventKind) obs.Kind {
+	switch k {
+	case EvStart:
+		return obs.CoreStart
+	case EvRoundAdvance:
+		return obs.CoreRound
+	case EvPrefChange:
+		return obs.CorePref
+	case EvCoinFlip:
+		return obs.CoreFlip
+	case EvCoinDecided:
+		return obs.CoreCoin
+	case EvDecide:
+		return obs.CoreDecide
+	default:
+		panic(fmt.Sprintf("core: unmapped event kind %d", int(k)))
+	}
+}
+
+// FromObs converts a core-layer obs event back to the legacy protocol event
+// (used to adapt legacy Tracer consumers onto an obs recorder). Non-core
+// events have no legacy equivalent; FromObs reports ok=false for them.
+func FromObs(e obs.Event) (Event, bool) {
+	var k EventKind
+	switch e.Kind {
+	case obs.CoreStart:
+		k = EvStart
+	case obs.CoreRound:
+		k = EvRoundAdvance
+	case obs.CorePref:
+		k = EvPrefChange
+	case obs.CoreFlip:
+		k = EvCoinFlip
+	case obs.CoreCoin:
+		k = EvCoinDecided
+	case obs.CoreDecide:
+		k = EvDecide
+	default:
+		return Event{}, false
+	}
+	return Event{Step: e.Step, Pid: e.Pid, Kind: k, Round: e.Round, Detail: e.Detail}, true
+}
+
+// traceSink embeds the protocol-side trace plumbing: an optional legacy
+// tracer plus the unified observability sink. Every protocol embeds it.
 type traceSink struct {
 	tracer Tracer
+	sink   *obs.Sink
 }
 
 // SetTracer installs t (call before the run starts).
 func (s *traceSink) SetTracer(t Tracer) { s.tracer = t }
 
-// emit fires an event if a tracer is installed.
+// setSink installs the observability sink on the protocol level. Protocols
+// expose SetSink methods that also propagate the sink to the memory stack
+// beneath them.
+func (s *traceSink) setSink(sk *obs.Sink) { s.sink = sk }
+
+// Sink returns the installed observability sink (nil when none).
+func (s *traceSink) Sink() *obs.Sink { return s.sink }
+
+// tracing reports whether any trace consumer is attached. Emit sites use it
+// to skip building Detail strings (the only allocating part of an event) when
+// nobody will see them.
+func (s *traceSink) tracing() bool { return s.tracer != nil || s.sink.Tracing() }
+
+// emit fires a protocol event to the legacy tracer (if any) and mirrors it
+// onto the obs sink, where it is counted in the registry and, with a recorder
+// installed, recorded as a core-layer event.
 func (s *traceSink) emit(e Event) {
 	if s.tracer != nil {
 		s.tracer(e)
 	}
+	s.sink.Emit(obs.Event{Step: e.Step, Pid: e.Pid, Kind: obsKind(e.Kind), Round: e.Round, Detail: e.Detail})
 }
 
 // prefString renders a preference value for trace details.

@@ -3,6 +3,7 @@ package core
 import (
 	"sync/atomic"
 
+	"github.com/dsrepro/consensus/internal/obs"
 	"github.com/dsrepro/consensus/internal/register"
 	"github.com/dsrepro/consensus/internal/scan"
 	"github.com/dsrepro/consensus/internal/sched"
@@ -74,6 +75,15 @@ func NewAHUnbounded(cfg Config) (*AHUnbounded, error) {
 
 // Name implements Protocol.
 func (u *AHUnbounded) Name() string { return "ah-unbounded" }
+
+// SetSink installs the observability sink on the protocol and the memory
+// stack beneath it.
+func (u *AHUnbounded) SetSink(s *obs.Sink) {
+	u.setSink(s)
+	if ss, ok := u.mem.(interface{ SetSink(*obs.Sink) }); ok {
+		ss.SetSink(s)
+	}
+}
 
 // PeekEntry returns the current register value of process j without a
 // scheduler step — a hook for protocol-aware ("strong") adversaries and
@@ -148,6 +158,8 @@ func (u *AHUnbounded) inc(p *sched.Proc, st UEntry) UEntry {
 	u.rounds[p.ID()].Add(1)
 	atomicMax(&u.maxRound, st.Round)
 	atomicMax(&u.stripLen, int64(len(st.Strip)))
+	u.sink.GaugeMax(obs.GaugeMaxRound, st.Round)
+	u.sink.GaugeMax(obs.GaugeMaxStripLen, int64(len(st.Strip)))
 	u.emit(Event{Step: p.Now(), Pid: p.ID(), Kind: EvRoundAdvance, Round: st.Round})
 	return st
 }
@@ -180,6 +192,7 @@ func (u *AHUnbounded) Run(p *sched.Proc, input int) int {
 				}
 			}
 			if ok {
+				u.sink.Observe(obs.HistStepsToDecide, p.Steps())
 				u.emit(Event{Step: p.Now(), Pid: i, Kind: EvDecide, Round: st.Round, Detail: prefString(st.Pref)})
 				return int(st.Pref)
 			}
@@ -205,9 +218,10 @@ func (u *AHUnbounded) Run(p *sched.Proc, input int) int {
 		switch cv := u.coinValue(view, st.Round); cv {
 		case walk.Undecided:
 			st = st.Clone()
-			st.Strip[st.Round-1] = u.params.StepCounter(st.Strip[st.Round-1], p.Rand())
+			st.Strip[st.Round-1] = u.params.StepCounterTraced(st.Strip[st.Round-1], p, u.sink)
 			u.flips[i].Add(1)
 			atomicMax(&u.maxAbs, int64(abs(st.Strip[st.Round-1])))
+			u.sink.GaugeMax(obs.GaugeMaxAbsCoin, int64(abs(st.Strip[st.Round-1])))
 			u.mem.Write(p, st)
 		default:
 			st = u.inc(p, st)

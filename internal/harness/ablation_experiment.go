@@ -38,7 +38,7 @@ func e11Ablations() Experiment {
 				violations := 0
 				var steps []float64
 				for s := 0; s < trials; s++ {
-					out, err := consensusTrial(core.KindBounded, core.Config{K: k, B: 2},
+					out, err := consensusTrial(o, core.KindBounded, core.Config{K: k, B: 2},
 						mixedInputs(n), o.Seed+int64(s*7+1), sched.NewRandom(int64(s*3+1)), 50_000_000)
 					if err != nil || out.Err != nil {
 						continue
@@ -66,7 +66,7 @@ func e11Ablations() Experiment {
 			for _, b := range bs {
 				var steps, flips, rounds []float64
 				for s := 0; s < trials; s++ {
-					out, err := consensusTrial(core.KindBounded, core.Config{B: b},
+					out, err := consensusTrial(o, core.KindBounded, core.Config{B: b},
 						mixedInputs(n), o.Seed+int64(s*11+2), sched.NewRoundRobin(), 50_000_000)
 					if err != nil || out.Err != nil {
 						continue
@@ -102,7 +102,7 @@ func e11Ablations() Experiment {
 			for _, v := range variants {
 				var steps []float64
 				for s := 0; s < trials; s++ {
-					out, err := consensusTrial(core.KindBounded, v.cfg,
+					out, err := consensusTrial(o, core.KindBounded, v.cfg,
 						mixedInputs(n), o.Seed+int64(s*13+3), sched.NewRandom(int64(s*5+2)), 50_000_000)
 					if err != nil || out.Err != nil {
 						continue

@@ -17,13 +17,16 @@ func mixedInputs(n int) []int {
 	return in
 }
 
-// consensusTrial executes one instance and returns its outcome.
-func consensusTrial(kind core.Kind, cfg core.Config, inputs []int, seed int64, adv sched.Adversary, budget int64) (core.Outcome, error) {
+// consensusTrial executes one instance and returns its outcome. The trial
+// inherits the run's observability sink, so every experiment aggregates
+// cross-layer metrics for free.
+func consensusTrial(o RunOpts, kind core.Kind, cfg core.Config, inputs []int, seed int64, adv sched.Adversary, budget int64) (core.Outcome, error) {
 	return core.Execute(kind, cfg, core.ExecConfig{
 		Inputs:    inputs,
 		Seed:      seed,
 		Adversary: adv,
 		MaxSteps:  budget,
+		Sink:      o.Sink,
 	})
 }
 
@@ -57,7 +60,7 @@ func e4Rounds() Experiment {
 				var rounds []float64
 				fails := 0
 				for k := 0; k < trials; k++ {
-					out, err := consensusTrial(core.KindBounded, core.Config{B: 2},
+					out, err := consensusTrial(o, core.KindBounded, core.Config{B: 2},
 						mixedInputs(n), o.Seed+int64(31*n+k), sched.NewRandom(int64(n*1000+k)), 100_000_000)
 					if err != nil || out.Err != nil || !out.AllDecided() {
 						fails++
@@ -108,7 +111,7 @@ func e5TotalWork() Experiment {
 					var steps []float64
 					over := 0
 					for k := 0; k < trials; k++ {
-						out, err := consensusTrial(s.kind, core.Config{B: 2},
+						out, err := consensusTrial(o, s.kind, core.Config{B: 2},
 							mixedInputs(n), o.Seed+int64(7*n+k), sched.NewRandom(int64(n*77+k)), budget)
 						if err != nil {
 							t.Note("n=%d trial %d: %v", n, k, err)
@@ -151,9 +154,9 @@ func e5TotalWork() Experiment {
 			for _, n := range lockNs {
 				var sb, sl []float64
 				for k := 0; k < lockTrials; k++ {
-					outB, errB := consensusTrial(core.KindBounded, core.Config{B: 2},
+					outB, errB := consensusTrial(o, core.KindBounded, core.Config{B: 2},
 						mixedInputs(n), o.Seed+int64(5*n+k), sched.NewRoundRobin(), budget)
-					outL, errL := consensusTrial(core.KindExpLocal, core.Config{B: 2},
+					outL, errL := consensusTrial(o, core.KindExpLocal, core.Config{B: 2},
 						mixedInputs(n), o.Seed+int64(5*n+k), sched.NewRoundRobin(), budget)
 					if errB == nil && outB.Err == nil {
 						sb = append(sb, float64(outB.Sched.Steps))
@@ -205,7 +208,7 @@ func e6Space() Experiment {
 				done := 0
 				for _, target := range sweeps {
 					for ; done < target; done++ {
-						out, err := consensusTrial(kind, core.Config{B: b, M: m}, mixedInputs(n),
+						out, err := consensusTrial(o, kind, core.Config{B: b, M: m}, mixedInputs(n),
 							o.Seed+int64(done*13+1), sched.NewRoundRobin(), 100_000_000)
 						if err != nil || out.Err != nil {
 							continue
@@ -296,7 +299,7 @@ func e9Adversaries() Experiment {
 				var steps, rounds []float64
 				agreeOK := true
 				for k := 0; k < trials; k++ {
-					out, err := consensusTrial(core.KindBounded, core.Config{B: 2},
+					out, err := consensusTrial(o, core.KindBounded, core.Config{B: 2},
 						mixedInputs(n), o.Seed+int64(k), a.mk(int64(k*191+7)), 100_000_000)
 					if err != nil {
 						continue

@@ -1,0 +1,48 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/dsrepro/consensus/internal/obs"
+)
+
+// MetricsTable renders an observability-registry snapshot as an experiment
+// table: per-layer event totals, per-kind counters, max-gauges, and histogram
+// summaries. It returns nil when the snapshot is empty (observability was
+// off or nothing ran).
+func MetricsTable(id string, snap obs.Snapshot) *Table {
+	if len(snap.Counters) == 0 && len(snap.Gauges) == 0 && len(snap.Hists) == 0 {
+		return nil
+	}
+	t := &Table{
+		Title:   fmt.Sprintf("%s observability: cross-layer metrics over all trials", id),
+		Columns: []string{"metric", "value"},
+	}
+	layers := snap.LayerCounts()
+	for _, l := range sortedKeys(layers) {
+		t.Add("events."+l, layers[l])
+	}
+	for _, k := range sortedKeys(snap.Counters) {
+		t.Add(k, snap.Counters[k])
+	}
+	for _, g := range sortedKeys(snap.Gauges) {
+		t.Add(g, snap.Gauges[g])
+	}
+	for _, name := range sortedKeys(snap.Hists) {
+		h := snap.Hists[name]
+		t.Add(name, fmt.Sprintf("n=%d min=%d p50=%s p90=%s p99=%s max=%d mean=%s",
+			h.Count, h.Min, F(h.P50), F(h.P90), F(h.P99), h.Max, F(h.Mean)))
+	}
+	t.Note("counters are cumulative across every trial of the experiment; histogram percentiles are bucket-resolution estimates.")
+	return t
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

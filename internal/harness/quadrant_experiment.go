@@ -42,7 +42,7 @@ func e12Quadrants() Experiment {
 					var steps []float64
 					unboundedSpace := false
 					for k := 0; k < trials; k++ {
-						out, err := consensusTrial(kind, core.Config{B: 2}, mixedInputs(n),
+						out, err := consensusTrial(o, kind, core.Config{B: 2}, mixedInputs(n),
 							o.Seed+int64(17*n+k), sched.NewRoundRobin(), budget)
 						if err != nil || out.Err != nil {
 							continue

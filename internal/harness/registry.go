@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"sort"
+
+	"github.com/dsrepro/consensus/internal/obs"
 )
 
 // RunOpts scales an experiment run.
@@ -15,6 +17,10 @@ type RunOpts struct {
 	Seed int64
 	// Quick shrinks sweeps for smoke tests and benchmarks.
 	Quick bool
+	// Sink, if non-nil, aggregates cross-layer observability over every
+	// trial the experiment runs; RunAndRender installs one automatically and
+	// appends a metrics table per experiment.
+	Sink *obs.Sink
 }
 
 func (o RunOpts) trials(def int) int {
@@ -76,10 +82,17 @@ func Get(id string) (Experiment, bool) {
 	return Experiment{}, false
 }
 
-// RunAndRender runs an experiment and writes its tables to w.
+// RunAndRender runs an experiment and writes its tables to w, followed by the
+// cross-layer metrics table aggregated over the experiment's trials.
 func RunAndRender(e Experiment, o RunOpts, w io.Writer) {
 	fmt.Fprintf(w, "# %s — %s  (paper: %s)\n\n", e.ID, e.Title, e.PaperRef)
+	if o.Sink == nil {
+		o.Sink = obs.NewSink(nil) // metrics-only
+	}
 	for _, t := range e.Run(o) {
 		t.Render(w)
+	}
+	if mt := MetricsTable(e.ID, o.Sink.Registry().Snapshot()); mt != nil {
+		mt.Render(w)
 	}
 }

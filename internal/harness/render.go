@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"strings"
+
+	"github.com/dsrepro/consensus/internal/obs"
 )
 
 // Format selects an output rendering for experiment tables.
@@ -95,7 +97,8 @@ func csvCells(cells []string) []string {
 }
 
 // RunAndRenderAs runs an experiment and writes its tables in the requested
-// format.
+// format, followed by the cross-layer metrics table aggregated over the
+// experiment's trials.
 func RunAndRenderAs(e Experiment, o RunOpts, w io.Writer, f Format) {
 	switch f {
 	case FormatMarkdown:
@@ -105,7 +108,13 @@ func RunAndRenderAs(e Experiment, o RunOpts, w io.Writer, f Format) {
 	default:
 		fmt.Fprintf(w, "# %s — %s  (paper: %s)\n\n", e.ID, e.Title, e.PaperRef)
 	}
+	if o.Sink == nil {
+		o.Sink = obs.NewSink(nil) // metrics-only
+	}
 	for _, t := range e.Run(o) {
 		t.RenderAs(w, f)
+	}
+	if mt := MetricsTable(e.ID, o.Sink.Registry().Snapshot()); mt != nil {
+		mt.RenderAs(w, f)
 	}
 }

@@ -9,7 +9,19 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"github.com/dsrepro/consensus/internal/obs"
 )
+
+// Histogram is the fixed-bucket integer histogram shared with the
+// observability registry (count, min/max, mean, nearest-rank percentiles).
+// It lives in internal/obs — which must stay a leaf package — and is aliased
+// here so experiment code has its statistics toolkit in one import.
+type Histogram = obs.Histogram
+
+// NewHistogram returns a histogram with the given ascending inclusive bucket
+// upper bounds (values above the last bound land in an overflow bucket).
+func NewHistogram(bounds ...int64) *Histogram { return obs.NewHistogram(bounds...) }
 
 // Mean returns the arithmetic mean of xs (0 for empty input).
 func Mean(xs []float64) float64 {

@@ -1,0 +1,81 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/dsrepro/consensus/internal/obs"
+)
+
+func TestHistogramAlias(t *testing.T) {
+	h := NewHistogram(1, 10, 100)
+	for _, v := range []int64{0, 5, 50, 500} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 || h.Min() != 0 || h.Max() != 500 {
+		t.Fatalf("count/min/max = %d/%d/%d", h.Count(), h.Min(), h.Max())
+	}
+	// The alias is the same type as obs.Histogram, so registry histograms and
+	// harness tables interoperate without conversion.
+	var _ *obs.Histogram = h
+	if p := h.Percentile(50); p != 10 {
+		t.Fatalf("p50 = %v, want 10 (bucket upper bound)", p)
+	}
+}
+
+func TestHistogramObservations(t *testing.T) {
+	h := NewHistogram(2, 4)
+	for i := int64(1); i <= 5; i++ {
+		h.Observe(i)
+	}
+	s := h.Snapshot()
+	if s.Count != 5 || s.Mean != 3 {
+		t.Fatalf("count/mean = %d/%v, want 5/3", s.Count, s.Mean)
+	}
+	var total int64
+	for _, b := range s.Buckets {
+		total += b.Count
+	}
+	if total != 5 {
+		t.Fatalf("bucket counts sum to %d, want 5", total)
+	}
+}
+
+func TestMetricsTable(t *testing.T) {
+	if MetricsTable("E0", obs.Snapshot{}) != nil {
+		t.Fatal("empty snapshot should yield no table")
+	}
+	sink := obs.NewSink(nil)
+	sink.Emit(obs.Event{Kind: obs.ScanRetry})
+	sink.Emit(obs.Event{Kind: obs.CoreDecide})
+	sink.GaugeMax(obs.GaugeMaxAbsCoin, 7)
+	sink.Observe(obs.HistScanRetries, 3)
+	mt := MetricsTable("E0", sink.Registry().Snapshot())
+	if mt == nil {
+		t.Fatal("non-empty snapshot yielded no table")
+	}
+	var buf bytes.Buffer
+	mt.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"E0", "events.scan", "events.core",
+		"scan.retry", "core.decide", "core.max_abs_coin", "scan.retries_per_scan",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunAndRenderEmitsMetricsTable(t *testing.T) {
+	e, ok := Get("E7")
+	if !ok {
+		t.Skip("experiment E7 not registered")
+	}
+	var buf bytes.Buffer
+	RunAndRender(e, RunOpts{Quick: true, Trials: 2, Seed: 1}, &buf)
+	if !strings.Contains(buf.String(), "observability: cross-layer metrics") {
+		t.Fatalf("experiment output missing metrics table:\n%s", buf.String())
+	}
+}

@@ -40,7 +40,7 @@ func e7ScanRetries() Experiment {
 						completed := 0
 						_, _ = sched.Run(sched.Config{
 							N: n, Seed: o.Seed + int64(n*1000+pace), Adversary: sched.NewRandom(int64(n*3 + pace)),
-							MaxSteps: 3_000_000,
+							MaxSteps: 3_000_000, Sink: o.Sink,
 						}, func(p *sched.Proc) {
 							if p.ID() == 0 {
 								for k := 0; k < scansPerRun; k++ {
@@ -65,6 +65,9 @@ func e7ScanRetries() Experiment {
 					arrow := scan.NewArrow[int](n, register.DirectFactory)
 					seq := scan.NewSeqSnap[int](n)
 					wf := scan.NewWaitFree[int](n)
+					arrow.SetSink(o.Sink)
+					seq.SetSink(o.Sink)
+					wf.SetSink(o.Sink)
 					t.Add(pace, measure(arrow, arrow.Retries), measure(seq, seq.Retries), measure(wf, wf.Retries))
 				}
 				t.Note("retries fall as writers idle longer; back-to-back writers can starve the paper's scan (non-blocking, not wait-free) — the Afek-et-al. wait-free snapshot never starves (it borrows embedded views).")

@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(1, 2, 4)
+	if h.Count() != 0 || h.Min() != 0 || h.Max() != 0 || h.Mean() != 0 {
+		t.Fatalf("empty histogram not all-zero: count=%d min=%d max=%d mean=%v",
+			h.Count(), h.Min(), h.Max(), h.Mean())
+	}
+	if p := h.Percentile(50); p != 0 {
+		t.Fatalf("empty percentile = %v, want 0", p)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram(0, 1, 4)
+	for _, v := range []int64{0, 0, 1, 2, 4, 5, 100} {
+		h.Observe(v)
+	}
+	got := h.Buckets()
+	want := []Bucket{
+		{Le: 0, Count: 2},
+		{Le: 1, Count: 1},
+		{Le: 4, Count: 2},
+		{Le: math.MaxInt64, Count: 2}, // overflow: 5 and 100
+	}
+	if len(got) != len(want) {
+		t.Fatalf("bucket count = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("bucket %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if h.Count() != 7 || h.Min() != 0 || h.Max() != 100 {
+		t.Fatalf("count/min/max = %d/%d/%d, want 7/0/100", h.Count(), h.Min(), h.Max())
+	}
+	if m := h.Mean(); math.Abs(m-112.0/7) > 1e-9 {
+		t.Fatalf("mean = %v, want %v", m, 112.0/7)
+	}
+}
+
+func TestHistogramPercentile(t *testing.T) {
+	h := NewHistogram(1, 2, 4, 8)
+	// 90 observations of 1, 10 of 8: p50 is in the "<=1" bucket, p99 in "<=8".
+	for i := 0; i < 90; i++ {
+		h.Observe(1)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(8)
+	}
+	if p := h.Percentile(50); p != 1 {
+		t.Errorf("p50 = %v, want 1", p)
+	}
+	if p := h.Percentile(99); p != 8 {
+		t.Errorf("p99 = %v, want 8", p)
+	}
+	// The estimate is clamped to the exact observed range.
+	if p := h.Percentile(100); p != 8 {
+		t.Errorf("p100 = %v, want 8", p)
+	}
+	if p := h.Percentile(0); p != 1 {
+		t.Errorf("p0 = %v, want 1 (observed min)", p)
+	}
+}
+
+func TestHistogramNoBounds(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(7)
+	h.Observe(3)
+	if h.Count() != 2 || h.Min() != 3 || h.Max() != 7 || h.Sum() != 10 {
+		t.Fatalf("degenerate histogram: count=%d min=%d max=%d sum=%d",
+			h.Count(), h.Min(), h.Max(), h.Sum())
+	}
+}
+
+func TestHistogramBadBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewHistogram(2, 1) did not panic")
+		}
+	}()
+	NewHistogram(2, 1)
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram(10, 100)
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(int64(w*per + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Fatalf("count = %d, want %d", h.Count(), workers*per)
+	}
+	if h.Min() != 0 || h.Max() != workers*per-1 {
+		t.Fatalf("min/max = %d/%d, want 0/%d", h.Min(), h.Max(), workers*per-1)
+	}
+}
+
+func TestHistogramSnapshot(t *testing.T) {
+	h := NewHistogram(1, 10)
+	for _, v := range []int64{0, 1, 5, 20} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 4 || s.Min != 0 || s.Max != 20 {
+		t.Fatalf("snapshot count/min/max = %d/%d/%d", s.Count, s.Min, s.Max)
+	}
+	if len(s.Buckets) != 3 {
+		t.Fatalf("snapshot buckets = %d, want 3", len(s.Buckets))
+	}
+}

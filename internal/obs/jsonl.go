@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+)
+
+// The JSONL trace schema: one event per line, stable keys
+//
+//	{"step":1234,"pid":0,"layer":"core","kind":"core.decide","round":3,"value":0,"detail":"1"}
+//
+// round, value and detail are omitted when zero/empty. The schema is
+// documented in README.md §Observability and consumed by cmd/traceview.
+
+// AppendJSON appends the event's JSONL encoding (without trailing newline)
+// to b and returns the extended slice. Hand-rolled so the export path does
+// not pay encoding/json reflection per event.
+func (e Event) AppendJSON(b []byte) []byte {
+	b = append(b, `{"step":`...)
+	b = strconv.AppendInt(b, e.Step, 10)
+	b = append(b, `,"pid":`...)
+	b = strconv.AppendInt(b, int64(e.Pid), 10)
+	b = append(b, `,"layer":"`...)
+	b = append(b, e.Kind.Layer().String()...)
+	b = append(b, `","kind":"`...)
+	b = append(b, e.Kind.ID()...)
+	b = append(b, '"')
+	if e.Round != 0 {
+		b = append(b, `,"round":`...)
+		b = strconv.AppendInt(b, e.Round, 10)
+	}
+	if e.Value != 0 {
+		b = append(b, `,"value":`...)
+		b = strconv.AppendInt(b, e.Value, 10)
+	}
+	if e.Detail != "" {
+		b = append(b, `,"detail":`...)
+		b = appendJSONString(b, e.Detail)
+	}
+	b = append(b, '}')
+	return b
+}
+
+// appendJSONString appends s as a JSON string literal, escaping quotes,
+// backslashes and control characters (multi-byte UTF-8 passes through raw,
+// which is valid JSON).
+func appendJSONString(b []byte, s string) []byte {
+	b = append(b, '"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"' || c == '\\':
+			b = append(b, '\\', c)
+		case c < 0x20:
+			b = append(b, fmt.Sprintf(`\u%04x`, c)...)
+		default:
+			b = append(b, c)
+		}
+	}
+	return append(b, '"')
+}
+
+// JSONLRecorder streams events to w as JSON lines. It buffers internally;
+// call Flush when the run completes. Safe for concurrent use.
+type JSONLRecorder struct {
+	mu  sync.Mutex
+	bw  *bufio.Writer
+	buf []byte
+	n   int64
+}
+
+// NewJSONLRecorder returns a JSONL recorder writing to w.
+func NewJSONLRecorder(w io.Writer) *JSONLRecorder {
+	return &JSONLRecorder{bw: bufio.NewWriterSize(w, 1<<16)}
+}
+
+// Record implements Recorder.
+func (j *JSONLRecorder) Record(e Event) {
+	j.mu.Lock()
+	j.buf = e.AppendJSON(j.buf[:0])
+	j.buf = append(j.buf, '\n')
+	j.bw.Write(j.buf)
+	j.n++
+	j.mu.Unlock()
+}
+
+// Count returns how many events were written.
+func (j *JSONLRecorder) Count() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.n
+}
+
+// Flush drains the internal buffer to the underlying writer.
+func (j *JSONLRecorder) Flush() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.bw.Flush()
+}
+
+// jsonEvent mirrors the wire schema for decoding.
+type jsonEvent struct {
+	Step   int64  `json:"step"`
+	Pid    int    `json:"pid"`
+	Layer  string `json:"layer"`
+	Kind   string `json:"kind"`
+	Round  int64  `json:"round"`
+	Value  int64  `json:"value"`
+	Detail string `json:"detail"`
+}
+
+// ParseEvent decodes one JSONL trace line.
+func ParseEvent(line []byte) (Event, error) {
+	var je jsonEvent
+	if err := json.Unmarshal(line, &je); err != nil {
+		return Event{}, fmt.Errorf("obs: bad trace line: %w", err)
+	}
+	k, ok := KindForID(je.Kind)
+	if !ok {
+		return Event{}, fmt.Errorf("obs: unknown event kind %q", je.Kind)
+	}
+	return Event{Step: je.Step, Pid: je.Pid, Kind: k, Round: je.Round, Value: je.Value, Detail: je.Detail}, nil
+}
+
+// ReadJSONL decodes an entire JSONL trace stream (blank lines skipped).
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	var out []Event
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		e, err := ParseEvent(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// WriteJSONL encodes events to w, one per line.
+func WriteJSONL(w io.Writer, events []Event) error {
+	j := NewJSONLRecorder(w)
+	for _, e := range events {
+		j.Record(e)
+	}
+	return j.Flush()
+}

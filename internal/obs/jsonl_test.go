@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestJSONLRoundTrip(t *testing.T) {
+	events := []Event{
+		{Step: 1, Pid: 0, Kind: CoreStart},
+		{Step: 42, Pid: 1, Kind: ScanClean, Value: 3},
+		{Step: 100, Pid: 2, Kind: CoreDecide, Round: 5, Detail: "1"},
+		{Step: 101, Pid: 3, Kind: WalkStep, Value: -7},
+		{Step: 102, Pid: 0, Kind: CorePref, Round: 2, Detail: `quo"te\back`},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, events); err != nil {
+		t.Fatalf("WriteJSONL: %v", err)
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatalf("ReadJSONL: %v", err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("got %d events, want %d", len(got), len(events))
+	}
+	for i := range events {
+		if got[i] != events[i] {
+			t.Errorf("event %d = %+v, want %+v", i, got[i], events[i])
+		}
+	}
+}
+
+func TestJSONLOmitsZeroFields(t *testing.T) {
+	line := string(Event{Step: 9, Pid: 1, Kind: RegSWMRRead}.AppendJSON(nil))
+	want := `{"step":9,"pid":1,"layer":"register","kind":"register.swmr.read"}`
+	if line != want {
+		t.Fatalf("line = %s, want %s", line, want)
+	}
+}
+
+func TestJSONLControlCharEscape(t *testing.T) {
+	line := Event{Kind: CoreDecide, Detail: "a\nb\tc"}.AppendJSON(nil)
+	if _, err := ParseEvent(line); err != nil {
+		t.Fatalf("control chars not valid JSON: %v (line %s)", err, line)
+	}
+	if strings.ContainsAny(string(line), "\n\t") {
+		t.Fatalf("control characters not escaped: %q", line)
+	}
+	if !strings.Contains(string(line), "\\u000a") {
+		t.Fatalf("newline not \\u-escaped: %q", line)
+	}
+}
+
+func TestParseEventErrors(t *testing.T) {
+	if _, err := ParseEvent([]byte(`not json`)); err == nil {
+		t.Error("malformed line accepted")
+	}
+	if _, err := ParseEvent([]byte(`{"step":1,"pid":0,"kind":"no.such.kind"}`)); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestReadJSONLSkipsBlankLines(t *testing.T) {
+	in := `{"step":1,"pid":0,"layer":"core","kind":"core.start"}` + "\n\n" +
+		`{"step":2,"pid":1,"layer":"core","kind":"core.decide"}` + "\n"
+	got, err := ReadJSONL(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ReadJSONL: %v", err)
+	}
+	if len(got) != 2 || got[0].Kind != CoreStart || got[1].Kind != CoreDecide {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestJSONLRecorderCounts(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJSONLRecorder(&buf)
+	for i := 0; i < 5; i++ {
+		j.Record(Event{Step: int64(i), Kind: SchedGrant})
+	}
+	if j.Count() != 5 {
+		t.Fatalf("Count = %d, want 5", j.Count())
+	}
+	if err := j.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if n := strings.Count(buf.String(), "\n"); n != 5 {
+		t.Fatalf("wrote %d lines, want 5", n)
+	}
+}

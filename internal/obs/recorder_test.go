@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRingWrapAround(t *testing.T) {
+	r := NewRing(3)
+	for i := 1; i <= 5; i++ {
+		r.Record(Event{Step: int64(i), Kind: CoreFlip})
+	}
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", r.Len())
+	}
+	if r.Dropped() != 2 {
+		t.Fatalf("Dropped = %d, want 2", r.Dropped())
+	}
+	got := r.Events()
+	for i, want := range []int64{3, 4, 5} {
+		if got[i].Step != want {
+			t.Errorf("event %d step = %d, want %d (oldest first)", i, got[i].Step, want)
+		}
+	}
+}
+
+func TestRingPartial(t *testing.T) {
+	r := NewRing(10)
+	r.Record(Event{Step: 1})
+	r.Record(Event{Step: 2})
+	if r.Len() != 2 || r.Dropped() != 0 {
+		t.Fatalf("Len/Dropped = %d/%d, want 2/0", r.Len(), r.Dropped())
+	}
+	if got := r.Events(); len(got) != 2 || got[0].Step != 1 {
+		t.Fatalf("Events = %+v", got)
+	}
+}
+
+func TestRingMinimumCapacity(t *testing.T) {
+	r := NewRing(0)
+	r.Record(Event{Step: 1})
+	r.Record(Event{Step: 2})
+	if r.Len() != 1 || r.Events()[0].Step != 2 {
+		t.Fatalf("capacity-0 ring: len=%d events=%+v", r.Len(), r.Events())
+	}
+}
+
+func TestTee(t *testing.T) {
+	if Tee() != nil || Tee(nil, nil) != nil {
+		t.Fatal("empty Tee should collapse to nil")
+	}
+	a := NewRing(4)
+	if Tee(nil, a, nil) != Recorder(a) {
+		t.Fatal("single-recorder Tee should return the recorder itself")
+	}
+	b := NewRing(4)
+	tee := Tee(a, b)
+	tee.Record(Event{Step: 7})
+	if a.Len() != 1 || b.Len() != 1 {
+		t.Fatalf("tee did not fan out: %d/%d", a.Len(), b.Len())
+	}
+}
+
+func TestFilterLayers(t *testing.T) {
+	r := NewRing(16)
+	f := FilterLayers(r, LayerCore)
+	f.Record(Event{Kind: CoreDecide})
+	f.Record(Event{Kind: RegSWMRRead})
+	f.Record(Event{Kind: ScanRetry})
+	f.Record(Event{Kind: CoreStart})
+	if r.Len() != 2 {
+		t.Fatalf("filter kept %d events, want 2", r.Len())
+	}
+	for _, e := range r.Events() {
+		if e.Kind.Layer() != LayerCore {
+			t.Errorf("non-core event passed filter: %v", e)
+		}
+	}
+}
+
+func TestTextRecorderFormat(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTextRecorder(&buf)
+	tr.Record(Event{Step: 12, Pid: 1, Round: 3, Kind: CoreDecide, Detail: "0"})
+	line := strings.TrimRight(buf.String(), "\n")
+	// The legacy trace format: "step" first, then pid/round, layer, label,
+	// detail. cointool and consensus-sim -trace both rely on this shape.
+	for _, want := range []string{"step", "p1", "r3", "core", "decide", "0"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("trace line %q missing %q", line, want)
+		}
+	}
+	if !strings.HasPrefix(line, "step") {
+		t.Errorf("trace line %q does not start with \"step\"", line)
+	}
+}
+
+func TestFuncRecorder(t *testing.T) {
+	var got []Event
+	r := FuncRecorder(func(e Event) { got = append(got, e) })
+	r.Record(Event{Step: 1})
+	if len(got) != 1 {
+		t.Fatalf("FuncRecorder captured %d events", len(got))
+	}
+}

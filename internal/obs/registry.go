@@ -1,0 +1,179 @@
+package obs
+
+import "sync/atomic"
+
+// GaugeID names a max-tracking gauge in the registry.
+type GaugeID uint8
+
+// Gauges.
+const (
+	// GaugeMaxAbsCoin is the largest |coin counter| ever written.
+	GaugeMaxAbsCoin GaugeID = iota
+	// GaugeMaxRound is the largest explicit round number ever written
+	// (unbounded protocols only).
+	GaugeMaxRound
+	// GaugeMaxStripLen is the largest per-process coin-strip length ever
+	// written (unbounded protocols only).
+	GaugeMaxStripLen
+	numGauges
+)
+
+// String implements fmt.Stringer (the stable metrics-snapshot key).
+func (g GaugeID) String() string {
+	switch g {
+	case GaugeMaxAbsCoin:
+		return "core.max_abs_coin"
+	case GaugeMaxRound:
+		return "core.max_round"
+	case GaugeMaxStripLen:
+		return "core.max_strip_len"
+	default:
+		return "gauge.unknown"
+	}
+}
+
+// HistID names a histogram in the registry.
+type HistID uint8
+
+// Histograms.
+const (
+	// HistScanRetries is the distribution of retries per completed scan.
+	HistScanRetries HistID = iota
+	// HistStepsToDecide is the distribution of per-process atomic steps from
+	// start to decision.
+	HistStepsToDecide
+	numHists
+)
+
+// String implements fmt.Stringer (the stable metrics-snapshot key).
+func (h HistID) String() string {
+	switch h {
+	case HistScanRetries:
+		return "scan.retries_per_scan"
+	case HistStepsToDecide:
+		return "core.steps_to_decide"
+	default:
+		return "hist.unknown"
+	}
+}
+
+// Registry is the unified metrics registry: one counter per event kind, a
+// small set of max-gauges, and fixed-bucket histograms. All mutation paths
+// are atomic, fixed-index array accesses — no locks, no maps, no allocation.
+// It replaces and extends core.Metrics, which remains as a per-protocol
+// compatibility view.
+type Registry struct {
+	kinds  [numKinds]atomic.Int64
+	gauges [numGauges]atomic.Int64
+	hists  [numHists]*Histogram
+}
+
+// NewRegistry returns a registry with the standard histograms installed.
+func NewRegistry() *Registry {
+	r := &Registry{}
+	r.hists[HistScanRetries] = NewHistogram(0, 1, 2, 4, 8, 16, 32, 64, 128)
+	r.hists[HistStepsToDecide] = NewHistogram(
+		100, 300, 1_000, 3_000, 10_000, 30_000, 100_000, 300_000, 1_000_000, 10_000_000)
+	return r
+}
+
+// countKind increments the counter of kind k.
+func (r *Registry) countKind(k Kind) {
+	if k < numKinds {
+		r.kinds[k].Add(1)
+	}
+}
+
+// KindCount returns the event count of kind k.
+func (r *Registry) KindCount(k Kind) int64 {
+	if k >= numKinds {
+		return 0
+	}
+	return r.kinds[k].Load()
+}
+
+// LayerCount returns the event count summed over every kind of the layer.
+func (r *Registry) LayerCount(l Layer) int64 {
+	var t int64
+	for k := Kind(0); k < numKinds; k++ {
+		if k.Layer() == l {
+			t += r.kinds[k].Load()
+		}
+	}
+	return t
+}
+
+// GaugeMax raises gauge id to v if v is larger.
+func (r *Registry) GaugeMax(id GaugeID, v int64) {
+	if id >= numGauges {
+		return
+	}
+	g := &r.gauges[id]
+	for {
+		cur := g.Load()
+		if v <= cur || g.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Gauge returns the current value of gauge id.
+func (r *Registry) Gauge(id GaugeID) int64 {
+	if id >= numGauges {
+		return 0
+	}
+	return r.gauges[id].Load()
+}
+
+// Hist returns the histogram with the given id (nil for unknown ids).
+func (r *Registry) Hist(id HistID) *Histogram {
+	if id >= numHists {
+		return nil
+	}
+	return r.hists[id]
+}
+
+// Snapshot is an immutable point-in-time copy of a registry, keyed by the
+// stable wire identifiers. Zero-count entries are omitted.
+type Snapshot struct {
+	Counters map[string]int64
+	Gauges   map[string]int64
+	Hists    map[string]HistSnapshot
+}
+
+// Snapshot summarizes the registry.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters: make(map[string]int64),
+		Gauges:   make(map[string]int64),
+		Hists:    make(map[string]HistSnapshot),
+	}
+	for k := Kind(0); k < numKinds; k++ {
+		if c := r.kinds[k].Load(); c != 0 {
+			s.Counters[k.ID()] = c
+		}
+	}
+	for g := GaugeID(0); g < numGauges; g++ {
+		if v := r.gauges[g].Load(); v != 0 {
+			s.Gauges[g.String()] = v
+		}
+	}
+	for h := HistID(0); h < numHists; h++ {
+		if hist := r.hists[h]; hist != nil && hist.Count() > 0 {
+			s.Hists[h.String()] = hist.Snapshot()
+		}
+	}
+	return s
+}
+
+// LayerCounts aggregates the snapshot's counters by layer prefix
+// ("scan.retry" counts toward "scan").
+func (s Snapshot) LayerCounts() map[string]int64 {
+	out := make(map[string]int64)
+	for id, c := range s.Counters {
+		if k, ok := KindForID(id); ok {
+			out[k.Layer().String()] += c
+		}
+	}
+	return out
+}

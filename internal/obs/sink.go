@@ -1,0 +1,94 @@
+package obs
+
+// Sink is the per-run observability hub handed to every instrumented layer:
+// an optional event recorder plus an always-on metrics registry.
+//
+// A nil *Sink is a valid, fully disabled sink: every method nil-checks the
+// receiver and returns immediately, so instrumented hot paths cost one branch
+// and zero allocations when observability is off. A non-nil Sink with a nil
+// Recorder is metrics-only: events are counted into the registry but not
+// recorded. Emitters building Detail strings (the only allocating part of an
+// event) must guard them behind Tracing.
+type Sink struct {
+	rec Recorder
+	reg *Registry
+}
+
+// NewSink returns a sink recording to rec (nil rec = metrics-only) with a
+// fresh registry.
+func NewSink(rec Recorder) *Sink {
+	return &Sink{rec: rec, reg: NewRegistry()}
+}
+
+// WithRecorder returns a sink sharing this sink's registry but recording to
+// rec (used to stack an extra trace consumer onto an existing sink).
+func (s *Sink) WithRecorder(rec Recorder) *Sink {
+	if s == nil {
+		return NewSink(rec)
+	}
+	return &Sink{rec: rec, reg: s.reg}
+}
+
+// Recorder returns the installed recorder (nil when metrics-only or s is
+// nil).
+func (s *Sink) Recorder() Recorder {
+	if s == nil {
+		return nil
+	}
+	return s.rec
+}
+
+// Registry returns the metrics registry (nil when s is nil).
+func (s *Sink) Registry() *Registry {
+	if s == nil {
+		return nil
+	}
+	return s.reg
+}
+
+// Enabled reports whether any observability (metrics or tracing) is on.
+func (s *Sink) Enabled() bool { return s != nil }
+
+// Tracing reports whether a recorder is installed — emitters must only build
+// Detail strings when it returns true.
+func (s *Sink) Tracing() bool { return s != nil && s.rec != nil }
+
+// Emit counts the event's kind in the registry and, if a recorder is
+// installed, records the full event. No-op on a nil sink.
+func (s *Sink) Emit(e Event) {
+	if s == nil {
+		return
+	}
+	s.reg.countKind(e.Kind)
+	if s.rec != nil {
+		s.rec.Record(e)
+	}
+}
+
+// Count increments kind k's counter without recording an event — for
+// high-frequency observations (handshake bits, scheduler grants) that would
+// drown a trace.
+func (s *Sink) Count(k Kind) {
+	if s == nil {
+		return
+	}
+	s.reg.countKind(k)
+}
+
+// Observe records v into histogram id. No-op on a nil sink.
+func (s *Sink) Observe(id HistID, v int64) {
+	if s == nil {
+		return
+	}
+	if h := s.reg.Hist(id); h != nil {
+		h.Observe(v)
+	}
+}
+
+// GaugeMax raises gauge id to v if larger. No-op on a nil sink.
+func (s *Sink) GaugeMax(id GaugeID, v int64) {
+	if s == nil {
+		return
+	}
+	s.reg.GaugeMax(id, v)
+}

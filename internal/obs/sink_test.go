@@ -1,0 +1,95 @@
+package obs
+
+import "testing"
+
+func TestNilSinkIsSafe(t *testing.T) {
+	var s *Sink
+	// Every method must be a no-op on a nil receiver.
+	s.Emit(Event{Kind: CoreDecide})
+	s.Count(SchedGrant)
+	s.Observe(HistScanRetries, 3)
+	s.GaugeMax(GaugeMaxAbsCoin, 9)
+	if s.Enabled() || s.Tracing() {
+		t.Fatal("nil sink reports enabled/tracing")
+	}
+	if s.Registry() != nil || s.Recorder() != nil {
+		t.Fatal("nil sink returned a registry or recorder")
+	}
+}
+
+func TestMetricsOnlySink(t *testing.T) {
+	s := NewSink(nil)
+	if !s.Enabled() || s.Tracing() {
+		t.Fatal("metrics-only sink should be enabled but not tracing")
+	}
+	s.Emit(Event{Kind: ScanRetry})
+	s.Emit(Event{Kind: ScanRetry})
+	s.Count(SchedGrant)
+	if c := s.Registry().KindCount(ScanRetry); c != 2 {
+		t.Fatalf("ScanRetry count = %d, want 2", c)
+	}
+	if c := s.Registry().KindCount(SchedGrant); c != 1 {
+		t.Fatalf("SchedGrant count = %d, want 1", c)
+	}
+}
+
+func TestSinkRecords(t *testing.T) {
+	r := NewRing(8)
+	s := NewSink(r)
+	if !s.Tracing() {
+		t.Fatal("recording sink not tracing")
+	}
+	s.Emit(Event{Step: 5, Kind: CoreFlip})
+	s.Count(SchedGrant) // counted, never recorded
+	if r.Len() != 1 {
+		t.Fatalf("recorded %d events, want 1 (Count must not record)", r.Len())
+	}
+	if s.Registry().KindCount(CoreFlip) != 1 || s.Registry().KindCount(SchedGrant) != 1 {
+		t.Fatal("Emit and Count must both feed the registry")
+	}
+}
+
+func TestWithRecorderSharesRegistry(t *testing.T) {
+	base := NewSink(nil)
+	base.Emit(Event{Kind: CoreStart})
+	r := NewRing(8)
+	s2 := base.WithRecorder(r)
+	s2.Emit(Event{Kind: CoreDecide})
+	if base.Registry() != s2.Registry() {
+		t.Fatal("WithRecorder must share the registry")
+	}
+	if base.Registry().KindCount(CoreDecide) != 1 {
+		t.Fatal("event emitted on derived sink missing from shared registry")
+	}
+	if r.Len() != 1 {
+		t.Fatal("derived sink did not record")
+	}
+	var nilSink *Sink
+	if got := nilSink.WithRecorder(r); got == nil || got.Registry() == nil {
+		t.Fatal("WithRecorder on nil sink must build a fresh sink")
+	}
+}
+
+// TestEmitZeroAlloc is the tentpole's zero-cost guarantee: emitting with
+// observability disabled (nil sink) or in metrics-only mode must not allocate.
+func TestEmitZeroAlloc(t *testing.T) {
+	var disabled *Sink
+	if n := testing.AllocsPerRun(1000, func() {
+		disabled.Emit(Event{Step: 1, Pid: 0, Kind: RegSWMRRead, Value: 3})
+		disabled.Count(SchedGrant)
+		disabled.Observe(HistScanRetries, 2)
+		disabled.GaugeMax(GaugeMaxAbsCoin, 5)
+	}); n != 0 {
+		t.Errorf("nil sink: %v allocs per emit, want 0", n)
+	}
+
+	metricsOnly := NewSink(nil)
+	if n := testing.AllocsPerRun(1000, func() {
+		metricsOnly.Emit(Event{Step: 1, Pid: 0, Kind: RegSWMRRead, Value: 3})
+		metricsOnly.Count(SchedGrant)
+		metricsOnly.Observe(HistScanRetries, 2)
+		metricsOnly.GaugeMax(GaugeMaxAbsCoin, 5)
+	}); n != 0 {
+		t.Errorf("metrics-only sink: %v allocs per emit, want 0", n)
+	}
+}

@@ -1,0 +1,45 @@
+package register
+
+import (
+	"testing"
+
+	"github.com/dsrepro/consensus/internal/obs"
+	"github.com/dsrepro/consensus/internal/sched"
+)
+
+// TestRegisterOpsZeroAlloc pins the observability tentpole's zero-cost
+// guarantee at the hottest layer: a register access must not allocate when
+// observability is off (nil sink) or metrics-only (sink without recorder).
+func TestRegisterOpsZeroAlloc(t *testing.T) {
+	swmr := NewSWMR(0, 0)
+	tog := NewToggledSWMR(0, 0)
+	d2w := NewDirect2W(0, 1, false)
+	bloom := NewBloom2W(0, 1, false)
+	check := func(mode string) {
+		sched.RunFree(1, 1, func(p *sched.Proc) {
+			if n := testing.AllocsPerRun(500, func() {
+				swmr.Write(p, 7)
+				_ = swmr.Read(p)
+				tog.Write(p, 3)
+				_ = tog.Read(p)
+				d2w.Write(p, true)
+				_ = d2w.Read(p)
+				bloom.Write(p, true)
+				_ = bloom.Read(p)
+			}); n != 0 {
+				t.Errorf("%s: %v allocs per register-op batch, want 0", mode, n)
+			}
+		})
+	}
+
+	check("no sink")
+
+	s := obs.NewSink(nil) // metrics-only: counted, never recorded
+	for _, r := range []SinkSetter{swmr, tog, d2w, bloom} {
+		r.SetSink(s)
+	}
+	check("metrics-only sink")
+	if got := s.Registry().KindCount(obs.RegSWMRRead); got == 0 {
+		t.Error("metrics-only sink did not count SWMR reads")
+	}
+}

@@ -17,14 +17,23 @@ import (
 	"fmt"
 	"sync"
 
+	"github.com/dsrepro/consensus/internal/obs"
 	"github.com/dsrepro/consensus/internal/sched"
 )
+
+// SinkSetter is implemented by every register (and by the scannable
+// memories built from them) so an observability sink installed at the top of
+// a protocol stack propagates down to each primitive.
+type SinkSetter interface {
+	SetSink(*obs.Sink)
+}
 
 // SWMR is a single-writer multi-reader atomic register holding a value of
 // type T. Only the owner process may write; any process may read. It models a
 // hardware atomic register: one read or write is one atomic step.
 type SWMR[T any] struct {
 	owner int
+	sink  *obs.Sink
 	mu    sync.Mutex
 	v     T
 }
@@ -38,9 +47,13 @@ func NewSWMR[T any](owner int, init T) *SWMR[T] {
 // Owner returns the pid of the register's single writer.
 func (r *SWMR[T]) Owner() int { return r.owner }
 
+// SetSink installs the observability sink (call before the run starts).
+func (r *SWMR[T]) SetSink(s *obs.Sink) { r.sink = s }
+
 // Read returns the register's current value. One atomic step.
 func (r *SWMR[T]) Read(p *sched.Proc) T {
 	p.Step()
+	r.sink.Emit(obs.Event{Step: p.Now(), Pid: p.ID(), Kind: obs.RegSWMRRead, Value: int64(r.owner)})
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.v
@@ -53,6 +66,7 @@ func (r *SWMR[T]) Write(p *sched.Proc, v T) {
 		panic(fmt.Sprintf("register: process %d wrote SWMR register owned by %d", p.ID(), r.owner))
 	}
 	p.Step()
+	r.sink.Emit(obs.Event{Step: p.Now(), Pid: p.ID(), Kind: obs.RegSWMRWrite, Value: int64(r.owner)})
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.v = v
@@ -87,6 +101,9 @@ func NewToggledSWMR[T any](owner int, init T) *ToggledSWMR[T] {
 	return &ToggledSWMR[T]{reg: NewSWMR(owner, Toggled[T]{Val: init}), next: true}
 }
 
+// SetSink installs the observability sink on the wrapped register.
+func (r *ToggledSWMR[T]) SetSink(s *obs.Sink) { r.reg.SetSink(s) }
+
 // Read returns the current value and toggle bit. One atomic step.
 func (r *ToggledSWMR[T]) Read(p *sched.Proc) Toggled[T] { return r.reg.Read(p) }
 
@@ -116,6 +133,7 @@ type TwoWriter interface {
 // by the paper when experiments do not need sub-operation granularity.
 type Direct2W struct {
 	a, b int // the two parties allowed to access the register
+	sink *obs.Sink
 	mu   sync.Mutex
 	v    bool
 }
@@ -131,10 +149,14 @@ func (r *Direct2W) checkParty(pid int) {
 	}
 }
 
+// SetSink installs the observability sink.
+func (r *Direct2W) SetSink(s *obs.Sink) { r.sink = s }
+
 // Read implements TwoWriter. One atomic step.
 func (r *Direct2W) Read(p *sched.Proc) bool {
 	r.checkParty(p.ID())
 	p.Step()
+	r.sink.Emit(obs.Event{Step: p.Now(), Pid: p.ID(), Kind: obs.Reg2WRead})
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.v
@@ -144,6 +166,7 @@ func (r *Direct2W) Read(p *sched.Proc) bool {
 func (r *Direct2W) Write(p *sched.Proc, v bool) {
 	r.checkParty(p.ID())
 	p.Step()
+	r.sink.Emit(obs.Event{Step: p.Now(), Pid: p.ID(), Kind: obs.Reg2WWrite})
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.v = v
@@ -163,6 +186,7 @@ func (r *Direct2W) Write(p *sched.Proc, v bool) {
 // read costs two atomic steps.
 type Bloom2W struct {
 	a, b  int // a plays Bloom writer 0, b plays writer 1
+	sink  *obs.Sink
 	sub   [2]*SWMR[bloomCell]
 	party func(pid int) int
 }
@@ -194,8 +218,17 @@ func (r *Bloom2W) role(pid int) int {
 	}
 }
 
+// SetSink installs the observability sink on the wrapper and both SWMR
+// sub-registers, so Bloom-level and SWMR-level operations are both accounted.
+func (r *Bloom2W) SetSink(s *obs.Sink) {
+	r.sink = s
+	r.sub[0].SetSink(s)
+	r.sub[1].SetSink(s)
+}
+
 // Write implements TwoWriter. Two atomic steps.
 func (r *Bloom2W) Write(p *sched.Proc, v bool) {
+	r.sink.Count(obs.RegBloomWrite)
 	w := r.role(p.ID())
 	other := r.sub[1-w].Read(p)
 	tag := other.tag
@@ -207,6 +240,7 @@ func (r *Bloom2W) Write(p *sched.Proc, v bool) {
 
 // Read implements TwoWriter. Two atomic steps.
 func (r *Bloom2W) Read(p *sched.Proc) bool {
+	r.sink.Count(obs.RegBloomRead)
 	r.role(p.ID()) // enforce that only the two parties access the register
 	c0 := r.sub[0].Read(p)
 	c1 := r.sub[1].Read(p)

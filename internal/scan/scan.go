@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"github.com/dsrepro/consensus/internal/obs"
 	"github.com/dsrepro/consensus/internal/register"
 	"github.com/dsrepro/consensus/internal/sched"
 )
@@ -54,6 +55,7 @@ type Memory[T any] interface {
 // scanner's clear).
 type Arrow[T any] struct {
 	n      int
+	sink   *obs.Sink
 	vals   []*register.ToggledSWMR[T]
 	arrows [][]register.TwoWriter // arrows[i][j], i != j
 	local  []T                    // local[i]: last value written by i (owner-only access)
@@ -87,6 +89,22 @@ func NewArrow[T any](n int, factory register.TwoWriterFactory) *Arrow[T] {
 // N implements Memory.
 func (a *Arrow[T]) N() int { return a.n }
 
+// SetSink installs the observability sink on the memory and every register
+// beneath it.
+func (a *Arrow[T]) SetSink(s *obs.Sink) {
+	a.sink = s
+	for i := 0; i < a.n; i++ {
+		a.vals[i].SetSink(s)
+		for j := 0; j < a.n; j++ {
+			if i != j {
+				if ss, ok := a.arrows[i][j].(register.SinkSetter); ok {
+					ss.SetSink(s)
+				}
+			}
+		}
+	}
+}
+
 // Write implements Memory: set the arrow in every other process's scanner
 // register, then publish the value. Wait-free; n atomic steps (2n with Bloom
 // arrow registers).
@@ -108,6 +126,7 @@ func (a *Arrow[T]) Scan(p *sched.Proc) []T {
 	i := p.ID()
 	v1 := make([]register.Toggled[T], a.n)
 	v2 := make([]register.Toggled[T], a.n)
+	var tries int64
 	for {
 		for j := 0; j < a.n; j++ {
 			if j != i {
@@ -134,6 +153,8 @@ func (a *Arrow[T]) Scan(p *sched.Proc) []T {
 			}
 		}
 		if clean {
+			a.sink.Emit(obs.Event{Step: p.Now(), Pid: i, Kind: obs.ScanClean, Value: tries})
+			a.sink.Observe(obs.HistScanRetries, tries)
 			out := make([]T, a.n)
 			for j := 0; j < a.n; j++ {
 				if j == i {
@@ -145,6 +166,8 @@ func (a *Arrow[T]) Scan(p *sched.Proc) []T {
 			return out
 		}
 		a.retries[i].Add(1)
+		tries++
+		a.sink.Emit(obs.Event{Step: p.Now(), Pid: i, Kind: obs.ScanRetry, Value: tries})
 	}
 }
 
@@ -167,6 +190,7 @@ type seqCell[T any] struct {
 // until two consecutive collects see identical sequence vectors.
 type SeqSnap[T any] struct {
 	n     int
+	sink  *obs.Sink
 	vals  []*register.SWMR[seqCell[T]]
 	local []T
 	seq   []uint64 // next sequence number per writer (owner-only access)
@@ -192,6 +216,14 @@ func NewSeqSnap[T any](n int) *SeqSnap[T] {
 // N implements Memory.
 func (s *SeqSnap[T]) N() int { return s.n }
 
+// SetSink installs the observability sink on the memory and its registers.
+func (s *SeqSnap[T]) SetSink(sk *obs.Sink) {
+	s.sink = sk
+	for _, r := range s.vals {
+		r.SetSink(sk)
+	}
+}
+
 // Write implements Memory. One atomic step; the sequence number grows without
 // bound (this is the point of the baseline).
 func (s *SeqSnap[T]) Write(p *sched.Proc, v T) {
@@ -212,6 +244,7 @@ func (s *SeqSnap[T]) Scan(p *sched.Proc) []T {
 			prev[j] = s.vals[j].Read(p)
 		}
 	}
+	var tries int64
 	for {
 		for j := 0; j < s.n; j++ {
 			if j != i {
@@ -225,6 +258,8 @@ func (s *SeqSnap[T]) Scan(p *sched.Proc) []T {
 			}
 		}
 		if clean {
+			s.sink.Emit(obs.Event{Step: p.Now(), Pid: i, Kind: obs.ScanClean, Value: tries})
+			s.sink.Observe(obs.HistScanRetries, tries)
 			out := make([]T, s.n)
 			for j := 0; j < s.n; j++ {
 				if j == i {
@@ -236,6 +271,8 @@ func (s *SeqSnap[T]) Scan(p *sched.Proc) []T {
 			return out
 		}
 		s.retries[i].Add(1)
+		tries++
+		s.sink.Emit(obs.Event{Step: p.Now(), Pid: i, Kind: obs.ScanRetry, Value: tries})
 		prev, cur = cur, prev
 	}
 }
@@ -280,6 +317,14 @@ func NewCollect[T any](n int) *Collect[T] {
 
 // N implements Memory.
 func (c *Collect[T]) N() int { return c.n }
+
+// SetSink installs the observability sink on the underlying registers (the
+// single-collect scan has no retries of its own to report).
+func (c *Collect[T]) SetSink(s *obs.Sink) {
+	for _, r := range c.vals {
+		r.SetSink(s)
+	}
+}
 
 // Write implements Memory. One atomic step.
 func (c *Collect[T]) Write(p *sched.Proc, v T) {

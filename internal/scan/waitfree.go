@@ -3,6 +3,7 @@ package scan
 import (
 	"sync/atomic"
 
+	"github.com/dsrepro/consensus/internal/obs"
 	"github.com/dsrepro/consensus/internal/register"
 	"github.com/dsrepro/consensus/internal/sched"
 )
@@ -40,6 +41,7 @@ import (
 // finishes within at most 2n+1 iterations.
 type WaitFree[T any] struct {
 	n     int
+	sink  *obs.Sink
 	regs  []*register.SWMR[wfRec[T]]
 	hands [][]*register.SWMR[bool] // hands[i][j]: scanner i's bit toward writer j
 	local []T                      // local[i]: last value written by i (owner-only)
@@ -87,6 +89,21 @@ func NewWaitFree[T any](n int) *WaitFree[T] {
 // N implements Memory.
 func (w *WaitFree[T]) N() int { return w.n }
 
+// SetSink installs the observability sink on the memory and every register
+// beneath it. Handshake-bit traffic is counted (not recorded): one scan
+// iteration touches n-1 handshake registers and would drown a trace.
+func (w *WaitFree[T]) SetSink(s *obs.Sink) {
+	w.sink = s
+	for i := 0; i < w.n; i++ {
+		w.regs[i].SetSink(s)
+		for j := 0; j < w.n; j++ {
+			if i != j {
+				w.hands[i][j].SetSink(s)
+			}
+		}
+	}
+}
+
 // Write implements Memory (the construction's update): embedded snapshot,
 // handshake flips, one atomic publish. Wait-free.
 func (w *WaitFree[T]) Write(p *sched.Proc, v T) {
@@ -113,6 +130,7 @@ func (w *WaitFree[T]) Scan(p *sched.Proc) []T {
 	myHand := make([]bool, w.n)
 	c1 := make([]wfRec[T], w.n)
 	c2 := make([]wfRec[T], w.n)
+	var tries int64
 	for {
 		// Handshake: equalize my bit with each writer's current bit.
 		for j := 0; j < w.n; j++ {
@@ -122,6 +140,7 @@ func (w *WaitFree[T]) Scan(p *sched.Proc) []T {
 			rec := w.regs[j].Read(p)
 			myHand[j] = rec.p[i]
 			w.hands[i][j].Write(p, myHand[j])
+			w.sink.Count(obs.ScanHandshake)
 		}
 		for j := 0; j < w.n; j++ {
 			if j != i {
@@ -149,11 +168,15 @@ func (w *WaitFree[T]) Scan(p *sched.Proc) []T {
 				// Borrow: c2[j]'s embedded view was taken entirely within
 				// this scan.
 				w.borrows[i].Add(1)
+				w.sink.Emit(obs.Event{Step: p.Now(), Pid: i, Kind: obs.ScanBorrow, Value: int64(j)})
+				w.sink.Observe(obs.HistScanRetries, tries)
 				out := append([]T(nil), c2[j].view...)
 				return out
 			}
 		}
 		if clean {
+			w.sink.Emit(obs.Event{Step: p.Now(), Pid: i, Kind: obs.ScanClean, Value: tries})
+			w.sink.Observe(obs.HistScanRetries, tries)
 			out := make([]T, w.n)
 			for j := 0; j < w.n; j++ {
 				if j == i {
@@ -165,6 +188,8 @@ func (w *WaitFree[T]) Scan(p *sched.Proc) []T {
 			return out
 		}
 		w.retries[i].Add(1)
+		tries++
+		w.sink.Emit(obs.Event{Step: p.Now(), Pid: i, Kind: obs.ScanRetry, Value: tries})
 	}
 }
 

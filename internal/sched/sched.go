@@ -23,6 +23,8 @@ import (
 	"math/rand"
 	"sync"
 	"sync/atomic"
+
+	"github.com/dsrepro/consensus/internal/obs"
 )
 
 // Sentinel errors returned by Run.
@@ -108,6 +110,17 @@ type Config struct {
 	// MaxSteps bounds the total number of atomic steps; 0 means no bound.
 	// Exceeding it aborts the run with ErrStepBudget.
 	MaxSteps int64
+
+	// OnStep, if non-nil, is invoked from the scheduler loop after each grant
+	// with the granted pid and the (1-based) global step count. Invocations
+	// are serialized; keep the hook cheap — it runs on the scheduling hot
+	// path.
+	OnStep func(pid int, step int64)
+
+	// Sink, if non-nil, receives scheduler-level accounting (sched.grant
+	// counts) in the unified observability registry. Grants are counted, not
+	// recorded as events — one event per atomic step would drown any trace.
+	Sink *obs.Sink
 }
 
 // Result reports what happened during a run.
@@ -117,6 +130,13 @@ type Result struct {
 
 	// PerProc is the number of steps each process performed.
 	PerProc []int64
+
+	// WaitSteps[i] is the contention accounting for process i: the total
+	// number of global steps granted to *other* processes while i was parked
+	// in Step waiting for a grant. A fairly scheduled process accumulates
+	// about (n-1) wait steps per own step; a starved one accumulates far
+	// more. Zero in free-running mode, which has no grant queue.
+	WaitSteps []int64
 
 	// Finished reports which processes ran their body to completion. A
 	// process can be unfinished if it was crashed by the adversary or if the
@@ -165,9 +185,13 @@ func Run(cfg Config, body func(*Proc)) (Result, error) {
 		grants: make([]chan bool, cfg.N),
 	}
 	res := Result{
-		PerProc:  make([]int64, cfg.N),
-		Finished: make([]bool, cfg.N),
+		PerProc:   make([]int64, cfg.N),
+		WaitSteps: make([]int64, cfg.N),
+		Finished:  make([]bool, cfg.N),
 	}
+	// enqueuedAt[pid] is the global step count when pid last entered the
+	// waiting set; the grant charges the elapsed steps as wait time.
+	enqueuedAt := make([]int64, cfg.N)
 
 	var wg sync.WaitGroup
 	for i := 0; i < cfg.N; i++ {
@@ -234,6 +258,7 @@ func Run(cfg Config, body func(*Proc)) (Result, error) {
 				continue
 			}
 			waiting = insertSorted(waiting, ev.pid)
+			enqueuedAt[ev.pid] = res.Steps
 			inflight--
 		}
 		if live == 0 {
@@ -258,9 +283,14 @@ func Run(cfg Config, body func(*Proc)) (Result, error) {
 			panic(fmt.Sprintf("sched: adversary picked pid %d not in waiting set %v", pick, waiting))
 		}
 		waiting = append(waiting[:idx], waiting[idx+1:]...)
+		res.WaitSteps[pick] += res.Steps - enqueuedAt[pick]
 		res.Steps++
 		res.PerProc[pick]++
 		r.clock.Store(res.Steps)
+		cfg.Sink.Count(obs.SchedGrant)
+		if cfg.OnStep != nil {
+			cfg.OnStep(pick, res.Steps)
+		}
 		inflight++
 		r.grants[pick] <- true
 	}
@@ -295,9 +325,10 @@ func RunFree(n int, seed int64, body func(*Proc)) Result {
 	}
 	wg.Wait()
 	res := Result{
-		Steps:    g.clock.Load(),
-		PerProc:  make([]int64, n),
-		Finished: make([]bool, n),
+		Steps:     g.clock.Load(),
+		PerProc:   make([]int64, n),
+		WaitSteps: make([]int64, n),
+		Finished:  make([]bool, n),
 	}
 	for i, p := range procs {
 		res.PerProc[i] = p.steps

@@ -1,6 +1,11 @@
 package strip
 
-import "fmt"
+import (
+	"fmt"
+
+	"github.com/dsrepro/consensus/internal/obs"
+	"github.com/dsrepro/consensus/internal/sched"
+)
 
 // This file implements the paper's §4.3 concurrent representation of the
 // distance graph: for every unordered pair {i,j}, two counters e[i][j]
@@ -75,22 +80,49 @@ func Decode(e [][]int, k int) (*Graph, error) {
 //
 // The returned slice is a fresh copy; e is not modified.
 func IncRow(i int, e [][]int, k int) ([]int, error) {
-	g, err := Decode(e, k)
+	row, _, _, err := incRow(i, e, k)
+	return row, err
+}
+
+// IncRowTraced is IncRow plus observability: it emits a StripMove event whose
+// Value is the number of edge counters advanced, and a StripClamp event whose
+// Value is the number of outgoing edges already saturated at weight K (the
+// bounded-rounds clamp that keeps every counter in {0..3K-1}).
+func IncRowTraced(i int, e [][]int, k int, proc *sched.Proc, sink *obs.Sink) ([]int, error) {
+	row, moved, clamped, err := incRow(i, e, k)
 	if err != nil {
 		return nil, err
 	}
-	row := append([]int(nil), e[i]...)
+	if moved > 0 {
+		sink.Emit(obs.Event{Step: proc.Now(), Pid: proc.ID(), Kind: obs.StripMove, Value: moved})
+	}
+	if clamped > 0 {
+		sink.Emit(obs.Event{Step: proc.Now(), Pid: proc.ID(), Kind: obs.StripClamp, Value: clamped})
+	}
+	return row, nil
+}
+
+func incRow(i int, e [][]int, k int) (row []int, moved, clamped int64, err error) {
+	g, err := Decode(e, k)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	row = append([]int(nil), e[i]...)
 	for j := range e {
 		if j == i {
 			continue
 		}
 		catchUp := g.Has[j][i] && g.OnMaxPathToAny(j, i)
 		pullAhead := g.Has[i][j] && g.W[i][j] < k
+		if g.Has[i][j] && g.W[i][j] >= k {
+			clamped++
+		}
 		if catchUp || pullAhead {
 			row[j] = Mod3K(row[j]+1, k)
+			moved++
 		}
 	}
-	return row, nil
+	return row, moved, clamped, nil
 }
 
 // CounterMatrix allocates an n×n zero counter matrix (the initial state: all

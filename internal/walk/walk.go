@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"github.com/dsrepro/consensus/internal/obs"
 	"github.com/dsrepro/consensus/internal/register"
 	"github.com/dsrepro/consensus/internal/scan"
 	"github.com/dsrepro/consensus/internal/sched"
@@ -132,11 +133,26 @@ func (p Params) StepCounter(c int, rng *rand.Rand) int {
 	return c
 }
 
+// StepCounterTraced is StepCounter plus observability: it emits a WalkStep
+// event carrying the new counter value, and a WalkOverflow event when the
+// counter saturates at ±(M+1). The consensus protocols and SharedCoin both
+// route their walk steps through it so the walk layer shows up uniformly in
+// traces.
+func (p Params) StepCounterTraced(c int, proc *sched.Proc, sink *obs.Sink) int {
+	nc := p.StepCounter(c, proc.Rand())
+	sink.Emit(obs.Event{Step: proc.Now(), Pid: proc.ID(), Kind: obs.WalkStep, Value: int64(nc)})
+	if p.Bounded() && (nc == p.M+1 || nc == -(p.M+1)) {
+		sink.Emit(obs.Event{Step: proc.Now(), Pid: proc.ID(), Kind: obs.WalkOverflow, Value: int64(nc)})
+	}
+	return nc
+}
+
 // SharedCoin is a standalone weak shared coin over its own scannable memory,
 // one counter per process. The consensus protocol embeds the same arithmetic
 // in its round entries instead of using this type directly.
 type SharedCoin struct {
 	params Params
+	sink   *obs.Sink
 	mem    scan.Memory[int]
 	local  []int // local[i]: i's counter (owner-only; mirrors mem slot i)
 	steps  []int64
@@ -167,6 +183,15 @@ func NewSharedCoin(params Params) (*SharedCoin, error) {
 // Params returns the coin's parameters.
 func (s *SharedCoin) Params() Params { return s.params }
 
+// SetSink installs the observability sink on the coin and the scannable
+// memory beneath it.
+func (s *SharedCoin) SetSink(sk *obs.Sink) {
+	s.sink = sk
+	if ss, ok := s.mem.(interface{ SetSink(*obs.Sink) }); ok {
+		ss.SetSink(sk)
+	}
+}
+
 // Flip drives the random walk on behalf of p until the coin decides, and
 // returns the outcome p observed. Different processes may observe different
 // outcomes with probability bounded by Lemma 3.1 — that is what makes the
@@ -177,9 +202,10 @@ func (s *SharedCoin) Flip(p *sched.Proc) Outcome {
 		c := s.mem.Scan(p)
 		c[i] = s.local[i]
 		if o := s.params.Value(c); o != Undecided {
+			s.sink.Emit(obs.Event{Step: p.Now(), Pid: i, Kind: obs.WalkDecided, Value: int64(o)})
 			return o
 		}
-		s.local[i] = s.params.StepCounter(s.local[i], p.Rand())
+		s.local[i] = s.params.StepCounterTraced(s.local[i], p, s.sink)
 		s.mem.Write(p, s.local[i])
 		s.steps[i]++
 		if s.OnStep != nil {

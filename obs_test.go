@@ -1,0 +1,104 @@
+package consensus
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/dsrepro/consensus/internal/obs"
+)
+
+// solveJSONL runs Solve with a JSONL trace attached and returns the raw bytes.
+func solveJSONL(t *testing.T, cfg Config) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	cfg.TraceJSONL = &buf
+	if _, err := Solve(cfg); err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestSolveTraceDeterministic: equal seeds replay exactly, so the full
+// cross-layer event stream — not just the outcome — must be byte-identical.
+func TestSolveTraceDeterministic(t *testing.T) {
+	cfg := Config{Inputs: []int{0, 1, 1, 0}, Seed: 42}
+	a := solveJSONL(t, cfg)
+	b := solveJSONL(t, cfg)
+	if len(a) == 0 {
+		t.Fatal("empty trace")
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed produced different event streams")
+	}
+	c := solveJSONL(t, Config{Inputs: []int{0, 1, 1, 0}, Seed: 43})
+	if bytes.Equal(a, c) {
+		t.Fatal("different seeds produced identical event streams (suspicious)")
+	}
+}
+
+// TestSolveTraceCoversLayers: the exported stream must carry events from the
+// whole stack, not just the protocol layer.
+func TestSolveTraceCoversLayers(t *testing.T) {
+	raw := solveJSONL(t, Config{Inputs: []int{0, 1, 1}, Seed: 7})
+	events, err := obs.ReadJSONL(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("trace is not valid JSONL: %v", err)
+	}
+	layers := map[obs.Layer]bool{}
+	for _, e := range events {
+		layers[e.Kind.Layer()] = true
+	}
+	for _, l := range []obs.Layer{obs.LayerRegister, obs.LayerScan, obs.LayerWalk, obs.LayerCore} {
+		if !layers[l] {
+			t.Errorf("no %v-layer events in trace (layers seen: %v)", l, layers)
+		}
+	}
+}
+
+// TestSolveObservationDoesNotPerturb: attaching a recorder must not change
+// the run — observation is read-only with respect to the protocol.
+func TestSolveObservationDoesNotPerturb(t *testing.T) {
+	cfg := Config{Inputs: []int{1, 0, 1, 0}, Seed: 11}
+	plain, err := Solve(cfg)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	ring := obs.NewRing(1024)
+	cfg.Recorder = ring
+	traced, err := Solve(cfg)
+	if err != nil {
+		t.Fatalf("Solve with recorder: %v", err)
+	}
+	if plain.Value != traced.Value || plain.Steps != traced.Steps {
+		t.Fatalf("recorder changed the run: %d/%d steps vs %d/%d",
+			plain.Value, plain.Steps, traced.Value, traced.Steps)
+	}
+	if ring.Len() == 0 {
+		t.Fatal("ring recorder received no events")
+	}
+	for k, v := range plain.Counters {
+		if traced.Counters[k] != v {
+			t.Errorf("counter %s: %d without recorder, %d with", k, v, traced.Counters[k])
+		}
+	}
+}
+
+// TestSolveResultCounters: the Result carries the registry snapshot.
+func TestSolveResultCounters(t *testing.T) {
+	res, err := Solve(Config{Inputs: []int{0, 1}, Seed: 3})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	for _, key := range []string{"core.decide", "sched.grant", "scan.clean"} {
+		if res.Counters[key] == 0 {
+			t.Errorf("Counters[%q] = 0, want > 0 (got %v)", key, res.Counters)
+		}
+	}
+	if res.Counters["core.decide"] != 2 {
+		t.Errorf("core.decide = %d, want one per process (2)", res.Counters["core.decide"])
+	}
+	if res.Gauges["core.max_abs_coin"] != res.MaxAbsCoin {
+		t.Errorf("gauge %d disagrees with Result.MaxAbsCoin %d",
+			res.Gauges["core.max_abs_coin"], res.MaxAbsCoin)
+	}
+}

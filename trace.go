@@ -1,0 +1,32 @@
+package consensus
+
+import "github.com/dsrepro/consensus/internal/obs"
+
+// The observability bus lives in internal/obs; these aliases re-export the
+// pieces a consumer needs to use Config.Recorder and to decode JSONL traces,
+// without opening the whole internal surface.
+
+// Event is one cross-layer observation: the global scheduler step, the
+// emitting process, a kind (which determines the layer), and kind-specific
+// payloads. See the README's Observability section for the schema.
+type Event = obs.Event
+
+// Layer identifies the protocol layer an event originated from.
+type Layer = obs.Layer
+
+// Kind classifies an event.
+type Kind = obs.Kind
+
+// Recorder receives the event stream; install one via Config.Recorder.
+// Under the step scheduler invocations are serialized; in free-running mode
+// implementations must synchronize themselves.
+type Recorder = obs.Recorder
+
+// Ring is a bounded ring-buffer Recorder keeping the most recent events.
+type Ring = obs.Ring
+
+// NewRing returns a ring-buffer Recorder holding up to capacity events.
+func NewRing(capacity int) *Ring { return obs.NewRing(capacity) }
+
+// ParseTrace decodes one JSONL trace line (as written via Config.TraceJSONL).
+func ParseTrace(line []byte) (Event, error) { return obs.ParseEvent(line) }
