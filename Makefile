@@ -2,15 +2,15 @@
 
 GO ?= go
 
-.PHONY: all ci build test test-race test-short bench experiments experiments-quick fuzz vet fmt fmt-check clean
+.PHONY: all ci build test test-race test-short bench bench-json experiments experiments-quick fuzz vet fmt fmt-check clean
 
 all: vet test build
 
 # ci is the full gate: formatting, vet, build, tests, and a short -race pass
-# over the concurrency-sensitive packages (the observability bus and the
-# scheduler).
+# over the whole module — the batch engine fans instances over a worker pool,
+# so every package is concurrency-sensitive now.
 ci: fmt-check vet build test
-	$(GO) test -short -race -timeout 600s ./internal/obs ./internal/sched
+	$(GO) test -short -race -timeout 900s ./...
 
 build:
 	$(GO) build ./...
@@ -27,6 +27,12 @@ test-short:
 bench:
 	$(GO) test -bench=. -benchmem -timeout 3600s ./...
 
+# bench-json emits the machine-readable batch benchmark artifact (schema in
+# DESIGN.md): one JSON object with throughput and the step distribution.
+bench-json:
+	$(GO) run ./cmd/consensus-load -instances 400 -seed 42 -json > BENCH_batch.json
+	@echo "wrote BENCH_batch.json"
+
 experiments:
 	$(GO) run ./cmd/experiments
 
@@ -38,6 +44,7 @@ fuzz:
 	$(GO) test -fuzz FuzzShrinkNormalize -fuzztime 30s ./internal/strip/
 	$(GO) test -fuzz FuzzGameCounterEquivalence -fuzztime 30s ./internal/strip/
 	$(GO) test -fuzz FuzzEdgeFromCounters -fuzztime 30s ./internal/strip/
+	$(GO) test -fuzz FuzzParseEvent -fuzztime 30s ./internal/obs/
 
 vet:
 	$(GO) vet ./...

@@ -1,0 +1,180 @@
+package consensus
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/dsrepro/consensus/internal/core"
+	"github.com/dsrepro/consensus/internal/obs"
+)
+
+// InstanceSeed derives the seed of batch instance k from the batch seed. The
+// derivation (a splitmix64 mix) depends only on (batchSeed, k), so
+// Solve(cfg with Seed: InstanceSeed(s, k)) reproduces exactly what instance k
+// of SolveBatch with Seed s computed — regardless of worker count or
+// completion order.
+func InstanceSeed(batchSeed int64, k int) int64 {
+	return core.InstanceSeed(batchSeed, k)
+}
+
+// BatchConfig configures SolveBatch: M independent consensus instances fanned
+// over a worker pool.
+type BatchConfig struct {
+	// Instances is the number of independent runs. Required.
+	Instances int
+
+	// Base is the configuration template every instance starts from. Its Seed
+	// is ignored (instance k runs with InstanceSeed(Seed, k)) and its trace
+	// surfaces (TraceWriter, TraceJSONL, Recorder) must be nil — per-event
+	// recording from concurrent workers would interleave streams; trace a
+	// single instance with Solve instead.
+	Base Config
+
+	// Seed is the batch seed all instance seeds derive from.
+	Seed int64
+
+	// Parallel is the worker count: 0 means GOMAXPROCS, 1 runs serially on
+	// the calling goroutine. Results are identical at any setting.
+	Parallel int
+
+	// PerInstance, if non-nil, customizes instance k's config after seeding
+	// and before the batch starts (e.g. vary inputs or schedule per instance).
+	// It is called serially in instance order, so customization cannot depend
+	// on scheduling either.
+	PerInstance func(k int, cfg *Config)
+}
+
+// BatchResult aggregates a batch: per-instance decisions, step counts and
+// errors, plus the merged cross-layer metrics registry of all instances.
+type BatchResult struct {
+	// Decisions[k] is instance k's agreed value, or -1 if it did not decide.
+	Decisions []int
+	// Steps[k] is instance k's total atomic shared-memory steps.
+	Steps []int64
+	// Errors[k] is instance k's error (setup, ErrStepBudget/ErrStalled, or a
+	// consistency violation), nil for a clean run.
+	Errors []error
+	// ErrCount is the number of non-nil entries in Errors.
+	ErrCount int
+
+	// Counters and Gauges merge the observability registries of every
+	// instance (event counts sum; gauges take the batch-wide maximum).
+	Counters map[string]int64
+	Gauges   map[string]int64
+	// Hists holds the merged histograms; "core.steps_to_decide" aggregates
+	// per-process steps-to-decision across the whole batch.
+	Hists map[string]obs.HistSnapshot
+}
+
+// StepsPercentile returns the exact nearest-rank p-th percentile (0 < p <=
+// 100) of the per-instance step totals, or 0 for an empty batch.
+func (r BatchResult) StepsPercentile(p float64) int64 {
+	if len(r.Steps) == 0 {
+		return 0
+	}
+	s := append([]int64(nil), r.Steps...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	rank := int(math.Ceil(p/100*float64(len(s)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(s) {
+		rank = len(s) - 1
+	}
+	return s[rank]
+}
+
+// SolveBatch runs cfg.Instances independent consensus instances over a pool
+// of cfg.Parallel workers and aggregates the outcomes. Each worker owns an
+// arena of pooled protocol state, so consecutive same-shaped instances reuse
+// one register fabric instead of reallocating it.
+//
+// The returned error reports configuration problems only; per-instance
+// failures (step budget, stalls) land in BatchResult.Errors.
+func SolveBatch(cfg BatchConfig) (BatchResult, error) {
+	if cfg.Instances < 1 {
+		return BatchResult{}, fmt.Errorf("consensus: BatchConfig.Instances must be >= 1, got %d", cfg.Instances)
+	}
+	instances := make([]core.Instance, cfg.Instances)
+	for k := range instances {
+		c := cfg.Base
+		c.Seed = InstanceSeed(cfg.Seed, k)
+		if cfg.PerInstance != nil {
+			cfg.PerInstance(k, &c)
+		}
+		if c.TraceWriter != nil || c.TraceJSONL != nil || c.Recorder != nil {
+			return BatchResult{}, fmt.Errorf("consensus: batch instance %d: trace surfaces are not supported in SolveBatch; trace a single instance with Solve", k)
+		}
+		if len(c.Inputs) == 0 {
+			return BatchResult{}, fmt.Errorf("consensus: batch instance %d: Inputs must not be empty", k)
+		}
+		alg := c.Algorithm
+		if alg == 0 {
+			alg = Bounded
+		}
+		kind, err := alg.kind()
+		if err != nil {
+			return BatchResult{}, err
+		}
+		memKind, err := c.Memory.kind()
+		if err != nil {
+			return BatchResult{}, err
+		}
+		adv, err := c.Schedule.adversary(c.Seed)
+		if err != nil {
+			return BatchResult{}, err
+		}
+		instances[k] = core.Instance{
+			Kind: kind,
+			Cfg: core.Config{
+				K:              c.K,
+				B:              c.B,
+				M:              c.M,
+				MemKind:        memKind,
+				UseBloomArrows: c.UseBloomArrows,
+				FastDecide:     c.FastDecide,
+			},
+			Inputs:    c.Inputs,
+			Seed:      c.Seed,
+			Adversary: adv,
+			MaxSteps:  c.MaxSteps,
+		}
+	}
+
+	// One metrics-only sink serves the whole batch: every mutation path is an
+	// atomic add or max, which commutes, so the merged registry is
+	// deterministic even though workers emit concurrently.
+	sink := obs.NewSink(nil)
+	outs := core.RunBatch(cfg.Parallel, sink, instances)
+
+	res := BatchResult{
+		Decisions: make([]int, cfg.Instances),
+		Steps:     make([]int64, cfg.Instances),
+		Errors:    make([]error, cfg.Instances),
+	}
+	for k, bo := range outs {
+		res.Decisions[k] = -1
+		err := bo.Err
+		if err == nil {
+			res.Steps[k] = bo.Out.Sched.Steps
+			if bo.Out.Err != nil {
+				err = bo.Out.Err
+			}
+			if v, aerr := bo.Out.Agreement(); aerr != nil {
+				err = aerr
+			} else {
+				res.Decisions[k] = v
+			}
+		}
+		if err != nil {
+			res.Errors[k] = err
+			res.ErrCount++
+		}
+	}
+	snap := sink.Registry().Snapshot()
+	res.Counters = snap.Counters
+	res.Gauges = snap.Gauges
+	res.Hists = snap.Hists
+	return res, nil
+}

@@ -13,6 +13,7 @@ package consensus
 //	go test -bench=. -benchmem ./...
 
 import (
+	"fmt"
 	"io"
 	"testing"
 
@@ -88,6 +89,38 @@ func BenchmarkSolve(b *testing.B) {
 				}
 				if res.Value != 0 && res.Value != 1 {
 					b.Fatalf("bad decision %d", res.Value)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSolveBatch measures batch throughput at several worker counts:
+// 32 pooled instances per iteration, seed-sharded. Speedup over parallel=1
+// scales with hardware threads (the per-instance scheduler is itself
+// goroutine-heavy, so a 1-core machine shows ~1x across the board); the
+// per-op numbers report honestly whatever the machine provides.
+func BenchmarkSolveBatch(b *testing.B) {
+	for _, par := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("parallel=%d", par), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := SolveBatch(BatchConfig{
+					Instances: 32,
+					Base: Config{
+						Inputs:   []int{0, 1, 1, 0},
+						Schedule: Schedule{Kind: RandomSchedule},
+						MaxSteps: 200_000_000,
+						B:        2,
+					},
+					Seed:     int64(i + 1),
+					Parallel: par,
+				})
+				if err != nil {
+					b.Fatalf("SolveBatch: %v", err)
+				}
+				if res.ErrCount != 0 {
+					b.Fatalf("batch errors: %v", res.Errors)
 				}
 			}
 		})

@@ -1,0 +1,199 @@
+// Command consensus-load drives the batch engine at full throughput and
+// reports instances/sec plus the step-count distribution — the repo's load
+// generator and the producer of the machine-readable bench artifact
+// (`make bench-json` > BENCH_batch.json).
+//
+// Usage examples:
+//
+//	consensus-load -instances 200
+//	consensus-load -alg strong-coin -n 8 -instances 50 -parallel 4
+//	consensus-load -instances 400 -json > BENCH_batch.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	consensus "github.com/dsrepro/consensus"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+// report is the JSON schema of -json mode (documented in DESIGN.md). One
+// object per invocation; field names are stable.
+type report struct {
+	Algorithm       string           `json:"algorithm"`
+	N               int              `json:"n"`
+	Instances       int              `json:"instances"`
+	Parallel        int              `json:"parallel"`
+	Seed            int64            `json:"seed"`
+	ElapsedSec      float64          `json:"elapsed_sec"`
+	InstancesPerSec float64          `json:"instances_per_sec"`
+	Errors          int              `json:"errors"`
+	Steps           stepsSummary     `json:"steps"`
+	Counters        map[string]int64 `json:"counters"`
+	Gauges          map[string]int64 `json:"gauges"`
+}
+
+type stepsSummary struct {
+	Mean float64 `json:"mean"`
+	Min  int64   `json:"min"`
+	P50  int64   `json:"p50"`
+	P90  int64   `json:"p90"`
+	P99  int64   `json:"p99"`
+	Max  int64   `json:"max"`
+}
+
+func run() int {
+	var (
+		instances = flag.Int("instances", 100, "independent consensus instances to run")
+		parallel  = flag.Int("parallel", 0, "worker count (0 = GOMAXPROCS, 1 = serial); decisions are identical at any setting")
+		n         = flag.Int("n", 4, "processes per instance (alternating binary inputs)")
+		algFlag   = flag.String("alg", "bounded", "algorithm: bounded | aspnes-herlihy | local-coin | strong-coin | abrahamson")
+		schedFlag = flag.String("schedule", "random", "schedule: round-robin | random")
+		seed      = flag.Int64("seed", 1, "batch seed (instance k replays with Seed = InstanceSeed(seed, k))")
+		maxSteps  = flag.Int64("max-steps", 100_000_000, "per-instance step budget")
+		b         = flag.Int("b", 4, "shared-coin barrier multiplier")
+		jsonOut   = flag.Bool("json", false, "emit one machine-readable JSON object instead of text")
+	)
+	flag.Parse()
+
+	alg, err := parseAlg(*algFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "consensus-load: %v\n", err)
+		return 2
+	}
+	schedule, err := parseSchedule(*schedFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "consensus-load: %v\n", err)
+		return 2
+	}
+	if *n < 1 {
+		fmt.Fprintf(os.Stderr, "consensus-load: -n must be >= 1\n")
+		return 2
+	}
+	inputs := make([]int, *n)
+	for i := range inputs {
+		inputs[i] = i % 2
+	}
+
+	start := time.Now()
+	res, err := consensus.SolveBatch(consensus.BatchConfig{
+		Instances: *instances,
+		Base: consensus.Config{
+			Inputs:    inputs,
+			Algorithm: alg,
+			Schedule:  schedule,
+			MaxSteps:  *maxSteps,
+			B:         *b,
+		},
+		Seed:     *seed,
+		Parallel: *parallel,
+	})
+	elapsed := time.Since(start)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "consensus-load: %v\n", err)
+		return 2
+	}
+
+	workers := *parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	r := report{
+		Algorithm:       *algFlag,
+		N:               *n,
+		Instances:       *instances,
+		Parallel:        workers,
+		Seed:            *seed,
+		ElapsedSec:      elapsed.Seconds(),
+		InstancesPerSec: float64(*instances) / elapsed.Seconds(),
+		Errors:          res.ErrCount,
+		Steps:           summarize(res),
+		Counters:        res.Counters,
+		Gauges:          res.Gauges,
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(r); err != nil {
+			fmt.Fprintf(os.Stderr, "consensus-load: %v\n", err)
+			return 1
+		}
+	} else {
+		fmt.Printf("algorithm     : %s (n=%d)\n", r.Algorithm, r.N)
+		fmt.Printf("instances     : %d over %d workers\n", r.Instances, r.Parallel)
+		fmt.Printf("elapsed       : %.3fs (%.1f instances/sec)\n", r.ElapsedSec, r.InstancesPerSec)
+		fmt.Printf("steps/instance: p50 %d, p90 %d, p99 %d (mean %.1f, min %d, max %d)\n",
+			r.Steps.P50, r.Steps.P90, r.Steps.P99, r.Steps.Mean, r.Steps.Min, r.Steps.Max)
+		fmt.Printf("errors        : %d\n", r.Errors)
+	}
+	if res.ErrCount > 0 {
+		for k, e := range res.Errors {
+			if e != nil {
+				fmt.Fprintf(os.Stderr, "consensus-load: instance %d: %v\n", k, e)
+			}
+		}
+		return 1
+	}
+	return 0
+}
+
+func summarize(res consensus.BatchResult) stepsSummary {
+	s := stepsSummary{
+		P50: res.StepsPercentile(50),
+		P90: res.StepsPercentile(90),
+		P99: res.StepsPercentile(99),
+	}
+	if len(res.Steps) == 0 {
+		return s
+	}
+	s.Min, s.Max = res.Steps[0], res.Steps[0]
+	var sum int64
+	for _, v := range res.Steps {
+		sum += v
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+	}
+	s.Mean = float64(sum) / float64(len(res.Steps))
+	return s
+}
+
+func parseAlg(s string) (consensus.Algorithm, error) {
+	switch s {
+	case "bounded":
+		return consensus.Bounded, nil
+	case "aspnes-herlihy", "ah":
+		return consensus.AspnesHerlihy, nil
+	case "local-coin", "local":
+		return consensus.LocalCoin, nil
+	case "strong-coin", "strong":
+		return consensus.StrongCoin, nil
+	case "abrahamson", "a88":
+		return consensus.Abrahamson, nil
+	default:
+		return 0, fmt.Errorf("unknown algorithm %q", s)
+	}
+}
+
+func parseSchedule(kind string) (consensus.Schedule, error) {
+	switch kind {
+	case "round-robin", "rr":
+		return consensus.Schedule{Kind: consensus.RoundRobin}, nil
+	case "random":
+		return consensus.Schedule{Kind: consensus.RandomSchedule}, nil
+	default:
+		return consensus.Schedule{}, fmt.Errorf("unknown schedule %q (batch supports round-robin | random)", kind)
+	}
+}

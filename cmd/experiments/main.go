@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	experiments [-run E1,E5] [-trials N] [-seed S] [-quick] [-list]
+//	experiments [-run E1,E5] [-trials N] [-seed S] [-parallel P] [-quick] [-list]
 //
 // With no -run flag every experiment runs in ID order.
 package main
@@ -27,6 +27,7 @@ func run() int {
 		runIDs = flag.String("run", "", "comma-separated experiment IDs (e.g. E1,E5); empty = all")
 		trials = flag.Int("trials", 0, "trials per configuration (0 = per-experiment default)")
 		seed   = flag.Int64("seed", 1, "random seed")
+		par    = flag.Int("parallel", 0, "trial worker count (0 = GOMAXPROCS, 1 = serial); output is identical at any setting")
 		quick  = flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
 		list   = flag.Bool("list", false, "list experiments and exit")
 		format = flag.String("format", "text", "output format: text | markdown | csv")
@@ -60,7 +61,7 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 		return 2
 	}
-	opts := harness.RunOpts{Trials: *trials, Seed: *seed, Quick: *quick}
+	opts := harness.RunOpts{Trials: *trials, Seed: *seed, Quick: *quick, Parallel: *par}
 	for _, e := range selected {
 		harness.RunAndRenderAs(e, opts, os.Stdout, f)
 	}

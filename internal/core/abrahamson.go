@@ -65,6 +65,22 @@ func (a *Abrahamson) SetSink(s *obs.Sink) {
 	}
 }
 
+// Reset restores the instance to its initial state for pooling (core.Arena),
+// reporting whether the memory stack supported it. Call only between runs.
+func (a *Abrahamson) Reset() bool {
+	r, ok := a.mem.(interface{ Reset() bool })
+	if !ok || !r.Reset() {
+		return false
+	}
+	for i := range a.rounds {
+		a.rounds[i].Store(0)
+		a.flips[i].Store(0)
+	}
+	a.maxRound.Store(0)
+	a.traceSink = traceSink{}
+	return true
+}
+
 // Metrics implements Protocol.
 func (a *Abrahamson) Metrics() Metrics {
 	m := Metrics{

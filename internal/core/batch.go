@@ -1,0 +1,110 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/dsrepro/consensus/internal/obs"
+	"github.com/dsrepro/consensus/internal/sched"
+)
+
+// InstanceSeed derives the seed of instance k from a batch seed via a
+// splitmix64 mix. The derivation depends only on (batchSeed, k) — never on
+// worker count or completion order — so instance k of a batch replays
+// identically at any parallelism.
+func InstanceSeed(batchSeed int64, k int) int64 {
+	z := uint64(batchSeed) + (uint64(k)+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
+// Instance is one consensus execution of a batch: everything Execute needs,
+// pre-derived so running it is order-independent.
+type Instance struct {
+	Kind      Kind
+	Cfg       Config // N is overwritten from len(Inputs)
+	Inputs    []int
+	Seed      int64
+	Adversary sched.Adversary
+	MaxSteps  int64
+}
+
+// BatchOutcome pairs one instance's outcome with its setup error. Out is
+// meaningful only when Err is nil (Out.Err separately carries the run-level
+// budget/stall error, as with Execute).
+type BatchOutcome struct {
+	Out Outcome
+	Err error
+}
+
+// RunBatch executes the instances over a pool of parallel workers, each
+// owning an Arena so consecutive same-shaped instances reuse one protocol's
+// register fabric. parallel <= 0 means GOMAXPROCS; parallel == 1 runs inline
+// on the calling goroutine. Results are indexed by instance, so the output is
+// identical at any parallelism provided each Instance is self-contained
+// (seeded adversary, own inputs).
+//
+// sink, if non-nil, is installed on every instance; it must be metrics-only
+// (atomic registry — no recorder or tracer), since workers emit concurrently.
+func RunBatch(parallel int, sink *obs.Sink, instances []Instance) []BatchOutcome {
+	m := len(instances)
+	out := make([]BatchOutcome, m)
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	if parallel > m {
+		parallel = m
+	}
+
+	run1 := func(arena *Arena, k int) {
+		inst := instances[k]
+		if err := validateInputs(inst.Inputs); err != nil {
+			out[k] = BatchOutcome{Err: err}
+			return
+		}
+		cfg := inst.Cfg
+		cfg.N = len(inst.Inputs)
+		proto, err := arena.Protocol(inst.Kind, cfg)
+		if err != nil {
+			out[k] = BatchOutcome{Err: err}
+			return
+		}
+		o, err := ExecuteProto(proto, ExecConfig{
+			Inputs:    inst.Inputs,
+			Seed:      inst.Seed,
+			Adversary: inst.Adversary,
+			MaxSteps:  inst.MaxSteps,
+			Sink:      sink,
+		})
+		out[k] = BatchOutcome{Out: o, Err: err}
+	}
+
+	if parallel <= 1 {
+		arena := NewArena()
+		for k := range instances {
+			run1(arena, k)
+		}
+		return out
+	}
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < parallel; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			arena := NewArena()
+			for {
+				k := int(next.Add(1)) - 1
+				if k >= m {
+					return
+				}
+				run1(arena, k)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

@@ -90,6 +90,11 @@ type Bounded struct {
 	flips      []atomic.Int64
 	maxAbsCoin atomic.Int64
 
+	// scratch[i] is pid i's decode/coin working storage, touched only by the
+	// goroutine running pid i. Views and entries published to scannable memory
+	// are never built from it.
+	scratch []bscratch
+
 	traceSink
 
 	// OnScan, if non-nil, is invoked after every scan with the scanning
@@ -122,12 +127,72 @@ func NewBounded(cfg Config) (*Bounded, error) {
 		return nil, err
 	}
 	return &Bounded{
-		cfg:    cfg,
-		params: params,
-		mem:    mem,
-		rounds: make([]atomic.Int64, cfg.N),
-		flips:  make([]atomic.Int64, cfg.N),
+		cfg:     cfg,
+		params:  params,
+		mem:     mem,
+		rounds:  make([]atomic.Int64, cfg.N),
+		flips:   make([]atomic.Int64, cfg.N),
+		scratch: newScratch(cfg.N, cfg.K, true),
 	}, nil
+}
+
+// bscratch is one process's reusable decode/coin storage: separate graphs for
+// the view decode and the inc-graph decode (both alive within one loop
+// iteration), the edge-matrix header slice, and the coin-assembly array.
+type bscratch struct {
+	gView, gInc *strip.Graph
+	mat         [][]int
+	coins       []int
+}
+
+func newScratch(n, k int, coins bool) []bscratch {
+	sc := make([]bscratch, n)
+	for i := range sc {
+		sc[i].gView = strip.NewGraph(n, k)
+		sc[i].gInc = strip.NewGraph(n, k)
+		sc[i].mat = make([][]int, n)
+		if coins {
+			sc[i].coins = make([]int, n)
+		}
+	}
+	return sc
+}
+
+// fillEdgeMatrix is edgeMatrix into a reused header slice.
+func fillEdgeMatrix(mat [][]int, view []Entry) {
+	for i, ent := range view {
+		mat[i] = ent.Edge
+	}
+}
+
+// decodeViewAt is decodeView through pid i's scratch graph.
+func (b *Bounded) decodeViewAt(i int, view []Entry) (*strip.Graph, error) {
+	sc := &b.scratch[i]
+	fillEdgeMatrix(sc.mat, view)
+	g, err := strip.DecodeInto(sc.gView, sc.mat, b.cfg.K)
+	if err != nil {
+		return nil, fmt.Errorf("core: scanned view undecodable: %w", err)
+	}
+	sc.gView = g
+	return g, nil
+}
+
+// Reset restores the instance to its initial state for pooling (core.Arena),
+// reporting whether the memory stack supported it. Trace hooks are cleared;
+// callers reinstall sinks per run. Call only between runs.
+func (b *Bounded) Reset() bool {
+	r, ok := b.mem.(interface{ Reset() bool })
+	if !ok || !r.Reset() {
+		return false
+	}
+	for i := range b.rounds {
+		b.rounds[i].Store(0)
+		b.flips[i].Store(0)
+	}
+	b.maxAbsCoin.Store(0)
+	b.traceSink = traceSink{}
+	b.OnScan = nil
+	return true
 }
 
 // Name implements Protocol.
@@ -170,9 +235,10 @@ func (b *Bounded) inc(p *sched.Proc, st Entry, view []Entry) (Entry, error) {
 	st = st.Clone()
 	st.CurrentCoin = next(st.CurrentCoin, k)
 	st.Coin[next(st.CurrentCoin, k)] = 0
-	mat := edgeMatrix(view)
-	mat[p.ID()] = st.Edge
-	row, err := strip.IncRowTraced(p.ID(), mat, k, p, b.sink)
+	sc := &b.scratch[p.ID()]
+	fillEdgeMatrix(sc.mat, view)
+	sc.mat[p.ID()] = st.Edge
+	row, err := strip.IncRowScratch(p.ID(), sc.mat, k, sc.gInc, p, b.sink)
 	if err != nil {
 		return Entry{}, err
 	}
@@ -188,7 +254,7 @@ func (b *Bounded) inc(p *sched.Proc, st Entry, view []Entry) (Entry, error) {
 // and evaluate the walk.
 func (b *Bounded) nextCoinValue(i int, st Entry, view []Entry, g *strip.Graph) walk.Outcome {
 	k := b.cfg.K
-	c := make([]int, b.cfg.N)
+	c := b.scratch[i].coins
 	for j := range view {
 		switch {
 		case j == i:
@@ -259,7 +325,7 @@ func (b *Bounded) Run(p *sched.Proc, input int) int {
 		if b.OnScan != nil {
 			b.OnScan(i, view)
 		}
-		g, err := decodeView(view, b.cfg.K)
+		g, err := b.decodeViewAt(i, view)
 		if err != nil {
 			panic(fmt.Sprintf("core: bounded proc %d: %v", i, err))
 		}

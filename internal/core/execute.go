@@ -135,19 +135,26 @@ type ExecConfig struct {
 	Sink *obs.Sink
 }
 
+// validateInputs checks that inputs is a non-empty binary vector.
+func validateInputs(inputs []int) error {
+	if len(inputs) == 0 {
+		return fmt.Errorf("core: no inputs")
+	}
+	for _, v := range inputs {
+		if v != 0 && v != 1 {
+			return fmt.Errorf("core: inputs must be binary, got %d", v)
+		}
+	}
+	return nil
+}
+
 // Execute builds a protocol of the given kind and runs it once under the
 // adversarial scheduler, collecting decisions and metrics.
 func Execute(kind Kind, cfg Config, ec ExecConfig) (Outcome, error) {
-	n := len(ec.Inputs)
-	if n == 0 {
-		return Outcome{}, fmt.Errorf("core: no inputs")
+	if err := validateInputs(ec.Inputs); err != nil {
+		return Outcome{}, err
 	}
-	for _, v := range ec.Inputs {
-		if v != 0 && v != 1 {
-			return Outcome{}, fmt.Errorf("core: inputs must be binary, got %d", v)
-		}
-	}
-	cfg.N = n
+	cfg.N = len(ec.Inputs)
 	proto, err := New(kind, cfg)
 	if err != nil {
 		return Outcome{}, err

@@ -26,6 +26,9 @@ type ExpLocal struct {
 	rounds []atomic.Int64
 	flips  []atomic.Int64
 
+	// scratch[i] is pid i's decode working storage (owner-goroutine only).
+	scratch []bscratch
+
 	traceSink
 
 	// Flip chooses the preference adopted on a leader conflict. It defaults
@@ -52,12 +55,46 @@ func NewExpLocal(cfg Config) (*ExpLocal, error) {
 		return nil, err
 	}
 	return &ExpLocal{
-		cfg:    cfg,
-		mem:    mem,
-		rounds: make([]atomic.Int64, cfg.N),
-		flips:  make([]atomic.Int64, cfg.N),
-		Flip:   func(p *sched.Proc, _ int8) int8 { return int8(p.Rand().Intn(2)) },
+		cfg:     cfg,
+		mem:     mem,
+		rounds:  make([]atomic.Int64, cfg.N),
+		flips:   make([]atomic.Int64, cfg.N),
+		scratch: newScratch(cfg.N, cfg.K, false),
+		Flip:    defaultLocalFlip,
 	}, nil
+}
+
+// defaultLocalFlip is the fair local coin ExpLocal ships with (and Reset
+// restores after a test override).
+func defaultLocalFlip(p *sched.Proc, _ int8) int8 { return int8(p.Rand().Intn(2)) }
+
+// decodeViewAt is decodeView through pid i's scratch graph.
+func (l *ExpLocal) decodeViewAt(i int, view []Entry) (*strip.Graph, error) {
+	sc := &l.scratch[i]
+	fillEdgeMatrix(sc.mat, view)
+	g, err := strip.DecodeInto(sc.gView, sc.mat, l.cfg.K)
+	if err != nil {
+		return nil, fmt.Errorf("core: scanned view undecodable: %w", err)
+	}
+	sc.gView = g
+	return g, nil
+}
+
+// Reset restores the instance to its initial state for pooling (core.Arena),
+// reporting whether the memory stack supported it. The Flip hook reverts to
+// the fair local coin. Call only between runs.
+func (l *ExpLocal) Reset() bool {
+	r, ok := l.mem.(interface{ Reset() bool })
+	if !ok || !r.Reset() {
+		return false
+	}
+	for i := range l.rounds {
+		l.rounds[i].Store(0)
+		l.flips[i].Store(0)
+	}
+	l.traceSink = traceSink{}
+	l.Flip = defaultLocalFlip
+	return true
 }
 
 // Name implements Protocol.
@@ -88,9 +125,10 @@ func (l *ExpLocal) inc(p *sched.Proc, st Entry, view []Entry) (Entry, error) {
 	k := l.cfg.K
 	st = st.Clone()
 	st.CurrentCoin = next(st.CurrentCoin, k)
-	mat := edgeMatrix(view)
-	mat[p.ID()] = st.Edge
-	row, err := strip.IncRowTraced(p.ID(), mat, k, p, l.sink)
+	sc := &l.scratch[p.ID()]
+	fillEdgeMatrix(sc.mat, view)
+	sc.mat[p.ID()] = st.Edge
+	row, err := strip.IncRowScratch(p.ID(), sc.mat, k, sc.gInc, p, l.sink)
 	if err != nil {
 		return Entry{}, err
 	}
@@ -118,7 +156,7 @@ func (l *ExpLocal) Run(p *sched.Proc, input int) int {
 		view := l.mem.Scan(p)
 		normalizeView(view, l.cfg.N, l.cfg.K)
 		view[i] = st
-		g, err := decodeView(view, l.cfg.K)
+		g, err := l.decodeViewAt(i, view)
 		if err != nil {
 			panic(fmt.Sprintf("core: exp-local proc %d: %v", i, err))
 		}

@@ -46,6 +46,16 @@ func (o *Oracle) Rounds() int {
 	return len(o.bits)
 }
 
+// Reset forgets all drawn bits (between runs only; the map is kept to reuse
+// its buckets).
+func (o *Oracle) Reset() {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for r := range o.bits {
+		delete(o.bits, r)
+	}
+}
+
 // StrongCoin is the CIL-style baseline: the unbounded round structure of
 // AHUnbounded with the Oracle primitive replacing the random-walk shared
 // coin. Because flippers of one round always agree, conflicts die in O(1)
@@ -95,6 +105,23 @@ func (s *StrongCoin) SetSink(sk *obs.Sink) {
 	if ss, ok := s.mem.(interface{ SetSink(*obs.Sink) }); ok {
 		ss.SetSink(sk)
 	}
+}
+
+// Reset restores the instance to its initial state for pooling (core.Arena),
+// reporting whether the memory stack supported it. Call only between runs.
+func (s *StrongCoin) Reset() bool {
+	r, ok := s.mem.(interface{ Reset() bool })
+	if !ok || !r.Reset() {
+		return false
+	}
+	s.oracle.Reset()
+	for i := range s.rounds {
+		s.rounds[i].Store(0)
+		s.flips[i].Store(0)
+	}
+	s.maxRound.Store(0)
+	s.traceSink = traceSink{}
+	return true
 }
 
 // Metrics implements Protocol.

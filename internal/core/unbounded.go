@@ -85,6 +85,24 @@ func (u *AHUnbounded) SetSink(s *obs.Sink) {
 	}
 }
 
+// Reset restores the instance to its initial state for pooling (core.Arena),
+// reporting whether the memory stack supported it. Call only between runs.
+func (u *AHUnbounded) Reset() bool {
+	r, ok := u.mem.(interface{ Reset() bool })
+	if !ok || !r.Reset() {
+		return false
+	}
+	for i := range u.rounds {
+		u.rounds[i].Store(0)
+		u.flips[i].Store(0)
+	}
+	u.maxAbs.Store(0)
+	u.maxRound.Store(0)
+	u.stripLen.Store(0)
+	u.traceSink = traceSink{}
+	return true
+}
+
 // PeekEntry returns the current register value of process j without a
 // scheduler step — a hook for protocol-aware ("strong") adversaries and
 // metrics. Returns the zero entry if the memory implementation does not

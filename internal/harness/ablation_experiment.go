@@ -35,19 +35,24 @@ func e11Ablations() Experiment {
 				ks = []int{1, 2}
 			}
 			for _, k := range ks {
+				k := k
+				outs := runTrials(o, trials, func(s int) core.Instance {
+					return core.Instance{
+						Kind: core.KindBounded, Cfg: core.Config{K: k, B: 2}, Inputs: mixedInputs(n),
+						Seed: o.Seed + int64(s*7+1), Adversary: sched.NewRandom(int64(s*3 + 1)), MaxSteps: 50_000_000,
+					}
+				})
 				violations := 0
 				var steps []float64
-				for s := 0; s < trials; s++ {
-					out, err := consensusTrial(o, core.KindBounded, core.Config{K: k, B: 2},
-						mixedInputs(n), o.Seed+int64(s*7+1), sched.NewRandom(int64(s*3+1)), 50_000_000)
-					if err != nil || out.Err != nil {
+				for _, bo := range outs {
+					if bo.Err != nil || bo.Out.Err != nil {
 						continue
 					}
-					if _, err := out.Agreement(); err != nil {
+					if _, err := bo.Out.Agreement(); err != nil {
 						violations++
 						continue
 					}
-					steps = append(steps, float64(out.Sched.Steps))
+					steps = append(steps, float64(bo.Out.Sched.Steps))
 				}
 				kt.Add(k, violations, Mean(steps))
 			}
@@ -64,20 +69,25 @@ func e11Ablations() Experiment {
 				bs = []int{1, 4}
 			}
 			for _, b := range bs {
+				b := b
+				outs := runTrials(o, trials, func(s int) core.Instance {
+					return core.Instance{
+						Kind: core.KindBounded, Cfg: core.Config{B: b}, Inputs: mixedInputs(n),
+						Seed: o.Seed + int64(s*11+2), Adversary: sched.NewRoundRobin(), MaxSteps: 50_000_000,
+					}
+				})
 				var steps, flips, rounds []float64
-				for s := 0; s < trials; s++ {
-					out, err := consensusTrial(o, core.KindBounded, core.Config{B: b},
-						mixedInputs(n), o.Seed+int64(s*11+2), sched.NewRoundRobin(), 50_000_000)
-					if err != nil || out.Err != nil {
+				for _, bo := range outs {
+					if bo.Err != nil || bo.Out.Err != nil {
 						continue
 					}
-					steps = append(steps, float64(out.Sched.Steps))
+					steps = append(steps, float64(bo.Out.Sched.Steps))
 					var f int64
-					for _, v := range out.Metrics.CoinFlips {
+					for _, v := range bo.Out.Metrics.CoinFlips {
 						f += v
 					}
 					flips = append(flips, float64(f))
-					rounds = append(rounds, maxRounds(out))
+					rounds = append(rounds, maxRounds(bo.Out))
 				}
 				bt.Add(b, Mean(steps), Mean(flips), Mean(rounds))
 			}
@@ -100,14 +110,19 @@ func e11Ablations() Experiment {
 				{"arrow + fast-decide (footnote 5)", core.Config{B: 2, FastDecide: true}},
 			}
 			for _, v := range variants {
+				v := v
+				outs := runTrials(o, trials, func(s int) core.Instance {
+					return core.Instance{
+						Kind: core.KindBounded, Cfg: v.cfg, Inputs: mixedInputs(n),
+						Seed: o.Seed + int64(s*13+3), Adversary: sched.NewRandom(int64(s*5 + 2)), MaxSteps: 50_000_000,
+					}
+				})
 				var steps []float64
-				for s := 0; s < trials; s++ {
-					out, err := consensusTrial(o, core.KindBounded, v.cfg,
-						mixedInputs(n), o.Seed+int64(s*13+3), sched.NewRandom(int64(s*5+2)), 50_000_000)
-					if err != nil || out.Err != nil {
+				for _, bo := range outs {
+					if bo.Err != nil || bo.Out.Err != nil {
 						continue
 					}
-					steps = append(steps, float64(out.Sched.Steps))
+					steps = append(steps, float64(bo.Out.Sched.Steps))
 				}
 				st.Add(v.name, Mean(steps), Percentile(steps, 95))
 			}

@@ -17,17 +17,18 @@ func mixedInputs(n int) []int {
 	return in
 }
 
-// consensusTrial executes one instance and returns its outcome. The trial
-// inherits the run's observability sink, so every experiment aggregates
-// cross-layer metrics for free.
-func consensusTrial(o RunOpts, kind core.Kind, cfg core.Config, inputs []int, seed int64, adv sched.Adversary, budget int64) (core.Outcome, error) {
-	return core.Execute(kind, cfg, core.ExecConfig{
-		Inputs:    inputs,
-		Seed:      seed,
-		Adversary: adv,
-		MaxSteps:  budget,
-		Sink:      o.Sink,
-	})
+// runTrials executes m trials through the batch engine at the run's
+// parallelism, returning outcomes in trial order. build(k) is called serially
+// in k order before anything executes, so a trial's seed and adversary cannot
+// depend on scheduling — which is what keeps experiment output identical at
+// any worker count. Parallel=1 is the serial special case (one inline worker
+// whose arena pools protocol state across trials).
+func runTrials(o RunOpts, m int, build func(k int) core.Instance) []core.BatchOutcome {
+	insts := make([]core.Instance, m)
+	for k := range insts {
+		insts[k] = build(k)
+	}
+	return core.RunBatch(o.Parallel, o.Sink, insts)
 }
 
 // maxRounds returns the largest per-process round count in an outcome.
@@ -57,16 +58,21 @@ func e4Rounds() Experiment {
 				Columns: []string{"n", "rounds mean", "rounds p95", "rounds max", "undecided runs"},
 			}
 			for _, n := range ns {
+				n := n
+				outs := runTrials(o, trials, func(k int) core.Instance {
+					return core.Instance{
+						Kind: core.KindBounded, Cfg: core.Config{B: 2}, Inputs: mixedInputs(n),
+						Seed: o.Seed + int64(31*n+k), Adversary: sched.NewRandom(int64(n*1000 + k)), MaxSteps: 100_000_000,
+					}
+				})
 				var rounds []float64
 				fails := 0
-				for k := 0; k < trials; k++ {
-					out, err := consensusTrial(o, core.KindBounded, core.Config{B: 2},
-						mixedInputs(n), o.Seed+int64(31*n+k), sched.NewRandom(int64(n*1000+k)), 100_000_000)
-					if err != nil || out.Err != nil || !out.AllDecided() {
+				for _, bo := range outs {
+					if bo.Err != nil || bo.Out.Err != nil || !bo.Out.AllDecided() {
 						fails++
 						continue
 					}
-					rounds = append(rounds, maxRounds(out))
+					rounds = append(rounds, maxRounds(bo.Out))
 				}
 				t.Add(n, Mean(rounds), Percentile(rounds, 95), Max(rounds), fails)
 			}
@@ -108,20 +114,25 @@ func e5TotalWork() Experiment {
 				}
 				var xs, ys []float64
 				for _, n := range s.ns {
+					n := n
+					outs := runTrials(o, trials, func(k int) core.Instance {
+						return core.Instance{
+							Kind: s.kind, Cfg: core.Config{B: 2}, Inputs: mixedInputs(n),
+							Seed: o.Seed + int64(7*n+k), Adversary: sched.NewRandom(int64(n*77 + k)), MaxSteps: budget,
+						}
+					})
 					var steps []float64
 					over := 0
-					for k := 0; k < trials; k++ {
-						out, err := consensusTrial(o, s.kind, core.Config{B: 2},
-							mixedInputs(n), o.Seed+int64(7*n+k), sched.NewRandom(int64(n*77+k)), budget)
-						if err != nil {
-							t.Note("n=%d trial %d: %v", n, k, err)
+					for k, bo := range outs {
+						if bo.Err != nil {
+							t.Note("n=%d trial %d: %v", n, k, bo.Err)
 							continue
 						}
-						if errors.Is(out.Err, sched.ErrStepBudget) || !out.AllDecided() {
+						if errors.Is(bo.Out.Err, sched.ErrStepBudget) || !bo.Out.AllDecided() {
 							over++
 							continue
 						}
-						steps = append(steps, float64(out.Sched.Steps))
+						steps = append(steps, float64(bo.Out.Sched.Steps))
 					}
 					t.Add(n, Mean(steps), Percentile(steps, 95), over)
 					if len(steps) > 0 {
@@ -152,17 +163,29 @@ func e5TotalWork() Experiment {
 				Columns: []string{"n", "bounded steps", "exp-local steps", "ratio exp/bounded"},
 			}
 			for _, n := range lockNs {
-				var sb, sl []float64
-				for k := 0; k < lockTrials; k++ {
-					outB, errB := consensusTrial(o, core.KindBounded, core.Config{B: 2},
-						mixedInputs(n), o.Seed+int64(5*n+k), sched.NewRoundRobin(), budget)
-					outL, errL := consensusTrial(o, core.KindExpLocal, core.Config{B: 2},
-						mixedInputs(n), o.Seed+int64(5*n+k), sched.NewRoundRobin(), budget)
-					if errB == nil && outB.Err == nil {
-						sb = append(sb, float64(outB.Sched.Steps))
+				n := n
+				// One batch interleaves both kinds: even slots run the bounded
+				// protocol, odd slots the local-coin baseline, with the pair at
+				// (2k, 2k+1) sharing trial k's seed as before.
+				outs := runTrials(o, 2*lockTrials, func(i int) core.Instance {
+					kind := core.KindBounded
+					if i%2 == 1 {
+						kind = core.KindExpLocal
 					}
-					if errL == nil && outL.Err == nil {
-						sl = append(sl, float64(outL.Sched.Steps))
+					return core.Instance{
+						Kind: kind, Cfg: core.Config{B: 2}, Inputs: mixedInputs(n),
+						Seed: o.Seed + int64(5*n+i/2), Adversary: sched.NewRoundRobin(), MaxSteps: budget,
+					}
+				})
+				var sb, sl []float64
+				for i, bo := range outs {
+					if bo.Err != nil || bo.Out.Err != nil {
+						continue
+					}
+					if i%2 == 0 {
+						sb = append(sb, float64(bo.Out.Sched.Steps))
+					} else {
+						sl = append(sl, float64(bo.Out.Sched.Steps))
 					}
 				}
 				mb, ml := Mean(sb), Mean(sl)
@@ -203,14 +226,20 @@ func e6Space() Experiment {
 					Title:   fmt.Sprintf("%v: n=%d B=%d M=%d, lockstep schedule (forces coin usage), cumulative maxima", kind, n, b, m),
 					Columns: []string{"trials", "max|coin|", "max round", "max entry words", "rounds histogram"},
 				}
+				kind := kind
+				outs := runTrials(o, sweeps[len(sweeps)-1], func(k int) core.Instance {
+					return core.Instance{
+						Kind: kind, Cfg: core.Config{B: b, M: m}, Inputs: mixedInputs(n),
+						Seed: o.Seed + int64(k*13+1), Adversary: sched.NewRoundRobin(), MaxSteps: 100_000_000,
+					}
+				})
 				hist := map[int64]int{}
 				var maxCoin, maxRound, stripLen int64
 				done := 0
 				for _, target := range sweeps {
 					for ; done < target; done++ {
-						out, err := consensusTrial(o, kind, core.Config{B: b, M: m}, mixedInputs(n),
-							o.Seed+int64(done*13+1), sched.NewRoundRobin(), 100_000_000)
-						if err != nil || out.Err != nil {
+						out := outs[done].Out
+						if outs[done].Err != nil || out.Err != nil {
 							continue
 						}
 						if out.Metrics.MaxAbsCoin > maxCoin {
@@ -296,19 +325,24 @@ func e9Adversaries() Experiment {
 				Columns: []string{"adversary", "steps mean", "steps p95", "rounds mean", "agreement"},
 			}
 			for _, a := range advs {
+				a := a
+				outs := runTrials(o, trials, func(k int) core.Instance {
+					return core.Instance{
+						Kind: core.KindBounded, Cfg: core.Config{B: 2}, Inputs: mixedInputs(n),
+						Seed: o.Seed + int64(k), Adversary: a.mk(int64(k*191 + 7)), MaxSteps: 100_000_000,
+					}
+				})
 				var steps, rounds []float64
 				agreeOK := true
-				for k := 0; k < trials; k++ {
-					out, err := consensusTrial(o, core.KindBounded, core.Config{B: 2},
-						mixedInputs(n), o.Seed+int64(k), a.mk(int64(k*191+7)), 100_000_000)
-					if err != nil {
+				for _, bo := range outs {
+					if bo.Err != nil {
 						continue
 					}
-					if _, err := out.Agreement(); err != nil {
+					if _, err := bo.Out.Agreement(); err != nil {
 						agreeOK = false
 					}
-					steps = append(steps, float64(out.Sched.Steps))
-					rounds = append(rounds, maxRounds(out))
+					steps = append(steps, float64(bo.Out.Sched.Steps))
+					rounds = append(rounds, maxRounds(bo.Out))
 				}
 				t.Add(a.name, Mean(steps), Percentile(steps, 95), Mean(rounds), agreeOK)
 			}

@@ -101,6 +101,34 @@ func TestRegistryCompleteAndOrdered(t *testing.T) {
 	}
 }
 
+// TestExperimentsParallelDeterminism renders every batch-driven experiment at
+// parallel=1 and parallel=4 and requires byte-identical output, including the
+// aggregated metrics table: rewiring the trial loops onto the batch engine
+// must change nothing observable at any worker count.
+func TestExperimentsParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("parallel determinism sweep skipped in -short mode")
+	}
+	for _, id := range []string{"E4", "E5", "E6", "E9", "E11", "E12"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			e, ok := Get(id)
+			if !ok {
+				t.Fatalf("unknown experiment %s", id)
+			}
+			render := func(par int) string {
+				var buf bytes.Buffer
+				RunAndRender(e, RunOpts{Quick: true, Trials: 3, Seed: 777, Parallel: par}, &buf)
+				return buf.String()
+			}
+			base := render(1)
+			if got := render(4); got != base {
+				t.Errorf("output differs between parallel=1 and parallel=4:\n--- parallel=1\n%s\n--- parallel=4\n%s", base, got)
+			}
+		})
+	}
+}
+
 // TestAllExperimentsRunQuick executes every experiment in quick mode — a
 // smoke test that the full harness produces tables without errors.
 func TestAllExperimentsRunQuick(t *testing.T) {

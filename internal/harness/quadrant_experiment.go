@@ -38,17 +38,22 @@ func e12Quadrants() Experiment {
 				},
 			}
 			for _, kind := range kinds {
+				kind := kind
 				measure := func(n int) (float64, bool) {
+					outs := runTrials(o, trials, func(k int) core.Instance {
+						return core.Instance{
+							Kind: kind, Cfg: core.Config{B: 2}, Inputs: mixedInputs(n),
+							Seed: o.Seed + int64(17*n+k), Adversary: sched.NewRoundRobin(), MaxSteps: budget,
+						}
+					})
 					var steps []float64
 					unboundedSpace := false
-					for k := 0; k < trials; k++ {
-						out, err := consensusTrial(o, kind, core.Config{B: 2}, mixedInputs(n),
-							o.Seed+int64(17*n+k), sched.NewRoundRobin(), budget)
-						if err != nil || out.Err != nil {
+					for _, bo := range outs {
+						if bo.Err != nil || bo.Out.Err != nil {
 							continue
 						}
-						steps = append(steps, float64(out.Sched.Steps))
-						if out.Metrics.MaxRound > 0 {
+						steps = append(steps, float64(bo.Out.Sched.Steps))
+						if bo.Out.Metrics.MaxRound > 0 {
 							unboundedSpace = true
 						}
 					}

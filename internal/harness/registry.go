@@ -17,6 +17,11 @@ type RunOpts struct {
 	Seed int64
 	// Quick shrinks sweeps for smoke tests and benchmarks.
 	Quick bool
+	// Parallel is the trial-execution worker count passed to the batch
+	// engine (core.RunBatch): 0 means GOMAXPROCS, 1 runs trials serially.
+	// Experiment outputs are identical at any setting — trials derive their
+	// seeds and adversaries before execution and results fold in trial order.
+	Parallel int
 	// Sink, if non-nil, aggregates cross-layer observability over every
 	// trial the experiment runs; RunAndRender installs one automatically and
 	// appends a metrics table per experiment.

@@ -1,0 +1,38 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParseEvent hammers the JSONL trace-line parser (the input surface of
+// cmd/traceview, which reads trace files users hand it). Malformed lines must
+// come back as errors — never a panic — and any line the parser accepts must
+// round-trip unchanged through the hand-rolled encoder.
+func FuzzParseEvent(f *testing.F) {
+	f.Add([]byte(`{"step":1234,"pid":0,"layer":"core","kind":"core.decide","round":3,"value":1,"detail":"x"}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(`{"step":1,"pid":0,"kind":"no.such.kind"}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(``))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{"step":1e999,"kind":"core.decide"}`))
+	f.Add([]byte("{\"kind\":\"scan.clean\",\"detail\":\"\\u0000\\\"\\\\\"}"))
+	f.Fuzz(func(t *testing.T, line []byte) {
+		e, err := ParseEvent(line)
+		if err != nil {
+			return // malformed input is reported, not fatal
+		}
+		out := e.AppendJSON(nil)
+		e2, err := ParseEvent(out)
+		if err != nil {
+			t.Fatalf("re-encoded event failed to parse: %v\n in: %q\nout: %q", err, line, out)
+		}
+		if e2 != e {
+			t.Fatalf("round-trip mismatch:\n in: %+v\nout: %+v", e, e2)
+		}
+		if _, err := ReadJSONL(bytes.NewReader(append(out, '\n'))); err != nil {
+			t.Fatalf("ReadJSONL rejected a line ParseEvent accepted: %v", err)
+		}
+	})
+}

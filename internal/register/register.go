@@ -81,6 +81,15 @@ func (r *SWMR[T]) Peek() T {
 	return r.v
 }
 
+// Reset restores the register to the initial value v without a scheduler step.
+// It is part of the instance-pooling path (see core.Arena) and must only be
+// called between runs, never while simulated processes are active.
+func (r *SWMR[T]) Reset(v T) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.v = v
+}
+
 // Toggled pairs a value with the paper's alternating bit: "an alternating bit
 // field is assumed to be added to each register V_i, such that two values
 // written in consecutive writes by the same process, always differ" (§2.2).
@@ -115,6 +124,13 @@ func (r *ToggledSWMR[T]) Write(p *sched.Proc, v T) {
 
 // Peek is the no-step test/metrics accessor.
 func (r *ToggledSWMR[T]) Peek() Toggled[T] { return r.reg.Peek() }
+
+// Reset restores the register to its initial state (value v, toggle cleared,
+// next write toggling to true) between runs. Pooling path only.
+func (r *ToggledSWMR[T]) Reset(v T) {
+	r.reg.Reset(Toggled[T]{Val: v})
+	r.next = true
+}
 
 // TwoWriter is a two-writer two-reader atomic boolean register, the primitive
 // the paper's arrow registers A_ij require. Implementations are provided both
@@ -167,6 +183,14 @@ func (r *Direct2W) Write(p *sched.Proc, v bool) {
 	r.checkParty(p.ID())
 	p.Step()
 	r.sink.Emit(obs.Event{Step: p.Now(), Pid: p.ID(), Kind: obs.Reg2WWrite})
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.v = v
+}
+
+// Reset restores the register to the initial bit between runs. Pooling path
+// only.
+func (r *Direct2W) Reset(v bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.v = v
@@ -248,6 +272,21 @@ func (r *Bloom2W) Read(p *sched.Proc) bool {
 		return c0.val // writer 0 wrote last
 	}
 	return c1.val // writer 1 wrote last
+}
+
+// Reset restores the register to the initial bit between runs (tags equal,
+// writer 0's cell holding the value — the construction's initial state).
+// Pooling path only.
+func (r *Bloom2W) Reset(v bool) {
+	r.sub[0].Reset(bloomCell{val: v})
+	r.sub[1].Reset(bloomCell{})
+}
+
+// TwoWriterResetter is the optional Reset capability of a TwoWriter; both
+// provided implementations have it, and the scannable memory's own Reset
+// reports failure when a custom register lacks it.
+type TwoWriterResetter interface {
+	Reset(v bool)
 }
 
 // TwoWriterFactory builds a 2W2R register for parties (a, b); it lets the

@@ -60,6 +60,10 @@ type Arrow[T any] struct {
 	arrows [][]register.TwoWriter // arrows[i][j], i != j
 	local  []T                    // local[i]: last value written by i (owner-only access)
 
+	// c1/c2[i] are pid i's double-collect buffers, owned by i's goroutine so
+	// a steady-state scan only allocates its returned view.
+	c1, c2 [][]register.Toggled[T]
+
 	retries []atomic.Int64 // per-pid scan retry counts (metrics)
 }
 
@@ -71,12 +75,16 @@ func NewArrow[T any](n int, factory register.TwoWriterFactory) *Arrow[T] {
 		vals:    make([]*register.ToggledSWMR[T], n),
 		arrows:  make([][]register.TwoWriter, n),
 		local:   make([]T, n),
+		c1:      make([][]register.Toggled[T], n),
+		c2:      make([][]register.Toggled[T], n),
 		retries: make([]atomic.Int64, n),
 	}
 	var zero T
 	for i := 0; i < n; i++ {
 		a.vals[i] = register.NewToggledSWMR(i, zero)
 		a.arrows[i] = make([]register.TwoWriter, n)
+		a.c1[i] = make([]register.Toggled[T], n)
+		a.c2[i] = make([]register.Toggled[T], n)
 		for j := 0; j < n; j++ {
 			if i != j {
 				a.arrows[i][j] = factory(i, j, false)
@@ -84,6 +92,29 @@ func NewArrow[T any](n int, factory register.TwoWriterFactory) *Arrow[T] {
 		}
 	}
 	return a
+}
+
+// Reset restores the memory to its initial state (zero values, cleared
+// toggles and arrows) for instance pooling, reporting whether every arrow
+// register supported it. Call only between runs.
+func (a *Arrow[T]) Reset() bool {
+	var zero T
+	for i := 0; i < a.n; i++ {
+		a.vals[i].Reset(zero)
+		a.local[i] = zero
+		a.retries[i].Store(0)
+		for j := 0; j < a.n; j++ {
+			if i == j {
+				continue
+			}
+			r, ok := a.arrows[i][j].(register.TwoWriterResetter)
+			if !ok {
+				return false
+			}
+			r.Reset(false)
+		}
+	}
+	return true
 }
 
 // N implements Memory.
@@ -124,8 +155,7 @@ func (a *Arrow[T]) Write(p *sched.Proc, v T) {
 // retry implies some other process completed a new write.
 func (a *Arrow[T]) Scan(p *sched.Proc) []T {
 	i := p.ID()
-	v1 := make([]register.Toggled[T], a.n)
-	v2 := make([]register.Toggled[T], a.n)
+	v1, v2 := a.c1[i], a.c2[i]
 	var tries int64
 	for {
 		for j := 0; j < a.n; j++ {
@@ -195,6 +225,9 @@ type SeqSnap[T any] struct {
 	local []T
 	seq   []uint64 // next sequence number per writer (owner-only access)
 
+	// c1/c2[i] are pid i's double-collect buffers (owner-only access).
+	c1, c2 [][]seqCell[T]
+
 	retries []atomic.Int64
 }
 
@@ -205,12 +238,29 @@ func NewSeqSnap[T any](n int) *SeqSnap[T] {
 		vals:    make([]*register.SWMR[seqCell[T]], n),
 		local:   make([]T, n),
 		seq:     make([]uint64, n),
+		c1:      make([][]seqCell[T], n),
+		c2:      make([][]seqCell[T], n),
 		retries: make([]atomic.Int64, n),
 	}
 	for i := 0; i < n; i++ {
 		s.vals[i] = register.NewSWMR(i, seqCell[T]{})
+		s.c1[i] = make([]seqCell[T], n)
+		s.c2[i] = make([]seqCell[T], n)
 	}
 	return s
+}
+
+// Reset restores the memory to its initial state (zero values, sequence
+// numbers rewound) for instance pooling. Call only between runs.
+func (s *SeqSnap[T]) Reset() bool {
+	var zero T
+	for i := 0; i < s.n; i++ {
+		s.vals[i].Reset(seqCell[T]{})
+		s.local[i] = zero
+		s.seq[i] = 0
+		s.retries[i].Store(0)
+	}
+	return true
 }
 
 // N implements Memory.
@@ -237,8 +287,7 @@ func (s *SeqSnap[T]) Write(p *sched.Proc, v T) {
 // on every sequence number.
 func (s *SeqSnap[T]) Scan(p *sched.Proc) []T {
 	i := p.ID()
-	prev := make([]seqCell[T], s.n)
-	cur := make([]seqCell[T], s.n)
+	prev, cur := s.c1[i], s.c2[i]
 	for j := 0; j < s.n; j++ {
 		if j != i {
 			prev[j] = s.vals[j].Read(p)
@@ -274,6 +323,7 @@ func (s *SeqSnap[T]) Scan(p *sched.Proc) []T {
 		tries++
 		s.sink.Emit(obs.Event{Step: p.Now(), Pid: i, Kind: obs.ScanRetry, Value: tries})
 		prev, cur = cur, prev
+		s.c1[i], s.c2[i] = prev, cur
 	}
 }
 
@@ -313,6 +363,16 @@ func NewCollect[T any](n int) *Collect[T] {
 		c.vals[i] = register.NewSWMR[T](i, *new(T))
 	}
 	return c
+}
+
+// Reset restores the memory to its initial state for instance pooling.
+func (c *Collect[T]) Reset() bool {
+	var zero T
+	for i := 0; i < c.n; i++ {
+		c.vals[i].Reset(zero)
+		c.local[i] = zero
+	}
+	return true
 }
 
 // N implements Memory.

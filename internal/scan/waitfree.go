@@ -50,6 +50,12 @@ type WaitFree[T any] struct {
 	toggles []bool
 	pvecs   [][]bool
 
+	// per-pid scan scratch (owner-only access): move-event counters, handshake
+	// mirror, and the two collect buffers.
+	events [][]int
+	myHand [][]bool
+	s1, s2 [][]wfRec[T]
+
 	retries []atomic.Int64
 	borrows []atomic.Int64
 }
@@ -70,6 +76,10 @@ func NewWaitFree[T any](n int) *WaitFree[T] {
 		local:   make([]T, n),
 		toggles: make([]bool, n),
 		pvecs:   make([][]bool, n),
+		events:  make([][]int, n),
+		myHand:  make([][]bool, n),
+		s1:      make([][]wfRec[T], n),
+		s2:      make([][]wfRec[T], n),
 		retries: make([]atomic.Int64, n),
 		borrows: make([]atomic.Int64, n),
 	}
@@ -77,6 +87,10 @@ func NewWaitFree[T any](n int) *WaitFree[T] {
 		w.regs[i] = register.NewSWMR(i, wfRec[T]{p: make([]bool, n)})
 		w.hands[i] = make([]*register.SWMR[bool], n)
 		w.pvecs[i] = make([]bool, n)
+		w.events[i] = make([]int, n)
+		w.myHand[i] = make([]bool, n)
+		w.s1[i] = make([]wfRec[T], n)
+		w.s2[i] = make([]wfRec[T], n)
 		for j := 0; j < n; j++ {
 			if i != j {
 				w.hands[i][j] = register.NewSWMR(i, false)
@@ -84,6 +98,28 @@ func NewWaitFree[T any](n int) *WaitFree[T] {
 		}
 	}
 	return w
+}
+
+// Reset restores the snapshot to its initial state (zero values, empty views,
+// cleared toggles and handshake bits) for instance pooling. The published
+// p-vectors are reallocated rather than cleared in place: records already
+// handed out to readers treat them as immutable. Call only between runs.
+func (w *WaitFree[T]) Reset() bool {
+	var zero T
+	for i := 0; i < w.n; i++ {
+		w.regs[i].Reset(wfRec[T]{p: make([]bool, w.n)})
+		w.local[i] = zero
+		w.toggles[i] = false
+		w.pvecs[i] = make([]bool, w.n)
+		w.retries[i].Store(0)
+		w.borrows[i].Store(0)
+		for j := 0; j < w.n; j++ {
+			if i != j {
+				w.hands[i][j].Reset(false)
+			}
+		}
+	}
+	return true
 }
 
 // N implements Memory.
@@ -126,10 +162,11 @@ func (w *WaitFree[T]) Write(p *sched.Proc, v T) {
 // iterations before a clean return or a borrow.
 func (w *WaitFree[T]) Scan(p *sched.Proc) []T {
 	i := p.ID()
-	events := make([]int, w.n)
-	myHand := make([]bool, w.n)
-	c1 := make([]wfRec[T], w.n)
-	c2 := make([]wfRec[T], w.n)
+	events, myHand := w.events[i], w.myHand[i]
+	c1, c2 := w.s1[i], w.s2[i]
+	for j := range events {
+		events[j] = 0
+	}
 	var tries int64
 	for {
 		// Handshake: equalize my bit with each writer's current bit.

@@ -54,8 +54,20 @@ func EdgeFromCounters(eij, eji, k int) (hasIJ, hasJI bool, wIJ, wJI int, err err
 // Decode builds the distance graph from the full counter matrix e, where
 // e[i][j] is process i's counter toward j (e[i][i] is ignored).
 func Decode(e [][]int, k int) (*Graph, error) {
+	return DecodeInto(nil, e, k)
+}
+
+// DecodeInto is Decode reusing g's storage (adjacency, weights and the
+// distance-table buffer) when g has matching dimensions; a nil or mismatched
+// g allocates fresh. It is the pooling-path variant: a per-process scratch
+// graph makes repeated scans decode without allocating.
+func DecodeInto(g *Graph, e [][]int, k int) (*Graph, error) {
 	n := len(e)
-	g := NewGraph(n, k)
+	if g == nil || g.N != n || g.K != k {
+		g = NewGraph(n, k)
+	} else {
+		g.invalidate()
+	}
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
 			hij, hji, wij, wji, err := EdgeFromCounters(e[i][j], e[j][i], k)
@@ -89,7 +101,16 @@ func IncRow(i int, e [][]int, k int) ([]int, error) {
 // Value is the number of outgoing edges already saturated at weight K (the
 // bounded-rounds clamp that keeps every counter in {0..3K-1}).
 func IncRowTraced(i int, e [][]int, k int, proc *sched.Proc, sink *obs.Sink) ([]int, error) {
-	row, moved, clamped, err := incRow(i, e, k)
+	return IncRowScratch(i, e, k, nil, proc, sink)
+}
+
+// IncRowScratch is IncRowTraced decoding through the caller-owned scratch
+// graph g (see DecodeInto); the returned row is always a fresh allocation —
+// it is published into scannable memory and must not be reused — but the
+// decode itself stops allocating once g is warm. A nil g behaves exactly like
+// IncRowTraced.
+func IncRowScratch(i int, e [][]int, k int, g *Graph, proc *sched.Proc, sink *obs.Sink) ([]int, error) {
+	row, moved, clamped, err := incRowInto(g, i, e, k)
 	if err != nil {
 		return nil, err
 	}
@@ -103,7 +124,11 @@ func IncRowTraced(i int, e [][]int, k int, proc *sched.Proc, sink *obs.Sink) ([]
 }
 
 func incRow(i int, e [][]int, k int) (row []int, moved, clamped int64, err error) {
-	g, err := Decode(e, k)
+	return incRowInto(nil, i, e, k)
+}
+
+func incRowInto(g *Graph, i int, e [][]int, k int) (row []int, moved, clamped int64, err error) {
+	g, err = DecodeInto(g, e, k)
 	if err != nil {
 		return nil, 0, 0, err
 	}

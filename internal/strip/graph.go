@@ -11,7 +11,11 @@ type Graph struct {
 	Has  [][]bool
 	W    [][]int
 
-	dist [][]int // lazily computed all-pairs longest path; nil until needed
+	// dist is the lazily computed all-pairs longest-path table. The buffer is
+	// kept across invalidations (distOK gates validity) so a graph reused as
+	// decode scratch (DecodeInto) does not reallocate it on every recompute.
+	dist   [][]int
+	distOK bool
 }
 
 // NewGraph returns the graph of the initial state: all tokens tied at the
@@ -57,24 +61,32 @@ func FromPositions(pos []int, k int) *Graph {
 	return g
 }
 
-// invalidate drops the cached distance table after a mutation.
-func (g *Graph) invalidate() { g.dist = nil }
+// invalidate drops the cached distance table after a mutation (the buffer is
+// retained for the next recompute).
+func (g *Graph) invalidate() { g.distOK = false }
 
 // distances computes (and caches) all-pairs longest-path weights. Graphs
 // derived from legal states have no positive cycles (§4.2 property 2), so a
 // Bellman–Ford style relaxation over n rounds converges. dist[i][j] = -1
 // means no directed path from i to j; dist[i][i] = 0.
 func (g *Graph) distances() [][]int {
-	if g.dist != nil {
+	if g.distOK {
 		return g.dist
 	}
 	n := g.N
-	d := make([][]int, n)
+	d := g.dist
+	if len(d) != n {
+		d = make([][]int, n)
+		for i := 0; i < n; i++ {
+			d[i] = make([]int, n)
+		}
+	}
 	for i := 0; i < n; i++ {
-		d[i] = make([]int, n)
 		for j := 0; j < n; j++ {
 			if i != j {
 				d[i][j] = -1
+			} else {
+				d[i][j] = 0
 			}
 		}
 	}
@@ -101,6 +113,7 @@ func (g *Graph) distances() [][]int {
 		}
 	}
 	g.dist = d
+	g.distOK = true
 	return d
 }
 

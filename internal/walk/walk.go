@@ -183,6 +183,22 @@ func NewSharedCoin(params Params) (*SharedCoin, error) {
 // Params returns the coin's parameters.
 func (s *SharedCoin) Params() Params { return s.params }
 
+// Reset restores the coin to its initial state (all counters zero, underlying
+// memory reset, hooks cleared) for instance pooling, reporting whether the
+// scannable memory supported it. Call only between runs.
+func (s *SharedCoin) Reset() bool {
+	r, ok := s.mem.(interface{ Reset() bool })
+	if !ok || !r.Reset() {
+		return false
+	}
+	for i := range s.local {
+		s.local[i] = 0
+		s.steps[i] = 0
+	}
+	s.OnStep = nil
+	return true
+}
+
 // SetSink installs the observability sink on the coin and the scannable
 // memory beneath it.
 func (s *SharedCoin) SetSink(sk *obs.Sink) {

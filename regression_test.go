@@ -2,6 +2,84 @@ package consensus
 
 import "testing"
 
+// regressionGoldens pins (algorithm, seed) → (decision, total steps) for all
+// five protocol kinds under the seeded random schedule. Any drift in the
+// scheduler, the protocols, the memory stack or the seed plumbing shows up
+// here first. Regenerate deliberately if an intentional behavior change
+// invalidates them.
+var regressionGoldens = []struct {
+	alg   Algorithm
+	seed  int64
+	value int
+	steps int64
+}{
+	{Bounded, 1, 1, 386},
+	{Bounded, 2, 0, 330},
+	{Bounded, 3, 1, 5878},
+	{AspnesHerlihy, 1, 1, 3778},
+	{AspnesHerlihy, 2, 1, 8144},
+	{AspnesHerlihy, 3, 1, 6044},
+	{LocalCoin, 1, 1, 386},
+	{LocalCoin, 2, 0, 330},
+	{LocalCoin, 3, 0, 426},
+	{StrongCoin, 1, 0, 379},
+	{StrongCoin, 2, 1, 385},
+	{StrongCoin, 3, 1, 350},
+	{Abrahamson, 1, 0, 396},
+	{Abrahamson, 2, 1, 351},
+	{Abrahamson, 3, 1, 561},
+}
+
+func goldenConfig(alg Algorithm, seed int64) Config {
+	return Config{
+		Inputs:    []int{0, 1, 1, 0},
+		Algorithm: alg,
+		Seed:      seed,
+		Schedule:  Schedule{Kind: RandomSchedule},
+		MaxSteps:  200_000_000,
+	}
+}
+
+// TestRegressionSeedGoldens replays the golden table through serial Solve.
+func TestRegressionSeedGoldens(t *testing.T) {
+	for _, g := range regressionGoldens {
+		res, err := Solve(goldenConfig(g.alg, g.seed))
+		if err != nil {
+			t.Fatalf("%v seed %d: %v", g.alg, g.seed, err)
+		}
+		if res.Value != g.value || res.Steps != g.steps {
+			t.Errorf("%v seed %d: got value=%d steps=%d, want value=%d steps=%d",
+				g.alg, g.seed, res.Value, res.Steps, g.value, g.steps)
+		}
+	}
+}
+
+// TestRegressionSeedGoldensBatch replays the same golden table through the
+// parallel batch engine (pooled instances, 4 workers), overriding each
+// instance's seed: batch execution must reproduce serial Solve exactly.
+func TestRegressionSeedGoldensBatch(t *testing.T) {
+	res, err := SolveBatch(BatchConfig{
+		Instances: len(regressionGoldens),
+		Base:      goldenConfig(Bounded, 0),
+		Parallel:  4,
+		PerInstance: func(k int, c *Config) {
+			*c = goldenConfig(regressionGoldens[k].alg, regressionGoldens[k].seed)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, g := range regressionGoldens {
+		if res.Errors[k] != nil {
+			t.Fatalf("%v seed %d: %v", g.alg, g.seed, res.Errors[k])
+		}
+		if res.Decisions[k] != g.value || res.Steps[k] != g.steps {
+			t.Errorf("%v seed %d (batch): got value=%d steps=%d, want value=%d steps=%d",
+				g.alg, g.seed, res.Decisions[k], res.Steps[k], g.value, g.steps)
+		}
+	}
+}
+
 // TestRegressionBaselineWithdrawalPause guards the fix for a consistency
 // violation found by benchmark-scale seed exploration: baselines that
 // resolved conflicts with an *instant* flip-and-advance (skipping the
