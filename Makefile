@@ -2,15 +2,18 @@
 
 GO ?= go
 
-.PHONY: all ci build test test-race test-short bench bench-json experiments experiments-quick fuzz vet fmt fmt-check clean
+.PHONY: all ci build test test-race test-short bench bench-json bench-check live-smoke experiments experiments-quick fuzz vet fmt fmt-check clean
 
 all: vet test build
 
-# ci is the full gate: formatting, vet, build, tests, and a short -race pass
-# over the whole module — the batch engine fans instances over a worker pool,
-# so every package is concurrency-sensitive now.
+# ci is the full gate: formatting, vet, build, tests, a short -race pass
+# over the whole module (the batch engine fans instances over a worker pool,
+# so every package is concurrency-sensitive), plus the live-telemetry smoke
+# test and a benchdiff self-compare to keep the regression gate runnable.
 ci: fmt-check vet build test
 	$(GO) test -short -race -timeout 900s ./...
+	./scripts/live_smoke.sh
+	$(GO) run ./cmd/benchdiff BENCH_batch.json BENCH_batch.json
 
 build:
 	$(GO) build ./...
@@ -28,10 +31,22 @@ bench:
 	$(GO) test -bench=. -benchmem -timeout 3600s ./...
 
 # bench-json emits the machine-readable batch benchmark artifact (schema in
-# DESIGN.md): one JSON object with throughput and the step distribution.
+# DESIGN.md): one JSON object with throughput, the step distribution, the
+# merged metrics snapshot and the phase histograms.
 bench-json:
 	$(GO) run ./cmd/consensus-load -instances 400 -seed 42 -json > BENCH_batch.json
 	@echo "wrote BENCH_batch.json"
+
+# bench-check regenerates the benchmark under the committed artifact's exact
+# workload and diffs it against BENCH_batch.json with the default thresholds;
+# exits nonzero on a throughput, step-distribution, or phase-mean regression.
+bench-check:
+	$(GO) run ./cmd/consensus-load -instances 400 -seed 42 -json > BENCH_batch.new.json
+	$(GO) run ./cmd/benchdiff BENCH_batch.json BENCH_batch.new.json
+	@rm -f BENCH_batch.new.json
+
+live-smoke:
+	./scripts/live_smoke.sh
 
 experiments:
 	$(GO) run ./cmd/experiments

@@ -43,6 +43,20 @@ type BatchConfig struct {
 	// It is called serially in instance order, so customization cannot depend
 	// on scheduling either.
 	PerInstance func(k int, cfg *Config)
+
+	// Sink, if non-nil, replaces the batch's private metrics sink: every
+	// instance reports into its registry, so a live telemetry server holding
+	// the same sink sees the counters move while the batch runs. A recorder
+	// on the sink receives events from all workers with no ordering guarantee
+	// between instances — use a self-synchronizing recorder such as obs.Ring,
+	// and treat it as a debugging tail, not a faithful trace. The registry
+	// path stays deterministic regardless (atomic sums and maxes commute).
+	Sink *obs.Sink
+
+	// Progress, if non-nil, is re-armed for this batch and updated as
+	// instances start and finish — the probe behind the live server's
+	// consensus_batch_* gauges. Reporting-only; results are unaffected.
+	Progress *obs.BatchProgress
 }
 
 // BatchResult aggregates a batch: per-instance decisions, step counts and
@@ -142,11 +156,16 @@ func SolveBatch(cfg BatchConfig) (BatchResult, error) {
 		}
 	}
 
-	// One metrics-only sink serves the whole batch: every mutation path is an
+	// One sink serves the whole batch: every registry mutation path is an
 	// atomic add or max, which commutes, so the merged registry is
-	// deterministic even though workers emit concurrently.
-	sink := obs.NewSink(nil)
-	outs := core.RunBatch(cfg.Parallel, sink, instances)
+	// deterministic even though workers emit concurrently. By default it is
+	// metrics-only; a caller-supplied cfg.Sink may carry a concurrent-safe
+	// recorder (see BatchConfig.Sink).
+	sink := cfg.Sink
+	if sink == nil {
+		sink = obs.NewSink(nil)
+	}
+	outs := core.RunBatchProgress(cfg.Parallel, sink, cfg.Progress, instances)
 
 	res := BatchResult{
 		Decisions: make([]int, cfg.Instances),

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"reflect"
 	"testing"
+
+	"github.com/dsrepro/consensus/internal/obs"
 )
 
 func batchConfig(m, parallel int) BatchConfig {
@@ -47,6 +49,10 @@ func TestSolveBatchDeterministicAcrossParallelism(t *testing.T) {
 		}
 		if !reflect.DeepEqual(got.Gauges, base.Gauges) {
 			t.Errorf("parallel=%d: merged gauges diverge: got %v want %v", par, got.Gauges, base.Gauges)
+		}
+		if !reflect.DeepEqual(got.Hists, base.Hists) {
+			t.Errorf("parallel=%d: merged histograms (incl. phase.steps.*) diverge:\n got %v\nwant %v",
+				par, got.Hists, base.Hists)
 		}
 	}
 }
@@ -124,6 +130,59 @@ func TestSolveBatchAggregates(t *testing.T) {
 	}
 	if h.Count != m*n {
 		t.Errorf("steps-to-decide count = %d, want %d", h.Count, m*n)
+	}
+	// Phase decomposition: each phase histogram carries one sample per
+	// decided process, and the family's sums partition steps-to-decide.
+	var phaseSum int64
+	for _, name := range []string{"phase.steps.prefer", "phase.steps.coin", "phase.steps.strip", "phase.steps.decide"} {
+		ph, ok := res.Hists[name]
+		if !ok {
+			t.Fatalf("missing %s histogram", name)
+		}
+		if ph.Count != m*n {
+			t.Errorf("%s count = %d, want %d", name, ph.Count, m*n)
+		}
+		phaseSum += ph.Sum
+	}
+	if phaseSum != h.Sum {
+		t.Errorf("phase sums total %d, steps_to_decide sum %d — every step must belong to exactly one phase",
+			phaseSum, h.Sum)
+	}
+}
+
+// TestSolveBatchProgressAndSink exercises the caller-supplied sink, ring tail
+// and progress probe SolveBatch accepts for live telemetry.
+func TestSolveBatchProgressAndSink(t *testing.T) {
+	cfg := batchConfig(6, 3)
+	ring := obs.NewRing(64)
+	cfg.Sink = obs.NewSink(ring)
+	cfg.Progress = &obs.BatchProgress{}
+	res, err := SolveBatch(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ErrCount != 0 {
+		t.Fatalf("unexpected errors: %v", res.Errors)
+	}
+	// Results must match a plain run: the telemetry surfaces are
+	// reporting-only.
+	plain, err := SolveBatch(batchConfig(6, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Decisions, plain.Decisions) || !reflect.DeepEqual(res.Steps, plain.Steps) {
+		t.Errorf("sink/progress perturbed results: %v/%v vs %v/%v",
+			res.Decisions, res.Steps, plain.Decisions, plain.Steps)
+	}
+	if !reflect.DeepEqual(res.Counters, plain.Counters) {
+		t.Errorf("caller sink counters diverge from private-sink counters")
+	}
+	snap := cfg.Progress.Snapshot()
+	if snap.Total != 6 || snap.Completed != 6 || snap.InFlight != 0 {
+		t.Errorf("progress after batch: %+v, want total=6 completed=6 inflight=0", snap)
+	}
+	if ring.Len() == 0 {
+		t.Error("ring recorder saw no events")
 	}
 }
 

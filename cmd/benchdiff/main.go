@@ -1,0 +1,67 @@
+// Command benchdiff compares two consensus-load JSON reports (the
+// BENCH_batch.json artifact) and exits nonzero when the new one regressed
+// beyond the thresholds — the repo's bench regression gate (`make
+// bench-check`).
+//
+// Usage:
+//
+//	benchdiff OLD.json NEW.json
+//	benchdiff -max-step-growth 0.10 BENCH_batch.json BENCH_batch.new.json
+//
+// Exit status: 0 no regression, 1 regression found, 2 usage or I/O error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/dsrepro/consensus/internal/benchfmt"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	th := benchfmt.DefaultThresholds()
+	flag.Float64Var(&th.MaxThroughputDrop, "max-throughput-drop", th.MaxThroughputDrop,
+		"max fractional drop of instances_per_sec")
+	flag.Float64Var(&th.MaxStepGrowth, "max-step-growth", th.MaxStepGrowth,
+		"max fractional growth of the steps mean/p50/p90/p99")
+	flag.Float64Var(&th.MaxPhaseMeanGrowth, "max-phase-growth", th.MaxPhaseMeanGrowth,
+		"max fractional growth of each phase.steps.* mean")
+	flag.Parse()
+
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [flags] OLD.json NEW.json")
+		flag.PrintDefaults()
+		return 2
+	}
+	oldRep, err := benchfmt.Read(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		return 2
+	}
+	newRep, err := benchfmt.Read(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		return 2
+	}
+
+	findings, err := benchfmt.Compare(oldRep, newRep, th)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		return 2
+	}
+	if len(findings) == 0 {
+		fmt.Printf("benchdiff: ok — %s n=%d, %d instances, no regression\n",
+			newRep.Algorithm, newRep.N, newRep.Instances)
+		return 0
+	}
+	fmt.Printf("benchdiff: %d regression(s) — %s n=%d\n", len(findings), newRep.Algorithm, newRep.N)
+	for _, f := range findings {
+		fmt.Printf("  %s\n", f)
+	}
+	return 1
+}

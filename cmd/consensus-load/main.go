@@ -8,46 +8,26 @@
 //	consensus-load -instances 200
 //	consensus-load -alg strong-coin -n 8 -instances 50 -parallel 4
 //	consensus-load -instances 400 -json > BENCH_batch.json
+//	consensus-load -instances 5000 -listen 127.0.0.1:9090   # then scrape /metrics
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
+	"strings"
 	"time"
 
 	consensus "github.com/dsrepro/consensus"
+	"github.com/dsrepro/consensus/internal/benchfmt"
+	"github.com/dsrepro/consensus/internal/obs"
+	"github.com/dsrepro/consensus/internal/obs/live"
 )
 
 func main() {
 	os.Exit(run())
-}
-
-// report is the JSON schema of -json mode (documented in DESIGN.md). One
-// object per invocation; field names are stable.
-type report struct {
-	Algorithm       string           `json:"algorithm"`
-	N               int              `json:"n"`
-	Instances       int              `json:"instances"`
-	Parallel        int              `json:"parallel"`
-	Seed            int64            `json:"seed"`
-	ElapsedSec      float64          `json:"elapsed_sec"`
-	InstancesPerSec float64          `json:"instances_per_sec"`
-	Errors          int              `json:"errors"`
-	Steps           stepsSummary     `json:"steps"`
-	Counters        map[string]int64 `json:"counters"`
-	Gauges          map[string]int64 `json:"gauges"`
-}
-
-type stepsSummary struct {
-	Mean float64 `json:"mean"`
-	Min  int64   `json:"min"`
-	P50  int64   `json:"p50"`
-	P90  int64   `json:"p90"`
-	P99  int64   `json:"p99"`
-	Max  int64   `json:"max"`
 }
 
 func run() int {
@@ -61,6 +41,9 @@ func run() int {
 		maxSteps  = flag.Int64("max-steps", 100_000_000, "per-instance step budget")
 		b         = flag.Int("b", 4, "shared-coin barrier multiplier")
 		jsonOut   = flag.Bool("json", false, "emit one machine-readable JSON object instead of text")
+		listen    = flag.String("listen", "", "serve live telemetry (/metrics, /healthz, /debug/pprof) on this address while the batch runs (e.g. 127.0.0.1:9090, :0 for a free port)")
+		linger    = flag.Duration("linger", 0, "with -listen, keep serving telemetry this long after the batch completes")
+		tail      = flag.Int("tail", 0, "keep the last N events in a ring for post-run inspection (0 = off; ordering across workers is unspecified)")
 	)
 	flag.Parse()
 
@@ -83,6 +66,31 @@ func run() int {
 		inputs[i] = i % 2
 	}
 
+	// The batch reports into a caller-owned sink so the telemetry server can
+	// scrape its registry mid-run. The optional ring is a debugging tail:
+	// concurrency-safe, but with no cross-worker ordering guarantee.
+	var ring *obs.Ring
+	var rec obs.Recorder
+	if *tail > 0 {
+		ring = obs.NewRing(*tail)
+		rec = ring
+	}
+	sink := obs.NewSink(rec)
+	prog := &obs.BatchProgress{}
+
+	if *listen != "" {
+		srv := live.New()
+		srv.AddRegistry(sink.Registry())
+		srv.AddProgress(prog)
+		addr, err := srv.Start(*listen)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "consensus-load: %v\n", err)
+			return 2
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "consensus-load: telemetry on http://%s/metrics\n", addr)
+	}
+
 	start := time.Now()
 	res, err := consensus.SolveBatch(consensus.BatchConfig{
 		Instances: *instances,
@@ -95,6 +103,8 @@ func run() int {
 		},
 		Seed:     *seed,
 		Parallel: *parallel,
+		Sink:     sink,
+		Progress: prog,
 	})
 	elapsed := time.Since(start)
 	if err != nil {
@@ -106,7 +116,7 @@ func run() int {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	r := report{
+	r := benchfmt.Report{
 		Algorithm:       *algFlag,
 		N:               *n,
 		Instances:       *instances,
@@ -118,12 +128,14 @@ func run() int {
 		Steps:           summarize(res),
 		Counters:        res.Counters,
 		Gauges:          res.Gauges,
+		Hists:           res.Hists,
+	}
+	if ring != nil {
+		r.Dropped = ring.Dropped()
 	}
 
 	if *jsonOut {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(r); err != nil {
+		if err := benchfmt.Write(os.Stdout, r); err != nil {
 			fmt.Fprintf(os.Stderr, "consensus-load: %v\n", err)
 			return 1
 		}
@@ -133,7 +145,17 @@ func run() int {
 		fmt.Printf("elapsed       : %.3fs (%.1f instances/sec)\n", r.ElapsedSec, r.InstancesPerSec)
 		fmt.Printf("steps/instance: p50 %d, p90 %d, p99 %d (mean %.1f, min %d, max %d)\n",
 			r.Steps.P50, r.Steps.P90, r.Steps.P99, r.Steps.Mean, r.Steps.Min, r.Steps.Max)
+		if line := phaseMeansLine(r.Hists); line != "" {
+			fmt.Printf("phase means   : %s\n", line)
+		}
 		fmt.Printf("errors        : %d\n", r.Errors)
+		if ring != nil {
+			fmt.Printf("tail          : kept %d events, dropped %d\n", ring.Len(), ring.Dropped())
+		}
+	}
+	if *listen != "" && *linger > 0 {
+		fmt.Fprintf(os.Stderr, "consensus-load: lingering %s for scrapes\n", *linger)
+		time.Sleep(*linger)
 	}
 	if res.ErrCount > 0 {
 		for k, e := range res.Errors {
@@ -146,8 +168,36 @@ func run() int {
 	return 0
 }
 
-func summarize(res consensus.BatchResult) stepsSummary {
-	s := stepsSummary{
+// phaseMeansLine renders the phase.steps.* family as "prefer 1234.5, coin
+// 67.8, ..." in stable phase order (empty when the family is absent).
+func phaseMeansLine(hists map[string]obs.HistSnapshot) string {
+	type pm struct {
+		phase string
+		mean  float64
+	}
+	var parts []pm
+	for key, h := range hists {
+		if ph, ok := strings.CutPrefix(key, obs.PhaseStepsPrefix); ok {
+			parts = append(parts, pm{ph, h.Mean})
+		}
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	order := map[string]int{"prefer": 0, "coin": 1, "strip": 2, "decide": 3}
+	sort.Slice(parts, func(i, j int) bool { return order[parts[i].phase] < order[parts[j].phase] })
+	var sb strings.Builder
+	for i, p := range parts {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "%s %.1f", p.phase, p.mean)
+	}
+	return sb.String()
+}
+
+func summarize(res consensus.BatchResult) benchfmt.StepsSummary {
+	s := benchfmt.StepsSummary{
 		P50: res.StepsPercentile(50),
 		P90: res.StepsPercentile(90),
 		P99: res.StepsPercentile(99),

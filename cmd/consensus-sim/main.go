@@ -16,8 +16,11 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	consensus "github.com/dsrepro/consensus"
+	"github.com/dsrepro/consensus/internal/obs"
+	"github.com/dsrepro/consensus/internal/obs/live"
 )
 
 func main() {
@@ -40,6 +43,8 @@ func run() int {
 		trace      = flag.Bool("trace", false, "print the protocol event log to stderr (round advances, preference changes, coin flips, decisions)")
 		traceOut   = flag.String("trace-out", "", "write the full cross-layer event stream (register/scan/walk/strip/core) as JSONL to this file")
 		metrics    = flag.Bool("metrics", false, "print the cross-layer observability counters after the run")
+		listen     = flag.String("listen", "", "serve live telemetry (/metrics, /healthz, /debug/pprof) on this address while the run executes (e.g. 127.0.0.1:9090, :0 for a free port)")
+		linger     = flag.Duration("linger", 0, "with -listen, keep serving telemetry this long after the run completes")
 	)
 	flag.Parse()
 
@@ -80,6 +85,24 @@ func run() int {
 			return 2
 		}
 		cfg.TraceJSONL = traceFile
+	}
+	if *listen != "" {
+		cfg.Sink = obs.NewSink(nil)
+		srv := live.New()
+		srv.AddRegistry(cfg.Sink.Registry())
+		addr, lerr := srv.Start(*listen)
+		if lerr != nil {
+			fmt.Fprintf(os.Stderr, "consensus-sim: %v\n", lerr)
+			return 2
+		}
+		defer srv.Close()
+		defer func() {
+			if *linger > 0 {
+				fmt.Fprintf(os.Stderr, "consensus-sim: lingering %s for scrapes\n", *linger)
+				time.Sleep(*linger)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "consensus-sim: telemetry on http://%s/metrics\n", addr)
 	}
 	res, err := consensus.Solve(cfg)
 	if traceFile != nil {

@@ -2,11 +2,13 @@
 // consensus-sim -trace-out (or by consensus.Config.TraceJSONL directly).
 //
 // It renders per-layer and per-kind event counts, the steps each process
-// took to decide, and a scan-retry histogram:
+// took to decide, a per-phase step attribution table, and a scan-retry
+// histogram:
 //
 //	consensus-sim -inputs 0,1,1,0 -trace-out run.jsonl
 //	traceview run.jsonl
 //	traceview -format markdown run.jsonl
+//	traceview -phase coin run.jsonl   # plus a per-process table for one phase
 package main
 
 import (
@@ -26,8 +28,9 @@ func main() {
 
 func run() int {
 	formatFlag := flag.String("format", "text", "output format: text | markdown | csv")
+	phaseFlag := flag.String("phase", "", "also render a per-process breakdown of one phase: prefer | coin | strip | decide")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: traceview [-format text|markdown|csv] trace.jsonl\n")
+		fmt.Fprintf(os.Stderr, "usage: traceview [-format text|markdown|csv] [-phase name] trace.jsonl\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -35,6 +38,12 @@ func run() int {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "traceview: %v\n", err)
 		return 2
+	}
+	if *phaseFlag != "" {
+		if _, ok := obs.PhaseForName(*phaseFlag); !ok {
+			fmt.Fprintf(os.Stderr, "traceview: unknown phase %q (want prefer | coin | strip | decide)\n", *phaseFlag)
+			return 2
+		}
 	}
 	if flag.NArg() != 1 {
 		flag.Usage()
@@ -55,14 +64,16 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "traceview: trace is empty")
 		return 1
 	}
-	for _, t := range summarise(flag.Arg(0), events) {
+	for _, t := range summarise(flag.Arg(0), events, *phaseFlag) {
 		t.RenderAs(os.Stdout, format)
 	}
 	return 0
 }
 
-// summarise builds the analysis tables from a decoded event stream.
-func summarise(name string, events []Event) []*harness.Table {
+// summarise builds the analysis tables from a decoded event stream. phase, if
+// non-empty, must be a valid phase label and adds that phase's per-process
+// breakdown.
+func summarise(name string, events []Event, phase string) []*harness.Table {
 	var tables []*harness.Table
 
 	// Per-layer totals, in stack order (register at the bottom, core on top).
@@ -80,7 +91,7 @@ func summarise(name string, events []Event) []*harness.Table {
 		Title:   fmt.Sprintf("%s: events per layer (%d events over %d steps)", name, len(events), lastStep),
 		Columns: []string{"layer", "events", "share"},
 	}
-	for _, l := range []obs.Layer{obs.LayerRegister, obs.LayerScan, obs.LayerWalk, obs.LayerStrip, obs.LayerSched, obs.LayerCore} {
+	for _, l := range []obs.Layer{obs.LayerRegister, obs.LayerScan, obs.LayerWalk, obs.LayerStrip, obs.LayerSched, obs.LayerCore, obs.LayerPhase} {
 		if c, ok := layerCounts[l]; ok {
 			lt.Add(l.String(), c, fmt.Sprintf("%.1f%%", 100*float64(c)/float64(len(events))))
 		}
@@ -135,6 +146,62 @@ func summarise(name string, events []Event) []*harness.Table {
 		}
 		dt.Note("steps are global scheduler steps, so later deciders include every process's work.")
 		tables = append(tables, dt)
+	}
+
+	// Phase attribution: each phase-layer span event carries the atomic steps
+	// of one closed phase segment in Value.
+	var spanCounts, spanSteps [obs.NumPhases]int64
+	var phaseTotal int64
+	for _, e := range events {
+		if ph, ok := obs.PhaseForSpanKind(e.Kind); ok {
+			spanCounts[ph]++
+			spanSteps[ph] += e.Value
+			phaseTotal += e.Value
+		}
+	}
+	if phaseTotal > 0 {
+		pt := &harness.Table{
+			Title:   fmt.Sprintf("%s: steps per phase (%d attributed steps)", name, phaseTotal),
+			Columns: []string{"phase", "spans", "steps", "share", "steps/span"},
+		}
+		for ph := obs.PhaseID(0); ph < obs.NumPhases; ph++ {
+			if spanCounts[ph] == 0 {
+				continue
+			}
+			pt.Add(ph.String(), spanCounts[ph], spanSteps[ph],
+				fmt.Sprintf("%.1f%%", 100*float64(spanSteps[ph])/float64(phaseTotal)),
+				fmt.Sprintf("%.1f", float64(spanSteps[ph])/float64(spanCounts[ph])))
+		}
+		pt.Note("prefer = agreement work, coin = randomness, strip = round advance, decide = decision publication.")
+		tables = append(tables, pt)
+	}
+
+	// Optional per-process breakdown of one phase.
+	if ph, ok := obs.PhaseForName(phase); ok && phase != "" {
+		perSpans := map[int]int64{}
+		perSteps := map[int]int64{}
+		for _, e := range events {
+			if e.Kind == ph.SpanKind() {
+				perSpans[e.Pid]++
+				perSteps[e.Pid] += e.Value
+			}
+		}
+		ft := &harness.Table{
+			Title:   fmt.Sprintf("%s: phase %q per process", name, ph),
+			Columns: []string{"process", "spans", "steps"},
+		}
+		pids := make([]int, 0, len(perSpans))
+		for p := range perSpans {
+			pids = append(pids, p)
+		}
+		sort.Ints(pids)
+		for _, p := range pids {
+			ft.Add(fmt.Sprintf("p%d", p), perSpans[p], perSteps[p])
+		}
+		if len(pids) == 0 {
+			ft.Note("no %q spans in this trace.", ph)
+		}
+		tables = append(tables, ft)
 	}
 
 	// Scan-retry distribution: each scan.clean / scan.borrow event carries the

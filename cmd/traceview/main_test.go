@@ -1,0 +1,67 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"github.com/dsrepro/consensus/internal/harness"
+	"github.com/dsrepro/consensus/internal/obs"
+)
+
+// TestSummariseGolden locks the full rendered analysis of a checked-in trace,
+// including the phase-attribution table and the -phase per-process breakdown.
+// Regenerate testdata with:
+//
+//	go run . -phase coin testdata/sample.jsonl > testdata/sample.golden
+func TestSummariseGolden(t *testing.T) {
+	f, err := os.Open("testdata/sample.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := obs.ReadJSONL(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile("testdata/sample.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	for _, tbl := range summarise("testdata/sample.jsonl", events, "coin") {
+		tbl.RenderAs(&buf, harness.FormatText)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("rendered analysis diverged from golden:\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestSummarisePhaseInvariant checks, on the sample trace, that the span
+// events attribute exactly the steps the run took: per phase-layer event
+// Values summed equal the trace's final global step count (every atomic step
+// belongs to exactly one phase segment).
+func TestSummarisePhaseInvariant(t *testing.T) {
+	f, err := os.Open("testdata/sample.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := obs.ReadJSONL(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var attributed, lastStep int64
+	for _, e := range events {
+		if _, ok := obs.PhaseForSpanKind(e.Kind); ok {
+			attributed += e.Value
+		}
+		if e.Step > lastStep {
+			lastStep = e.Step
+		}
+	}
+	if attributed != lastStep {
+		t.Errorf("phase spans attribute %d steps, trace has %d", attributed, lastStep)
+	}
+}

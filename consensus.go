@@ -241,6 +241,14 @@ type Config struct {
 	// e.g. an obs.Ring keeping the last N events in memory. It can be
 	// combined with TraceWriter and TraceJSONL.
 	Recorder obs.Recorder
+
+	// Sink, if non-nil, is the observability hub the run reports into: its
+	// metrics registry accumulates across every run sharing the sink, so a
+	// live telemetry server (internal/obs/live) holding the same sink can be
+	// scraped while the run is in flight. The trace surfaces above stack on
+	// top of any recorder the sink already carries. When nil, Solve builds a
+	// private sink and its registry is visible only through Result.
+	Sink *obs.Sink
 }
 
 // Result reports the outcome of a consensus run.
@@ -274,6 +282,11 @@ type Result struct {
 	// Gauges holds the registry's max-gauges ("core.max_abs_coin", ...),
 	// zero-valued gauges omitted.
 	Gauges map[string]int64
+	// Hists holds the registry's histograms keyed by stable identifiers:
+	// "core.steps_to_decide", "scan.retries_per_scan", and the per-phase
+	// "phase.steps.*" family (one sample per decided process; the family's
+	// sums decompose core.steps_to_decide). Empty histograms are omitted.
+	Hists map[string]obs.HistSnapshot
 }
 
 // Errors returned by Solve, wrapped from the scheduler.
@@ -326,6 +339,12 @@ func Solve(cfg Config) (Result, error) {
 		recs = append(recs, cfg.Recorder)
 	}
 	sink := obs.NewSink(obs.Tee(recs...))
+	if cfg.Sink != nil {
+		// Share the caller's registry; stack this run's trace surfaces onto
+		// any recorder the caller's sink already has.
+		all := append([]obs.Recorder{cfg.Sink.Recorder()}, recs...)
+		sink = cfg.Sink.WithRecorder(obs.Tee(all...))
+	}
 	out, err := core.Execute(kind, core.Config{
 		K:              cfg.K,
 		B:              cfg.B,
@@ -367,6 +386,7 @@ func Solve(cfg Config) (Result, error) {
 		MaxRound:     out.Metrics.MaxRound,
 		Counters:     snap.Counters,
 		Gauges:       snap.Gauges,
+		Hists:        snap.Hists,
 	}
 	return res, out.Err
 }

@@ -1,0 +1,69 @@
+// Package benchfmt defines the machine-readable benchmark report produced by
+// cmd/consensus-load -json (the BENCH_batch.json artifact) and the regression
+// comparison over two such reports used by cmd/benchdiff and `make
+// bench-check`. It lives in internal so the load generator and the diff tool
+// share one schema definition; DESIGN.md §10 documents the wire format.
+package benchfmt
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/dsrepro/consensus/internal/obs"
+)
+
+// Report is one consensus-load invocation's results. Field names are the
+// stable JSON schema; new fields are only ever added (older artifacts decode
+// with the new fields zero).
+type Report struct {
+	Algorithm       string           `json:"algorithm"`
+	N               int              `json:"n"`
+	Instances       int              `json:"instances"`
+	Parallel        int              `json:"parallel"`
+	Seed            int64            `json:"seed"`
+	ElapsedSec      float64          `json:"elapsed_sec"`
+	InstancesPerSec float64          `json:"instances_per_sec"`
+	Errors          int              `json:"errors"`
+	Steps           StepsSummary     `json:"steps"`
+	Counters        map[string]int64 `json:"counters"`
+	Gauges          map[string]int64 `json:"gauges"`
+	// Hists carries the batch's full histogram snapshots, including the
+	// phase.steps.* family. Absent from artifacts generated before the field
+	// existed (nil map — benchdiff then skips phase comparisons).
+	Hists map[string]obs.HistSnapshot `json:"hists,omitempty"`
+	// Dropped counts ring-recorder events overwritten during the run (0 when
+	// no tail was attached or the ring kept up).
+	Dropped int64 `json:"dropped_events,omitempty"`
+}
+
+// StepsSummary is the per-instance step-total distribution.
+type StepsSummary struct {
+	Mean float64 `json:"mean"`
+	Min  int64   `json:"min"`
+	P50  int64   `json:"p50"`
+	P90  int64   `json:"p90"`
+	P99  int64   `json:"p99"`
+	Max  int64   `json:"max"`
+}
+
+// Read decodes a report from the JSON file at path.
+func Read(path string) (Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Report{}, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return Report{}, fmt.Errorf("benchfmt: parsing %s: %w", path, err)
+	}
+	return r, nil
+}
+
+// Write encodes the report as indented JSON (the BENCH_batch.json format).
+func Write(w io.Writer, r Report) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

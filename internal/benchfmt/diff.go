@@ -1,0 +1,123 @@
+package benchfmt
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/dsrepro/consensus/internal/obs"
+)
+
+// Thresholds bounds how much a metric may degrade from the old report to the
+// new one before Compare flags a regression. Ratios are fractional: 0.25
+// allows up to +25% growth (or -25% throughput). Benchmarks on shared CI
+// machines are noisy, so the defaults are deliberately loose — they catch
+// algorithmic blowups (a phase suddenly costing 2x its steps), not jitter.
+type Thresholds struct {
+	// MaxThroughputDrop bounds the relative drop of instances_per_sec.
+	MaxThroughputDrop float64
+	// MaxStepGrowth bounds the relative growth of the steps summary
+	// (mean/p50/p90/p99). Step counts are deterministic per seed, so this can
+	// be tighter than the wall-clock thresholds.
+	MaxStepGrowth float64
+	// MaxPhaseMeanGrowth bounds the relative growth of each phase.steps.*
+	// histogram mean.
+	MaxPhaseMeanGrowth float64
+}
+
+// DefaultThresholds are the `make bench-check` settings.
+func DefaultThresholds() Thresholds {
+	return Thresholds{
+		MaxThroughputDrop:  0.40,
+		MaxStepGrowth:      0.25,
+		MaxPhaseMeanGrowth: 0.35,
+	}
+}
+
+// Finding is one detected regression.
+type Finding struct {
+	// Metric names what regressed ("instances_per_sec", "steps.p90",
+	// "phase.steps.coin.mean", "errors").
+	Metric string
+	// Old and New are the compared values.
+	Old, New float64
+	// Limit is the threshold the change exceeded (as a fraction).
+	Limit float64
+}
+
+// String renders the finding for the benchdiff report.
+func (f Finding) String() string {
+	return fmt.Sprintf("%-28s %14.2f -> %-14.2f (limit %+.0f%%)", f.Metric, f.Old, f.New, f.Limit*100)
+}
+
+// Compare diffs two reports and returns the regressions found under the given
+// thresholds. The reports must describe the same workload (algorithm and n);
+// a mismatch is an error, not a finding, since the comparison would be
+// meaningless. Improvements never produce findings.
+func Compare(old, new Report, th Thresholds) ([]Finding, error) {
+	if old.Algorithm != new.Algorithm || old.N != new.N {
+		return nil, fmt.Errorf("benchfmt: incomparable reports: %s/n=%d vs %s/n=%d",
+			old.Algorithm, old.N, new.Algorithm, new.N)
+	}
+	var out []Finding
+
+	if new.Errors > old.Errors {
+		out = append(out, Finding{Metric: "errors", Old: float64(old.Errors), New: float64(new.Errors)})
+	}
+
+	if old.InstancesPerSec > 0 {
+		drop := (old.InstancesPerSec - new.InstancesPerSec) / old.InstancesPerSec
+		if drop > th.MaxThroughputDrop {
+			out = append(out, Finding{
+				Metric: "instances_per_sec",
+				Old:    old.InstancesPerSec, New: new.InstancesPerSec,
+				Limit: th.MaxThroughputDrop,
+			})
+		}
+	}
+
+	stepPairs := []struct {
+		name     string
+		old, new float64
+	}{
+		{"steps.mean", old.Steps.Mean, new.Steps.Mean},
+		{"steps.p50", float64(old.Steps.P50), float64(new.Steps.P50)},
+		{"steps.p90", float64(old.Steps.P90), float64(new.Steps.P90)},
+		{"steps.p99", float64(old.Steps.P99), float64(new.Steps.P99)},
+	}
+	for _, sp := range stepPairs {
+		if growth(sp.old, sp.new) > th.MaxStepGrowth {
+			out = append(out, Finding{Metric: sp.name, Old: sp.old, New: sp.new, Limit: th.MaxStepGrowth})
+		}
+	}
+
+	// Phase means: compared only for phases present in both reports, so
+	// artifacts predating the hists field diff clean against themselves.
+	phases := make([]string, 0, len(old.Hists))
+	for key := range old.Hists {
+		if strings.HasPrefix(key, obs.PhaseStepsPrefix) {
+			if _, ok := new.Hists[key]; ok {
+				phases = append(phases, key)
+			}
+		}
+	}
+	sort.Strings(phases)
+	for _, key := range phases {
+		o, n := old.Hists[key].Mean, new.Hists[key].Mean
+		if growth(o, n) > th.MaxPhaseMeanGrowth {
+			out = append(out, Finding{Metric: key + ".mean", Old: o, New: n, Limit: th.MaxPhaseMeanGrowth})
+		}
+	}
+	return out, nil
+}
+
+// growth is the relative increase from o to n, with the denominator floored
+// at 1 so tiny baselines (a phase averaging 0.2 steps) don't turn absolute
+// noise into huge ratios.
+func growth(o, n float64) float64 {
+	den := o
+	if den < 1 {
+		den = 1
+	}
+	return (n - o) / den
+}

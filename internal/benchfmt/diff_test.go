@@ -1,0 +1,172 @@
+package benchfmt
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/dsrepro/consensus/internal/obs"
+)
+
+func baseline() Report {
+	return Report{
+		Algorithm:       "bounded",
+		N:               4,
+		Instances:       400,
+		Parallel:        4,
+		Seed:            42,
+		ElapsedSec:      1.5,
+		InstancesPerSec: 266.7,
+		Steps:           StepsSummary{Mean: 7000, Min: 220, P50: 4500, P90: 19000, P99: 32000, Max: 47000},
+		Counters:        map[string]int64{"core.decide": 1600},
+		Hists: map[string]obs.HistSnapshot{
+			"phase.steps.prefer": {Count: 1600, Sum: 8_000_000, Mean: 5000},
+			"phase.steps.coin":   {Count: 1600, Sum: 2_400_000, Mean: 1500},
+			"phase.steps.strip":  {Count: 1600, Sum: 800_000, Mean: 500},
+			"phase.steps.decide": {Count: 1600, Sum: 0, Mean: 0},
+		},
+	}
+}
+
+func TestCompareSelfIsClean(t *testing.T) {
+	r := baseline()
+	findings, err := Compare(r, r, DefaultThresholds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Errorf("self-compare produced findings: %v", findings)
+	}
+}
+
+func TestCompareImprovementIsClean(t *testing.T) {
+	old, new := baseline(), baseline()
+	new.InstancesPerSec *= 2
+	new.Steps.P90 /= 2
+	new.Hists["phase.steps.coin"] = obs.HistSnapshot{Count: 1600, Sum: 1_000_000, Mean: 625}
+	findings, err := Compare(old, new, DefaultThresholds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Errorf("improvements flagged as regressions: %v", findings)
+	}
+}
+
+func TestCompareFlagsThroughputDrop(t *testing.T) {
+	old, new := baseline(), baseline()
+	new.InstancesPerSec = old.InstancesPerSec * 0.5 // -50% > default 40% limit
+	findings, err := Compare(old, new, DefaultThresholds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 || findings[0].Metric != "instances_per_sec" {
+		t.Errorf("findings = %v, want one instances_per_sec regression", findings)
+	}
+}
+
+func TestCompareFlagsStepGrowth(t *testing.T) {
+	old, new := baseline(), baseline()
+	new.Steps.P90 = int64(float64(old.Steps.P90) * 1.5) // +50% > default 25% limit
+	findings, err := Compare(old, new, DefaultThresholds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 || findings[0].Metric != "steps.p90" {
+		t.Errorf("findings = %v, want one steps.p90 regression", findings)
+	}
+}
+
+func TestCompareFlagsPhaseMeanGrowth(t *testing.T) {
+	old, new := baseline(), baseline()
+	new.Hists["phase.steps.coin"] = obs.HistSnapshot{Count: 1600, Sum: 4_800_000, Mean: 3000} // 2x
+	findings, err := Compare(old, new, DefaultThresholds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 || findings[0].Metric != "phase.steps.coin.mean" {
+		t.Errorf("findings = %v, want one phase.steps.coin.mean regression", findings)
+	}
+}
+
+func TestCompareErrorsIncrease(t *testing.T) {
+	old, new := baseline(), baseline()
+	new.Errors = 3
+	findings, err := Compare(old, new, DefaultThresholds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 || findings[0].Metric != "errors" {
+		t.Errorf("findings = %v, want one errors regression", findings)
+	}
+}
+
+func TestCompareTinyPhaseMeanIsDamped(t *testing.T) {
+	// A phase averaging 0.2 steps jumping to 0.5 is +150% relatively but
+	// absolute noise; the floored denominator must keep it clean.
+	old, new := baseline(), baseline()
+	old.Hists["phase.steps.decide"] = obs.HistSnapshot{Count: 1600, Mean: 0.2}
+	new.Hists["phase.steps.decide"] = obs.HistSnapshot{Count: 1600, Mean: 0.5}
+	findings, err := Compare(old, new, DefaultThresholds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Errorf("sub-step phase jitter flagged: %v", findings)
+	}
+}
+
+func TestCompareMismatchedWorkloads(t *testing.T) {
+	old, new := baseline(), baseline()
+	new.N = 8
+	if _, err := Compare(old, new, DefaultThresholds()); err == nil {
+		t.Error("expected an error comparing different n")
+	}
+	new = baseline()
+	new.Algorithm = "strong-coin"
+	if _, err := Compare(old, new, DefaultThresholds()); err == nil {
+		t.Error("expected an error comparing different algorithms")
+	}
+}
+
+// TestCompareOldArtifactWithoutHists mimics diffing against a BENCH file
+// generated before the hists field existed: phase comparisons are skipped,
+// the rest still runs.
+func TestCompareOldArtifactWithoutHists(t *testing.T) {
+	old, new := baseline(), baseline()
+	old.Hists = nil
+	findings, err := Compare(old, new, DefaultThresholds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Errorf("hist-less artifact produced findings: %v", findings)
+	}
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	r := baseline()
+	r.Dropped = 12
+	var buf bytes.Buffer
+	if err := Write(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Algorithm != r.Algorithm || got.Seed != r.Seed || got.Dropped != 12 {
+		t.Errorf("round trip: got %+v", got)
+	}
+	if got.Hists["phase.steps.coin"].Sum != r.Hists["phase.steps.coin"].Sum {
+		t.Errorf("hists did not survive the round trip")
+	}
+	if _, err := Read(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("expected an error reading a missing file")
+	}
+}

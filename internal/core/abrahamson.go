@@ -110,9 +110,12 @@ func (a *Abrahamson) inc(p *sched.Proc, st UEntry) UEntry {
 func (a *Abrahamson) Run(p *sched.Proc, input int) int {
 	i := p.ID()
 	st := UEntry{Pref: int8(input)}
+	span := obs.StartPhaseSpan(p.Steps())
+	span.To(a.sink, obs.PhaseStrip, i, p.Now(), p.Steps())
 	st = a.inc(p, st)
 	a.mem.Write(p, st)
 	a.emit(Event{Step: p.Now(), Pid: i, Kind: EvStart, Round: st.Round, Detail: "pref=" + prefString(st.Pref)})
+	span.To(a.sink, obs.PhasePrefer, i, p.Now(), p.Steps())
 
 	for {
 		view := a.mem.Scan(p)
@@ -133,16 +136,20 @@ func (a *Abrahamson) Run(p *sched.Proc, input int) int {
 				}
 			}
 			if ok {
+				span.To(a.sink, obs.PhaseDecide, i, p.Now(), p.Steps())
 				a.sink.Observe(obs.HistStepsToDecide, p.Steps())
 				a.emit(Event{Step: p.Now(), Pid: i, Kind: EvDecide, Round: st.Round, Detail: prefString(st.Pref)})
+				span.Finish(a.sink, i, p.Now(), p.Steps())
 				return int(st.Pref)
 			}
 		}
 
 		if agree {
+			span.To(a.sink, obs.PhaseStrip, i, p.Now(), p.Steps())
 			st = a.inc(p, st)
 			st.Pref = v
 			a.mem.Write(p, st)
+			span.To(a.sink, obs.PhasePrefer, i, p.Now(), p.Steps())
 			continue
 		}
 
@@ -154,10 +161,13 @@ func (a *Abrahamson) Run(p *sched.Proc, input int) int {
 			a.mem.Write(p, st)
 			continue
 		}
+		span.To(a.sink, obs.PhaseStrip, i, p.Now(), p.Steps())
 		st = a.inc(p, st)
+		span.To(a.sink, obs.PhaseCoin, i, p.Now(), p.Steps())
 		st.Pref = int8(p.Rand().Intn(2))
 		a.flips[i].Add(1)
 		a.mem.Write(p, st)
 		a.emit(Event{Step: p.Now(), Pid: i, Kind: EvCoinFlip, Round: st.Round, Detail: "local=" + prefString(st.Pref)})
+		span.To(a.sink, obs.PhasePrefer, i, p.Now(), p.Steps())
 	}
 }

@@ -49,6 +49,14 @@ type BatchOutcome struct {
 // sink, if non-nil, is installed on every instance; it must be metrics-only
 // (atomic registry — no recorder or tracer), since workers emit concurrently.
 func RunBatch(parallel int, sink *obs.Sink, instances []Instance) []BatchOutcome {
+	return RunBatchProgress(parallel, sink, nil, instances)
+}
+
+// RunBatchProgress is RunBatch with a live progress probe: prog (nil allowed)
+// is re-armed for the batch and its instance counters updated around every
+// execution, so a telemetry server can report completion while the batch runs.
+// The probe is reporting-only and does not affect scheduling or results.
+func RunBatchProgress(parallel int, sink *obs.Sink, prog *obs.BatchProgress, instances []Instance) []BatchOutcome {
 	m := len(instances)
 	out := make([]BatchOutcome, m)
 	if parallel <= 0 {
@@ -57,8 +65,11 @@ func RunBatch(parallel int, sink *obs.Sink, instances []Instance) []BatchOutcome
 	if parallel > m {
 		parallel = m
 	}
+	prog.Begin(m)
 
 	run1 := func(arena *Arena, k int) {
+		prog.InstanceStarted()
+		defer prog.InstanceDone()
 		inst := instances[k]
 		if err := validateInputs(inst.Inputs); err != nil {
 			out[k] = BatchOutcome{Err: err}

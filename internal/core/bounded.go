@@ -302,6 +302,7 @@ func atomicMax(a *atomic.Int64, v int64) {
 func (b *Bounded) Run(p *sched.Proc, input int) int {
 	i := p.ID()
 	st := NewEntry(b.cfg.N, b.cfg.K)
+	span := obs.StartPhaseSpan(p.Steps())
 
 	// Initial write: prefer the input and enter round 1. The first inc sees
 	// the scanned (possibly already-moving) edge counters.
@@ -310,6 +311,7 @@ func (b *Bounded) Run(p *sched.Proc, input int) int {
 	if b.OnScan != nil {
 		b.OnScan(i, view)
 	}
+	span.To(b.sink, obs.PhaseStrip, i, p.Now(), p.Steps())
 	st, err := b.inc(p, st, view)
 	if err != nil {
 		panic(fmt.Sprintf("core: bounded proc %d: %v", i, err))
@@ -317,6 +319,7 @@ func (b *Bounded) Run(p *sched.Proc, input int) int {
 	st.Pref = int8(input)
 	b.mem.Write(p, st)
 	b.emit(Event{Step: p.Now(), Pid: i, Kind: EvStart, Round: b.rounds[i].Load(), Detail: "pref=" + prefString(st.Pref)})
+	span.To(b.sink, obs.PhasePrefer, i, p.Now(), p.Steps())
 
 	for {
 		view := b.mem.Scan(p)
@@ -336,8 +339,10 @@ func (b *Bounded) Run(p *sched.Proc, input int) int {
 			for j := range view {
 				if j != i && view[j].Decided {
 					v := view[j].Pref
+					span.To(b.sink, obs.PhaseDecide, i, p.Now(), p.Steps())
 					b.sink.Observe(obs.HistStepsToDecide, p.Steps())
 					b.emit(Event{Step: p.Now(), Pid: i, Kind: EvDecide, Round: b.rounds[i].Load(), Detail: prefString(v) + " (fast)"})
+					span.Finish(b.sink, i, p.Now(), p.Steps())
 					return int(v)
 				}
 			}
@@ -345,6 +350,7 @@ func (b *Bounded) Run(p *sched.Proc, input int) int {
 
 		// Line 2: decide when leading and every disagreer trails by K.
 		if st.Pref != Bottom && g.Leader(i) && disagreersTrailByK(view, g, i, st.Pref) {
+			span.To(b.sink, obs.PhaseDecide, i, p.Now(), p.Steps())
 			if b.cfg.FastDecide {
 				st = st.Clone()
 				st.Decided = true
@@ -352,11 +358,13 @@ func (b *Bounded) Run(p *sched.Proc, input int) int {
 			}
 			b.sink.Observe(obs.HistStepsToDecide, p.Steps())
 			b.emit(Event{Step: p.Now(), Pid: i, Kind: EvDecide, Round: b.rounds[i].Load(), Detail: prefString(st.Pref)})
+			span.Finish(b.sink, i, p.Now(), p.Steps())
 			return int(st.Pref)
 		}
 
 		// Lines 3-4: adopt the leaders' common value and advance a round.
 		if v, ok := leadersAgree(view, g); ok {
+			span.To(b.sink, obs.PhaseStrip, i, p.Now(), p.Steps())
 			st, err = b.inc(p, st, view)
 			if err != nil {
 				panic(fmt.Sprintf("core: bounded proc %d: %v", i, err))
@@ -368,6 +376,7 @@ func (b *Bounded) Run(p *sched.Proc, input int) int {
 				b.emit(Event{Step: p.Now(), Pid: i, Kind: EvPrefChange, Round: b.rounds[i].Load(),
 					Detail: prefString(old) + "->" + prefString(v)})
 			}
+			span.To(b.sink, obs.PhasePrefer, i, p.Now(), p.Steps())
 			continue
 		}
 
@@ -385,10 +394,13 @@ func (b *Bounded) Run(p *sched.Proc, input int) int {
 		// Lines 7-8: drive the shared coin; adopt its outcome when decided.
 		switch cv := b.nextCoinValue(i, st, view, g); cv {
 		case walk.Undecided:
+			span.To(b.sink, obs.PhaseCoin, i, p.Now(), p.Steps())
 			st = b.flipNextCoin(p, st)
 			b.mem.Write(p, st)
+			span.To(b.sink, obs.PhasePrefer, i, p.Now(), p.Steps())
 		default:
 			b.emit(Event{Step: p.Now(), Pid: i, Kind: EvCoinDecided, Round: b.rounds[i].Load(), Detail: cv.String()})
+			span.To(b.sink, obs.PhaseStrip, i, p.Now(), p.Steps())
 			st, err = b.inc(p, st, view)
 			if err != nil {
 				panic(fmt.Sprintf("core: bounded proc %d: %v", i, err))
@@ -397,6 +409,7 @@ func (b *Bounded) Run(p *sched.Proc, input int) int {
 			b.mem.Write(p, st)
 			b.emit(Event{Step: p.Now(), Pid: i, Kind: EvPrefChange, Round: b.rounds[i].Load(),
 				Detail: "⊥->" + prefString(st.Pref)})
+			span.To(b.sink, obs.PhasePrefer, i, p.Now(), p.Steps())
 		}
 	}
 }

@@ -142,15 +142,18 @@ func (l *ExpLocal) inc(p *sched.Proc, st Entry, view []Entry) (Entry, error) {
 func (l *ExpLocal) Run(p *sched.Proc, input int) int {
 	i := p.ID()
 	st := NewEntry(l.cfg.N, l.cfg.K)
+	span := obs.StartPhaseSpan(p.Steps())
 
 	view := l.mem.Scan(p)
 	normalizeView(view, l.cfg.N, l.cfg.K)
+	span.To(l.sink, obs.PhaseStrip, i, p.Now(), p.Steps())
 	st, err := l.inc(p, st, view)
 	if err != nil {
 		panic(fmt.Sprintf("core: exp-local proc %d: %v", i, err))
 	}
 	st.Pref = int8(input)
 	l.mem.Write(p, st)
+	span.To(l.sink, obs.PhasePrefer, i, p.Now(), p.Steps())
 
 	for {
 		view := l.mem.Scan(p)
@@ -162,18 +165,22 @@ func (l *ExpLocal) Run(p *sched.Proc, input int) int {
 		}
 
 		if st.Pref != Bottom && g.Leader(i) && disagreersTrailByK(view, g, i, st.Pref) {
+			span.To(l.sink, obs.PhaseDecide, i, p.Now(), p.Steps())
 			l.sink.Observe(obs.HistStepsToDecide, p.Steps())
 			l.emit(Event{Step: p.Now(), Pid: i, Kind: EvDecide, Round: l.rounds[i].Load(), Detail: prefString(st.Pref)})
+			span.Finish(l.sink, i, p.Now(), p.Steps())
 			return int(st.Pref)
 		}
 
 		if v, ok := leadersAgree(view, g); ok {
+			span.To(l.sink, obs.PhaseStrip, i, p.Now(), p.Steps())
 			st, err = l.inc(p, st, view)
 			if err != nil {
 				panic(fmt.Sprintf("core: exp-local proc %d: %v", i, err))
 			}
 			st.Pref = v
 			l.mem.Write(p, st)
+			span.To(l.sink, obs.PhasePrefer, i, p.Now(), p.Steps())
 			continue
 		}
 
@@ -191,14 +198,17 @@ func (l *ExpLocal) Run(p *sched.Proc, input int) int {
 				Detail: prefString(old) + "->⊥"})
 			continue
 		}
+		span.To(l.sink, obs.PhaseStrip, i, p.Now(), p.Steps())
 		st, err = l.inc(p, st, view)
 		if err != nil {
 			panic(fmt.Sprintf("core: exp-local proc %d: %v", i, err))
 		}
+		span.To(l.sink, obs.PhaseCoin, i, p.Now(), p.Steps())
 		st.Pref = l.Flip(p, st.Pref)
 		l.flips[i].Add(1)
 		l.mem.Write(p, st)
 		l.emit(Event{Step: p.Now(), Pid: i, Kind: EvCoinFlip, Round: l.rounds[i].Load(),
 			Detail: "local=" + prefString(st.Pref)})
+		span.To(l.sink, obs.PhasePrefer, i, p.Now(), p.Steps())
 	}
 }

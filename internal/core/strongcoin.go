@@ -152,8 +152,11 @@ func (s *StrongCoin) inc(p *sched.Proc, st UEntry) UEntry {
 func (s *StrongCoin) Run(p *sched.Proc, input int) int {
 	i := p.ID()
 	st := UEntry{Pref: int8(input)}
+	span := obs.StartPhaseSpan(p.Steps())
+	span.To(s.sink, obs.PhaseStrip, i, p.Now(), p.Steps())
 	st = s.inc(p, st)
 	s.mem.Write(p, st)
+	span.To(s.sink, obs.PhasePrefer, i, p.Now(), p.Steps())
 
 	for {
 		view := s.mem.Scan(p)
@@ -174,16 +177,20 @@ func (s *StrongCoin) Run(p *sched.Proc, input int) int {
 				}
 			}
 			if ok {
+				span.To(s.sink, obs.PhaseDecide, i, p.Now(), p.Steps())
 				s.sink.Observe(obs.HistStepsToDecide, p.Steps())
 				s.emit(Event{Step: p.Now(), Pid: i, Kind: EvDecide, Round: st.Round, Detail: prefString(st.Pref)})
+				span.Finish(s.sink, i, p.Now(), p.Steps())
 				return int(st.Pref)
 			}
 		}
 
 		if agree {
+			span.To(s.sink, obs.PhaseStrip, i, p.Now(), p.Steps())
 			st = s.inc(p, st)
 			st.Pref = v
 			s.mem.Write(p, st)
+			span.To(s.sink, obs.PhasePrefer, i, p.Now(), p.Steps())
 			continue
 		}
 
@@ -196,11 +203,14 @@ func (s *StrongCoin) Run(p *sched.Proc, input int) int {
 			s.mem.Write(p, st)
 			continue
 		}
+		span.To(s.sink, obs.PhaseCoin, i, p.Now(), p.Steps())
 		bit := s.oracle.Flip(p, st.Round)
 		s.flips[i].Add(1)
 		s.emit(Event{Step: p.Now(), Pid: i, Kind: EvCoinFlip, Round: st.Round, Detail: "oracle=" + prefString(bit)})
+		span.To(s.sink, obs.PhaseStrip, i, p.Now(), p.Steps())
 		st = s.inc(p, st)
 		st.Pref = bit
 		s.mem.Write(p, st)
+		span.To(s.sink, obs.PhasePrefer, i, p.Now(), p.Steps())
 	}
 }

@@ -186,9 +186,12 @@ func (u *AHUnbounded) inc(p *sched.Proc, st UEntry) UEntry {
 func (u *AHUnbounded) Run(p *sched.Proc, input int) int {
 	i := p.ID()
 	st := UEntry{Pref: int8(input)}
+	span := obs.StartPhaseSpan(p.Steps())
+	span.To(u.sink, obs.PhaseStrip, i, p.Now(), p.Steps())
 	st = u.inc(p, st)
 	u.mem.Write(p, st)
 	u.emit(Event{Step: p.Now(), Pid: i, Kind: EvStart, Round: st.Round, Detail: "pref=" + prefString(st.Pref)})
+	span.To(u.sink, obs.PhasePrefer, i, p.Now(), p.Steps())
 
 	for {
 		view := u.mem.Scan(p)
@@ -210,17 +213,21 @@ func (u *AHUnbounded) Run(p *sched.Proc, input int) int {
 				}
 			}
 			if ok {
+				span.To(u.sink, obs.PhaseDecide, i, p.Now(), p.Steps())
 				u.sink.Observe(obs.HistStepsToDecide, p.Steps())
 				u.emit(Event{Step: p.Now(), Pid: i, Kind: EvDecide, Round: st.Round, Detail: prefString(st.Pref)})
+				span.Finish(u.sink, i, p.Now(), p.Steps())
 				return int(st.Pref)
 			}
 		}
 
 		// Adopt the leaders' common value.
 		if agree {
+			span.To(u.sink, obs.PhaseStrip, i, p.Now(), p.Steps())
 			st = u.inc(p, st)
 			st.Pref = v
 			u.mem.Write(p, st)
+			span.To(u.sink, obs.PhasePrefer, i, p.Now(), p.Steps())
 			continue
 		}
 
@@ -235,16 +242,20 @@ func (u *AHUnbounded) Run(p *sched.Proc, input int) int {
 		// Drive the coin of the current round.
 		switch cv := u.coinValue(view, st.Round); cv {
 		case walk.Undecided:
+			span.To(u.sink, obs.PhaseCoin, i, p.Now(), p.Steps())
 			st = st.Clone()
 			st.Strip[st.Round-1] = u.params.StepCounterTraced(st.Strip[st.Round-1], p, u.sink)
 			u.flips[i].Add(1)
 			atomicMax(&u.maxAbs, int64(abs(st.Strip[st.Round-1])))
 			u.sink.GaugeMax(obs.GaugeMaxAbsCoin, int64(abs(st.Strip[st.Round-1])))
 			u.mem.Write(p, st)
+			span.To(u.sink, obs.PhasePrefer, i, p.Now(), p.Steps())
 		default:
+			span.To(u.sink, obs.PhaseStrip, i, p.Now(), p.Steps())
 			st = u.inc(p, st)
 			st.Pref = outcomeBit(cv)
 			u.mem.Write(p, st)
+			span.To(u.sink, obs.PhasePrefer, i, p.Now(), p.Steps())
 		}
 	}
 }

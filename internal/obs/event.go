@@ -31,6 +31,7 @@ const (
 	LayerStrip
 	LayerSched
 	LayerCore
+	LayerPhase
 	numLayers
 )
 
@@ -49,6 +50,8 @@ func (l Layer) String() string {
 		return "sched"
 	case LayerCore:
 		return "core"
+	case LayerPhase:
+		return "phase"
 	default:
 		return fmt.Sprintf("Layer(%d)", int(l))
 	}
@@ -96,6 +99,13 @@ const (
 	CoreCoin
 	CoreDecide
 
+	// phase layer: one event per closed phase span; Value = atomic steps the
+	// process spent in the phase segment (zero-length spans are not emitted).
+	SpanPrefer
+	SpanCoin
+	SpanStrip
+	SpanDecide
+
 	numKinds
 )
 
@@ -129,6 +139,10 @@ var kindInfo = [numKinds]struct {
 	CoreFlip:      {"core.coin_flip", "flip", LayerCore},
 	CoreCoin:      {"core.coin_decided", "coin", LayerCore},
 	CoreDecide:    {"core.decide", "decide", LayerCore},
+	SpanPrefer:    {"phase.prefer", "s-pref", LayerPhase},
+	SpanCoin:      {"phase.coin", "s-coin", LayerPhase},
+	SpanStrip:     {"phase.strip", "s-strip", LayerPhase},
+	SpanDecide:    {"phase.decide", "s-dec", LayerPhase},
 }
 
 // kindByID inverts kindInfo for the JSONL decoder.

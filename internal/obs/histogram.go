@@ -27,8 +27,8 @@ type Histogram struct {
 // Bucket is one histogram bucket in a snapshot: the inclusive upper bound
 // (math.MaxInt64 for the overflow bucket) and the number of observations.
 type Bucket struct {
-	Le    int64
-	Count int64
+	Le    int64 `json:"le"`
+	Count int64 `json:"count"`
 }
 
 // NewHistogram returns a histogram with the given ascending inclusive upper
@@ -154,18 +154,26 @@ func (h *Histogram) Buckets() []Bucket {
 	return out
 }
 
-// HistSnapshot is an immutable summary of a histogram.
+// HistSnapshot is an immutable summary of a histogram. The JSON field names
+// are the wire schema of benchmark reports (BENCH_batch.json "hists",
+// consensus-load -json; see DESIGN.md §10).
 type HistSnapshot struct {
-	Count, Min, Max int64
-	Mean            float64
-	P50, P90, P99   float64
-	Buckets         []Bucket
+	Count   int64    `json:"count"`
+	Sum     int64    `json:"sum"`
+	Min     int64    `json:"min"`
+	Max     int64    `json:"max"`
+	Mean    float64  `json:"mean"`
+	P50     float64  `json:"p50"`
+	P90     float64  `json:"p90"`
+	P99     float64  `json:"p99"`
+	Buckets []Bucket `json:"buckets,omitempty"`
 }
 
 // Snapshot summarizes the histogram.
 func (h *Histogram) Snapshot() HistSnapshot {
 	return HistSnapshot{
 		Count:   h.Count(),
+		Sum:     h.Sum(),
 		Min:     h.Min(),
 		Max:     h.Max(),
 		Mean:    h.Mean(),
@@ -174,4 +182,38 @@ func (h *Histogram) Snapshot() HistSnapshot {
 		P99:     h.Percentile(99),
 		Buckets: h.Buckets(),
 	}
+}
+
+// percentileFromBuckets is Histogram.Percentile over snapshot buckets: the
+// nearest-rank bucket's upper bound, clamped to [min, max]. Used when summary
+// percentiles must be recomputed after merging snapshots.
+func percentileFromBuckets(buckets []Bucket, count, min, max int64, p float64) float64 {
+	if count == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(p / 100 * float64(count)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > count {
+		rank = count
+	}
+	var cum int64
+	for _, b := range buckets {
+		cum += b.Count
+		if cum >= rank {
+			est := float64(b.Le)
+			if b.Le == math.MaxInt64 {
+				est = float64(max)
+			}
+			if lo := float64(min); est < lo {
+				est = lo
+			}
+			if hi := float64(max); est > hi {
+				est = hi
+			}
+			return est
+		}
+	}
+	return float64(max)
 }

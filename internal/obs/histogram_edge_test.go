@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+// TestPercentileEdgeCases pins Percentile's contract at the boundaries of its
+// domain: empty histogram, a single sample, and the degenerate p=0 / p=100
+// requests.
+func TestPercentileEdgeCases(t *testing.T) {
+	empty := NewHistogram(10, 100)
+	for _, p := range []float64{0, 50, 100} {
+		if got := empty.Percentile(p); got != 0 {
+			t.Errorf("empty: Percentile(%v) = %v, want 0", p, got)
+		}
+	}
+
+	single := NewHistogram(10, 100)
+	single.Observe(42)
+	for _, p := range []float64{0, 1, 50, 99, 100} {
+		if got := single.Percentile(p); got != 42 {
+			// One sample: every percentile is that sample (clamped to the
+			// exact observed range despite bucket resolution).
+			t.Errorf("single sample: Percentile(%v) = %v, want 42", p, got)
+		}
+	}
+
+	h := NewHistogram(10, 100)
+	for _, v := range []int64{5, 50, 500} {
+		h.Observe(v)
+	}
+	// p=0 resolves to rank 1, whose bucket bound is 10 — bucket resolution,
+	// not the exact min (which only clamps estimates below it).
+	if got := h.Percentile(0); got != 10 {
+		t.Errorf("p=0: got %v, want 10 (rank-1 bucket bound)", got)
+	}
+	if got := h.Percentile(100); got != 500 {
+		t.Errorf("p=100 should clamp to max: got %v, want 500", got)
+	}
+}
+
+// TestPercentileBucketBoundaries checks values landing exactly on inclusive
+// upper bounds, and the estimate's bucket-bound/clamping interplay.
+func TestPercentileBucketBoundaries(t *testing.T) {
+	h := NewHistogram(10, 100)
+	h.Observe(10)  // exactly on the first bound → first bucket
+	h.Observe(11)  // one past → second bucket
+	h.Observe(100) // exactly on the second bound → second bucket
+
+	if got := h.Percentile(1); got != 10 {
+		t.Errorf("p1 = %v, want 10 (rank 1 in first bucket)", got)
+	}
+	// Rank 2 lands in the (10,100] bucket whose bound is 100.
+	if got := h.Percentile(50); got != 100 {
+		t.Errorf("p50 = %v, want 100 (second bucket's upper bound)", got)
+	}
+	if got := h.Percentile(100); got != 100 {
+		t.Errorf("p100 = %v, want 100", got)
+	}
+
+	// Overflow bucket: the estimate is the exact max, not +Inf.
+	o := NewHistogram(10)
+	o.Observe(10_000)
+	if got := o.Percentile(50); got != 10_000 {
+		t.Errorf("overflow bucket p50 = %v, want exact max 10000", got)
+	}
+	if s := o.Snapshot(); s.Buckets[len(s.Buckets)-1].Le != math.MaxInt64 {
+		t.Errorf("overflow bucket bound should be MaxInt64")
+	}
+}
+
+// TestPercentileFromBucketsMatchesLive checks the snapshot-side re-estimator
+// against the live histogram's Percentile for the same data.
+func TestPercentileFromBucketsMatchesLive(t *testing.T) {
+	h := NewHistogram(phaseStepsBounds...)
+	for _, v := range []int64{0, 3, 17, 250, 999, 40_000, 2_000_000} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	for _, p := range []float64{0, 25, 50, 90, 99, 100} {
+		live := h.Percentile(p)
+		fromSnap := percentileFromBuckets(s.Buckets, s.Count, s.Min, s.Max, p)
+		if live != fromSnap {
+			t.Errorf("p=%v: live %v != snapshot %v", p, live, fromSnap)
+		}
+	}
+	if got := percentileFromBuckets(nil, 0, 0, 0, 50); got != 0 {
+		t.Errorf("empty snapshot percentile = %v, want 0", got)
+	}
+}
+
+// TestHistSnapshotSum pins the Sum field added for the phase-decomposition
+// invariant (phase sums must total steps_to_decide's sum).
+func TestHistSnapshotSum(t *testing.T) {
+	h := NewHistogram(10)
+	h.Observe(4)
+	h.Observe(40)
+	if s := h.Snapshot(); s.Sum != 44 {
+		t.Errorf("snapshot sum = %d, want 44", s.Sum)
+	}
+}

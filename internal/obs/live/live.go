@@ -1,0 +1,151 @@
+// Package live serves the observability registry over HTTP while a run is in
+// flight: a Prometheus text-format /metrics endpoint built from merged
+// registry snapshots, a /healthz liveness probe, expvar, and net/http/pprof
+// profiling — one process-local telemetry surface shared by consensus-load
+// and consensus-sim (the -listen flag).
+//
+// The server is strictly read-only with respect to execution: it samples
+// atomic registries and progress probes, so scraping never perturbs a run.
+package live
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+
+	"github.com/dsrepro/consensus/internal/obs"
+)
+
+// Server aggregates snapshot sources and batch-progress probes and serves
+// them over HTTP. The zero value is ready to use; add sources, then call
+// Start (or mount Handler on an existing mux).
+type Server struct {
+	mu      sync.Mutex
+	sources []func() obs.Snapshot
+	progs   []*obs.BatchProgress
+
+	httpSrv *http.Server
+	ln      net.Listener
+}
+
+// New returns an empty server.
+func New() *Server { return &Server{} }
+
+// AddRegistry registers a live registry: every /metrics scrape takes a fresh
+// snapshot. Nil registries are ignored.
+func (s *Server) AddRegistry(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	s.AddSnapshot(r.Snapshot)
+}
+
+// AddSnapshot registers an arbitrary snapshot source (e.g. a pre-merged or
+// filtered view). Snapshots from every source are merged per scrape with
+// obs.MergeSnapshots. Nil funcs are ignored.
+func (s *Server) AddSnapshot(f func() obs.Snapshot) {
+	if f == nil {
+		return
+	}
+	s.mu.Lock()
+	s.sources = append(s.sources, f)
+	s.mu.Unlock()
+}
+
+// AddProgress registers a batch-progress probe, exported as the
+// consensus_batch_* gauge family. Nil probes are ignored.
+func (s *Server) AddProgress(p *obs.BatchProgress) {
+	if p == nil {
+		return
+	}
+	s.mu.Lock()
+	s.progs = append(s.progs, p)
+	s.mu.Unlock()
+}
+
+// Handler returns the telemetry mux: /metrics, /healthz, /debug/vars
+// (expvar) and /debug/pprof/*.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// handleMetrics merges one snapshot per source and writes the Prometheus
+// text exposition.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	sources := append([]func() obs.Snapshot(nil), s.sources...)
+	progs := append([]*obs.BatchProgress(nil), s.progs...)
+	s.mu.Unlock()
+
+	snaps := make([]obs.Snapshot, 0, len(sources))
+	for _, f := range sources {
+		snaps = append(snaps, f())
+	}
+	merged := obs.MergeSnapshots(snaps...)
+
+	prog := aggregateProgress(progs)
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	writeProm(w, merged, prog, len(progs) > 0)
+}
+
+// aggregateProgress folds multiple probes into one view: instance counts sum,
+// elapsed takes the longest-running probe, throughput sums.
+func aggregateProgress(progs []*obs.BatchProgress) obs.ProgressSnapshot {
+	var out obs.ProgressSnapshot
+	for _, p := range progs {
+		ps := p.Snapshot()
+		out.Total += ps.Total
+		out.Completed += ps.Completed
+		out.InFlight += ps.InFlight
+		if ps.ElapsedSec > out.ElapsedSec {
+			out.ElapsedSec = ps.ElapsedSec
+		}
+		out.PerSec += ps.PerSec
+	}
+	return out
+}
+
+// Start listens on addr (":0" picks a free port) and serves the telemetry
+// handler until Close. It returns the bound address, so callers can print a
+// scrapeable URL even with a kernel-assigned port.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	srv := &http.Server{Handler: s.Handler()}
+	s.mu.Lock()
+	s.ln = ln
+	s.httpSrv = srv
+	s.mu.Unlock()
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}
+
+// Close stops the listener started by Start (no-op otherwise).
+func (s *Server) Close() error {
+	s.mu.Lock()
+	srv := s.httpSrv
+	s.httpSrv = nil
+	s.ln = nil
+	s.mu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	return srv.Close()
+}

@@ -1,0 +1,168 @@
+package live
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/dsrepro/consensus/internal/obs"
+)
+
+// populated returns a registry with every family the exposition covers:
+// counters, a gauge, a plain histogram and the full phase family.
+func populated() *obs.Registry {
+	r := obs.NewRegistry()
+	for i := 0; i < 3; i++ {
+		r.Hist(obs.HistStepsToDecide).Observe(int64(100 * (i + 1)))
+	}
+	for ph := obs.PhaseID(0); ph < obs.NumPhases; ph++ {
+		r.Hist(ph.HistID()).Observe(int64(10 * int(ph)))
+	}
+	r.GaugeMax(obs.GaugeMaxRound, 7)
+	return r
+}
+
+func get(t *testing.T, ts *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading %s: %v", path, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServerEndpoints(t *testing.T) {
+	reg := populated()
+	sink := obs.NewSink(nil)
+	sink.Count(obs.ScanRetry)
+	sink.Count(obs.ScanRetry)
+
+	prog := &obs.BatchProgress{}
+	prog.Begin(10)
+	prog.InstanceStarted()
+	prog.InstanceDone()
+
+	srv := New()
+	srv.AddRegistry(reg)
+	srv.AddRegistry(sink.Registry())
+	srv.AddProgress(prog)
+
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	if code, body := get(t, ts, "/healthz"); code != 200 || body != "ok\n" {
+		t.Errorf("/healthz = %d %q", code, body)
+	}
+
+	code, body := get(t, ts, "/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics = %d", code)
+	}
+	for _, want := range []string{
+		`consensus_events_total{layer="scan",kind="scan.retry"} 2`,
+		"# TYPE consensus_core_max_round gauge",
+		"consensus_core_max_round 7",
+		"# TYPE consensus_core_steps_to_decide histogram",
+		"consensus_core_steps_to_decide_count 3",
+		"consensus_core_steps_to_decide_sum 600",
+		`consensus_core_steps_to_decide_bucket{le="+Inf"} 3`,
+		"# TYPE consensus_phase_steps histogram",
+		`consensus_phase_steps_bucket{phase="prefer",le="0"} 1`,
+		`consensus_phase_steps_sum{phase="coin"} 10`,
+		`consensus_phase_steps_count{phase="strip"} 1`,
+		`consensus_phase_steps_sum{phase="decide"} 30`,
+		"consensus_batch_total 10",
+		"consensus_batch_completed 1",
+		"consensus_batch_inflight 0",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q\n%s", want, body)
+		}
+	}
+	// The phase TYPE header must appear exactly once even with four members.
+	if n := strings.Count(body, "# TYPE consensus_phase_steps histogram"); n != 1 {
+		t.Errorf("phase family TYPE header appears %d times, want 1", n)
+	}
+
+	if code, body := get(t, ts, "/debug/pprof/"); code != 200 || !strings.Contains(body, "profile") {
+		t.Errorf("/debug/pprof/ = %d (len %d)", code, len(body))
+	}
+	if code, body := get(t, ts, "/debug/vars"); code != 200 || !strings.Contains(body, "memstats") {
+		t.Errorf("/debug/vars = %d (len %d)", code, len(body))
+	}
+}
+
+// TestMetricsMergesRegistries checks that two registries feeding one server
+// are summed per scrape.
+func TestMetricsMergesRegistries(t *testing.T) {
+	a, b := obs.NewSink(nil), obs.NewSink(nil)
+	a.Count(obs.WalkStep)
+	b.Count(obs.WalkStep)
+	b.Count(obs.WalkStep)
+	a.Observe(obs.HistScanRetries, 1)
+	b.Observe(obs.HistScanRetries, 3)
+
+	srv := New()
+	srv.AddRegistry(a.Registry())
+	srv.AddRegistry(b.Registry())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	_, body := get(t, ts, "/metrics")
+	for _, want := range []string{
+		`consensus_events_total{layer="walk",kind="walk.step"} 3`,
+		"consensus_scan_retries_per_scan_count 2",
+		"consensus_scan_retries_per_scan_sum 4",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q\n%s", want, body)
+		}
+	}
+}
+
+// TestMetricsDeterministic scrapes twice with no writes in between and
+// expects byte-identical expositions (sorted keys, stable formatting) —
+// modulo the progress elapsed/rate gauges, which track wall-clock, so the
+// test uses no progress probe.
+func TestMetricsDeterministic(t *testing.T) {
+	srv := New()
+	srv.AddRegistry(populated())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	_, first := get(t, ts, "/metrics")
+	_, second := get(t, ts, "/metrics")
+	if first != second {
+		t.Errorf("static registry scraped differently:\n%s\nvs\n%s", first, second)
+	}
+}
+
+func TestStartAndClose(t *testing.T) {
+	srv := New()
+	srv.AddRegistry(populated())
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatalf("GET over Start's listener: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("healthz = %d", resp.StatusCode)
+	}
+	if err := srv.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Errorf("second Close should be a no-op, got %v", err)
+	}
+}

@@ -1,0 +1,132 @@
+package live
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"github.com/dsrepro/consensus/internal/obs"
+)
+
+// writeProm renders a merged snapshot in the Prometheus text exposition
+// format (0.0.4). The mapping from snapshot keys to series is fixed:
+//
+//   - counters fold into one family, consensus_events_total{layer,kind},
+//     keyed by the event kind's wire id;
+//   - gauges become consensus_<key with dots as underscores>;
+//   - the phase.steps.* histogram family folds into
+//     consensus_phase_steps{phase="..."}; every other histogram becomes
+//     consensus_<key> with the standard _bucket/_sum/_count series
+//     (cumulative le bounds, +Inf last);
+//   - when withProgress, the batch probe is exported as the
+//     consensus_batch_* gauges.
+//
+// Keys are emitted in sorted order so the exposition is deterministic for a
+// given snapshot (the smoke test and live_test diff on it).
+func writeProm(w io.Writer, snap obs.Snapshot, prog obs.ProgressSnapshot, withProgress bool) {
+	if len(snap.Counters) > 0 {
+		fmt.Fprint(w, "# HELP consensus_events_total Events observed per kind on the obs bus.\n")
+		fmt.Fprint(w, "# TYPE consensus_events_total counter\n")
+		for _, id := range sortedKeys(snap.Counters) {
+			layer := "unknown"
+			if k, ok := obs.KindForID(id); ok {
+				layer = k.Layer().String()
+			}
+			fmt.Fprintf(w, "consensus_events_total{layer=%q,kind=%q} %d\n", layer, id, snap.Counters[id])
+		}
+	}
+
+	for _, id := range sortedKeys(snap.Gauges) {
+		name := "consensus_" + sanitize(id)
+		fmt.Fprintf(w, "# TYPE %s gauge\n", name)
+		fmt.Fprintf(w, "%s %d\n", name, snap.Gauges[id])
+	}
+
+	// Histograms: the phase family shares one metric name with a phase label;
+	// everything else gets its own name. Sorted keys put the family members
+	// adjacent, so the TYPE header is emitted once per name.
+	lastName := ""
+	for _, key := range sortedKeys(snap.Hists) {
+		name, label := histSeries(key)
+		if name != lastName {
+			fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+			lastName = name
+		}
+		writePromHist(w, name, label, snap.Hists[key])
+	}
+
+	if withProgress {
+		writeProgressGauge(w, "consensus_batch_total", "Instances in the current batch.", float64(prog.Total))
+		writeProgressGauge(w, "consensus_batch_completed", "Instances completed so far.", float64(prog.Completed))
+		writeProgressGauge(w, "consensus_batch_inflight", "Instances currently executing.", float64(prog.InFlight))
+		writeProgressGauge(w, "consensus_batch_elapsed_seconds", "Wall-clock seconds since the batch began.", prog.ElapsedSec)
+		writeProgressGauge(w, "consensus_batch_instances_per_sec", "Completed instances per second.", prog.PerSec)
+	}
+}
+
+// histSeries maps a snapshot histogram key to its Prometheus metric name and
+// optional label pair.
+func histSeries(key string) (name, label string) {
+	if ph, ok := strings.CutPrefix(key, obs.PhaseStepsPrefix); ok {
+		return "consensus_phase_steps", fmt.Sprintf("phase=%q", ph)
+	}
+	return "consensus_" + sanitize(key), ""
+}
+
+// writePromHist emits the _bucket/_sum/_count series of one histogram. Bucket
+// counts in snapshots are per-bucket; Prometheus wants cumulative, with the
+// overflow bucket as le="+Inf".
+func writePromHist(w io.Writer, name, label string, h obs.HistSnapshot) {
+	brace := func(extra string) string {
+		switch {
+		case label == "" && extra == "":
+			return ""
+		case label == "":
+			return "{" + extra + "}"
+		case extra == "":
+			return "{" + label + "}"
+		default:
+			return "{" + label + "," + extra + "}"
+		}
+	}
+	var cum int64
+	sawInf := false
+	for _, b := range h.Buckets {
+		cum += b.Count
+		le := `le="+Inf"`
+		if b.Le == math.MaxInt64 {
+			sawInf = true
+		} else {
+			le = fmt.Sprintf(`le="%d"`, b.Le)
+		}
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, brace(le), cum)
+	}
+	if !sawInf {
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, brace(`le="+Inf"`), h.Count)
+	}
+	fmt.Fprintf(w, "%s_sum%s %d\n", name, brace(""), h.Sum)
+	fmt.Fprintf(w, "%s_count%s %d\n", name, brace(""), h.Count)
+}
+
+// writeProgressGauge emits one consensus_batch_* gauge with its header.
+func writeProgressGauge(w io.Writer, name, help string, v float64) {
+	fmt.Fprintf(w, "# HELP %s %s\n", name, help)
+	fmt.Fprintf(w, "# TYPE %s gauge\n", name)
+	fmt.Fprintf(w, "%s %g\n", name, v)
+}
+
+// sanitize maps a snapshot key to a Prometheus metric-name fragment (dots are
+// the only non-name character the registry uses).
+func sanitize(id string) string { return strings.ReplaceAll(id, ".", "_") }
+
+// sortedKeys returns the map's keys in ascending order.
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

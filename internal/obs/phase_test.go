@@ -1,0 +1,109 @@
+package obs
+
+import "testing"
+
+func TestPhaseIDRoundTrips(t *testing.T) {
+	for ph := PhaseID(0); ph < NumPhases; ph++ {
+		got, ok := PhaseForName(ph.String())
+		if !ok || got != ph {
+			t.Errorf("PhaseForName(%q) = %v, %v; want %v, true", ph.String(), got, ok, ph)
+		}
+		back, ok := PhaseForSpanKind(ph.SpanKind())
+		if !ok || back != ph {
+			t.Errorf("PhaseForSpanKind(%v) = %v, %v; want %v, true", ph.SpanKind(), back, ok, ph)
+		}
+		if ph.SpanKind().Layer() != LayerPhase {
+			t.Errorf("span kind %v not in phase layer", ph.SpanKind())
+		}
+	}
+	if _, ok := PhaseForName("bogus"); ok {
+		t.Error("PhaseForName accepted a bogus label")
+	}
+	if _, ok := PhaseForSpanKind(CoreDecide); ok {
+		t.Error("PhaseForSpanKind accepted a non-span kind")
+	}
+}
+
+// TestPhaseSpanAccumulates drives a span through the phases a protocol loop
+// visits and checks the per-phase attribution, the emitted span events, and
+// the histogram flush.
+func TestPhaseSpanAccumulates(t *testing.T) {
+	var events []Event
+	sink := NewSink(FuncRecorder(func(e Event) { events = append(events, e) }))
+
+	steps := int64(10) // spans track deltas, not absolute positions
+	span := StartPhaseSpan(steps)
+
+	steps += 4 // 4 steps of prefer work
+	span.To(sink, PhaseCoin, 3, 100, steps)
+	steps += 2 // 2 steps of coin work
+	span.To(sink, PhasePrefer, 3, 102, steps)
+	span.To(sink, PhaseStrip, 3, 102, steps) // zero-length prefer segment
+	steps += 5                               // 5 steps of strip work
+	span.To(sink, PhaseDecide, 3, 107, steps)
+	span.Finish(sink, 3, 107, steps) // decide segment is empty
+
+	want := map[PhaseID]int64{PhasePrefer: 4, PhaseCoin: 2, PhaseStrip: 5, PhaseDecide: 0}
+	for ph, w := range want {
+		if got := span.Steps(ph); got != w {
+			t.Errorf("phase %v: accumulated %d steps, want %d", ph, got, w)
+		}
+	}
+
+	// Zero-length segments must not emit events: expect exactly three span
+	// events (prefer 4, coin 2, strip 5).
+	var spanEvents []Event
+	for _, e := range events {
+		if e.Kind.Layer() == LayerPhase {
+			spanEvents = append(spanEvents, e)
+		}
+	}
+	wantEvents := []Event{
+		{Step: 100, Pid: 3, Kind: SpanPrefer, Value: 4},
+		{Step: 102, Pid: 3, Kind: SpanCoin, Value: 2},
+		{Step: 107, Pid: 3, Kind: SpanStrip, Value: 5},
+	}
+	if len(spanEvents) != len(wantEvents) {
+		t.Fatalf("got %d span events, want %d: %v", len(spanEvents), len(wantEvents), spanEvents)
+	}
+	for i, e := range spanEvents {
+		if e != wantEvents[i] {
+			t.Errorf("span event %d = %+v, want %+v", i, e, wantEvents[i])
+		}
+	}
+
+	// Finish flushes one observation per phase — including zero totals — so
+	// the family's counts match and its sums decompose the total.
+	snap := sink.Registry().Snapshot()
+	var total int64
+	for ph := PhaseID(0); ph < NumPhases; ph++ {
+		h, ok := snap.Hists[ph.HistID().String()]
+		if !ok {
+			t.Fatalf("phase %v: histogram missing from snapshot", ph)
+		}
+		if h.Count != 1 {
+			t.Errorf("phase %v: count %d, want 1", ph, h.Count)
+		}
+		if h.Sum != want[ph] {
+			t.Errorf("phase %v: sum %d, want %d", ph, h.Sum, want[ph])
+		}
+		total += h.Sum
+	}
+	if total != 11 {
+		t.Errorf("phase sums total %d, want 11 (all steps attributed)", total)
+	}
+}
+
+// TestPhaseSpanNilSinkStillTracks confirms attribution works without any sink
+// (the accumulator is what protocols could consult even when unobserved).
+func TestPhaseSpanNilSinkStillTracks(t *testing.T) {
+	span := StartPhaseSpan(0)
+	span.To(nil, PhaseCoin, 0, 0, 6)
+	span.Finish(nil, 0, 0, 10)
+	if got := span.Steps(PhasePrefer); got != 6 {
+		t.Errorf("prefer steps = %d, want 6", got)
+	}
+	if got := span.Steps(PhaseCoin); got != 4 {
+		t.Errorf("coin steps = %d, want 4", got)
+	}
+}

@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// BatchProgress is an atomic probe into a running batch: total, completed and
+// in-flight instance counts plus the wall-clock start, updated by the batch
+// engine's workers (core.RunBatch) and read concurrently by the live
+// telemetry server. Like *Sink, a nil *BatchProgress is a valid disabled
+// probe — every method nil-checks the receiver — so the engine pays one
+// branch when nobody is watching. The probe is reporting-only: it never feeds
+// back into execution, so batch results stay deterministic with or without
+// it.
+type BatchProgress struct {
+	total     atomic.Int64
+	completed atomic.Int64
+	inflight  atomic.Int64
+	startNano atomic.Int64
+}
+
+// Begin (re)arms the probe for a batch of total instances, stamping the
+// wall-clock start.
+func (p *BatchProgress) Begin(total int) {
+	if p == nil {
+		return
+	}
+	p.total.Store(int64(total))
+	p.completed.Store(0)
+	p.inflight.Store(0)
+	p.startNano.Store(time.Now().UnixNano())
+}
+
+// InstanceStarted marks one instance as picked up by a worker.
+func (p *BatchProgress) InstanceStarted() {
+	if p == nil {
+		return
+	}
+	p.inflight.Add(1)
+}
+
+// InstanceDone marks one in-flight instance as completed.
+func (p *BatchProgress) InstanceDone() {
+	if p == nil {
+		return
+	}
+	p.inflight.Add(-1)
+	p.completed.Add(1)
+}
+
+// ProgressSnapshot is a point-in-time view of a BatchProgress.
+type ProgressSnapshot struct {
+	// Total, Completed and InFlight count instances.
+	Total, Completed, InFlight int64
+	// ElapsedSec is the wall-clock time since Begin (0 before Begin).
+	ElapsedSec float64
+	// PerSec is Completed / ElapsedSec (0 when elapsed is 0).
+	PerSec float64
+}
+
+// Snapshot reads the probe. Safe to call concurrently with worker updates; a
+// nil probe returns the zero snapshot.
+func (p *BatchProgress) Snapshot() ProgressSnapshot {
+	if p == nil {
+		return ProgressSnapshot{}
+	}
+	s := ProgressSnapshot{
+		Total:     p.total.Load(),
+		Completed: p.completed.Load(),
+		InFlight:  p.inflight.Load(),
+	}
+	if start := p.startNano.Load(); start != 0 {
+		s.ElapsedSec = time.Since(time.Unix(0, start)).Seconds()
+	}
+	if s.ElapsedSec > 0 {
+		s.PerSec = float64(s.Completed) / s.ElapsedSec
+	}
+	return s
+}

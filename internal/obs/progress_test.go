@@ -1,0 +1,42 @@
+package obs
+
+import "testing"
+
+func TestBatchProgressLifecycle(t *testing.T) {
+	var p BatchProgress
+	if s := p.Snapshot(); s.Total != 0 || s.ElapsedSec != 0 {
+		t.Errorf("zero probe snapshot: %+v", s)
+	}
+	p.Begin(3)
+	p.InstanceStarted()
+	p.InstanceStarted()
+	if s := p.Snapshot(); s.Total != 3 || s.InFlight != 2 || s.Completed != 0 {
+		t.Errorf("mid-batch snapshot: %+v", s)
+	}
+	p.InstanceDone()
+	p.InstanceDone()
+	p.InstanceStarted()
+	p.InstanceDone()
+	s := p.Snapshot()
+	if s.Completed != 3 || s.InFlight != 0 {
+		t.Errorf("end-of-batch snapshot: %+v", s)
+	}
+	if s.ElapsedSec < 0 {
+		t.Errorf("elapsed went negative: %v", s.ElapsedSec)
+	}
+	// Re-arming resets the counters for the next batch.
+	p.Begin(10)
+	if s := p.Snapshot(); s.Total != 10 || s.Completed != 0 || s.InFlight != 0 {
+		t.Errorf("re-armed snapshot: %+v", s)
+	}
+}
+
+func TestBatchProgressNilSafe(t *testing.T) {
+	var p *BatchProgress
+	p.Begin(5)
+	p.InstanceStarted()
+	p.InstanceDone()
+	if s := p.Snapshot(); s != (ProgressSnapshot{}) {
+		t.Errorf("nil probe snapshot: %+v", s)
+	}
+}

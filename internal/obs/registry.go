@@ -42,8 +42,20 @@ const (
 	// HistStepsToDecide is the distribution of per-process atomic steps from
 	// start to decision.
 	HistStepsToDecide
+	// HistPhasePrefer..HistPhaseDecide are the phase.steps family: the
+	// per-process total atomic steps attributed to each protocol phase (one
+	// sample per decided process; see PhaseSpan). Together they decompose
+	// HistStepsToDecide.
+	HistPhasePrefer
+	HistPhaseCoin
+	HistPhaseStrip
+	HistPhaseDecide
 	numHists
 )
+
+// PhaseStepsPrefix is the snapshot-key prefix of the phase.steps histogram
+// family; the suffix is the PhaseID label ("phase.steps.prefer", ...).
+const PhaseStepsPrefix = "phase.steps."
 
 // String implements fmt.Stringer (the stable metrics-snapshot key).
 func (h HistID) String() string {
@@ -52,6 +64,14 @@ func (h HistID) String() string {
 		return "scan.retries_per_scan"
 	case HistStepsToDecide:
 		return "core.steps_to_decide"
+	case HistPhasePrefer:
+		return PhaseStepsPrefix + "prefer"
+	case HistPhaseCoin:
+		return PhaseStepsPrefix + "coin"
+	case HistPhaseStrip:
+		return PhaseStepsPrefix + "strip"
+	case HistPhaseDecide:
+		return PhaseStepsPrefix + "decide"
 	default:
 		return "hist.unknown"
 	}
@@ -68,12 +88,21 @@ type Registry struct {
 	hists  [numHists]*Histogram
 }
 
+// phaseStepsBounds are the shared buckets of the phase.steps family: phase
+// totals range from zero (a phase the protocol never entered) to the full
+// steps-to-decision count, so the ladder starts below the steps one.
+var phaseStepsBounds = []int64{
+	0, 10, 30, 100, 300, 1_000, 3_000, 10_000, 30_000, 100_000, 300_000, 1_000_000, 10_000_000}
+
 // NewRegistry returns a registry with the standard histograms installed.
 func NewRegistry() *Registry {
 	r := &Registry{}
 	r.hists[HistScanRetries] = NewHistogram(0, 1, 2, 4, 8, 16, 32, 64, 128)
 	r.hists[HistStepsToDecide] = NewHistogram(
 		100, 300, 1_000, 3_000, 10_000, 30_000, 100_000, 300_000, 1_000_000, 10_000_000)
+	for ph := PhaseID(0); ph < NumPhases; ph++ {
+		r.hists[ph.HistID()] = NewHistogram(phaseStepsBounds...)
+	}
 	return r
 }
 

@@ -93,3 +93,30 @@ func TestEmitZeroAlloc(t *testing.T) {
 		t.Errorf("metrics-only sink: %v allocs per emit, want 0", n)
 	}
 }
+
+// TestPhaseSpanZeroAlloc extends the zero-cost guarantee to the phase-span
+// tracker: a full start/cut/finish cycle must not allocate, with the sink
+// disabled or metrics-only.
+func TestPhaseSpanZeroAlloc(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		sink *Sink
+	}{
+		{"nil sink", nil},
+		{"metrics-only", NewSink(nil)},
+	} {
+		steps := int64(0)
+		if n := testing.AllocsPerRun(1000, func() {
+			span := StartPhaseSpan(steps)
+			steps += 7
+			span.To(tc.sink, PhaseStrip, 0, steps, steps)
+			steps += 3
+			span.To(tc.sink, PhaseCoin, 0, steps, steps)
+			steps += 5
+			span.To(tc.sink, PhaseDecide, 0, steps, steps)
+			span.Finish(tc.sink, 0, steps, steps)
+		}); n != 0 {
+			t.Errorf("%s: %v allocs per span cycle, want 0", tc.name, n)
+		}
+	}
+}

@@ -48,10 +48,38 @@ func TestSolveTraceCoversLayers(t *testing.T) {
 	for _, e := range events {
 		layers[e.Kind.Layer()] = true
 	}
-	for _, l := range []obs.Layer{obs.LayerRegister, obs.LayerScan, obs.LayerWalk, obs.LayerCore} {
+	for _, l := range []obs.Layer{obs.LayerRegister, obs.LayerScan, obs.LayerWalk, obs.LayerCore, obs.LayerPhase} {
 		if !layers[l] {
 			t.Errorf("no %v-layer events in trace (layers seen: %v)", l, layers)
 		}
+	}
+}
+
+// TestSolveResultPhaseHists: the Result carries the phase-span histogram
+// family, and the phase sums partition steps-to-decide exactly.
+func TestSolveResultPhaseHists(t *testing.T) {
+	res, err := Solve(Config{Inputs: []int{0, 1, 1}, Seed: 9})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	total, ok := res.Hists["core.steps_to_decide"]
+	if !ok {
+		t.Fatal("missing core.steps_to_decide in Result.Hists")
+	}
+	var phaseSum int64
+	for ph := obs.PhaseID(0); ph < obs.NumPhases; ph++ {
+		h, ok := res.Hists[obs.PhaseStepsPrefix+ph.String()]
+		if !ok {
+			t.Fatalf("missing %s%s in Result.Hists", obs.PhaseStepsPrefix, ph)
+		}
+		if h.Count != total.Count {
+			t.Errorf("phase %s count = %d, want one span set per decided process (%d)",
+				ph, h.Count, total.Count)
+		}
+		phaseSum += h.Sum
+	}
+	if phaseSum != total.Sum {
+		t.Errorf("phase sums total %d, steps_to_decide sum %d", phaseSum, total.Sum)
 	}
 }
 

@@ -1,0 +1,74 @@
+#!/bin/sh
+# live_smoke.sh — end-to-end check of the live telemetry server.
+#
+# Runs consensus-load with -listen on an ephemeral port and -linger so the
+# server outlives the batch, scrapes /metrics and /healthz while it lingers,
+# and asserts the phase family, batch progress gauges, and pprof index are
+# all served. Exits nonzero on any missing surface.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+TMP="$(mktemp -d)"
+trap 'kill "$PID" 2>/dev/null || true; rm -rf "$TMP"' EXIT INT TERM
+
+go build -o "$TMP/consensus-load" ./cmd/consensus-load
+
+"$TMP/consensus-load" -instances 40 -seed 7 -listen 127.0.0.1:0 -linger 30s \
+	>"$TMP/stdout" 2>"$TMP/stderr" &
+PID=$!
+
+# The address line is printed before the batch starts; poll briefly for it.
+ADDR=""
+for _ in $(seq 1 50); do
+	ADDR="$(sed -n 's#.*telemetry on http://\([^/]*\)/metrics.*#\1#p' "$TMP/stderr" | head -n1)"
+	[ -n "$ADDR" ] && break
+	sleep 0.1
+done
+if [ -z "$ADDR" ]; then
+	echo "live_smoke: no telemetry address in stderr:" >&2
+	cat "$TMP/stderr" >&2
+	exit 1
+fi
+
+# Let the batch finish so the scrape sees real phase data (40 instances are
+# fast; the linger keeps the server up long after).
+wait_done() {
+	for _ in $(seq 1 100); do
+		if curl -sf "http://$ADDR/metrics" | grep -q '^consensus_batch_inflight 0$' &&
+			curl -sf "http://$ADDR/metrics" | grep -q '^consensus_batch_completed 40$'; then
+			return 0
+		fi
+		sleep 0.1
+	done
+	return 1
+}
+wait_done || { echo "live_smoke: batch never completed via /metrics" >&2; exit 1; }
+
+HEALTH="$(curl -sf "http://$ADDR/healthz")"
+[ "$HEALTH" = "ok" ] || { echo "live_smoke: /healthz said '$HEALTH'" >&2; exit 1; }
+
+METRICS="$(curl -sf "http://$ADDR/metrics")"
+for want in \
+	'consensus_events_total' \
+	'consensus_phase_steps_bucket{phase="prefer"' \
+	'consensus_phase_steps_sum{phase="coin"}' \
+	'consensus_phase_steps_count{phase="strip"}' \
+	'consensus_phase_steps_count{phase="decide"}' \
+	'consensus_core_steps_to_decide_count' \
+	'consensus_batch_total 40' \
+	'consensus_batch_completed 40'; do
+	if ! printf '%s\n' "$METRICS" | grep -qF "$want"; then
+		echo "live_smoke: /metrics missing '$want'" >&2
+		printf '%s\n' "$METRICS" >&2
+		exit 1
+	fi
+done
+
+curl -sf "http://$ADDR/debug/pprof/" | grep -q 'profile' ||
+	{ echo "live_smoke: pprof index not served" >&2; exit 1; }
+curl -sf "http://$ADDR/debug/vars" | grep -q 'memstats' ||
+	{ echo "live_smoke: expvar not served" >&2; exit 1; }
+
+kill "$PID" 2>/dev/null || true
+echo "live_smoke: ok (scraped $ADDR)"

@@ -30,3 +30,28 @@ func NewRing(capacity int) *Ring { return obs.NewRing(capacity) }
 
 // ParseTrace decodes one JSONL trace line (as written via Config.TraceJSONL).
 func ParseTrace(line []byte) (Event, error) { return obs.ParseEvent(line) }
+
+// Sink fans instrumentation into a metrics registry and an optional Recorder.
+// Install one via Config.Sink to accumulate metrics across several runs, or
+// via BatchConfig.Sink to attach a self-synchronizing recorder (e.g. a Ring)
+// as an unordered debugging tail over the whole batch.
+type Sink = obs.Sink
+
+// NewSink returns a Sink backed by a fresh registry; rec may be nil for a
+// metrics-only sink.
+func NewSink(rec Recorder) *Sink { return obs.NewSink(rec) }
+
+// HistSnapshot is the point-in-time state of one registry histogram, as
+// carried in Result.Hists / BatchResult.Hists (keys like
+// "core.steps_to_decide" and the "phase.steps.*" family).
+type HistSnapshot = obs.HistSnapshot
+
+// Bucket is one cumulative-count histogram bucket inside a HistSnapshot.
+type Bucket = obs.Bucket
+
+// BatchProgress is the atomic probe fed by the batch engine when set as
+// BatchConfig.Progress; Snapshot may be called concurrently with the run.
+type BatchProgress = obs.BatchProgress
+
+// ProgressSnapshot is one reading of a BatchProgress probe.
+type ProgressSnapshot = obs.ProgressSnapshot
