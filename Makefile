@@ -8,10 +8,15 @@ all: vet test build
 
 # ci is the full gate: formatting, vet, build, tests, a short -race pass
 # over the whole module (the batch engine fans instances over a worker pool,
-# so every package is concurrency-sensitive), plus the live-telemetry smoke
-# test and a benchdiff self-compare to keep the regression gate runnable.
+# and the -race pass drives the dispatch engine's equivalence suite, so the
+# direct-dispatch run loop is race-checked on every CI run), a benchmark
+# smoke pass (compile + a short run of the solve and scheduler-engine
+# microbenchmarks, catching benchmarks broken by refactors), the
+# live-telemetry smoke test, and a benchdiff self-compare to keep the
+# regression gate runnable.
 ci: fmt-check vet build test
 	$(GO) test -short -race -timeout 900s ./...
+	$(GO) test -run XXX_none -bench 'BenchmarkSolveObservability|BenchmarkDispatch|BenchmarkRendezvous' -benchtime 0.2s -timeout 600s . ./internal/sched/
 	./scripts/live_smoke.sh
 	$(GO) run ./cmd/benchdiff BENCH_batch.json BENCH_batch.json
 
@@ -31,17 +36,19 @@ bench:
 	$(GO) test -bench=. -benchmem -timeout 3600s ./...
 
 # bench-json emits the machine-readable batch benchmark artifact (schema in
-# DESIGN.md): one JSON object with throughput, the step distribution, the
-# merged metrics snapshot and the phase histograms.
+# DESIGN.md): the standard workload matrix ({bounded, aspnes-herlihy} x
+# {n=4, n=8}), each entry carrying throughput, the step distribution, the
+# merged metrics snapshot, derived ratios, and the phase histograms.
 bench-json:
-	$(GO) run ./cmd/consensus-load -instances 400 -seed 42 -json > BENCH_batch.json
+	$(GO) run ./cmd/consensus-load -matrix -seed 42 -json > BENCH_batch.json
 	@echo "wrote BENCH_batch.json"
 
 # bench-check regenerates the benchmark under the committed artifact's exact
-# workload and diffs it against BENCH_batch.json with the default thresholds;
-# exits nonzero on a throughput, step-distribution, or phase-mean regression.
+# workload matrix and diffs it against BENCH_batch.json with the default
+# thresholds; exits nonzero on a throughput, step-distribution, or phase-mean
+# regression in any workload.
 bench-check:
-	$(GO) run ./cmd/consensus-load -instances 400 -seed 42 -json > BENCH_batch.new.json
+	$(GO) run ./cmd/consensus-load -matrix -seed 42 -json > BENCH_batch.new.json
 	$(GO) run ./cmd/benchdiff BENCH_batch.json BENCH_batch.new.json
 	@rm -f BENCH_batch.new.json
 

@@ -1,7 +1,8 @@
-// Command benchdiff compares two consensus-load JSON reports (the
-// BENCH_batch.json artifact) and exits nonzero when the new one regressed
-// beyond the thresholds — the repo's bench regression gate (`make
-// bench-check`).
+// Command benchdiff compares two consensus-load JSON artifacts (the
+// BENCH_batch.json matrix, or a legacy single-report file) and exits nonzero
+// when any workload of the new one regressed beyond the thresholds — the
+// repo's bench regression gate (`make bench-check`). Workloads are paired by
+// (algorithm, n); a workload that vanished from the new artifact is an error.
 //
 // Usage:
 //
@@ -15,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"github.com/dsrepro/consensus/internal/benchfmt"
 )
@@ -38,28 +40,31 @@ func run() int {
 		flag.PrintDefaults()
 		return 2
 	}
-	oldRep, err := benchfmt.Read(flag.Arg(0))
+	oldMat, err := benchfmt.ReadAny(flag.Arg(0))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
 		return 2
 	}
-	newRep, err := benchfmt.Read(flag.Arg(1))
+	newMat, err := benchfmt.ReadAny(flag.Arg(1))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
 		return 2
 	}
 
-	findings, err := benchfmt.Compare(oldRep, newRep, th)
+	findings, err := benchfmt.CompareMatrix(oldMat, newMat, th)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
 		return 2
 	}
+	keys := make([]string, len(newMat.Workloads))
+	for i, r := range newMat.Workloads {
+		keys[i] = r.Key()
+	}
 	if len(findings) == 0 {
-		fmt.Printf("benchdiff: ok — %s n=%d, %d instances, no regression\n",
-			newRep.Algorithm, newRep.N, newRep.Instances)
+		fmt.Printf("benchdiff: ok — %s, no regression\n", strings.Join(keys, ", "))
 		return 0
 	}
-	fmt.Printf("benchdiff: %d regression(s) — %s n=%d\n", len(findings), newRep.Algorithm, newRep.N)
+	fmt.Printf("benchdiff: %d regression(s) across %s\n", len(findings), strings.Join(keys, ", "))
 	for _, f := range findings {
 		fmt.Printf("  %s\n", f)
 	}

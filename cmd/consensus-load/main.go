@@ -7,7 +7,7 @@
 //
 //	consensus-load -instances 200
 //	consensus-load -alg strong-coin -n 8 -instances 50 -parallel 4
-//	consensus-load -instances 400 -json > BENCH_batch.json
+//	consensus-load -matrix -json > BENCH_batch.json
 //	consensus-load -instances 5000 -listen 127.0.0.1:9090   # then scrape /metrics
 package main
 
@@ -41,46 +41,23 @@ func run() int {
 		maxSteps  = flag.Int64("max-steps", 100_000_000, "per-instance step budget")
 		b         = flag.Int("b", 4, "shared-coin barrier multiplier")
 		jsonOut   = flag.Bool("json", false, "emit one machine-readable JSON object instead of text")
+		matrix    = flag.Bool("matrix", false, "run the standard workload matrix ({bounded, aspnes-herlihy} x {n=4, n=8}) instead of one workload; -instances/-n/-alg/-tail are ignored")
 		listen    = flag.String("listen", "", "serve live telemetry (/metrics, /healthz, /debug/pprof) on this address while the batch runs (e.g. 127.0.0.1:9090, :0 for a free port)")
 		linger    = flag.Duration("linger", 0, "with -listen, keep serving telemetry this long after the batch completes")
 		tail      = flag.Int("tail", 0, "keep the last N events in a ring for post-run inspection (0 = off; ordering across workers is unspecified)")
 	)
 	flag.Parse()
 
-	alg, err := parseAlg(*algFlag)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "consensus-load: %v\n", err)
-		return 2
-	}
 	schedule, err := parseSchedule(*schedFlag)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "consensus-load: %v\n", err)
 		return 2
 	}
-	if *n < 1 {
-		fmt.Fprintf(os.Stderr, "consensus-load: -n must be >= 1\n")
-		return 2
-	}
-	inputs := make([]int, *n)
-	for i := range inputs {
-		inputs[i] = i % 2
-	}
 
-	// The batch reports into a caller-owned sink so the telemetry server can
-	// scrape its registry mid-run. The optional ring is a debugging tail:
-	// concurrency-safe, but with no cross-worker ordering guarantee.
-	var ring *obs.Ring
-	var rec obs.Recorder
-	if *tail > 0 {
-		ring = obs.NewRing(*tail)
-		rec = ring
-	}
-	sink := obs.NewSink(rec)
 	prog := &obs.BatchProgress{}
-
+	var srv *live.Server
 	if *listen != "" {
-		srv := live.New()
-		srv.AddRegistry(sink.Registry())
+		srv = live.New()
 		srv.AddProgress(prog)
 		addr, err := srv.Start(*listen)
 		if err != nil {
@@ -90,45 +67,64 @@ func run() int {
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "consensus-load: telemetry on http://%s/metrics\n", addr)
 	}
+	lingerAtExit := func() {
+		if srv != nil && *linger > 0 {
+			fmt.Fprintf(os.Stderr, "consensus-load: lingering %s for scrapes\n", *linger)
+			time.Sleep(*linger)
+		}
+	}
 
-	start := time.Now()
-	res, err := consensus.SolveBatch(consensus.BatchConfig{
-		Instances: *instances,
-		Base: consensus.Config{
-			Inputs:    inputs,
-			Algorithm: alg,
-			Schedule:  schedule,
-			MaxSteps:  *maxSteps,
-			B:         *b,
-		},
-		Seed:     *seed,
-		Parallel: *parallel,
-		Sink:     sink,
-		Progress: prog,
-	})
-	elapsed := time.Since(start)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "consensus-load: %v\n", err)
+	opts := workloadOpts{
+		schedule: schedule,
+		seed:     *seed,
+		maxSteps: *maxSteps,
+		b:        *b,
+		parallel: *parallel,
+		prog:     prog,
+		srv:      srv,
+	}
+
+	if *matrix {
+		m := benchfmt.Matrix{}
+		bad := 0
+		for _, ws := range matrixWorkloads {
+			r, res, code := runWorkload(ws, opts, nil)
+			if code == 2 {
+				return 2
+			}
+			bad += reportErrors(res)
+			m.Workloads = append(m.Workloads, r)
+			if !*jsonOut {
+				printReport(r, nil)
+				fmt.Println()
+			}
+		}
+		if *jsonOut {
+			if err := benchfmt.WriteMatrix(os.Stdout, m); err != nil {
+				fmt.Fprintf(os.Stderr, "consensus-load: %v\n", err)
+				return 1
+			}
+		}
+		lingerAtExit()
+		if bad > 0 {
+			return 1
+		}
+		return 0
+	}
+
+	if *n < 1 {
+		fmt.Fprintf(os.Stderr, "consensus-load: -n must be >= 1\n")
 		return 2
 	}
-
-	workers := *parallel
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	// The optional ring is a debugging tail: concurrency-safe, but with no
+	// cross-worker ordering guarantee. Single-workload mode only.
+	var ring *obs.Ring
+	if *tail > 0 {
+		ring = obs.NewRing(*tail)
 	}
-	r := benchfmt.Report{
-		Algorithm:       *algFlag,
-		N:               *n,
-		Instances:       *instances,
-		Parallel:        workers,
-		Seed:            *seed,
-		ElapsedSec:      elapsed.Seconds(),
-		InstancesPerSec: float64(*instances) / elapsed.Seconds(),
-		Errors:          res.ErrCount,
-		Steps:           summarize(res),
-		Counters:        res.Counters,
-		Gauges:          res.Gauges,
-		Hists:           res.Hists,
+	r, res, code := runWorkload(workloadSpec{Alg: *algFlag, N: *n, Instances: *instances}, opts, ring)
+	if code == 2 {
+		return 2
 	}
 	if ring != nil {
 		r.Dropped = ring.Dropped()
@@ -140,32 +136,155 @@ func run() int {
 			return 1
 		}
 	} else {
-		fmt.Printf("algorithm     : %s (n=%d)\n", r.Algorithm, r.N)
-		fmt.Printf("instances     : %d over %d workers\n", r.Instances, r.Parallel)
-		fmt.Printf("elapsed       : %.3fs (%.1f instances/sec)\n", r.ElapsedSec, r.InstancesPerSec)
-		fmt.Printf("steps/instance: p50 %d, p90 %d, p99 %d (mean %.1f, min %d, max %d)\n",
-			r.Steps.P50, r.Steps.P90, r.Steps.P99, r.Steps.Mean, r.Steps.Min, r.Steps.Max)
-		if line := phaseMeansLine(r.Hists); line != "" {
-			fmt.Printf("phase means   : %s\n", line)
-		}
-		fmt.Printf("errors        : %d\n", r.Errors)
-		if ring != nil {
-			fmt.Printf("tail          : kept %d events, dropped %d\n", ring.Len(), ring.Dropped())
-		}
+		printReport(r, ring)
 	}
-	if *listen != "" && *linger > 0 {
-		fmt.Fprintf(os.Stderr, "consensus-load: lingering %s for scrapes\n", *linger)
-		time.Sleep(*linger)
+	lingerAtExit()
+	if reportErrors(res) > 0 {
+		return 1
 	}
+	return 0
+}
+
+// workloadSpec names one batch workload of the matrix: an algorithm, a
+// process count, and how many instances to run.
+type workloadSpec struct {
+	Alg       string
+	N         int
+	Instances int
+}
+
+// matrixWorkloads is the standard bench matrix (`make bench-json`). The
+// bounded n=4 entry is the historical single-workload artifact and must keep
+// its instance count so new matrix artifacts stay comparable against
+// pre-matrix baselines; the other entries are sized so the whole matrix runs
+// in the same ballpark as the original single workload.
+var matrixWorkloads = []workloadSpec{
+	{Alg: "bounded", N: 4, Instances: 400},
+	{Alg: "bounded", N: 8, Instances: 60},
+	{Alg: "aspnes-herlihy", N: 4, Instances: 200},
+	{Alg: "aspnes-herlihy", N: 8, Instances: 40},
+}
+
+// workloadOpts carries the flag settings shared by every workload of a run.
+type workloadOpts struct {
+	schedule consensus.Schedule
+	seed     int64
+	maxSteps int64
+	b        int
+	parallel int
+	prog     *obs.BatchProgress
+	srv      *live.Server
+}
+
+// runWorkload runs one batch workload into a fresh sink and builds its
+// report. The returned code is 0 on success and 2 on a usage/config error
+// (already printed); per-instance errors are in the result, not the code.
+func runWorkload(ws workloadSpec, opts workloadOpts, ring *obs.Ring) (benchfmt.Report, consensus.BatchResult, int) {
+	alg, err := parseAlg(ws.Alg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "consensus-load: %v\n", err)
+		return benchfmt.Report{}, consensus.BatchResult{}, 2
+	}
+	inputs := make([]int, ws.N)
+	for i := range inputs {
+		inputs[i] = i % 2
+	}
+
+	// The batch reports into a caller-owned sink so the telemetry server can
+	// scrape its registry mid-run.
+	var rec obs.Recorder
+	if ring != nil {
+		rec = ring
+	}
+	sink := obs.NewSink(rec)
+	if opts.srv != nil {
+		opts.srv.AddRegistry(sink.Registry())
+	}
+
+	start := time.Now()
+	res, err := consensus.SolveBatch(consensus.BatchConfig{
+		Instances: ws.Instances,
+		Base: consensus.Config{
+			Inputs:    inputs,
+			Algorithm: alg,
+			Schedule:  opts.schedule,
+			MaxSteps:  opts.maxSteps,
+			B:         opts.b,
+		},
+		Seed:     opts.seed,
+		Parallel: opts.parallel,
+		Sink:     sink,
+		Progress: opts.prog,
+	})
+	elapsed := time.Since(start)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "consensus-load: %v\n", err)
+		return benchfmt.Report{}, consensus.BatchResult{}, 2
+	}
+
+	workers := opts.parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	r := benchfmt.Report{
+		Algorithm:       ws.Alg,
+		N:               ws.N,
+		Instances:       ws.Instances,
+		Parallel:        workers,
+		Seed:            opts.seed,
+		ElapsedSec:      elapsed.Seconds(),
+		InstancesPerSec: float64(ws.Instances) / elapsed.Seconds(),
+		Errors:          res.ErrCount,
+		Steps:           summarize(res),
+		Counters:        res.Counters,
+		Gauges:          res.Gauges,
+		Hists:           res.Hists,
+		Derived:         derivedStats(res.Counters),
+	}
+	return r, res, 0
+}
+
+// derivedStats computes the informational ratios carried in Report.Derived.
+// scan.retry_ratio is retries per clean double-collect — the scan-layer
+// contention indicator the harness tables and bench artifacts both surface.
+func derivedStats(counters map[string]int64) map[string]float64 {
+	clean, retry := counters["scan.clean"], counters["scan.retry"]
+	if clean <= 0 {
+		return nil
+	}
+	return map[string]float64{"scan.retry_ratio": float64(retry) / float64(clean)}
+}
+
+// printReport renders one workload's report in the human text format.
+func printReport(r benchfmt.Report, ring *obs.Ring) {
+	fmt.Printf("algorithm     : %s (n=%d)\n", r.Algorithm, r.N)
+	fmt.Printf("instances     : %d over %d workers\n", r.Instances, r.Parallel)
+	fmt.Printf("elapsed       : %.3fs (%.1f instances/sec)\n", r.ElapsedSec, r.InstancesPerSec)
+	fmt.Printf("steps/instance: p50 %d, p90 %d, p99 %d (mean %.1f, min %d, max %d)\n",
+		r.Steps.P50, r.Steps.P90, r.Steps.P99, r.Steps.Mean, r.Steps.Min, r.Steps.Max)
+	if line := phaseMeansLine(r.Hists); line != "" {
+		fmt.Printf("phase means   : %s\n", line)
+	}
+	if ratio, ok := r.Derived["scan.retry_ratio"]; ok {
+		fmt.Printf("scan retries  : %.3f per clean double-collect\n", ratio)
+	}
+	fmt.Printf("errors        : %d\n", r.Errors)
+	if ring != nil {
+		fmt.Printf("tail          : kept %d events, dropped %d\n", ring.Len(), ring.Dropped())
+	}
+}
+
+// reportErrors prints every per-instance error and returns how many there
+// were.
+func reportErrors(res consensus.BatchResult) int {
 	if res.ErrCount > 0 {
 		for k, e := range res.Errors {
 			if e != nil {
 				fmt.Fprintf(os.Stderr, "consensus-load: instance %d: %v\n", k, e)
 			}
 		}
-		return 1
 	}
-	return 0
+	return res.ErrCount
 }
 
 // phaseMeansLine renders the phase.steps.* family as "prefer 1234.5, coin

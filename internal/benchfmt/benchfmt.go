@@ -36,6 +36,17 @@ type Report struct {
 	// Dropped counts ring-recorder events overwritten during the run (0 when
 	// no tail was attached or the ring kept up).
 	Dropped int64 `json:"dropped_events,omitempty"`
+	// Derived holds ratios computed from the raw counters at report time
+	// ("scan.retry_ratio" = scan.retry / scan.clean). They are informational:
+	// benchdiff reports them but never gates on them, since each is derivable
+	// from counters that are themselves compared.
+	Derived map[string]float64 `json:"derived,omitempty"`
+}
+
+// Key identifies the workload a report measured, for pairing the entries of
+// two matrix artifacts.
+func (r Report) Key() string {
+	return fmt.Sprintf("%s/n=%d", r.Algorithm, r.N)
 }
 
 // StepsSummary is the per-instance step-total distribution.
@@ -46,6 +57,14 @@ type StepsSummary struct {
 	P90  int64   `json:"p90"`
 	P99  int64   `json:"p99"`
 	Max  int64   `json:"max"`
+}
+
+// Matrix is a multi-workload bench artifact: one consensus-load -matrix
+// invocation producing one Report per (algorithm, n) workload. It is the
+// current BENCH_batch.json format; single-Report artifacts from older
+// checkouts still decode via ReadAny.
+type Matrix struct {
+	Workloads []Report `json:"workloads"`
 }
 
 // Read decodes a report from the JSON file at path.
@@ -61,9 +80,47 @@ func Read(path string) (Report, error) {
 	return r, nil
 }
 
-// Write encodes the report as indented JSON (the BENCH_batch.json format).
+// ReadAny decodes either artifact shape from the JSON file at path: a matrix
+// (the current format, detected by its "workloads" key) or a legacy single
+// report, which is returned as a one-workload matrix. This keeps benchdiff
+// able to gate a new matrix artifact against a pre-matrix baseline.
+func ReadAny(path string) (Matrix, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Matrix{}, err
+	}
+	var probe struct {
+		Workloads []json.RawMessage `json:"workloads"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return Matrix{}, fmt.Errorf("benchfmt: parsing %s: %w", path, err)
+	}
+	if probe.Workloads != nil {
+		var m Matrix
+		if err := json.Unmarshal(data, &m); err != nil {
+			return Matrix{}, fmt.Errorf("benchfmt: parsing %s: %w", path, err)
+		}
+		return m, nil
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return Matrix{}, fmt.Errorf("benchfmt: parsing %s: %w", path, err)
+	}
+	return Matrix{Workloads: []Report{r}}, nil
+}
+
+// Write encodes the report as indented JSON (the legacy single-workload
+// BENCH_batch.json format).
 func Write(w io.Writer, r Report) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(r)
+}
+
+// WriteMatrix encodes the matrix as indented JSON (the BENCH_batch.json
+// format).
+func WriteMatrix(w io.Writer, m Matrix) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
 }

@@ -111,6 +111,35 @@ func Compare(old, new Report, th Thresholds) ([]Finding, error) {
 	return out, nil
 }
 
+// CompareMatrix diffs two matrix artifacts workload by workload, pairing
+// entries on (algorithm, n). Every workload of the old artifact must appear in
+// the new one — a vanished workload means the gate silently lost coverage, so
+// it is an error. Workloads only present in the new artifact are ignored
+// (coverage grew; there is nothing to compare against yet). Findings are
+// prefixed with the workload key ("bounded/n=4: steps.p90").
+func CompareMatrix(old, new Matrix, th Thresholds) ([]Finding, error) {
+	byKey := make(map[string]Report, len(new.Workloads))
+	for _, r := range new.Workloads {
+		byKey[r.Key()] = r
+	}
+	var out []Finding
+	for _, o := range old.Workloads {
+		n, ok := byKey[o.Key()]
+		if !ok {
+			return nil, fmt.Errorf("benchfmt: workload %s present in old artifact but missing from new", o.Key())
+		}
+		findings, err := Compare(o, n, th)
+		if err != nil {
+			return nil, err
+		}
+		for _, f := range findings {
+			f.Metric = o.Key() + ": " + f.Metric
+			out = append(out, f)
+		}
+	}
+	return out, nil
+}
+
 // growth is the relative increase from o to n, with the denominator floored
 // at 1 so tiny baselines (a phase averaging 0.2 steps) don't turn absolute
 // noise into huge ratios.

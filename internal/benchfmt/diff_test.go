@@ -145,6 +145,118 @@ func TestCompareOldArtifactWithoutHists(t *testing.T) {
 	}
 }
 
+func matrixBaseline() Matrix {
+	small := baseline()
+	small.Algorithm = "aspnes-herlihy"
+	small.Instances = 40
+	big := baseline()
+	big.N = 8
+	big.Instances = 60
+	return Matrix{Workloads: []Report{baseline(), big, small}}
+}
+
+func TestCompareMatrixSelfIsClean(t *testing.T) {
+	m := matrixBaseline()
+	findings, err := CompareMatrix(m, m, DefaultThresholds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Errorf("matrix self-compare produced findings: %v", findings)
+	}
+}
+
+func TestCompareMatrixPrefixesWorkloadKey(t *testing.T) {
+	old, new := matrixBaseline(), matrixBaseline()
+	new.Workloads[1].Steps.P90 = int64(float64(old.Workloads[1].Steps.P90) * 1.5)
+	findings, err := CompareMatrix(old, new, DefaultThresholds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 || findings[0].Metric != "bounded/n=8: steps.p90" {
+		t.Errorf("findings = %v, want one bounded/n=8 steps.p90 regression", findings)
+	}
+}
+
+func TestCompareMatrixPairsByKeyNotOrder(t *testing.T) {
+	old, new := matrixBaseline(), matrixBaseline()
+	new.Workloads[0], new.Workloads[2] = new.Workloads[2], new.Workloads[0]
+	findings, err := CompareMatrix(old, new, DefaultThresholds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Errorf("reordered matrix produced findings: %v", findings)
+	}
+}
+
+func TestCompareMatrixMissingWorkloadIsError(t *testing.T) {
+	old, new := matrixBaseline(), matrixBaseline()
+	new.Workloads = new.Workloads[:2] // drop aspnes-herlihy/n=4
+	if _, err := CompareMatrix(old, new, DefaultThresholds()); err == nil {
+		t.Error("expected an error when the new artifact lost a workload")
+	}
+}
+
+func TestCompareMatrixExtraWorkloadIsOK(t *testing.T) {
+	old, new := matrixBaseline(), matrixBaseline()
+	extra := baseline()
+	extra.Algorithm = "strong-coin"
+	new.Workloads = append(new.Workloads, extra)
+	findings, err := CompareMatrix(old, new, DefaultThresholds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Errorf("grown matrix produced findings: %v", findings)
+	}
+}
+
+func TestReadAnyDetectsBothShapes(t *testing.T) {
+	dir := t.TempDir()
+
+	single := filepath.Join(dir, "single.json")
+	var buf bytes.Buffer
+	r := baseline()
+	r.Derived = map[string]float64{"scan.retry_ratio": 1.36}
+	if err := Write(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(single, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ReadAny(single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Workloads) != 1 || m.Workloads[0].Key() != "bounded/n=4" {
+		t.Errorf("legacy artifact: got %+v, want one bounded/n=4 workload", m.Workloads)
+	}
+	if m.Workloads[0].Derived["scan.retry_ratio"] != 1.36 {
+		t.Errorf("derived map did not survive the round trip: %+v", m.Workloads[0].Derived)
+	}
+
+	matrix := filepath.Join(dir, "matrix.json")
+	buf.Reset()
+	if err := WriteMatrix(&buf, matrixBaseline()); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(matrix, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err = ReadAny(matrix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Workloads) != 3 || m.Workloads[1].Key() != "bounded/n=8" {
+		t.Errorf("matrix artifact: got %d workloads (%+v)", len(m.Workloads), m.Workloads)
+	}
+
+	if _, err := ReadAny(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("expected an error reading a missing file")
+	}
+}
+
 func TestReadWriteRoundTrip(t *testing.T) {
 	r := baseline()
 	r.Dropped = 12

@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 
 	"github.com/dsrepro/consensus/internal/obs"
+	"github.com/dsrepro/consensus/internal/pad"
 	"github.com/dsrepro/consensus/internal/register"
 	"github.com/dsrepro/consensus/internal/scan"
 	"github.com/dsrepro/consensus/internal/sched"
@@ -24,8 +25,8 @@ type Abrahamson struct {
 	cfg Config
 	mem scan.Memory[UEntry]
 
-	rounds   []atomic.Int64
-	flips    []atomic.Int64
+	rounds   []pad.Int64
+	flips    []pad.Int64
 	maxRound atomic.Int64
 
 	traceSink
@@ -48,8 +49,8 @@ func NewAbrahamson(cfg Config) (*Abrahamson, error) {
 	return &Abrahamson{
 		cfg:    cfg,
 		mem:    mem,
-		rounds: make([]atomic.Int64, cfg.N),
-		flips:  make([]atomic.Int64, cfg.N),
+		rounds: make([]pad.Int64, cfg.N),
+		flips:  make([]pad.Int64, cfg.N),
 	}, nil
 }
 
@@ -96,8 +97,7 @@ func (a *Abrahamson) Metrics() Metrics {
 }
 
 func (a *Abrahamson) inc(p *sched.Proc, st UEntry) UEntry {
-	st = st.Clone()
-	st.Round++
+	st.Round++ // value field (this protocol's entries never grow a strip)
 	a.rounds[p.ID()].Add(1)
 	atomicMax(&a.maxRound, st.Round)
 	a.sink.GaugeMax(obs.GaugeMaxRound, st.Round)
@@ -156,8 +156,7 @@ func (a *Abrahamson) Run(p *sched.Proc, input int) int {
 		// Conflict: withdraw first (the paper's ⊥ pause — see ExpLocal for
 		// why it is load-bearing), then flip and advance.
 		if st.Pref != Bottom {
-			st = st.Clone()
-			st.Pref = Bottom
+			st.Pref = Bottom // value field: no clone needed
 			a.mem.Write(p, st)
 			continue
 		}

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"github.com/dsrepro/consensus/internal/obs"
+	"github.com/dsrepro/consensus/internal/pad"
 	"github.com/dsrepro/consensus/internal/register"
 	"github.com/dsrepro/consensus/internal/scan"
 	"github.com/dsrepro/consensus/internal/sched"
@@ -86,8 +87,8 @@ type Bounded struct {
 	params walk.Params
 	mem    scan.Memory[Entry]
 
-	rounds     []atomic.Int64
-	flips      []atomic.Int64
+	rounds     []pad.Int64
+	flips      []pad.Int64
 	maxAbsCoin atomic.Int64
 
 	// scratch[i] is pid i's decode/coin working storage, touched only by the
@@ -130,8 +131,8 @@ func NewBounded(cfg Config) (*Bounded, error) {
 		cfg:     cfg,
 		params:  params,
 		mem:     mem,
-		rounds:  make([]atomic.Int64, cfg.N),
-		flips:   make([]atomic.Int64, cfg.N),
+		rounds:  make([]pad.Int64, cfg.N),
+		flips:   make([]pad.Int64, cfg.N),
 		scratch: newScratch(cfg.N, cfg.K, true),
 	}, nil
 }
@@ -232,7 +233,7 @@ func (b *Bounded) Metrics() Metrics {
 // row from the scanned view via inc_graph.
 func (b *Bounded) inc(p *sched.Proc, st Entry, view []Entry) (Entry, error) {
 	k := b.cfg.K
-	st = st.Clone()
+	st = st.CloneCoin() // Edge is replaced wholesale by the fresh row below
 	st.CurrentCoin = next(st.CurrentCoin, k)
 	st.Coin[next(st.CurrentCoin, k)] = 0
 	sc := &b.scratch[p.ID()]
@@ -272,7 +273,7 @@ func (b *Bounded) nextCoinValue(i int, st Entry, view []Entry, g *strip.Graph) w
 // caller's coin counter for its current round.
 func (b *Bounded) flipNextCoin(p *sched.Proc, st Entry) Entry {
 	k := b.cfg.K
-	st = st.Clone()
+	st = st.CloneCoin() // only a coin slot is mutated; Edge stays shared
 	slot := coinSlot(st.CurrentCoin, 0, k)
 	st.Coin[slot] = b.params.StepCounterTraced(st.Coin[slot], p, b.sink)
 	b.flips[p.ID()].Add(1)
@@ -352,7 +353,8 @@ func (b *Bounded) Run(p *sched.Proc, input int) int {
 		if st.Pref != Bottom && g.Leader(i) && disagreersTrailByK(view, g, i, st.Pref) {
 			span.To(b.sink, obs.PhaseDecide, i, p.Now(), p.Steps())
 			if b.cfg.FastDecide {
-				st = st.Clone()
+				// Decided is a value field: flipping it on the local copy
+				// cannot affect already-published entries, so no clone.
 				st.Decided = true
 				b.mem.Write(p, st)
 			}
@@ -383,8 +385,7 @@ func (b *Bounded) Run(p *sched.Proc, input int) int {
 		// Lines 5-6: leaders disagree — withdraw the preference.
 		if st.Pref != Bottom {
 			old := st.Pref
-			st = st.Clone()
-			st.Pref = Bottom
+			st.Pref = Bottom // value field: no clone needed
 			b.mem.Write(p, st)
 			b.emit(Event{Step: p.Now(), Pid: i, Kind: EvPrefChange, Round: b.rounds[i].Load(),
 				Detail: prefString(old) + "->⊥"})

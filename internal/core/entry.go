@@ -73,6 +73,16 @@ func (e Entry) Clone() Entry {
 	return e
 }
 
+// CloneCoin returns a copy whose Coin strip is freshly allocated but whose
+// Edge row is shared with the receiver. Sufficient for mutations that touch
+// only the coin strip (flip_next_coin) or replace Edge wholesale with a fresh
+// row (inc): published entries never have their Edge mutated in place, so
+// sharing it preserves immutability while halving the copy per mutation.
+func (e Entry) CloneCoin() Entry {
+	e.Coin = append([]int(nil), e.Coin...)
+	return e
+}
+
 // next is the paper's next(current_coin): the cyclic successor pointer.
 func next(cur, k int) int { return (cur + 1) % (k + 1) }
 

@@ -133,6 +133,11 @@ type ExecConfig struct {
 	// event stream and metrics registry. Nil disables observability at zero
 	// cost.
 	Sink *obs.Sink
+
+	// Rendezvous selects the legacy rendezvous step engine (test-only; see
+	// sched.Config.Rendezvous). Used by the engine-equivalence suite to prove
+	// protocol-level executions are byte-identical under both engines.
+	Rendezvous bool
 }
 
 // validateInputs checks that inputs is a non-empty binary vector.
@@ -180,11 +185,12 @@ func ExecuteProto(proto Protocol, ec ExecConfig) (Outcome, error) {
 		Values:  make([]int, n),
 	}
 	res, runErr := sched.Run(sched.Config{
-		N:         n,
-		Seed:      ec.Seed,
-		Adversary: ec.Adversary,
-		MaxSteps:  ec.MaxSteps,
-		Sink:      ec.Sink,
+		N:          n,
+		Seed:       ec.Seed,
+		Adversary:  ec.Adversary,
+		MaxSteps:   ec.MaxSteps,
+		Sink:       ec.Sink,
+		Rendezvous: ec.Rendezvous,
 	}, func(p *sched.Proc) {
 		v := proto.Run(p, ec.Inputs[p.ID()])
 		out.Values[p.ID()] = v

@@ -2,9 +2,8 @@ package core
 
 import (
 	"fmt"
-	"sync/atomic"
-
 	"github.com/dsrepro/consensus/internal/obs"
+	"github.com/dsrepro/consensus/internal/pad"
 	"github.com/dsrepro/consensus/internal/register"
 	"github.com/dsrepro/consensus/internal/scan"
 	"github.com/dsrepro/consensus/internal/sched"
@@ -23,8 +22,8 @@ type ExpLocal struct {
 	cfg Config
 	mem scan.Memory[Entry]
 
-	rounds []atomic.Int64
-	flips  []atomic.Int64
+	rounds []pad.Int64
+	flips  []pad.Int64
 
 	// scratch[i] is pid i's decode working storage (owner-goroutine only).
 	scratch []bscratch
@@ -57,8 +56,8 @@ func NewExpLocal(cfg Config) (*ExpLocal, error) {
 	return &ExpLocal{
 		cfg:     cfg,
 		mem:     mem,
-		rounds:  make([]atomic.Int64, cfg.N),
-		flips:   make([]atomic.Int64, cfg.N),
+		rounds:  make([]pad.Int64, cfg.N),
+		flips:   make([]pad.Int64, cfg.N),
 		scratch: newScratch(cfg.N, cfg.K, false),
 		Flip:    defaultLocalFlip,
 	}, nil
@@ -123,7 +122,7 @@ func (l *ExpLocal) Metrics() Metrics {
 // coin slots exist but stay zero).
 func (l *ExpLocal) inc(p *sched.Proc, st Entry, view []Entry) (Entry, error) {
 	k := l.cfg.K
-	st = st.Clone()
+	st = st.CloneCoin() // Edge is replaced wholesale by the fresh row below
 	st.CurrentCoin = next(st.CurrentCoin, k)
 	sc := &l.scratch[p.ID()]
 	fillEdgeMatrix(sc.mat, view)
@@ -191,8 +190,7 @@ func (l *ExpLocal) Run(p *sched.Proc, input int) int {
 		// independent local coin flip and advance.
 		if st.Pref != Bottom {
 			old := st.Pref
-			st = st.Clone()
-			st.Pref = Bottom
+			st.Pref = Bottom // value field: no clone needed
 			l.mem.Write(p, st)
 			l.emit(Event{Step: p.Now(), Pid: i, Kind: EvPrefChange, Round: l.rounds[i].Load(),
 				Detail: prefString(old) + "->⊥"})

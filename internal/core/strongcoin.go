@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"github.com/dsrepro/consensus/internal/obs"
+	"github.com/dsrepro/consensus/internal/pad"
 	"github.com/dsrepro/consensus/internal/register"
 	"github.com/dsrepro/consensus/internal/scan"
 	"github.com/dsrepro/consensus/internal/sched"
@@ -65,8 +66,8 @@ type StrongCoin struct {
 	mem    scan.Memory[UEntry]
 	oracle *Oracle
 
-	rounds   []atomic.Int64
-	flips    []atomic.Int64
+	rounds   []pad.Int64
+	flips    []pad.Int64
 	maxRound atomic.Int64
 
 	traceSink
@@ -90,8 +91,8 @@ func NewStrongCoin(cfg Config) (*StrongCoin, error) {
 		cfg:    cfg,
 		mem:    mem,
 		oracle: NewOracle(),
-		rounds: make([]atomic.Int64, cfg.N),
-		flips:  make([]atomic.Int64, cfg.N),
+		rounds: make([]pad.Int64, cfg.N),
+		flips:  make([]pad.Int64, cfg.N),
 	}, nil
 }
 
@@ -139,8 +140,7 @@ func (s *StrongCoin) Metrics() Metrics {
 }
 
 func (s *StrongCoin) inc(p *sched.Proc, st UEntry) UEntry {
-	st = st.Clone()
-	st.Round++
+	st.Round++ // value field (the strong-coin entry never grows a strip)
 	s.rounds[p.ID()].Add(1)
 	atomicMax(&s.maxRound, st.Round)
 	s.sink.GaugeMax(obs.GaugeMaxRound, st.Round)
@@ -198,8 +198,7 @@ func (s *StrongCoin) Run(p *sched.Proc, input int) int {
 		// why it is load-bearing), then one atomic oracle flip resolves the
 		// round's coin.
 		if st.Pref != Bottom {
-			st = st.Clone()
-			st.Pref = Bottom
+			st.Pref = Bottom // value field: no clone needed
 			s.mem.Write(p, st)
 			continue
 		}

@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 
 	"github.com/dsrepro/consensus/internal/obs"
+	"github.com/dsrepro/consensus/internal/pad"
 	"github.com/dsrepro/consensus/internal/register"
 	"github.com/dsrepro/consensus/internal/scan"
 	"github.com/dsrepro/consensus/internal/sched"
@@ -36,11 +37,14 @@ type AHUnbounded struct {
 	params walk.Params // M unbounded
 	mem    scan.Memory[UEntry]
 
-	rounds   []atomic.Int64
-	flips    []atomic.Int64
+	rounds   []pad.Int64
+	flips    []pad.Int64
 	maxAbs   atomic.Int64
 	maxRound atomic.Int64
 	stripLen atomic.Int64
+
+	// coins[i] is pid i's reused coin-assembly scratch (owner-only access).
+	coins [][]int
 
 	traceSink
 }
@@ -64,13 +68,18 @@ func NewAHUnbounded(cfg Config) (*AHUnbounded, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &AHUnbounded{
+	u := &AHUnbounded{
 		cfg:    cfg,
 		params: params,
 		mem:    mem,
-		rounds: make([]atomic.Int64, cfg.N),
-		flips:  make([]atomic.Int64, cfg.N),
-	}, nil
+		rounds: make([]pad.Int64, cfg.N),
+		flips:  make([]pad.Int64, cfg.N),
+		coins:  make([][]int, cfg.N),
+	}
+	for i := range u.coins {
+		u.coins[i] = make([]int, cfg.N)
+	}
+	return u, nil
 }
 
 // Name implements Protocol.
@@ -130,12 +139,15 @@ func (u *AHUnbounded) Metrics() Metrics {
 	return m
 }
 
-// coinValue sums every process's contribution to round r's coin.
-func (u *AHUnbounded) coinValue(view []UEntry, r int64) walk.Outcome {
-	c := make([]int, len(view))
+// coinValue sums every process's contribution to round r's coin, assembling
+// the counter array into pid i's reused scratch.
+func (u *AHUnbounded) coinValue(i int, view []UEntry, r int64) walk.Outcome {
+	c := u.coins[i]
 	for j, ent := range view {
 		if int(r) <= len(ent.Strip) {
 			c[j] = ent.Strip[r-1]
+		} else {
+			c[j] = 0
 		}
 	}
 	return u.params.Value(c)
@@ -233,14 +245,13 @@ func (u *AHUnbounded) Run(p *sched.Proc, input int) int {
 
 		// Withdraw a conflicting preference.
 		if st.Pref != Bottom {
-			st = st.Clone()
-			st.Pref = Bottom
+			st.Pref = Bottom // value field: no clone needed
 			u.mem.Write(p, st)
 			continue
 		}
 
 		// Drive the coin of the current round.
-		switch cv := u.coinValue(view, st.Round); cv {
+		switch cv := u.coinValue(i, view, st.Round); cv {
 		case walk.Undecided:
 			span.To(u.sink, obs.PhaseCoin, i, p.Now(), p.Steps())
 			st = st.Clone()

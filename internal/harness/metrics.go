@@ -25,6 +25,12 @@ func MetricsTable(id string, snap obs.Snapshot) *Table {
 	}
 	for _, k := range sortedKeys(snap.Counters) {
 		t.Add(k, snap.Counters[k])
+		// Derived contention indicator, rendered right under its inputs:
+		// retries per clean double-collect of the scan layer.
+		if k == "scan.retry" && snap.Counters["scan.clean"] > 0 {
+			t.Add("scan.retry_ratio", fmt.Sprintf("%.3f",
+				float64(snap.Counters["scan.retry"])/float64(snap.Counters["scan.clean"])))
+		}
 	}
 	for _, g := range sortedKeys(snap.Gauges) {
 		t.Add(g, snap.Gauges[g])

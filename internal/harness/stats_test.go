@@ -68,6 +68,31 @@ func TestMetricsTable(t *testing.T) {
 	}
 }
 
+func TestMetricsTableDerivesScanRetryRatio(t *testing.T) {
+	sink := obs.NewSink(nil)
+	for i := 0; i < 4; i++ {
+		sink.Emit(obs.Event{Kind: obs.ScanClean})
+	}
+	for i := 0; i < 6; i++ {
+		sink.Emit(obs.Event{Kind: obs.ScanRetry})
+	}
+	var buf bytes.Buffer
+	MetricsTable("E0", sink.Registry().Snapshot()).Render(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "scan.retry_ratio") || !strings.Contains(out, "1.500") {
+		t.Errorf("metrics table missing derived scan.retry_ratio=1.500:\n%s", out)
+	}
+
+	// Without clean scans the ratio is undefined and must stay absent.
+	sink = obs.NewSink(nil)
+	sink.Emit(obs.Event{Kind: obs.ScanRetry})
+	buf.Reset()
+	MetricsTable("E0", sink.Registry().Snapshot()).Render(&buf)
+	if strings.Contains(buf.String(), "scan.retry_ratio") {
+		t.Errorf("retry ratio rendered without clean scans:\n%s", buf.String())
+	}
+}
+
 func TestRunAndRenderEmitsMetricsTable(t *testing.T) {
 	e, ok := Get("E7")
 	if !ok {

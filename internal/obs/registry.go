@@ -113,6 +113,13 @@ func (r *Registry) countKind(k Kind) {
 	}
 }
 
+// countKindN adds n to the counter of kind k (batched counting).
+func (r *Registry) countKindN(k Kind, n int64) {
+	if k < numKinds {
+		r.kinds[k].Add(n)
+	}
+}
+
 // KindCount returns the event count of kind k.
 func (r *Registry) KindCount(k Kind) int64 {
 	if k >= numKinds {

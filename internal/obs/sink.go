@@ -75,6 +75,17 @@ func (s *Sink) Count(k Kind) {
 	s.reg.countKind(k)
 }
 
+// CountN adds n to kind k's counter in one atomic update — the batched form
+// of Count for producers (the step engine) that accumulate counts locally and
+// flush periodically. Counter sums commute, so final totals are identical to
+// n individual Counts.
+func (s *Sink) CountN(k Kind, n int64) {
+	if s == nil || n == 0 {
+		return
+	}
+	s.reg.countKindN(k, n)
+}
+
 // Observe records v into histogram id. No-op on a nil sink.
 func (s *Sink) Observe(id HistID, v int64) {
 	if s == nil {

@@ -1,0 +1,18 @@
+// Package pad provides cache-line-padded atomic counters.
+//
+// Per-pid metric counters (scan retries, protocol rounds, coin flips) live in
+// slices indexed by pid; adjacent elements would otherwise share a 64-byte
+// cache line, so counters updated by different batch workers ping-pong the
+// line between cores (false sharing). Padding each counter to a full line
+// keeps the per-pid updates independent.
+package pad
+
+import "sync/atomic"
+
+// Int64 is an atomic.Int64 padded to a 64-byte cache line. The atomic's
+// methods are promoted, so a []Int64 is a drop-in replacement for
+// []atomic.Int64 wherever elements are updated from different goroutines.
+type Int64 struct {
+	atomic.Int64
+	_ [56]byte
+}

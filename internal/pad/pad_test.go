@@ -1,0 +1,29 @@
+package pad
+
+import (
+	"testing"
+	"unsafe"
+)
+
+func TestInt64FillsOneCacheLine(t *testing.T) {
+	if got := unsafe.Sizeof(Int64{}); got != 64 {
+		t.Fatalf("pad.Int64 is %d bytes, want 64", got)
+	}
+	var s [4]Int64
+	if d := uintptr(unsafe.Pointer(&s[1])) - uintptr(unsafe.Pointer(&s[0])); d != 64 {
+		t.Fatalf("adjacent elements %d bytes apart, want 64", d)
+	}
+}
+
+func TestInt64PromotesAtomicMethods(t *testing.T) {
+	var c Int64
+	c.Add(3)
+	c.Add(4)
+	if got := c.Load(); got != 7 {
+		t.Fatalf("Load = %d, want 7", got)
+	}
+	c.Store(0)
+	if got := c.Load(); got != 0 {
+		t.Fatalf("after Store(0), Load = %d", got)
+	}
+}

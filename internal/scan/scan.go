@@ -20,9 +20,9 @@ package scan
 
 import (
 	"fmt"
-	"sync/atomic"
 
 	"github.com/dsrepro/consensus/internal/obs"
+	"github.com/dsrepro/consensus/internal/pad"
 	"github.com/dsrepro/consensus/internal/register"
 	"github.com/dsrepro/consensus/internal/sched"
 )
@@ -34,6 +34,11 @@ type Memory[T any] interface {
 	Write(p *sched.Proc, v T)
 	// Scan returns a view of all n slots (index = pid). Slot p.ID() is the
 	// value the caller last wrote (zero value of T before any write).
+	//
+	// The returned slice is a per-process buffer owned by the memory: it is
+	// valid (and may be mutated by the caller) only until the caller's next
+	// Scan on the same memory, which reuses it. Callers retaining a view
+	// across scans must copy it first.
 	Scan(p *sched.Proc) []T
 	// N returns the number of slots.
 	N() int
@@ -60,11 +65,13 @@ type Arrow[T any] struct {
 	arrows [][]register.TwoWriter // arrows[i][j], i != j
 	local  []T                    // local[i]: last value written by i (owner-only access)
 
-	// c1/c2[i] are pid i's double-collect buffers, owned by i's goroutine so
-	// a steady-state scan only allocates its returned view.
+	// c1/c2/view[i] are pid i's double-collect and result buffers, owned by
+	// i's goroutine so a steady-state scan performs zero allocations (the
+	// returned view is reused; see Memory.Scan).
 	c1, c2 [][]register.Toggled[T]
+	view   [][]T
 
-	retries []atomic.Int64 // per-pid scan retry counts (metrics)
+	retries []pad.Int64 // per-pid scan retry counts (metrics)
 }
 
 // NewArrow builds an Arrow memory for n processes using factory (direct
@@ -77,7 +84,8 @@ func NewArrow[T any](n int, factory register.TwoWriterFactory) *Arrow[T] {
 		local:   make([]T, n),
 		c1:      make([][]register.Toggled[T], n),
 		c2:      make([][]register.Toggled[T], n),
-		retries: make([]atomic.Int64, n),
+		view:    make([][]T, n),
+		retries: make([]pad.Int64, n),
 	}
 	var zero T
 	for i := 0; i < n; i++ {
@@ -85,6 +93,7 @@ func NewArrow[T any](n int, factory register.TwoWriterFactory) *Arrow[T] {
 		a.arrows[i] = make([]register.TwoWriter, n)
 		a.c1[i] = make([]register.Toggled[T], n)
 		a.c2[i] = make([]register.Toggled[T], n)
+		a.view[i] = make([]T, n)
 		for j := 0; j < n; j++ {
 			if i != j {
 				a.arrows[i][j] = factory(i, j, false)
@@ -155,7 +164,7 @@ func (a *Arrow[T]) Write(p *sched.Proc, v T) {
 // retry implies some other process completed a new write.
 func (a *Arrow[T]) Scan(p *sched.Proc) []T {
 	i := p.ID()
-	v1, v2 := a.c1[i], a.c2[i]
+	v1, v2, out := a.c1[i], a.c2[i], a.view[i]
 	var tries int64
 	for {
 		for j := 0; j < a.n; j++ {
@@ -168,31 +177,37 @@ func (a *Arrow[T]) Scan(p *sched.Proc) []T {
 				v1[j] = a.vals[j].Read(p)
 			}
 		}
+		// Second collect, fused with the toggle comparison and the view copy:
+		// both are register-local (no scheduler step), so folding them in here
+		// makes a clean scan one pass over the collect buffers instead of
+		// re-walking them in the check loop and the copy-out loop.
+		firstMismatch := a.n
 		for j := 0; j < a.n; j++ {
-			if j != i {
-				v2[j] = a.vals[j].Read(p)
+			if j == i {
+				continue
+			}
+			v2[j] = a.vals[j].Read(p)
+			out[j] = v2[j].Val
+			if firstMismatch == a.n && v1[j].Toggle != v2[j].Toggle {
+				firstMismatch = j
 			}
 		}
+		// Arrow re-reads are scheduler steps, so they must happen for exactly
+		// the prefix the unfused loop would have checked: every j up to and
+		// including the first dirty slot (set arrow or toggle mismatch).
 		clean := true
 		for j := 0; j < a.n && clean; j++ {
 			if j == i {
 				continue
 			}
-			if a.arrows[i][j].Read(p) || v1[j].Toggle != v2[j].Toggle {
+			if a.arrows[i][j].Read(p) || j == firstMismatch {
 				clean = false
 			}
 		}
 		if clean {
 			a.sink.Emit(obs.Event{Step: p.Now(), Pid: i, Kind: obs.ScanClean, Value: tries})
 			a.sink.Observe(obs.HistScanRetries, tries)
-			out := make([]T, a.n)
-			for j := 0; j < a.n; j++ {
-				if j == i {
-					out[j] = a.local[i]
-				} else {
-					out[j] = v2[j].Val
-				}
-			}
+			out[i] = a.local[i]
 			return out
 		}
 		a.retries[i].Add(1)
@@ -225,10 +240,12 @@ type SeqSnap[T any] struct {
 	local []T
 	seq   []uint64 // next sequence number per writer (owner-only access)
 
-	// c1/c2[i] are pid i's double-collect buffers (owner-only access).
+	// c1/c2/view[i] are pid i's double-collect and result buffers (owner-only
+	// access); the returned view is reused across scans (see Memory.Scan).
 	c1, c2 [][]seqCell[T]
+	view   [][]T
 
-	retries []atomic.Int64
+	retries []pad.Int64
 }
 
 // NewSeqSnap builds a SeqSnap memory for n processes.
@@ -240,12 +257,14 @@ func NewSeqSnap[T any](n int) *SeqSnap[T] {
 		seq:     make([]uint64, n),
 		c1:      make([][]seqCell[T], n),
 		c2:      make([][]seqCell[T], n),
-		retries: make([]atomic.Int64, n),
+		view:    make([][]T, n),
+		retries: make([]pad.Int64, n),
 	}
 	for i := 0; i < n; i++ {
 		s.vals[i] = register.NewSWMR(i, seqCell[T]{})
 		s.c1[i] = make([]seqCell[T], n)
 		s.c2[i] = make([]seqCell[T], n)
+		s.view[i] = make([]T, n)
 	}
 	return s
 }
@@ -293,30 +312,24 @@ func (s *SeqSnap[T]) Scan(p *sched.Proc) []T {
 			prev[j] = s.vals[j].Read(p)
 		}
 	}
+	out := s.view[i]
 	var tries int64
 	for {
-		for j := 0; j < s.n; j++ {
-			if j != i {
-				cur[j] = s.vals[j].Read(p)
-			}
-		}
+		// Collect, fused with the sequence comparison and the view copy (both
+		// register-local): a clean scan finishes in this single pass.
 		clean := true
-		for j := 0; j < s.n && clean; j++ {
-			if j != i && cur[j].seq != prev[j].seq {
-				clean = false
+		for j := 0; j < s.n; j++ {
+			if j == i {
+				continue
 			}
+			cur[j] = s.vals[j].Read(p)
+			out[j] = cur[j].val
+			clean = clean && cur[j].seq == prev[j].seq
 		}
 		if clean {
 			s.sink.Emit(obs.Event{Step: p.Now(), Pid: i, Kind: obs.ScanClean, Value: tries})
 			s.sink.Observe(obs.HistScanRetries, tries)
-			out := make([]T, s.n)
-			for j := 0; j < s.n; j++ {
-				if j == i {
-					out[j] = s.local[i]
-				} else {
-					out[j] = cur[j].val
-				}
-			}
+			out[i] = s.local[i]
 			return out
 		}
 		s.retries[i].Add(1)
@@ -354,13 +367,20 @@ type Collect[T any] struct {
 	n     int
 	vals  []*register.SWMR[T]
 	local []T
+	view  [][]T // per-pid reused result buffer (see Memory.Scan)
 }
 
 // NewCollect builds a Collect memory for n processes.
 func NewCollect[T any](n int) *Collect[T] {
-	c := &Collect[T]{n: n, vals: make([]*register.SWMR[T], n), local: make([]T, n)}
+	c := &Collect[T]{
+		n:     n,
+		vals:  make([]*register.SWMR[T], n),
+		local: make([]T, n),
+		view:  make([][]T, n),
+	}
 	for i := 0; i < n; i++ {
 		c.vals[i] = register.NewSWMR[T](i, *new(T))
+		c.view[i] = make([]T, n)
 	}
 	return c
 }
@@ -395,7 +415,7 @@ func (c *Collect[T]) Write(p *sched.Proc, v T) {
 // Scan implements Memory: one read per slot, no retry.
 func (c *Collect[T]) Scan(p *sched.Proc) []T {
 	i := p.ID()
-	out := make([]T, c.n)
+	out := c.view[i]
 	for j := 0; j < c.n; j++ {
 		if j == i {
 			out[j] = c.local[i]

@@ -1,9 +1,8 @@
 package scan
 
 import (
-	"sync/atomic"
-
 	"github.com/dsrepro/consensus/internal/obs"
+	"github.com/dsrepro/consensus/internal/pad"
 	"github.com/dsrepro/consensus/internal/register"
 	"github.com/dsrepro/consensus/internal/sched"
 )
@@ -51,13 +50,15 @@ type WaitFree[T any] struct {
 	pvecs   [][]bool
 
 	// per-pid scan scratch (owner-only access): move-event counters, handshake
-	// mirror, and the two collect buffers.
+	// mirror, the two collect buffers, and the reused result buffer (see
+	// Memory.Scan).
 	events [][]int
 	myHand [][]bool
 	s1, s2 [][]wfRec[T]
+	view   [][]T
 
-	retries []atomic.Int64
-	borrows []atomic.Int64
+	retries []pad.Int64
+	borrows []pad.Int64
 }
 
 type wfRec[T any] struct {
@@ -80,8 +81,9 @@ func NewWaitFree[T any](n int) *WaitFree[T] {
 		myHand:  make([][]bool, n),
 		s1:      make([][]wfRec[T], n),
 		s2:      make([][]wfRec[T], n),
-		retries: make([]atomic.Int64, n),
-		borrows: make([]atomic.Int64, n),
+		view:    make([][]T, n),
+		retries: make([]pad.Int64, n),
+		borrows: make([]pad.Int64, n),
 	}
 	for i := 0; i < n; i++ {
 		w.regs[i] = register.NewSWMR(i, wfRec[T]{p: make([]bool, n)})
@@ -91,6 +93,7 @@ func NewWaitFree[T any](n int) *WaitFree[T] {
 		w.myHand[i] = make([]bool, n)
 		w.s1[i] = make([]wfRec[T], n)
 		w.s2[i] = make([]wfRec[T], n)
+		w.view[i] = make([]T, n)
 		for j := 0; j < n; j++ {
 			if i != j {
 				w.hands[i][j] = register.NewSWMR(i, false)
@@ -144,7 +147,9 @@ func (w *WaitFree[T]) SetSink(s *obs.Sink) {
 // handshake flips, one atomic publish. Wait-free.
 func (w *WaitFree[T]) Write(p *sched.Proc, v T) {
 	i := p.ID()
-	view := w.Scan(p)
+	// Scan returns the per-pid reused buffer; the embedded view published in
+	// the record must stay immutable, so copy it out.
+	view := append([]T(nil), w.Scan(p)...)
 	newP := make([]bool, w.n)
 	for j := 0; j < w.n; j++ {
 		if j == i {
@@ -207,14 +212,15 @@ func (w *WaitFree[T]) Scan(p *sched.Proc) []T {
 				w.borrows[i].Add(1)
 				w.sink.Emit(obs.Event{Step: p.Now(), Pid: i, Kind: obs.ScanBorrow, Value: int64(j)})
 				w.sink.Observe(obs.HistScanRetries, tries)
-				out := append([]T(nil), c2[j].view...)
+				out := w.view[i]
+				copy(out, c2[j].view)
 				return out
 			}
 		}
 		if clean {
 			w.sink.Emit(obs.Event{Step: p.Now(), Pid: i, Kind: obs.ScanClean, Value: tries})
 			w.sink.Observe(obs.HistScanRetries, tries)
-			out := make([]T, w.n)
+			out := w.view[i]
 			for j := 0; j < w.n; j++ {
 				if j == i {
 					out[j] = w.local[i]

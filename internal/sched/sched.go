@@ -10,6 +10,23 @@
 // pair, which is what the correctness and complexity experiments in this
 // repository rely on.
 //
+// Two step engines implement that contract:
+//
+//   - The direct-dispatch engine (the default): scheduling runs inside the
+//     process goroutines themselves. The goroutine holding the "token" (the
+//     one process currently between a grant and its next Step) consults the
+//     adversary inline at its next Step; when the adversary picks the token
+//     holder again the grant coalesces into a plain function return — no
+//     channel operation, no goroutine park — and consecutive grants to one
+//     process execute as a run of steps. A cross-process handoff is a single
+//     send on the target's one-slot grant channel. See DESIGN.md §11.
+//   - The legacy rendezvous engine (Config.Rendezvous, test-only): a
+//     dedicated scheduler goroutine mediates every step through an event
+//     send plus a grant send — two channel crossings per atomic step. It is
+//     retained solely so the equivalence suite can prove the two engines
+//     produce byte-identical executions, and will be deleted once the parity
+//     tests have soaked.
+//
 // The package also provides a free-running mode (see RunFree) in which Step is
 // a no-op and processes race natively as goroutines; atomicity of individual
 // register operations is then guaranteed by the register implementations
@@ -84,6 +101,17 @@ func (p *Proc) Step() {
 	p.steps++
 }
 
+// newProc builds the per-process handle; the RNG derivation is shared by both
+// engines and free-running mode so a seed reproduces identical private coins
+// everywhere.
+func newProc(id int, seed int64, g gate) *Proc {
+	return &Proc{
+		id:   id,
+		rng:  rand.New(rand.NewSource(seed ^ int64(id)*0x7E3779B97F4A7C15 ^ 0x5DEECE66D)),
+		gate: g,
+	}
+}
+
 // Adversary chooses which waiting process performs the next atomic step.
 type Adversary interface {
 	// Next picks a pid from waiting (sorted ascending, always non-empty) to
@@ -111,16 +139,25 @@ type Config struct {
 	// Exceeding it aborts the run with ErrStepBudget.
 	MaxSteps int64
 
-	// OnStep, if non-nil, is invoked from the scheduler loop after each grant
-	// with the granted pid and the (1-based) global step count. Invocations
-	// are serialized; keep the hook cheap — it runs on the scheduling hot
-	// path.
+	// OnStep, if non-nil, is invoked from the scheduling hot path after each
+	// grant with the granted pid and the (1-based) global step count.
+	// Invocations are serialized; keep the hook cheap.
 	OnStep func(pid int, step int64)
 
 	// Sink, if non-nil, receives scheduler-level accounting (sched.grant
 	// counts) in the unified observability registry. Grants are counted, not
 	// recorded as events — one event per atomic step would drown any trace.
+	// The dispatch engine batches the counter updates (final totals are
+	// exact; mid-run registry scrapes may lag by at most grantFlushBatch).
 	Sink *obs.Sink
+
+	// Rendezvous selects the legacy per-step rendezvous engine (a dedicated
+	// scheduler goroutine, two channel crossings per step) instead of the
+	// direct-dispatch engine. The two engines produce byte-identical
+	// executions — identical grant sequences, step accounting, traces and
+	// decisions per seed. The flag exists only so the equivalence tests can
+	// prove that, and will be removed once the legacy gate is retired.
+	Rendezvous bool
 }
 
 // Result reports what happened during a run.
@@ -144,13 +181,266 @@ type Result struct {
 	Finished []bool
 }
 
-// event is how process goroutines talk to the scheduler loop.
+// grantFlushBatch is how many sched.grant counts the dispatch engine
+// accumulates locally before flushing them into the registry in one atomic
+// add. Totals are exact at run end; only mid-run scrapes can lag.
+const grantFlushBatch = 256
+
+// procSlot is one process's scheduling state in the dispatch engine, padded
+// to a cache line so per-proc accounting updates in concurrent batch workers
+// never false-share (each instance has its own slots, but instances from
+// different workers can be allocated adjacently).
+type procSlot struct {
+	grant      chan bool // one-slot token gate; false grant means halt
+	enqueuedAt int64     // global step count when the proc last entered Step
+	perProc    int64
+	waitSteps  int64
+	_          [32]byte
+}
+
+// dispatcher implements gate for the direct-dispatch engine. All mutable
+// scheduling state is owned by whichever goroutine holds the token; token
+// handoffs through the grant channels (and, at startup, the startPending
+// counter) provide the happens-before edges, so no lock is needed anywhere
+// on the step path.
+type dispatcher struct {
+	n        int
+	adv      Adversary
+	maxSteps int64
+	onStep   func(pid int, step int64)
+	sink     *obs.Sink
+
+	slots    []procSlot
+	live     []int  // sorted unfinished pids == the adversary's waiting set
+	isLive   []bool // isLive[pid]: O(1) validation of adversary picks
+	finished []bool
+
+	steps         int64
+	grantsPending int64
+	clock         atomic.Int64
+	startPending  atomic.Int32 // procs not yet at their first Step (or done)
+
+	// doneMu serializes completions that race during startup (bodies that
+	// finish before their first Step run concurrently). Post-startup it is
+	// uncontended: only the token holder can complete.
+	doneMu  sync.Mutex
+	err     error
+	badPick string // deferred adversary-misbehavior panic, rethrown by Run
+}
+
+// verdict is the outcome of one dispatch: who got the token.
+type verdict uint8
+
+const (
+	grantedSelf  verdict = iota // caller keeps running, no park
+	grantedOther                // token handed off, caller parks
+	haltedRun                   // run torn down during this dispatch
+)
+
+func newDispatcher(cfg Config, adv Adversary) *dispatcher {
+	d := &dispatcher{
+		n:        cfg.N,
+		adv:      adv,
+		maxSteps: cfg.MaxSteps,
+		onStep:   cfg.OnStep,
+		sink:     cfg.Sink,
+		slots:    make([]procSlot, cfg.N),
+		live:     make([]int, cfg.N),
+		isLive:   make([]bool, cfg.N),
+		finished: make([]bool, cfg.N),
+	}
+	for i := 0; i < cfg.N; i++ {
+		d.slots[i].grant = make(chan bool, 1)
+		d.live[i] = i
+		d.isLive[i] = true
+	}
+	d.startPending.Store(int32(cfg.N))
+	return d
+}
+
+func (d *dispatcher) now() int64 { return d.clock.Load() }
+
+// step implements gate. The caller holds the token (it is the one process
+// running user code), so it consults the adversary for the next grant
+// directly: a self-pick coalesces into a plain return, a cross-pick hands the
+// token over with one channel send and parks.
+func (d *dispatcher) step(p *Proc) {
+	pid := p.id
+	d.slots[pid].enqueuedAt = d.steps
+	if p.steps == 0 {
+		// First Step: register arrival. Until every process has reached its
+		// first Step (or finished without one) there is no token; the last
+		// arriver performs the run's first dispatch.
+		if d.startPending.Add(-1) > 0 {
+			d.park(pid)
+			return
+		}
+	}
+	switch d.dispatch(pid) {
+	case grantedSelf:
+		return // continue the run of steps without parking
+	case haltedRun:
+		panic(haltSignal{})
+	default:
+		d.park(pid)
+	}
+}
+
+// park blocks until granted; a false grant tears the process down.
+func (d *dispatcher) park(pid int) {
+	if ok := <-d.slots[pid].grant; !ok {
+		panic(haltSignal{})
+	}
+}
+
+// dispatch consults the adversary and issues one grant, reporting who got the
+// token. self is -1 when called from a completion (the finishing process
+// cannot be picked: it has already been removed from the live set).
+func (d *dispatcher) dispatch(self int) verdict {
+	if d.maxSteps > 0 && d.steps >= d.maxSteps {
+		d.halt(ErrStepBudget, self)
+		return haltedRun
+	}
+	pick := d.adv.Next(d.live, d.steps)
+	if pick == -1 {
+		d.halt(ErrStalled, self)
+		return haltedRun
+	}
+	if pick < 0 || pick >= d.n || !d.isLive[pick] {
+		d.badPick = fmt.Sprintf("sched: adversary picked pid %d not in waiting set %v", pick, d.live)
+		d.halt(ErrStalled, self)
+		return haltedRun
+	}
+	s := &d.slots[pick]
+	s.waitSteps += d.steps - s.enqueuedAt
+	d.steps++
+	s.perProc++
+	d.clock.Store(d.steps)
+	if d.sink != nil {
+		d.grantsPending++
+		if d.grantsPending >= grantFlushBatch {
+			d.flushGrants()
+		}
+	}
+	if d.onStep != nil {
+		d.onStep(pick, d.steps)
+	}
+	if pick == self {
+		return grantedSelf
+	}
+	s.grant <- true
+	return grantedOther
+}
+
+// halt ends the run: every parked process is woken with a false grant and
+// unwinds via haltSignal. self (when >= 0) is the in-flight dispatcher; it
+// must not be woken — it learns of the halt from dispatch's verdict.
+func (d *dispatcher) halt(err error, self int) {
+	d.err = err
+	d.flushGrants()
+	for _, pid := range d.live {
+		if pid != self {
+			d.slots[pid].grant <- false
+		}
+	}
+}
+
+// flushGrants publishes the locally batched sched.grant count.
+func (d *dispatcher) flushGrants() {
+	if d.grantsPending > 0 {
+		d.sink.CountN(obs.SchedGrant, d.grantsPending)
+		d.grantsPending = 0
+	}
+}
+
+// done records a completed body. A process that has taken at least one step
+// holds the token and dispatches the next grant itself; one that finished
+// before its first Step participates in startup registration instead.
+func (d *dispatcher) done(p *Proc) {
+	d.doneMu.Lock()
+	defer d.doneMu.Unlock()
+	pid := p.id
+	d.finished[pid] = true
+	d.isLive[pid] = false
+	for i, v := range d.live {
+		if v == pid {
+			d.live = append(d.live[:i], d.live[i+1:]...)
+			break
+		}
+	}
+	if len(d.live) == 0 {
+		d.flushGrants()
+		return
+	}
+	if p.steps == 0 && d.startPending.Add(-1) > 0 {
+		// Finished before the first dispatch existed and other processes are
+		// still on their way to it: nothing to dispatch yet.
+		return
+	}
+	d.dispatch(-1)
+}
+
+// Run executes body once per process under the configured adversarial
+// scheduler and blocks until every process has finished, crashed, or the step
+// budget is exhausted. It returns a Result together with ErrStepBudget or
+// ErrStalled when the run did not complete cleanly; the Result is valid in
+// all cases.
+func Run(cfg Config, body func(*Proc)) (Result, error) {
+	if cfg.N < 1 {
+		return Result{}, fmt.Errorf("sched: invalid N=%d", cfg.N)
+	}
+	if cfg.Rendezvous {
+		return runRendezvous(cfg, body)
+	}
+	adv := cfg.Adversary
+	if adv == nil {
+		adv = NewRoundRobin()
+	}
+	d := newDispatcher(cfg, adv)
+
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.N; i++ {
+		p := newProc(i, cfg.Seed, d)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if rec := recover(); rec != nil {
+					if _, ok := rec.(haltSignal); !ok {
+						panic(rec) // real bug in the algorithm body: propagate
+					}
+					// Halt teardown: no completion bookkeeping.
+				}
+			}()
+			body(p)
+			d.done(p)
+		}()
+	}
+	wg.Wait()
+	d.flushGrants()
+	if d.badPick != "" {
+		panic(d.badPick)
+	}
+	res := Result{
+		Steps:     d.steps,
+		PerProc:   make([]int64, cfg.N),
+		WaitSteps: make([]int64, cfg.N),
+		Finished:  d.finished,
+	}
+	for i := range d.slots {
+		res.PerProc[i] = d.slots[i].perProc
+		res.WaitSteps[i] = d.slots[i].waitSteps
+	}
+	return res, d.err
+}
+
+// event is how process goroutines talk to the rendezvous scheduler loop.
 type event struct {
 	pid  int
 	done bool // true: body returned (or halted); false: requesting a step
 }
 
-// runner implements gate for scheduled runs.
+// runner implements gate for the legacy rendezvous engine.
 type runner struct {
 	events chan event
 	grants []chan bool // per-pid; false grant means halt
@@ -166,15 +456,10 @@ func (r *runner) step(p *Proc) {
 
 func (r *runner) now() int64 { return r.clock.Load() }
 
-// Run executes body once per process under the configured adversarial
-// scheduler and blocks until every process has finished, crashed, or the step
-// budget is exhausted. It returns a Result together with ErrStepBudget or
-// ErrStalled when the run did not complete cleanly; the Result is valid in
-// all cases.
-func Run(cfg Config, body func(*Proc)) (Result, error) {
-	if cfg.N < 1 {
-		return Result{}, fmt.Errorf("sched: invalid N=%d", cfg.N)
-	}
+// runRendezvous is the legacy engine: a dedicated scheduler goroutine grants
+// steps one event/grant rendezvous at a time. Kept behind Config.Rendezvous
+// only for the engine-equivalence tests.
+func runRendezvous(cfg Config, body func(*Proc)) (Result, error) {
 	adv := cfg.Adversary
 	if adv == nil {
 		adv = NewRoundRobin()
@@ -196,11 +481,7 @@ func Run(cfg Config, body func(*Proc)) (Result, error) {
 	var wg sync.WaitGroup
 	for i := 0; i < cfg.N; i++ {
 		r.grants[i] = make(chan bool, 1)
-		p := &Proc{
-			id:   i,
-			rng:  rand.New(rand.NewSource(cfg.Seed ^ int64(i)*0x7E3779B97F4A7C15 ^ 0x5DEECE66D)),
-			gate: r,
-		}
+		p := newProc(i, cfg.Seed, r)
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -312,11 +593,7 @@ func RunFree(n int, seed int64, body func(*Proc)) Result {
 	var wg sync.WaitGroup
 	procs := make([]*Proc, n)
 	for i := 0; i < n; i++ {
-		procs[i] = &Proc{
-			id:   i,
-			rng:  rand.New(rand.NewSource(seed ^ int64(i)*0x7E3779B97F4A7C15 ^ 0x5DEECE66D)),
-			gate: g,
-		}
+		procs[i] = newProc(i, seed, g)
 		wg.Add(1)
 		go func(p *Proc) {
 			defer wg.Done()
