@@ -7,6 +7,7 @@ import (
 
 	"github.com/dsrepro/consensus/internal/core"
 	"github.com/dsrepro/consensus/internal/obs"
+	"github.com/dsrepro/consensus/internal/obs/audit"
 )
 
 // InstanceSeed derives the seed of batch instance k from the batch seed. The
@@ -79,6 +80,16 @@ type BatchResult struct {
 	// Hists holds the merged histograms; "core.steps_to_decide" aggregates
 	// per-process steps-to-decision across the whole batch.
 	Hists map[string]obs.HistSnapshot
+
+	// Violations sums invariant-probe firings by probe name across every
+	// instance when Base.Audit is set; nil when auditing is off or the batch
+	// was clean. Instance attribution is in the dumps (AuditDumps).
+	Violations map[string]int64
+	// Truncations sums coin-counter saturations across the batch.
+	Truncations int64
+	// AuditDumps lists every flight-recorder dump file written under
+	// Base.AuditDumpDir, in instance order (deterministic at any Parallel).
+	AuditDumps []string
 }
 
 // StepsPercentile returns the exact nearest-rank p-th percentile (0 < p <=
@@ -111,6 +122,7 @@ func SolveBatch(cfg BatchConfig) (BatchResult, error) {
 		return BatchResult{}, fmt.Errorf("consensus: BatchConfig.Instances must be >= 1, got %d", cfg.Instances)
 	}
 	instances := make([]core.Instance, cfg.Instances)
+	var mons []*audit.Monitor // indexed by instance; nil when auditing is off
 	for k := range instances {
 		c := cfg.Base
 		c.Seed = InstanceSeed(cfg.Seed, k)
@@ -139,6 +151,20 @@ func SolveBatch(cfg BatchConfig) (BatchResult, error) {
 		if err != nil {
 			return BatchResult{}, err
 		}
+		// Each audited instance gets its own monitor: flight rings and
+		// violation counters are per-instance state, so workers never share.
+		var mon *audit.Monitor
+		if c.Audit {
+			mon = audit.New(audit.Options{
+				SampleEvery: c.AuditSampleEvery,
+				DumpDir:     c.AuditDumpDir,
+			})
+			mon.SetRun(runInfoFor(c, alg, k, cfg.Seed))
+			if mons == nil {
+				mons = make([]*audit.Monitor, cfg.Instances)
+			}
+			mons[k] = mon
+		}
 		instances[k] = core.Instance{
 			Kind: kind,
 			Cfg: core.Config{
@@ -153,6 +179,7 @@ func SolveBatch(cfg BatchConfig) (BatchResult, error) {
 			Seed:      c.Seed,
 			Adversary: adv,
 			MaxSteps:  c.MaxSteps,
+			Monitor:   mon,
 		}
 	}
 
@@ -195,5 +222,15 @@ func SolveBatch(cfg BatchConfig) (BatchResult, error) {
 	res.Counters = snap.Counters
 	res.Gauges = snap.Gauges
 	res.Hists = snap.Hists
+	// Aggregate per-instance audit results in instance order, so the merged
+	// view is deterministic at any parallelism.
+	for _, mon := range mons {
+		if mon == nil {
+			continue
+		}
+		res.Violations = audit.MergeViolations(res.Violations, mon.Violations())
+		res.Truncations += mon.Truncations()
+		res.AuditDumps = append(res.AuditDumps, mon.DumpFiles()...)
+	}
 	return res, nil
 }

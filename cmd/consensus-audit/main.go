@@ -1,0 +1,181 @@
+// Command consensus-audit inspects a flight-recorder dump written by an
+// audited run (consensus-sim -audit -audit-dir, consensus-load -audit-dir, or
+// the library with Config.AuditDumpDir) and replays the dumped instance
+// deterministically to confirm the violation reproduces.
+//
+// The dump header carries the run's full identity — algorithm, inputs, seed,
+// schedule, protocol constants, active fault injection — so the replay needs
+// nothing but the dump file. Sampled probes are escalated to run at every
+// opportunity during replay, and the recorded mutation (if any) is re-enabled
+// so injected faults fire again.
+//
+// Usage:
+//
+//	consensus-audit dump.jsonl              # inspect + replay
+//	consensus-audit -no-replay dump.jsonl   # inspect only
+//	consensus-audit -events 50 dump.jsonl   # show the last 50 flight events
+//	consensus-audit -trace dump.jsonl       # replay with the protocol log on stderr
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	consensus "github.com/dsrepro/consensus"
+	"github.com/dsrepro/consensus/internal/obs/audit"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		noReplay = flag.Bool("no-replay", false, "inspect the dump without replaying the run")
+		events   = flag.Int("events", 10, "print the last N flight-recorder events (0 = none, -1 = all)")
+		trace    = flag.Bool("trace", false, "replay: print the protocol event log to stderr")
+		traceOut = flag.String("trace-out", "", "replay: write the full cross-layer event stream as JSONL to this file")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: consensus-audit [flags] dump.jsonl")
+		flag.PrintDefaults()
+		return 2
+	}
+	path := flag.Arg(0)
+
+	d, err := audit.ReadDumpFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "consensus-audit: %v\n", err)
+		return 2
+	}
+	printDump(path, d, *events)
+	if *noReplay {
+		return 0
+	}
+	return replay(d, *trace, *traceOut)
+}
+
+func printDump(path string, d audit.Dump, events int) {
+	fmt.Printf("dump      : %s (format v%d)\n", path, d.Version)
+	fmt.Printf("violation : %s at step %d, process %d\n", d.Probe, d.Step, d.Pid)
+	if d.Detail != "" {
+		fmt.Printf("detail    : %s\n", d.Detail)
+	}
+	in := d.Info
+	fmt.Printf("run       : %s n=%d seed=%d", in.Algorithm, in.N, in.Seed)
+	if in.Instance >= 0 {
+		fmt.Printf(" (batch instance %d of seed %d)", in.Instance, in.BatchSeed)
+	}
+	fmt.Println()
+	fmt.Printf("inputs    : %v\n", in.Inputs)
+	fmt.Printf("schedule  : %s", orDefault(in.Schedule, "round-robin"))
+	if in.Crash != "" {
+		fmt.Printf(" crash=%s", in.Crash)
+	}
+	fmt.Println()
+	fmt.Printf("constants : K=%d B=%d M=%d memory=%s bloom=%v fast=%v max-steps=%d\n",
+		in.K, in.B, in.M, orDefault(in.Memory, "arrow"), in.Bloom, in.FastPath, in.MaxSteps)
+	if in.Mutation != "" {
+		fmt.Printf("mutation  : %s (fault injection was active)\n", in.Mutation)
+	}
+	printState(d.State)
+	if d.EventsDropped > 0 {
+		fmt.Printf("flight    : %d events retained, %d older events overwritten\n", len(d.Events), d.EventsDropped)
+	} else {
+		fmt.Printf("flight    : %d events retained\n", len(d.Events))
+	}
+	if events != 0 && len(d.Events) > 0 {
+		tail := d.Events
+		if events > 0 && len(tail) > events {
+			tail = tail[len(tail)-events:]
+		}
+		for _, e := range tail {
+			fmt.Printf("  %s\n", e)
+		}
+	}
+}
+
+func printState(st audit.State) {
+	if st.Prefs != nil {
+		fmt.Printf("state     : prefs=%v\n", st.Prefs)
+	}
+	if st.Rounds != nil {
+		fmt.Printf("            rounds=%v\n", st.Rounds)
+	}
+	if st.Coins != nil {
+		fmt.Printf("            coins=%v\n", st.Coins)
+	}
+	for i, row := range st.Edges {
+		fmt.Printf("            edges[%d]=%v\n", i, row)
+	}
+	for i, row := range st.Strips {
+		fmt.Printf("            strip[%d]=%v\n", i, row)
+	}
+}
+
+// replay rebuilds the run from the dump header and re-executes it with every
+// sampled probe escalated, then checks the recorded probe fires again.
+func replay(d audit.Dump, trace bool, traceOut string) int {
+	cfg, err := consensus.ReplayConfig(d.Info)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "consensus-audit: %v\n", err)
+		return 2
+	}
+	if d.Info.Mutation != "" {
+		if err := audit.EnableMutation(d.Info.Mutation); err != nil {
+			fmt.Fprintf(os.Stderr, "consensus-audit: %v\n", err)
+			return 2
+		}
+		defer audit.DisableAll()
+	}
+	if trace {
+		cfg.TraceWriter = os.Stderr
+	}
+	var traceFile *os.File
+	if traceOut != "" {
+		traceFile, err = os.Create(traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "consensus-audit: %v\n", err)
+			return 2
+		}
+		cfg.TraceJSONL = traceFile
+	}
+	fmt.Printf("replay    : %s n=%d seed=%d, probes at every opportunity\n", d.Info.Algorithm, len(cfg.Inputs), cfg.Seed)
+	res, err := consensus.Solve(cfg)
+	if traceFile != nil {
+		if cerr := traceFile.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		fmt.Printf("replay    : run ended early: %v\n", err)
+	}
+	if len(res.Violations) == 0 {
+		fmt.Printf("replay    : CLEAN — recorded violation %s did not reproduce\n", d.Probe)
+		return 1
+	}
+	keys := make([]string, 0, len(res.Violations))
+	for k := range res.Violations {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("replay    : %-16s fired %d times\n", k, res.Violations[k])
+	}
+	if res.Violations[d.Probe] > 0 {
+		fmt.Printf("replay    : REPRODUCED %s\n", d.Probe)
+		return 0
+	}
+	fmt.Printf("replay    : recorded probe %s did not fire (other probes did)\n", d.Probe)
+	return 1
+}
+
+func orDefault(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
+}

@@ -45,6 +45,9 @@ func run() int {
 		listen    = flag.String("listen", "", "serve live telemetry (/metrics, /healthz, /debug/pprof) on this address while the batch runs (e.g. 127.0.0.1:9090, :0 for a free port)")
 		linger    = flag.Duration("linger", 0, "with -listen, keep serving telemetry this long after the batch completes")
 		tail      = flag.Int("tail", 0, "keep the last N events in a ring for post-run inspection (0 = off; ordering across workers is unspecified)")
+		auditOn   = flag.Bool("audit", false, "run the online invariant monitor on every instance; non-zero exit if any probe fires")
+		auditN    = flag.Int("audit-sample", 0, "audit: run sampled probes every N opportunities (0 = default 64, 1 = every)")
+		auditDir  = flag.String("audit-dir", "", "audit: write flight-recorder dumps to this directory (replay with consensus-audit)")
 	)
 	flag.Parse()
 
@@ -83,6 +86,11 @@ func run() int {
 		prog:     prog,
 		srv:      srv,
 	}
+	if *auditOn || *auditDir != "" || *auditN > 0 {
+		opts.audit = true
+		opts.auditSample = *auditN
+		opts.auditDir = *auditDir
+	}
 
 	if *matrix {
 		m := benchfmt.Matrix{}
@@ -93,6 +101,7 @@ func run() int {
 				return 2
 			}
 			bad += reportErrors(res)
+			bad += int(reportViolations(res))
 			m.Workloads = append(m.Workloads, r)
 			if !*jsonOut {
 				printReport(r, nil)
@@ -139,7 +148,7 @@ func run() int {
 		printReport(r, ring)
 	}
 	lingerAtExit()
-	if reportErrors(res) > 0 {
+	if reportErrors(res)+int(reportViolations(res)) > 0 {
 		return 1
 	}
 	return 0
@@ -167,13 +176,16 @@ var matrixWorkloads = []workloadSpec{
 
 // workloadOpts carries the flag settings shared by every workload of a run.
 type workloadOpts struct {
-	schedule consensus.Schedule
-	seed     int64
-	maxSteps int64
-	b        int
-	parallel int
-	prog     *obs.BatchProgress
-	srv      *live.Server
+	schedule    consensus.Schedule
+	seed        int64
+	maxSteps    int64
+	b           int
+	parallel    int
+	prog        *obs.BatchProgress
+	srv         *live.Server
+	audit       bool
+	auditSample int
+	auditDir    string
 }
 
 // runWorkload runs one batch workload into a fresh sink and builds its
@@ -197,6 +209,11 @@ func runWorkload(ws workloadSpec, opts workloadOpts, ring *obs.Ring) (benchfmt.R
 		rec = ring
 	}
 	sink := obs.NewSink(rec)
+	if ring != nil {
+		// Account ring overwrites into the registry so trace loss is visible
+		// at /metrics (obs.trace_dropped) and in the report counters.
+		ring.CountDropsInto(sink)
+	}
 	if opts.srv != nil {
 		opts.srv.AddRegistry(sink.Registry())
 	}
@@ -205,11 +222,14 @@ func runWorkload(ws workloadSpec, opts workloadOpts, ring *obs.Ring) (benchfmt.R
 	res, err := consensus.SolveBatch(consensus.BatchConfig{
 		Instances: ws.Instances,
 		Base: consensus.Config{
-			Inputs:    inputs,
-			Algorithm: alg,
-			Schedule:  opts.schedule,
-			MaxSteps:  opts.maxSteps,
-			B:         opts.b,
+			Inputs:           inputs,
+			Algorithm:        alg,
+			Schedule:         opts.schedule,
+			MaxSteps:         opts.maxSteps,
+			B:                opts.b,
+			Audit:            opts.audit,
+			AuditSampleEvery: opts.auditSample,
+			AuditDumpDir:     opts.auditDir,
 		},
 		Seed:     opts.seed,
 		Parallel: opts.parallel,
@@ -241,6 +261,9 @@ func runWorkload(ws workloadSpec, opts workloadOpts, ring *obs.Ring) (benchfmt.R
 		Hists:           res.Hists,
 		Derived:         derivedStats(res.Counters),
 	}
+	for _, v := range res.Violations {
+		r.Violations += v
+	}
 	return r, res, 0
 }
 
@@ -269,6 +292,9 @@ func printReport(r benchfmt.Report, ring *obs.Ring) {
 		fmt.Printf("scan retries  : %.3f per clean double-collect\n", ratio)
 	}
 	fmt.Printf("errors        : %d\n", r.Errors)
+	if r.Violations > 0 {
+		fmt.Printf("audit         : %d VIOLATIONS (see stderr for probes and dumps)\n", r.Violations)
+	}
 	if ring != nil {
 		fmt.Printf("tail          : kept %d events, dropped %d\n", ring.Len(), ring.Dropped())
 	}
@@ -285,6 +311,25 @@ func reportErrors(res consensus.BatchResult) int {
 		}
 	}
 	return res.ErrCount
+}
+
+// reportViolations prints the batch's invariant violations by probe plus the
+// flight dumps written, and returns the total count.
+func reportViolations(res consensus.BatchResult) int64 {
+	var total int64
+	keys := make([]string, 0, len(res.Violations))
+	for k, v := range res.Violations {
+		keys = append(keys, k)
+		total += v
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(os.Stderr, "consensus-load: audit violation %s x%d\n", k, res.Violations[k])
+	}
+	for _, f := range res.AuditDumps {
+		fmt.Fprintf(os.Stderr, "consensus-load: audit dump %s (replay with: go run ./cmd/consensus-audit %s)\n", f, f)
+	}
+	return total
 }
 
 // phaseMeansLine renders the phase.steps.* family as "prefer 1234.5, coin

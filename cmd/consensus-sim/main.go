@@ -43,6 +43,9 @@ func run() int {
 		trace      = flag.Bool("trace", false, "print the protocol event log to stderr (round advances, preference changes, coin flips, decisions)")
 		traceOut   = flag.String("trace-out", "", "write the full cross-layer event stream (register/scan/walk/strip/core) as JSONL to this file")
 		metrics    = flag.Bool("metrics", false, "print the cross-layer observability counters after the run")
+		auditFlag  = flag.Bool("audit", false, "run the online invariant monitor; non-zero exit if any probe fires")
+		auditEvery = flag.Int("audit-sample", 0, "audit: run sampled probes every N opportunities (0 = default 64, 1 = every)")
+		auditDir   = flag.String("audit-dir", "", "audit: write flight-recorder dumps to this directory (replay with consensus-audit)")
 		listen     = flag.String("listen", "", "serve live telemetry (/metrics, /healthz, /debug/pprof) on this address while the run executes (e.g. 127.0.0.1:9090, :0 for a free port)")
 		linger     = flag.Duration("linger", 0, "with -listen, keep serving telemetry this long after the run completes")
 	)
@@ -73,6 +76,11 @@ func run() int {
 		B:              *b,
 		M:              *m,
 		UseBloomArrows: *bloom,
+	}
+	if *auditFlag || *auditDir != "" || *auditEvery > 0 {
+		cfg.Audit = true
+		cfg.AuditSampleEvery = *auditEvery
+		cfg.AuditDumpDir = *auditDir
 	}
 	if *trace {
 		cfg.TraceWriter = os.Stderr
@@ -137,7 +145,22 @@ func run() int {
 	if traceFile != nil {
 		fmt.Printf("trace     : %s (analyse with: go run ./cmd/traceview %s)\n", *traceOut, *traceOut)
 	}
-	if err != nil {
+	violated := false
+	if cfg.Audit {
+		if len(res.Violations) == 0 {
+			fmt.Printf("audit     : clean (%d coin truncations)\n", res.Truncations)
+		} else {
+			violated = true
+			fmt.Printf("audit     : VIOLATIONS\n")
+			for _, k := range sortedKeys(res.Violations) {
+				fmt.Printf("  %-16s %d\n", k, res.Violations[k])
+			}
+			for _, f := range res.AuditDumps {
+				fmt.Printf("  dump: %s (replay with: go run ./cmd/consensus-audit %s)\n", f, f)
+			}
+		}
+	}
+	if err != nil || violated {
 		return 1
 	}
 	return 0

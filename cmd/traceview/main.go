@@ -9,6 +9,11 @@
 //	traceview run.jsonl
 //	traceview -format markdown run.jsonl
 //	traceview -phase coin run.jsonl   # plus a per-process table for one phase
+//	traceview -audit run.jsonl        # only the invariant-audit tables
+//
+// Traces from audited runs (consensus-sim -audit) carry audit-layer events;
+// traceview summarises the violations by probe and lists the flight dumps.
+// It also reads the JSONL tail of a flight-dump file directly.
 package main
 
 import (
@@ -17,6 +22,7 @@ import (
 	"math"
 	"os"
 	"sort"
+	"strings"
 
 	"github.com/dsrepro/consensus/internal/harness"
 	"github.com/dsrepro/consensus/internal/obs"
@@ -29,8 +35,9 @@ func main() {
 func run() int {
 	formatFlag := flag.String("format", "text", "output format: text | markdown | csv")
 	phaseFlag := flag.String("phase", "", "also render a per-process breakdown of one phase: prefer | coin | strip | decide")
+	auditFlag := flag.Bool("audit", false, "render only the invariant-audit tables (violations by probe, flight dumps)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: traceview [-format text|markdown|csv] [-phase name] trace.jsonl\n")
+		fmt.Fprintf(os.Stderr, "usage: traceview [-format text|markdown|csv] [-phase name] [-audit] trace.jsonl\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -64,10 +71,73 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "traceview: trace is empty")
 		return 1
 	}
+	if *auditFlag {
+		for _, t := range auditTables(flag.Arg(0), events) {
+			t.RenderAs(os.Stdout, format)
+		}
+		return 0
+	}
 	for _, t := range summarise(flag.Arg(0), events, *phaseFlag) {
 		t.RenderAs(os.Stdout, format)
 	}
 	return 0
+}
+
+// auditTables summarises the audit-layer events of a trace: violations
+// grouped by probe with first/last firing step, and the flight dumps
+// produced. Returns a single empty-notice table when the trace has none.
+func auditTables(name string, events []Event) []*harness.Table {
+	type probeAgg struct {
+		count       int64
+		first, last int64
+	}
+	probes := map[string]*probeAgg{}
+	var order []string
+	var dumps []Event
+	for _, e := range events {
+		switch e.Kind {
+		case obs.AuditViolation:
+			probe := e.Detail
+			if p, _, ok := strings.Cut(e.Detail, ":"); ok {
+				probe = p
+			}
+			a := probes[probe]
+			if a == nil {
+				a = &probeAgg{first: e.Step}
+				probes[probe] = a
+				order = append(order, probe)
+			}
+			a.count++
+			a.last = e.Step
+		case obs.FlightDump:
+			dumps = append(dumps, e)
+		}
+	}
+	vt := &harness.Table{
+		Title:   fmt.Sprintf("%s: invariant violations by probe", name),
+		Columns: []string{"probe", "violations", "first step", "last step"},
+	}
+	sort.Strings(order)
+	for _, probe := range order {
+		a := probes[probe]
+		vt.Add(probe, a.count, a.first, a.last)
+	}
+	if len(order) == 0 {
+		vt.Note("no audit violations in this trace.")
+	}
+	tables := []*harness.Table{vt}
+	if len(dumps) > 0 {
+		dt := &harness.Table{
+			Title:   fmt.Sprintf("%s: flight dumps", name),
+			Columns: []string{"step", "process", "events", "dump"},
+		}
+		for _, e := range dumps {
+			dt.Add(e.Step, fmt.Sprintf("p%d", e.Pid), e.Value, e.Detail)
+		}
+		dt.Note("replay a dump file with: go run ./cmd/consensus-audit <dump>")
+		tables = append(tables, dt)
+	}
+	return tables
 }
 
 // summarise builds the analysis tables from a decoded event stream. phase, if
@@ -91,7 +161,7 @@ func summarise(name string, events []Event, phase string) []*harness.Table {
 		Title:   fmt.Sprintf("%s: events per layer (%d events over %d steps)", name, len(events), lastStep),
 		Columns: []string{"layer", "events", "share"},
 	}
-	for _, l := range []obs.Layer{obs.LayerRegister, obs.LayerScan, obs.LayerWalk, obs.LayerStrip, obs.LayerSched, obs.LayerCore, obs.LayerPhase} {
+	for _, l := range []obs.Layer{obs.LayerRegister, obs.LayerScan, obs.LayerWalk, obs.LayerStrip, obs.LayerSched, obs.LayerCore, obs.LayerPhase, obs.LayerAudit, obs.LayerObs} {
 		if c, ok := layerCounts[l]; ok {
 			lt.Add(l.String(), c, fmt.Sprintf("%.1f%%", 100*float64(c)/float64(len(events))))
 		}
@@ -229,6 +299,15 @@ func summarise(name string, events []Event, phase string) []*harness.Table {
 		}
 		ht.Note("p50=%s p90=%s p99=%s max=%d", harness.F(snap.P50), harness.F(snap.P90), harness.F(snap.P99), snap.Max)
 		tables = append(tables, ht)
+	}
+
+	// Audit summary, only when the trace carries audit-layer events (audited
+	// runs; clean unaudited traces keep their historical output).
+	for _, e := range events {
+		if e.Kind.Layer() == obs.LayerAudit {
+			tables = append(tables, auditTables(name, events)...)
+			break
+		}
 	}
 
 	return tables

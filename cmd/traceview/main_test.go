@@ -65,3 +65,42 @@ func TestSummarisePhaseInvariant(t *testing.T) {
 		t.Errorf("phase spans attribute %d steps, trace has %d", attributed, lastStep)
 	}
 }
+
+// TestAuditGolden locks the -audit rendering of a checked-in trace from an
+// audited run with the walk.unclamped fault injected (Bounded, n=4, seed 1,
+// M=8: one coin.range violation plus its flight dump). Regenerate with:
+//
+//	go run . -audit testdata/audit.jsonl > testdata/audit.golden
+func TestAuditGolden(t *testing.T) {
+	f, err := os.Open("testdata/audit.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := obs.ReadJSONL(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile("testdata/audit.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	for _, tbl := range auditTables("testdata/audit.jsonl", events) {
+		tbl.RenderAs(&buf, harness.FormatText)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("audit tables diverged from golden:\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+
+	// The full summary of an audited trace appends the same audit tables; the
+	// violations table must be present there too.
+	var full bytes.Buffer
+	for _, tbl := range summarise("testdata/audit.jsonl", events, "") {
+		tbl.RenderAs(&full, harness.FormatText)
+	}
+	if !bytes.Contains(full.Bytes(), []byte("invariant violations by probe")) {
+		t.Error("full summary of an audited trace is missing the violations table")
+	}
+}

@@ -47,6 +47,7 @@ import (
 
 	"github.com/dsrepro/consensus/internal/core"
 	"github.com/dsrepro/consensus/internal/obs"
+	"github.com/dsrepro/consensus/internal/obs/audit"
 	"github.com/dsrepro/consensus/internal/scan"
 	"github.com/dsrepro/consensus/internal/sched"
 	"github.com/dsrepro/consensus/internal/walk"
@@ -225,6 +226,22 @@ type Config struct {
 	// immediately. Ignored by the other algorithms.
 	FastDecide bool
 
+	// Audit enables the online invariant monitor (internal/obs/audit): range
+	// probes on coin counters and strip edges, sampled strip-graph and
+	// register-regularity audits, scan handshake checks, and end-of-instance
+	// agreement/validity checks. Probes are passive — decisions and step
+	// counts are byte-identical with auditing on or off. Violations surface
+	// in Result.Violations and each produces a flight-recorder dump.
+	Audit bool
+	// AuditSampleEvery controls how often the expensive sampled probes run
+	// (graph validation, register linearization windows): every Nth
+	// opportunity (default 64; 1 = every opportunity, as replay uses).
+	AuditSampleEvery int
+	// AuditDumpDir, if non-empty, is where flight-recorder dumps are written
+	// as JSONL files (see Result.AuditDumps). When empty, dumps are kept
+	// in memory only.
+	AuditDumpDir string
+
 	// TraceWriter, if non-nil, receives a human-readable protocol event log
 	// (round advances, preference changes, coin flips, decisions) in
 	// scheduler order — one line per event. Only core-layer (protocol) events
@@ -287,6 +304,18 @@ type Result struct {
 	// "phase.steps.*" family (one sample per decided process; the family's
 	// sums decompose core.steps_to_decide). Empty histograms are omitted.
 	Hists map[string]obs.HistSnapshot
+
+	// Violations counts invariant-probe firings by probe name ("coin.range",
+	// "strip.graph", ...) when Config.Audit is set; nil when auditing is off
+	// or the run was clean.
+	Violations map[string]int64
+	// Truncations counts coin-counter saturations at ±(M+1) observed by the
+	// monitor (legal per the paper — accounting, not a violation).
+	Truncations int64
+	// AuditDumps lists the flight-recorder dump files written under
+	// Config.AuditDumpDir, in violation order. Feed one to cmd/consensus-audit
+	// to replay the instance post-mortem.
+	AuditDumps []string
 }
 
 // Errors returned by Solve, wrapped from the scheduler.
@@ -345,6 +374,14 @@ func Solve(cfg Config) (Result, error) {
 		all := append([]obs.Recorder{cfg.Sink.Recorder()}, recs...)
 		sink = cfg.Sink.WithRecorder(obs.Tee(all...))
 	}
+	var mon *audit.Monitor
+	if cfg.Audit {
+		mon = audit.New(audit.Options{
+			SampleEvery: cfg.AuditSampleEvery,
+			DumpDir:     cfg.AuditDumpDir,
+		})
+		mon.SetRun(runInfoFor(cfg, alg, -1, 0))
+	}
 	out, err := core.Execute(kind, core.Config{
 		K:              cfg.K,
 		B:              cfg.B,
@@ -358,6 +395,7 @@ func Solve(cfg Config) (Result, error) {
 		Adversary: adv,
 		MaxSteps:  cfg.MaxSteps,
 		Sink:      sink,
+		Monitor:   mon,
 	})
 	if jsonl != nil {
 		if ferr := jsonl.Flush(); ferr != nil && err == nil {
@@ -387,6 +425,11 @@ func Solve(cfg Config) (Result, error) {
 		Counters:     snap.Counters,
 		Gauges:       snap.Gauges,
 		Hists:        snap.Hists,
+	}
+	if mon != nil {
+		res.Violations = mon.Violations()
+		res.Truncations = mon.Truncations()
+		res.AuditDumps = mon.DumpFiles()
 	}
 	return res, out.Err
 }

@@ -36,6 +36,9 @@ type Report struct {
 	// Dropped counts ring-recorder events overwritten during the run (0 when
 	// no tail was attached or the ring kept up).
 	Dropped int64 `json:"dropped_events,omitempty"`
+	// Violations counts invariant-monitor probe firings across the batch
+	// (0 when auditing was off or the batch was clean; see internal/obs/audit).
+	Violations int64 `json:"audit_violations,omitempty"`
 	// Derived holds ratios computed from the raw counters at report time
 	// ("scan.retry_ratio" = scan.retry / scan.clean). They are informational:
 	// benchdiff reports them but never gates on them, since each is derivable

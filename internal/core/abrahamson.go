@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 
 	"github.com/dsrepro/consensus/internal/obs"
+	"github.com/dsrepro/consensus/internal/obs/audit"
 	"github.com/dsrepro/consensus/internal/pad"
 	"github.com/dsrepro/consensus/internal/register"
 	"github.com/dsrepro/consensus/internal/scan"
@@ -64,6 +65,33 @@ func (a *Abrahamson) SetSink(s *obs.Sink) {
 	if ss, ok := a.mem.(interface{ SetSink(*obs.Sink) }); ok {
 		ss.SetSink(s)
 	}
+}
+
+// SetMonitor installs the invariant monitor on the protocol and the memory
+// stack beneath it, and provides the flight-recorder state snapshot.
+func (a *Abrahamson) SetMonitor(m *audit.Monitor) {
+	a.setMonitor(m)
+	if sm, ok := a.mem.(interface{ SetMonitor(*audit.Monitor) }); ok {
+		sm.SetMonitor(m)
+	}
+	m.SetStateFn(a.captureState)
+}
+
+// captureState snapshots the published state for flight dumps (no coin
+// strips: this protocol's entries carry only preference and round).
+func (a *Abrahamson) captureState() audit.State {
+	pk, ok := a.mem.(interface{ PeekSlot(int) UEntry })
+	if !ok {
+		return audit.State{}
+	}
+	n := a.cfg.N
+	st := audit.State{Prefs: make([]int, n), Rounds: make([]int64, n)}
+	for i := 0; i < n; i++ {
+		e := pk.PeekSlot(i)
+		st.Prefs[i] = int(e.Pref)
+		st.Rounds[i] = e.Round
+	}
+	return st
 }
 
 // Reset restores the instance to its initial state for pooling (core.Arena),

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"github.com/dsrepro/consensus/internal/obs"
+	"github.com/dsrepro/consensus/internal/obs/audit"
 	"github.com/dsrepro/consensus/internal/sched"
 )
 
@@ -29,6 +30,10 @@ type Instance struct {
 	Seed      int64
 	Adversary sched.Adversary
 	MaxSteps  int64
+	// Monitor, if non-nil, audits this instance (see ExecConfig.Monitor).
+	// Each instance needs its own monitor — flight rings and violation
+	// counters are per-instance state.
+	Monitor *audit.Monitor
 }
 
 // BatchOutcome pairs one instance's outcome with its setup error. Out is
@@ -88,6 +93,7 @@ func RunBatchProgress(parallel int, sink *obs.Sink, prog *obs.BatchProgress, ins
 			Adversary: inst.Adversary,
 			MaxSteps:  inst.MaxSteps,
 			Sink:      sink,
+			Monitor:   inst.Monitor,
 		})
 		out[k] = BatchOutcome{Out: o, Err: err}
 	}

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"github.com/dsrepro/consensus/internal/obs"
+	"github.com/dsrepro/consensus/internal/obs/audit"
 	"github.com/dsrepro/consensus/internal/pad"
 	"github.com/dsrepro/consensus/internal/register"
 	"github.com/dsrepro/consensus/internal/scan"
@@ -211,6 +212,45 @@ func (b *Bounded) SetSink(s *obs.Sink) {
 	}
 }
 
+// SetMonitor installs the invariant monitor on the protocol, propagates it
+// down the memory stack (scan handshake and register probes), and provides
+// the flight-recorder state snapshot. A nil m detaches everything.
+func (b *Bounded) SetMonitor(m *audit.Monitor) {
+	b.setMonitor(m)
+	if sm, ok := b.mem.(interface{ SetMonitor(*audit.Monitor) }); ok {
+		sm.SetMonitor(m)
+	}
+	m.SetStateFn(b.captureState)
+}
+
+// captureState snapshots the published protocol state for flight dumps:
+// preferences, round counts, the current coin counter and edge row of every
+// process, via the memory's no-step Peek path.
+func (b *Bounded) captureState() audit.State {
+	pk, ok := b.mem.(interface{ PeekSlot(j int) Entry })
+	if !ok {
+		return audit.State{}
+	}
+	n, k := b.cfg.N, b.cfg.K
+	st := audit.State{
+		Prefs:  make([]int, n),
+		Rounds: make([]int64, n),
+		Coins:  make([]int, n),
+		Edges:  make([][]int, n),
+	}
+	for i := 0; i < n; i++ {
+		e := pk.PeekSlot(i)
+		if e.Coin == nil {
+			e = NewEntry(n, k)
+		}
+		st.Prefs[i] = int(e.Pref)
+		st.Rounds[i] = b.rounds[i].Load()
+		st.Coins[i] = e.Coin[coinSlot(e.CurrentCoin, 0, k)]
+		st.Edges[i] = append([]int(nil), e.Edge...)
+	}
+	return st
+}
+
 // CoinParams returns the effective shared-coin parameters.
 func (b *Bounded) CoinParams() walk.Params { return b.params }
 
@@ -239,7 +279,7 @@ func (b *Bounded) inc(p *sched.Proc, st Entry, view []Entry) (Entry, error) {
 	sc := &b.scratch[p.ID()]
 	fillEdgeMatrix(sc.mat, view)
 	sc.mat[p.ID()] = st.Edge
-	row, err := strip.IncRowScratch(p.ID(), sc.mat, k, sc.gInc, p, b.sink)
+	row, err := strip.IncRowAudited(p.ID(), sc.mat, k, sc.gInc, p, b.sink, b.mon)
 	if err != nil {
 		return Entry{}, err
 	}
@@ -275,7 +315,7 @@ func (b *Bounded) flipNextCoin(p *sched.Proc, st Entry) Entry {
 	k := b.cfg.K
 	st = st.CloneCoin() // only a coin slot is mutated; Edge stays shared
 	slot := coinSlot(st.CurrentCoin, 0, k)
-	st.Coin[slot] = b.params.StepCounterTraced(st.Coin[slot], p, b.sink)
+	st.Coin[slot] = b.params.StepCounterAudited(st.Coin[slot], p, b.sink, b.mon)
 	b.flips[p.ID()].Add(1)
 	atomicMax(&b.maxAbsCoin, int64(abs(st.Coin[slot])))
 	b.sink.GaugeMax(obs.GaugeMaxAbsCoin, int64(abs(st.Coin[slot])))
@@ -332,6 +372,9 @@ func (b *Bounded) Run(p *sched.Proc, input int) int {
 		g, err := b.decodeViewAt(i, view)
 		if err != nil {
 			panic(fmt.Sprintf("core: bounded proc %d: %v", i, err))
+		}
+		if b.mon.AuditGraphs() {
+			b.mon.GraphResult(p.Now(), i, g.Validate())
 		}
 
 		// FastDecide short-circuit: a published decision is final, so adopt

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"github.com/dsrepro/consensus/internal/obs"
+	"github.com/dsrepro/consensus/internal/obs/audit"
 	"github.com/dsrepro/consensus/internal/sched"
 )
 
@@ -138,6 +140,15 @@ type ExecConfig struct {
 	// sched.Config.Rendezvous). Used by the engine-equivalence suite to prove
 	// protocol-level executions are byte-identical under both engines.
 	Rendezvous bool
+
+	// Monitor, if non-nil, is the invariant monitor (see internal/obs/audit):
+	// its probes are installed down the whole stack, its flight-recorder ring
+	// is teed into the event stream, and the end-of-instance agreement and
+	// validity checks run after the scheduler returns. Probes are passive (no
+	// scheduler steps, no process randomness), so decisions and step counts
+	// are identical with and without a monitor. Nil disables auditing at one
+	// branch per probe site.
+	Monitor *audit.Monitor
 }
 
 // validateInputs checks that inputs is a non-empty binary vector.
@@ -174,10 +185,28 @@ func ExecuteProto(proto Protocol, ec ExecConfig) (Outcome, error) {
 			s.SetTracer(ec.Tracer)
 		}
 	}
-	if ec.Sink != nil {
-		if s, ok := proto.(interface{ SetSink(*obs.Sink) }); ok {
-			s.SetSink(ec.Sink)
+	sink := ec.Sink
+	if ec.Monitor.Enabled() {
+		// Tee the monitor's bounded flight ring into the run's event stream so
+		// the most recent events are on hand for violation dumps, and bind the
+		// sink so violations land in the run's registry and trace.
+		ring := ec.Monitor.FlightRecorder()
+		if sink != nil {
+			sink = sink.WithRecorder(obs.Tee(sink.Recorder(), ring))
+		} else {
+			sink = obs.NewSink(ring)
 		}
+		ec.Monitor.BindSink(sink)
+	}
+	if sink != nil {
+		if s, ok := proto.(interface{ SetSink(*obs.Sink) }); ok {
+			s.SetSink(sink)
+		}
+	}
+	// Always install the monitor — a nil Monitor must clear any stale one a
+	// pooled instance might still carry from a previous audited run.
+	if s, ok := proto.(interface{ SetMonitor(*audit.Monitor) }); ok {
+		s.SetMonitor(ec.Monitor)
 	}
 	n := len(ec.Inputs)
 	out := Outcome{
@@ -189,7 +218,7 @@ func ExecuteProto(proto Protocol, ec ExecConfig) (Outcome, error) {
 		Seed:       ec.Seed,
 		Adversary:  ec.Adversary,
 		MaxSteps:   ec.MaxSteps,
-		Sink:       ec.Sink,
+		Sink:       sink,
 		Rendezvous: ec.Rendezvous,
 	}, func(p *sched.Proc) {
 		v := proto.Run(p, ec.Inputs[p.ID()])
@@ -199,5 +228,7 @@ func ExecuteProto(proto Protocol, ec ExecConfig) (Outcome, error) {
 	out.Sched = res
 	out.Metrics = proto.Metrics()
 	out.Err = runErr
+	ec.Monitor.EndOfInstance(res.Steps, out.Decided, out.Values, ec.Inputs,
+		errors.Is(runErr, sched.ErrStepBudget) && !out.AllDecided())
 	return out, nil
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"github.com/dsrepro/consensus/internal/obs"
+	"github.com/dsrepro/consensus/internal/obs/audit"
 	"github.com/dsrepro/consensus/internal/pad"
 	"github.com/dsrepro/consensus/internal/register"
 	"github.com/dsrepro/consensus/internal/scan"
@@ -108,6 +109,41 @@ func (l *ExpLocal) SetSink(s *obs.Sink) {
 	}
 }
 
+// SetMonitor installs the invariant monitor on the protocol and the memory
+// stack beneath it, and provides the flight-recorder state snapshot.
+func (l *ExpLocal) SetMonitor(m *audit.Monitor) {
+	l.setMonitor(m)
+	if sm, ok := l.mem.(interface{ SetMonitor(*audit.Monitor) }); ok {
+		sm.SetMonitor(m)
+	}
+	m.SetStateFn(l.captureState)
+}
+
+// captureState snapshots the published state for flight dumps (no coin
+// counters: this baseline's coin slots stay zero).
+func (l *ExpLocal) captureState() audit.State {
+	pk, ok := l.mem.(interface{ PeekSlot(j int) Entry })
+	if !ok {
+		return audit.State{}
+	}
+	n, k := l.cfg.N, l.cfg.K
+	st := audit.State{
+		Prefs:  make([]int, n),
+		Rounds: make([]int64, n),
+		Edges:  make([][]int, n),
+	}
+	for i := 0; i < n; i++ {
+		e := pk.PeekSlot(i)
+		if e.Coin == nil {
+			e = NewEntry(n, k)
+		}
+		st.Prefs[i] = int(e.Pref)
+		st.Rounds[i] = l.rounds[i].Load()
+		st.Edges[i] = append([]int(nil), e.Edge...)
+	}
+	return st
+}
+
 // Metrics implements Protocol.
 func (l *ExpLocal) Metrics() Metrics {
 	m := Metrics{Rounds: make([]int64, l.cfg.N), CoinFlips: make([]int64, l.cfg.N)}
@@ -127,7 +163,7 @@ func (l *ExpLocal) inc(p *sched.Proc, st Entry, view []Entry) (Entry, error) {
 	sc := &l.scratch[p.ID()]
 	fillEdgeMatrix(sc.mat, view)
 	sc.mat[p.ID()] = st.Edge
-	row, err := strip.IncRowScratch(p.ID(), sc.mat, k, sc.gInc, p, l.sink)
+	row, err := strip.IncRowAudited(p.ID(), sc.mat, k, sc.gInc, p, l.sink, l.mon)
 	if err != nil {
 		return Entry{}, err
 	}
@@ -161,6 +197,9 @@ func (l *ExpLocal) Run(p *sched.Proc, input int) int {
 		g, err := l.decodeViewAt(i, view)
 		if err != nil {
 			panic(fmt.Sprintf("core: exp-local proc %d: %v", i, err))
+		}
+		if l.mon.AuditGraphs() {
+			l.mon.GraphResult(p.Now(), i, g.Validate())
 		}
 
 		if st.Pref != Bottom && g.Leader(i) && disagreersTrailByK(view, g, i, st.Pref) {

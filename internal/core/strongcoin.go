@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"github.com/dsrepro/consensus/internal/obs"
+	"github.com/dsrepro/consensus/internal/obs/audit"
 	"github.com/dsrepro/consensus/internal/pad"
 	"github.com/dsrepro/consensus/internal/register"
 	"github.com/dsrepro/consensus/internal/scan"
@@ -106,6 +107,32 @@ func (s *StrongCoin) SetSink(sk *obs.Sink) {
 	if ss, ok := s.mem.(interface{ SetSink(*obs.Sink) }); ok {
 		ss.SetSink(sk)
 	}
+}
+
+// SetMonitor installs the invariant monitor on the protocol and the memory
+// stack beneath it, and provides the flight-recorder state snapshot.
+func (s *StrongCoin) SetMonitor(m *audit.Monitor) {
+	s.setMonitor(m)
+	if sm, ok := s.mem.(interface{ SetMonitor(*audit.Monitor) }); ok {
+		sm.SetMonitor(m)
+	}
+	m.SetStateFn(s.captureState)
+}
+
+// captureState snapshots the published state for flight dumps.
+func (s *StrongCoin) captureState() audit.State {
+	pk, ok := s.mem.(interface{ PeekSlot(int) UEntry })
+	if !ok {
+		return audit.State{}
+	}
+	n := s.cfg.N
+	st := audit.State{Prefs: make([]int, n), Rounds: make([]int64, n)}
+	for i := 0; i < n; i++ {
+		e := pk.PeekSlot(i)
+		st.Prefs[i] = int(e.Pref)
+		st.Rounds[i] = e.Round
+	}
+	return st
 }
 
 // Reset restores the instance to its initial state for pooling (core.Arena),

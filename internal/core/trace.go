@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/dsrepro/consensus/internal/obs"
+	"github.com/dsrepro/consensus/internal/obs/audit"
 )
 
 // EventKind classifies protocol trace events.
@@ -120,10 +121,13 @@ func FromObs(e obs.Event) (Event, bool) {
 }
 
 // traceSink embeds the protocol-side trace plumbing: an optional legacy
-// tracer plus the unified observability sink. Every protocol embeds it.
+// tracer, the unified observability sink, and the invariant monitor. Every
+// protocol embeds it; protocol Resets clear it wholesale (traceSink{}), so a
+// pooled instance never carries a stale tracer, sink or monitor.
 type traceSink struct {
 	tracer Tracer
 	sink   *obs.Sink
+	mon    *audit.Monitor
 }
 
 // SetTracer installs t (call before the run starts).
@@ -136,6 +140,15 @@ func (s *traceSink) setSink(sk *obs.Sink) { s.sink = sk }
 
 // Sink returns the installed observability sink (nil when none).
 func (s *traceSink) Sink() *obs.Sink { return s.sink }
+
+// setMonitor installs the invariant monitor on the protocol level. Protocols
+// expose SetMonitor methods that also propagate the monitor to the memory
+// stack and install their state-snapshot provider for flight dumps.
+func (s *traceSink) setMonitor(m *audit.Monitor) { s.mon = m }
+
+// Monitor returns the installed invariant monitor (nil when auditing is
+// off).
+func (s *traceSink) Monitor() *audit.Monitor { return s.mon }
 
 // tracing reports whether any trace consumer is attached. Emit sites use it
 // to skip building Detail strings (the only allocating part of an event) when

@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 
 	"github.com/dsrepro/consensus/internal/obs"
+	"github.com/dsrepro/consensus/internal/obs/audit"
 	"github.com/dsrepro/consensus/internal/pad"
 	"github.com/dsrepro/consensus/internal/register"
 	"github.com/dsrepro/consensus/internal/scan"
@@ -92,6 +93,43 @@ func (u *AHUnbounded) SetSink(s *obs.Sink) {
 	if ss, ok := u.mem.(interface{ SetSink(*obs.Sink) }); ok {
 		ss.SetSink(s)
 	}
+}
+
+// SetMonitor installs the invariant monitor on the protocol and the memory
+// stack beneath it, and provides the flight-recorder state snapshot. The
+// coin-range probe stays dormant here (counters are genuinely unbounded) but
+// the scan, register and end-of-instance probes all apply.
+func (u *AHUnbounded) SetMonitor(m *audit.Monitor) {
+	u.setMonitor(m)
+	if sm, ok := u.mem.(interface{ SetMonitor(*audit.Monitor) }); ok {
+		sm.SetMonitor(m)
+	}
+	m.SetStateFn(u.captureState)
+}
+
+// captureState snapshots the published state for flight dumps.
+func (u *AHUnbounded) captureState() audit.State {
+	pk, ok := u.mem.(interface{ PeekSlot(int) UEntry })
+	if !ok {
+		return audit.State{}
+	}
+	n := u.cfg.N
+	st := audit.State{
+		Prefs:  make([]int, n),
+		Rounds: make([]int64, n),
+		Coins:  make([]int, n),
+		Strips: make([][]int, n),
+	}
+	for i := 0; i < n; i++ {
+		e := pk.PeekSlot(i)
+		st.Prefs[i] = int(e.Pref)
+		st.Rounds[i] = e.Round
+		if e.Round >= 1 && int(e.Round) <= len(e.Strip) {
+			st.Coins[i] = e.Strip[e.Round-1]
+		}
+		st.Strips[i] = append([]int(nil), e.Strip...)
+	}
+	return st
 }
 
 // Reset restores the instance to its initial state for pooling (core.Arena),
@@ -255,7 +293,7 @@ func (u *AHUnbounded) Run(p *sched.Proc, input int) int {
 		case walk.Undecided:
 			span.To(u.sink, obs.PhaseCoin, i, p.Now(), p.Steps())
 			st = st.Clone()
-			st.Strip[st.Round-1] = u.params.StepCounterTraced(st.Strip[st.Round-1], p, u.sink)
+			st.Strip[st.Round-1] = u.params.StepCounterAudited(st.Strip[st.Round-1], p, u.sink, u.mon)
 			u.flips[i].Add(1)
 			atomicMax(&u.maxAbs, int64(abs(st.Strip[st.Round-1])))
 			u.sink.GaugeMax(obs.GaugeMaxAbsCoin, int64(abs(st.Strip[st.Round-1])))

@@ -112,16 +112,51 @@ func Check(h History, init int) (bool, error) {
 	return dfs(0, init), nil
 }
 
+// RegularityViolation pins down the first conflicting operation pair of a
+// failed CheckRegularSWMR: the offending read, and the latest write that
+// completed before the read began (HasWrite false when no write preceded it —
+// the read should then have returned the initial value, possibly shadowed by
+// an overlapping write).
+type RegularityViolation struct {
+	// Read is the read that returned a disallowed value.
+	Read Op
+	// LatestWrite is the latest write completed before Read began.
+	LatestWrite Op
+	// HasWrite reports whether any write completed before Read began.
+	HasWrite bool
+	// Expected is the value of LatestWrite (or init), i.e. what a
+	// non-overlapped read must have returned.
+	Expected int
+}
+
+// String implements fmt.Stringer.
+func (v RegularityViolation) String() string {
+	if v.HasWrite {
+		return fmt.Sprintf("read %v conflicts with latest preceding write %v (expected %d)", v.Read, v.LatestWrite, v.Expected)
+	}
+	return fmt.Sprintf("read %v conflicts with initial value %d (no preceding write)", v.Read, v.Expected)
+}
+
 // CheckRegularSWMR verifies the regular-register contract on a single-writer
 // history: every read must return either the value of the latest write that
 // completed before the read began (or init if none), or the value of some
 // write overlapping the read. Writes must be sequential (single writer).
 func CheckRegularSWMR(h History, init int) (bool, error) {
+	v, err := CheckRegularSWMRDetail(h, init)
+	return v == nil && err == nil, err
+}
+
+// CheckRegularSWMRDetail is CheckRegularSWMR exporting the failure: it
+// returns nil when the history is regular, and otherwise the first
+// conflicting (read, latest-preceding-write) pair in read start order. The
+// error reports malformed histories (an op ending before it starts, or
+// overlapping writes in a single-writer history).
+func CheckRegularSWMRDetail(h History, init int) (*RegularityViolation, error) {
 	var writes []Op
 	var reads []Op
 	for _, o := range h {
 		if o.End < o.Start {
-			return false, fmt.Errorf("linearize: operation %v ends before it starts", o)
+			return nil, fmt.Errorf("linearize: operation %v ends before it starts", o)
 		}
 		if o.IsWrite {
 			writes = append(writes, o)
@@ -135,36 +170,80 @@ func CheckRegularSWMR(h History, init int) (bool, error) {
 		// convention (Start is sampled before the op's first step), not
 		// overlap.
 		if writes[i-1].End > writes[i].Start {
-			return false, fmt.Errorf("linearize: writes overlap in single-writer history: %v, %v", writes[i-1], writes[i])
+			return nil, fmt.Errorf("linearize: writes overlap in single-writer history: %v, %v", writes[i-1], writes[i])
 		}
 	}
+	sort.SliceStable(reads, func(i, j int) bool { return reads[i].Start < reads[j].Start })
 	for _, r := range reads {
 		allowed := map[int]bool{}
 		latest := init
+		var latestW Op
+		hasW := false
 		for _, w := range writes {
 			if w.End < r.Start {
 				latest = w.Val // writes sorted: last such wins
+				latestW = w
+				hasW = true
 			} else if w.Start <= r.End {
 				allowed[w.Val] = true // overlapping write
 			}
 		}
 		allowed[latest] = true
 		if !allowed[r.Val] {
-			return false, nil
+			return &RegularityViolation{Read: r, LatestWrite: latestW, HasWrite: hasW, Expected: latest}, nil
 		}
 	}
-	return true, nil
+	return nil, nil
 }
 
 // Recorder collects a History from concurrent operations. It is not itself
 // synchronized; under the step scheduler the recorded sections are naturally
 // serialized, and free-running tests must guard it externally.
+//
+// The zero value grows without bound (the original test-oracle behaviour).
+// NewRecorder returns an allocation-bounded recorder for runtime audit
+// windows: the ops buffer is preallocated once, Add drops (and counts) past
+// capacity, and Reset rewinds for the next window without freeing storage.
 type Recorder struct {
-	ops History
+	ops     History
+	capped  bool
+	dropped int64
 }
 
-// Add appends one completed operation.
-func (r *Recorder) Add(op Op) { r.ops = append(r.ops, op) }
+// NewRecorder returns a bounded recorder holding up to capacity operations
+// (minimum 1) in a preallocated buffer.
+func NewRecorder(capacity int) *Recorder {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Recorder{ops: make(History, 0, capacity), capped: true}
+}
 
-// History returns the recorded operations.
+// Add appends one completed operation, reporting whether it was retained (a
+// bounded recorder at capacity drops it and counts it instead).
+func (r *Recorder) Add(op Op) bool {
+	if r.capped && len(r.ops) == cap(r.ops) {
+		r.dropped++
+		return false
+	}
+	r.ops = append(r.ops, op)
+	return true
+}
+
+// Len returns the number of retained operations.
+func (r *Recorder) Len() int { return len(r.ops) }
+
+// Full reports whether a bounded recorder has reached capacity (always false
+// for an unbounded zero-value recorder).
+func (r *Recorder) Full() bool { return r.capped && len(r.ops) == cap(r.ops) }
+
+// Dropped returns how many operations were dropped at capacity.
+func (r *Recorder) Dropped() int64 { return r.dropped }
+
+// Reset rewinds the recorder for a new window, keeping the preallocated
+// buffer (and the drop count, which is cumulative).
+func (r *Recorder) Reset() { r.ops = r.ops[:0] }
+
+// History returns the recorded operations. The returned slice aliases the
+// recorder's buffer: a bounded recorder invalidates it on Reset.
 func (r *Recorder) History() History { return r.ops }

@@ -74,6 +74,46 @@ func TestRegularPermitsNewOldInversion(t *testing.T) {
 	}
 }
 
+func TestRegularDetailPinpointsConflict(t *testing.T) {
+	h := History{
+		{Proc: 0, IsWrite: true, Val: 1, Start: 0, End: 1},
+		{Proc: 0, IsWrite: true, Val: 2, Start: 2, End: 3},
+		{Proc: 1, Val: 1, Start: 4, End: 5}, // stale: write of 2 completed first
+	}
+	v, err := CheckRegularSWMRDetail(h, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v == nil {
+		t.Fatal("stale read not reported")
+	}
+	if v.Read != h[2] || v.LatestWrite != h[1] || !v.HasWrite || v.Expected != 2 {
+		t.Fatalf("violation = %+v", v)
+	}
+	if s := v.String(); s == "" {
+		t.Fatal("empty violation description")
+	}
+
+	// No preceding write: the read must have returned init.
+	h = History{{Proc: 1, Val: 9, Start: 0, End: 1}}
+	v, err = CheckRegularSWMRDetail(h, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v == nil || v.HasWrite || v.Expected != 7 {
+		t.Fatalf("violation = %+v", v)
+	}
+
+	// Clean history: nil violation.
+	h = History{
+		{Proc: 0, IsWrite: true, Val: 1, Start: 0, End: 1},
+		{Proc: 1, Val: 1, Start: 2, End: 3},
+	}
+	if v, err = CheckRegularSWMRDetail(h, 0); err != nil || v != nil {
+		t.Fatalf("clean history: v=%+v err=%v", v, err)
+	}
+}
+
 func TestRegularRejectsMalformedHistories(t *testing.T) {
 	h := History{{Proc: 0, IsWrite: true, Val: 1, Start: 5, End: 3}}
 	if _, err := CheckRegularSWMR(h, 0); err == nil {

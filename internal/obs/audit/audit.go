@@ -1,0 +1,518 @@
+// Package audit is the online invariant monitor: a set of pluggable runtime
+// probes that continuously check the boundedness and consistency properties
+// the paper proves — coin counters confined to {-(M+1)..M+1} (§3, Lemmas
+// 3.3–3.4), strip edge counters confined to {0..3K-1} with decoded weights
+// clamped at K (§4), scan handshake integrity and sampled register
+// regularity (§2, P1), and end-of-instance agreement/validity — paired with
+// a per-instance bounded flight recorder that dumps recent events plus a
+// state snapshot as JSONL whenever any probe fires (see flight.go).
+//
+// Like the obs bus it plugs into, the monitor has a zero-cost disabled path:
+// a nil *Monitor is valid and every probe method nil-checks the receiver, so
+// instrumented hot paths (walk steps, strip incs, register reads) pay one
+// predictable branch and zero allocations when auditing is off. Probes are
+// strictly passive — they never take scheduler steps and never consume
+// process randomness — so enabling them cannot perturb decisions or step
+// counts.
+//
+// The package sits between obs and the protocol layers: it imports only obs,
+// linearize and the standard library, so walk, strip, scan, register and
+// core can all depend on it without cycles. Probe signatures therefore take
+// primitives (step, pid, counter values) rather than layer types.
+package audit
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/dsrepro/consensus/internal/linearize"
+	"github.com/dsrepro/consensus/internal/obs"
+)
+
+// Probe identifies one invariant checker.
+type Probe uint8
+
+// Probes, bottom-up through the protocol stack. DESIGN.md §12 maps each to
+// the paper property it guards.
+const (
+	// ProbeCoinRange: every coin counter stays in {-(M+1)..M+1} (Lemmas
+	// 3.3/3.4 make the truncation at ±(M+1) safe; beyond it is a bug).
+	ProbeCoinRange Probe = iota
+	// ProbeStripRange: every strip edge counter stays in {0..3K-1} (§4.3's
+	// cyclic pointer representation).
+	ProbeStripRange
+	// ProbeStripGraph: a decoded distance graph satisfies the §4.2 reachable-
+	// state properties (edge existence, weights in [0..K], no positive
+	// cycles, distances at most K·n). Sampled.
+	ProbeStripGraph
+	// ProbeScanHandshake: a scan returned as clean although the two collects
+	// disagree on a toggle bit — a torn double collect (§2.2).
+	ProbeScanHandshake
+	// ProbeRegRegular: a sampled single-writer register history failed the
+	// regular-register contract (P1) under linearize.CheckRegularSWMRDetail.
+	ProbeRegRegular
+	// ProbeAgreement: two processes decided different values (consistency).
+	ProbeAgreement
+	// ProbeValidity: a process decided a value nobody proposed.
+	ProbeValidity
+	// ProbeBudget: the run exhausted its step budget before every process
+	// decided — not a safety violation, but it triggers a flight dump so the
+	// stuck state is inspectable.
+	ProbeBudget
+	numProbes
+)
+
+// String returns the stable probe identifier used in violation details,
+// Violations maps and dump headers.
+func (p Probe) String() string {
+	switch p {
+	case ProbeCoinRange:
+		return "coin.range"
+	case ProbeStripRange:
+		return "strip.range"
+	case ProbeStripGraph:
+		return "strip.graph"
+	case ProbeScanHandshake:
+		return "scan.handshake"
+	case ProbeRegRegular:
+		return "reg.regular"
+	case ProbeAgreement:
+		return "core.agreement"
+	case ProbeValidity:
+		return "core.validity"
+	case ProbeBudget:
+		return "core.budget"
+	default:
+		return fmt.Sprintf("Probe(%d)", int(p))
+	}
+}
+
+// ProbeForName inverts String.
+func ProbeForName(name string) (Probe, bool) {
+	for p := Probe(0); p < numProbes; p++ {
+		if p.String() == name {
+			return p, true
+		}
+	}
+	return 0, false
+}
+
+// Probes returns every probe in declaration order.
+func Probes() []Probe {
+	out := make([]Probe, 0, numProbes)
+	for p := Probe(0); p < numProbes; p++ {
+		out = append(out, p)
+	}
+	return out
+}
+
+// Options configures a Monitor.
+type Options struct {
+	// SampleEvery thins the expensive probes (graph validation, register
+	// regularity windows) to one audit per SampleEvery opportunities; 1 runs
+	// them at every opportunity (the post-mortem escalation), 0 picks the
+	// default (64). The cheap range probes always run on every step.
+	SampleEvery int
+	// FlightCap is the flight recorder's ring capacity (default 256).
+	FlightCap int
+	// DumpDir, when non-empty, writes each flight dump as a JSONL file there;
+	// when empty dumps are kept in memory only (Dumps).
+	DumpDir string
+	// MaxDumps bounds the dumps produced per instance (default 4) so a
+	// violation storm cannot fill the disk.
+	MaxDumps int
+	// RegWindow is the sampled regularity window length in operations
+	// (default 24; at most 64 — the linearize checker's bitmask limit).
+	RegWindow int
+}
+
+func (o Options) withDefaults() Options {
+	if o.SampleEvery <= 0 {
+		o.SampleEvery = 64
+	}
+	if o.FlightCap <= 0 {
+		o.FlightCap = 256
+	}
+	if o.MaxDumps <= 0 {
+		o.MaxDumps = 4
+	}
+	if o.RegWindow <= 0 {
+		o.RegWindow = 24
+	}
+	if o.RegWindow > 64 {
+		o.RegWindow = 64
+	}
+	return o
+}
+
+// RunInfo identifies the execution a monitor watches — everything the
+// post-mortem replay tool needs to rebuild the exact run deterministically.
+// The consensus package fills it; cmd/consensus-audit consumes it.
+type RunInfo struct {
+	Algorithm string `json:"algorithm"`
+	N         int    `json:"n"`
+	Seed      int64  `json:"seed"`
+	// Instance is the batch instance index, or -1 for a single Solve run.
+	Instance  int    `json:"instance"`
+	BatchSeed int64  `json:"batch_seed,omitempty"`
+	Inputs    []int  `json:"inputs"`
+	Schedule  string `json:"schedule,omitempty"` // "round-robin" | "random" | "lagger:victim:period"
+	Crash     string `json:"crash,omitempty"`    // "pid:step,pid:step"
+	K         int    `json:"k,omitempty"`
+	B         int    `json:"b,omitempty"`
+	M         int    `json:"m,omitempty"`
+	Memory    string `json:"memory,omitempty"` // "arrow" | "seqsnap" | "waitfree"
+	Bloom     bool   `json:"bloom,omitempty"`
+	FastPath  bool   `json:"fast_decide,omitempty"`
+	MaxSteps  int64  `json:"max_steps,omitempty"`
+	// Mutation names the fault-injection hook active during the run (see
+	// mutation.go); replay re-enables it so the violation reproduces.
+	Mutation string `json:"mutation,omitempty"`
+}
+
+// Monitor is one instance's invariant monitor. A nil *Monitor is fully
+// disabled at zero cost; construct one with New to enable auditing.
+//
+// Probe entry points are safe to call from the simulated processes'
+// goroutines: counters are atomic, and the few stateful probes (register
+// windows, dumps) take a small mutex on paths that are either rare
+// (violations) or already sampled.
+type Monitor struct {
+	opts Options
+	info RunInfo
+
+	sink *obs.Sink
+	ring *obs.Ring
+
+	// stateFn captures the protocol's current shared state for flight dumps;
+	// installed by the protocol via SetStateFn.
+	stateFn func() State
+
+	viol        [numProbes]atomic.Int64
+	truncations atomic.Int64
+
+	// graphTick thins ProbeStripGraph; under the step scheduler its order of
+	// increments is deterministic.
+	graphTick atomic.Int64
+
+	reg regAudit
+
+	dumpMu    sync.Mutex
+	dumps     []Dump
+	dumpFiles []string
+}
+
+// regAudit is the sampled register-regularity state: one window at a time,
+// armed at a write (whose toggle determines the pre-window value — toggles
+// alternate, so the value before a write of toggle t is !t), filled to
+// RegWindow ops, checked, then cooled down for SampleEvery ops.
+type regAudit struct {
+	mu       sync.Mutex
+	armed    int // register id the window watches; -1 when idle
+	initVal  int
+	rec      *linearize.Recorder
+	cooldown int
+}
+
+// New returns an enabled monitor.
+func New(opts Options) *Monitor {
+	opts = opts.withDefaults()
+	m := &Monitor{opts: opts, ring: obs.NewRing(opts.FlightCap)}
+	m.info.Instance = -1
+	m.reg.armed = -1
+	m.reg.rec = linearize.NewRecorder(opts.RegWindow)
+	return m
+}
+
+// Enabled reports whether auditing is on (m non-nil).
+func (m *Monitor) Enabled() bool { return m != nil }
+
+// Options returns the effective options (zero value on a nil monitor).
+func (m *Monitor) Options() Options {
+	if m == nil {
+		return Options{}
+	}
+	return m.opts
+}
+
+// SetRun records the execution's identity for dump headers. Call before the
+// run starts.
+func (m *Monitor) SetRun(info RunInfo) {
+	if m == nil {
+		return
+	}
+	m.info = info
+}
+
+// Run returns the recorded execution identity.
+func (m *Monitor) Run() RunInfo {
+	if m == nil {
+		return RunInfo{}
+	}
+	return m.info
+}
+
+// BindSink attaches the run's observability sink: violations are emitted on
+// it (landing in its registry and any trace surfaces). Call before the run
+// starts. A nil sink leaves violations counted only in the monitor.
+func (m *Monitor) BindSink(s *obs.Sink) {
+	if m == nil {
+		return
+	}
+	m.sink = s
+}
+
+// FlightRecorder returns the monitor's bounded event ring. The executor tees
+// the run's event stream into it (obs.Tee with any existing recorder) so the
+// most recent events are available for dumps.
+func (m *Monitor) FlightRecorder() *obs.Ring {
+	if m == nil {
+		return nil
+	}
+	return m.ring
+}
+
+// SetStateFn installs the protocol's state-snapshot provider for flight
+// dumps. fn is called on the violating process's goroutine; it may allocate
+// (violations are off the hot path) but must not take scheduler steps.
+func (m *Monitor) SetStateFn(fn func() State) {
+	if m == nil {
+		return
+	}
+	m.stateFn = fn
+}
+
+// violate counts a probe firing, emits an AuditViolation event, raises the
+// last-violation gauge and produces a flight dump. detail is only built by
+// callers on the (rare) violation path.
+func (m *Monitor) violate(p Probe, step int64, pid int, value int64, detail string) {
+	m.viol[p].Add(1)
+	m.sink.Emit(obs.Event{Step: step, Pid: pid, Kind: obs.AuditViolation, Value: value,
+		Detail: p.String() + ": " + detail})
+	m.sink.GaugeMax(obs.GaugeAuditLastStep, step)
+	m.dump(p, step, pid, detail)
+}
+
+// CoinCounter audits one walk-counter value c against bound M (Lemmas
+// 3.3/3.4): |c| must never exceed M+1, and |c| == M+1 is a truncation, which
+// is legal but accounted. M <= 0 (unbounded counters) disables the probe.
+func (m *Monitor) CoinCounter(step int64, pid, c, bound int) {
+	if m == nil || bound <= 0 {
+		return
+	}
+	a := c
+	if a < 0 {
+		a = -a
+	}
+	switch {
+	case a > bound+1:
+		m.violate(ProbeCoinRange, step, pid, int64(c),
+			fmt.Sprintf("counter %d outside {-(M+1)..M+1}, M=%d", c, bound))
+	case a == bound+1:
+		m.truncations.Add(1)
+	}
+}
+
+// Truncations returns how many walk steps saturated at ±(M+1) — the
+// truncation accounting that pairs with ProbeCoinRange (legal saturations
+// are counted, not flagged).
+func (m *Monitor) Truncations() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.truncations.Load()
+}
+
+// StripRow audits a freshly computed strip counter row: every entry must lie
+// in {0..3K-1} (§4.3).
+func (m *Monitor) StripRow(step int64, pid int, row []int, k int) {
+	if m == nil {
+		return
+	}
+	hi := 3 * k
+	for j, v := range row {
+		if v < 0 || v >= hi {
+			m.violate(ProbeStripRange, step, pid, int64(v),
+				fmt.Sprintf("counter e[%d][%d]=%d outside {0..%d}", pid, j, v, hi-1))
+		}
+	}
+}
+
+// AuditGraphs reports whether this call site should run the (sampled)
+// decoded-graph validation; callers pair it with GraphResult:
+//
+//	if mon.AuditGraphs() { mon.GraphResult(step, pid, g.Validate()) }
+func (m *Monitor) AuditGraphs() bool {
+	if m == nil {
+		return false
+	}
+	return m.graphTick.Add(1)%int64(m.opts.SampleEvery) == 0
+}
+
+// GraphResult records the outcome of a sampled graph validation (§4.2): a
+// non-nil err fires ProbeStripGraph.
+func (m *Monitor) GraphResult(step int64, pid int, err error) {
+	if m == nil || err == nil {
+		return
+	}
+	m.violate(ProbeStripGraph, step, pid, 0, err.Error())
+}
+
+// ScanHandshake audits a returning scan: firstBad is the lowest slot whose
+// toggle bits differ between the two collects as independently re-compared
+// by the caller at the clean-return point, or -1 when they all match. A
+// non-negative firstBad means the scan is returning a torn double collect.
+func (m *Monitor) ScanHandshake(step int64, pid, firstBad int) {
+	if m == nil || firstBad < 0 {
+		return
+	}
+	m.violate(ProbeScanHandshake, step, pid, int64(firstBad),
+		fmt.Sprintf("scan by p%d returned with toggle mismatch at slot %d (torn double collect)", pid, firstBad))
+}
+
+// AuditRegisters reports whether register-level op recording is active; the
+// instrumented register checks it once per operation (one nil-check when
+// auditing is off).
+func (m *Monitor) AuditRegisters() bool { return m != nil }
+
+// RegOp feeds one completed register operation into the sampled regularity
+// window. reg identifies the register (slot index), val is the op's toggle
+// bit as 0/1, and start/end are the global steps at invocation and response.
+// Windows arm on a write (toggle bits alternate, so the pre-window value is
+// the complement of the arming write's), fill to RegWindow ops on that
+// register, then run linearize.CheckRegularSWMRDetail.
+func (m *Monitor) RegOp(reg, pid int, isWrite bool, val int, start, end int64) {
+	if m == nil {
+		return
+	}
+	ra := &m.reg
+	ra.mu.Lock()
+	if ra.armed < 0 {
+		if ra.cooldown > 0 {
+			ra.cooldown--
+			ra.mu.Unlock()
+			return
+		}
+		if !isWrite {
+			ra.mu.Unlock()
+			return
+		}
+		ra.armed = reg
+		ra.initVal = 1 - val
+		ra.rec.Reset()
+		ra.rec.Add(linearize.Op{Proc: pid, IsWrite: true, Val: val, Start: start, End: end})
+		ra.mu.Unlock()
+		return
+	}
+	if reg != ra.armed {
+		ra.mu.Unlock()
+		return
+	}
+	ra.rec.Add(linearize.Op{Proc: pid, IsWrite: isWrite, Val: val, Start: start, End: end})
+	if !ra.rec.Full() {
+		ra.mu.Unlock()
+		return
+	}
+	v, err := linearize.CheckRegularSWMRDetail(ra.rec.History(), ra.initVal)
+	armedReg := ra.armed
+	ra.armed = -1
+	ra.cooldown = m.opts.SampleEvery
+	ra.mu.Unlock()
+	if err != nil {
+		m.violate(ProbeRegRegular, end, pid, int64(armedReg), "malformed history: "+err.Error())
+		return
+	}
+	if v != nil {
+		m.violate(ProbeRegRegular, v.Read.End, v.Read.Proc, int64(armedReg),
+			fmt.Sprintf("register %d: %v", armedReg, v))
+	}
+}
+
+// EndOfInstance runs the terminal checks once the instance finished:
+// agreement (no two decided processes differ), validity (every decision was
+// somebody's input) and the step-budget dump trigger.
+func (m *Monitor) EndOfInstance(step int64, decided []bool, values, inputs []int, budgetExceeded bool) {
+	if m == nil {
+		return
+	}
+	agreed := -1
+	for i, d := range decided {
+		if !d {
+			continue
+		}
+		if agreed == -1 {
+			agreed = values[i]
+		} else if values[i] != agreed {
+			m.violate(ProbeAgreement, step, i,
+				int64(values[i]), fmt.Sprintf("p%d decided %d but an earlier process decided %d", i, values[i], agreed))
+		}
+		valid := false
+		for _, in := range inputs {
+			if in == values[i] {
+				valid = true
+				break
+			}
+		}
+		if !valid {
+			m.violate(ProbeValidity, step, i, int64(values[i]),
+				fmt.Sprintf("p%d decided %d, proposed by nobody (inputs %v)", i, values[i], inputs))
+		}
+	}
+	if budgetExceeded {
+		m.violate(ProbeBudget, step, -1, 0, "step budget exhausted before all processes decided")
+	}
+}
+
+// ViolationCount returns how many times probe p fired.
+func (m *Monitor) ViolationCount(p Probe) int64 {
+	if m == nil || p >= numProbes {
+		return 0
+	}
+	return m.viol[p].Load()
+}
+
+// TotalViolations sums every probe's firings.
+func (m *Monitor) TotalViolations() int64 {
+	if m == nil {
+		return 0
+	}
+	var t int64
+	for p := Probe(0); p < numProbes; p++ {
+		t += m.viol[p].Load()
+	}
+	return t
+}
+
+// Violations returns the per-probe firing counts keyed by probe name;
+// zero-count probes are omitted. Nil when nothing fired (or m is nil).
+func (m *Monitor) Violations() map[string]int64 {
+	if m == nil {
+		return nil
+	}
+	var out map[string]int64
+	for p := Probe(0); p < numProbes; p++ {
+		if c := m.viol[p].Load(); c != 0 {
+			if out == nil {
+				out = make(map[string]int64)
+			}
+			out[p.String()] = c
+		}
+	}
+	return out
+}
+
+// MergeViolations folds src into dst (allocating dst when needed) — the
+// batch aggregation helper.
+func MergeViolations(dst, src map[string]int64) map[string]int64 {
+	if len(src) == 0 {
+		return dst
+	}
+	if dst == nil {
+		dst = make(map[string]int64, len(src))
+	}
+	for k, v := range src {
+		dst[k] += v
+	}
+	return dst
+}

@@ -1,0 +1,283 @@
+package audit
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/dsrepro/consensus/internal/obs"
+)
+
+func TestProbeNamesRoundTrip(t *testing.T) {
+	seen := map[string]bool{}
+	for _, p := range Probes() {
+		name := p.String()
+		if strings.Contains(name, "Probe(") {
+			t.Fatalf("probe %d has no name", p)
+		}
+		if seen[name] {
+			t.Fatalf("duplicate probe name %q", name)
+		}
+		seen[name] = true
+		got, ok := ProbeForName(name)
+		if !ok || got != p {
+			t.Fatalf("ProbeForName(%q) = %v, %v; want %v", name, got, ok, p)
+		}
+	}
+	if _, ok := ProbeForName("no.such.probe"); ok {
+		t.Fatal("ProbeForName accepted an unknown name")
+	}
+}
+
+// TestNilMonitorIsSafe locks the disabled path: every probe entry point must
+// be a no-op on a nil receiver.
+func TestNilMonitorIsSafe(t *testing.T) {
+	var m *Monitor
+	if m.Enabled() {
+		t.Fatal("nil monitor reports enabled")
+	}
+	m.SetRun(RunInfo{})
+	m.BindSink(nil)
+	m.SetStateFn(nil)
+	m.CoinCounter(1, 0, 99, 2)
+	m.StripRow(1, 0, []int{99}, 2)
+	if m.AuditGraphs() {
+		t.Fatal("nil monitor wants graph audits")
+	}
+	m.GraphResult(1, 0, nil)
+	m.ScanHandshake(1, 0, 3)
+	if m.AuditRegisters() {
+		t.Fatal("nil monitor wants register audits")
+	}
+	m.RegOp(0, 0, true, 1, 0, 1)
+	m.EndOfInstance(1, []bool{true}, []int{0}, []int{0}, true)
+	if m.TotalViolations() != 0 || m.Truncations() != 0 || m.Violations() != nil {
+		t.Fatal("nil monitor accumulated state")
+	}
+	if m.FlightRecorder() != nil || m.Dumps() != nil || m.DumpFiles() != nil {
+		t.Fatal("nil monitor returned recorder state")
+	}
+}
+
+func TestCoinCounterProbe(t *testing.T) {
+	m := New(Options{})
+	m.CoinCounter(1, 0, 3, 8)    // in range
+	m.CoinCounter(2, 0, -8, 8)   // at M: in range
+	m.CoinCounter(3, 0, 9, 8)    // M+1: truncation, legal
+	m.CoinCounter(4, 0, -9, 8)   // -(M+1): truncation, legal
+	m.CoinCounter(5, 0, 100, 0)  // unbounded: probe disabled
+	m.CoinCounter(6, 0, -100, 0) // unbounded
+	if got := m.ViolationCount(ProbeCoinRange); got != 0 {
+		t.Fatalf("in-range/truncated counters fired the probe %d times", got)
+	}
+	if got := m.Truncations(); got != 2 {
+		t.Fatalf("Truncations = %d, want 2", got)
+	}
+	m.CoinCounter(7, 1, 10, 8)
+	m.CoinCounter(8, 1, -10, 8)
+	if got := m.ViolationCount(ProbeCoinRange); got != 2 {
+		t.Fatalf("out-of-range counters fired %d times, want 2", got)
+	}
+}
+
+func TestStripRowProbe(t *testing.T) {
+	m := New(Options{})
+	k := 2
+	m.StripRow(1, 0, []int{0, 5, 3}, k) // all in {0..5}
+	if m.ViolationCount(ProbeStripRange) != 0 {
+		t.Fatal("in-range row fired the probe")
+	}
+	m.StripRow(2, 0, []int{0, 6, -1}, k) // two entries escape the cycle
+	if got := m.ViolationCount(ProbeStripRange); got != 2 {
+		t.Fatalf("out-of-range row fired %d times, want 2", got)
+	}
+}
+
+func TestGraphSamplingCadence(t *testing.T) {
+	m := New(Options{SampleEvery: 4})
+	fired := 0
+	for i := 0; i < 16; i++ {
+		if m.AuditGraphs() {
+			fired++
+		}
+	}
+	if fired != 4 {
+		t.Fatalf("AuditGraphs fired %d of 16 with SampleEvery=4, want 4", fired)
+	}
+	m.GraphResult(1, 0, nil) // clean validation: no violation
+	if m.ViolationCount(ProbeStripGraph) != 0 {
+		t.Fatal("clean graph validation fired the probe")
+	}
+	m.GraphResult(2, 0, errTest("w[0][1] exceeds K"))
+	if m.ViolationCount(ProbeStripGraph) != 1 {
+		t.Fatal("failed graph validation did not fire the probe")
+	}
+}
+
+type errTest string
+
+func (e errTest) Error() string { return string(e) }
+
+func TestScanHandshakeProbe(t *testing.T) {
+	m := New(Options{})
+	m.ScanHandshake(1, 0, -1) // clean
+	if m.ViolationCount(ProbeScanHandshake) != 0 {
+		t.Fatal("clean handshake fired the probe")
+	}
+	m.ScanHandshake(2, 0, 3)
+	if m.ViolationCount(ProbeScanHandshake) != 1 {
+		t.Fatal("torn handshake did not fire the probe")
+	}
+}
+
+// TestRegOpWindow drives the sampled regularity window directly: a clean
+// alternating-toggle history passes, and a stale read (old value returned
+// after the write completed) fires ProbeRegRegular.
+func TestRegOpWindow(t *testing.T) {
+	clean := New(Options{RegWindow: 2, SampleEvery: 1})
+	clean.RegOp(0, 0, true, 1, 0, 1) // arms: initVal=0
+	clean.RegOp(0, 1, false, 1, 2, 3)
+	if got := clean.ViolationCount(ProbeRegRegular); got != 0 {
+		t.Fatalf("clean window fired %d times", got)
+	}
+
+	stale := New(Options{RegWindow: 2, SampleEvery: 1})
+	stale.RegOp(0, 0, true, 1, 0, 1)  // write 1 completes at step 1
+	stale.RegOp(0, 1, false, 0, 2, 3) // read after it returns the old value
+	if got := stale.ViolationCount(ProbeRegRegular); got != 1 {
+		t.Fatalf("stale read fired %d times, want 1", got)
+	}
+
+	// Ops on other registers must not pollute an armed window.
+	other := New(Options{RegWindow: 2, SampleEvery: 1})
+	other.RegOp(0, 0, true, 1, 0, 1)
+	other.RegOp(5, 1, false, 0, 2, 3) // different register: ignored
+	other.RegOp(0, 1, false, 1, 4, 5)
+	if got := other.ViolationCount(ProbeRegRegular); got != 0 {
+		t.Fatalf("cross-register ops polluted the window: %d violations", got)
+	}
+}
+
+func TestEndOfInstanceChecks(t *testing.T) {
+	m := New(Options{})
+	// Clean: both decided 1, which p1 proposed.
+	m.EndOfInstance(10, []bool{true, true}, []int{1, 1}, []int{0, 1}, false)
+	if m.TotalViolations() != 0 {
+		t.Fatalf("clean instance produced violations: %v", m.Violations())
+	}
+
+	m = New(Options{})
+	m.EndOfInstance(10, []bool{true, true}, []int{0, 1}, []int{0, 1}, false)
+	if m.ViolationCount(ProbeAgreement) != 1 {
+		t.Fatal("disagreement did not fire core.agreement")
+	}
+
+	m = New(Options{})
+	m.EndOfInstance(10, []bool{true}, []int{7}, []int{0, 1}, false)
+	if m.ViolationCount(ProbeValidity) != 1 {
+		t.Fatal("invalid decision did not fire core.validity")
+	}
+
+	m = New(Options{})
+	m.EndOfInstance(10, []bool{false, false}, []int{-1, -1}, []int{0, 1}, true)
+	if m.ViolationCount(ProbeBudget) != 1 {
+		t.Fatal("budget overrun did not fire core.budget")
+	}
+}
+
+func TestViolationsMapAndMerge(t *testing.T) {
+	m := New(Options{})
+	if m.Violations() != nil {
+		t.Fatal("clean monitor returned a non-nil violations map")
+	}
+	m.ScanHandshake(1, 0, 0)
+	m.ScanHandshake(2, 0, 1)
+	m.StripRow(3, 0, []int{-1}, 2)
+	v := m.Violations()
+	if v["scan.handshake"] != 2 || v["strip.range"] != 1 || len(v) != 2 {
+		t.Fatalf("Violations = %v", v)
+	}
+	if m.TotalViolations() != 3 {
+		t.Fatalf("TotalViolations = %d, want 3", m.TotalViolations())
+	}
+
+	merged := MergeViolations(nil, v)
+	merged = MergeViolations(merged, map[string]int64{"scan.handshake": 1})
+	if merged["scan.handshake"] != 3 || merged["strip.range"] != 1 {
+		t.Fatalf("merged = %v", merged)
+	}
+	if got := MergeViolations(nil, nil); got != nil {
+		t.Fatalf("MergeViolations(nil, nil) = %v, want nil", got)
+	}
+}
+
+// TestViolationEmitsEvent checks a probe firing lands on the bound sink as an
+// AuditViolation event with the probe name in the detail, and raises the
+// last-violation gauge.
+func TestViolationEmitsEvent(t *testing.T) {
+	ring := obs.NewRing(8)
+	sink := obs.NewSink(ring)
+	m := New(Options{})
+	m.BindSink(sink)
+	m.ScanHandshake(42, 1, 0)
+	events := ring.Events()
+	var found bool
+	for _, e := range events {
+		if e.Kind == obs.AuditViolation {
+			found = true
+			if e.Step != 42 || e.Pid != 1 || !strings.HasPrefix(e.Detail, "scan.handshake: ") {
+				t.Fatalf("violation event = %+v", e)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no AuditViolation event emitted")
+	}
+	if got := sink.Registry().Snapshot().Gauges[obs.GaugeAuditLastStep.String()]; got != 42 {
+		t.Fatalf("last-violation gauge = %d, want 42", got)
+	}
+}
+
+// testHook is registered once per process so the test survives -count>1
+// (RegisterMutation panics on duplicates by design).
+var (
+	testHook     atomic.Bool
+	testHookOnce sync.Once
+)
+
+func TestMutationRegistry(t *testing.T) {
+	testHookOnce.Do(func() { RegisterMutation("test.hook", &testHook) })
+	hook := &testHook
+	defer DisableAll()
+
+	names := Mutations()
+	found := false
+	for _, n := range names {
+		if n == "test.hook" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Mutations() = %v, missing test.hook", names)
+	}
+	if err := EnableMutation("nope.nothing"); err == nil {
+		t.Fatal("EnableMutation accepted an unknown name")
+	}
+	if ActiveMutation() != "" {
+		t.Fatalf("ActiveMutation = %q with nothing enabled", ActiveMutation())
+	}
+	if err := EnableMutation("test.hook"); err != nil {
+		t.Fatal(err)
+	}
+	if !hook.Load() {
+		t.Fatal("EnableMutation did not set the hook")
+	}
+	if ActiveMutation() != "test.hook" {
+		t.Fatalf("ActiveMutation = %q, want test.hook", ActiveMutation())
+	}
+	DisableAll()
+	if hook.Load() || ActiveMutation() != "" {
+		t.Fatal("DisableAll left a hook enabled")
+	}
+}

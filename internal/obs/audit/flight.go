@@ -1,0 +1,212 @@
+package audit
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"github.com/dsrepro/consensus/internal/obs"
+)
+
+// DumpVersion is the flight-dump format version stamped into every header.
+const DumpVersion = 1
+
+// State is the protocol-level shared-state snapshot embedded in a flight
+// dump: whatever of the per-process preferences, round positions, coin
+// counters and strip edges the protocol exposes. Slices the protocol does
+// not populate are omitted from the JSON.
+type State struct {
+	// Prefs is the per-process current preference.
+	Prefs []int `json:"prefs,omitempty"`
+	// Rounds is the per-process current round.
+	Rounds []int64 `json:"rounds,omitempty"`
+	// Coins is the per-process current coin counter (bounded protocols: the
+	// active slot's counter; unbounded: the current round's strip cell).
+	Coins []int `json:"coins,omitempty"`
+	// Edges is the strip edge-counter matrix e[i][j] (bounded protocols).
+	Edges [][]int `json:"edges,omitempty"`
+	// Strips is the per-process explicit coin strip (unbounded protocols).
+	Strips [][]int `json:"strips,omitempty"`
+}
+
+// Dump is one flight-recorder dump: the violation that triggered it, the
+// run's identity (enough to replay it deterministically), the protocol state
+// snapshot at the moment of violation, and the most recent events from the
+// bounded ring.
+//
+// On the wire a dump is JSONL: the first line is the header (Dump without
+// Events, distinguished by the "audit_dump" version key), each following
+// line one event in the shared obs JSONL encoding, so every existing trace
+// tool (traceview, ReadJSONL) understands the tail of a dump file.
+type Dump struct {
+	Version int     `json:"audit_dump"`
+	Probe   string  `json:"probe"`
+	Step    int64   `json:"step"`
+	Pid     int     `json:"pid"`
+	Detail  string  `json:"detail"`
+	Info    RunInfo `json:"run"`
+	State   State   `json:"state"`
+	// EventsDropped is how many older events the bounded ring overwrote
+	// before the dump (the tail below is the most recent FlightCap only).
+	EventsDropped int64 `json:"events_dropped,omitempty"`
+
+	// Events is the ring's retained tail, oldest first. Encoded as the JSONL
+	// body, not part of the header object.
+	Events []obs.Event `json:"-"`
+}
+
+// WriteDump encodes d as JSONL (header line + one line per event).
+func WriteDump(w io.Writer, d Dump) error {
+	d.Version = DumpVersion
+	head, err := json.Marshal(d)
+	if err != nil {
+		return err
+	}
+	head = append(head, '\n')
+	if _, err := w.Write(head); err != nil {
+		return err
+	}
+	var buf []byte
+	for _, e := range d.Events {
+		buf = e.AppendJSON(buf[:0])
+		buf = append(buf, '\n')
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadDump decodes a JSONL flight dump written by WriteDump.
+func ReadDump(r io.Reader) (Dump, error) {
+	var d Dump
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return d, err
+		}
+		return d, fmt.Errorf("audit: empty dump")
+	}
+	head := sc.Bytes()
+	if err := json.Unmarshal(head, &d); err != nil {
+		return d, fmt.Errorf("audit: bad dump header: %w", err)
+	}
+	if d.Version != DumpVersion {
+		return d, fmt.Errorf("audit: dump version %d not supported (want %d)", d.Version, DumpVersion)
+	}
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		e, err := obs.ParseEvent(line)
+		if err != nil {
+			return d, fmt.Errorf("audit: bad dump event line: %w", err)
+		}
+		d.Events = append(d.Events, e)
+	}
+	return d, sc.Err()
+}
+
+// ReadDumpFile reads a flight dump from a file.
+func ReadDumpFile(path string) (Dump, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Dump{}, err
+	}
+	defer f.Close()
+	return ReadDump(f)
+}
+
+// dump builds one flight dump for a violation and writes it out (to DumpDir
+// when configured, in-memory otherwise), bounded by MaxDumps per instance.
+func (m *Monitor) dump(p Probe, step int64, pid int, detail string) {
+	m.dumpMu.Lock()
+	defer m.dumpMu.Unlock()
+	if len(m.dumps)+len(m.dumpFiles) >= m.opts.MaxDumps {
+		return
+	}
+	d := Dump{
+		Version: DumpVersion,
+		Probe:   p.String(),
+		Step:    step,
+		Pid:     pid,
+		Detail:  detail,
+		Info:    m.info,
+	}
+	if m.stateFn != nil {
+		d.State = m.stateFn()
+	}
+	if m.ring != nil {
+		d.Events = m.ring.Events()
+		d.EventsDropped = m.ring.Dropped()
+	}
+	if m.opts.DumpDir == "" {
+		m.dumps = append(m.dumps, d)
+		m.sink.Emit(obs.Event{Step: step, Pid: pid, Kind: obs.FlightDump, Value: int64(len(d.Events)),
+			Detail: p.String()})
+		return
+	}
+	seq := len(m.dumpFiles)
+	inst := m.info.Instance
+	if inst < 0 {
+		inst = 0
+	}
+	path := filepath.Join(m.opts.DumpDir, fmt.Sprintf("audit-i%d-%s-%d.jsonl", inst, p.String(), seq))
+	if err := m.writeDumpFile(path, d); err != nil {
+		// Fall back to in-memory so the evidence survives an unwritable dir.
+		m.dumps = append(m.dumps, d)
+		m.sink.Emit(obs.Event{Step: step, Pid: pid, Kind: obs.FlightDump, Value: int64(len(d.Events)),
+			Detail: p.String() + " (write failed: " + err.Error() + ")"})
+		return
+	}
+	m.dumpFiles = append(m.dumpFiles, path)
+	m.sink.Emit(obs.Event{Step: step, Pid: pid, Kind: obs.FlightDump, Value: int64(len(d.Events)),
+		Detail: path})
+}
+
+func (m *Monitor) writeDumpFile(path string, d Dump) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	if err := WriteDump(bw, d); err != nil {
+		f.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Dumps returns the in-memory dumps produced so far (DumpDir unset, or
+// fallback after a write failure).
+func (m *Monitor) Dumps() []Dump {
+	if m == nil {
+		return nil
+	}
+	m.dumpMu.Lock()
+	defer m.dumpMu.Unlock()
+	return append([]Dump(nil), m.dumps...)
+}
+
+// DumpFiles returns the paths of the dump files written to DumpDir.
+func (m *Monitor) DumpFiles() []string {
+	if m == nil {
+		return nil
+	}
+	m.dumpMu.Lock()
+	defer m.dumpMu.Unlock()
+	return append([]string(nil), m.dumpFiles...)
+}

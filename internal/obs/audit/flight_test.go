@@ -1,0 +1,211 @@
+package audit
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/dsrepro/consensus/internal/obs"
+)
+
+func sampleDump() Dump {
+	return Dump{
+		Probe:  "coin.range",
+		Step:   944,
+		Pid:    3,
+		Detail: "|c|=10 exceeds M+1=9",
+		Info: RunInfo{
+			Algorithm: "bounded",
+			N:         4,
+			Seed:      1,
+			Instance:  -1,
+			Inputs:    []int{0, 1, 1, 0},
+			Schedule:  "lagger:0:3",
+			Crash:     "1@50,2@90",
+			M:         8,
+			Memory:    "arrow",
+			Mutation:  "walk.unclamped",
+		},
+		State: State{
+			Prefs:  []int{0, 1, 1, 0},
+			Rounds: []int64{2, 2, 3, 2},
+			Coins:  []int{-1, 4, 10, 0},
+			Edges:  [][]int{{0, 1}, {2, 0}},
+		},
+		EventsDropped: 7,
+		Events: []obs.Event{
+			{Step: 942, Pid: 3, Kind: obs.WalkStep, Value: 9},
+			{Step: 943, Pid: 1, Kind: obs.ScanClean, Value: 0},
+			{Step: 944, Pid: 3, Kind: obs.AuditViolation, Value: 10, Detail: "coin.range: |c|=10"},
+		},
+	}
+}
+
+func TestDumpRoundTrip(t *testing.T) {
+	d := sampleDump()
+	var buf bytes.Buffer
+	if err := WriteDump(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDump(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != DumpVersion {
+		t.Fatalf("Version = %d, want %d", got.Version, DumpVersion)
+	}
+	if got.Probe != d.Probe || got.Step != d.Step || got.Pid != d.Pid || got.Detail != d.Detail {
+		t.Fatalf("header = %+v, want %+v", got, d)
+	}
+	if got.EventsDropped != d.EventsDropped {
+		t.Fatalf("EventsDropped = %d, want %d", got.EventsDropped, d.EventsDropped)
+	}
+	if got.Info.Algorithm != d.Info.Algorithm || got.Info.Seed != d.Info.Seed ||
+		got.Info.Schedule != d.Info.Schedule || got.Info.Crash != d.Info.Crash ||
+		got.Info.Mutation != d.Info.Mutation || len(got.Info.Inputs) != len(d.Info.Inputs) {
+		t.Fatalf("Info = %+v, want %+v", got.Info, d.Info)
+	}
+	if len(got.State.Prefs) != 4 || len(got.State.Edges) != 2 || got.State.Coins[2] != 10 {
+		t.Fatalf("State = %+v", got.State)
+	}
+	if len(got.Events) != len(d.Events) {
+		t.Fatalf("round-tripped %d events, want %d", len(got.Events), len(d.Events))
+	}
+	for i, e := range got.Events {
+		if e != d.Events[i] {
+			t.Fatalf("event %d = %+v, want %+v", i, e, d.Events[i])
+		}
+	}
+}
+
+func TestReadDumpRejectsBadInput(t *testing.T) {
+	if _, err := ReadDump(strings.NewReader("")); err == nil {
+		t.Fatal("empty dump accepted")
+	}
+	if _, err := ReadDump(strings.NewReader("not json\n")); err == nil {
+		t.Fatal("non-JSON header accepted")
+	}
+	if _, err := ReadDump(strings.NewReader(`{"audit_dump":99,"probe":"x"}` + "\n")); err == nil {
+		t.Fatal("future dump version accepted")
+	}
+	// Valid header, corrupt event line.
+	var buf bytes.Buffer
+	if err := WriteDump(&buf, Dump{Probe: "strip.range"}); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteString("{broken\n")
+	if _, err := ReadDump(&buf); err == nil {
+		t.Fatal("corrupt event line accepted")
+	}
+}
+
+// TestMonitorDumpToDir drives a violation on a monitor configured with a
+// DumpDir and checks the dump file round-trips through ReadDumpFile with the
+// run identity, state snapshot and ring tail intact.
+func TestMonitorDumpToDir(t *testing.T) {
+	dir := t.TempDir()
+	m := New(Options{DumpDir: dir, FlightCap: 4})
+	m.SetRun(RunInfo{Algorithm: "bounded", N: 2, Seed: 7, Instance: 3, Inputs: []int{0, 1}})
+	m.SetStateFn(func() State { return State{Prefs: []int{0, 1}} })
+	for i := 0; i < 6; i++ { // overfill the 4-slot ring: 2 drops
+		m.FlightRecorder().Record(obs.Event{Step: int64(i), Kind: obs.WalkStep})
+	}
+	m.ScanHandshake(42, 1, 0)
+
+	files := m.DumpFiles()
+	if len(files) != 1 {
+		t.Fatalf("DumpFiles = %v, want one file", files)
+	}
+	if want := filepath.Join(dir, "audit-i3-scan.handshake-0.jsonl"); files[0] != want {
+		t.Fatalf("dump path = %q, want %q", files[0], want)
+	}
+	if got := m.Dumps(); len(got) != 0 {
+		t.Fatalf("in-memory dumps = %d, want 0 when DumpDir is set", len(got))
+	}
+	d, err := ReadDumpFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Probe != "scan.handshake" || d.Step != 42 || d.Pid != 1 {
+		t.Fatalf("dump header = %+v", d)
+	}
+	if d.Info.Algorithm != "bounded" || d.Info.Instance != 3 || d.Info.Seed != 7 {
+		t.Fatalf("dump run info = %+v", d.Info)
+	}
+	if len(d.State.Prefs) != 2 {
+		t.Fatalf("dump state = %+v", d.State)
+	}
+	if len(d.Events) != 4 || d.EventsDropped != 2 {
+		t.Fatalf("dump tail = %d events, %d dropped; want 4 and 2",
+			len(d.Events), d.EventsDropped)
+	}
+	if d.Events[0].Step != 2 || d.Events[3].Step != 5 {
+		t.Fatalf("ring tail out of order: %+v", d.Events)
+	}
+}
+
+func TestMaxDumpsCap(t *testing.T) {
+	m := New(Options{MaxDumps: 2})
+	for i := 0; i < 5; i++ {
+		m.ScanHandshake(int64(i), 0, 0)
+	}
+	if got := m.ViolationCount(ProbeScanHandshake); got != 5 {
+		t.Fatalf("violations = %d, want 5 (counting is never capped)", got)
+	}
+	if got := len(m.Dumps()); got != 2 {
+		t.Fatalf("dumps = %d, want MaxDumps = 2", got)
+	}
+}
+
+// TestDumpFallsBackInMemory checks an unwritable DumpDir degrades to an
+// in-memory dump instead of losing the evidence.
+func TestDumpFallsBackInMemory(t *testing.T) {
+	blocked := filepath.Join(t.TempDir(), "file")
+	if err := os.WriteFile(blocked, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// DumpDir nested under a regular file: MkdirAll must fail.
+	m := New(Options{DumpDir: filepath.Join(blocked, "sub")})
+	m.ScanHandshake(1, 0, 0)
+	if len(m.DumpFiles()) != 0 {
+		t.Fatal("dump file written under an unwritable dir")
+	}
+	if got := len(m.Dumps()); got != 1 {
+		t.Fatalf("in-memory fallback dumps = %d, want 1", got)
+	}
+}
+
+// FuzzAuditDump throws arbitrary bytes at the dump reader: it must return an
+// error or a dump, never panic, and anything it accepts must re-encode and
+// re-parse to the same header.
+func FuzzAuditDump(f *testing.F) {
+	var seed bytes.Buffer
+	if err := WriteDump(&seed, sampleDump()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte(""))
+	f.Add([]byte("{\"audit_dump\":1}\n"))
+	f.Add([]byte("{\"audit_dump\":2}\n"))
+	f.Add([]byte("{broken"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := ReadDump(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteDump(&buf, d); err != nil {
+			t.Fatalf("re-encoding an accepted dump failed: %v", err)
+		}
+		d2, err := ReadDump(&buf)
+		if err != nil {
+			t.Fatalf("re-parsing a re-encoded dump failed: %v", err)
+		}
+		if d2.Probe != d.Probe || d2.Step != d.Step || d2.Pid != d.Pid ||
+			d2.EventsDropped != d.EventsDropped || len(d2.Events) != len(d.Events) {
+			t.Fatalf("round-trip mismatch: %+v vs %+v", d2, d)
+		}
+	})
+}

@@ -1,0 +1,88 @@
+package audit
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Mutation hooks are deliberate fault injectors used to prove the probes
+// actually fire: each protocol layer registers one or more named
+// atomic.Bool switches (via its init function) that, when enabled, break a
+// specific invariant — the coin clamp, the strip pointer cycle, the scan
+// handshake. The mutation tests enable one, run an instance with the monitor
+// on, and assert the matching probe fired; ReplayConfig re-enables the
+// mutation named in a dump header so replays reproduce the violation.
+//
+// Hooks are runtime switches rather than build tags so `go test ./...` runs
+// the mutation tests without special flags; each hook is a single atomic
+// load on its hot path, disabled by default.
+
+var (
+	mutMu  sync.Mutex
+	mutTab = map[string]*atomic.Bool{}
+)
+
+// RegisterMutation registers a named fault-injection switch. Layers call it
+// from init; registering the same name twice panics.
+func RegisterMutation(name string, flag *atomic.Bool) {
+	mutMu.Lock()
+	defer mutMu.Unlock()
+	if _, dup := mutTab[name]; dup {
+		panic("audit: duplicate mutation " + name)
+	}
+	mutTab[name] = flag
+}
+
+// EnableMutation turns the named fault injector on. It errors on unknown
+// names so tests fail loudly when a hook is renamed.
+func EnableMutation(name string) error {
+	mutMu.Lock()
+	defer mutMu.Unlock()
+	f, ok := mutTab[name]
+	if !ok {
+		return fmt.Errorf("audit: unknown mutation %q (have %v)", name, mutationNamesLocked())
+	}
+	f.Store(true)
+	return nil
+}
+
+// DisableAll turns every registered fault injector off (test cleanup).
+func DisableAll() {
+	mutMu.Lock()
+	defer mutMu.Unlock()
+	for _, f := range mutTab {
+		f.Store(false)
+	}
+}
+
+// Mutations returns the registered mutation names, sorted.
+func Mutations() []string {
+	mutMu.Lock()
+	defer mutMu.Unlock()
+	return mutationNamesLocked()
+}
+
+func mutationNamesLocked() []string {
+	names := make([]string, 0, len(mutTab))
+	for n := range mutTab {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ActiveMutation returns the name of the enabled fault injector ("" when all
+// are off; the first in sorted order if several are on). Recorded into
+// RunInfo so dumps are self-describing.
+func ActiveMutation() string {
+	mutMu.Lock()
+	defer mutMu.Unlock()
+	for _, n := range mutationNamesLocked() {
+		if mutTab[n].Load() {
+			return n
+		}
+	}
+	return ""
+}

@@ -32,6 +32,11 @@ const (
 	LayerSched
 	LayerCore
 	LayerPhase
+	// LayerAudit carries the invariant monitor's events (violations, flight
+	// dumps); see internal/obs/audit.
+	LayerAudit
+	// LayerObs carries the bus's own bookkeeping (trace-loss accounting).
+	LayerObs
 	numLayers
 )
 
@@ -52,6 +57,10 @@ func (l Layer) String() string {
 		return "core"
 	case LayerPhase:
 		return "phase"
+	case LayerAudit:
+		return "audit"
+	case LayerObs:
+		return "obs"
 	default:
 		return fmt.Sprintf("Layer(%d)", int(l))
 	}
@@ -106,6 +115,16 @@ const (
 	SpanStrip
 	SpanDecide
 
+	// audit layer: the invariant monitor's surface. AuditViolation is one
+	// probe firing (Detail names the probe); FlightDump is one flight-recorder
+	// dump being produced (Detail carries the file path or probe name).
+	AuditViolation
+	FlightDump
+
+	// obs layer: TraceDropped counts ring-recorder events lost to overwrite
+	// (see Ring.CountDropsInto) so trace loss shows up at /metrics.
+	TraceDropped
+
 	numKinds
 )
 
@@ -143,6 +162,10 @@ var kindInfo = [numKinds]struct {
 	SpanCoin:      {"phase.coin", "s-coin", LayerPhase},
 	SpanStrip:     {"phase.strip", "s-strip", LayerPhase},
 	SpanDecide:    {"phase.decide", "s-dec", LayerPhase},
+
+	AuditViolation: {"audit.violation", "viol", LayerAudit},
+	FlightDump:     {"audit.flight_dump", "fdump", LayerAudit},
+	TraceDropped:   {"obs.trace_dropped", "tdrop", LayerObs},
 }
 
 // kindByID inverts kindInfo for the JSONL decoder.

@@ -28,6 +28,7 @@ type Ring struct {
 	next    int
 	full    bool
 	dropped int64
+	drops   *Sink // optional: overwrites counted as TraceDropped (CountDropsInto)
 }
 
 // NewRing returns a ring buffer holding up to capacity events (minimum 1).
@@ -38,11 +39,23 @@ func NewRing(capacity int) *Ring {
 	return &Ring{buf: make([]Event, capacity)}
 }
 
+// CountDropsInto makes every future ring overwrite also count a TraceDropped
+// event into s's registry, so trace loss is visible live (e.g. on the
+// /metrics endpoint of a server holding the same registry) rather than only
+// in the post-run Dropped() total. Call before recording starts; a nil s
+// disables the counting again.
+func (r *Ring) CountDropsInto(s *Sink) {
+	r.mu.Lock()
+	r.drops = s
+	r.mu.Unlock()
+}
+
 // Record implements Recorder.
 func (r *Ring) Record(e Event) {
 	r.mu.Lock()
 	if r.full {
 		r.dropped++
+		r.drops.Count(TraceDropped)
 	}
 	r.buf[r.next] = e
 	r.next++

@@ -46,6 +46,31 @@ func TestRingMinimumCapacity(t *testing.T) {
 	}
 }
 
+func TestRingCountDropsInto(t *testing.T) {
+	r := NewRing(2)
+	sink := NewSink(nil)
+	r.CountDropsInto(sink)
+	for i := 1; i <= 5; i++ {
+		r.Record(Event{Step: int64(i)})
+	}
+	if r.Dropped() != 3 {
+		t.Fatalf("Dropped = %d, want 3", r.Dropped())
+	}
+	key := TraceDropped.ID()
+	if got := sink.Registry().Snapshot().Counters[key]; got != 3 {
+		t.Fatalf("registry %s = %d, want 3", key, got)
+	}
+	// Detach: further overwrites keep counting locally but not in the registry.
+	r.CountDropsInto(nil)
+	r.Record(Event{Step: 6})
+	if got := sink.Registry().Snapshot().Counters[key]; got != 3 {
+		t.Fatalf("detached ring still counted into registry: %d", got)
+	}
+	if r.Dropped() != 4 {
+		t.Fatalf("Dropped after detach = %d, want 4", r.Dropped())
+	}
+}
+
 func TestTee(t *testing.T) {
 	if Tee() != nil || Tee(nil, nil) != nil {
 		t.Fatal("empty Tee should collapse to nil")

@@ -15,6 +15,9 @@ const (
 	// GaugeMaxStripLen is the largest per-process coin-strip length ever
 	// written (unbounded protocols only).
 	GaugeMaxStripLen
+	// GaugeAuditLastStep is the scheduler step of the most recent audit
+	// violation (0 when no probe ever fired; see internal/obs/audit).
+	GaugeAuditLastStep
 	numGauges
 )
 
@@ -27,6 +30,8 @@ func (g GaugeID) String() string {
 		return "core.max_round"
 	case GaugeMaxStripLen:
 		return "core.max_strip_len"
+	case GaugeAuditLastStep:
+		return "audit.last_violation_step"
 	default:
 		return "gauge.unknown"
 	}

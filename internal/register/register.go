@@ -18,6 +18,7 @@ import (
 	"sync"
 
 	"github.com/dsrepro/consensus/internal/obs"
+	"github.com/dsrepro/consensus/internal/obs/audit"
 	"github.com/dsrepro/consensus/internal/sched"
 )
 
@@ -101,8 +102,10 @@ type Toggled[T any] struct {
 // ToggledSWMR wraps an SWMR register so every write flips the toggle bit.
 // The writer tracks the bit locally (it is the only writer).
 type ToggledSWMR[T any] struct {
-	reg  *SWMR[Toggled[T]]
-	next bool
+	reg   *SWMR[Toggled[T]]
+	next  bool
+	mon   *audit.Monitor
+	regID int
 }
 
 // NewToggledSWMR returns a toggle-bit SWMR register owned by owner.
@@ -113,13 +116,45 @@ func NewToggledSWMR[T any](owner int, init T) *ToggledSWMR[T] {
 // SetSink installs the observability sink on the wrapped register.
 func (r *ToggledSWMR[T]) SetSink(s *obs.Sink) { r.reg.SetSink(s) }
 
+// SetMonitor attaches the invariant monitor's sampled register-regularity
+// probe, identifying this register as id in recorded histories (a nil m
+// detaches). The toggle bit doubles as the recorded value: it alternates on
+// every write, which is exactly what makes the regularity check decisive.
+func (r *ToggledSWMR[T]) SetMonitor(m *audit.Monitor, id int) {
+	r.mon = m
+	r.regID = id
+}
+
 // Read returns the current value and toggle bit. One atomic step.
-func (r *ToggledSWMR[T]) Read(p *sched.Proc) Toggled[T] { return r.reg.Read(p) }
+func (r *ToggledSWMR[T]) Read(p *sched.Proc) Toggled[T] {
+	if !r.mon.AuditRegisters() {
+		return r.reg.Read(p)
+	}
+	start := p.Now()
+	v := r.reg.Read(p)
+	r.mon.RegOp(r.regID, p.ID(), false, toggleInt(v.Toggle), start, p.Now())
+	return v
+}
 
 // Write stores v with a flipped toggle bit. One atomic step.
 func (r *ToggledSWMR[T]) Write(p *sched.Proc, v T) {
-	r.reg.Write(p, Toggled[T]{Val: v, Toggle: r.next})
+	if !r.mon.AuditRegisters() {
+		r.reg.Write(p, Toggled[T]{Val: v, Toggle: r.next})
+		r.next = !r.next
+		return
+	}
+	start := p.Now()
+	tog := r.next
+	r.reg.Write(p, Toggled[T]{Val: v, Toggle: tog})
 	r.next = !r.next
+	r.mon.RegOp(r.regID, p.ID(), true, toggleInt(tog), start, p.Now())
+}
+
+func toggleInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // Peek is the no-step test/metrics accessor.

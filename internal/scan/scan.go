@@ -20,12 +20,23 @@ package scan
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"github.com/dsrepro/consensus/internal/obs"
+	"github.com/dsrepro/consensus/internal/obs/audit"
 	"github.com/dsrepro/consensus/internal/pad"
 	"github.com/dsrepro/consensus/internal/register"
 	"github.com/dsrepro/consensus/internal/sched"
 )
+
+// MutTornScan is the scan layer's fault injector: when enabled, Arrow.Scan
+// ignores the toggle-bit comparison between its two collects, so a scan
+// overlapped by exactly one write returns a torn double collect as if it
+// were clean — the bug ProbeScanHandshake exists to catch. Registered as
+// "scan.torn".
+var MutTornScan atomic.Bool
+
+func init() { audit.RegisterMutation("scan.torn", &MutTornScan) }
 
 // Memory is the scannable-memory abstract data type shared by n processes.
 // Slot i is written only by process i; Scan returns one value per slot.
@@ -61,6 +72,7 @@ type Memory[T any] interface {
 type Arrow[T any] struct {
 	n      int
 	sink   *obs.Sink
+	mon    *audit.Monitor
 	vals   []*register.ToggledSWMR[T]
 	arrows [][]register.TwoWriter // arrows[i][j], i != j
 	local  []T                    // local[i]: last value written by i (owner-only access)
@@ -145,6 +157,17 @@ func (a *Arrow[T]) SetSink(s *obs.Sink) {
 	}
 }
 
+// SetMonitor attaches the invariant monitor to the memory (the scan
+// handshake probe) and to every value register beneath it (the sampled
+// register-regularity probe). A nil m detaches — ExecuteProto always calls
+// it so pooled instances never carry a stale monitor.
+func (a *Arrow[T]) SetMonitor(m *audit.Monitor) {
+	a.mon = m
+	for i := range a.vals {
+		a.vals[i].SetMonitor(m, i)
+	}
+}
+
 // Write implements Memory: set the arrow in every other process's scanner
 // register, then publish the value. Wait-free; n atomic steps (2n with Bloom
 // arrow registers).
@@ -192,6 +215,9 @@ func (a *Arrow[T]) Scan(p *sched.Proc) []T {
 				firstMismatch = j
 			}
 		}
+		if MutTornScan.Load() {
+			firstMismatch = a.n // fault injection: ignore the handshake
+		}
 		// Arrow re-reads are scheduler steps, so they must happen for exactly
 		// the prefix the unfused loop would have checked: every j up to and
 		// including the first dirty slot (set arrow or toggle mismatch).
@@ -205,6 +231,19 @@ func (a *Arrow[T]) Scan(p *sched.Proc) []T {
 			}
 		}
 		if clean {
+			if a.mon.Enabled() {
+				// Independent handshake audit: re-compare the two collects'
+				// toggle bits (register-local, no scheduler steps). A returning
+				// scan whose collects disagree is a torn double collect.
+				firstBad := -1
+				for j := 0; j < a.n; j++ {
+					if j != i && v1[j].Toggle != v2[j].Toggle {
+						firstBad = j
+						break
+					}
+				}
+				a.mon.ScanHandshake(p.Now(), i, firstBad)
+			}
 			a.sink.Emit(obs.Event{Step: p.Now(), Pid: i, Kind: obs.ScanClean, Value: tries})
 			a.sink.Observe(obs.HistScanRetries, tries)
 			out[i] = a.local[i]

@@ -2,10 +2,26 @@ package strip
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"github.com/dsrepro/consensus/internal/obs"
+	"github.com/dsrepro/consensus/internal/obs/audit"
 	"github.com/dsrepro/consensus/internal/sched"
 )
+
+// MutSkipMod is the strip layer's fault injector: when enabled, incRowInto
+// publishes moved counters un-reduced — it advances by a full extra cycle
+// (+3K+1 instead of +1 mod 3K), the state a forgotten Mod3K leaves behind
+// once a counter has wrapped. The raw value escapes the {0..3K-1} cycle on
+// the first move — the bug ProbeStripRange exists to catch. (A literal
+// skipped mod diverges only after 3K gross moves of one pair, which decided
+// executions never accumulate, so the injected bug pre-applies the wrap.)
+// Decoding keeps working because EdgeFromCounters normalizes differences
+// mod 3K, so the broken run proceeds normally while every published row is
+// out of range. Registered as "strip.skipmod".
+var MutSkipMod atomic.Bool
+
+func init() { audit.RegisterMutation("strip.skipmod", &MutSkipMod) }
 
 // This file implements the paper's §4.3 concurrent representation of the
 // distance graph: for every unordered pair {i,j}, two counters e[i][j]
@@ -110,6 +126,13 @@ func IncRowTraced(i int, e [][]int, k int, proc *sched.Proc, sink *obs.Sink) ([]
 // decode itself stops allocating once g is warm. A nil g behaves exactly like
 // IncRowTraced.
 func IncRowScratch(i int, e [][]int, k int, g *Graph, proc *sched.Proc, sink *obs.Sink) ([]int, error) {
+	return IncRowAudited(i, e, k, g, proc, sink, nil)
+}
+
+// IncRowAudited is IncRowScratch plus the invariant monitor's strip-range
+// probe: the freshly computed row is checked against {0..3K-1} before it is
+// returned for publication. A nil monitor costs one branch.
+func IncRowAudited(i int, e [][]int, k int, g *Graph, proc *sched.Proc, sink *obs.Sink, mon *audit.Monitor) ([]int, error) {
 	row, moved, clamped, err := incRowInto(g, i, e, k)
 	if err != nil {
 		return nil, err
@@ -120,6 +143,7 @@ func IncRowScratch(i int, e [][]int, k int, g *Graph, proc *sched.Proc, sink *ob
 	if clamped > 0 {
 		sink.Emit(obs.Event{Step: proc.Now(), Pid: proc.ID(), Kind: obs.StripClamp, Value: clamped})
 	}
+	mon.StripRow(proc.Now(), proc.ID(), row, k)
 	return row, nil
 }
 
@@ -143,7 +167,11 @@ func incRowInto(g *Graph, i int, e [][]int, k int) (row []int, moved, clamped in
 			clamped++
 		}
 		if catchUp || pullAhead {
-			row[j] = Mod3K(row[j]+1, k)
+			if MutSkipMod.Load() {
+				row[j] += 3*k + 1 // injected bug: wrapped counter, mod skipped
+			} else {
+				row[j] = Mod3K(row[j]+1, k)
+			}
 			moved++
 		}
 	}

@@ -15,12 +15,25 @@ package walk
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 
 	"github.com/dsrepro/consensus/internal/obs"
+	"github.com/dsrepro/consensus/internal/obs/audit"
 	"github.com/dsrepro/consensus/internal/register"
 	"github.com/dsrepro/consensus/internal/scan"
 	"github.com/dsrepro/consensus/internal/sched"
 )
+
+// MutUnclamped is the walk layer's fault injector: when enabled, StepCounter
+// double-applies each move and skips the ±(M+1) saturation, so a counter at
+// ±M jumps straight outside the bounded range {-(M+1)..M+1} — the bug
+// ProbeCoinRange exists to catch. (Skipping only the clamp would be
+// unobservable: the walk checks the coin value before every step, so a
+// counter at M+1 already reads as overflow and is never stepped again.)
+// Registered as "walk.unclamped".
+var MutUnclamped atomic.Bool
+
+func init() { audit.RegisterMutation("walk.unclamped", &MutUnclamped) }
 
 // Outcome is the result of interrogating the shared coin.
 type Outcome int
@@ -117,10 +130,13 @@ func (p Params) Value(c []int) Outcome {
 // ±(M+1) in bounded mode (the saturated value itself signals overflow to
 // every Value reader).
 func (p Params) StepCounter(c int, rng *rand.Rand) int {
-	if rng.Intn(2) == 0 {
-		c++
-	} else {
-		c--
+	d := 1
+	if rng.Intn(2) != 0 {
+		d = -1
+	}
+	c += d
+	if MutUnclamped.Load() {
+		return c + d // injected bug: double-apply, no saturation
 	}
 	if p.Bounded() {
 		if c > p.M+1 {
@@ -139,11 +155,20 @@ func (p Params) StepCounter(c int, rng *rand.Rand) int {
 // route their walk steps through it so the walk layer shows up uniformly in
 // traces.
 func (p Params) StepCounterTraced(c int, proc *sched.Proc, sink *obs.Sink) int {
+	return p.StepCounterAudited(c, proc, sink, nil)
+}
+
+// StepCounterAudited is StepCounterTraced plus the invariant monitor's
+// coin-range probe: every new counter value is checked against {-(M+1)..M+1}
+// and saturations are accounted as truncations. A nil monitor costs one
+// branch.
+func (p Params) StepCounterAudited(c int, proc *sched.Proc, sink *obs.Sink, mon *audit.Monitor) int {
 	nc := p.StepCounter(c, proc.Rand())
 	sink.Emit(obs.Event{Step: proc.Now(), Pid: proc.ID(), Kind: obs.WalkStep, Value: int64(nc)})
 	if p.Bounded() && (nc == p.M+1 || nc == -(p.M+1)) {
 		sink.Emit(obs.Event{Step: proc.Now(), Pid: proc.ID(), Kind: obs.WalkOverflow, Value: int64(nc)})
 	}
+	mon.CoinCounter(proc.Now(), proc.ID(), nc, p.M)
 	return nc
 }
 
