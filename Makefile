@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all ci build test test-race test-short bench bench-json bench-check live-smoke experiments experiments-quick fuzz vet fmt fmt-check clean
+.PHONY: all ci build test test-race test-short bench bench-json bench-check live-smoke prof-smoke experiments experiments-quick fuzz vet fmt fmt-check clean
 
 all: vet test build
 
@@ -15,7 +15,9 @@ all: vet test build
 # broken by refactors), an audit smoke pass (every protocol under the online
 # invariant monitor with sampled probes escalated; consensus-sim exits
 # non-zero if any probe fires), the live-telemetry smoke test, and a
-# benchdiff self-compare to keep the regression gate runnable.
+# benchdiff self-compare to keep the regression gate runnable, and the
+# profiler smoke pass (one profiled seed per protocol, Perfetto validation,
+# and the traceview -prof golden).
 ci: fmt-check vet build test
 	$(GO) test -short -race -timeout 900s ./...
 	$(GO) test -run XXX_none -bench 'BenchmarkSolveObservability|BenchmarkDispatch|BenchmarkRendezvous' -benchtime 0.2s -timeout 600s . ./internal/sched/
@@ -23,6 +25,7 @@ ci: fmt-check vet build test
 		$(GO) run ./cmd/consensus-sim -alg $$alg -inputs 0,1,1,0 -schedule random -seed 42 -audit -audit-sample 1 >/dev/null || exit 1; \
 	done
 	./scripts/live_smoke.sh
+	./scripts/prof_smoke.sh
 	$(GO) run ./cmd/benchdiff BENCH_batch.json BENCH_batch.json
 
 build:
@@ -60,6 +63,9 @@ bench-check:
 live-smoke:
 	./scripts/live_smoke.sh
 
+prof-smoke:
+	./scripts/prof_smoke.sh
+
 experiments:
 	$(GO) run ./cmd/experiments
 
@@ -73,6 +79,7 @@ fuzz:
 	$(GO) test -fuzz FuzzEdgeFromCounters -fuzztime 30s ./internal/strip/
 	$(GO) test -fuzz FuzzParseEvent -fuzztime 30s ./internal/obs/
 	$(GO) test -fuzz FuzzAuditDump -fuzztime 30s ./internal/obs/audit/
+	$(GO) test -fuzz FuzzProfReport -fuzztime 30s ./internal/obs/prof/
 
 vet:
 	$(GO) vet ./...

@@ -8,6 +8,7 @@ import (
 	"github.com/dsrepro/consensus/internal/core"
 	"github.com/dsrepro/consensus/internal/obs"
 	"github.com/dsrepro/consensus/internal/obs/audit"
+	"github.com/dsrepro/consensus/internal/obs/prof"
 )
 
 // InstanceSeed derives the seed of batch instance k from the batch seed. The
@@ -80,6 +81,11 @@ type BatchResult struct {
 	// Hists holds the merged histograms; "core.steps_to_decide" aggregates
 	// per-process steps-to-decision across the whole batch.
 	Hists map[string]obs.HistSnapshot
+	// Matrices holds the merged matrix-valued metrics when Base.Profile is
+	// set: "prof.blame" and "prof.contention", summed element-wise across
+	// instances in instance order (deterministic at any Parallel). Nil when
+	// profiling is off.
+	Matrices map[string]obs.MatrixSnapshot
 
 	// Violations sums invariant-probe firings by probe name across every
 	// instance when Base.Audit is set; nil when auditing is off or the batch
@@ -122,7 +128,8 @@ func SolveBatch(cfg BatchConfig) (BatchResult, error) {
 		return BatchResult{}, fmt.Errorf("consensus: BatchConfig.Instances must be >= 1, got %d", cfg.Instances)
 	}
 	instances := make([]core.Instance, cfg.Instances)
-	var mons []*audit.Monitor // indexed by instance; nil when auditing is off
+	var mons []*audit.Monitor  // indexed by instance; nil when auditing is off
+	var profs []*prof.Profiler // indexed by instance; nil when profiling is off
 	for k := range instances {
 		c := cfg.Base
 		c.Seed = InstanceSeed(cfg.Seed, k)
@@ -165,6 +172,17 @@ func SolveBatch(cfg BatchConfig) (BatchResult, error) {
 			}
 			mons[k] = mon
 		}
+		// Each profiled instance gets its own profiler (per-instance matrices
+		// and chains); spans are not retained — batch aggregation merges only
+		// counters and matrices.
+		var pr *prof.Profiler
+		if c.Profile {
+			pr = prof.New(prof.Options{N: len(c.Inputs)})
+			if profs == nil {
+				profs = make([]*prof.Profiler, cfg.Instances)
+			}
+			profs[k] = pr
+		}
 		instances[k] = core.Instance{
 			Kind: kind,
 			Cfg: core.Config{
@@ -180,6 +198,7 @@ func SolveBatch(cfg BatchConfig) (BatchResult, error) {
 			Adversary: adv,
 			MaxSteps:  c.MaxSteps,
 			Monitor:   mon,
+			Profiler:  pr,
 		}
 	}
 
@@ -219,6 +238,20 @@ func SolveBatch(cfg BatchConfig) (BatchResult, error) {
 		}
 	}
 	snap := sink.Registry().Snapshot()
+	if profs != nil {
+		// Merge per-instance profiler snapshots in instance order: counter
+		// sums, gauge maxes and padded matrix addition all commute, so the
+		// result is identical at any Parallel.
+		merged := make([]obs.Snapshot, 0, len(profs)+1)
+		merged = append(merged, snap)
+		for _, pr := range profs {
+			if pr.Enabled() {
+				merged = append(merged, pr.Snapshot())
+			}
+		}
+		snap = obs.MergeSnapshots(merged...)
+		res.Matrices = snap.Matrices
+	}
 	res.Counters = snap.Counters
 	res.Gauges = snap.Gauges
 	res.Hists = snap.Hists

@@ -24,6 +24,7 @@ import (
 	"github.com/dsrepro/consensus/internal/benchfmt"
 	"github.com/dsrepro/consensus/internal/obs"
 	"github.com/dsrepro/consensus/internal/obs/live"
+	"github.com/dsrepro/consensus/internal/obs/prof"
 )
 
 func main() {
@@ -41,10 +42,11 @@ func run() int {
 		maxSteps  = flag.Int64("max-steps", 100_000_000, "per-instance step budget")
 		b         = flag.Int("b", 4, "shared-coin barrier multiplier")
 		jsonOut   = flag.Bool("json", false, "emit one machine-readable JSON object instead of text")
-		matrix    = flag.Bool("matrix", false, "run the standard workload matrix ({bounded, aspnes-herlihy} x {n=4, n=8}) instead of one workload; -instances/-n/-alg/-tail are ignored")
+		matrix    = flag.Bool("matrix", false, "run the standard workload matrix ({bounded, aspnes-herlihy} x {n=4, n=8, n=16}) instead of one workload; -instances/-n/-alg/-tail are ignored")
 		listen    = flag.String("listen", "", "serve live telemetry (/metrics, /healthz, /debug/pprof) on this address while the batch runs (e.g. 127.0.0.1:9090, :0 for a free port)")
 		linger    = flag.Duration("linger", 0, "with -listen, keep serving telemetry this long after the batch completes")
 		tail      = flag.Int("tail", 0, "keep the last N events in a ring for post-run inspection (0 = off; ordering across workers is unspecified)")
+		profOn    = flag.Bool("prof", false, "run the step profiler on every instance: prof.* counters plus blame/contention matrices in the report (and, with -listen, at /metrics once the workload completes)")
 		auditOn   = flag.Bool("audit", false, "run the online invariant monitor on every instance; non-zero exit if any probe fires")
 		auditN    = flag.Int("audit-sample", 0, "audit: run sampled probes every N opportunities (0 = default 64, 1 = every)")
 		auditDir  = flag.String("audit-dir", "", "audit: write flight-recorder dumps to this directory (replay with consensus-audit)")
@@ -85,6 +87,7 @@ func run() int {
 		parallel: *parallel,
 		prog:     prog,
 		srv:      srv,
+		profile:  *profOn,
 	}
 	if *auditOn || *auditDir != "" || *auditN > 0 {
 		opts.audit = true
@@ -135,9 +138,7 @@ func run() int {
 	if code == 2 {
 		return 2
 	}
-	if ring != nil {
-		r.Dropped = ring.Dropped()
-	}
+	reconcileTailDrops(&r, ring)
 
 	if *jsonOut {
 		if err := benchfmt.Write(os.Stdout, r); err != nil {
@@ -167,11 +168,16 @@ type workloadSpec struct {
 // its instance count so new matrix artifacts stay comparable against
 // pre-matrix baselines; the other entries are sized so the whole matrix runs
 // in the same ballpark as the original single workload.
+// The n=16 entries measure the scaling wall past the n=4→n=8 throughput
+// collapse; they are small (a few seconds each, ~8 inst/s serial) and sized so
+// the profiler has enough contended instances to attribute.
 var matrixWorkloads = []workloadSpec{
 	{Alg: "bounded", N: 4, Instances: 400},
 	{Alg: "bounded", N: 8, Instances: 60},
+	{Alg: "bounded", N: 16, Instances: 12},
 	{Alg: "aspnes-herlihy", N: 4, Instances: 200},
 	{Alg: "aspnes-herlihy", N: 8, Instances: 40},
+	{Alg: "aspnes-herlihy", N: 16, Instances: 8},
 }
 
 // workloadOpts carries the flag settings shared by every workload of a run.
@@ -186,6 +192,30 @@ type workloadOpts struct {
 	audit       bool
 	auditSample int
 	auditDir    string
+	profile     bool
+}
+
+// reconcileTailDrops folds the ring's final drop total into the report. The
+// batch counters were snapshotted inside SolveBatch, but the ring can still
+// overwrite events after that snapshot (a racing worker's last emissions, or a
+// live scrape draining the tail), so the authoritative count is the ring's own
+// — take it last and raise the obs.trace_dropped counter to match, never
+// lowering it.
+func reconcileTailDrops(r *benchfmt.Report, ring *obs.Ring) {
+	if ring == nil {
+		return
+	}
+	d := ring.Dropped()
+	r.Dropped = d
+	if d == 0 {
+		return
+	}
+	if r.Counters == nil {
+		r.Counters = map[string]int64{}
+	}
+	if c := r.Counters[obs.TraceDropped.ID()]; c < d {
+		r.Counters[obs.TraceDropped.ID()] = d
+	}
 }
 
 // runWorkload runs one batch workload into a fresh sink and builds its
@@ -230,6 +260,7 @@ func runWorkload(ws workloadSpec, opts workloadOpts, ring *obs.Ring) (benchfmt.R
 			Audit:            opts.audit,
 			AuditSampleEvery: opts.auditSample,
 			AuditDumpDir:     opts.auditDir,
+			Profile:          opts.profile,
 		},
 		Seed:     opts.seed,
 		Parallel: opts.parallel,
@@ -259,12 +290,34 @@ func runWorkload(ws workloadSpec, opts workloadOpts, ring *obs.Ring) (benchfmt.R
 		Counters:        res.Counters,
 		Gauges:          res.Gauges,
 		Hists:           res.Hists,
+		Matrices:        res.Matrices,
 		Derived:         derivedStats(res.Counters),
 	}
 	for _, v := range res.Violations {
 		r.Violations += v
 	}
+	if opts.profile && opts.srv != nil {
+		// Profiler aggregates are not in the sink registry the server already
+		// scrapes; publish the prof-only slice of the merged snapshot so the
+		// prof.* series and matrices appear at /metrics (useful with -linger).
+		ps := profSnapshot(res)
+		opts.srv.AddSnapshot(func() obs.Snapshot { return ps })
+	}
 	return r, res, 0
+}
+
+// profSnapshot extracts the profiler-owned portion of a batch result — the
+// prof.* counters and the matrices — as a standalone snapshot. The registry
+// counters stay out: the live server already scrapes the sink registry, and
+// re-publishing them would double every scan/core series.
+func profSnapshot(res consensus.BatchResult) obs.Snapshot {
+	s := obs.Snapshot{Counters: map[string]int64{}, Matrices: res.Matrices}
+	for k, v := range res.Counters {
+		if strings.HasPrefix(k, "prof.") {
+			s.Counters[k] = v
+		}
+	}
+	return s
 }
 
 // derivedStats computes the informational ratios carried in Report.Derived.
@@ -290,6 +343,11 @@ func printReport(r benchfmt.Report, ring *obs.Ring) {
 	}
 	if ratio, ok := r.Derived["scan.retry_ratio"]; ok {
 		fmt.Printf("scan retries  : %.3f per clean double-collect\n", ratio)
+	}
+	if total := r.Counters[prof.CounterStepsTotal]; total > 0 {
+		fmt.Printf("prof classes  : productive %d, scan-retry %d, coin-spin %d, strip-wait %d (of %d)\n",
+			r.Counters[prof.CounterStepsProductive], r.Counters[prof.CounterStepsScanRetry],
+			r.Counters[prof.CounterStepsCoinSpin], r.Counters[prof.CounterStepsStripWait], total)
 	}
 	fmt.Printf("errors        : %d\n", r.Errors)
 	if r.Violations > 0 {

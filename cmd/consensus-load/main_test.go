@@ -1,0 +1,65 @@
+package main
+
+import (
+	"testing"
+
+	"github.com/dsrepro/consensus/internal/benchfmt"
+	"github.com/dsrepro/consensus/internal/obs"
+)
+
+// TestReconcileTailDrops is the regression test for the -tail drain race:
+// the batch counters are snapshotted inside SolveBatch, so ring overwrites
+// that land after that snapshot used to be reported in Dropped but missing
+// from the obs.trace_dropped counter. Reconciliation must take the ring's
+// final total and raise the counter to match.
+func TestReconcileTailDrops(t *testing.T) {
+	ring := obs.NewRing(2)
+	sink := obs.NewSink(nil)
+	ring.CountDropsInto(sink)
+	for i := 0; i < 5; i++ { // 3 counted overwrites
+		ring.Record(obs.Event{Step: int64(i)})
+	}
+
+	// The "final snapshot": counters frozen with 3 drops.
+	r := benchfmt.Report{Counters: sink.Registry().Snapshot().Counters}
+
+	// Two more overwrites land after the snapshot (the drain race).
+	ring.Record(obs.Event{Step: 5})
+	ring.Record(obs.Event{Step: 6})
+
+	reconcileTailDrops(&r, ring)
+	if r.Dropped != 5 {
+		t.Errorf("Dropped = %d, want the ring's final total 5", r.Dropped)
+	}
+	if got := r.Counters[obs.TraceDropped.ID()]; got != 5 {
+		t.Errorf("counter %s = %d, want raised to 5", obs.TraceDropped.ID(), got)
+	}
+}
+
+// TestReconcileTailDropsEdges: nil ring is a no-op; a dropless ring reports
+// zero without inventing a counters map; an existing higher counter (another
+// ring feeding the same sink) is never lowered.
+func TestReconcileTailDropsEdges(t *testing.T) {
+	r := benchfmt.Report{}
+	reconcileTailDrops(&r, nil)
+	if r.Dropped != 0 || r.Counters != nil {
+		t.Errorf("nil ring mutated report: %+v", r)
+	}
+
+	reconcileTailDrops(&r, obs.NewRing(4))
+	if r.Dropped != 0 || r.Counters != nil {
+		t.Errorf("dropless ring mutated counters: %+v", r)
+	}
+
+	ring := obs.NewRing(1)
+	ring.Record(obs.Event{Step: 1})
+	ring.Record(obs.Event{Step: 2}) // 1 drop
+	r = benchfmt.Report{Counters: map[string]int64{obs.TraceDropped.ID(): 9}}
+	reconcileTailDrops(&r, ring)
+	if r.Dropped != 1 {
+		t.Errorf("Dropped = %d, want 1", r.Dropped)
+	}
+	if got := r.Counters[obs.TraceDropped.ID()]; got != 9 {
+		t.Errorf("counter lowered to %d, want kept at 9", got)
+	}
+}

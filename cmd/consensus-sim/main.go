@@ -10,6 +10,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,6 +22,7 @@ import (
 	consensus "github.com/dsrepro/consensus"
 	"github.com/dsrepro/consensus/internal/obs"
 	"github.com/dsrepro/consensus/internal/obs/live"
+	"github.com/dsrepro/consensus/internal/obs/prof"
 )
 
 func main() {
@@ -43,6 +45,9 @@ func run() int {
 		trace      = flag.Bool("trace", false, "print the protocol event log to stderr (round advances, preference changes, coin flips, decisions)")
 		traceOut   = flag.String("trace-out", "", "write the full cross-layer event stream (register/scan/walk/strip/core) as JSONL to this file")
 		metrics    = flag.Bool("metrics", false, "print the cross-layer observability counters after the run")
+		profFlag   = flag.Bool("prof", false, "run the step profiler and print the step-class/blame/critical-path summary (implied by -prof-out/-prof-json)")
+		profOut    = flag.String("prof-out", "", "write the profiled run as a Chrome-trace-event/Perfetto JSON file (open in ui.perfetto.dev)")
+		profJSON   = flag.String("prof-json", "", "write the raw profile (classes, blame matrix, critical path) as JSON to this file (analyse with: traceview -prof)")
 		auditFlag  = flag.Bool("audit", false, "run the online invariant monitor; non-zero exit if any probe fires")
 		auditEvery = flag.Int("audit-sample", 0, "audit: run sampled probes every N opportunities (0 = default 64, 1 = every)")
 		auditDir   = flag.String("audit-dir", "", "audit: write flight-recorder dumps to this directory (replay with consensus-audit)")
@@ -82,6 +87,10 @@ func run() int {
 		cfg.AuditSampleEvery = *auditEvery
 		cfg.AuditDumpDir = *auditDir
 	}
+	if *profOut != "" || *profJSON != "" {
+		*profFlag = true
+	}
+	cfg.Profile = *profFlag
 	if *trace {
 		cfg.TraceWriter = os.Stderr
 	}
@@ -142,6 +151,11 @@ func run() int {
 	if *metrics {
 		printMetrics(res)
 	}
+	if *profFlag {
+		if code := reportProfile(res.Profile, *profOut, *profJSON); code != 0 {
+			return code
+		}
+	}
 	if traceFile != nil {
 		fmt.Printf("trace     : %s (analyse with: go run ./cmd/traceview %s)\n", *traceOut, *traceOut)
 	}
@@ -164,6 +178,66 @@ func run() int {
 		return 1
 	}
 	return 0
+}
+
+// reportProfile prints the three-line profile summary and writes the optional
+// Perfetto and raw-JSON artifacts. Non-zero return is an I/O failure.
+func reportProfile(p *prof.Profile, perfettoPath, jsonPath string) int {
+	if p == nil {
+		fmt.Fprintln(os.Stderr, "consensus-sim: profiling produced no profile")
+		return 1
+	}
+	c := p.Classes
+	fmt.Printf("prof      : %d steps = %d productive + %d scan-retry + %d coin-spin + %d strip-wait\n",
+		c.Total, c.Productive, c.ScanRetry, c.CoinSpin, c.StripWait)
+	if scanner, writer, v := hottestCell(p.Blame); v > 0 {
+		_, reg, rv := hottestCell(p.Contention)
+		fmt.Printf("blame     : worst pair scanner %d <- writer %d (%d retries); hottest register %d (%d)\n",
+			scanner, writer, v, reg, rv)
+	}
+	if cp := p.CriticalPath; cp.Decider >= 0 {
+		fmt.Printf("crit path : chain length %d (%d joins) ends at process %d deciding at step %d\n",
+			cp.Len, len(cp.Nodes)-1, cp.Decider, cp.DecideStep)
+	}
+	if perfettoPath != "" {
+		f, err := os.Create(perfettoPath)
+		if err == nil {
+			err = prof.WritePerfetto(f, p)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "consensus-sim: %v\n", err)
+			return 1
+		}
+		fmt.Printf("perfetto  : %s (open in ui.perfetto.dev)\n", perfettoPath)
+	}
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(p, "", "  ")
+		if err == nil {
+			err = os.WriteFile(jsonPath, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "consensus-sim: %v\n", err)
+			return 1
+		}
+		fmt.Printf("profile   : %s (analyse with: go run ./cmd/traceview -prof %s)\n", jsonPath, jsonPath)
+	}
+	return 0
+}
+
+// hottestCell returns the row, column and value of the matrix's maximum cell
+// (first in row-major order on ties; value 0 when the matrix is empty).
+func hottestCell(m obs.MatrixSnapshot) (row, col int, v int64) {
+	for r := 0; r < m.Rows; r++ {
+		for c := 0; c < m.Cols; c++ {
+			if cv := m.At(r, c); cv > v {
+				row, col, v = r, c, cv
+			}
+		}
+	}
+	return row, col, v
 }
 
 func printMetrics(res consensus.Result) {

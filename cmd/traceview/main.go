@@ -14,6 +14,14 @@
 // Traces from audited runs (consensus-sim -audit) carry audit-layer events;
 // traceview summarises the violations by probe and lists the flight dumps.
 // It also reads the JSONL tail of a flight-dump file directly.
+//
+// Profiles from consensus-sim -prof-json are a different artifact (step
+// classes, blame matrix, critical path — not an event stream) and get their
+// own modes:
+//
+//	consensus-sim -inputs 0,1,1,0 -prof-json run.prof.json
+//	traceview -prof run.prof.json        # blame matrix, contention, critical path
+//	traceview -perfetto run.trace.json   # validate + summarise a Perfetto export
 package main
 
 import (
@@ -36,8 +44,11 @@ func run() int {
 	formatFlag := flag.String("format", "text", "output format: text | markdown | csv")
 	phaseFlag := flag.String("phase", "", "also render a per-process breakdown of one phase: prefer | coin | strip | decide")
 	auditFlag := flag.Bool("audit", false, "render only the invariant-audit tables (violations by probe, flight dumps)")
+	profFlag := flag.String("prof", "", "render a profile JSON (consensus-sim -prof-json): step classes, blame matrix, contention, critical path")
+	perfettoFlag := flag.String("perfetto", "", "validate and summarise a Perfetto export (consensus-sim -prof-out)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: traceview [-format text|markdown|csv] [-phase name] [-audit] trace.jsonl\n")
+		fmt.Fprintf(os.Stderr, "       traceview [-format ...] -prof profile.json | -perfetto trace.json\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -45,6 +56,12 @@ func run() int {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "traceview: %v\n", err)
 		return 2
+	}
+	if *profFlag != "" {
+		return runProf(*profFlag, format)
+	}
+	if *perfettoFlag != "" {
+		return runPerfetto(*perfettoFlag, format)
 	}
 	if *phaseFlag != "" {
 		if _, ok := obs.PhaseForName(*phaseFlag); !ok {

@@ -1,0 +1,213 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+
+	"github.com/dsrepro/consensus/internal/harness"
+	"github.com/dsrepro/consensus/internal/obs/prof"
+)
+
+// runProf renders a profile artifact (consensus-sim -prof-json).
+func runProf(path string, format harness.Format) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "traceview: %v\n", err)
+		return 1
+	}
+	p, err := prof.ParseProfile(data)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "traceview: %v\n", err)
+		return 1
+	}
+	for _, t := range profTables(path, p) {
+		t.RenderAs(os.Stdout, format)
+	}
+	return 0
+}
+
+// runPerfetto validates a Perfetto export (consensus-sim -prof-out) and
+// prints its shape.
+func runPerfetto(path string, format harness.Format) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "traceview: %v\n", err)
+		return 1
+	}
+	st, err := prof.ParsePerfetto(data)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "traceview: invalid perfetto trace: %v\n", err)
+		return 1
+	}
+	t := &harness.Table{
+		Title:   fmt.Sprintf("%s: perfetto trace", path),
+		Columns: []string{"what", "value"},
+	}
+	t.Add("events", st.Events)
+	t.Add("process tracks", st.Tracks)
+	t.Add("phase slices", st.Slices)
+	t.Add("blame flows", st.Flows)
+	t.Add("first step", st.FirstStep)
+	t.Add("last step", st.LastStep)
+	t.Note("trace is well-formed; open it in ui.perfetto.dev or chrome://tracing.")
+	for _, tbl := range []*harness.Table{t} {
+		tbl.RenderAs(os.Stdout, format)
+	}
+	return 0
+}
+
+// profTables builds the analysis tables of one profile: the step-class
+// partition (whole run and per process), the scan blame matrix with its
+// failure-reason breakdown, the most contended registers, and the critical
+// path that gated the decision.
+func profTables(name string, p *prof.Profile) []*harness.Table {
+	var tables []*harness.Table
+
+	c := p.Classes
+	ct := &harness.Table{
+		Title:   fmt.Sprintf("%s: step classes (%d steps over %d processes)", name, c.Total, p.N),
+		Columns: []string{"class", "steps", "share"},
+	}
+	share := func(v int64) string {
+		if c.Total == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.1f%%", 100*float64(v)/float64(c.Total))
+	}
+	ct.Add("productive", c.Productive, share(c.Productive))
+	ct.Add("scan-retry", c.ScanRetry, share(c.ScanRetry))
+	ct.Add("coin-spin", c.CoinSpin, share(c.CoinSpin))
+	ct.Add("strip-wait", c.StripWait, share(c.StripWait))
+	ct.Note("scan-retry = collects burned on failed double-collects; coin-spin = random-walk steps; strip-wait = round-advance handshakes.")
+	tables = append(tables, ct)
+
+	if len(p.PerProc) > 0 {
+		pt := &harness.Table{
+			Title:   fmt.Sprintf("%s: step classes per process", name),
+			Columns: []string{"process", "total", "productive", "scan-retry", "coin-spin", "strip-wait", "decided at"},
+		}
+		for _, pp := range p.PerProc {
+			decided := "UNDECIDED"
+			if pp.Decided {
+				decided = fmt.Sprintf("%d", pp.DecideStep)
+			}
+			pt.Add(fmt.Sprintf("p%d", pp.Pid), pp.Classes.Total, pp.Classes.Productive,
+				pp.Classes.ScanRetry, pp.Classes.CoinSpin, pp.Classes.StripWait, decided)
+		}
+		tables = append(tables, pt)
+	}
+
+	if !p.Blame.Empty() && p.Blame.Sum() > 0 {
+		bt := &harness.Table{
+			Title:   fmt.Sprintf("%s: scan blame matrix (%d attributed retries)", name, p.Blame.Sum()),
+			Columns: blameColumns(p.Blame.Cols),
+		}
+		for r := 0; r < p.Blame.Rows; r++ {
+			row := make([]any, 0, p.Blame.Cols+1)
+			row = append(row, fmt.Sprintf("p%d", r))
+			for w := 0; w < p.Blame.Cols; w++ {
+				row = append(row, p.Blame.At(r, w))
+			}
+			bt.Add(row...)
+		}
+		bt.Note("cell (scanner, writer) counts scanner's double-collect failures tripped by that writer's register.")
+		tables = append(tables, bt)
+
+		if len(p.Reasons) > 0 {
+			rt := &harness.Table{
+				Title:   fmt.Sprintf("%s: retry reasons", name),
+				Columns: []string{"reason", "retries"},
+			}
+			reasons := make([]string, 0, len(p.Reasons))
+			for k := range p.Reasons {
+				reasons = append(reasons, k)
+			}
+			sort.Strings(reasons)
+			for _, k := range reasons {
+				rt.Add(k, p.Reasons[k])
+			}
+			tables = append(tables, rt)
+		}
+
+		tables = append(tables, contentionTable(name, p))
+	}
+
+	cp := p.CriticalPath
+	st := &harness.Table{
+		Title:   fmt.Sprintf("%s: critical path", name),
+		Columns: []string{"what", "value"},
+	}
+	if cp.Decider < 0 {
+		st.Note("no process decided; no critical path.")
+		tables = append(tables, st)
+		return tables
+	}
+	st.Add("decider", fmt.Sprintf("p%d", cp.Decider))
+	st.Add("decide step", cp.DecideStep)
+	st.Add("chain length", cp.Len)
+	st.Add("joins", len(cp.Nodes)-1)
+	if cp.Truncated {
+		st.Add("truncated", "yes (node arena filled; tail cut)")
+	}
+	st.Note("the chain of reads-from joins whose work gated the decision; everything off it ran in parallel slack.")
+	tables = append(tables, st)
+
+	if n := len(cp.Nodes); n > 0 {
+		nt := &harness.Table{
+			Title:   fmt.Sprintf("%s: critical-path tail (last %d of %d links)", name, min(10, n), n),
+			Columns: []string{"step", "link", "phase", "chain len"},
+		}
+		for _, node := range cp.Nodes[max(0, n-10):] {
+			link := fmt.Sprintf("p%d decides", node.Pid)
+			if node.Kind == "join" {
+				link = fmt.Sprintf("p%d reads p%d (written @%d)", node.Pid, node.From, node.WriteStep)
+			}
+			nt.Add(node.Step, link, node.Phase, node.CP)
+		}
+		tables = append(tables, nt)
+	}
+	return tables
+}
+
+// contentionTable lists the registers by attributed scan failures, busiest
+// first (ties by register index).
+func contentionTable(name string, p *prof.Profile) *harness.Table {
+	type reg struct {
+		idx int
+		v   int64
+	}
+	regs := make([]reg, 0, p.Contention.Cols)
+	for i := 0; i < p.Contention.Cols; i++ {
+		if v := p.Contention.At(0, i); v > 0 {
+			regs = append(regs, reg{i, v})
+		}
+	}
+	sort.Slice(regs, func(i, j int) bool {
+		if regs[i].v != regs[j].v {
+			return regs[i].v > regs[j].v
+		}
+		return regs[i].idx < regs[j].idx
+	})
+	t := &harness.Table{
+		Title:   fmt.Sprintf("%s: contended registers", name),
+		Columns: []string{"register", "owner", "tripped scans", "share"},
+	}
+	total := p.Contention.Sum()
+	for _, r := range regs {
+		t.Add(fmt.Sprintf("r%d", r.idx), fmt.Sprintf("p%d", r.idx), r.v,
+			fmt.Sprintf("%.1f%%", 100*float64(r.v)/float64(total)))
+	}
+	t.Note("registers are single-writer: register i is process i's slot in the snapshot object.")
+	return t
+}
+
+// blameColumns builds the blame matrix header: one column per writer.
+func blameColumns(cols int) []string {
+	out := make([]string, 0, cols+1)
+	out = append(out, "scanner\\writer")
+	for w := 0; w < cols; w++ {
+		out = append(out, fmt.Sprintf("w%d", w))
+	}
+	return out
+}

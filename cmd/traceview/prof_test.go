@@ -1,0 +1,104 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"testing"
+
+	consensus "github.com/dsrepro/consensus"
+	"github.com/dsrepro/consensus/internal/harness"
+	"github.com/dsrepro/consensus/internal/obs/prof"
+)
+
+var updateProf = flag.Bool("update-prof", false, "regenerate testdata/prof-n8.{json,golden} from the fixed seed")
+
+// profGoldenConfig is the fixed workload behind the profiler golden: the
+// bounded protocol at n=8 under the random adversary, the contended regime
+// the ISSUE's scaling wall is about.
+func profGoldenConfig() consensus.Config {
+	return consensus.Config{
+		Inputs:   []int{1, 0, 1, 0, 1, 0, 1, 0},
+		Seed:     7,
+		Schedule: consensus.Schedule{Kind: consensus.RandomSchedule},
+		Profile:  true,
+	}
+}
+
+// TestProfGolden locks the profiler end to end: re-running the fixed-seed
+// n=8 bounded workload must reproduce the checked-in profile artifact byte
+// for byte (blame matrix and critical path included), and its rendered
+// analysis must match the golden. Regenerate both with:
+//
+//	go test ./cmd/traceview -run TestProfGolden -update-prof
+func TestProfGolden(t *testing.T) {
+	res, err := consensus.Solve(profGoldenConfig())
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	data, err := json.MarshalIndent(res.Profile, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data = append(data, '\n') // consensus-sim -prof-json writes a trailing newline
+
+	p, err := prof.ParseProfile(data)
+	if err != nil {
+		t.Fatalf("fresh profile does not parse: %v", err)
+	}
+	var buf bytes.Buffer
+	for _, tbl := range profTables("testdata/prof-n8.json", p) {
+		tbl.RenderAs(&buf, harness.FormatText)
+	}
+
+	if *updateProf {
+		if err := os.WriteFile("testdata/prof-n8.json", data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile("testdata/prof-n8.golden", buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Log("testdata/prof-n8.{json,golden} regenerated")
+		return
+	}
+
+	want, err := os.ReadFile("testdata/prof-n8.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, want) {
+		t.Errorf("fixed-seed profile diverged from testdata/prof-n8.json (%d vs %d bytes); blame matrix / critical path are no longer deterministic, or the schema changed without -update-prof",
+			len(data), len(want))
+	}
+	golden, err := os.ReadFile("testdata/prof-n8.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), golden) {
+		t.Errorf("rendered profile diverged from golden:\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), golden)
+	}
+}
+
+// TestProfGoldenParsesFromDisk exercises the -prof input path on the
+// checked-in artifact: the file must parse and its blame matrix must agree
+// with the retry total (the invariant traceview relies on for the shares).
+func TestProfGoldenParsesFromDisk(t *testing.T) {
+	data, err := os.ReadFile("testdata/prof-n8.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := prof.ParseProfile(data)
+	if err != nil {
+		t.Fatalf("ParseProfile: %v", err)
+	}
+	if p.N != 8 {
+		t.Errorf("n = %d, want 8", p.N)
+	}
+	if p.Blame.Sum() != p.Contention.Sum() {
+		t.Errorf("blame sum %d != contention sum %d", p.Blame.Sum(), p.Contention.Sum())
+	}
+	if p.CriticalPath.Decider < 0 || len(p.CriticalPath.Nodes) == 0 {
+		t.Error("checked-in profile has no critical path")
+	}
+}

@@ -48,6 +48,7 @@ import (
 	"github.com/dsrepro/consensus/internal/core"
 	"github.com/dsrepro/consensus/internal/obs"
 	"github.com/dsrepro/consensus/internal/obs/audit"
+	"github.com/dsrepro/consensus/internal/obs/prof"
 	"github.com/dsrepro/consensus/internal/scan"
 	"github.com/dsrepro/consensus/internal/sched"
 	"github.com/dsrepro/consensus/internal/walk"
@@ -242,6 +243,16 @@ type Config struct {
 	// in memory only.
 	AuditDumpDir string
 
+	// Profile enables the causal step profiler (internal/obs/prof): every
+	// granted step is classified as productive / scan-retry / coin-spin /
+	// strip-wait, each failed scan pass is blamed on the (writer, register)
+	// that tripped the re-check, and the reads-from chain gating the decision
+	// is reconstructed. Hooks are passive like the audit probes — profiled
+	// runs are byte-identical to unprofiled ones. Results surface as prof.*
+	// entries in Result.Counters/Gauges, Result.Matrices, and the full
+	// Result.Profile report.
+	Profile bool
+
 	// TraceWriter, if non-nil, receives a human-readable protocol event log
 	// (round advances, preference changes, coin flips, decisions) in
 	// scheduler order — one line per event. Only core-layer (protocol) events
@@ -304,6 +315,17 @@ type Result struct {
 	// "phase.steps.*" family (one sample per decided process; the family's
 	// sums decompose core.steps_to_decide). Empty histograms are omitted.
 	Hists map[string]obs.HistSnapshot
+	// Matrices holds matrix-valued metrics when Config.Profile is set: the
+	// n×n "prof.blame" grid (scans by row pid failed because of column pid's
+	// register) and the 1×n "prof.contention" register heatmap. Nil when
+	// profiling is off.
+	Matrices map[string]obs.MatrixSnapshot
+
+	// Profile is the full profiler report (step classes, per-process ledger,
+	// blame and contention matrices, phase slices, and the critical path)
+	// when Config.Profile is set; nil otherwise. Export it with
+	// prof.WritePerfetto or analyze it with cmd/traceview -prof.
+	Profile *prof.Profile
 
 	// Violations counts invariant-probe firings by probe name ("coin.range",
 	// "strip.graph", ...) when Config.Audit is set; nil when auditing is off
@@ -382,6 +404,10 @@ func Solve(cfg Config) (Result, error) {
 		})
 		mon.SetRun(runInfoFor(cfg, alg, -1, 0))
 	}
+	var profiler *prof.Profiler
+	if cfg.Profile {
+		profiler = prof.New(prof.Options{N: len(cfg.Inputs), RetainSpans: true})
+	}
 	out, err := core.Execute(kind, core.Config{
 		K:              cfg.K,
 		B:              cfg.B,
@@ -396,6 +422,7 @@ func Solve(cfg Config) (Result, error) {
 		MaxSteps:  cfg.MaxSteps,
 		Sink:      sink,
 		Monitor:   mon,
+		Profiler:  profiler,
 	})
 	if jsonl != nil {
 		if ferr := jsonl.Flush(); ferr != nil && err == nil {
@@ -412,6 +439,11 @@ func Solve(cfg Config) (Result, error) {
 		return Result{}, err
 	}
 	snap := sink.Registry().Snapshot()
+	if profiler.Enabled() {
+		// Registry snapshots never carry matrices; the profiler contributes
+		// its prof.* counters, gauges and matrices through the merge.
+		snap = obs.MergeSnapshots(snap, profiler.Snapshot())
+	}
 	res := Result{
 		Value:        value,
 		Decided:      out.Decided,
@@ -430,6 +462,10 @@ func Solve(cfg Config) (Result, error) {
 		res.Violations = mon.Violations()
 		res.Truncations = mon.Truncations()
 		res.AuditDumps = mon.DumpFiles()
+	}
+	if profiler.Enabled() {
+		res.Matrices = snap.Matrices
+		res.Profile = profiler.Report()
 	}
 	return res, out.Err
 }

@@ -39,6 +39,11 @@ type Report struct {
 	// Violations counts invariant-monitor probe firings across the batch
 	// (0 when auditing was off or the batch was clean; see internal/obs/audit).
 	Violations int64 `json:"audit_violations,omitempty"`
+	// Matrices carries matrix-valued metrics merged across the batch — today
+	// the profiler's blame matrix and contention heatmap (-prof). Absent when
+	// profiling was off. benchdiff reports their totals via the prof.* counters
+	// rather than comparing cells.
+	Matrices map[string]obs.MatrixSnapshot `json:"matrices,omitempty"`
 	// Derived holds ratios computed from the raw counters at report time
 	// ("scan.retry_ratio" = scan.retry / scan.clean). They are informational:
 	// benchdiff reports them but never gates on them, since each is derivable

@@ -5,6 +5,7 @@ import (
 
 	"github.com/dsrepro/consensus/internal/obs"
 	"github.com/dsrepro/consensus/internal/obs/audit"
+	"github.com/dsrepro/consensus/internal/obs/prof"
 	"github.com/dsrepro/consensus/internal/pad"
 	"github.com/dsrepro/consensus/internal/register"
 	"github.com/dsrepro/consensus/internal/scan"
@@ -77,6 +78,15 @@ func (a *Abrahamson) SetMonitor(m *audit.Monitor) {
 	m.SetStateFn(a.captureState)
 }
 
+// SetProfiler installs the step profiler on the protocol and the memory
+// stack beneath it (nil detaches; see Bounded.SetProfiler).
+func (a *Abrahamson) SetProfiler(f *prof.Profiler) {
+	a.setProfiler(f)
+	if sp, ok := a.mem.(interface{ SetProfiler(*prof.Profiler) }); ok {
+		sp.SetProfiler(f)
+	}
+}
+
 // captureState snapshots the published state for flight dumps (no coin
 // strips: this protocol's entries carry only preference and round).
 func (a *Abrahamson) captureState() audit.State {
@@ -139,6 +149,9 @@ func (a *Abrahamson) Run(p *sched.Proc, input int) int {
 	i := p.ID()
 	st := UEntry{Pref: int8(input)}
 	span := obs.StartPhaseSpan(p.Steps())
+	if a.prof.Enabled() {
+		span.Observe(a.prof)
+	}
 	span.To(a.sink, obs.PhaseStrip, i, p.Now(), p.Steps())
 	st = a.inc(p, st)
 	a.mem.Write(p, st)

@@ -7,6 +7,7 @@ import (
 
 	"github.com/dsrepro/consensus/internal/obs"
 	"github.com/dsrepro/consensus/internal/obs/audit"
+	"github.com/dsrepro/consensus/internal/obs/prof"
 	"github.com/dsrepro/consensus/internal/sched"
 )
 
@@ -34,6 +35,10 @@ type Instance struct {
 	// Each instance needs its own monitor — flight rings and violation
 	// counters are per-instance state.
 	Monitor *audit.Monitor
+	// Profiler, if non-nil, profiles this instance (see ExecConfig.Profiler).
+	// Like monitors, profilers are per-instance state: aggregate across a
+	// batch by merging their Snapshots in instance order.
+	Profiler *prof.Profiler
 }
 
 // BatchOutcome pairs one instance's outcome with its setup error. Out is
@@ -94,6 +99,7 @@ func RunBatchProgress(parallel int, sink *obs.Sink, prog *obs.BatchProgress, ins
 			MaxSteps:  inst.MaxSteps,
 			Sink:      sink,
 			Monitor:   inst.Monitor,
+			Profiler:  inst.Profiler,
 		})
 		out[k] = BatchOutcome{Out: o, Err: err}
 	}

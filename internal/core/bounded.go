@@ -6,6 +6,7 @@ import (
 
 	"github.com/dsrepro/consensus/internal/obs"
 	"github.com/dsrepro/consensus/internal/obs/audit"
+	"github.com/dsrepro/consensus/internal/obs/prof"
 	"github.com/dsrepro/consensus/internal/pad"
 	"github.com/dsrepro/consensus/internal/register"
 	"github.com/dsrepro/consensus/internal/scan"
@@ -223,6 +224,17 @@ func (b *Bounded) SetMonitor(m *audit.Monitor) {
 	m.SetStateFn(b.captureState)
 }
 
+// SetProfiler installs the step profiler on the protocol and propagates it
+// down the memory stack (write/scan blame hooks). A nil f detaches
+// everything — ExecuteProto always calls it, so pooled instances never
+// carry a stale profiler.
+func (b *Bounded) SetProfiler(f *prof.Profiler) {
+	b.setProfiler(f)
+	if sp, ok := b.mem.(interface{ SetProfiler(*prof.Profiler) }); ok {
+		sp.SetProfiler(f)
+	}
+}
+
 // captureState snapshots the published protocol state for flight dumps:
 // preferences, round counts, the current coin counter and edge row of every
 // process, via the memory's no-step Peek path.
@@ -344,6 +356,9 @@ func (b *Bounded) Run(p *sched.Proc, input int) int {
 	i := p.ID()
 	st := NewEntry(b.cfg.N, b.cfg.K)
 	span := obs.StartPhaseSpan(p.Steps())
+	if b.prof.Enabled() {
+		span.Observe(b.prof)
+	}
 
 	// Initial write: prefer the input and enter round 1. The first inc sees
 	// the scanned (possibly already-moving) edge counters.

@@ -4,7 +4,6 @@ import (
 	"bytes"
 	"fmt"
 	"reflect"
-	"sort"
 	"testing"
 
 	"github.com/dsrepro/consensus/internal/obs"
@@ -34,60 +33,27 @@ func execTraced(t *testing.T, kind Kind, seed int64, rendezvous bool) (Outcome, 
 	return out, buf.Bytes()
 }
 
-// splitPreStep divides a JSONL trace into the leading run of step-0 events
-// (emitted before the first scheduler grant, whose relative order is
-// documented as concurrent — see ExecConfig.Tracer) and the scheduled
-// remainder. The prefix is returned sorted so comparisons are order-free.
-func splitPreStep(t *testing.T, raw []byte) (prefix []string, rest []byte) {
-	t.Helper()
-	events, err := obs.ReadJSONL(bytes.NewReader(raw))
-	if err != nil {
-		t.Fatalf("trace is not valid JSONL: %v", err)
-	}
-	cut := len(events)
-	for i, e := range events {
-		if e.Step > 0 {
-			cut = i
-			break
-		}
-	}
-	lines := bytes.SplitAfter(raw, []byte("\n"))
-	for i := 0; i < cut; i++ {
-		prefix = append(prefix, string(lines[i]))
-	}
-	sort.Strings(prefix)
-	return prefix, bytes.Join(lines[cut:], nil)
-}
-
 // TestEnginesByteIdenticalTraces proves engine equivalence at the protocol
 // level: for every protocol kind, the full cross-layer JSONL event stream —
 // every register read, scan retry, coin flip and decision, in scheduler
 // order — plus decisions and step accounting are byte-identical whether the
 // run executes under the legacy rendezvous engine or the direct-dispatch
-// engine. The only latitude: events emitted before a process's first
-// scheduler step have no defined order (they run gate-free, see
-// ExecConfig.Tracer), so that prefix is compared as a multiset.
+// engine. Both engines serialize body startup, so even events emitted before
+// a process's first scheduler step (each protocol's initial round advance)
+// arrive in pid order and the comparison is a plain byte-equality check.
 func TestEnginesByteIdenticalTraces(t *testing.T) {
 	kinds := []Kind{KindBounded, KindAHUnbounded, KindExpLocal, KindStrongCoin, KindAbrahamson}
 	for _, kind := range kinds {
 		kind := kind
 		t.Run(kind.String(), func(t *testing.T) {
-			// No t.Parallel: events emitted before a process's first scheduler
-			// step are only deterministically ordered when the runtime isn't
-			// juggling unrelated goroutines (see ExecConfig.Tracer docs).
 			for seed := int64(1); seed <= 4; seed++ {
 				oldOut, oldTrace := execTraced(t, kind, seed, true)
 				newOut, newTrace := execTraced(t, kind, seed, false)
-				oldPre, oldRest := splitPreStep(t, oldTrace)
-				newPre, newRest := splitPreStep(t, newTrace)
-				if !reflect.DeepEqual(oldPre, newPre) {
-					t.Fatalf("seed %d: pre-step event multisets diverge:\n%v\nvs\n%v", seed, oldPre, newPre)
-				}
-				if !bytes.Equal(oldRest, newRest) {
+				if !bytes.Equal(oldTrace, newTrace) {
 					t.Fatalf("seed %d: JSONL traces diverge between engines (%d vs %d bytes)",
 						seed, len(oldTrace), len(newTrace))
 				}
-				if len(newRest) == 0 {
+				if len(newTrace) == 0 {
 					t.Fatalf("seed %d: empty trace", seed)
 				}
 				if !reflect.DeepEqual(oldOut.Values, newOut.Values) ||

@@ -6,6 +6,7 @@ import (
 
 	"github.com/dsrepro/consensus/internal/obs"
 	"github.com/dsrepro/consensus/internal/obs/audit"
+	"github.com/dsrepro/consensus/internal/obs/prof"
 	"github.com/dsrepro/consensus/internal/sched"
 )
 
@@ -125,8 +126,10 @@ type ExecConfig struct {
 	// Tracer, if non-nil, receives protocol events (round advances,
 	// preference changes, coin flips, decisions) in scheduler order. Events
 	// emitted before a process's first scheduler step (each protocol's
-	// initial round advance) may arrive concurrently — a Tracer touching
-	// shared state must synchronize itself.
+	// initial round advance) arrive in pid order: both engines serialize
+	// body startup, so the whole event stream is deterministic. Calls are
+	// totally ordered with happens-before edges (startup arrival signals,
+	// then token handoffs), so a Tracer needs no locking of its own.
 	Tracer Tracer
 
 	// Sink, if non-nil, is the unified observability sink: it is installed on
@@ -149,6 +152,14 @@ type ExecConfig struct {
 	// are identical with and without a monitor. Nil disables auditing at one
 	// branch per probe site.
 	Monitor *audit.Monitor
+
+	// Profiler, if non-nil, is the causal step profiler (see
+	// internal/obs/prof): its hooks are installed down the whole stack
+	// (phase-span observer on the protocol, write/scan blame hooks on the
+	// scan layer). Hooks are passive like the monitor's probes, so profiled
+	// runs are byte-identical to unprofiled ones. Nil disables profiling at
+	// one branch per hook site.
+	Profiler *prof.Profiler
 }
 
 // validateInputs checks that inputs is a non-empty binary vector.
@@ -207,6 +218,11 @@ func ExecuteProto(proto Protocol, ec ExecConfig) (Outcome, error) {
 	// pooled instance might still carry from a previous audited run.
 	if s, ok := proto.(interface{ SetMonitor(*audit.Monitor) }); ok {
 		s.SetMonitor(ec.Monitor)
+	}
+	// Same for the profiler: always install, so pooled instances never carry
+	// a stale one.
+	if s, ok := proto.(interface{ SetProfiler(*prof.Profiler) }); ok {
+		s.SetProfiler(ec.Profiler)
 	}
 	n := len(ec.Inputs)
 	out := Outcome{

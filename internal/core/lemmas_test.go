@@ -59,7 +59,9 @@ func recordLemmaTrace(t *testing.T, n int, inputs []int, seed int64, adv sched.A
 		}
 		tr.scans = append(tr.scans, s)
 	}
-	var mu sync.Mutex // events can fire pre-first-step
+	// Tracer calls are totally ordered (serialized startup + token handoffs;
+	// see ExecConfig.Tracer), so this lock is belt-and-braces only.
+	var mu sync.Mutex
 	proto.SetTracer(func(e Event) {
 		mu.Lock()
 		defer mu.Unlock()

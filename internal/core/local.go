@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"github.com/dsrepro/consensus/internal/obs"
 	"github.com/dsrepro/consensus/internal/obs/audit"
+	"github.com/dsrepro/consensus/internal/obs/prof"
 	"github.com/dsrepro/consensus/internal/pad"
 	"github.com/dsrepro/consensus/internal/register"
 	"github.com/dsrepro/consensus/internal/scan"
@@ -119,6 +120,15 @@ func (l *ExpLocal) SetMonitor(m *audit.Monitor) {
 	m.SetStateFn(l.captureState)
 }
 
+// SetProfiler installs the step profiler on the protocol and the memory
+// stack beneath it (nil detaches; see Bounded.SetProfiler).
+func (l *ExpLocal) SetProfiler(f *prof.Profiler) {
+	l.setProfiler(f)
+	if sp, ok := l.mem.(interface{ SetProfiler(*prof.Profiler) }); ok {
+		sp.SetProfiler(f)
+	}
+}
+
 // captureState snapshots the published state for flight dumps (no coin
 // counters: this baseline's coin slots stay zero).
 func (l *ExpLocal) captureState() audit.State {
@@ -178,6 +188,9 @@ func (l *ExpLocal) Run(p *sched.Proc, input int) int {
 	i := p.ID()
 	st := NewEntry(l.cfg.N, l.cfg.K)
 	span := obs.StartPhaseSpan(p.Steps())
+	if l.prof.Enabled() {
+		span.Observe(l.prof)
+	}
 
 	view := l.mem.Scan(p)
 	normalizeView(view, l.cfg.N, l.cfg.K)

@@ -6,6 +6,7 @@ import (
 
 	"github.com/dsrepro/consensus/internal/obs"
 	"github.com/dsrepro/consensus/internal/obs/audit"
+	"github.com/dsrepro/consensus/internal/obs/prof"
 	"github.com/dsrepro/consensus/internal/pad"
 	"github.com/dsrepro/consensus/internal/register"
 	"github.com/dsrepro/consensus/internal/scan"
@@ -119,6 +120,15 @@ func (s *StrongCoin) SetMonitor(m *audit.Monitor) {
 	m.SetStateFn(s.captureState)
 }
 
+// SetProfiler installs the step profiler on the protocol and the memory
+// stack beneath it (nil detaches; see Bounded.SetProfiler).
+func (s *StrongCoin) SetProfiler(f *prof.Profiler) {
+	s.setProfiler(f)
+	if sp, ok := s.mem.(interface{ SetProfiler(*prof.Profiler) }); ok {
+		sp.SetProfiler(f)
+	}
+}
+
 // captureState snapshots the published state for flight dumps.
 func (s *StrongCoin) captureState() audit.State {
 	pk, ok := s.mem.(interface{ PeekSlot(int) UEntry })
@@ -180,6 +190,9 @@ func (s *StrongCoin) Run(p *sched.Proc, input int) int {
 	i := p.ID()
 	st := UEntry{Pref: int8(input)}
 	span := obs.StartPhaseSpan(p.Steps())
+	if s.prof.Enabled() {
+		span.Observe(s.prof)
+	}
 	span.To(s.sink, obs.PhaseStrip, i, p.Now(), p.Steps())
 	st = s.inc(p, st)
 	s.mem.Write(p, st)

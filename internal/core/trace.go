@@ -5,6 +5,7 @@ import (
 
 	"github.com/dsrepro/consensus/internal/obs"
 	"github.com/dsrepro/consensus/internal/obs/audit"
+	"github.com/dsrepro/consensus/internal/obs/prof"
 )
 
 // EventKind classifies protocol trace events.
@@ -128,6 +129,7 @@ type traceSink struct {
 	tracer Tracer
 	sink   *obs.Sink
 	mon    *audit.Monitor
+	prof   *prof.Profiler
 }
 
 // SetTracer installs t (call before the run starts).
@@ -149,6 +151,14 @@ func (s *traceSink) setMonitor(m *audit.Monitor) { s.mon = m }
 // Monitor returns the installed invariant monitor (nil when auditing is
 // off).
 func (s *traceSink) Monitor() *audit.Monitor { return s.mon }
+
+// setProfiler installs the step profiler on the protocol level. Protocols
+// expose SetProfiler methods that also propagate the profiler to the memory
+// stack beneath them (the scan-layer blame hooks).
+func (s *traceSink) setProfiler(f *prof.Profiler) { s.prof = f }
+
+// Profiler returns the installed step profiler (nil when profiling is off).
+func (s *traceSink) Profiler() *prof.Profiler { return s.prof }
 
 // tracing reports whether any trace consumer is attached. Emit sites use it
 // to skip building Detail strings (the only allocating part of an event) when

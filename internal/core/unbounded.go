@@ -5,6 +5,7 @@ import (
 
 	"github.com/dsrepro/consensus/internal/obs"
 	"github.com/dsrepro/consensus/internal/obs/audit"
+	"github.com/dsrepro/consensus/internal/obs/prof"
 	"github.com/dsrepro/consensus/internal/pad"
 	"github.com/dsrepro/consensus/internal/register"
 	"github.com/dsrepro/consensus/internal/scan"
@@ -105,6 +106,15 @@ func (u *AHUnbounded) SetMonitor(m *audit.Monitor) {
 		sm.SetMonitor(m)
 	}
 	m.SetStateFn(u.captureState)
+}
+
+// SetProfiler installs the step profiler on the protocol and the memory
+// stack beneath it (nil detaches; see Bounded.SetProfiler).
+func (u *AHUnbounded) SetProfiler(f *prof.Profiler) {
+	u.setProfiler(f)
+	if sp, ok := u.mem.(interface{ SetProfiler(*prof.Profiler) }); ok {
+		sp.SetProfiler(f)
+	}
 }
 
 // captureState snapshots the published state for flight dumps.
@@ -237,6 +247,9 @@ func (u *AHUnbounded) Run(p *sched.Proc, input int) int {
 	i := p.ID()
 	st := UEntry{Pref: int8(input)}
 	span := obs.StartPhaseSpan(p.Steps())
+	if u.prof.Enabled() {
+		span.Observe(u.prof)
+	}
 	span.To(u.sink, obs.PhaseStrip, i, p.Now(), p.Steps())
 	st = u.inc(p, st)
 	u.mem.Write(p, st)

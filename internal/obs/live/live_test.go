@@ -127,6 +127,62 @@ func TestMetricsMergesRegistries(t *testing.T) {
 	}
 }
 
+// TestMetricsProfSeries checks the profiler surface of the exposition: the
+// prof.* counters leave the events family for their own series, the derived
+// scan retry ratio appears when clean scans were counted, and matrices render
+// as labeled cell counters (nonzero cells only, single-row matrices without
+// the redundant row label).
+func TestMetricsProfSeries(t *testing.T) {
+	sink := obs.NewSink(nil)
+	sink.Count(obs.ScanClean)
+	sink.Count(obs.ScanClean)
+	sink.Count(obs.ScanRetry)
+
+	profSnap := obs.Snapshot{
+		Counters: map[string]int64{"prof.steps.total": 120, "prof.steps.scan_retry": 30},
+		Matrices: map[string]obs.MatrixSnapshot{
+			"prof.blame": {Rows: 2, Cols: 2, Cells: []int64{0, 3, 1, 0},
+				RowLabel: "scanner", ColLabel: "writer"},
+			"prof.contention": {Rows: 1, Cols: 2, Cells: []int64{4, 0},
+				ColLabel: "register"},
+		},
+	}
+
+	srv := New()
+	srv.AddRegistry(sink.Registry())
+	srv.AddSnapshot(func() obs.Snapshot { return profSnap })
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	_, body := get(t, ts, "/metrics")
+	for _, want := range []string{
+		"# TYPE consensus_prof_steps_total counter",
+		"consensus_prof_steps_total 120",
+		"consensus_prof_steps_scan_retry 30",
+		"# TYPE consensus_scan_retry_ratio gauge",
+		"consensus_scan_retry_ratio 0.5",
+		"# TYPE consensus_prof_blame_cells_total counter",
+		`consensus_prof_blame_cells_total{scanner="0",writer="1"} 3`,
+		`consensus_prof_blame_cells_total{scanner="1",writer="0"} 1`,
+		`consensus_prof_contention_cells_total{register="0"} 4`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q\n%s", want, body)
+		}
+	}
+	// prof.* counters must not leak into the events family, and zero matrix
+	// cells must not be emitted.
+	for _, reject := range []string{
+		`kind="prof.steps.total"`,
+		`consensus_prof_blame_cells_total{scanner="0",writer="0"}`,
+		`consensus_prof_contention_cells_total{register="1"}`,
+	} {
+		if strings.Contains(body, reject) {
+			t.Errorf("/metrics contains %q\n%s", reject, body)
+		}
+	}
+}
+
 // TestMetricsDeterministic scrapes twice with no writes in between and
 // expects byte-identical expositions (sorted keys, stable formatting) —
 // modulo the progress elapsed/rate gauges, which track wall-clock, so the

@@ -14,8 +14,14 @@ import (
 // format (0.0.4). The mapping from snapshot keys to series is fixed:
 //
 //   - counters fold into one family, consensus_events_total{layer,kind},
-//     keyed by the event kind's wire id;
-//   - gauges become consensus_<key with dots as underscores>;
+//     keyed by the event kind's wire id — except the prof.* family, which is
+//     not on the event bus and gets one counter series per key
+//     (consensus_prof_steps_total, ...);
+//   - gauges become consensus_<key with dots as underscores>; when the scan
+//     counters are present, the derived consensus_scan_retry_ratio gauge
+//     (scan.retry / scan.clean) is emitted alongside them;
+//   - matrices (prof.blame, prof.contention) become one counter family per
+//     key with the matrix's axis names as labels, nonzero cells only;
 //   - the phase.steps.* histogram family folds into
 //     consensus_phase_steps{phase="..."}; every other histogram becomes
 //     consensus_<key> with the standard _bucket/_sum/_count series
@@ -26,10 +32,15 @@ import (
 // Keys are emitted in sorted order so the exposition is deterministic for a
 // given snapshot (the smoke test and live_test diff on it).
 func writeProm(w io.Writer, snap obs.Snapshot, prog obs.ProgressSnapshot, withProgress bool) {
+	var profCounters []string
 	if len(snap.Counters) > 0 {
 		fmt.Fprint(w, "# HELP consensus_events_total Events observed per kind on the obs bus.\n")
 		fmt.Fprint(w, "# TYPE consensus_events_total counter\n")
 		for _, id := range sortedKeys(snap.Counters) {
+			if strings.HasPrefix(id, "prof.") {
+				profCounters = append(profCounters, id)
+				continue
+			}
 			layer := "unknown"
 			if k, ok := obs.KindForID(id); ok {
 				layer = k.Layer().String()
@@ -38,10 +49,30 @@ func writeProm(w io.Writer, snap obs.Snapshot, prog obs.ProgressSnapshot, withPr
 		}
 	}
 
+	// Profiler counters are whole-run aggregates, not bus events: one series
+	// each, no layer/kind labels.
+	for _, id := range profCounters {
+		name := "consensus_" + sanitize(id)
+		fmt.Fprintf(w, "# TYPE %s counter\n", name)
+		fmt.Fprintf(w, "%s %d\n", name, snap.Counters[id])
+	}
+
 	for _, id := range sortedKeys(snap.Gauges) {
 		name := "consensus_" + sanitize(id)
 		fmt.Fprintf(w, "# TYPE %s gauge\n", name)
 		fmt.Fprintf(w, "%s %d\n", name, snap.Gauges[id])
+	}
+
+	// Derived scan health gauge: retries per clean scan, the headline
+	// contention figure (matches the harness metrics table and benchfmt).
+	if clean := snap.Counters[obs.ScanClean.ID()]; clean > 0 {
+		fmt.Fprint(w, "# TYPE consensus_scan_retry_ratio gauge\n")
+		fmt.Fprintf(w, "consensus_scan_retry_ratio %g\n",
+			float64(snap.Counters[obs.ScanRetry.ID()])/float64(clean))
+	}
+
+	for _, key := range sortedKeys(snap.Matrices) {
+		writePromMatrix(w, key, snap.Matrices[key])
 	}
 
 	// Histograms: the phase family shares one metric name with a phase label;
@@ -108,6 +139,38 @@ func writePromHist(w io.Writer, name, label string, h obs.HistSnapshot) {
 	}
 	fmt.Fprintf(w, "%s_sum%s %d\n", name, brace(""), h.Sum)
 	fmt.Fprintf(w, "%s_count%s %d\n", name, brace(""), h.Count)
+}
+
+// writePromMatrix emits one matrix-valued metric as a counter family with the
+// matrix's axis names as labels. Single-row matrices (the per-register
+// contention heatmap) drop the redundant row label; zero cells are skipped so
+// an n×n blame matrix stays readable at large n.
+func writePromMatrix(w io.Writer, key string, m obs.MatrixSnapshot) {
+	if m.Empty() {
+		return
+	}
+	rowLabel, colLabel := m.RowLabel, m.ColLabel
+	if rowLabel == "" {
+		rowLabel = "row"
+	}
+	if colLabel == "" {
+		colLabel = "col"
+	}
+	name := "consensus_" + sanitize(key) + "_cells_total"
+	fmt.Fprintf(w, "# TYPE %s counter\n", name)
+	for r := 0; r < m.Rows; r++ {
+		for c := 0; c < m.Cols; c++ {
+			v := m.At(r, c)
+			if v == 0 {
+				continue
+			}
+			if m.Rows == 1 {
+				fmt.Fprintf(w, "%s{%s=\"%d\"} %d\n", name, colLabel, c, v)
+			} else {
+				fmt.Fprintf(w, "%s{%s=\"%d\",%s=\"%d\"} %d\n", name, rowLabel, r, colLabel, c, v)
+			}
+		}
+	}
 }
 
 // writeProgressGauge emits one consensus_batch_* gauge with its header.

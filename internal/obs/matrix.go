@@ -1,0 +1,77 @@
+package obs
+
+// MatrixSnapshot is an immutable matrix-valued metric: a dense row-major
+// int64 grid with optional axis labels (used as Prometheus label names when
+// the matrix is exported). The step profiler's n×n scan-blame matrix and its
+// per-register contention heatmap (a 1×n matrix) are the first producers.
+//
+// Matrices merge like counters: element-wise sums, with the smaller operand
+// zero-padded to the larger shape. Padded addition is commutative and
+// associative, so merged snapshots are independent of argument order and
+// grouping — the property MergeSnapshots guarantees for every metric family.
+type MatrixSnapshot struct {
+	// Rows and Cols are the matrix dimensions; Cells holds Rows*Cols values
+	// in row-major order.
+	Rows  int     `json:"rows"`
+	Cols  int     `json:"cols"`
+	Cells []int64 `json:"cells"`
+	// RowLabel and ColLabel name the axes ("scanner", "writer", ...); empty
+	// labels render as "row"/"col".
+	RowLabel string `json:"row_label,omitempty"`
+	ColLabel string `json:"col_label,omitempty"`
+}
+
+// Empty reports whether the matrix has no cells.
+func (m MatrixSnapshot) Empty() bool { return m.Rows*m.Cols == 0 }
+
+// At returns the cell at (r, c), or 0 when out of range (padded view).
+func (m MatrixSnapshot) At(r, c int) int64 {
+	if r < 0 || c < 0 || r >= m.Rows || c >= m.Cols {
+		return 0
+	}
+	i := r*m.Cols + c
+	if i >= len(m.Cells) {
+		return 0
+	}
+	return m.Cells[i]
+}
+
+// Sum returns the sum of every cell.
+func (m MatrixSnapshot) Sum() int64 {
+	var t int64
+	for _, v := range m.Cells {
+		t += v
+	}
+	return t
+}
+
+// MergeMatrixSnapshots combines two matrix metrics by element-wise addition,
+// zero-padding the smaller operand to the larger shape. An empty side returns
+// the other unchanged; labels take the first non-empty value per axis.
+func MergeMatrixSnapshots(a, b MatrixSnapshot) MatrixSnapshot {
+	if a.Empty() {
+		return b
+	}
+	if b.Empty() {
+		return a
+	}
+	m := MatrixSnapshot{
+		Rows:     max(a.Rows, b.Rows),
+		Cols:     max(a.Cols, b.Cols),
+		RowLabel: a.RowLabel,
+		ColLabel: a.ColLabel,
+	}
+	if m.RowLabel == "" {
+		m.RowLabel = b.RowLabel
+	}
+	if m.ColLabel == "" {
+		m.ColLabel = b.ColLabel
+	}
+	m.Cells = make([]int64, m.Rows*m.Cols)
+	for r := 0; r < m.Rows; r++ {
+		for c := 0; c < m.Cols; c++ {
+			m.Cells[r*m.Cols+c] = a.At(r, c) + b.At(r, c)
+		}
+	}
+	return m
+}

@@ -1,0 +1,116 @@
+package obs
+
+import "testing"
+
+func mat(rows, cols int, cells ...int64) MatrixSnapshot {
+	return MatrixSnapshot{Rows: rows, Cols: cols, Cells: cells,
+		RowLabel: "scanner", ColLabel: "writer"}
+}
+
+func TestMatrixAtAndSum(t *testing.T) {
+	m := mat(2, 2, 1, 2, 3, 4)
+	if m.At(0, 1) != 2 || m.At(1, 0) != 3 {
+		t.Fatalf("At wrong: %d %d", m.At(0, 1), m.At(1, 0))
+	}
+	if m.At(-1, 0) != 0 || m.At(0, 5) != 0 || m.At(9, 9) != 0 {
+		t.Fatal("out-of-range At must read 0 (padded view)")
+	}
+	if m.Sum() != 10 {
+		t.Fatalf("Sum = %d, want 10", m.Sum())
+	}
+	if m.Empty() {
+		t.Fatal("non-empty matrix reports Empty")
+	}
+	if !(MatrixSnapshot{}).Empty() {
+		t.Fatal("zero matrix must report Empty")
+	}
+}
+
+func TestMergeMatrixSnapshotsElementwise(t *testing.T) {
+	a := mat(2, 2, 1, 2, 3, 4)
+	b := mat(2, 2, 10, 20, 30, 40)
+	m := MergeMatrixSnapshots(a, b)
+	want := []int64{11, 22, 33, 44}
+	for i, v := range want {
+		if m.Cells[i] != v {
+			t.Fatalf("cell %d = %d, want %d", i, m.Cells[i], v)
+		}
+	}
+	if m.RowLabel != "scanner" || m.ColLabel != "writer" {
+		t.Fatalf("labels lost: %q/%q", m.RowLabel, m.ColLabel)
+	}
+}
+
+// TestMergeMatrixSnapshotsPadding: merging different shapes (e.g. an n=4
+// batch shard with an n=8 shard) zero-pads the smaller to the larger.
+func TestMergeMatrixSnapshotsPadding(t *testing.T) {
+	small := mat(1, 2, 5, 7)
+	big := mat(2, 3, 1, 1, 1, 1, 1, 1)
+	m := MergeMatrixSnapshots(small, big)
+	if m.Rows != 2 || m.Cols != 3 {
+		t.Fatalf("shape = %dx%d, want 2x3", m.Rows, m.Cols)
+	}
+	want := []int64{6, 8, 1, 1, 1, 1}
+	for i, v := range want {
+		if m.Cells[i] != v {
+			t.Fatalf("cell %d = %d, want %d (got %v)", i, m.Cells[i], v, m.Cells)
+		}
+	}
+	// Padding commutes.
+	m2 := MergeMatrixSnapshots(big, small)
+	for i := range want {
+		if m2.Cells[i] != m.Cells[i] {
+			t.Fatal("padded merge is order-dependent")
+		}
+	}
+}
+
+// TestMergeMatrixSnapshotsEmptyIdentity: empty operands are identities and
+// labels fall back to the first non-empty axis name.
+func TestMergeMatrixSnapshotsEmptyIdentity(t *testing.T) {
+	a := mat(2, 2, 1, 2, 3, 4)
+	if got := MergeMatrixSnapshots(MatrixSnapshot{}, a); got.Sum() != a.Sum() || got.Rows != 2 {
+		t.Fatalf("empty left not identity: %+v", got)
+	}
+	if got := MergeMatrixSnapshots(a, MatrixSnapshot{}); got.Sum() != a.Sum() || got.Cols != 2 {
+		t.Fatalf("empty right not identity: %+v", got)
+	}
+	if got := MergeMatrixSnapshots(MatrixSnapshot{}, MatrixSnapshot{}); !got.Empty() {
+		t.Fatalf("empty merge not empty: %+v", got)
+	}
+	unlabeled := MatrixSnapshot{Rows: 1, Cols: 1, Cells: []int64{1}}
+	if got := MergeMatrixSnapshots(unlabeled, a); got.RowLabel != "scanner" {
+		t.Fatalf("label fallback lost: %q", got.RowLabel)
+	}
+}
+
+// TestMergeSnapshotsMatrices: matrices ride MergeSnapshots like every other
+// family — element-wise sums, grouping- and order-independent, with nil-map
+// (empty-shard) snapshots as identity elements.
+func TestMergeSnapshotsMatrices(t *testing.T) {
+	a := Snapshot{Matrices: map[string]MatrixSnapshot{"prof.blame": mat(2, 2, 1, 0, 0, 1)}}
+	b := Snapshot{Matrices: map[string]MatrixSnapshot{"prof.blame": mat(2, 2, 0, 2, 2, 0)}}
+	empty := Snapshot{} // nil maps: an empty shard
+
+	flat := MergeSnapshots(a, b, empty)
+	nested := MergeSnapshots(MergeSnapshots(a, empty), b)
+	reversed := MergeSnapshots(empty, b, a)
+	for _, got := range []Snapshot{flat, nested, reversed} {
+		m := got.Matrices["prof.blame"]
+		if m.Rows != 2 || m.Cols != 2 {
+			t.Fatalf("shape = %dx%d", m.Rows, m.Cols)
+		}
+		want := []int64{1, 2, 2, 1}
+		for i, v := range want {
+			if m.Cells[i] != v {
+				t.Fatalf("cell %d = %d, want %d", i, m.Cells[i], v)
+			}
+		}
+	}
+	// A key present in only one shard survives unchanged.
+	c := Snapshot{Matrices: map[string]MatrixSnapshot{"prof.contention": mat(1, 2, 9, 9)}}
+	m := MergeSnapshots(a, c)
+	if m.Matrices["prof.contention"].Sum() != 18 || m.Matrices["prof.blame"].Sum() != 2 {
+		t.Fatalf("disjoint keys mangled: %+v", m.Matrices)
+	}
+}

@@ -2,17 +2,20 @@ package obs
 
 // MergeSnapshots combines registry snapshots from independent sources (e.g.
 // per-worker registries feeding one live /metrics endpoint) into one:
-// counters sum, gauges take the maximum, and histograms merge bucket-wise
-// with summary percentiles re-estimated from the merged buckets. Counter
-// addition and gauge max commute, and the percentile re-estimate depends only
-// on the merged buckets, so the result is independent of argument order and
-// grouping — MergeSnapshots(a, b, c) equals
-// MergeSnapshots(MergeSnapshots(a, b), c).
+// counters sum, gauges take the maximum, histograms merge bucket-wise with
+// summary percentiles re-estimated from the merged buckets, and matrices add
+// element-wise (zero-padded to the larger shape). Counter addition, gauge
+// max and padded matrix addition all commute, and the percentile re-estimate
+// depends only on the merged buckets, so the result is independent of
+// argument order and grouping — MergeSnapshots(a, b, c) equals
+// MergeSnapshots(MergeSnapshots(a, b), c). Snapshots with nil maps (empty
+// shards) merge as identity elements.
 func MergeSnapshots(snaps ...Snapshot) Snapshot {
 	out := Snapshot{
 		Counters: make(map[string]int64),
 		Gauges:   make(map[string]int64),
 		Hists:    make(map[string]HistSnapshot),
+		Matrices: make(map[string]MatrixSnapshot),
 	}
 	for _, s := range snaps {
 		for k, v := range s.Counters {
@@ -28,6 +31,13 @@ func MergeSnapshots(snaps ...Snapshot) Snapshot {
 				out.Hists[k] = MergeHistSnapshots(prev, h)
 			} else {
 				out.Hists[k] = h
+			}
+		}
+		for k, m := range s.Matrices {
+			if prev, ok := out.Matrices[k]; ok {
+				out.Matrices[k] = MergeMatrixSnapshots(prev, m)
+			} else {
+				out.Matrices[k] = m
 			}
 		}
 	}

@@ -112,6 +112,23 @@ func PhaseForSpanKind(k Kind) (PhaseID, bool) {
 	}
 }
 
+// SpanObserver receives phase-span lifecycle callbacks — the step profiler's
+// view of the main loop (internal/obs/prof). All callbacks are strictly
+// passive: they must take no scheduler steps and consume no randomness, so
+// observed runs stay byte-identical to unobserved ones. With no observer
+// attached the span pays one nil check per cut.
+type SpanObserver interface {
+	// PhaseBegin fires when the process's current phase changes to ph.
+	PhaseBegin(pid int, ph PhaseID)
+	// SpanCut fires for every closed non-empty segment: the process spent
+	// segSteps of its own atomic steps in ph, between global scheduler steps
+	// gstart and gend.
+	SpanCut(pid int, ph PhaseID, gstart, gend, segSteps int64)
+	// SpanFinish fires when the process decides, with the global step and the
+	// process's total step count.
+	SpanFinish(pid int, gend, steps int64)
+}
+
 // PhaseSpan attributes one process's atomic steps to protocol phases. It is a
 // plain value held on the Run loop's stack: starting, cutting and finishing a
 // span allocate nothing, and with a nil sink the only residual cost is the
@@ -121,8 +138,15 @@ func PhaseForSpanKind(k Kind) (PhaseID, bool) {
 type PhaseSpan struct {
 	phase PhaseID
 	mark  int64
+	gmark int64
+	obs   SpanObserver
 	acc   [NumPhases]int64
 }
+
+// Observe attaches a span observer (nil detaches). Attach only an enabled
+// observer: protocols guard the call with prof.Enabled() so the disabled
+// path keeps its zero interface dispatch.
+func (s *PhaseSpan) Observe(o SpanObserver) { s.obs = o }
 
 // StartPhaseSpan opens a tracker in PhasePrefer with the process's current
 // per-process step count as the first span's start mark.
@@ -140,17 +164,25 @@ func (s *PhaseSpan) To(sink *Sink, ph PhaseID, pid int, now, steps int64) {
 	}
 	s.cut(sink, pid, now, steps)
 	s.phase = ph
+	if s.obs != nil {
+		s.obs.PhaseBegin(pid, ph)
+	}
 }
 
 // cut closes the segment since the last mark into the current phase.
 func (s *PhaseSpan) cut(sink *Sink, pid int, now, steps int64) {
 	d := steps - s.mark
+	gstart := s.gmark
 	s.mark = steps
+	s.gmark = now
 	if d == 0 {
 		return
 	}
 	s.acc[s.phase] += d
 	sink.Emit(Event{Step: now, Pid: pid, Kind: s.phase.SpanKind(), Value: d})
+	if s.obs != nil {
+		s.obs.SpanCut(pid, s.phase, gstart, now, d)
+	}
 }
 
 // Finish closes the current span and flushes the process's accumulated
@@ -159,6 +191,9 @@ func (s *PhaseSpan) cut(sink *Sink, pid int, now, steps int64) {
 // sample per decided process and the family sums to steps-to-decision.
 func (s *PhaseSpan) Finish(sink *Sink, pid int, now, steps int64) {
 	s.cut(sink, pid, now, steps)
+	if s.obs != nil {
+		s.obs.SpanFinish(pid, now, steps)
+	}
 	if sink == nil {
 		return
 	}

@@ -1,0 +1,55 @@
+package prof
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"github.com/dsrepro/consensus/internal/obs"
+)
+
+// FuzzProfReport fuzzes the profile parser with arbitrary bytes: it must
+// never panic, and any input it accepts must re-serialize into a profile it
+// accepts again (idempotent validation). A valid exported profile seeds the
+// corpus so the fuzzer starts from the real schema.
+func FuzzProfReport(f *testing.F) {
+	pr := New(Options{N: 3, RetainSpans: true})
+	pr.PhaseBegin(0, obs.PhasePrefer)
+	pr.SpanCut(0, obs.PhasePrefer, 0, 12, 12)
+	pr.NoteWrite(0, 4, 4)
+	pr.CleanScan(1, 7, 3)
+	pr.ScanRetry(1, 0, BlameArrow, 2, 9)
+	pr.ScanRetry(2, 0, BlameToggle, 3, 11)
+	pr.SpanFinish(1, 15, 8)
+	seed, err := json.Marshal(pr.Report())
+	if err != nil {
+		f.Fatalf("seed profile: %v", err)
+	}
+	f.Add(seed)
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"n":2,"blame":{"rows":2,"cols":2,"cells":[1,0,0,1]}}`))
+	f.Add([]byte(`{"n":-1}`))
+	f.Add([]byte(`not json`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := ParseProfile(data)
+		if err != nil {
+			return
+		}
+		re, err := json.Marshal(p)
+		if err != nil {
+			t.Fatalf("accepted profile does not re-marshal: %v", err)
+		}
+		p2, err := ParseProfile(re)
+		if err != nil {
+			t.Fatalf("re-marshaled profile rejected: %v\n%s", err, re)
+		}
+		re2, err := json.Marshal(p2)
+		if err != nil {
+			t.Fatalf("second marshal: %v", err)
+		}
+		if !bytes.Equal(re, re2) {
+			t.Fatalf("marshal not stable:\n%s\n%s", re, re2)
+		}
+	})
+}

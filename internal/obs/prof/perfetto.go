@@ -1,0 +1,172 @@
+package prof
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Perfetto export renders a profiled schedule in the Chrome trace-event JSON
+// format (loadable in Perfetto's UI and chrome://tracing): one track per
+// process (pid == tid == process id), one complete slice ("X") per closed
+// phase segment, and one flow arrow ("s" → "f") per attributed scan failure,
+// drawn from the blamed writer's write to the scanner's failed re-check.
+// Scheduler steps stand in for microseconds — the trace-event format has no
+// notion of logical time, and steps are the run's only clock.
+
+// traceEvent is one Chrome trace-event record. Field order is fixed by the
+// struct, and events are emitted in a deterministic order (metadata by pid,
+// slices in span order, flows in blame order), so the same profile always
+// serializes to the same bytes — the property the traceview golden and
+// prof-smoke rely on.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Ts   int64          `json:"ts"`
+	Dur  *int64         `json:"dur,omitempty"`
+	Cat  string         `json:"cat,omitempty"`
+	ID   int            `json:"id,omitempty"`
+	BP   string         `json:"bp,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// perfettoTrace is the top-level trace-event JSON object.
+type perfettoTrace struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// WritePerfetto writes the profile as Chrome trace-event JSON. The profile
+// must carry spans (Profiler built with RetainSpans); flows additionally
+// need blame events, and are omitted for failures whose blamed write
+// predates the run (WriteStep < 0).
+func WritePerfetto(w io.Writer, p *Profile) error {
+	if p == nil {
+		return fmt.Errorf("prof: nil profile")
+	}
+	evs := make([]traceEvent, 0, p.N+len(p.Spans)+2*len(p.Blames))
+	for pid := 0; pid < p.N; pid++ {
+		evs = append(evs, traceEvent{
+			Name: "process_name",
+			Ph:   "M",
+			Pid:  pid,
+			Tid:  pid,
+			Args: map[string]any{"name": fmt.Sprintf("proc %d", pid)},
+		})
+	}
+	for _, s := range p.Spans {
+		dur := s.End - s.Start
+		evs = append(evs, traceEvent{
+			Name: s.Phase,
+			Ph:   "X",
+			Pid:  s.Pid,
+			Tid:  s.Pid,
+			Ts:   s.Start,
+			Dur:  &dur,
+			Cat:  "phase",
+			Args: map[string]any{"steps": s.Steps},
+		})
+	}
+	for i, b := range p.Blames {
+		if b.WriteStep < 0 {
+			continue
+		}
+		evs = append(evs, traceEvent{
+			Name: "scan-blame",
+			Ph:   "s",
+			Pid:  b.Writer,
+			Tid:  b.Writer,
+			Ts:   b.WriteStep,
+			Cat:  "blame",
+			ID:   i + 1,
+			Args: map[string]any{"reason": b.Reason, "reg": b.Reg},
+		}, traceEvent{
+			Name: "scan-blame",
+			Ph:   "f",
+			Pid:  b.Scanner,
+			Tid:  b.Scanner,
+			Ts:   b.FailStep,
+			Cat:  "blame",
+			ID:   i + 1,
+			BP:   "e",
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(perfettoTrace{TraceEvents: evs, DisplayTimeUnit: "ms"})
+}
+
+// PerfettoStats summarizes a parsed trace for validation and reporting.
+type PerfettoStats struct {
+	Events    int // total trace events
+	Tracks    int // distinct process tracks (metadata records)
+	Slices    int // complete ("X") phase slices
+	Flows     int // flow arrows (paired "s"/"f" records count as one)
+	LastStep  int64
+	FirstStep int64
+}
+
+// ParsePerfetto decodes and validates trace-event JSON produced by
+// WritePerfetto: every record must carry a known phase ("M"/"X"/"s"/"f"),
+// slices must have non-negative durations, and flow starts and finishes
+// must pair up by id.
+func ParsePerfetto(data []byte) (*PerfettoStats, error) {
+	var t perfettoTrace
+	if err := json.Unmarshal(data, &t); err != nil {
+		return nil, fmt.Errorf("prof: parse perfetto trace: %w", err)
+	}
+	st := &PerfettoStats{FirstStep: -1}
+	starts := map[int]int{}
+	finishes := map[int]int{}
+	for i, ev := range t.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			st.Tracks++
+			continue
+		case "X":
+			st.Slices++
+			if ev.Dur == nil || *ev.Dur < 0 {
+				return nil, fmt.Errorf("prof: slice %d has invalid duration", i)
+			}
+			if end := ev.Ts + *ev.Dur; end > st.LastStep {
+				st.LastStep = end
+			}
+		case "s":
+			starts[ev.ID]++
+		case "f":
+			finishes[ev.ID]++
+			if ev.BP != "e" {
+				return nil, fmt.Errorf("prof: flow finish %d missing bp=e", i)
+			}
+		default:
+			return nil, fmt.Errorf("prof: event %d has unknown phase %q", i, ev.Ph)
+		}
+		if ev.Ts < 0 {
+			return nil, fmt.Errorf("prof: event %d has negative timestamp", i)
+		}
+		if st.FirstStep < 0 || ev.Ts < st.FirstStep {
+			st.FirstStep = ev.Ts
+		}
+		if ev.Ts > st.LastStep {
+			st.LastStep = ev.Ts
+		}
+		st.Events++
+	}
+	st.Events += st.Tracks
+	for id, c := range starts {
+		if finishes[id] != c {
+			return nil, fmt.Errorf("prof: flow %d has %d starts but %d finishes", id, c, finishes[id])
+		}
+		st.Flows += c
+	}
+	for id := range finishes {
+		if starts[id] == 0 {
+			return nil, fmt.Errorf("prof: flow %d has a finish but no start", id)
+		}
+	}
+	if st.FirstStep < 0 {
+		st.FirstStep = 0
+	}
+	return st, nil
+}

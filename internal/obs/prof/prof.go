@@ -1,0 +1,383 @@
+// Package prof is the causal step profiler: an opt-in observer that
+// classifies every granted scheduler step as productive, scan-retry,
+// coin-spin or strip-wait, attributes each failed scan handshake to the
+// specific (writer, register) that tripped the double-collect re-check, and
+// reconstructs the reads-from happens-before chain that gated the decision
+// (the critical path).
+//
+// Like the audit monitor (internal/obs/audit), the profiler is strictly
+// passive: its hooks take no scheduler steps, consume no randomness and emit
+// no trace events, so a profiled run is byte-identical to an unprofiled one
+// (locked by TestProfDoesNotPerturb at the repo root). A nil *Profiler is
+// the disabled profiler — Enabled() is false and every hook is a no-op —
+// and every call site guards with Enabled(), so the disabled path costs one
+// nil check and allocates nothing.
+//
+// Concurrency: the step scheduler (internal/sched) grants steps one at a
+// time and fully serializes process bodies between grants, so hooks invoked
+// from step-granted protocol code never run concurrently. The profiler
+// therefore uses plain (non-atomic) fields — the same safety argument as
+// Arrow.local in internal/scan. Snapshot and Report must only be called
+// after the run completes.
+package prof
+
+import "github.com/dsrepro/consensus/internal/obs"
+
+// Defaults for the bounded retention buffers.
+const (
+	// DefaultMaxSpans bounds the retained phase slices (Perfetto export).
+	DefaultMaxSpans = 1 << 16
+	// DefaultMaxBlames bounds the retained blame events (Perfetto flows).
+	DefaultMaxBlames = 1 << 12
+	// DefaultMaxNodes bounds the critical-path node arena.
+	DefaultMaxNodes = 1 << 16
+)
+
+// Options configures a Profiler.
+type Options struct {
+	// N is the number of processes (required, > 0).
+	N int
+	// RetainSpans keeps every closed phase segment for Perfetto export. Off
+	// for batch workloads, where only the counters and matrices are merged.
+	RetainSpans bool
+	// MaxSpans / MaxBlames / MaxNodes override the retention bounds
+	// (DefaultMaxSpans / DefaultMaxBlames / DefaultMaxNodes when zero).
+	MaxSpans  int
+	MaxBlames int
+	MaxNodes  int
+}
+
+// BlameReason says which re-check the blamed writer tripped.
+type BlameReason uint8
+
+// Blame reasons, per scannable-memory implementation: Arrow scans fail on a
+// set arrow register or a toggle-bit mismatch between the two collects;
+// SeqSnap scans fail on a sequence-number mismatch; WaitFree scans fail on a
+// handshake-bit latch or a toggle change.
+const (
+	BlameArrow BlameReason = iota
+	BlameToggle
+	BlameSeq
+	BlameHandshake
+	numBlameReasons
+)
+
+// String implements fmt.Stringer (the stable report label).
+func (r BlameReason) String() string {
+	switch r {
+	case BlameArrow:
+		return "arrow"
+	case BlameToggle:
+		return "toggle"
+	case BlameSeq:
+		return "seq"
+	case BlameHandshake:
+		return "handshake"
+	default:
+		return "blame.unknown"
+	}
+}
+
+// perProc is one process's step ledger.
+type perProc struct {
+	total        int64                // steps in closed phase segments
+	phase        [obs.NumPhases]int64 // closed-segment steps by phase
+	retrySteps   int64                // steps burned in failed scan passes
+	retryByPhase [obs.NumPhases]int64 // retrySteps split by phase
+	scanClean    int64                // completed scans
+	scanRetry    int64                // failed scan passes
+	decided      bool
+	decideStep   int64 // global step of the decision
+	decideSteps  int64 // per-process steps at decision
+	decideCP     int64 // critical-path length at decision
+}
+
+// cpNode is one arena entry of the happens-before chain: reader pid joined
+// writer from's chain by reading its write (published at global step wstep)
+// at global step step, reaching chain length cp. A from of -1 marks a decide
+// node. parent indexes the previous node on the chain (-1 at the root or
+// past a truncation).
+type cpNode struct {
+	parent int32
+	pid    int32
+	from   int32
+	step   int64
+	wstep  int64
+	cp     int64
+	phase  obs.PhaseID
+}
+
+// Profiler accumulates the causal step profile of one instance. Create one
+// per instance with New; install it with consensus.Config.Profile (or
+// core.ExecConfig.Profiler); read it with Report or Snapshot after the run.
+type Profiler struct {
+	n           int
+	retainSpans bool
+	maxSpans    int
+	maxBlames   int
+	maxNodes    int
+
+	procs    []perProc
+	curPhase []obs.PhaseID
+
+	// blame[s*n+w]: scans by s that failed because of writer w's register.
+	// contention[w]: failed re-checks tripped by register w (slot w is
+	// written only by process w, so the heatmap is indexed by writer slot).
+	// reasons[r]: failed passes by re-check kind.
+	blame      []int64
+	contention []int64
+	reasons    [numBlameReasons]int64
+
+	// lastWriteStep[w]: global step of w's most recent write (-1 before the
+	// first) — the source anchor of blame flow events.
+	lastWriteStep []int64
+
+	// Critical-path DP state. cp(r at local step s) = joinLen[r] + s -
+	// joinSteps[r]: every granted step extends the chain by one, and a clean
+	// scan that observes a longer remote chain replaces the local one.
+	// slot*[w] stamp w's latest write with its chain head at write time;
+	// lastSeen[r*n+w] dedups joins per observed write step.
+	joinLen   []int64
+	joinSteps []int64
+	joinNode  []int32
+	slotStep  []int64
+	slotCP    []int64
+	slotNode  []int32
+	lastSeen  []int64
+
+	nodes       []cpNode
+	cpTruncated bool
+
+	spans        []Span
+	spansDropped int64
+
+	blames       []BlameEvent
+	blameDropped int64
+}
+
+// New builds a profiler for n processes. Panics on N <= 0 — an enabled
+// profiler without a population cannot attribute anything.
+func New(o Options) *Profiler {
+	if o.N <= 0 {
+		panic("prof: Options.N must be positive")
+	}
+	n := o.N
+	f := &Profiler{
+		n:             n,
+		retainSpans:   o.RetainSpans,
+		maxSpans:      o.MaxSpans,
+		maxBlames:     o.MaxBlames,
+		maxNodes:      o.MaxNodes,
+		procs:         make([]perProc, n),
+		curPhase:      make([]obs.PhaseID, n),
+		blame:         make([]int64, n*n),
+		contention:    make([]int64, n),
+		lastWriteStep: make([]int64, n),
+		joinLen:       make([]int64, n),
+		joinSteps:     make([]int64, n),
+		joinNode:      make([]int32, n),
+		slotStep:      make([]int64, n),
+		slotCP:        make([]int64, n),
+		slotNode:      make([]int32, n),
+		lastSeen:      make([]int64, n*n),
+	}
+	if f.maxSpans <= 0 {
+		f.maxSpans = DefaultMaxSpans
+	}
+	if f.maxBlames <= 0 {
+		f.maxBlames = DefaultMaxBlames
+	}
+	if f.maxNodes <= 0 {
+		f.maxNodes = DefaultMaxNodes
+	}
+	for i := 0; i < n; i++ {
+		f.curPhase[i] = obs.PhasePrefer
+		f.joinNode[i] = -1
+		f.slotStep[i] = -1
+		f.slotNode[i] = -1
+		f.lastWriteStep[i] = -1
+	}
+	for i := range f.lastSeen {
+		f.lastSeen[i] = -1
+	}
+	return f
+}
+
+// Enabled reports whether profiling is on. The nil profiler is the disabled
+// profiler; call sites guard every hook with this.
+func (f *Profiler) Enabled() bool { return f != nil }
+
+// N returns the process count (0 when disabled).
+func (f *Profiler) N() int {
+	if f == nil {
+		return 0
+	}
+	return f.n
+}
+
+// cpLen is the DP invariant: pid's chain length at local step steps.
+func (f *Profiler) cpLen(pid int, steps int64) int64 {
+	return f.joinLen[pid] + steps - f.joinSteps[pid]
+}
+
+// addNode appends to the bounded node arena, returning -1 once full.
+func (f *Profiler) addNode(nd cpNode) int32 {
+	if len(f.nodes) >= f.maxNodes {
+		f.cpTruncated = true
+		return -1
+	}
+	f.nodes = append(f.nodes, nd)
+	return int32(len(f.nodes) - 1)
+}
+
+// PhaseBegin implements obs.SpanObserver: pid entered phase ph.
+func (f *Profiler) PhaseBegin(pid int, ph obs.PhaseID) {
+	if f == nil || pid < 0 || pid >= f.n || ph >= obs.NumPhases {
+		return
+	}
+	f.curPhase[pid] = ph
+}
+
+// SpanCut implements obs.SpanObserver: pid spent segSteps of its own steps
+// in ph between global steps gstart and gend.
+func (f *Profiler) SpanCut(pid int, ph obs.PhaseID, gstart, gend, segSteps int64) {
+	if f == nil || pid < 0 || pid >= f.n || ph >= obs.NumPhases {
+		return
+	}
+	pp := &f.procs[pid]
+	pp.total += segSteps
+	pp.phase[ph] += segSteps
+	if !f.retainSpans {
+		return
+	}
+	if len(f.spans) >= f.maxSpans {
+		f.spansDropped++
+		return
+	}
+	f.spans = append(f.spans, Span{Pid: pid, Phase: ph.String(), Start: gstart, End: gend, Steps: segSteps})
+}
+
+// SpanFinish implements obs.SpanObserver: pid decided at global step gend
+// with steps total per-process steps. Records the decide node closing pid's
+// happens-before chain.
+func (f *Profiler) SpanFinish(pid int, gend, steps int64) {
+	if f == nil || pid < 0 || pid >= f.n {
+		return
+	}
+	pp := &f.procs[pid]
+	pp.decided = true
+	pp.decideStep = gend
+	pp.decideSteps = steps
+	pp.decideCP = f.cpLen(pid, steps)
+	idx := f.addNode(cpNode{
+		parent: f.joinNode[pid],
+		pid:    int32(pid),
+		from:   -1,
+		step:   gend,
+		wstep:  -1,
+		cp:     pp.decideCP,
+		phase:  obs.PhaseDecide,
+	})
+	f.joinNode[pid] = idx
+	f.joinLen[pid] = pp.decideCP
+	f.joinSteps[pid] = steps
+}
+
+// NoteWrite records that writer completed a write of its slot at global step
+// now with steps per-process steps: the slot is stamped with writer's
+// current chain head so later scans can join it, and the write step anchors
+// blame flow events.
+func (f *Profiler) NoteWrite(writer int, now, steps int64) {
+	if f == nil || writer < 0 || writer >= f.n {
+		return
+	}
+	f.lastWriteStep[writer] = now
+	f.slotCP[writer] = f.cpLen(writer, steps)
+	f.slotStep[writer] = now
+	f.slotNode[writer] = f.joinNode[writer]
+}
+
+// CleanScan records a completed scan by reader at global step now with steps
+// per-process steps: the reader has observed every slot's freshest write, so
+// its chain joins the longest stamped chain if that beats its own. One join
+// node is appended per improving scan; writes already seen (per lastSeen)
+// cannot improve the chain again and are skipped, so the arena stays
+// proportional to genuine information flow.
+func (f *Profiler) CleanScan(reader int, now, steps int64) {
+	if f == nil || reader < 0 || reader >= f.n {
+		return
+	}
+	f.procs[reader].scanClean++
+	cur := f.cpLen(reader, steps)
+	best, bestW := cur, -1
+	for w := 0; w < f.n; w++ {
+		if w == reader {
+			continue
+		}
+		ws := f.slotStep[w]
+		if ws < 0 || f.lastSeen[reader*f.n+w] >= ws {
+			continue
+		}
+		f.lastSeen[reader*f.n+w] = ws
+		// The read of w's slot is itself one chain step.
+		if cand := f.slotCP[w] + 1; cand > best {
+			best, bestW = cand, w
+		}
+	}
+	if bestW < 0 {
+		return
+	}
+	idx := f.addNode(cpNode{
+		parent: f.slotNode[bestW],
+		pid:    int32(reader),
+		from:   int32(bestW),
+		step:   now,
+		wstep:  f.slotStep[bestW],
+		cp:     best,
+		phase:  f.curPhase[reader],
+	})
+	f.joinLen[reader] = best
+	f.joinSteps[reader] = steps
+	f.joinNode[reader] = idx
+}
+
+// ScanRetry records a failed scan pass by reader: the double-collect
+// re-check was tripped by culprit's register (culprit == slot index, since
+// slot w is written only by process w) for the given reason, burning burned
+// per-process steps; now is the global step of the failed re-check. A
+// negative culprit (unknown, e.g. under fault injection) still counts the
+// pass but attributes no blame.
+func (f *Profiler) ScanRetry(reader, culprit int, reason BlameReason, burned, now int64) {
+	if f == nil || reader < 0 || reader >= f.n {
+		return
+	}
+	pp := &f.procs[reader]
+	pp.scanRetry++
+	if burned > 0 {
+		pp.retrySteps += burned
+		pp.retryByPhase[f.curPhase[reader]] += burned
+	}
+	if reason < numBlameReasons {
+		f.reasons[reason]++
+	}
+	if culprit < 0 || culprit >= f.n {
+		return
+	}
+	f.blame[reader*f.n+culprit]++
+	f.contention[culprit]++
+	if !f.retainSpans {
+		return
+	}
+	if len(f.blames) >= f.maxBlames {
+		f.blameDropped++
+		return
+	}
+	f.blames = append(f.blames, BlameEvent{
+		Scanner:   reader,
+		Writer:    culprit,
+		Reg:       culprit,
+		Reason:    reason.String(),
+		WriteStep: f.lastWriteStep[culprit],
+		FailStep:  now,
+	})
+}

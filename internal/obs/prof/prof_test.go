@@ -1,0 +1,282 @@
+package prof
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"github.com/dsrepro/consensus/internal/obs"
+)
+
+// TestNilProfilerIsDisabled: the nil profiler reports disabled and every
+// hook is a safe no-op.
+func TestNilProfilerIsDisabled(t *testing.T) {
+	var f *Profiler
+	if f.Enabled() {
+		t.Fatal("nil profiler reports enabled")
+	}
+	if f.N() != 0 {
+		t.Fatal("nil profiler has processes")
+	}
+	f.PhaseBegin(0, obs.PhaseCoin)
+	f.SpanCut(0, obs.PhaseCoin, 0, 10, 10)
+	f.SpanFinish(0, 10, 10)
+	f.NoteWrite(0, 1, 1)
+	f.CleanScan(0, 2, 2)
+	f.ScanRetry(0, 1, BlameArrow, 3, 3)
+	if p := f.Report(); p != nil {
+		t.Fatalf("nil profiler produced a report: %+v", p)
+	}
+	s := f.Snapshot()
+	if len(s.Counters) != 0 || len(s.Matrices) != 0 {
+		t.Fatalf("nil profiler produced a snapshot: %+v", s)
+	}
+}
+
+// TestStepClassification: a hand-driven run partitions steps exactly.
+func TestStepClassification(t *testing.T) {
+	f := New(Options{N: 2})
+	// pid 0: 100 steps in prefer, 40 of them burned in failed scans; then 20
+	// coin steps, 8 of them retries; then 10 strip steps; decide.
+	f.PhaseBegin(0, obs.PhasePrefer)
+	f.ScanRetry(0, 1, BlameArrow, 40, 50)
+	f.SpanCut(0, obs.PhasePrefer, 0, 100, 100)
+	f.PhaseBegin(0, obs.PhaseCoin)
+	f.ScanRetry(0, 1, BlameToggle, 8, 110)
+	f.SpanCut(0, obs.PhaseCoin, 100, 120, 20)
+	f.PhaseBegin(0, obs.PhaseStrip)
+	f.SpanCut(0, obs.PhaseStrip, 120, 130, 10)
+	f.SpanFinish(0, 130, 130)
+
+	p := f.Report()
+	c := p.PerProc[0].Classes
+	want := StepClasses{Total: 130, Productive: 60, ScanRetry: 48, CoinSpin: 12, StripWait: 10}
+	if c != want {
+		t.Fatalf("classes = %+v, want %+v", c, want)
+	}
+	if got := c.Productive + c.ScanRetry + c.CoinSpin + c.StripWait; got != c.Total {
+		t.Fatalf("partition does not sum: %d != %d", got, c.Total)
+	}
+	if p.Reasons["arrow"] != 1 || p.Reasons["toggle"] != 1 {
+		t.Fatalf("reasons = %v", p.Reasons)
+	}
+}
+
+// TestBlameMatrix: failed passes land in the (scanner, writer) cell and the
+// register heatmap; unknown culprits count the pass but attribute nothing.
+func TestBlameMatrix(t *testing.T) {
+	f := New(Options{N: 3, RetainSpans: true})
+	f.ScanRetry(0, 1, BlameArrow, 5, 10)
+	f.ScanRetry(0, 1, BlameArrow, 5, 20)
+	f.ScanRetry(2, 1, BlameToggle, 5, 30)
+	f.ScanRetry(0, 2, BlameArrow, 5, 40)
+	f.ScanRetry(1, -1, BlameArrow, 5, 50) // unknown culprit
+
+	p := f.Report()
+	if p.Blame.At(0, 1) != 2 || p.Blame.At(2, 1) != 1 || p.Blame.At(0, 2) != 1 {
+		t.Fatalf("blame = %+v", p.Blame)
+	}
+	if p.Blame.Sum() != 4 {
+		t.Fatalf("blame sum = %d, want 4 (unknown culprit attributed)", p.Blame.Sum())
+	}
+	if p.ScanRetry != 5 {
+		t.Fatalf("scan retry count = %d, want 5", p.ScanRetry)
+	}
+	if p.Contention.At(0, 1) != 3 || p.Contention.At(0, 2) != 1 {
+		t.Fatalf("contention = %+v", p.Contention)
+	}
+	if len(p.Blames) != 4 {
+		t.Fatalf("retained %d blame events, want 4", len(p.Blames))
+	}
+}
+
+// TestCriticalPath: the chain follows the freshest reads-from edges. Writer
+// 0 publishes, reader 1 joins its chain, publishes in turn, reader 2 joins
+// 1's longer chain and decides: the path must be 0 → 1 → 2.
+func TestCriticalPath(t *testing.T) {
+	f := New(Options{N: 3, RetainSpans: true})
+	f.NoteWrite(0, 5, 5)    // 0's chain: 5 local steps
+	f.CleanScan(1, 8, 3)    // 1 joins 0's write: cp = 5+1 = 6 > 3
+	f.NoteWrite(1, 12, 6)   // 1's chain: 6 + (6-3) = 9
+	f.CleanScan(2, 15, 4)   // 2 joins 1's write: cp = 9+1 = 10 > 4
+	f.SpanFinish(2, 20, 7)  // 2 decides: cp = 10 + (7-4) = 13
+	f.SpanFinish(1, 18, 10) // 1 decided earlier (global step 18 < 20)
+
+	p := f.Report()
+	cp := p.CriticalPath
+	if cp.Decider != 2 {
+		t.Fatalf("decider = %d, want 2 (last to decide)", cp.Decider)
+	}
+	if cp.Len != 13 {
+		t.Fatalf("cp len = %d, want 13", cp.Len)
+	}
+	if len(cp.Nodes) != 3 {
+		t.Fatalf("cp has %d nodes, want 3 (join, join, decide): %+v", len(cp.Nodes), cp.Nodes)
+	}
+	if cp.Nodes[0].Kind != "join" || cp.Nodes[0].Pid != 1 || cp.Nodes[0].From != 0 {
+		t.Fatalf("node 0 = %+v, want join 1<-0", cp.Nodes[0])
+	}
+	if cp.Nodes[1].Kind != "join" || cp.Nodes[1].Pid != 2 || cp.Nodes[1].From != 1 {
+		t.Fatalf("node 1 = %+v, want join 2<-1", cp.Nodes[1])
+	}
+	if cp.Nodes[2].Kind != "decide" || cp.Nodes[2].Pid != 2 || cp.Nodes[2].Step != 20 {
+		t.Fatalf("node 2 = %+v, want decide by 2 at step 20", cp.Nodes[2])
+	}
+}
+
+// TestCriticalPathDedup: re-reading an already-seen write must not extend
+// the chain — joins key on the observed write step.
+func TestCriticalPathDedup(t *testing.T) {
+	f := New(Options{N: 2})
+	f.NoteWrite(0, 5, 5)
+	f.CleanScan(1, 8, 3)
+	first := f.cpLen(1, 3)
+	for i := 0; i < 10; i++ {
+		f.CleanScan(1, 9+int64(i), 3) // same write, no new info, no local steps
+	}
+	if got := f.cpLen(1, 3); got != first {
+		t.Fatalf("re-reading the same write grew the chain: %d -> %d", first, got)
+	}
+	if n := len(f.nodes); n != 1 {
+		t.Fatalf("arena has %d nodes, want 1", n)
+	}
+}
+
+// TestNodeArenaBound: the arena stops growing at MaxNodes and the report
+// flags truncation instead of allocating without bound.
+func TestNodeArenaBound(t *testing.T) {
+	f := New(Options{N: 2, MaxNodes: 4})
+	for i := 0; i < 20; i++ {
+		step := int64(i*2 + 1)
+		f.NoteWrite(0, step, step)
+		f.CleanScan(1, step+1, int64(i))
+	}
+	f.SpanFinish(1, 100, 25)
+	if len(f.nodes) != 4 {
+		t.Fatalf("arena grew to %d, want cap 4", len(f.nodes))
+	}
+	p := f.Report()
+	if !p.CriticalPath.Truncated {
+		t.Fatal("truncation not flagged")
+	}
+}
+
+// TestSnapshotMerge: two profiler snapshots merge like any other shards —
+// counters sum and matrices add element-wise.
+func TestSnapshotMerge(t *testing.T) {
+	a := New(Options{N: 2})
+	a.SpanCut(0, obs.PhasePrefer, 0, 10, 10)
+	a.ScanRetry(0, 1, BlameArrow, 4, 5)
+	b := New(Options{N: 2})
+	b.SpanCut(1, obs.PhasePrefer, 0, 20, 20)
+	b.ScanRetry(1, 0, BlameToggle, 6, 7)
+
+	m := obs.MergeSnapshots(a.Snapshot(), b.Snapshot())
+	if m.Counters[CounterStepsTotal] != 30 {
+		t.Fatalf("merged total = %d, want 30", m.Counters[CounterStepsTotal])
+	}
+	bm := m.Matrices[MatrixBlame]
+	if bm.At(0, 1) != 1 || bm.At(1, 0) != 1 {
+		t.Fatalf("merged blame = %+v", bm)
+	}
+	// Merge order must not matter.
+	m2 := obs.MergeSnapshots(b.Snapshot(), a.Snapshot())
+	if m2.Matrices[MatrixBlame].Sum() != bm.Sum() ||
+		m2.Counters[CounterStepsTotal] != m.Counters[CounterStepsTotal] {
+		t.Fatal("merge is order-dependent")
+	}
+}
+
+// TestProfileJSONRoundTrip: Report -> JSON -> ParseProfile is lossless for
+// the aggregate fields, and ParseProfile validates shape.
+func TestProfileJSONRoundTrip(t *testing.T) {
+	f := New(Options{N: 2, RetainSpans: true})
+	f.SpanCut(0, obs.PhasePrefer, 0, 10, 10)
+	f.NoteWrite(0, 5, 5)
+	f.CleanScan(1, 8, 3)
+	f.ScanRetry(1, 0, BlameSeq, 2, 9)
+	f.SpanFinish(1, 12, 6)
+	p := f.Report()
+
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	got, err := ParseProfile(data)
+	if err != nil {
+		t.Fatalf("ParseProfile: %v", err)
+	}
+	if got.Classes != p.Classes || got.N != p.N || got.ScanRetry != p.ScanRetry {
+		t.Fatalf("round trip changed aggregates: %+v vs %+v", got.Classes, p.Classes)
+	}
+	if len(got.CriticalPath.Nodes) != len(p.CriticalPath.Nodes) {
+		t.Fatalf("round trip changed the critical path")
+	}
+
+	// Shape violations must be rejected.
+	bad := *p
+	bad.Blame.Cells = bad.Blame.Cells[:1]
+	data, _ = json.Marshal(&bad)
+	if _, err := ParseProfile(data); err == nil {
+		t.Fatal("ParseProfile accepted a malformed blame matrix")
+	}
+}
+
+// TestPerfettoDeterminism: the same profile serializes to the same bytes.
+func TestPerfettoDeterminism(t *testing.T) {
+	f := New(Options{N: 3, RetainSpans: true})
+	f.SpanCut(0, obs.PhasePrefer, 0, 10, 10)
+	f.SpanCut(1, obs.PhaseCoin, 3, 17, 9)
+	f.NoteWrite(2, 4, 4)
+	f.ScanRetry(0, 2, BlameArrow, 3, 12)
+	p := f.Report()
+
+	var a, b bytes.Buffer
+	if err := WritePerfetto(&a, p); err != nil {
+		t.Fatalf("WritePerfetto: %v", err)
+	}
+	if err := WritePerfetto(&b, p); err != nil {
+		t.Fatalf("WritePerfetto: %v", err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("Perfetto export is nondeterministic")
+	}
+	st, err := ParsePerfetto(a.Bytes())
+	if err != nil {
+		t.Fatalf("ParsePerfetto: %v", err)
+	}
+	if st.Tracks != 3 || st.Slices != 2 || st.Flows != 1 {
+		t.Fatalf("stats = %+v, want 3 tracks, 2 slices, 1 flow", st)
+	}
+}
+
+// TestPerfettoRejectsBrokenFlows: a flow start without its finish fails
+// validation.
+func TestPerfettoRejectsBrokenFlows(t *testing.T) {
+	raw := `{"traceEvents":[{"name":"scan-blame","ph":"s","pid":0,"tid":0,"ts":1,"id":1}],"displayTimeUnit":"ms"}`
+	if _, err := ParsePerfetto([]byte(raw)); err == nil {
+		t.Fatal("unpaired flow accepted")
+	}
+}
+
+// TestSpanRetention: spans are kept only when requested, and the bound
+// counts drops instead of growing.
+func TestSpanRetention(t *testing.T) {
+	off := New(Options{N: 1})
+	off.SpanCut(0, obs.PhasePrefer, 0, 10, 10)
+	if p := off.Report(); len(p.Spans) != 0 {
+		t.Fatalf("spans retained without RetainSpans: %d", len(p.Spans))
+	}
+	on := New(Options{N: 1, RetainSpans: true, MaxSpans: 2})
+	for i := int64(0); i < 5; i++ {
+		on.SpanCut(0, obs.PhasePrefer, i*10, i*10+10, 10)
+	}
+	p := on.Report()
+	if len(p.Spans) != 2 || p.SpansDropped != 3 {
+		t.Fatalf("spans = %d dropped = %d, want 2/3", len(p.Spans), p.SpansDropped)
+	}
+	// The class ledger still saw every segment.
+	if p.Classes.Total != 50 {
+		t.Fatalf("total = %d, want 50", p.Classes.Total)
+	}
+}

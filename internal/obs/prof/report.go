@@ -1,0 +1,342 @@
+package prof
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"github.com/dsrepro/consensus/internal/obs"
+)
+
+// Snapshot-key identifiers of the profiler's metrics. Counters under
+// "prof.steps." are the step-class partition; matrices carry the blame and
+// contention grids. They are not event kinds — the profiler emits nothing
+// into traces — so they enter snapshots only through Profiler.Snapshot and
+// obs.MergeSnapshots.
+const (
+	CounterStepsTotal      = "prof.steps.total"
+	CounterStepsProductive = "prof.steps.productive"
+	CounterStepsScanRetry  = "prof.steps.scan_retry"
+	CounterStepsCoinSpin   = "prof.steps.coin_spin"
+	CounterStepsStripWait  = "prof.steps.strip_wait"
+	CounterScanClean       = "prof.scan.clean"
+	CounterScanRetry       = "prof.scan.retry"
+	CounterCPNodes         = "prof.cp.nodes"
+	GaugeCPLen             = "prof.cp.len"
+	GaugeCPDecideStep      = "prof.cp.decide_step"
+	MatrixBlame            = "prof.blame"
+	MatrixContention       = "prof.contention"
+)
+
+// StepClasses partitions granted steps by what they bought. scan_retry is
+// every step burned in a failed scan pass; coin_spin and strip_wait are the
+// coin and strip phase residues after removing their retry steps; productive
+// is the remainder. Classes are clamped at zero (a process killed mid-pass
+// can have retries charged against a phase segment that was never closed),
+// so the partition is exact for decided processes and conservative for
+// undecided ones.
+type StepClasses struct {
+	Total      int64 `json:"total"`
+	Productive int64 `json:"productive"`
+	ScanRetry  int64 `json:"scan_retry"`
+	CoinSpin   int64 `json:"coin_spin"`
+	StripWait  int64 `json:"strip_wait"`
+}
+
+// add accumulates o into c.
+func (c *StepClasses) add(o StepClasses) {
+	c.Total += o.Total
+	c.Productive += o.Productive
+	c.ScanRetry += o.ScanRetry
+	c.CoinSpin += o.CoinSpin
+	c.StripWait += o.StripWait
+}
+
+// ProcProfile is one process's profile.
+type ProcProfile struct {
+	Pid        int         `json:"pid"`
+	Classes    StepClasses `json:"classes"`
+	ScanClean  int64       `json:"scan_clean"`
+	ScanRetry  int64       `json:"scan_retry"`
+	Decided    bool        `json:"decided"`
+	DecideStep int64       `json:"decide_step,omitempty"`
+	CPLen      int64       `json:"cp_len,omitempty"`
+}
+
+// Span is one closed phase segment: Pid spent Steps of its own steps in
+// Phase between global steps Start and End.
+type Span struct {
+	Pid   int    `json:"pid"`
+	Phase string `json:"phase"`
+	Start int64  `json:"start"`
+	End   int64  `json:"end"`
+	Steps int64  `json:"steps"`
+}
+
+// BlameEvent is one attributed scan failure: Scanner's re-check at global
+// step FailStep was tripped by Writer's register Reg, whose most recent
+// write completed at WriteStep (-1 if the initial value tripped it).
+type BlameEvent struct {
+	Scanner   int    `json:"scanner"`
+	Writer    int    `json:"writer"`
+	Reg       int    `json:"reg"`
+	Reason    string `json:"reason"`
+	WriteStep int64  `json:"write_step"`
+	FailStep  int64  `json:"fail_step"`
+}
+
+// CPNode is one link of the critical path. A join node (Kind "join") says
+// reader Pid observed writer From's write (published at WriteStep) at global
+// step Step while in Phase, extending the chain to length CP; the decide
+// node (Kind "decide", From -1) closes the chain.
+type CPNode struct {
+	Kind      string `json:"kind"`
+	Pid       int    `json:"pid"`
+	From      int    `json:"from"`
+	Step      int64  `json:"step"`
+	WriteStep int64  `json:"write_step,omitempty"`
+	Phase     string `json:"phase"`
+	CP        int64  `json:"cp"`
+}
+
+// CriticalPath is the reads-from chain that gated the last decision: the
+// longest happens-before path ending at the final decider's decide step.
+// Len counts chain steps (local steps plus one per joined read); Nodes are
+// the information-transfer links in chronological order (local runs between
+// them are implicit in the CP deltas). Truncated is set when the node arena
+// filled and the chain's tail was cut.
+type CriticalPath struct {
+	Decider    int      `json:"decider"`
+	DecideStep int64    `json:"decide_step"`
+	Len        int64    `json:"len"`
+	Truncated  bool     `json:"truncated,omitempty"`
+	Nodes      []CPNode `json:"nodes"`
+}
+
+// Profile is the full report of one profiled run (or a batch aggregate,
+// where spans, blame events and the critical path come from the designated
+// exemplar instance and everything else is summed).
+type Profile struct {
+	N            int                `json:"n"`
+	Classes      StepClasses        `json:"classes"`
+	PerProc      []ProcProfile      `json:"per_proc"`
+	ScanClean    int64              `json:"scan_clean"`
+	ScanRetry    int64              `json:"scan_retry"`
+	Reasons      map[string]int64   `json:"reasons,omitempty"`
+	Blame        obs.MatrixSnapshot `json:"blame"`
+	Contention   obs.MatrixSnapshot `json:"contention"`
+	CriticalPath CriticalPath       `json:"critical_path"`
+	Spans        []Span             `json:"spans,omitempty"`
+	SpansDropped int64              `json:"spans_dropped,omitempty"`
+	Blames       []BlameEvent       `json:"blame_events,omitempty"`
+	BlameDropped int64              `json:"blame_dropped,omitempty"`
+}
+
+// classes computes pp's step-class partition.
+func (pp *perProc) classes() StepClasses {
+	c := StepClasses{Total: pp.total, ScanRetry: pp.retrySteps}
+	c.CoinSpin = pp.phase[obs.PhaseCoin] - pp.retryByPhase[obs.PhaseCoin]
+	c.StripWait = pp.phase[obs.PhaseStrip] - pp.retryByPhase[obs.PhaseStrip]
+	if c.CoinSpin < 0 {
+		c.CoinSpin = 0
+	}
+	if c.StripWait < 0 {
+		c.StripWait = 0
+	}
+	c.Productive = c.Total - c.ScanRetry - c.CoinSpin - c.StripWait
+	if c.Productive < 0 {
+		c.Productive = 0
+	}
+	return c
+}
+
+// blameMatrix copies the n×n blame grid into a snapshot.
+func (f *Profiler) blameMatrix() obs.MatrixSnapshot {
+	return obs.MatrixSnapshot{
+		Rows:     f.n,
+		Cols:     f.n,
+		Cells:    append([]int64(nil), f.blame...),
+		RowLabel: "scanner",
+		ColLabel: "writer",
+	}
+}
+
+// contentionMatrix copies the 1×n register heatmap into a snapshot.
+func (f *Profiler) contentionMatrix() obs.MatrixSnapshot {
+	return obs.MatrixSnapshot{
+		Rows:     1,
+		Cols:     f.n,
+		Cells:    append([]int64(nil), f.contention...),
+		ColLabel: "register",
+	}
+}
+
+// criticalPath reconstructs the chain of the last decider (ties broken
+// toward the lower pid; global steps make ties impossible in practice since
+// each step is granted to one process).
+func (f *Profiler) criticalPath() CriticalPath {
+	decider, deciderStep := -1, int64(-1)
+	for pid := range f.procs {
+		pp := &f.procs[pid]
+		if pp.decided && pp.decideStep > deciderStep {
+			decider, deciderStep = pid, pp.decideStep
+		}
+	}
+	if decider < 0 {
+		return CriticalPath{Decider: -1, DecideStep: -1}
+	}
+	cp := CriticalPath{
+		Decider:    decider,
+		DecideStep: deciderStep,
+		Len:        f.procs[decider].decideCP,
+		Truncated:  f.cpTruncated,
+	}
+	// Walk parent pointers from the decide node, then reverse into
+	// chronological order.
+	var rev []CPNode
+	for idx := f.joinNode[decider]; idx >= 0; idx = f.nodes[idx].parent {
+		nd := &f.nodes[idx]
+		out := CPNode{
+			Kind:      "join",
+			Pid:       int(nd.pid),
+			From:      int(nd.from),
+			Step:      nd.step,
+			WriteStep: nd.wstep,
+			Phase:     nd.phase.String(),
+			CP:        nd.cp,
+		}
+		if nd.from < 0 {
+			out.Kind = "decide"
+			out.WriteStep = 0
+		}
+		rev = append(rev, out)
+	}
+	cp.Nodes = make([]CPNode, len(rev))
+	for i, nd := range rev {
+		cp.Nodes[len(rev)-1-i] = nd
+	}
+	return cp
+}
+
+// Report builds the full profile. Call only after the run completes.
+func (f *Profiler) Report() *Profile {
+	if f == nil {
+		return nil
+	}
+	p := &Profile{
+		N:            f.n,
+		PerProc:      make([]ProcProfile, f.n),
+		Blame:        f.blameMatrix(),
+		Contention:   f.contentionMatrix(),
+		CriticalPath: f.criticalPath(),
+		SpansDropped: f.spansDropped,
+		BlameDropped: f.blameDropped,
+	}
+	for pid := range f.procs {
+		pp := &f.procs[pid]
+		c := pp.classes()
+		p.Classes.add(c)
+		p.ScanClean += pp.scanClean
+		p.ScanRetry += pp.scanRetry
+		p.PerProc[pid] = ProcProfile{
+			Pid:        pid,
+			Classes:    c,
+			ScanClean:  pp.scanClean,
+			ScanRetry:  pp.scanRetry,
+			Decided:    pp.decided,
+			DecideStep: pp.decideStep,
+			CPLen:      pp.decideCP,
+		}
+	}
+	for r := BlameReason(0); r < numBlameReasons; r++ {
+		if f.reasons[r] != 0 {
+			if p.Reasons == nil {
+				p.Reasons = make(map[string]int64)
+			}
+			p.Reasons[r.String()] = f.reasons[r]
+		}
+	}
+	if f.retainSpans {
+		p.Spans = append([]Span(nil), f.spans...)
+		p.Blames = append([]BlameEvent(nil), f.blames...)
+	}
+	return p
+}
+
+// Snapshot renders the profiler's aggregates as an obs.Snapshot: the
+// prof.* counters, the critical-path gauges, and the blame/contention
+// matrices. Per-instance snapshots merge deterministically with
+// obs.MergeSnapshots — counters sum, gauges max, matrices add element-wise —
+// so batch aggregation in instance order is independent of Parallel.
+func (f *Profiler) Snapshot() obs.Snapshot {
+	if f == nil {
+		return obs.Snapshot{}
+	}
+	var agg StepClasses
+	var clean, retry int64
+	for pid := range f.procs {
+		agg.add(f.procs[pid].classes())
+		clean += f.procs[pid].scanClean
+		retry += f.procs[pid].scanRetry
+	}
+	cp := f.criticalPath()
+	s := obs.Snapshot{
+		Counters: map[string]int64{
+			CounterStepsTotal:      agg.Total,
+			CounterStepsProductive: agg.Productive,
+			CounterStepsScanRetry:  agg.ScanRetry,
+			CounterStepsCoinSpin:   agg.CoinSpin,
+			CounterStepsStripWait:  agg.StripWait,
+			CounterScanClean:       clean,
+			CounterScanRetry:       retry,
+			CounterCPNodes:         int64(len(f.nodes)),
+		},
+		Gauges:   map[string]int64{},
+		Hists:    map[string]obs.HistSnapshot{},
+		Matrices: map[string]obs.MatrixSnapshot{},
+	}
+	if cp.Decider >= 0 {
+		s.Gauges[GaugeCPLen] = cp.Len
+		s.Gauges[GaugeCPDecideStep] = cp.DecideStep
+	}
+	if b := f.blameMatrix(); b.Sum() != 0 {
+		s.Matrices[MatrixBlame] = b
+	}
+	if c := f.contentionMatrix(); c.Sum() != 0 {
+		s.Matrices[MatrixContention] = c
+	}
+	return s
+}
+
+// ParseProfile decodes and validates a Profile produced by Report (the
+// contract traceview -prof relies on; also the fuzz target's subject).
+func ParseProfile(data []byte) (*Profile, error) {
+	var p Profile
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("prof: parse profile: %w", err)
+	}
+	if p.N < 0 {
+		return nil, fmt.Errorf("prof: invalid profile: n = %d", p.N)
+	}
+	if got := len(p.Blame.Cells); got != p.Blame.Rows*p.Blame.Cols {
+		return nil, fmt.Errorf("prof: blame matrix has %d cells, want %d",
+			got, p.Blame.Rows*p.Blame.Cols)
+	}
+	if got := len(p.Contention.Cells); got != p.Contention.Rows*p.Contention.Cols {
+		return nil, fmt.Errorf("prof: contention matrix has %d cells, want %d",
+			got, p.Contention.Rows*p.Contention.Cols)
+	}
+	for i, pp := range p.PerProc {
+		if pp.Pid != i {
+			return nil, fmt.Errorf("prof: per_proc[%d] has pid %d", i, pp.Pid)
+		}
+	}
+	prev := int64(-1)
+	for i, nd := range p.CriticalPath.Nodes {
+		if nd.CP < prev {
+			return nil, fmt.Errorf("prof: critical path not monotone at node %d (%d < %d)",
+				i, nd.CP, prev)
+		}
+		prev = nd.CP
+	}
+	return &p, nil
+}

@@ -176,10 +176,17 @@ func (r *Registry) Hist(id HistID) *Histogram {
 
 // Snapshot is an immutable point-in-time copy of a registry, keyed by the
 // stable wire identifiers. Zero-count entries are omitted.
+//
+// Matrices carries matrix-valued metrics ("prof.blame", "prof.contention").
+// The registry itself holds no matrices — they come from sources with
+// dynamic shapes, such as the step profiler (internal/obs/prof), and enter
+// merged snapshots through MergeSnapshots. The field is nil on registry
+// snapshots.
 type Snapshot struct {
 	Counters map[string]int64
 	Gauges   map[string]int64
 	Hists    map[string]HistSnapshot
+	Matrices map[string]MatrixSnapshot
 }
 
 // Snapshot summarizes the registry.

@@ -24,6 +24,7 @@ import (
 
 	"github.com/dsrepro/consensus/internal/obs"
 	"github.com/dsrepro/consensus/internal/obs/audit"
+	"github.com/dsrepro/consensus/internal/obs/prof"
 	"github.com/dsrepro/consensus/internal/pad"
 	"github.com/dsrepro/consensus/internal/register"
 	"github.com/dsrepro/consensus/internal/sched"
@@ -73,6 +74,7 @@ type Arrow[T any] struct {
 	n      int
 	sink   *obs.Sink
 	mon    *audit.Monitor
+	prof   *prof.Profiler
 	vals   []*register.ToggledSWMR[T]
 	arrows [][]register.TwoWriter // arrows[i][j], i != j
 	local  []T                    // local[i]: last value written by i (owner-only access)
@@ -168,6 +170,11 @@ func (a *Arrow[T]) SetMonitor(m *audit.Monitor) {
 	}
 }
 
+// SetProfiler attaches the step profiler (nil detaches — ExecuteProto
+// always calls it so pooled instances never carry a stale profiler). The
+// profiler is strictly passive; every hook site is guarded by Enabled().
+func (a *Arrow[T]) SetProfiler(f *prof.Profiler) { a.prof = f }
+
 // Write implements Memory: set the arrow in every other process's scanner
 // register, then publish the value. Wait-free; n atomic steps (2n with Bloom
 // arrow registers).
@@ -180,6 +187,9 @@ func (a *Arrow[T]) Write(p *sched.Proc, v T) {
 	}
 	a.vals[i].Write(p, v)
 	a.local[i] = v
+	if a.prof.Enabled() {
+		a.prof.NoteWrite(i, p.Now(), p.Steps())
+	}
 }
 
 // Scan implements Memory: clear arrows, double-collect, re-read arrows, retry
@@ -188,8 +198,11 @@ func (a *Arrow[T]) Write(p *sched.Proc, v T) {
 func (a *Arrow[T]) Scan(p *sched.Proc) []T {
 	i := p.ID()
 	v1, v2, out := a.c1[i], a.c2[i], a.view[i]
-	var tries int64
+	var tries, passStart int64
 	for {
+		if a.prof.Enabled() {
+			passStart = p.Steps()
+		}
 		for j := 0; j < a.n; j++ {
 			if j != i {
 				a.arrows[i][j].Write(p, false)
@@ -220,14 +233,19 @@ func (a *Arrow[T]) Scan(p *sched.Proc) []T {
 		}
 		// Arrow re-reads are scheduler steps, so they must happen for exactly
 		// the prefix the unfused loop would have checked: every j up to and
-		// including the first dirty slot (set arrow or toggle mismatch).
+		// including the first dirty slot (set arrow or toggle mismatch). The
+		// first dirty slot is also the blame culprit: the arrow (or toggle)
+		// was tripped by writer j's register.
 		clean := true
+		dirtyAt, dirtyArrow := -1, false
 		for j := 0; j < a.n && clean; j++ {
 			if j == i {
 				continue
 			}
-			if a.arrows[i][j].Read(p) || j == firstMismatch {
+			set := a.arrows[i][j].Read(p)
+			if set || j == firstMismatch {
 				clean = false
+				dirtyAt, dirtyArrow = j, set
 			}
 		}
 		if clean {
@@ -247,11 +265,21 @@ func (a *Arrow[T]) Scan(p *sched.Proc) []T {
 			a.sink.Emit(obs.Event{Step: p.Now(), Pid: i, Kind: obs.ScanClean, Value: tries})
 			a.sink.Observe(obs.HistScanRetries, tries)
 			out[i] = a.local[i]
+			if a.prof.Enabled() {
+				a.prof.CleanScan(i, p.Now(), p.Steps())
+			}
 			return out
 		}
 		a.retries[i].Add(1)
 		tries++
 		a.sink.Emit(obs.Event{Step: p.Now(), Pid: i, Kind: obs.ScanRetry, Value: tries})
+		if a.prof.Enabled() {
+			reason := prof.BlameToggle
+			if dirtyArrow {
+				reason = prof.BlameArrow
+			}
+			a.prof.ScanRetry(i, dirtyAt, reason, p.Steps()-passStart, p.Now())
+		}
 	}
 }
 
@@ -275,6 +303,7 @@ type seqCell[T any] struct {
 type SeqSnap[T any] struct {
 	n     int
 	sink  *obs.Sink
+	prof  *prof.Profiler
 	vals  []*register.SWMR[seqCell[T]]
 	local []T
 	seq   []uint64 // next sequence number per writer (owner-only access)
@@ -332,6 +361,9 @@ func (s *SeqSnap[T]) SetSink(sk *obs.Sink) {
 	}
 }
 
+// SetProfiler attaches the step profiler (nil detaches; see Arrow).
+func (s *SeqSnap[T]) SetProfiler(f *prof.Profiler) { s.prof = f }
+
 // Write implements Memory. One atomic step; the sequence number grows without
 // bound (this is the point of the baseline).
 func (s *SeqSnap[T]) Write(p *sched.Proc, v T) {
@@ -339,6 +371,9 @@ func (s *SeqSnap[T]) Write(p *sched.Proc, v T) {
 	s.seq[i]++
 	s.vals[i].Write(p, seqCell[T]{val: v, seq: s.seq[i]})
 	s.local[i] = v
+	if s.prof.Enabled() {
+		s.prof.NoteWrite(i, p.Now(), p.Steps())
+	}
 }
 
 // Scan implements Memory: double-collect until two consecutive collects agree
@@ -352,28 +387,44 @@ func (s *SeqSnap[T]) Scan(p *sched.Proc) []T {
 		}
 	}
 	out := s.view[i]
-	var tries int64
+	var tries, passStart int64
 	for {
+		if s.prof.Enabled() {
+			passStart = p.Steps()
+		}
 		// Collect, fused with the sequence comparison and the view copy (both
-		// register-local): a clean scan finishes in this single pass.
+		// register-local): a clean scan finishes in this single pass. The
+		// first sequence mismatch is the blame culprit.
 		clean := true
+		dirtyAt := -1
 		for j := 0; j < s.n; j++ {
 			if j == i {
 				continue
 			}
 			cur[j] = s.vals[j].Read(p)
 			out[j] = cur[j].val
-			clean = clean && cur[j].seq == prev[j].seq
+			if cur[j].seq != prev[j].seq {
+				clean = false
+				if dirtyAt < 0 {
+					dirtyAt = j
+				}
+			}
 		}
 		if clean {
 			s.sink.Emit(obs.Event{Step: p.Now(), Pid: i, Kind: obs.ScanClean, Value: tries})
 			s.sink.Observe(obs.HistScanRetries, tries)
 			out[i] = s.local[i]
+			if s.prof.Enabled() {
+				s.prof.CleanScan(i, p.Now(), p.Steps())
+			}
 			return out
 		}
 		s.retries[i].Add(1)
 		tries++
 		s.sink.Emit(obs.Event{Step: p.Now(), Pid: i, Kind: obs.ScanRetry, Value: tries})
+		if s.prof.Enabled() {
+			s.prof.ScanRetry(i, dirtyAt, prof.BlameSeq, p.Steps()-passStart, p.Now())
+		}
 		prev, cur = cur, prev
 		s.c1[i], s.c2[i] = prev, cur
 	}

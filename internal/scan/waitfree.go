@@ -2,6 +2,7 @@ package scan
 
 import (
 	"github.com/dsrepro/consensus/internal/obs"
+	"github.com/dsrepro/consensus/internal/obs/prof"
 	"github.com/dsrepro/consensus/internal/pad"
 	"github.com/dsrepro/consensus/internal/register"
 	"github.com/dsrepro/consensus/internal/sched"
@@ -41,6 +42,7 @@ import (
 type WaitFree[T any] struct {
 	n     int
 	sink  *obs.Sink
+	prof  *prof.Profiler
 	regs  []*register.SWMR[wfRec[T]]
 	hands [][]*register.SWMR[bool] // hands[i][j]: scanner i's bit toward writer j
 	local []T                      // local[i]: last value written by i (owner-only)
@@ -143,6 +145,9 @@ func (w *WaitFree[T]) SetSink(s *obs.Sink) {
 	}
 }
 
+// SetProfiler attaches the step profiler (nil detaches; see Arrow).
+func (w *WaitFree[T]) SetProfiler(f *prof.Profiler) { w.prof = f }
+
 // Write implements Memory (the construction's update): embedded snapshot,
 // handshake flips, one atomic publish. Wait-free.
 func (w *WaitFree[T]) Write(p *sched.Proc, v T) {
@@ -161,6 +166,9 @@ func (w *WaitFree[T]) Write(p *sched.Proc, v T) {
 	w.regs[i].Write(p, wfRec[T]{val: v, view: view, toggle: w.toggles[i], p: newP})
 	w.local[i] = v
 	w.pvecs[i] = newP
+	if w.prof.Enabled() {
+		w.prof.NoteWrite(i, p.Now(), p.Steps())
+	}
 }
 
 // Scan implements Memory. Wait-free: at most 2n+1 handshake/double-collect
@@ -172,8 +180,11 @@ func (w *WaitFree[T]) Scan(p *sched.Proc) []T {
 	for j := range events {
 		events[j] = 0
 	}
-	var tries int64
+	var tries, passStart int64
 	for {
+		if w.prof.Enabled() {
+			passStart = p.Steps()
+		}
 		// Handshake: equalize my bit with each writer's current bit.
 		for j := 0; j < w.n; j++ {
 			if j == i {
@@ -195,16 +206,20 @@ func (w *WaitFree[T]) Scan(p *sched.Proc) []T {
 			}
 		}
 		clean := true
+		dirtyAt, dirtyHand := -1, false
 		for j := 0; j < w.n; j++ {
 			if j == i {
 				continue
 			}
-			moved := c1[j].p[i] != myHand[j] || c2[j].p[i] != myHand[j] ||
-				c1[j].toggle != c2[j].toggle
+			handMoved := c1[j].p[i] != myHand[j] || c2[j].p[i] != myHand[j]
+			moved := handMoved || c1[j].toggle != c2[j].toggle
 			if !moved {
 				continue
 			}
 			clean = false
+			if dirtyAt < 0 {
+				dirtyAt, dirtyHand = j, handMoved
+			}
 			events[j]++
 			if events[j] >= 2 && c2[j].view != nil {
 				// Borrow: c2[j]'s embedded view was taken entirely within
@@ -214,6 +229,11 @@ func (w *WaitFree[T]) Scan(p *sched.Proc) []T {
 				w.sink.Observe(obs.HistScanRetries, tries)
 				out := w.view[i]
 				copy(out, c2[j].view)
+				if w.prof.Enabled() {
+					// A borrowed view is a completed scan for causal purposes:
+					// the reader just absorbed j's embedded snapshot.
+					w.prof.CleanScan(i, p.Now(), p.Steps())
+				}
 				return out
 			}
 		}
@@ -228,11 +248,21 @@ func (w *WaitFree[T]) Scan(p *sched.Proc) []T {
 					out[j] = c2[j].val
 				}
 			}
+			if w.prof.Enabled() {
+				w.prof.CleanScan(i, p.Now(), p.Steps())
+			}
 			return out
 		}
 		w.retries[i].Add(1)
 		tries++
 		w.sink.Emit(obs.Event{Step: p.Now(), Pid: i, Kind: obs.ScanRetry, Value: tries})
+		if w.prof.Enabled() {
+			reason := prof.BlameToggle
+			if dirtyHand {
+				reason = prof.BlameHandshake
+			}
+			w.prof.ScanRetry(i, dirtyAt, reason, p.Steps()-passStart, p.Now())
+		}
 	}
 }
 

@@ -191,8 +191,9 @@ const grantFlushBatch = 256
 // never false-share (each instance has its own slots, but instances from
 // different workers can be allocated adjacently).
 type procSlot struct {
-	grant      chan bool // one-slot token gate; false grant means halt
-	enqueuedAt int64     // global step count when the proc last entered Step
+	grant      chan bool     // one-slot token gate; false grant means halt
+	arrived    chan struct{} // closed when the proc reaches its first Step (or finishes without one)
+	enqueuedAt int64         // global step count when the proc last entered Step
 	perProc    int64
 	waitSteps  int64
 	_          [32]byte
@@ -251,6 +252,7 @@ func newDispatcher(cfg Config, adv Adversary) *dispatcher {
 	}
 	for i := 0; i < cfg.N; i++ {
 		d.slots[i].grant = make(chan bool, 1)
+		d.slots[i].arrived = make(chan struct{})
 		d.live[i] = i
 		d.isLive[i] = true
 	}
@@ -270,7 +272,10 @@ func (d *dispatcher) step(p *Proc) {
 	if p.steps == 0 {
 		// First Step: register arrival. Until every process has reached its
 		// first Step (or finished without one) there is no token; the last
-		// arriver performs the run's first dispatch.
+		// arriver performs the run's first dispatch. The arrival signal lets
+		// Run serialize body startup so pre-Step preamble code (which may
+		// emit trace events) executes in pid order.
+		close(d.slots[pid].arrived)
 		if d.startPending.Add(-1) > 0 {
 			d.park(pid)
 			return
@@ -360,6 +365,10 @@ func (d *dispatcher) done(p *Proc) {
 	d.doneMu.Lock()
 	defer d.doneMu.Unlock()
 	pid := p.id
+	if p.steps == 0 {
+		// Finished without ever calling Step: this is the proc's arrival.
+		close(d.slots[pid].arrived)
+	}
 	d.finished[pid] = true
 	d.isLive[pid] = false
 	for i, v := range d.live {
@@ -415,6 +424,14 @@ func Run(cfg Config, body func(*Proc)) (Result, error) {
 			body(p)
 			d.done(p)
 		}()
+		// Serialized startup: wait for this body to reach its first Step (or
+		// finish without one) before launching the next. Protocol preambles
+		// run user code — and may emit trace events — before the scheduler
+		// has any token to hand out; without this barrier their interleaving
+		// would be wall-clock goroutine order and traces would not be
+		// byte-deterministic. No grant is issued until every body has
+		// arrived, so grant sequences and step counts are unchanged.
+		<-d.slots[i].arrived
 	}
 	wg.Wait()
 	d.flushGrants()
@@ -442,12 +459,19 @@ type event struct {
 
 // runner implements gate for the legacy rendezvous engine.
 type runner struct {
-	events chan event
-	grants []chan bool // per-pid; false grant means halt
-	clock  atomic.Int64
+	events  chan event
+	grants  []chan bool     // per-pid; false grant means halt
+	arrived []chan struct{} // closed at the proc's first Step (or finish without one)
+	clock   atomic.Int64
 }
 
 func (r *runner) step(p *Proc) {
+	if p.steps == 0 {
+		// Signal arrival before blocking on the (unbuffered) event channel:
+		// during serialized startup the spawner is waiting on this signal and
+		// the scheduler loop is not yet consuming events.
+		close(r.arrived[p.id])
+	}
 	r.events <- event{pid: p.id}
 	if ok := <-r.grants[p.id]; !ok {
 		panic(haltSignal{})
@@ -466,8 +490,9 @@ func runRendezvous(cfg Config, body func(*Proc)) (Result, error) {
 	}
 
 	r := &runner{
-		events: make(chan event),
-		grants: make([]chan bool, cfg.N),
+		events:  make(chan event),
+		grants:  make([]chan bool, cfg.N),
+		arrived: make([]chan struct{}, cfg.N),
 	}
 	res := Result{
 		PerProc:   make([]int64, cfg.N),
@@ -481,6 +506,7 @@ func runRendezvous(cfg Config, body func(*Proc)) (Result, error) {
 	var wg sync.WaitGroup
 	for i := 0; i < cfg.N; i++ {
 		r.grants[i] = make(chan bool, 1)
+		r.arrived[i] = make(chan struct{})
 		p := newProc(i, cfg.Seed, r)
 		wg.Add(1)
 		go func() {
@@ -494,8 +520,18 @@ func runRendezvous(cfg Config, body func(*Proc)) (Result, error) {
 				}
 			}()
 			body(p)
+			if p.steps == 0 {
+				// Never called Step: returning is this proc's arrival. Close
+				// before the (blocking) done send so the spawner can proceed.
+				close(r.arrived[p.id])
+			}
 			r.events <- event{pid: p.id, done: true}
 		}()
+		// Serialized startup, mirroring the dispatch engine: pre-Step
+		// preamble code (which may emit trace events) executes in pid order,
+		// keeping traces byte-deterministic. Grant order is unaffected — the
+		// loop below only consults the adversary once all procs are parked.
+		<-r.arrived[i]
 	}
 
 	// Scheduler loop. Invariant: inflight counts goroutines that are running

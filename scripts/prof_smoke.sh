@@ -1,0 +1,37 @@
+#!/bin/sh
+# prof_smoke.sh — end-to-end check of the causal step profiler.
+#
+# For each of the five protocols: run one profiled instance from a fixed
+# seed, export the Perfetto trace and the raw profile, and validate both
+# through traceview (-perfetto parses and is well-formed; -prof renders).
+# Then re-check the committed traceview -prof golden, which locks the n=8
+# bounded blame matrix and critical path to the fixed seed. Exits nonzero
+# on any failure.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT INT TERM
+
+go build -o "$TMP/consensus-sim" ./cmd/consensus-sim
+go build -o "$TMP/traceview" ./cmd/traceview
+
+for alg in bounded aspnes-herlihy local-coin strong-coin abrahamson; do
+	"$TMP/consensus-sim" -alg "$alg" -inputs 0,1,1,0 -schedule random -seed 42 \
+		-prof-out "$TMP/$alg.trace.json" -prof-json "$TMP/$alg.prof.json" \
+		>"$TMP/$alg.stdout" ||
+		{ echo "prof_smoke: $alg: profiled run failed" >&2; exit 1; }
+	grep -q '^prof      :' "$TMP/$alg.stdout" ||
+		{ echo "prof_smoke: $alg: no prof summary line" >&2; cat "$TMP/$alg.stdout" >&2; exit 1; }
+	"$TMP/traceview" -perfetto "$TMP/$alg.trace.json" >/dev/null ||
+		{ echo "prof_smoke: $alg: perfetto export did not validate" >&2; exit 1; }
+	"$TMP/traceview" -prof "$TMP/$alg.prof.json" >/dev/null ||
+		{ echo "prof_smoke: $alg: profile did not render" >&2; exit 1; }
+done
+
+# The golden locks byte-determinism of the n=8 blame matrix + critical path.
+go test -run 'TestProfGolden' -count=1 ./cmd/traceview >/dev/null ||
+	{ echo "prof_smoke: traceview -prof golden diverged" >&2; exit 1; }
+
+echo "prof_smoke: ok (5 protocols profiled, perfetto validated, golden stable)"
