@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all ci build test test-race test-short bench bench-json bench-check live-smoke prof-smoke experiments experiments-quick fuzz vet fmt fmt-check clean
+.PHONY: all ci build test test-race test-short bench bench-json bench-check live-smoke prof-smoke native-smoke native-stress experiments experiments-quick fuzz vet fmt fmt-check clean
 
 all: vet test build
 
@@ -17,7 +17,12 @@ all: vet test build
 # non-zero if any probe fires), the live-telemetry smoke test, and a
 # benchdiff self-compare to keep the regression gate runnable, and the
 # profiler smoke pass (one profiled seed per protocol, Perfetto validation,
-# and the traceview -prof golden).
+# and the traceview -prof golden), and the native-substrate smoke test (every
+# protocol on real goroutines + lock-free registers with the audit monitor as
+# the online correctness oracle). The -short -race pass is also the native
+# race lane: it drives the substrate conformance suite and the native
+# preemption stress sweep (GOMAXPROCS x randomized yields), so the lock-free
+# register stack is race-checked on every CI run.
 ci: fmt-check vet build test
 	$(GO) test -short -race -timeout 900s ./...
 	$(GO) test -run XXX_none -bench 'BenchmarkSolveObservability|BenchmarkDispatch|BenchmarkRendezvous' -benchtime 0.2s -timeout 600s . ./internal/sched/
@@ -26,6 +31,7 @@ ci: fmt-check vet build test
 	done
 	./scripts/live_smoke.sh
 	./scripts/prof_smoke.sh
+	./scripts/native_smoke.sh
 	$(GO) run ./cmd/benchdiff BENCH_batch.json BENCH_batch.json
 
 build:
@@ -45,8 +51,10 @@ bench:
 
 # bench-json emits the machine-readable batch benchmark artifact (schema in
 # DESIGN.md): the standard workload matrix ({bounded, aspnes-herlihy} x
-# {n=4, n=8}), each entry carrying throughput, the step distribution, the
-# merged metrics snapshot, derived ratios, and the phase histograms.
+# {n=4, n=8, n=16} x {simulated, native}), each entry carrying throughput,
+# the step distribution, the merged metrics snapshot, derived ratios, and the
+# phase histograms. The substrate is part of each workload's key, so benchdiff
+# never pair-compares a native row against a simulated one.
 bench-json:
 	$(GO) run ./cmd/consensus-load -matrix -seed 42 -json > BENCH_batch.json
 	@echo "wrote BENCH_batch.json"
@@ -65,6 +73,14 @@ live-smoke:
 
 prof-smoke:
 	./scripts/prof_smoke.sh
+
+native-smoke:
+	./scripts/native_smoke.sh
+
+# native-stress is the full (non -short) race-checked native sweep: the
+# substrate conformance suite plus the preemption/crash stress matrices.
+native-stress:
+	$(GO) test -race -timeout 1800s -run 'TestNative|TestSubstrateConformance' . ./internal/core/ ./internal/conformance/
 
 experiments:
 	$(GO) run ./cmd/experiments

@@ -19,23 +19,34 @@ import (
 // for a single Solve run); batchSeed is the batch-level seed instance seeds
 // derive from (0 for single runs).
 func runInfoFor(cfg Config, alg Algorithm, instance int, batchSeed int64) audit.RunInfo {
+	var replayable *bool
+	substrate := ""
+	if cfg.Substrate == NativeSubstrate {
+		// Native interleavings are chosen by the hardware, not the seed: the
+		// dump documents the failure but cannot re-derive the schedule.
+		substrate = "native"
+		f := false
+		replayable = &f
+	}
 	return audit.RunInfo{
-		Algorithm: alg.String(),
-		N:         len(cfg.Inputs),
-		Seed:      cfg.Seed,
-		Instance:  instance,
-		BatchSeed: batchSeed,
-		Inputs:    append([]int(nil), cfg.Inputs...),
-		Schedule:  scheduleString(cfg.Schedule),
-		Crash:     crashString(cfg.Schedule.CrashAt),
-		K:         cfg.K,
-		B:         cfg.B,
-		M:         cfg.M,
-		Memory:    memoryString(cfg.Memory),
-		Bloom:     cfg.UseBloomArrows,
-		FastPath:  cfg.FastDecide,
-		MaxSteps:  cfg.MaxSteps,
-		Mutation:  audit.ActiveMutation(),
+		Algorithm:  alg.String(),
+		N:          len(cfg.Inputs),
+		Seed:       cfg.Seed,
+		Instance:   instance,
+		BatchSeed:  batchSeed,
+		Inputs:     append([]int(nil), cfg.Inputs...),
+		Schedule:   scheduleString(cfg.Schedule),
+		Crash:      crashString(cfg.Schedule.CrashAt),
+		K:          cfg.K,
+		B:          cfg.B,
+		M:          cfg.M,
+		Memory:     memoryString(cfg.Memory),
+		Bloom:      cfg.UseBloomArrows,
+		FastPath:   cfg.FastDecide,
+		MaxSteps:   cfg.MaxSteps,
+		Mutation:   audit.ActiveMutation(),
+		Substrate:  substrate,
+		Replayable: replayable,
 	}
 }
 
@@ -46,6 +57,9 @@ func runInfoFor(cfg Config, alg Algorithm, instance int, batchSeed int64) audit.
 // audit.EnableMutation) when the dump came from a fault-injected run, and
 // for attaching trace surfaces before Solve.
 func ReplayConfig(info audit.RunInfo) (Config, error) {
+	if !info.IsReplayable() {
+		return Config{}, fmt.Errorf("consensus: dump from the %s substrate is not replayable (the interleaving was chosen by the hardware, not the seed)", info.Substrate)
+	}
 	alg, err := algorithmForName(info.Algorithm)
 	if err != nil {
 		return Config{}, err

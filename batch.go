@@ -158,6 +158,13 @@ func SolveBatch(cfg BatchConfig) (BatchResult, error) {
 		if err != nil {
 			return BatchResult{}, err
 		}
+		sub, err := c.substrate()
+		if err != nil {
+			return BatchResult{}, err
+		}
+		if sub != nil && sub.NativeRegisters() && c.Profile {
+			return BatchResult{}, fmt.Errorf("consensus: batch instance %d: Profile requires the simulated substrate", k)
+		}
 		// Each audited instance gets its own monitor: flight rings and
 		// violation counters are per-instance state, so workers never share.
 		var mon *audit.Monitor
@@ -199,6 +206,7 @@ func SolveBatch(cfg BatchConfig) (BatchResult, error) {
 			MaxSteps:  c.MaxSteps,
 			Monitor:   mon,
 			Profiler:  pr,
+			Substrate: sub,
 		}
 	}
 

@@ -55,6 +55,15 @@ func run() int {
 	if *noReplay {
 		return 0
 	}
+	if !d.Info.IsReplayable() {
+		// Native-substrate dumps document the failure but carry no schedule to
+		// re-derive: the interleaving was the hardware's. Inspection is all
+		// there is — exit clean so scripted triage can tell "not replayable"
+		// from "replay failed".
+		fmt.Printf("replay    : skipped — %s substrate dumps are not replayable (no recorded schedule)\n",
+			orDefault(d.Info.Substrate, "this"))
+		return 0
+	}
 	return replay(d, *trace, *traceOut)
 }
 
@@ -71,6 +80,9 @@ func printDump(path string, d audit.Dump, events int) {
 	}
 	fmt.Println()
 	fmt.Printf("inputs    : %v\n", in.Inputs)
+	if in.Substrate != "" && in.Substrate != "simulated" {
+		fmt.Printf("substrate : %s (not replayable)\n", in.Substrate)
+	}
 	fmt.Printf("schedule  : %s", orDefault(in.Schedule, "round-robin"))
 	if in.Crash != "" {
 		fmt.Printf(" crash=%s", in.Crash)

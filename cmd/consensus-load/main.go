@@ -37,7 +37,8 @@ func run() int {
 		parallel  = flag.Int("parallel", 0, "worker count (0 = GOMAXPROCS, 1 = serial); decisions are identical at any setting")
 		n         = flag.Int("n", 4, "processes per instance (alternating binary inputs)")
 		algFlag   = flag.String("alg", "bounded", "algorithm: bounded | aspnes-herlihy | local-coin | strong-coin | abrahamson")
-		schedFlag = flag.String("schedule", "random", "schedule: round-robin | random")
+		schedFlag = flag.String("schedule", "random", "schedule: round-robin | random (ignored by -substrate native: the hardware schedules)")
+		subFlag   = flag.String("substrate", "simulated", "execution backend: simulated | native (real goroutines on lock-free registers; not deterministic)")
 		seed      = flag.Int64("seed", 1, "batch seed (instance k replays with Seed = InstanceSeed(seed, k))")
 		maxSteps  = flag.Int64("max-steps", 100_000_000, "per-instance step budget")
 		b         = flag.Int("b", 4, "shared-coin barrier multiplier")
@@ -55,6 +56,10 @@ func run() int {
 
 	schedule, err := parseSchedule(*schedFlag)
 	if err != nil {
+		fmt.Fprintf(os.Stderr, "consensus-load: %v\n", err)
+		return 2
+	}
+	if _, err := parseSubstrate(*subFlag); err != nil {
 		fmt.Fprintf(os.Stderr, "consensus-load: %v\n", err)
 		return 2
 	}
@@ -134,7 +139,7 @@ func run() int {
 	if *tail > 0 {
 		ring = obs.NewRing(*tail)
 	}
-	r, res, code := runWorkload(workloadSpec{Alg: *algFlag, N: *n, Instances: *instances}, opts, ring)
+	r, res, code := runWorkload(workloadSpec{Alg: *algFlag, N: *n, Instances: *instances, Substrate: *subFlag}, opts, ring)
 	if code == 2 {
 		return 2
 	}
@@ -156,11 +161,12 @@ func run() int {
 }
 
 // workloadSpec names one batch workload of the matrix: an algorithm, a
-// process count, and how many instances to run.
+// process count, a substrate ("" = simulated) and how many instances to run.
 type workloadSpec struct {
 	Alg       string
 	N         int
 	Instances int
+	Substrate string
 }
 
 // matrixWorkloads is the standard bench matrix (`make bench-json`). The
@@ -171,6 +177,12 @@ type workloadSpec struct {
 // The n=16 entries measure the scaling wall past the n=4→n=8 throughput
 // collapse; they are small (a few seconds each, ~8 inst/s serial) and sized so
 // the profiler has enough contended instances to attribute.
+// The native rows mirror the simulated grid on the native substrate (real
+// goroutines, lock-free registers): same (algorithm, n) pairs, so the
+// artifact reads as a substrate column. Native instances are cheap — no step
+// arbiter — so the counts match the simulated rows. Native rows never
+// pair-compare against simulated ones (the substrate is part of the workload
+// key).
 var matrixWorkloads = []workloadSpec{
 	{Alg: "bounded", N: 4, Instances: 400},
 	{Alg: "bounded", N: 8, Instances: 60},
@@ -178,6 +190,12 @@ var matrixWorkloads = []workloadSpec{
 	{Alg: "aspnes-herlihy", N: 4, Instances: 200},
 	{Alg: "aspnes-herlihy", N: 8, Instances: 40},
 	{Alg: "aspnes-herlihy", N: 16, Instances: 8},
+	{Alg: "bounded", N: 4, Instances: 400, Substrate: "native"},
+	{Alg: "bounded", N: 8, Instances: 60, Substrate: "native"},
+	{Alg: "bounded", N: 16, Instances: 12, Substrate: "native"},
+	{Alg: "aspnes-herlihy", N: 4, Instances: 200, Substrate: "native"},
+	{Alg: "aspnes-herlihy", N: 8, Instances: 40, Substrate: "native"},
+	{Alg: "aspnes-herlihy", N: 16, Instances: 8, Substrate: "native"},
 }
 
 // workloadOpts carries the flag settings shared by every workload of a run.
@@ -227,6 +245,18 @@ func runWorkload(ws workloadSpec, opts workloadOpts, ring *obs.Ring) (benchfmt.R
 		fmt.Fprintf(os.Stderr, "consensus-load: %v\n", err)
 		return benchfmt.Report{}, consensus.BatchResult{}, 2
 	}
+	sub, err := parseSubstrate(ws.Substrate)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "consensus-load: %v\n", err)
+		return benchfmt.Report{}, consensus.BatchResult{}, 2
+	}
+	profile := opts.profile
+	if sub == consensus.NativeSubstrate && profile {
+		// The step profiler requires serialized steps; native workloads of a
+		// mixed matrix run unprofiled rather than failing the whole run.
+		fmt.Fprintf(os.Stderr, "consensus-load: %s/n=%d: profiler disabled on the native substrate\n", ws.Alg, ws.N)
+		profile = false
+	}
 	inputs := make([]int, ws.N)
 	for i := range inputs {
 		inputs[i] = i % 2
@@ -255,12 +285,13 @@ func runWorkload(ws workloadSpec, opts workloadOpts, ring *obs.Ring) (benchfmt.R
 			Inputs:           inputs,
 			Algorithm:        alg,
 			Schedule:         opts.schedule,
+			Substrate:        sub,
 			MaxSteps:         opts.maxSteps,
 			B:                opts.b,
 			Audit:            opts.audit,
 			AuditSampleEvery: opts.auditSample,
 			AuditDumpDir:     opts.auditDir,
-			Profile:          opts.profile,
+			Profile:          profile,
 		},
 		Seed:     opts.seed,
 		Parallel: opts.parallel,
@@ -280,6 +311,7 @@ func runWorkload(ws workloadSpec, opts workloadOpts, ring *obs.Ring) (benchfmt.R
 	r := benchfmt.Report{
 		Algorithm:       ws.Alg,
 		N:               ws.N,
+		Substrate:       sub.String(),
 		Instances:       ws.Instances,
 		Parallel:        workers,
 		Seed:            opts.seed,
@@ -296,7 +328,7 @@ func runWorkload(ws workloadSpec, opts workloadOpts, ring *obs.Ring) (benchfmt.R
 	for _, v := range res.Violations {
 		r.Violations += v
 	}
-	if opts.profile && opts.srv != nil {
+	if profile && opts.srv != nil {
 		// Profiler aggregates are not in the sink registry the server already
 		// scrapes; publish the prof-only slice of the merged snapshot so the
 		// prof.* series and matrices appear at /metrics (useful with -linger).
@@ -333,7 +365,7 @@ func derivedStats(counters map[string]int64) map[string]float64 {
 
 // printReport renders one workload's report in the human text format.
 func printReport(r benchfmt.Report, ring *obs.Ring) {
-	fmt.Printf("algorithm     : %s (n=%d)\n", r.Algorithm, r.N)
+	fmt.Printf("algorithm     : %s (n=%d, %s substrate)\n", r.Algorithm, r.N, benchfmt.NormSubstrate(r.Substrate))
 	fmt.Printf("instances     : %d over %d workers\n", r.Instances, r.Parallel)
 	fmt.Printf("elapsed       : %.3fs (%.1f instances/sec)\n", r.ElapsedSec, r.InstancesPerSec)
 	fmt.Printf("steps/instance: p50 %d, p90 %d, p99 %d (mean %.1f, min %d, max %d)\n",
@@ -456,6 +488,17 @@ func parseAlg(s string) (consensus.Algorithm, error) {
 		return consensus.Abrahamson, nil
 	default:
 		return 0, fmt.Errorf("unknown algorithm %q", s)
+	}
+}
+
+func parseSubstrate(s string) (consensus.SubstrateKind, error) {
+	switch s {
+	case "", "simulated", "sim":
+		return consensus.SimulatedSubstrate, nil
+	case "native":
+		return consensus.NativeSubstrate, nil
+	default:
+		return 0, fmt.Errorf("unknown substrate %q (want simulated | native)", s)
 	}
 }
 

@@ -34,6 +34,7 @@ func run() int {
 		inputsFlag = flag.String("inputs", "0,1", "comma-separated binary inputs, one per process")
 		algFlag    = flag.String("alg", "bounded", "algorithm: bounded | aspnes-herlihy | local-coin | strong-coin | abrahamson")
 		schedFlag  = flag.String("schedule", "round-robin", "schedule: round-robin | random | lagger")
+		subFlag    = flag.String("substrate", "simulated", "execution backend: simulated | native (real goroutines on lock-free registers; -crash and lagger starvation are emulated, other schedule kinds and replay do not apply)")
 		victim     = flag.Int("victim", 0, "lagger: starved process id")
 		period     = flag.Int("period", 16, "lagger: victim scheduled once per period steps")
 		crashFlag  = flag.String("crash", "", "crashes as pid:step,pid:step")
@@ -71,12 +72,18 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "consensus-sim: %v\n", err)
 		return 2
 	}
+	substrate, err := parseSubstrate(*subFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "consensus-sim: %v\n", err)
+		return 2
+	}
 
 	cfg := consensus.Config{
 		Inputs:         inputs,
 		Algorithm:      alg,
 		Seed:           *seed,
 		Schedule:       schedule,
+		Substrate:      substrate,
 		MaxSteps:       *maxSteps,
 		B:              *b,
 		M:              *m,
@@ -132,6 +139,9 @@ func run() int {
 	}
 
 	fmt.Printf("algorithm : %v\n", alg)
+	if substrate == consensus.NativeSubstrate {
+		fmt.Printf("substrate : native (hardware interleaving — not replayable)\n")
+	}
 	fmt.Printf("inputs    : %v\n", inputs)
 	fmt.Printf("decision  : %d\n", res.Value)
 	fmt.Printf("steps     : %d (per process %v)\n", res.Steps, res.PerProcSteps)
@@ -286,6 +296,17 @@ func parseAlg(s string) (consensus.Algorithm, error) {
 		return consensus.Abrahamson, nil
 	default:
 		return 0, fmt.Errorf("unknown algorithm %q", s)
+	}
+}
+
+func parseSubstrate(s string) (consensus.SubstrateKind, error) {
+	switch s {
+	case "", "simulated", "sim":
+		return consensus.SimulatedSubstrate, nil
+	case "native":
+		return consensus.NativeSubstrate, nil
+	default:
+		return 0, fmt.Errorf("unknown substrate %q (want simulated | native)", s)
 	}
 }
 

@@ -159,6 +159,63 @@ func (s Schedule) adversary(seed int64) (sched.Adversary, error) {
 	return adv, nil
 }
 
+// SubstrateKind selects the execution backend processes run on.
+type SubstrateKind int
+
+// Available substrates.
+const (
+	// SimulatedSubstrate runs processes under the deterministic adversarial
+	// step scheduler: one atomic step at a time, byte-reproducible per seed.
+	// The default.
+	SimulatedSubstrate SubstrateKind = iota + 1
+	// NativeSubstrate runs each process as a real goroutine against
+	// lock-free cache-line-padded sync/atomic registers with no step
+	// arbiter: the Go runtime and the hardware are the adversary. Equal
+	// seeds reproduce each process's private coins but not the
+	// interleaving, so trace replay does not apply — enable Audit to check
+	// correctness online instead. Schedule.Kind is ignored (the hardware
+	// schedules), but Schedule.CrashAt and LaggerSchedule's victim/period
+	// are emulated at the step gate. Profile is rejected on this substrate.
+	NativeSubstrate
+)
+
+// String implements fmt.Stringer.
+func (s SubstrateKind) String() string {
+	switch s {
+	case 0, SimulatedSubstrate:
+		return "simulated"
+	case NativeSubstrate:
+		return "native"
+	default:
+		return fmt.Sprintf("SubstrateKind(%d)", int(s))
+	}
+}
+
+// substrate builds the sched.Substrate for the config, nil meaning the
+// default simulated path (which core executes without indirection).
+func (c Config) substrate() (sched.Substrate, error) {
+	switch c.Substrate {
+	case 0, SimulatedSubstrate:
+		return nil, nil
+	case NativeSubstrate:
+		opts := sched.NativeOptions{
+			CrashAt:      c.Schedule.CrashAt,
+			PreemptEvery: c.NativePreemptEvery,
+			PreemptSeed:  c.Seed ^ 0x5ca1ab1e,
+		}
+		if c.Schedule.Kind == LaggerSchedule {
+			opts.LaggerVictim = c.Schedule.Victim
+			opts.LaggerPeriod = c.Schedule.Period
+			if opts.LaggerPeriod <= 0 {
+				opts.LaggerPeriod = 16
+			}
+		}
+		return sched.NewNative(opts), nil
+	default:
+		return nil, fmt.Errorf("consensus: unknown substrate kind %d", int(c.Substrate))
+	}
+}
+
 // MemoryKind selects the scannable-memory (snapshot) implementation.
 type MemoryKind int
 
@@ -203,6 +260,19 @@ type Config struct {
 
 	// Schedule configures the adversarial scheduler (default round-robin).
 	Schedule Schedule
+
+	// Substrate selects the execution backend (default SimulatedSubstrate).
+	// NativeSubstrate trades determinism for real hardware concurrency; see
+	// the SubstrateKind docs for what carries over.
+	Substrate SubstrateKind
+
+	// NativePreemptEvery > 0 injects a randomized goroutine yield with
+	// probability 1/k before each step on the native substrate — a stress
+	// knob that forces fine-grained interleavings even on few cores. The
+	// preemption coins are separate from protocol randomness, so Seed still
+	// reproduces each process's private coins. Ignored on the simulated
+	// substrate (its adversary already controls the interleaving).
+	NativePreemptEvery int
 
 	// MaxSteps aborts the run after this many atomic steps (0 = no limit).
 	// Aborted runs return ErrStepBudget with partial results.
@@ -373,6 +443,13 @@ func Solve(cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	sub, err := cfg.substrate()
+	if err != nil {
+		return Result{}, err
+	}
+	if sub != nil && sub.NativeRegisters() && cfg.Profile {
+		return Result{}, errors.New("consensus: Profile requires the simulated substrate (profiler hooks assume serialized steps)")
+	}
 	// One sink serves every trace surface: the human-readable log filters the
 	// shared event stream to the core layer, the JSONL export takes all of
 	// it, and the metrics registry counts regardless. With no consumer the
@@ -423,6 +500,7 @@ func Solve(cfg Config) (Result, error) {
 		Sink:      sink,
 		Monitor:   mon,
 		Profiler:  profiler,
+		Substrate: sub,
 	})
 	if jsonl != nil {
 		if ferr := jsonl.Flush(); ferr != nil && err == nil {

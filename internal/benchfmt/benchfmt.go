@@ -18,8 +18,12 @@ import (
 // stable JSON schema; new fields are only ever added (older artifacts decode
 // with the new fields zero).
 type Report struct {
-	Algorithm       string           `json:"algorithm"`
-	N               int              `json:"n"`
+	Algorithm string `json:"algorithm"`
+	N         int    `json:"n"`
+	// Substrate names the execution backend the workload ran on ("simulated"
+	// or "native"). Empty means simulated — artifacts predate the field — so
+	// old and new artifacts keep pairing on the same keys.
+	Substrate       string           `json:"substrate,omitempty"`
 	Instances       int              `json:"instances"`
 	Parallel        int              `json:"parallel"`
 	Seed            int64            `json:"seed"`
@@ -52,9 +56,25 @@ type Report struct {
 }
 
 // Key identifies the workload a report measured, for pairing the entries of
-// two matrix artifacts.
+// two matrix artifacts. The substrate is part of the key — native and
+// simulated runs of the same (algorithm, n) are different workloads and must
+// never pair-compare — but the default simulated substrate is omitted so
+// pre-substrate artifacts keep their historical keys.
 func (r Report) Key() string {
-	return fmt.Sprintf("%s/n=%d", r.Algorithm, r.N)
+	k := fmt.Sprintf("%s/n=%d", r.Algorithm, r.N)
+	if s := NormSubstrate(r.Substrate); s != "simulated" {
+		k += "/" + s
+	}
+	return k
+}
+
+// NormSubstrate maps a report's substrate name to its canonical form: the
+// empty string (artifacts predating the field) is the simulated substrate.
+func NormSubstrate(s string) string {
+	if s == "" {
+		return "simulated"
+	}
+	return s
 }
 
 // StepsSummary is the per-instance step-total distribution.

@@ -51,13 +51,14 @@ func (f Finding) String() string {
 }
 
 // Compare diffs two reports and returns the regressions found under the given
-// thresholds. The reports must describe the same workload (algorithm and n);
-// a mismatch is an error, not a finding, since the comparison would be
+// thresholds. The reports must describe the same workload (algorithm, n and
+// substrate — native timings are not comparable to simulated ones); a
+// mismatch is an error, not a finding, since the comparison would be
 // meaningless. Improvements never produce findings.
 func Compare(old, new Report, th Thresholds) ([]Finding, error) {
-	if old.Algorithm != new.Algorithm || old.N != new.N {
-		return nil, fmt.Errorf("benchfmt: incomparable reports: %s/n=%d vs %s/n=%d",
-			old.Algorithm, old.N, new.Algorithm, new.N)
+	if old.Algorithm != new.Algorithm || old.N != new.N ||
+		NormSubstrate(old.Substrate) != NormSubstrate(new.Substrate) {
+		return nil, fmt.Errorf("benchfmt: incomparable reports: %s vs %s", old.Key(), new.Key())
 	}
 	var out []Finding
 

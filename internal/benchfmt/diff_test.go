@@ -130,6 +130,66 @@ func TestCompareMismatchedWorkloads(t *testing.T) {
 	}
 }
 
+func TestKeyIncludesNonDefaultSubstrate(t *testing.T) {
+	r := baseline()
+	if got := r.Key(); got != "bounded/n=4" {
+		t.Errorf("Key() = %q, want bounded/n=4 (empty substrate is simulated)", got)
+	}
+	r.Substrate = "simulated"
+	if got := r.Key(); got != "bounded/n=4" {
+		t.Errorf("Key() = %q, want bounded/n=4 (explicit simulated is the default)", got)
+	}
+	r.Substrate = "native"
+	if got := r.Key(); got != "bounded/n=4/native" {
+		t.Errorf("Key() = %q, want bounded/n=4/native", got)
+	}
+}
+
+func TestCompareMismatchedSubstrates(t *testing.T) {
+	old, new := baseline(), baseline()
+	new.Substrate = "native"
+	if _, err := Compare(old, new, DefaultThresholds()); err == nil {
+		t.Error("expected an error comparing simulated against native")
+	}
+	// An explicit "simulated" must still pair with the legacy empty field.
+	new = baseline()
+	new.Substrate = "simulated"
+	if _, err := Compare(old, new, DefaultThresholds()); err != nil {
+		t.Errorf("explicit simulated vs legacy empty: %v", err)
+	}
+}
+
+// TestCompareMatrixMixedSubstrateArtifacts mimics gating the first artifact
+// that carries native rows against a pre-substrate baseline: the simulated
+// rows pair on their historical keys, the native rows are new coverage to
+// ignore — a native row must never pair-compare against a simulated one even
+// though it shares (algorithm, n).
+func TestCompareMatrixMixedSubstrateArtifacts(t *testing.T) {
+	old := matrixBaseline() // legacy: no substrate field anywhere
+	new := matrixBaseline()
+	for _, r := range matrixBaseline().Workloads {
+		nat := r
+		nat.Substrate = "native"
+		// Native runs are wildly faster/slower per workload; if one ever
+		// paired with its simulated twin these deltas would trip every gate.
+		nat.InstancesPerSec = r.InstancesPerSec * 20
+		nat.Steps.P90 = r.Steps.P90 * 3
+		new.Workloads = append(new.Workloads, nat)
+	}
+	findings, err := CompareMatrix(old, new, DefaultThresholds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Errorf("mixed-substrate artifact produced findings: %v", findings)
+	}
+	// And the reverse direction: once the baseline has native rows, losing
+	// them is lost coverage, exactly like any other vanished workload.
+	if _, err := CompareMatrix(new, old, DefaultThresholds()); err == nil {
+		t.Error("expected an error when the new artifact lost the native workloads")
+	}
+}
+
 // TestCompareOldArtifactWithoutHists mimics diffing against a BENCH file
 // generated before the hists field existed: phase comparisons are skipped,
 // the rest still runs.

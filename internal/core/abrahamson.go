@@ -87,6 +87,14 @@ func (a *Abrahamson) SetProfiler(f *prof.Profiler) {
 	}
 }
 
+// SetNative switches the memory stack's register storage to the substrate's
+// mode (see Bounded.SetNative).
+func (a *Abrahamson) SetNative(on bool) {
+	if sn, ok := a.mem.(interface{ SetNative(bool) }); ok {
+		sn.SetNative(on)
+	}
+}
+
 // captureState snapshots the published state for flight dumps (no coin
 // strips: this protocol's entries carry only preference and round).
 func (a *Abrahamson) captureState() audit.State {

@@ -39,6 +39,10 @@ type Instance struct {
 	// Like monitors, profilers are per-instance state: aggregate across a
 	// batch by merging their Snapshots in instance order.
 	Profiler *prof.Profiler
+	// Substrate selects the execution backend (see ExecConfig.Substrate);
+	// nil runs the simulated step scheduler. Substrates are stateless across
+	// runs, so one value may be shared by every instance of a batch.
+	Substrate sched.Substrate
 }
 
 // BatchOutcome pairs one instance's outcome with its setup error. Out is
@@ -100,6 +104,7 @@ func RunBatchProgress(parallel int, sink *obs.Sink, prog *obs.BatchProgress, ins
 			Sink:      sink,
 			Monitor:   inst.Monitor,
 			Profiler:  inst.Profiler,
+			Substrate: inst.Substrate,
 		})
 		out[k] = BatchOutcome{Out: o, Err: err}
 	}

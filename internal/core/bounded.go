@@ -235,6 +235,15 @@ func (b *Bounded) SetProfiler(f *prof.Profiler) {
 	}
 }
 
+// SetNative switches the memory stack's register storage to the substrate's
+// mode (see register.NativeSetter). ExecuteProto always calls it, so pooled
+// instances never carry a stale mode across substrates.
+func (b *Bounded) SetNative(on bool) {
+	if sn, ok := b.mem.(interface{ SetNative(bool) }); ok {
+		sn.SetNative(on)
+	}
+}
+
 // captureState snapshots the published protocol state for flight dumps:
 // preferences, round counts, the current coin counter and edge row of every
 // process, via the memory's no-step Peek path.

@@ -142,7 +142,18 @@ type ExecConfig struct {
 	// Rendezvous selects the legacy rendezvous step engine (test-only; see
 	// sched.Config.Rendezvous). Used by the engine-equivalence suite to prove
 	// protocol-level executions are byte-identical under both engines.
+	// Ignored when Substrate is non-nil.
 	Rendezvous bool
+
+	// Substrate selects the execution backend (see sched.Substrate). Nil
+	// runs the deterministic simulated step scheduler — the default and the
+	// only mode with byte-reproducible traces. A substrate with
+	// NativeRegisters() switches the whole register stack to its lock-free
+	// sync/atomic storage before the run; determinism is forfeited, so
+	// correctness is checked online by the Monitor instead of by replay.
+	// The Profiler is incompatible with native substrates (its hooks assume
+	// serialized steps) and is rejected.
+	Substrate sched.Substrate
 
 	// Monitor, if non-nil, is the invariant monitor (see internal/obs/audit):
 	// its probes are installed down the whole stack, its flight-recorder ring
@@ -191,6 +202,21 @@ func Execute(kind Kind, cfg Config, ec ExecConfig) (Outcome, error) {
 
 // ExecuteProto runs an already-constructed protocol instance once.
 func ExecuteProto(proto Protocol, ec ExecConfig) (Outcome, error) {
+	native := ec.Substrate != nil && ec.Substrate.NativeRegisters()
+	if native && ec.Profiler.Enabled() {
+		return Outcome{}, errors.New("core: the step profiler requires the simulated substrate (its hooks assume serialized steps)")
+	}
+	// Always set the storage mode — a pooled instance may have last run on a
+	// different substrate.
+	if s, ok := proto.(interface{ SetNative(bool) }); ok {
+		s.SetNative(native)
+	}
+	// Native runs are not step-serialized: register-ops reach the monitor out
+	// of linearization order (phantom regularity violations) and hardware
+	// preemption stretches the scan-to-write window past what the §4.2
+	// sequential-game graph invariants cover. The monitor disables exactly
+	// those two probe families; value-based probes stay armed.
+	ec.Monitor.SetNonSerialized(native)
 	if ec.Tracer != nil {
 		if s, ok := proto.(interface{ SetTracer(Tracer) }); ok {
 			s.SetTracer(ec.Tracer)
@@ -229,18 +255,26 @@ func ExecuteProto(proto Protocol, ec ExecConfig) (Outcome, error) {
 		Decided: make([]bool, n),
 		Values:  make([]int, n),
 	}
-	res, runErr := sched.Run(sched.Config{
+	runCfg := sched.Config{
 		N:          n,
 		Seed:       ec.Seed,
 		Adversary:  ec.Adversary,
 		MaxSteps:   ec.MaxSteps,
 		Sink:       sink,
 		Rendezvous: ec.Rendezvous,
-	}, func(p *sched.Proc) {
+	}
+	body := func(p *sched.Proc) {
 		v := proto.Run(p, ec.Inputs[p.ID()])
 		out.Values[p.ID()] = v
 		out.Decided[p.ID()] = true
-	})
+	}
+	var res sched.Result
+	var runErr error
+	if ec.Substrate != nil {
+		res, runErr = ec.Substrate.Run(runCfg, body)
+	} else {
+		res, runErr = sched.Run(runCfg, body)
+	}
 	out.Sched = res
 	out.Metrics = proto.Metrics()
 	out.Err = runErr

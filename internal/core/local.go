@@ -129,6 +129,14 @@ func (l *ExpLocal) SetProfiler(f *prof.Profiler) {
 	}
 }
 
+// SetNative switches the memory stack's register storage to the substrate's
+// mode (see Bounded.SetNative).
+func (l *ExpLocal) SetNative(on bool) {
+	if sn, ok := l.mem.(interface{ SetNative(bool) }); ok {
+		sn.SetNative(on)
+	}
+}
+
 // captureState snapshots the published state for flight dumps (no coin
 // counters: this baseline's coin slots stay zero).
 func (l *ExpLocal) captureState() audit.State {

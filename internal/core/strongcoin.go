@@ -129,6 +129,15 @@ func (s *StrongCoin) SetProfiler(f *prof.Profiler) {
 	}
 }
 
+// SetNative switches the memory stack's register storage to the substrate's
+// mode (see Bounded.SetNative). The oracle coin needs no switch: it is
+// mutex-guarded and correct under real concurrency.
+func (s *StrongCoin) SetNative(on bool) {
+	if sn, ok := s.mem.(interface{ SetNative(bool) }); ok {
+		sn.SetNative(on)
+	}
+}
+
 // captureState snapshots the published state for flight dumps.
 func (s *StrongCoin) captureState() audit.State {
 	pk, ok := s.mem.(interface{ PeekSlot(int) UEntry })

@@ -117,6 +117,14 @@ func (u *AHUnbounded) SetProfiler(f *prof.Profiler) {
 	}
 }
 
+// SetNative switches the memory stack's register storage to the substrate's
+// mode (see Bounded.SetNative).
+func (u *AHUnbounded) SetNative(on bool) {
+	if sn, ok := u.mem.(interface{ SetNative(bool) }); ok {
+		sn.SetNative(on)
+	}
+}
+
 // captureState snapshots the published state for flight dumps.
 func (u *AHUnbounded) captureState() audit.State {
 	pk, ok := u.mem.(interface{ PeekSlot(int) UEntry })

@@ -169,7 +169,21 @@ type RunInfo struct {
 	// Mutation names the fault-injection hook active during the run (see
 	// mutation.go); replay re-enables it so the violation reproduces.
 	Mutation string `json:"mutation,omitempty"`
+	// Substrate names the execution backend ("" or "simulated" means the
+	// deterministic step scheduler; "native" means real goroutines with no
+	// arbiter).
+	Substrate string `json:"substrate,omitempty"`
+	// Replayable reports whether the dump can be replayed deterministically
+	// from this header. Nil means true (dumps predating the field were all
+	// simulated); native-substrate dumps carry an explicit false, and
+	// cmd/consensus-audit prints them instead of replaying.
+	Replayable *bool `json:"replayable,omitempty"`
 }
+
+// IsReplayable reports whether a dump with this header replays
+// deterministically (nil Replayable means yes, for dumps predating the
+// native substrate).
+func (i RunInfo) IsReplayable() bool { return i.Replayable == nil || *i.Replayable }
 
 // Monitor is one instance's invariant monitor. A nil *Monitor is fully
 // disabled at zero cost; construct one with New to enable auditing.
@@ -191,6 +205,17 @@ type Monitor struct {
 
 	viol        [numProbes]atomic.Int64
 	truncations atomic.Int64
+
+	// nonSerialized marks a run whose steps are NOT serialized by the step
+	// arbiter (native substrates). Two probe families assume serialization
+	// and are disabled: the interval-based regularity windows (a reader can
+	// register the op that saw a write before the writer registers the write
+	// itself, so windows would report phantom violations) and the decoded-
+	// graph global validation (see AuditGraphs: scan-to-write staleness
+	// under hardware preemption reaches states the §4.2 sequential-game
+	// invariants do not cover). Every other probe checks process-local
+	// values and stays armed.
+	nonSerialized bool
 
 	// graphTick thins ProbeStripGraph; under the step scheduler its order of
 	// increments is deterministic.
@@ -343,8 +368,20 @@ func (m *Monitor) StripRow(step int64, pid int, row []int, k int) {
 // decoded-graph validation; callers pair it with GraphResult:
 //
 //	if mon.AuditGraphs() { mon.GraphResult(step, pid, g.Validate()) }
+//
+// False on non-serialized (native) runs. Validate's global properties (no
+// positive cycles, bounded path weights) are §4.2 sequential-game invariants
+// that hold concurrently only while the window between a process's scan and
+// the publish of the row computed from it stays small: a process descheduled
+// between the two publishes a consistently-stale row, and a third party's
+// (perfectly linearizable) snapshot of it alongside fresher rows can decode
+// to, e.g., A one round ahead of B yet tied with C while B and C are tied —
+// a positive cycle from a reachable state. The step arbiter's schedules keep
+// the window tight; hardware preemption does not, so only the per-pair
+// decode checks (which EdgeFromCounters enforces on every scan) are sound
+// there.
 func (m *Monitor) AuditGraphs() bool {
-	if m == nil {
+	if m == nil || m.nonSerialized {
 		return false
 	}
 	return m.graphTick.Add(1)%int64(m.opts.SampleEvery) == 0
@@ -371,10 +408,25 @@ func (m *Monitor) ScanHandshake(step int64, pid, firstBad int) {
 		fmt.Sprintf("scan by p%d returned with toggle mismatch at slot %d (torn double collect)", pid, firstBad))
 }
 
+// SetNonSerialized marks (or clears) the run as one whose steps are not
+// serialized by the step arbiter — a native substrate. Call before the run
+// starts; it switches the regularity windows and the decoded-graph global
+// validation off while leaving the value-based probes armed. Idempotent and
+// cheap, so the executor always calls it (clearing any stale mark on a
+// pooled monitor is moot — monitors are per-instance — but the symmetry
+// keeps the contract simple).
+func (m *Monitor) SetNonSerialized(on bool) {
+	if m != nil {
+		m.nonSerialized = on
+	}
+}
+
 // AuditRegisters reports whether register-level op recording is active; the
 // instrumented register checks it once per operation (one nil-check when
-// auditing is off).
-func (m *Monitor) AuditRegisters() bool { return m != nil }
+// auditing is off). False on non-serialized (native) runs: the regularity
+// windows' interval analysis is only sound when ops are registered in
+// linearization order, which only the step arbiter provides.
+func (m *Monitor) AuditRegisters() bool { return m != nil && !m.nonSerialized }
 
 // RegOp feeds one completed register operation into the sampled regularity
 // window. reg identifies the register (slot index), val is the op's toggle

@@ -115,6 +115,30 @@ func TestGraphSamplingCadence(t *testing.T) {
 	}
 }
 
+// TestNonSerializedDisablesArbiterProbes pins the native carve-outs: marking
+// a run non-serialized must switch off exactly the two probe families whose
+// soundness needs the step arbiter — register regularity windows and the
+// decoded-graph global validation — and clearing the mark re-arms them.
+func TestNonSerializedDisablesArbiterProbes(t *testing.T) {
+	m := New(Options{SampleEvery: 1})
+	m.SetNonSerialized(true)
+	if m.AuditRegisters() {
+		t.Fatal("AuditRegisters true on a non-serialized run")
+	}
+	for i := 0; i < 4; i++ {
+		if m.AuditGraphs() {
+			t.Fatal("AuditGraphs true on a non-serialized run")
+		}
+	}
+	m.SetNonSerialized(false)
+	if !m.AuditRegisters() {
+		t.Fatal("AuditRegisters stayed off after clearing the mark")
+	}
+	if !m.AuditGraphs() {
+		t.Fatal("AuditGraphs stayed off after clearing the mark")
+	}
+}
+
 type errTest string
 
 func (e errTest) Error() string { return string(e) }

@@ -43,6 +43,13 @@ func NewMRMW[T any](n int, init T) *MRMW[T] {
 	return r
 }
 
+// SetNative switches every SWMR cell's storage mode (see SWMR.SetNative).
+func (r *MRMW[T]) SetNative(on bool) {
+	for _, c := range r.cells {
+		c.SetNative(on)
+	}
+}
+
 func (r *MRMW[T]) checkPid(pid int) {
 	if pid < 0 || pid >= r.n {
 		panic(fmt.Sprintf("register: process %d accessed MRMW register of %d processes", pid, r.n))

@@ -11,16 +11,44 @@
 // scheduler's grant points. A mutex guards the stored value only to keep
 // free-running mode (real goroutines) race-free; under the step scheduler it
 // is never contended.
+//
+// On the native substrate (sched.NewNative) registers switch to lock-free
+// storage instead: SetNative(true) moves the value into a cache-line-padded
+// sync/atomic cell, so concurrent process goroutines are serialized by the
+// hardware's atomics rather than by a mutex. The mode is set by
+// core.ExecuteProto before the run starts and propagates down the memory
+// stack exactly like SetSink; it must never be flipped while processes are
+// active.
 package register
 
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"github.com/dsrepro/consensus/internal/obs"
 	"github.com/dsrepro/consensus/internal/obs/audit"
 	"github.com/dsrepro/consensus/internal/sched"
 )
+
+// NativeSetter is implemented by every register and scannable memory so the
+// storage mode chosen by the substrate propagates down a protocol stack the
+// same way sinks do.
+type NativeSetter interface {
+	SetNative(on bool)
+}
+
+// natCell is the native-mode storage of a generic register: an atomic
+// pointer to an immutable snapshot of the value, padded on both sides so two
+// registers adjacent in memory never share a cache line. Each Write
+// publishes a fresh snapshot allocation — the price of generic atomicity —
+// which is why the deterministic substrate keeps its allocation-free mutex
+// path instead of unifying on this one.
+type natCell[T any] struct {
+	_ [64]byte
+	v atomic.Pointer[T]
+	_ [56]byte
+}
 
 // SinkSetter is implemented by every register (and by the scannable
 // memories built from them) so an observability sink installed at the top of
@@ -33,10 +61,12 @@ type SinkSetter interface {
 // type T. Only the owner process may write; any process may read. It models a
 // hardware atomic register: one read or write is one atomic step.
 type SWMR[T any] struct {
-	owner int
-	sink  *obs.Sink
-	mu    sync.Mutex
-	v     T
+	owner  int
+	sink   *obs.Sink
+	native bool
+	mu     sync.Mutex
+	v      T
+	cell   natCell[T]
 }
 
 // NewSWMR returns an SWMR register owned (writable) by process owner,
@@ -51,10 +81,30 @@ func (r *SWMR[T]) Owner() int { return r.owner }
 // SetSink installs the observability sink (call before the run starts).
 func (r *SWMR[T]) SetSink(s *obs.Sink) { r.sink = s }
 
+// SetNative switches the storage mode (call before the run starts, never
+// while processes are active): true moves the current value into the padded
+// atomic cell for the native substrate, false folds it back into the mutex
+// storage for the deterministic one.
+func (r *SWMR[T]) SetNative(on bool) {
+	if on == r.native {
+		return // idempotent: a pooled register may be re-armed between runs
+	}
+	if on {
+		v := r.v
+		r.cell.v.Store(&v)
+	} else {
+		r.v = *r.cell.v.Load()
+	}
+	r.native = on
+}
+
 // Read returns the register's current value. One atomic step.
 func (r *SWMR[T]) Read(p *sched.Proc) T {
 	p.Step()
 	r.sink.Emit(obs.Event{Step: p.Now(), Pid: p.ID(), Kind: obs.RegSWMRRead, Value: int64(r.owner)})
+	if r.native {
+		return *r.cell.v.Load()
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.v
@@ -68,6 +118,15 @@ func (r *SWMR[T]) Write(p *sched.Proc, v T) {
 	}
 	p.Step()
 	r.sink.Emit(obs.Event{Step: p.Now(), Pid: p.ID(), Kind: obs.RegSWMRWrite, Value: int64(r.owner)})
+	if r.native {
+		// Copy via new(T) rather than &v: taking the parameter's address
+		// would make it escape on the simulated path too, breaking the
+		// zero-alloc guarantee the mutex mode keeps.
+		c := new(T)
+		*c = v
+		r.cell.v.Store(c)
+		return
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.v = v
@@ -77,6 +136,11 @@ func (r *SWMR[T]) Write(p *sched.Proc, v T) {
 // It is for test oracles and metrics collection only — never for algorithm
 // logic, which must pay for its reads.
 func (r *SWMR[T]) Peek() T {
+	if r.native {
+		// Native Peek stays safe mid-run (flight dumps snapshot state while
+		// other goroutines are in flight): it is one atomic load.
+		return *r.cell.v.Load()
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.v
@@ -86,6 +150,12 @@ func (r *SWMR[T]) Peek() T {
 // It is part of the instance-pooling path (see core.Arena) and must only be
 // called between runs, never while simulated processes are active.
 func (r *SWMR[T]) Reset(v T) {
+	if r.native {
+		c := new(T)
+		*c = v
+		r.cell.v.Store(c)
+		return
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.v = v
@@ -115,6 +185,10 @@ func NewToggledSWMR[T any](owner int, init T) *ToggledSWMR[T] {
 
 // SetSink installs the observability sink on the wrapped register.
 func (r *ToggledSWMR[T]) SetSink(s *obs.Sink) { r.reg.SetSink(s) }
+
+// SetNative switches the wrapped register's storage mode. The toggle-bit
+// bookkeeping needs no change: r.next is owner-local state.
+func (r *ToggledSWMR[T]) SetNative(on bool) { r.reg.SetNative(on) }
 
 // SetMonitor attaches the invariant monitor's sampled register-regularity
 // probe, identifying this register as id in recorded histories (a nil m
@@ -183,10 +257,20 @@ type TwoWriter interface {
 // write is one atomic step. It stands in for the bounded constructions cited
 // by the paper when experiments do not need sub-operation granularity.
 type Direct2W struct {
-	a, b int // the two parties allowed to access the register
-	sink *obs.Sink
-	mu   sync.Mutex
-	v    bool
+	a, b   int // the two parties allowed to access the register
+	sink   *obs.Sink
+	native bool
+	mu     sync.Mutex
+	v      bool
+	cell   natBoolCell
+}
+
+// natBoolCell is the native-mode storage of a boolean register: a padded
+// atomic.Bool (no pointer indirection, no per-write allocation).
+type natBoolCell struct {
+	_ [64]byte
+	v atomic.Bool
+	_ [63]byte
 }
 
 // NewDirect2W returns a direct-model 2W2R register shared by processes a and b.
@@ -203,11 +287,27 @@ func (r *Direct2W) checkParty(pid int) {
 // SetSink installs the observability sink.
 func (r *Direct2W) SetSink(s *obs.Sink) { r.sink = s }
 
+// SetNative switches the storage mode (see SWMR.SetNative).
+func (r *Direct2W) SetNative(on bool) {
+	if on == r.native {
+		return // idempotent: a pooled register may be re-armed between runs
+	}
+	if on {
+		r.cell.v.Store(r.v)
+	} else {
+		r.v = r.cell.v.Load()
+	}
+	r.native = on
+}
+
 // Read implements TwoWriter. One atomic step.
 func (r *Direct2W) Read(p *sched.Proc) bool {
 	r.checkParty(p.ID())
 	p.Step()
 	r.sink.Emit(obs.Event{Step: p.Now(), Pid: p.ID(), Kind: obs.Reg2WRead})
+	if r.native {
+		return r.cell.v.Load()
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.v
@@ -218,6 +318,10 @@ func (r *Direct2W) Write(p *sched.Proc, v bool) {
 	r.checkParty(p.ID())
 	p.Step()
 	r.sink.Emit(obs.Event{Step: p.Now(), Pid: p.ID(), Kind: obs.Reg2WWrite})
+	if r.native {
+		r.cell.v.Store(v)
+		return
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.v = v
@@ -226,6 +330,10 @@ func (r *Direct2W) Write(p *sched.Proc, v bool) {
 // Reset restores the register to the initial bit between runs. Pooling path
 // only.
 func (r *Direct2W) Reset(v bool) {
+	if r.native {
+		r.cell.v.Store(v)
+		return
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.v = v
@@ -283,6 +391,14 @@ func (r *Bloom2W) SetSink(s *obs.Sink) {
 	r.sink = s
 	r.sub[0].SetSink(s)
 	r.sub[1].SetSink(s)
+}
+
+// SetNative switches both SWMR sub-registers' storage mode. The construction
+// itself needs no change: its correctness argument only assumes the
+// sub-registers are atomic, which both storage modes provide.
+func (r *Bloom2W) SetNative(on bool) {
+	r.sub[0].SetNative(on)
+	r.sub[1].SetNative(on)
 }
 
 // Write implements TwoWriter. Two atomic steps.

@@ -159,6 +159,23 @@ func (a *Arrow[T]) SetSink(s *obs.Sink) {
 	}
 }
 
+// SetNative switches every underlying register's storage mode for the
+// chosen substrate (see register.NativeSetter), propagating exactly like
+// SetSink. The per-pid scratch buffers need no change: each is owned by one
+// process's goroutine on either substrate.
+func (a *Arrow[T]) SetNative(on bool) {
+	for i := 0; i < a.n; i++ {
+		a.vals[i].SetNative(on)
+		for j := 0; j < a.n; j++ {
+			if i != j {
+				if ns, ok := a.arrows[i][j].(register.NativeSetter); ok {
+					ns.SetNative(on)
+				}
+			}
+		}
+	}
+}
+
 // SetMonitor attaches the invariant monitor to the memory (the scan
 // handshake probe) and to every value register beneath it (the sampled
 // register-regularity probe). A nil m detaches — ExecuteProto always calls
@@ -364,6 +381,13 @@ func (s *SeqSnap[T]) SetSink(sk *obs.Sink) {
 // SetProfiler attaches the step profiler (nil detaches; see Arrow).
 func (s *SeqSnap[T]) SetProfiler(f *prof.Profiler) { s.prof = f }
 
+// SetNative switches every value register's storage mode (see Arrow).
+func (s *SeqSnap[T]) SetNative(on bool) {
+	for _, r := range s.vals {
+		r.SetNative(on)
+	}
+}
+
 // Write implements Memory. One atomic step; the sequence number grows without
 // bound (this is the point of the baseline).
 func (s *SeqSnap[T]) Write(p *sched.Proc, v T) {
@@ -493,6 +517,13 @@ func (c *Collect[T]) N() int { return c.n }
 func (c *Collect[T]) SetSink(s *obs.Sink) {
 	for _, r := range c.vals {
 		r.SetSink(s)
+	}
+}
+
+// SetNative switches every value register's storage mode (see Arrow).
+func (c *Collect[T]) SetNative(on bool) {
+	for _, r := range c.vals {
+		r.SetNative(on)
 	}
 }
 

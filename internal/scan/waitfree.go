@@ -148,6 +148,18 @@ func (w *WaitFree[T]) SetSink(s *obs.Sink) {
 // SetProfiler attaches the step profiler (nil detaches; see Arrow).
 func (w *WaitFree[T]) SetProfiler(f *prof.Profiler) { w.prof = f }
 
+// SetNative switches every underlying register's storage mode (see Arrow).
+func (w *WaitFree[T]) SetNative(on bool) {
+	for i := 0; i < w.n; i++ {
+		w.regs[i].SetNative(on)
+		for j := 0; j < w.n; j++ {
+			if i != j {
+				w.hands[i][j].SetNative(on)
+			}
+		}
+	}
+}
+
 // Write implements Memory (the construction's update): embedded snapshot,
 // handshake flips, one atomic publish. Wait-free.
 func (w *WaitFree[T]) Write(p *sched.Proc, v T) {

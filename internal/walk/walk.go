@@ -233,6 +233,14 @@ func (s *SharedCoin) SetSink(sk *obs.Sink) {
 	}
 }
 
+// SetNative switches the memory stack's register storage to the substrate's
+// mode (see register.NativeSetter); call before the run starts.
+func (s *SharedCoin) SetNative(on bool) {
+	if sn, ok := s.mem.(interface{ SetNative(bool) }); ok {
+		sn.SetNative(on)
+	}
+}
+
 // Flip drives the random walk on behalf of p until the coin decides, and
 // returns the outcome p observed. Different processes may observe different
 // outcomes with probability bounded by Lemma 3.1 — that is what makes the

@@ -1,0 +1,200 @@
+package consensus
+
+import (
+	"testing"
+
+	"github.com/dsrepro/consensus/internal/obs/audit"
+)
+
+// TestSolveNativeAllAlgorithms drives every protocol through the public API
+// on the native substrate with randomized preemption and the online monitor
+// attached: all processes must decide a common binary value with zero probe
+// firings. Decisions are checked per seed, not against golden values —
+// native interleavings are the hardware's.
+func TestSolveNativeAllAlgorithms(t *testing.T) {
+	seeds := int64(8)
+	if testing.Short() {
+		seeds = 2
+	}
+	for _, alg := range []Algorithm{Bounded, AspnesHerlihy, LocalCoin, StrongCoin, Abrahamson} {
+		for seed := int64(0); seed < seeds; seed++ {
+			res, err := Solve(Config{
+				Inputs:             []int{0, 1, 1, 0},
+				Algorithm:          alg,
+				Seed:               seed,
+				Substrate:          NativeSubstrate,
+				NativePreemptEvery: 3,
+				Audit:              true,
+				AuditSampleEvery:   8,
+				MaxSteps:           100_000_000,
+			})
+			if err != nil {
+				t.Fatalf("%v seed=%d: %v", alg, seed, err)
+			}
+			if res.Value != 0 && res.Value != 1 {
+				t.Fatalf("%v seed=%d: non-binary decision %d", alg, seed, res.Value)
+			}
+			for i, d := range res.Decided {
+				if !d {
+					t.Fatalf("%v seed=%d: process %d undecided", alg, seed, i)
+				}
+				if res.Values[i] != res.Value {
+					t.Fatalf("%v seed=%d: process %d decided %d, others %d", alg, seed, i, res.Values[i], res.Value)
+				}
+			}
+			if len(res.Violations) != 0 {
+				t.Fatalf("%v seed=%d: audit violations %v", alg, seed, res.Violations)
+			}
+		}
+	}
+}
+
+// TestSolveBatchNative fans native instances over the batch engine: every
+// instance must decide cleanly and the merged registry must have counted
+// scheduler grants from the native gate.
+func TestSolveBatchNative(t *testing.T) {
+	instances := 200
+	if testing.Short() {
+		instances = 40
+	}
+	res, err := SolveBatch(BatchConfig{
+		Instances: instances,
+		Base: Config{
+			Inputs:             []int{0, 1, 1, 0},
+			Substrate:          NativeSubstrate,
+			NativePreemptEvery: 4,
+			Audit:              true,
+			MaxSteps:           100_000_000,
+		},
+		Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ErrCount != 0 {
+		for k, e := range res.Errors {
+			if e != nil {
+				t.Errorf("instance %d: %v", k, e)
+			}
+		}
+		t.Fatalf("%d/%d native batch instances failed", res.ErrCount, instances)
+	}
+	for k, d := range res.Decisions {
+		if d != 0 && d != 1 {
+			t.Fatalf("instance %d decided %d", k, d)
+		}
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("audit violations: %v", res.Violations)
+	}
+	if res.Counters["sched.grant"] == 0 {
+		t.Fatal("native batch reported no sched.grant counts")
+	}
+}
+
+// TestNativeRejectsProfiler pins the incompatibility: the step profiler's
+// hooks assume serialized steps, so Solve and SolveBatch must refuse the
+// combination up front rather than produce garbage attribution.
+func TestNativeRejectsProfiler(t *testing.T) {
+	cfg := Config{
+		Inputs:    []int{0, 1},
+		Substrate: NativeSubstrate,
+		Profile:   true,
+	}
+	if _, err := Solve(cfg); err == nil {
+		t.Fatal("Solve accepted Profile on the native substrate")
+	}
+	if _, err := SolveBatch(BatchConfig{Instances: 1, Base: cfg, Seed: 1}); err == nil {
+		t.Fatal("SolveBatch accepted Profile on the native substrate")
+	}
+}
+
+// TestUnknownSubstrateKind pins the config validation.
+func TestUnknownSubstrateKind(t *testing.T) {
+	if _, err := Solve(Config{Inputs: []int{0, 1}, Substrate: SubstrateKind(99)}); err == nil {
+		t.Fatal("Solve accepted an unknown substrate kind")
+	}
+	if got := SubstrateKind(99).String(); got != "SubstrateKind(99)" {
+		t.Fatalf("String() = %q", got)
+	}
+	if got := NativeSubstrate.String(); got != "native" {
+		t.Fatalf("NativeSubstrate.String() = %q", got)
+	}
+	if got := SubstrateKind(0).String(); got != "simulated" {
+		t.Fatalf("zero SubstrateKind.String() = %q", got)
+	}
+}
+
+// TestNativeMutationDumpsNotReplayable is the native arm of the mutation
+// loop: each injected fault must still trip its probe on the native
+// substrate, the flight dump must be stamped substrate=native and
+// replayable=false, and ReplayConfig must refuse it (consensus-audit then
+// prints the dump instead of replaying). Native firing is probabilistic —
+// the interleaving is the hardware's — so each recipe retries across seeds
+// until the probe fires.
+func TestNativeMutationDumpsNotReplayable(t *testing.T) {
+	attempts := int64(40)
+	if testing.Short() {
+		attempts = 15
+	}
+	for _, rec := range mutationRecipes {
+		t.Run(rec.mutation, func(t *testing.T) {
+			dir := t.TempDir()
+			if err := audit.EnableMutation(rec.mutation); err != nil {
+				t.Fatal(err)
+			}
+			defer audit.DisableAll()
+			var res Result
+			fired := false
+			for seed := int64(0); seed < attempts && !fired; seed++ {
+				cfg := rec.cfg
+				cfg.Seed = seed
+				cfg.Substrate = NativeSubstrate
+				cfg.NativePreemptEvery = 2
+				cfg.Audit = true
+				cfg.AuditSampleEvery = 1
+				cfg.AuditDumpDir = dir
+				var err error
+				res, err = Solve(cfg)
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				fired = res.Violations[rec.probe] > 0
+			}
+			if !fired {
+				t.Fatalf("%s never fired %s in %d native attempts", rec.mutation, rec.probe, attempts)
+			}
+			if len(res.AuditDumps) == 0 {
+				t.Fatal("violation produced no flight dumps")
+			}
+			d, err := audit.ReadDumpFile(res.AuditDumps[0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d.Info.Substrate != "native" {
+				t.Fatalf("dump substrate = %q, want native", d.Info.Substrate)
+			}
+			if d.Info.IsReplayable() {
+				t.Fatal("native dump claims to be replayable")
+			}
+			if d.Info.Mutation != rec.mutation {
+				t.Fatalf("dump mutation = %q, want %q", d.Info.Mutation, rec.mutation)
+			}
+			if _, err := ReplayConfig(d.Info); err == nil {
+				t.Fatal("ReplayConfig accepted a non-replayable native dump")
+			}
+		})
+	}
+}
+
+// TestReplayableDefaultsTrue pins dump back-compat: RunInfo headers written
+// before the substrate field existed (nil Replayable) must keep replaying.
+func TestReplayableDefaultsTrue(t *testing.T) {
+	info := audit.RunInfo{Algorithm: "bounded", Inputs: []int{0, 1}, Seed: 3}
+	if !info.IsReplayable() {
+		t.Fatal("legacy RunInfo (nil Replayable) reported non-replayable")
+	}
+	if _, err := ReplayConfig(info); err != nil {
+		t.Fatalf("legacy RunInfo failed to replay: %v", err)
+	}
+}
