@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all ci build test test-race test-short bench bench-json bench-check live-smoke prof-smoke native-smoke native-stress experiments experiments-quick fuzz vet fmt fmt-check clean
+.PHONY: all ci build test test-race test-short bench bench-json bench-check live-smoke prof-smoke space-smoke native-smoke native-stress experiments experiments-quick fuzz vet fmt fmt-check clean
 
 all: vet test build
 
@@ -17,7 +17,9 @@ all: vet test build
 # non-zero if any probe fires), the live-telemetry smoke test, and a
 # benchdiff self-compare to keep the regression gate runnable, and the
 # profiler smoke pass (one profiled seed per protocol, Perfetto validation,
-# and the traceview -prof golden), and the native-substrate smoke test (every
+# and the traceview -prof golden), the space-accounting smoke pass (every
+# protocol metered, the bounded protocol's static payload bounds enforced,
+# and the traceview -space golden), and the native-substrate smoke test (every
 # protocol on real goroutines + lock-free registers with the audit monitor as
 # the online correctness oracle). The -short -race pass is also the native
 # race lane: it drives the substrate conformance suite and the native
@@ -26,11 +28,12 @@ all: vet test build
 ci: fmt-check vet build test
 	$(GO) test -short -race -timeout 900s ./...
 	$(GO) test -run XXX_none -bench 'BenchmarkSolveObservability|BenchmarkDispatch|BenchmarkRendezvous' -benchtime 0.2s -timeout 600s . ./internal/sched/
-	for alg in bounded aspnes-herlihy local-coin strong-coin abrahamson; do \
+	for alg in bounded aspnes-herlihy local-coin strong-coin abrahamson anonymous; do \
 		$(GO) run ./cmd/consensus-sim -alg $$alg -inputs 0,1,1,0 -schedule random -seed 42 -audit -audit-sample 1 >/dev/null || exit 1; \
 	done
 	./scripts/live_smoke.sh
 	./scripts/prof_smoke.sh
+	./scripts/space_smoke.sh
 	./scripts/native_smoke.sh
 	$(GO) run ./cmd/benchdiff BENCH_batch.json BENCH_batch.json
 
@@ -51,10 +54,13 @@ bench:
 
 # bench-json emits the machine-readable batch benchmark artifact (schema in
 # DESIGN.md): the standard workload matrix ({bounded, aspnes-herlihy} x
-# {n=4, n=8, n=16} x {simulated, native}), each entry carrying throughput,
-# the step distribution, the merged metrics snapshot, derived ratios, and the
-# phase histograms. The substrate is part of each workload's key, so benchdiff
-# never pair-compares a native row against a simulated one.
+# {n=4, n=8, n=16} x {simulated, native} plus the K/M space-time frontier
+# rows and the anonymous variant), each entry carrying throughput, the step
+# distribution, the merged metrics snapshot, derived ratios, the phase
+# histograms, and the space-accounting block (peak/live registers, words,
+# per-layer bits) that benchdiff's space gates compare. The substrate and
+# K/M knobs are part of each workload's key, so benchdiff never
+# pair-compares a native row against a simulated one or across knobs.
 bench-json:
 	$(GO) run ./cmd/consensus-load -matrix -seed 42 -json > BENCH_batch.json
 	@echo "wrote BENCH_batch.json"
@@ -73,6 +79,9 @@ live-smoke:
 
 prof-smoke:
 	./scripts/prof_smoke.sh
+
+space-smoke:
+	./scripts/space_smoke.sh
 
 native-smoke:
 	./scripts/native_smoke.sh
@@ -96,6 +105,7 @@ fuzz:
 	$(GO) test -fuzz FuzzParseEvent -fuzztime 30s ./internal/obs/
 	$(GO) test -fuzz FuzzAuditDump -fuzztime 30s ./internal/obs/audit/
 	$(GO) test -fuzz FuzzProfReport -fuzztime 30s ./internal/obs/prof/
+	$(GO) test -fuzz FuzzParseUsage -fuzztime 30s ./internal/obs/space/
 
 vet:
 	$(GO) vet ./...

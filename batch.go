@@ -9,6 +9,7 @@ import (
 	"github.com/dsrepro/consensus/internal/obs"
 	"github.com/dsrepro/consensus/internal/obs/audit"
 	"github.com/dsrepro/consensus/internal/obs/prof"
+	"github.com/dsrepro/consensus/internal/obs/space"
 )
 
 // InstanceSeed derives the seed of batch instance k from the batch seed. The
@@ -87,6 +88,12 @@ type BatchResult struct {
 	// profiling is off.
 	Matrices map[string]obs.MatrixSnapshot
 
+	// Space is the batch-wide space-accounting report when Base.Space is set:
+	// per-instance usages combined with space.Merge (an element-wise max), in
+	// instance order — deterministic at any Parallel, since max commutes. Nil
+	// when metering is off.
+	Space *space.Usage
+
 	// Violations sums invariant-probe firings by probe name across every
 	// instance when Base.Audit is set; nil when auditing is off or the batch
 	// was clean. Instance attribution is in the dumps (AuditDumps).
@@ -130,6 +137,7 @@ func SolveBatch(cfg BatchConfig) (BatchResult, error) {
 	instances := make([]core.Instance, cfg.Instances)
 	var mons []*audit.Monitor  // indexed by instance; nil when auditing is off
 	var profs []*prof.Profiler // indexed by instance; nil when profiling is off
+	var meters []*space.Meter  // indexed by instance; nil when metering is off
 	for k := range instances {
 		c := cfg.Base
 		c.Seed = InstanceSeed(cfg.Seed, k)
@@ -190,6 +198,16 @@ func SolveBatch(cfg BatchConfig) (BatchResult, error) {
 			}
 			profs[k] = pr
 		}
+		// Each metered instance gets its own meter: declared layouts accumulate
+		// per install, so a shared meter would double-count pooled instances.
+		var sm *space.Meter
+		if c.Space {
+			sm = space.NewMeter()
+			if meters == nil {
+				meters = make([]*space.Meter, cfg.Instances)
+			}
+			meters[k] = sm
+		}
 		instances[k] = core.Instance{
 			Kind: kind,
 			Cfg: core.Config{
@@ -206,6 +224,7 @@ func SolveBatch(cfg BatchConfig) (BatchResult, error) {
 			MaxSteps:  c.MaxSteps,
 			Monitor:   mon,
 			Profiler:  pr,
+			Space:     sm,
 			Substrate: sub,
 		}
 	}
@@ -263,6 +282,17 @@ func SolveBatch(cfg BatchConfig) (BatchResult, error) {
 	res.Counters = snap.Counters
 	res.Gauges = snap.Gauges
 	res.Hists = snap.Hists
+	if meters != nil {
+		// Merge per-instance usages in instance order; element-wise max
+		// commutes, so the result is identical at any Parallel.
+		var u space.Usage
+		for _, sm := range meters {
+			if sm != nil {
+				u = space.Merge(u, sm.Usage())
+			}
+		}
+		res.Space = &u
+	}
 	// Aggregate per-instance audit results in instance order, so the merged
 	// view is deterministic at any parallelism.
 	for _, mon := range mons {

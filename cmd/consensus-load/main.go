@@ -36,12 +36,14 @@ func run() int {
 		instances = flag.Int("instances", 100, "independent consensus instances to run")
 		parallel  = flag.Int("parallel", 0, "worker count (0 = GOMAXPROCS, 1 = serial); decisions are identical at any setting")
 		n         = flag.Int("n", 4, "processes per instance (alternating binary inputs)")
-		algFlag   = flag.String("alg", "bounded", "algorithm: bounded | aspnes-herlihy | local-coin | strong-coin | abrahamson")
+		algFlag   = flag.String("alg", "bounded", "algorithm: bounded | aspnes-herlihy | local-coin | strong-coin | abrahamson | anonymous")
 		schedFlag = flag.String("schedule", "random", "schedule: round-robin | random (ignored by -substrate native: the hardware schedules)")
 		subFlag   = flag.String("substrate", "simulated", "execution backend: simulated | native (real goroutines on lock-free registers; not deterministic)")
 		seed      = flag.Int64("seed", 1, "batch seed (instance k replays with Seed = InstanceSeed(seed, k))")
 		maxSteps  = flag.Int64("max-steps", 100_000_000, "per-instance step budget")
 		b         = flag.Int("b", 4, "shared-coin barrier multiplier")
+		kFlag     = flag.Int("k", 0, "rounds-strip constant (0 = algorithm default)")
+		mFlag     = flag.Int("m", 0, "coin-counter bound (0 = algorithm default)")
 		jsonOut   = flag.Bool("json", false, "emit one machine-readable JSON object instead of text")
 		matrix    = flag.Bool("matrix", false, "run the standard workload matrix ({bounded, aspnes-herlihy} x {n=4, n=8, n=16}) instead of one workload; -instances/-n/-alg/-tail are ignored")
 		listen    = flag.String("listen", "", "serve live telemetry (/metrics, /healthz, /debug/pprof) on this address while the batch runs (e.g. 127.0.0.1:9090, :0 for a free port)")
@@ -139,7 +141,7 @@ func run() int {
 	if *tail > 0 {
 		ring = obs.NewRing(*tail)
 	}
-	r, res, code := runWorkload(workloadSpec{Alg: *algFlag, N: *n, Instances: *instances, Substrate: *subFlag}, opts, ring)
+	r, res, code := runWorkload(workloadSpec{Alg: *algFlag, N: *n, Instances: *instances, Substrate: *subFlag, K: *kFlag, M: *mFlag}, opts, ring)
 	if code == 2 {
 		return 2
 	}
@@ -161,12 +163,15 @@ func run() int {
 }
 
 // workloadSpec names one batch workload of the matrix: an algorithm, a
-// process count, a substrate ("" = simulated) and how many instances to run.
+// process count, a substrate ("" = simulated), how many instances to run, and
+// optional K/M overrides for the space–time frontier rows (0 = defaults).
 type workloadSpec struct {
 	Alg       string
 	N         int
 	Instances int
 	Substrate string
+	K         int
+	M         int
 }
 
 // matrixWorkloads is the standard bench matrix (`make bench-json`). The
@@ -183,6 +188,11 @@ type workloadSpec struct {
 // arbiter — so the counts match the simulated rows. Native rows never
 // pair-compare against simulated ones (the substrate is part of the workload
 // key).
+// The frontier rows at the bottom sweep the space knobs on the simulated
+// substrate — strip constant K, coin bound M, and the anonymous variant —
+// so the artifact carries the measured space–time frontier: every report's
+// space block (peak registers, bits per register) pairs with its steps
+// summary. Explicit K/M are part of the workload key.
 var matrixWorkloads = []workloadSpec{
 	{Alg: "bounded", N: 4, Instances: 400},
 	{Alg: "bounded", N: 8, Instances: 60},
@@ -196,6 +206,12 @@ var matrixWorkloads = []workloadSpec{
 	{Alg: "aspnes-herlihy", N: 4, Instances: 200, Substrate: "native"},
 	{Alg: "aspnes-herlihy", N: 8, Instances: 40, Substrate: "native"},
 	{Alg: "aspnes-herlihy", N: 16, Instances: 8, Substrate: "native"},
+	{Alg: "bounded", N: 4, Instances: 200, K: 3},
+	{Alg: "bounded", N: 4, Instances: 200, K: 4},
+	{Alg: "bounded", N: 4, Instances: 200, M: 64},
+	{Alg: "bounded", N: 8, Instances: 40, M: 64},
+	{Alg: "anonymous", N: 4, Instances: 400},
+	{Alg: "anonymous", N: 8, Instances: 100},
 }
 
 // workloadOpts carries the flag settings shared by every workload of a run.
@@ -288,10 +304,13 @@ func runWorkload(ws workloadSpec, opts workloadOpts, ring *obs.Ring) (benchfmt.R
 			Substrate:        sub,
 			MaxSteps:         opts.maxSteps,
 			B:                opts.b,
+			K:                ws.K,
+			M:                ws.M,
 			Audit:            opts.audit,
 			AuditSampleEvery: opts.auditSample,
 			AuditDumpDir:     opts.auditDir,
 			Profile:          profile,
+			Space:            true,
 		},
 		Seed:     opts.seed,
 		Parallel: opts.parallel,
@@ -311,6 +330,8 @@ func runWorkload(ws workloadSpec, opts workloadOpts, ring *obs.Ring) (benchfmt.R
 	r := benchfmt.Report{
 		Algorithm:       ws.Alg,
 		N:               ws.N,
+		K:               ws.K,
+		M:               ws.M,
 		Substrate:       sub.String(),
 		Instances:       ws.Instances,
 		Parallel:        workers,
@@ -324,6 +345,9 @@ func runWorkload(ws workloadSpec, opts workloadOpts, ring *obs.Ring) (benchfmt.R
 		Hists:           res.Hists,
 		Matrices:        res.Matrices,
 		Derived:         derivedStats(res.Counters),
+	}
+	if res.Space != nil {
+		r.Space = benchfmt.SpaceFromUsage(*res.Space)
 	}
 	for _, v := range res.Violations {
 		r.Violations += v
@@ -366,6 +390,9 @@ func derivedStats(counters map[string]int64) map[string]float64 {
 // printReport renders one workload's report in the human text format.
 func printReport(r benchfmt.Report, ring *obs.Ring) {
 	fmt.Printf("algorithm     : %s (n=%d, %s substrate)\n", r.Algorithm, r.N, benchfmt.NormSubstrate(r.Substrate))
+	if r.K != 0 || r.M != 0 {
+		fmt.Printf("knobs         : K=%d M=%d (0 = default)\n", r.K, r.M)
+	}
 	fmt.Printf("instances     : %d over %d workers\n", r.Instances, r.Parallel)
 	fmt.Printf("elapsed       : %.3fs (%.1f instances/sec)\n", r.ElapsedSec, r.InstancesPerSec)
 	fmt.Printf("steps/instance: p50 %d, p90 %d, p99 %d (mean %.1f, min %d, max %d)\n",
@@ -380,6 +407,10 @@ func printReport(r benchfmt.Report, ring *obs.Ring) {
 		fmt.Printf("prof classes  : productive %d, scan-retry %d, coin-spin %d, strip-wait %d (of %d)\n",
 			r.Counters[prof.CounterStepsProductive], r.Counters[prof.CounterStepsScanRetry],
 			r.Counters[prof.CounterStepsCoinSpin], r.Counters[prof.CounterStepsStripWait], total)
+	}
+	if r.Space != nil {
+		fmt.Printf("space         : %d regs peak (%d live), %d words, %s/register\n",
+			r.Space.PeakRegs, r.Space.LiveRegs, r.Space.PeakWords, bitsLabel(r.Space.MaxBits))
 	}
 	fmt.Printf("errors        : %d\n", r.Errors)
 	if r.Violations > 0 {
@@ -486,9 +517,19 @@ func parseAlg(s string) (consensus.Algorithm, error) {
 		return consensus.StrongCoin, nil
 	case "abrahamson", "a88":
 		return consensus.Abrahamson, nil
+	case "anonymous", "anon":
+		return consensus.Anonymous, nil
 	default:
 		return 0, fmt.Errorf("unknown algorithm %q", s)
 	}
+}
+
+// bitsLabel renders a bit width, with space.UnboundedBits as "unbounded bits".
+func bitsLabel(bits int) string {
+	if bits < 0 {
+		return "unbounded bits"
+	}
+	return fmt.Sprintf("%d bits", bits)
 }
 
 func parseSubstrate(s string) (consensus.SubstrateKind, error) {

@@ -23,6 +23,8 @@ import (
 	"github.com/dsrepro/consensus/internal/obs"
 	"github.com/dsrepro/consensus/internal/obs/live"
 	"github.com/dsrepro/consensus/internal/obs/prof"
+	"github.com/dsrepro/consensus/internal/obs/space"
+	"github.com/dsrepro/consensus/internal/walk"
 )
 
 func main() {
@@ -32,7 +34,7 @@ func main() {
 func run() int {
 	var (
 		inputsFlag = flag.String("inputs", "0,1", "comma-separated binary inputs, one per process")
-		algFlag    = flag.String("alg", "bounded", "algorithm: bounded | aspnes-herlihy | local-coin | strong-coin | abrahamson")
+		algFlag    = flag.String("alg", "bounded", "algorithm: bounded | aspnes-herlihy | local-coin | strong-coin | abrahamson | anonymous")
 		schedFlag  = flag.String("schedule", "round-robin", "schedule: round-robin | random | lagger")
 		subFlag    = flag.String("substrate", "simulated", "execution backend: simulated | native (real goroutines on lock-free registers; -crash and lagger starvation are emulated, other schedule kinds and replay do not apply)")
 		victim     = flag.Int("victim", 0, "lagger: starved process id")
@@ -42,6 +44,7 @@ func run() int {
 		maxSteps   = flag.Int64("max-steps", 100_000_000, "abort after this many atomic steps")
 		b          = flag.Int("b", 4, "shared-coin barrier multiplier")
 		m          = flag.Int("m", 0, "coin counter bound (0 = derived default)")
+		k          = flag.Int("k", 0, "rounds-strip constant (0 = default 2)")
 		bloom      = flag.Bool("bloom", false, "build arrow registers from Bloom's 2W2R construction")
 		trace      = flag.Bool("trace", false, "print the protocol event log to stderr (round advances, preference changes, coin flips, decisions)")
 		traceOut   = flag.String("trace-out", "", "write the full cross-layer event stream (register/scan/walk/strip/core) as JSONL to this file")
@@ -49,6 +52,8 @@ func run() int {
 		profFlag   = flag.Bool("prof", false, "run the step profiler and print the step-class/blame/critical-path summary (implied by -prof-out/-prof-json)")
 		profOut    = flag.String("prof-out", "", "write the profiled run as a Chrome-trace-event/Perfetto JSON file (open in ui.perfetto.dev)")
 		profJSON   = flag.String("prof-json", "", "write the raw profile (classes, blame matrix, critical path) as JSON to this file (analyse with: traceview -prof)")
+		spaceFlag  = flag.Bool("space", false, "meter space usage and print the per-layer accounting table; for -alg bounded, non-zero exit if a measured payload exceeds the static bounds (|coin| > M+1 or a strip counter >= 3K)")
+		spaceJSON  = flag.String("space-json", "", "write the space usage snapshot as JSON to this file (analyse with: traceview -space); implies -space")
 		auditFlag  = flag.Bool("audit", false, "run the online invariant monitor; non-zero exit if any probe fires")
 		auditEvery = flag.Int("audit-sample", 0, "audit: run sampled probes every N opportunities (0 = default 64, 1 = every)")
 		auditDir   = flag.String("audit-dir", "", "audit: write flight-recorder dumps to this directory (replay with consensus-audit)")
@@ -87,8 +92,13 @@ func run() int {
 		MaxSteps:       *maxSteps,
 		B:              *b,
 		M:              *m,
+		K:              *k,
 		UseBloomArrows: *bloom,
 	}
+	if *spaceJSON != "" {
+		*spaceFlag = true
+	}
+	cfg.Space = *spaceFlag
 	if *auditFlag || *auditDir != "" || *auditEvery > 0 {
 		cfg.Audit = true
 		cfg.AuditSampleEvery = *auditEvery
@@ -161,6 +171,28 @@ func run() int {
 	if *metrics {
 		printMetrics(res)
 	}
+	spaceExceeded := false
+	if *spaceFlag {
+		if res.Space == nil {
+			fmt.Fprintln(os.Stderr, "consensus-sim: metering produced no space report")
+			return 1
+		}
+		printSpace(*res.Space)
+		if *spaceJSON != "" {
+			data, jerr := json.MarshalIndent(res.Space, "", "  ")
+			if jerr == nil {
+				jerr = os.WriteFile(*spaceJSON, append(data, '\n'), 0o644)
+			}
+			if jerr != nil {
+				fmt.Fprintf(os.Stderr, "consensus-sim: %v\n", jerr)
+				return 1
+			}
+			fmt.Printf("space-json: %s (analyse with: go run ./cmd/traceview -space %s)\n", *spaceJSON, *spaceJSON)
+		}
+		if alg == consensus.Bounded {
+			spaceExceeded = checkStaticBounds(*res.Space, len(inputs), *b, *m, *k)
+		}
+	}
 	if *profFlag {
 		if code := reportProfile(res.Profile, *profOut, *profJSON); code != 0 {
 			return code
@@ -184,10 +216,64 @@ func run() int {
 			}
 		}
 	}
-	if err != nil || violated {
+	if err != nil || violated || spaceExceeded {
 		return 1
 	}
 	return 0
+}
+
+// printSpace renders the per-layer accounting table in enum order, with the
+// totals line first to match the rest of the summary.
+func printSpace(u space.Usage) {
+	fmt.Printf("space     : %d regs (%d live), %d words, %d bits/register max\n",
+		u.Regs, u.LiveRegs, u.PeakWords, u.MaxBits)
+	fmt.Printf("  %-9s %5s %5s %6s  %-9s %-9s %7s\n",
+		"layer", "regs", "live", "words", "declared", "measured", "max|v|")
+	for _, name := range space.LayerNames() {
+		lu, ok := u.Layers[name]
+		if !ok {
+			continue
+		}
+		fmt.Printf("  %-9s %5d %5d %6d  %-9s %-9s %7d\n",
+			name, lu.Regs, lu.LiveRegs, lu.Words,
+			widthLabel(lu.DeclaredBits), widthLabel(lu.MeasuredBits), lu.MaxAbs)
+	}
+}
+
+// widthLabel renders a bit width, with space.UnboundedBits as "unbound".
+func widthLabel(bits int) string {
+	if bits == space.UnboundedBits {
+		return "unbound"
+	}
+	return fmt.Sprintf("%d bit", bits)
+}
+
+// checkStaticBounds verifies the bounded protocol's measured payloads against
+// the paper's static bounds — coin counters clamp to ±(M+1), strip counters
+// live mod 3K — and reports (printing the verdict) whether any was exceeded.
+// This is the teeth behind scripts/space_smoke.sh.
+func checkStaticBounds(u space.Usage, n, b, m, k int) bool {
+	if k <= 0 {
+		k = 2 // the protocol default
+	}
+	exceeded := false
+	if m >= 0 { // m < 0 runs the walk unbounded: no static bound to hold
+		if m == 0 {
+			m = (walk.Params{N: n, B: b}).DefaultM()
+		}
+		if got := u.Layers["walk"].MaxAbs; got > int64(m)+1 {
+			exceeded = true
+			fmt.Printf("space     : BOUND EXCEEDED: walk |counter| %d > M+1 = %d\n", got, m+1)
+		}
+	}
+	if got := u.Layers["strip"].MaxAbs; got >= int64(3*k) {
+		exceeded = true
+		fmt.Printf("space     : BOUND EXCEEDED: strip counter %d >= 3K = %d\n", got, 3*k)
+	}
+	if !exceeded {
+		fmt.Printf("space     : static bounds hold (|coin| <= M+1, strip < 3K)\n")
+	}
+	return exceeded
 }
 
 // reportProfile prints the three-line profile summary and writes the optional
@@ -294,6 +380,8 @@ func parseAlg(s string) (consensus.Algorithm, error) {
 		return consensus.StrongCoin, nil
 	case "abrahamson", "a88":
 		return consensus.Abrahamson, nil
+	case "anonymous", "anon":
+		return consensus.Anonymous, nil
 	default:
 		return 0, fmt.Errorf("unknown algorithm %q", s)
 	}

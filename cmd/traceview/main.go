@@ -22,6 +22,12 @@
 //	consensus-sim -inputs 0,1,1,0 -prof-json run.prof.json
 //	traceview -prof run.prof.json        # blame matrix, contention, critical path
 //	traceview -perfetto run.trace.json   # validate + summarise a Perfetto export
+//
+// Space usage snapshots from consensus-sim -space-json are a third artifact
+// (per-layer register/word/width accounting, see internal/obs/space):
+//
+//	consensus-sim -inputs 0,1,1,0 -space-json run.space.json
+//	traceview -space run.space.json      # per-layer accounting + totals
 package main
 
 import (
@@ -46,9 +52,10 @@ func run() int {
 	auditFlag := flag.Bool("audit", false, "render only the invariant-audit tables (violations by probe, flight dumps)")
 	profFlag := flag.String("prof", "", "render a profile JSON (consensus-sim -prof-json): step classes, blame matrix, contention, critical path")
 	perfettoFlag := flag.String("perfetto", "", "validate and summarise a Perfetto export (consensus-sim -prof-out)")
+	spaceFlag := flag.String("space", "", "render a space usage snapshot (consensus-sim -space-json): per-layer register/word/width accounting")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: traceview [-format text|markdown|csv] [-phase name] [-audit] trace.jsonl\n")
-		fmt.Fprintf(os.Stderr, "       traceview [-format ...] -prof profile.json | -perfetto trace.json\n")
+		fmt.Fprintf(os.Stderr, "       traceview [-format ...] -prof profile.json | -perfetto trace.json | -space usage.json\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -59,6 +66,9 @@ func run() int {
 	}
 	if *profFlag != "" {
 		return runProf(*profFlag, format)
+	}
+	if *spaceFlag != "" {
+		return runSpace(*spaceFlag, format)
 	}
 	if *perfettoFlag != "" {
 		return runPerfetto(*perfettoFlag, format)

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"testing"
+
+	consensus "github.com/dsrepro/consensus"
+	"github.com/dsrepro/consensus/internal/harness"
+	"github.com/dsrepro/consensus/internal/obs/space"
+)
+
+var updateSpace = flag.Bool("update-space", false, "regenerate testdata/space-n4.{json,golden} from the fixed seed")
+
+// spaceGoldenConfig is the fixed workload behind the space golden: the
+// bounded protocol at n=4 under the random adversary, the smallest workload
+// that exercises every layer of the accounting (register, scan, strip, walk,
+// core).
+func spaceGoldenConfig() consensus.Config {
+	return consensus.Config{
+		Inputs:   []int{1, 0, 1, 0},
+		Seed:     7,
+		Schedule: consensus.Schedule{Kind: consensus.RandomSchedule},
+		Space:    true,
+	}
+}
+
+// TestSpaceGolden locks the space meters end to end: re-running the
+// fixed-seed n=4 bounded workload must reproduce the checked-in usage
+// artifact byte for byte (per-layer counts and widths included), and its
+// rendered analysis must match the golden. Regenerate both with:
+//
+//	go test ./cmd/traceview -run TestSpaceGolden -update-space
+func TestSpaceGolden(t *testing.T) {
+	res, err := consensus.Solve(spaceGoldenConfig())
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if res.Space == nil {
+		t.Fatal("Space: true produced no usage snapshot")
+	}
+	data, err := json.MarshalIndent(res.Space, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data = append(data, '\n') // consensus-sim -space-json writes a trailing newline
+
+	u, err := space.ParseUsage(data)
+	if err != nil {
+		t.Fatalf("fresh usage does not parse: %v", err)
+	}
+	var buf bytes.Buffer
+	for _, tbl := range spaceTables("testdata/space-n4.json", u) {
+		tbl.RenderAs(&buf, harness.FormatText)
+	}
+
+	if *updateSpace {
+		if err := os.WriteFile("testdata/space-n4.json", data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile("testdata/space-n4.golden", buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Log("testdata/space-n4.{json,golden} regenerated")
+		return
+	}
+
+	want, err := os.ReadFile("testdata/space-n4.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, want) {
+		t.Errorf("fixed-seed usage diverged from testdata/space-n4.json:\n--- got ---\n%s\n--- want ---\n%s", data, want)
+	}
+	golden, err := os.ReadFile("testdata/space-n4.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), golden) {
+		t.Errorf("rendered usage diverged from golden:\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), golden)
+	}
+}
+
+// TestSpaceGoldenParsesFromDisk exercises the -space input path on the
+// checked-in artifact: the file must parse, validate, and carry the bounded
+// protocol's layer structure (a bounded walk domain, a mod-3K strip).
+func TestSpaceGoldenParsesFromDisk(t *testing.T) {
+	data, err := os.ReadFile("testdata/space-n4.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := space.ParseUsage(data)
+	if err != nil {
+		t.Fatalf("ParseUsage: %v", err)
+	}
+	if u.Regs == 0 || u.PeakWords == 0 {
+		t.Errorf("checked-in usage has empty totals: %+v", u)
+	}
+	walk, ok := u.Layers["walk"]
+	if !ok || walk.DeclaredBits <= 0 {
+		t.Errorf("bounded walk layer should declare a bounded domain, got %+v", walk)
+	}
+	strip, ok := u.Layers["strip"]
+	if !ok || strip.DeclaredBits <= 0 {
+		t.Errorf("bounded strip layer should declare a bounded domain, got %+v", strip)
+	}
+}

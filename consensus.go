@@ -49,6 +49,7 @@ import (
 	"github.com/dsrepro/consensus/internal/obs"
 	"github.com/dsrepro/consensus/internal/obs/audit"
 	"github.com/dsrepro/consensus/internal/obs/prof"
+	"github.com/dsrepro/consensus/internal/obs/space"
 	"github.com/dsrepro/consensus/internal/scan"
 	"github.com/dsrepro/consensus/internal/sched"
 	"github.com/dsrepro/consensus/internal/walk"
@@ -74,6 +75,12 @@ const (
 	// style): explicit round numbers and independent local coin flips — the
 	// fourth quadrant of the design matrix the paper's introduction narrates.
 	Abrahamson
+	// Anonymous is the anonymous-process variant (Gelashvili's setting): no
+	// process identifiers anywhere in the shared memory — every register is
+	// multi-writer and no payload or index depends on a pid. Registers stay
+	// two bits wide but their count grows with rounds, the opposite frontier
+	// point from Bounded's n fixed registers of bounded width.
+	Anonymous
 )
 
 // String implements fmt.Stringer.
@@ -89,6 +96,8 @@ func (a Algorithm) String() string {
 		return "strong-coin"
 	case Abrahamson:
 		return "abrahamson"
+	case Anonymous:
+		return "anonymous"
 	default:
 		return fmt.Sprintf("Algorithm(%d)", int(a))
 	}
@@ -106,6 +115,8 @@ func (a Algorithm) kind() (core.Kind, error) {
 		return core.KindStrongCoin, nil
 	case Abrahamson:
 		return core.KindAbrahamson, nil
+	case Anonymous:
+		return core.KindAnonymous, nil
 	default:
 		return 0, fmt.Errorf("consensus: unknown algorithm %d", int(a))
 	}
@@ -323,6 +334,16 @@ type Config struct {
 	// Result.Profile report.
 	Profile bool
 
+	// Space enables the space-accounting meters (internal/obs/space): live
+	// and peak register counts, per-layer word layouts, and bits-per-register
+	// both declared (information-theoretic width of the value domain — coin
+	// counters clamped to ±(M+1), strip counters mod 3K, round numbers
+	// unbounded) and measured (widest payload actually stored). Meter hooks
+	// are passive — no scheduler steps, no randomness, no events, no
+	// allocation — so metered runs are byte-identical to unmetered ones.
+	// Results surface in Result.Space and as space.* entries in Result.Gauges.
+	Space bool
+
 	// TraceWriter, if non-nil, receives a human-readable protocol event log
 	// (round advances, preference changes, coin flips, decisions) in
 	// scheduler order — one line per event. Only core-layer (protocol) events
@@ -396,6 +417,11 @@ type Result struct {
 	// when Config.Profile is set; nil otherwise. Export it with
 	// prof.WritePerfetto or analyze it with cmd/traceview -prof.
 	Profile *prof.Profile
+
+	// Space is the space-accounting report (register counts, per-layer word
+	// layouts, declared and measured bits-per-register) when Config.Space is
+	// set; nil otherwise. Analyze it with cmd/traceview -space.
+	Space *space.Usage
 
 	// Violations counts invariant-probe firings by probe name ("coin.range",
 	// "strip.graph", ...) when Config.Audit is set; nil when auditing is off
@@ -485,6 +511,10 @@ func Solve(cfg Config) (Result, error) {
 	if cfg.Profile {
 		profiler = prof.New(prof.Options{N: len(cfg.Inputs), RetainSpans: true})
 	}
+	var meter *space.Meter
+	if cfg.Space {
+		meter = space.NewMeter()
+	}
 	out, err := core.Execute(kind, core.Config{
 		K:              cfg.K,
 		B:              cfg.B,
@@ -500,6 +530,7 @@ func Solve(cfg Config) (Result, error) {
 		Sink:      sink,
 		Monitor:   mon,
 		Profiler:  profiler,
+		Space:     meter,
 		Substrate: sub,
 	})
 	if jsonl != nil {
@@ -544,6 +575,10 @@ func Solve(cfg Config) (Result, error) {
 	if profiler.Enabled() {
 		res.Matrices = snap.Matrices
 		res.Profile = profiler.Report()
+	}
+	if meter.Enabled() {
+		u := meter.Usage()
+		res.Space = &u
 	}
 	return res, out.Err
 }

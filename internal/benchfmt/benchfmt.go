@@ -12,6 +12,7 @@ import (
 	"os"
 
 	"github.com/dsrepro/consensus/internal/obs"
+	"github.com/dsrepro/consensus/internal/obs/space"
 )
 
 // Report is one consensus-load invocation's results. Field names are the
@@ -20,6 +21,11 @@ import (
 type Report struct {
 	Algorithm string `json:"algorithm"`
 	N         int    `json:"n"`
+	// K and M are the workload's strip constant and coin bound when the sweep
+	// set them explicitly; 0 means the algorithm defaults (and keeps
+	// pre-frontier artifacts on their historical keys).
+	K int `json:"k,omitempty"`
+	M int `json:"m,omitempty"`
 	// Substrate names the execution backend the workload ran on ("simulated"
 	// or "native"). Empty means simulated — artifacts predate the field — so
 	// old and new artifacts keep pairing on the same keys.
@@ -53,6 +59,45 @@ type Report struct {
 	// benchdiff reports them but never gates on them, since each is derivable
 	// from counters that are themselves compared.
 	Derived map[string]float64 `json:"derived,omitempty"`
+	// Space is the batch-wide space accounting (peak register count, word
+	// layout, bits-per-register) when the workload ran with meters attached.
+	// Absent from artifacts generated before the field existed — benchdiff
+	// then skips space comparisons.
+	Space *SpaceStats `json:"space,omitempty"`
+}
+
+// SpaceStats is the bench-artifact form of a space.Usage: the totals benchdiff
+// gates on plus the per-layer bit widths the frontier tables render.
+type SpaceStats struct {
+	// PeakRegs is the batch-wide maximum register count of one instance;
+	// LiveRegs counts the registers actually written.
+	PeakRegs int64 `json:"peak_regs"`
+	LiveRegs int64 `json:"live_regs,omitempty"`
+	// PeakWords is the maximum abstract word count across all layers.
+	PeakWords int64 `json:"peak_words"`
+	// MaxBits is the widest register payload, in bits: the max over layers of
+	// max(measured, declared) width, space.UnboundedBits (-1) when some layer
+	// declares an unbounded domain AND never stored anything measurable.
+	MaxBits int `json:"max_bits"`
+	// LayerBits maps layer name -> that layer's payload width in bits.
+	LayerBits map[string]int `json:"layer_bits,omitempty"`
+}
+
+// SpaceFromUsage converts a meter's usage into the bench-artifact form.
+func SpaceFromUsage(u space.Usage) *SpaceStats {
+	s := &SpaceStats{
+		PeakRegs:  u.Regs,
+		LiveRegs:  u.LiveRegs,
+		PeakWords: u.PeakWords,
+		MaxBits:   u.MaxBits,
+	}
+	if len(u.Layers) > 0 {
+		s.LayerBits = make(map[string]int, len(u.Layers))
+		for name, lu := range u.Layers {
+			s.LayerBits[name] = lu.Bits()
+		}
+	}
+	return s
 }
 
 // Key identifies the workload a report measured, for pairing the entries of
@@ -62,6 +107,12 @@ type Report struct {
 // pre-substrate artifacts keep their historical keys.
 func (r Report) Key() string {
 	k := fmt.Sprintf("%s/n=%d", r.Algorithm, r.N)
+	if r.K != 0 {
+		k += fmt.Sprintf("/K=%d", r.K)
+	}
+	if r.M != 0 {
+		k += fmt.Sprintf("/M=%d", r.M)
+	}
 	if s := NormSubstrate(r.Substrate); s != "simulated" {
 		k += "/" + s
 	}

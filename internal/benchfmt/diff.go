@@ -23,6 +23,16 @@ type Thresholds struct {
 	// MaxPhaseMeanGrowth bounds the relative growth of each phase.steps.*
 	// histogram mean.
 	MaxPhaseMeanGrowth float64
+	// MaxPeakRegsGrowth bounds the relative growth of space.peak_regs. Space
+	// is deterministic per seed (register counts and layouts don't jitter),
+	// so this is the tightest gate.
+	MaxPeakRegsGrowth float64
+	// MaxPeakWordsGrowth bounds the relative growth of space.peak_words.
+	MaxPeakWordsGrowth float64
+	// MaxBitsGrowthAbs bounds the absolute growth of space.max_bits (a
+	// register quietly widening by more than this many bits is a regression;
+	// going from bounded to unbounded always is).
+	MaxBitsGrowthAbs int
 }
 
 // DefaultThresholds are the `make bench-check` settings.
@@ -31,6 +41,9 @@ func DefaultThresholds() Thresholds {
 		MaxThroughputDrop:  0.40,
 		MaxStepGrowth:      0.25,
 		MaxPhaseMeanGrowth: 0.35,
+		MaxPeakRegsGrowth:  0.10,
+		MaxPeakWordsGrowth: 0.25,
+		MaxBitsGrowthAbs:   1,
 	}
 }
 
@@ -57,6 +70,7 @@ func (f Finding) String() string {
 // meaningless. Improvements never produce findings.
 func Compare(old, new Report, th Thresholds) ([]Finding, error) {
 	if old.Algorithm != new.Algorithm || old.N != new.N ||
+		old.K != new.K || old.M != new.M ||
 		NormSubstrate(old.Substrate) != NormSubstrate(new.Substrate) {
 		return nil, fmt.Errorf("benchfmt: incomparable reports: %s vs %s", old.Key(), new.Key())
 	}
@@ -109,11 +123,42 @@ func Compare(old, new Report, th Thresholds) ([]Finding, error) {
 			out = append(out, Finding{Metric: key + ".mean", Old: o, New: n, Limit: th.MaxPhaseMeanGrowth})
 		}
 	}
+
+	// Space: compared only when both reports carry it, so artifacts predating
+	// the field diff clean against themselves.
+	if old.Space != nil && new.Space != nil {
+		o, n := old.Space, new.Space
+		if growth(float64(o.PeakRegs), float64(n.PeakRegs)) > th.MaxPeakRegsGrowth {
+			out = append(out, Finding{
+				Metric: "space.peak_regs",
+				Old:    float64(o.PeakRegs), New: float64(n.PeakRegs),
+				Limit: th.MaxPeakRegsGrowth,
+			})
+		}
+		if growth(float64(o.PeakWords), float64(n.PeakWords)) > th.MaxPeakWordsGrowth {
+			out = append(out, Finding{
+				Metric: "space.peak_words",
+				Old:    float64(o.PeakWords), New: float64(n.PeakWords),
+				Limit: th.MaxPeakWordsGrowth,
+			})
+		}
+		// Bits gate in absolute terms; a bounded->unbounded flip (MaxBits
+		// going to -1) is always a finding.
+		unboundedFlip := n.MaxBits < 0 && o.MaxBits >= 0
+		if unboundedFlip || (n.MaxBits >= 0 && o.MaxBits >= 0 && n.MaxBits-o.MaxBits > th.MaxBitsGrowthAbs) {
+			out = append(out, Finding{
+				Metric: "space.max_bits",
+				Old:    float64(o.MaxBits), New: float64(n.MaxBits),
+				Limit: float64(th.MaxBitsGrowthAbs),
+			})
+		}
+	}
 	return out, nil
 }
 
 // CompareMatrix diffs two matrix artifacts workload by workload, pairing
-// entries on (algorithm, n). Every workload of the old artifact must appear in
+// entries on Key() — (algorithm, n) plus any explicit K/M and non-default
+// substrate. Every workload of the old artifact must appear in
 // the new one — a vanished workload means the gate silently lost coverage, so
 // it is an error. Workloads only present in the new artifact are ignored
 // (coverage grew; there is nothing to compare against yet). Findings are

@@ -1,0 +1,174 @@
+package benchfmt
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/dsrepro/consensus/internal/obs/space"
+)
+
+func spaceBaseline() Report {
+	r := baseline()
+	r.Space = &SpaceStats{
+		PeakRegs:  16,
+		LiveRegs:  16,
+		PeakWords: 56,
+		MaxBits:   12,
+		LayerBits: map[string]int{"scan": 1, "strip": 3, "walk": 12, "core": 3},
+	}
+	return r
+}
+
+func findMetric(findings []Finding, metric string) bool {
+	for _, f := range findings {
+		if strings.HasSuffix(f.Metric, metric) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCompareSpaceSelfIsClean(t *testing.T) {
+	r := spaceBaseline()
+	findings, err := Compare(r, r, DefaultThresholds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Errorf("self-compare with space produced findings: %v", findings)
+	}
+}
+
+func TestCompareFlagsPeakRegsGrowth(t *testing.T) {
+	old, new := spaceBaseline(), spaceBaseline()
+	new.Space = &SpaceStats{PeakRegs: 20, PeakWords: 56, MaxBits: 12} // +25% > 10% limit
+	findings, err := Compare(old, new, DefaultThresholds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !findMetric(findings, "space.peak_regs") {
+		t.Errorf("peak register growth not flagged: %v", findings)
+	}
+}
+
+func TestCompareFlagsPeakWordsGrowth(t *testing.T) {
+	old, new := spaceBaseline(), spaceBaseline()
+	new.Space = &SpaceStats{PeakRegs: 16, PeakWords: 80, MaxBits: 12} // +43% > 25% limit
+	findings, err := Compare(old, new, DefaultThresholds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !findMetric(findings, "space.peak_words") {
+		t.Errorf("peak word growth not flagged: %v", findings)
+	}
+}
+
+func TestCompareFlagsBitsGrowth(t *testing.T) {
+	old, new := spaceBaseline(), spaceBaseline()
+	new.Space = &SpaceStats{PeakRegs: 16, PeakWords: 56, MaxBits: 14} // +2 > 1 bit limit
+	findings, err := Compare(old, new, DefaultThresholds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !findMetric(findings, "space.max_bits") {
+		t.Errorf("register widening not flagged: %v", findings)
+	}
+
+	// One extra bit is within the default absolute allowance.
+	new.Space.MaxBits = 13
+	findings, err = Compare(old, new, DefaultThresholds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if findMetric(findings, "space.max_bits") {
+		t.Errorf("+1 bit flagged despite MaxBitsGrowthAbs=1: %v", findings)
+	}
+}
+
+func TestCompareUnboundedFlipAlwaysFlagged(t *testing.T) {
+	old, new := spaceBaseline(), spaceBaseline()
+	new.Space = &SpaceStats{PeakRegs: 16, PeakWords: 56, MaxBits: space.UnboundedBits}
+	findings, err := Compare(old, new, DefaultThresholds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !findMetric(findings, "space.max_bits") {
+		t.Errorf("bounded->unbounded width flip not flagged: %v", findings)
+	}
+}
+
+// TestCompareLegacyArtifactsWithoutSpace locks the schema-evolution contract:
+// artifacts predating the space field (nil Space) compare clean against
+// themselves and against new artifacts that do carry it, in both directions.
+func TestCompareLegacyArtifactsWithoutSpace(t *testing.T) {
+	legacy, modern := baseline(), spaceBaseline()
+	for _, c := range []struct {
+		name     string
+		old, new Report
+	}{
+		{"legacy-vs-legacy", legacy, legacy},
+		{"legacy-vs-modern", legacy, modern},
+		{"modern-vs-legacy", modern, legacy},
+	} {
+		findings, err := Compare(c.old, c.new, DefaultThresholds())
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if len(findings) != 0 {
+			t.Errorf("%s: produced findings: %v", c.name, findings)
+		}
+	}
+}
+
+// TestCompareMismatchedKnobs locks the pairing rule: explicit K/M are part of
+// the workload identity, so reports differing in them are incomparable.
+func TestCompareMismatchedKnobs(t *testing.T) {
+	old, new := spaceBaseline(), spaceBaseline()
+	new.M = 64
+	if _, err := Compare(old, new, DefaultThresholds()); err == nil {
+		t.Error("comparing M=default against M=64 did not error")
+	}
+	new = spaceBaseline()
+	new.K = 4
+	if _, err := Compare(old, new, DefaultThresholds()); err == nil {
+		t.Error("comparing K=default against K=4 did not error")
+	}
+}
+
+func TestKeyIncludesKnobs(t *testing.T) {
+	r := spaceBaseline()
+	if got, want := r.Key(), "bounded/n=4"; got != want {
+		t.Errorf("default-knob key = %q, want %q (historical keys must not change)", got, want)
+	}
+	r.K, r.M = 3, 64
+	if got, want := r.Key(), "bounded/n=4/K=3/M=64"; got != want {
+		t.Errorf("knob key = %q, want %q", got, want)
+	}
+	r.Substrate = "native"
+	if got, want := r.Key(), "bounded/n=4/K=3/M=64/native"; got != want {
+		t.Errorf("knob+substrate key = %q, want %q", got, want)
+	}
+}
+
+func TestSpaceFromUsage(t *testing.T) {
+	u := space.Usage{
+		Layers: map[string]LayerUsageAlias{
+			"walk": {Words: 12, DeclaredBits: 12, MeasuredBits: 5, MaxAbs: 9},
+			"core": {Words: 12, DeclaredBits: space.UnboundedBits, MeasuredBits: 3, MaxAbs: 2},
+		},
+		Regs: 16, LiveRegs: 16, PeakWords: 56, MaxBits: 12,
+	}
+	s := SpaceFromUsage(u)
+	if s.PeakRegs != 16 || s.PeakWords != 56 || s.MaxBits != 12 {
+		t.Errorf("totals = %+v, want 16/56/12", s)
+	}
+	if s.LayerBits["walk"] != 12 {
+		t.Errorf("walk layer bits = %d, want declared 12", s.LayerBits["walk"])
+	}
+	if s.LayerBits["core"] != 3 {
+		t.Errorf("core layer bits = %d, want measured 3 (declared unbounded)", s.LayerBits["core"])
+	}
+}
+
+// LayerUsageAlias keeps the fixture literal readable.
+type LayerUsageAlias = space.LayerUsage

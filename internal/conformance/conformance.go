@@ -36,14 +36,16 @@ import (
 	"github.com/dsrepro/consensus/internal/sched"
 )
 
-// Protocols is every protocol kind the suite covers — all five quadrants of
-// the design matrix.
+// Protocols is every protocol kind the suite covers — the four quadrants of
+// the design matrix, the strong-coin baseline, and the anonymous-setting
+// variant.
 var Protocols = []core.Kind{
 	core.KindBounded,
 	core.KindAHUnbounded,
 	core.KindExpLocal,
 	core.KindStrongCoin,
 	core.KindAbrahamson,
+	core.KindAnonymous,
 }
 
 // polynomial reports whether the kind has a polynomial expected-step bound;
@@ -309,9 +311,16 @@ func runFaults(t *testing.T, name string) {
 	const n = 4
 	for _, kind := range Protocols {
 		// Crash: the victim stalls early, the survivors must still decide a
-		// common valid value and the run must surface ErrStalled.
+		// common valid value and the run must surface ErrStalled. The crash
+		// step must precede the protocol's fastest possible decision: the
+		// anonymous variant can decide in 5 register operations, so its
+		// victim dies at step 3; every other protocol needs well over 10.
+		crashStep := int64(10)
+		if kind == core.KindAnonymous {
+			crashStep = 3
+		}
 		for victim := 0; victim < n; victim++ {
-			sub, adv, _ := faultSubstrate(name, map[int]int64{victim: 10}, 0, 0)
+			sub, adv, _ := faultSubstrate(name, map[int]int64{victim: crashStep}, 0, 0)
 			out, err := core.Execute(kind, core.Config{}, core.ExecConfig{
 				Inputs:    mixedInputs(n, int64(victim)),
 				Seed:      int64(victim),

@@ -6,6 +6,7 @@ import (
 	"github.com/dsrepro/consensus/internal/obs"
 	"github.com/dsrepro/consensus/internal/obs/audit"
 	"github.com/dsrepro/consensus/internal/obs/prof"
+	"github.com/dsrepro/consensus/internal/obs/space"
 	"github.com/dsrepro/consensus/internal/pad"
 	"github.com/dsrepro/consensus/internal/register"
 	"github.com/dsrepro/consensus/internal/scan"
@@ -95,6 +96,23 @@ func (a *Abrahamson) SetNative(on bool) {
 	}
 }
 
+// SetSpace installs the space meter (nil detaches). Entries carry only a
+// preference and an explicit round number, so the static layout is tiny —
+// the unbounded part is the round magnitude, measured online in inc.
+func (a *Abrahamson) SetSpace(m *space.Meter) {
+	a.setSpace(m)
+	if sp, ok := a.mem.(register.SpaceSetter); ok {
+		sp.SetSpace(m, space.LayerRegister)
+	}
+	if m == nil {
+		return
+	}
+	n := int64(a.cfg.N)
+	m.AddWords(space.LayerCore, n*2) // pref + round
+	m.DeclareDomain(space.LayerCore, 3)
+	m.DeclareUnbounded(space.LayerCore) // explicit round numbers
+}
+
 // captureState snapshots the published state for flight dumps (no coin
 // strips: this protocol's entries carry only preference and round).
 func (a *Abrahamson) captureState() audit.State {
@@ -144,6 +162,7 @@ func (a *Abrahamson) Metrics() Metrics {
 
 func (a *Abrahamson) inc(p *sched.Proc, st UEntry) UEntry {
 	st.Round++ // value field (this protocol's entries never grow a strip)
+	a.spc.NoteValue(space.LayerCore, st.Round)
 	a.rounds[p.ID()].Add(1)
 	atomicMax(&a.maxRound, st.Round)
 	a.sink.GaugeMax(obs.GaugeMaxRound, st.Round)

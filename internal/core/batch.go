@@ -8,6 +8,7 @@ import (
 	"github.com/dsrepro/consensus/internal/obs"
 	"github.com/dsrepro/consensus/internal/obs/audit"
 	"github.com/dsrepro/consensus/internal/obs/prof"
+	"github.com/dsrepro/consensus/internal/obs/space"
 	"github.com/dsrepro/consensus/internal/sched"
 )
 
@@ -39,6 +40,11 @@ type Instance struct {
 	// Like monitors, profilers are per-instance state: aggregate across a
 	// batch by merging their Snapshots in instance order.
 	Profiler *prof.Profiler
+	// Space, if non-nil, meters this instance's space (see ExecConfig.Space).
+	// Meters are per-instance state; aggregate across a batch with
+	// space.Merge, which is a commutative element-wise max — deterministic at
+	// any parallelism.
+	Space *space.Meter
 	// Substrate selects the execution backend (see ExecConfig.Substrate);
 	// nil runs the simulated step scheduler. Substrates are stateless across
 	// runs, so one value may be shared by every instance of a batch.
@@ -104,6 +110,7 @@ func RunBatchProgress(parallel int, sink *obs.Sink, prog *obs.BatchProgress, ins
 			Sink:      sink,
 			Monitor:   inst.Monitor,
 			Profiler:  inst.Profiler,
+			Space:     inst.Space,
 			Substrate: inst.Substrate,
 		})
 		out[k] = BatchOutcome{Out: o, Err: err}

@@ -7,6 +7,7 @@ import (
 	"github.com/dsrepro/consensus/internal/obs"
 	"github.com/dsrepro/consensus/internal/obs/audit"
 	"github.com/dsrepro/consensus/internal/obs/prof"
+	"github.com/dsrepro/consensus/internal/obs/space"
 	"github.com/dsrepro/consensus/internal/pad"
 	"github.com/dsrepro/consensus/internal/register"
 	"github.com/dsrepro/consensus/internal/scan"
@@ -244,6 +245,31 @@ func (b *Bounded) SetNative(on bool) {
 	}
 }
 
+// SetSpace installs the space meter on the protocol and the memory stack
+// beneath it (nil detaches — ExecuteProto always calls it), and declares the
+// protocol's static layout: per process the entry carries pref +
+// current_coin pointer + decided flag (core), K+1 cyclic coin counters
+// clamped to ±(M+1) (walk), and n mod-3K edge counters (strip). All bounded
+// — this is the protocol whose meters must never move past their declared
+// domains.
+func (b *Bounded) SetSpace(m *space.Meter) {
+	b.setSpace(m)
+	if sp, ok := b.mem.(register.SpaceSetter); ok {
+		sp.SetSpace(m, space.LayerRegister)
+	}
+	if m == nil {
+		return
+	}
+	n, k := int64(b.cfg.N), int64(b.cfg.K)
+	m.AddWords(space.LayerCore, n*3)
+	m.AddWords(space.LayerWalk, n*(k+1))
+	m.AddWords(space.LayerStrip, n*n)
+	m.DeclareDomain(space.LayerCore, 3)   // pref {⊥,0,1}
+	m.DeclareDomain(space.LayerCore, k+1) // current_coin pointer
+	m.DeclareDomain(space.LayerWalk, 2*int64(b.params.M)+3)
+	m.DeclareDomain(space.LayerStrip, 3*k)
+}
+
 // captureState snapshots the published protocol state for flight dumps:
 // preferences, round counts, the current coin counter and edge row of every
 // process, via the memory's no-step Peek path.
@@ -305,6 +331,13 @@ func (b *Bounded) inc(p *sched.Proc, st Entry, view []Entry) (Entry, error) {
 		return Entry{}, err
 	}
 	st.Edge = row
+	if b.spc.Enabled() {
+		for _, v := range row {
+			b.spc.NoteValue(space.LayerStrip, int64(v))
+		}
+		b.spc.NoteValue(space.LayerCore, int64(st.CurrentCoin))
+		b.spc.NoteValue(space.LayerCore, int64(st.Pref))
+	}
 	b.rounds[p.ID()].Add(1)
 	b.emit(Event{Step: p.Now(), Pid: p.ID(), Kind: EvRoundAdvance, Round: b.rounds[p.ID()].Load()})
 	return st, nil
@@ -337,6 +370,7 @@ func (b *Bounded) flipNextCoin(p *sched.Proc, st Entry) Entry {
 	st = st.CloneCoin() // only a coin slot is mutated; Edge stays shared
 	slot := coinSlot(st.CurrentCoin, 0, k)
 	st.Coin[slot] = b.params.StepCounterAudited(st.Coin[slot], p, b.sink, b.mon)
+	b.spc.NoteValue(space.LayerWalk, int64(st.Coin[slot]))
 	b.flips[p.ID()].Add(1)
 	atomicMax(&b.maxAbsCoin, int64(abs(st.Coin[slot])))
 	b.sink.GaugeMax(obs.GaugeMaxAbsCoin, int64(abs(st.Coin[slot])))

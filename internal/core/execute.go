@@ -7,6 +7,7 @@ import (
 	"github.com/dsrepro/consensus/internal/obs"
 	"github.com/dsrepro/consensus/internal/obs/audit"
 	"github.com/dsrepro/consensus/internal/obs/prof"
+	"github.com/dsrepro/consensus/internal/obs/space"
 	"github.com/dsrepro/consensus/internal/sched"
 )
 
@@ -34,6 +35,7 @@ const (
 	KindExpLocal
 	KindStrongCoin
 	KindAbrahamson
+	KindAnonymous
 )
 
 // String implements fmt.Stringer.
@@ -49,6 +51,8 @@ func (k Kind) String() string {
 		return "strong-coin"
 	case KindAbrahamson:
 		return "abrahamson"
+	case KindAnonymous:
+		return "anonymous"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -67,6 +71,8 @@ func New(kind Kind, cfg Config) (Protocol, error) {
 		return NewStrongCoin(cfg)
 	case KindAbrahamson:
 		return NewAbrahamson(cfg)
+	case KindAnonymous:
+		return NewAnonymous(cfg)
 	default:
 		return nil, fmt.Errorf("core: unknown protocol kind %d", int(kind))
 	}
@@ -171,6 +177,16 @@ type ExecConfig struct {
 	// runs are byte-identical to unprofiled ones. Nil disables profiling at
 	// one branch per hook site.
 	Profiler *prof.Profiler
+
+	// Space, if non-nil, is the space meter (see internal/obs/space): it is
+	// installed down the whole stack, each layer declares its register count,
+	// word layout and value domains, and write sites record measured payload
+	// magnitudes. Meter hooks take no scheduler steps, consume no randomness,
+	// emit no events and allocate nothing, so metered runs are byte-identical
+	// to unmetered ones; after the run the meter's usage is published onto
+	// the sink's gauge registry. Nil disables metering at one nil check per
+	// hook site. Works on every substrate (all meter state is atomic).
+	Space *space.Meter
 }
 
 // validateInputs checks that inputs is a non-empty binary vector.
@@ -250,6 +266,10 @@ func ExecuteProto(proto Protocol, ec ExecConfig) (Outcome, error) {
 	if s, ok := proto.(interface{ SetProfiler(*prof.Profiler) }); ok {
 		s.SetProfiler(ec.Profiler)
 	}
+	// And the space meter: always install (nil detaches).
+	if s, ok := proto.(interface{ SetSpace(*space.Meter) }); ok {
+		s.SetSpace(ec.Space)
+	}
 	n := len(ec.Inputs)
 	out := Outcome{
 		Decided: make([]bool, n),
@@ -278,6 +298,7 @@ func ExecuteProto(proto Protocol, ec ExecConfig) (Outcome, error) {
 	out.Sched = res
 	out.Metrics = proto.Metrics()
 	out.Err = runErr
+	ec.Space.Publish(sink)
 	ec.Monitor.EndOfInstance(res.Steps, out.Decided, out.Values, ec.Inputs,
 		errors.Is(runErr, sched.ErrStepBudget) && !out.AllDecided())
 	return out, nil

@@ -5,6 +5,7 @@ import (
 	"github.com/dsrepro/consensus/internal/obs"
 	"github.com/dsrepro/consensus/internal/obs/audit"
 	"github.com/dsrepro/consensus/internal/obs/prof"
+	"github.com/dsrepro/consensus/internal/obs/space"
 	"github.com/dsrepro/consensus/internal/pad"
 	"github.com/dsrepro/consensus/internal/register"
 	"github.com/dsrepro/consensus/internal/scan"
@@ -137,6 +138,28 @@ func (l *ExpLocal) SetNative(on bool) {
 	}
 }
 
+// SetSpace installs the space meter (nil detaches). The layout is identical
+// to the bounded protocol's — the baseline keeps the coin slots in its
+// entries, they just stay zero — so the frontier tables show it matching
+// Bounded on space while losing on expected time.
+func (l *ExpLocal) SetSpace(m *space.Meter) {
+	l.setSpace(m)
+	if sp, ok := l.mem.(register.SpaceSetter); ok {
+		sp.SetSpace(m, space.LayerRegister)
+	}
+	if m == nil {
+		return
+	}
+	n, k := int64(l.cfg.N), int64(l.cfg.K)
+	m.AddWords(space.LayerCore, n*3)       // pref + pointer + decided flag
+	m.AddWords(space.LayerWalk, n*(k+1))   // coin slots (present, always zero)
+	m.AddWords(space.LayerStrip, n*n)      // one strip row per entry
+	m.DeclareDomain(space.LayerCore, 3)    // pref ∈ {⊥,0,1}
+	m.DeclareDomain(space.LayerCore, k+1)  // strip pointer
+	m.DeclareDomain(space.LayerWalk, 1)    // slots never leave zero
+	m.DeclareDomain(space.LayerStrip, 3*k) // counters mod 3K
+}
+
 // captureState snapshots the published state for flight dumps (no coin
 // counters: this baseline's coin slots stay zero).
 func (l *ExpLocal) captureState() audit.State {
@@ -186,6 +209,13 @@ func (l *ExpLocal) inc(p *sched.Proc, st Entry, view []Entry) (Entry, error) {
 		return Entry{}, err
 	}
 	st.Edge = row
+	if l.spc.Enabled() {
+		for _, v := range row {
+			l.spc.NoteValue(space.LayerStrip, int64(v))
+		}
+		l.spc.NoteValue(space.LayerCore, int64(st.CurrentCoin))
+		l.spc.NoteValue(space.LayerCore, int64(st.Pref))
+	}
 	l.rounds[p.ID()].Add(1)
 	l.emit(Event{Step: p.Now(), Pid: p.ID(), Kind: EvRoundAdvance, Round: l.rounds[p.ID()].Load()})
 	return st, nil

@@ -7,6 +7,7 @@ import (
 	"github.com/dsrepro/consensus/internal/obs"
 	"github.com/dsrepro/consensus/internal/obs/audit"
 	"github.com/dsrepro/consensus/internal/obs/prof"
+	"github.com/dsrepro/consensus/internal/obs/space"
 	"github.com/dsrepro/consensus/internal/pad"
 	"github.com/dsrepro/consensus/internal/register"
 	"github.com/dsrepro/consensus/internal/scan"
@@ -22,6 +23,7 @@ import (
 type Oracle struct {
 	mu   sync.Mutex
 	bits map[int64]int8
+	spc  *space.Meter
 }
 
 // NewOracle returns an empty oracle.
@@ -38,6 +40,7 @@ func (o *Oracle) Flip(p *sched.Proc, round int64) int8 {
 	}
 	b := int8(p.Rand().Intn(2))
 	o.bits[round] = b
+	o.spc.AddWords(space.LayerWalk, 1) // the bit store grows one slot per round
 	return b
 }
 
@@ -138,6 +141,27 @@ func (s *StrongCoin) SetNative(on bool) {
 	}
 }
 
+// SetSpace installs the space meter (nil detaches). Entries carry only a
+// preference and an explicit round number; the oracle plays the shared
+// coin's role, so its one-bit-per-flipped-round store is metered online on
+// the walk layer (see Oracle.Flip).
+func (s *StrongCoin) SetSpace(m *space.Meter) {
+	s.setSpace(m)
+	if sp, ok := s.mem.(register.SpaceSetter); ok {
+		sp.SetSpace(m, space.LayerRegister)
+	}
+	s.oracle.spc = m
+	if m == nil {
+		return
+	}
+	n := int64(s.cfg.N)
+	m.AddWords(space.LayerCore, n*2) // pref + round
+	m.DeclareDomain(space.LayerCore, 3)
+	m.DeclareUnbounded(space.LayerCore) // explicit round numbers
+	m.DeclareDomain(space.LayerWalk, 2) // oracle bits are 1 bit wide...
+	// ...but their count is unbounded: AddWords in Flip records the growth.
+}
+
 // captureState snapshots the published state for flight dumps.
 func (s *StrongCoin) captureState() audit.State {
 	pk, ok := s.mem.(interface{ PeekSlot(int) UEntry })
@@ -187,6 +211,7 @@ func (s *StrongCoin) Metrics() Metrics {
 
 func (s *StrongCoin) inc(p *sched.Proc, st UEntry) UEntry {
 	st.Round++ // value field (the strong-coin entry never grows a strip)
+	s.spc.NoteValue(space.LayerCore, st.Round)
 	s.rounds[p.ID()].Add(1)
 	atomicMax(&s.maxRound, st.Round)
 	s.sink.GaugeMax(obs.GaugeMaxRound, st.Round)

@@ -6,6 +6,7 @@ import (
 	"github.com/dsrepro/consensus/internal/obs"
 	"github.com/dsrepro/consensus/internal/obs/audit"
 	"github.com/dsrepro/consensus/internal/obs/prof"
+	"github.com/dsrepro/consensus/internal/obs/space"
 )
 
 // EventKind classifies protocol trace events.
@@ -130,6 +131,7 @@ type traceSink struct {
 	sink   *obs.Sink
 	mon    *audit.Monitor
 	prof   *prof.Profiler
+	spc    *space.Meter
 }
 
 // SetTracer installs t (call before the run starts).
@@ -159,6 +161,14 @@ func (s *traceSink) setProfiler(f *prof.Profiler) { s.prof = f }
 
 // Profiler returns the installed step profiler (nil when profiling is off).
 func (s *traceSink) Profiler() *prof.Profiler { return s.prof }
+
+// setSpace installs the space meter on the protocol level. Protocols expose
+// SetSpace methods that also propagate the meter down the memory stack and
+// declare their static word layout and value domains.
+func (s *traceSink) setSpace(m *space.Meter) { s.spc = m }
+
+// Space returns the installed space meter (nil when metering is off).
+func (s *traceSink) Space() *space.Meter { return s.spc }
 
 // tracing reports whether any trace consumer is attached. Emit sites use it
 // to skip building Detail strings (the only allocating part of an event) when

@@ -6,6 +6,7 @@ import (
 	"github.com/dsrepro/consensus/internal/obs"
 	"github.com/dsrepro/consensus/internal/obs/audit"
 	"github.com/dsrepro/consensus/internal/obs/prof"
+	"github.com/dsrepro/consensus/internal/obs/space"
 	"github.com/dsrepro/consensus/internal/pad"
 	"github.com/dsrepro/consensus/internal/register"
 	"github.com/dsrepro/consensus/internal/scan"
@@ -125,6 +126,28 @@ func (u *AHUnbounded) SetNative(on bool) {
 	}
 }
 
+// SetSpace installs the space meter (nil detaches). The static layout is
+// pref + round per process (core); everything else — the explicit round
+// number, the per-round coin counters and the strip itself — is unbounded,
+// which is exactly what the meters exist to show: inc adds strip words
+// online as the strip grows, and the round/counter magnitudes are measured
+// at their write sites.
+func (u *AHUnbounded) SetSpace(m *space.Meter) {
+	u.setSpace(m)
+	if sp, ok := u.mem.(register.SpaceSetter); ok {
+		sp.SetSpace(m, space.LayerRegister)
+	}
+	if m == nil {
+		return
+	}
+	n := int64(u.cfg.N)
+	m.AddWords(space.LayerCore, n*2) // pref + round
+	m.DeclareDomain(space.LayerCore, 3)
+	m.DeclareUnbounded(space.LayerCore)  // explicit round numbers
+	m.DeclareUnbounded(space.LayerWalk)  // no ±(M+1) clamp
+	m.DeclareUnbounded(space.LayerStrip) // one slot per round, forever
+}
+
 // captureState snapshots the published state for flight dumps.
 func (u *AHUnbounded) captureState() audit.State {
 	pk, ok := u.mem.(interface{ PeekSlot(int) UEntry })
@@ -240,7 +263,9 @@ func (u *AHUnbounded) inc(p *sched.Proc, st UEntry) UEntry {
 	st.Round++
 	for int64(len(st.Strip)) < st.Round {
 		st.Strip = append(st.Strip, 0)
+		u.spc.AddWords(space.LayerStrip, 1) // online growth: the unbounded strip
 	}
+	u.spc.NoteValue(space.LayerCore, st.Round)
 	u.rounds[p.ID()].Add(1)
 	atomicMax(&u.maxRound, st.Round)
 	atomicMax(&u.stripLen, int64(len(st.Strip)))
@@ -315,6 +340,7 @@ func (u *AHUnbounded) Run(p *sched.Proc, input int) int {
 			span.To(u.sink, obs.PhaseCoin, i, p.Now(), p.Steps())
 			st = st.Clone()
 			st.Strip[st.Round-1] = u.params.StepCounterAudited(st.Strip[st.Round-1], p, u.sink, u.mon)
+			u.spc.NoteValue(space.LayerWalk, int64(st.Strip[st.Round-1]))
 			u.flips[i].Add(1)
 			atomicMax(&u.maxAbs, int64(abs(st.Strip[st.Round-1])))
 			u.sink.GaugeMax(obs.GaugeMaxAbsCoin, int64(abs(st.Strip[st.Round-1])))

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/dsrepro/consensus/internal/core"
+	"github.com/dsrepro/consensus/internal/obs/space"
 	"github.com/dsrepro/consensus/internal/sched"
 )
 
@@ -15,72 +16,182 @@ import (
 //	unbounded space  Abrahamson [A88]        AHUnbounded [AH88]
 //	bounded space    ExpLocal [ADS89-style]  Bounded (this paper)
 //
-// Space is classified from measured register contents (explicit round
-// numbers present or not); time from total-step growth under the lockstep
-// schedule, where the local-coin protocols blow up exponentially.
+// Both axes are machine-measured. Space comes from the accounting meters
+// (internal/obs/space): a protocol is unbounded-space when some layer
+// declares a domain with no static width (explicit round numbers, growing
+// strips), and the register/word/width columns are the meters' peaks. Time
+// comes from total-step growth under the lockstep schedule, where the
+// local-coin protocols blow up exponentially.
+//
+// A second table renders the measured space–time frontier within the
+// bounded quadrant: sweeping the strip constant K and the coin bound M
+// trades register width against expected steps, and the anonymous variant
+// sits at the opposite end — constant-width registers whose *count* grows
+// with the rounds the run happens to take.
 func e12Quadrants() Experiment {
 	return Experiment{
 		ID: "E12", Title: "the space/time quadrant matrix, measured", PaperRef: "§1 (problem statement and related work)",
 		Run: func(o RunOpts) []*Table {
-			trials := o.trials(8)
-			nSmall, nBig := 6, 12
-			if o.Quick {
-				nSmall, nBig = 3, 4
-			}
-			const budget = 200_000_000
-
-			kinds := []core.Kind{core.KindBounded, core.KindAHUnbounded, core.KindExpLocal, core.KindAbrahamson}
-			t := &Table{
-				Title: fmt.Sprintf("lockstep schedule, mixed inputs, %d trials per cell (n=%d and n=%d)", trials, nSmall, nBig),
-				Columns: []string{
-					"protocol", "rounds stored", "space class",
-					fmt.Sprintf("steps n=%d", nSmall), fmt.Sprintf("steps n=%d", nBig), "growth", "time class",
-				},
-			}
-			for _, kind := range kinds {
-				kind := kind
-				measure := func(n int) (float64, bool) {
-					outs := runTrials(o, trials, func(k int) core.Instance {
-						return core.Instance{
-							Kind: kind, Cfg: core.Config{B: 2}, Inputs: mixedInputs(n),
-							Seed: o.Seed + int64(17*n+k), Adversary: sched.NewRoundRobin(), MaxSteps: budget,
-						}
-					})
-					var steps []float64
-					unboundedSpace := false
-					for _, bo := range outs {
-						if bo.Err != nil || bo.Out.Err != nil {
-							continue
-						}
-						steps = append(steps, float64(bo.Out.Sched.Steps))
-						if bo.Out.Metrics.MaxRound > 0 {
-							unboundedSpace = true
-						}
-					}
-					return Mean(steps), unboundedSpace
-				}
-				small, ub1 := measure(nSmall)
-				big, ub2 := measure(nBig)
-				unbounded := ub1 || ub2
-				growth := 0.0
-				if small > 0 {
-					growth = big / small
-				}
-				spaceClass := "bounded"
-				if unbounded {
-					spaceClass = "UNBOUNDED"
-				}
-				// Polynomial reference: n doubling from nSmall to nBig with a
-				// degree<=4 polynomial grows at most 2^4 = 16x; the
-				// exponential protocols grow far faster under lockstep.
-				timeClass := "polynomial"
-				if growth > 40 {
-					timeClass = "EXPONENTIAL"
-				}
-				t.Add(kind.String(), unbounded, spaceClass, small, big, fmt.Sprintf("%.1fx", growth), timeClass)
-			}
-			t.Note("the paper's contribution is the bottom-right cell: bounded space AND polynomial time.")
-			return []*Table{t}
+			return []*Table{e12Matrix(o), e12Frontier(o)}
 		},
 	}
+}
+
+// spaceTrials runs m trials of one configuration with a meter per trial and
+// returns the outcomes plus the trial-merged usage (element-wise max, folded
+// in trial order).
+func spaceTrials(o RunOpts, m int, build func(k int) core.Instance) ([]core.BatchOutcome, space.Usage) {
+	meters := make([]*space.Meter, m)
+	outs := runTrials(o, m, func(k int) core.Instance {
+		inst := build(k)
+		meters[k] = space.NewMeter()
+		inst.Space = meters[k]
+		return inst
+	})
+	var u space.Usage
+	for _, sm := range meters {
+		u = space.Merge(u, sm.Usage())
+	}
+	return outs, u
+}
+
+// usageUnbounded reports whether some layer declared a width with no static
+// bound — the meters' version of "this protocol stores round numbers".
+func usageUnbounded(u space.Usage) bool {
+	for _, lu := range u.Layers {
+		if lu.DeclaredBits == space.UnboundedBits {
+			return true
+		}
+	}
+	return false
+}
+
+// widthCell renders a usage's widest register payload, marking widths that
+// have no static bound (the measured value is then just how far this run got).
+func widthCell(u space.Usage) string {
+	if usageUnbounded(u) {
+		return fmt.Sprintf("unbounded (saw %d)", u.MaxBits)
+	}
+	return fmt.Sprintf("%d", u.MaxBits)
+}
+
+// e12Matrix builds the measured quadrant matrix, plus the anonymous variant
+// as a fifth row: it is off the classical axes (bounded register width but a
+// register count that grows with the rounds taken).
+func e12Matrix(o RunOpts) *Table {
+	trials := o.trials(8)
+	nSmall, nBig := 6, 12
+	if o.Quick {
+		nSmall, nBig = 3, 4
+	}
+	const budget = 200_000_000
+
+	kinds := []core.Kind{core.KindBounded, core.KindAHUnbounded, core.KindExpLocal, core.KindAbrahamson, core.KindAnonymous}
+	t := &Table{
+		Title: fmt.Sprintf("lockstep schedule, mixed inputs, %d trials per cell (n=%d and n=%d)", trials, nSmall, nBig),
+		Columns: []string{
+			"protocol", "regs", "words", "bits/reg", "space class",
+			fmt.Sprintf("steps n=%d", nSmall), fmt.Sprintf("steps n=%d", nBig), "growth", "time class",
+		},
+	}
+	for _, kind := range kinds {
+		kind := kind
+		measure := func(n int) (float64, space.Usage) {
+			outs, u := spaceTrials(o, trials, func(k int) core.Instance {
+				return core.Instance{
+					Kind: kind, Cfg: core.Config{B: 2}, Inputs: mixedInputs(n),
+					Seed: o.Seed + int64(17*n+k), Adversary: sched.NewRoundRobin(), MaxSteps: budget,
+				}
+			})
+			var steps []float64
+			for _, bo := range outs {
+				if bo.Err != nil || bo.Out.Err != nil {
+					continue
+				}
+				steps = append(steps, float64(bo.Out.Sched.Steps))
+			}
+			return Mean(steps), u
+		}
+		small, u1 := measure(nSmall)
+		big, u2 := measure(nBig)
+		u := space.Merge(u1, u2)
+		growth := 0.0
+		if small > 0 {
+			growth = big / small
+		}
+		spaceClass := "bounded"
+		if usageUnbounded(u) {
+			spaceClass = "UNBOUNDED"
+		} else if kind == core.KindAnonymous {
+			spaceClass = "bounded width*"
+		}
+		// Polynomial reference: n doubling from nSmall to nBig with a
+		// degree<=4 polynomial grows at most 2^4 = 16x; the
+		// exponential protocols grow far faster under lockstep.
+		timeClass := "polynomial"
+		if growth > 40 {
+			timeClass = "EXPONENTIAL"
+		}
+		t.Add(kind.String(), u.Regs, u.PeakWords, widthCell(u), spaceClass, small, big, fmt.Sprintf("%.1fx", growth), timeClass)
+	}
+	t.Note("the paper's contribution is the bottom-right cell: bounded space AND polynomial time.")
+	t.Note("space columns are the accounting meters' trial maxima; a protocol is UNBOUNDED when some layer declares a width with no static bound (round numbers, growing strips).")
+	t.Note("*anonymous trades the other way: registers stay %d bits wide but their count (regs above) grows with the rounds a run takes.", 2)
+	return t
+}
+
+// e12Frontier sweeps the bounded protocol's space knobs — strip constant K
+// (edge counters live mod 3K) and coin bound M (counters clamp to ±(M+1)) —
+// against n, pairing each point's measured peak space with its expected
+// steps. The anonymous variant closes each n block as the opposite frontier
+// point.
+func e12Frontier(o RunOpts) *Table {
+	trials := o.trials(12)
+	ns := []int{4, 8}
+	if o.Quick {
+		ns = []int{4}
+	}
+	const budget = 100_000_000
+	type point struct {
+		kind core.Kind
+		k, m int
+	}
+	points := []point{
+		{core.KindBounded, 2, 6},
+		{core.KindBounded, 2, 64},
+		{core.KindBounded, 4, 6},
+		{core.KindBounded, 4, 64},
+		{core.KindAnonymous, 0, 0},
+	}
+	t := &Table{
+		Title:   fmt.Sprintf("space–time frontier, lockstep schedule, %d trials per point (K = strip constant, M = coin bound)", trials),
+		Columns: []string{"protocol", "n", "K", "M", "regs", "words", "bits/reg", "steps mean"},
+	}
+	for _, n := range ns {
+		n := n
+		for _, p := range points {
+			p := p
+			outs, u := spaceTrials(o, trials, func(k int) core.Instance {
+				return core.Instance{
+					Kind: p.kind, Cfg: core.Config{B: 1, K: p.k, M: p.m}, Inputs: mixedInputs(n),
+					Seed: o.Seed + int64(29*n+k), Adversary: sched.NewRoundRobin(), MaxSteps: budget,
+				}
+			})
+			var steps []float64
+			for _, bo := range outs {
+				if bo.Err != nil || bo.Out.Err != nil {
+					continue
+				}
+				steps = append(steps, float64(bo.Out.Sched.Steps))
+			}
+			kCell, mCell := "-", "-"
+			if p.kind == core.KindBounded {
+				kCell, mCell = fmt.Sprintf("%d", p.k), fmt.Sprintf("%d", p.m)
+			}
+			t.Add(p.kind.String(), n, kCell, mCell, u.Regs, u.PeakWords, widthCell(u), Mean(steps))
+		}
+	}
+	t.Note("shrinking M narrows the walk registers (width ~ log2(2M+3) bits) at the cost of more coin truncations; growing K widens the strip counters (mod 3K) but relaxes round-advance contention.")
+	t.Note("the anonymous variant holds width at 2 bits and pays in register count instead — the frontier's other endpoint.")
+	return t
 }

@@ -81,6 +81,8 @@ const (
 	Reg2WWrite
 	RegBloomRead
 	RegBloomWrite
+	RegMRMWRead  // anonymous-setting multi-writer register; Value = reader pid
+	RegMRMWWrite // Value = writer pid
 
 	// scan layer.
 	ScanClean  // a scan returned; Value = retries this scan took
@@ -142,6 +144,8 @@ var kindInfo = [numKinds]struct {
 	Reg2WWrite:    {"register.2w2r.write", "2w2r-w", LayerRegister},
 	RegBloomRead:  {"register.bloom.read", "bloom-r", LayerRegister},
 	RegBloomWrite: {"register.bloom.write", "bloom-w", LayerRegister},
+	RegMRMWRead:   {"register.mrmw.read", "mrmw-r", LayerRegister},
+	RegMRMWWrite:  {"register.mrmw.write", "mrmw-w", LayerRegister},
 	ScanClean:     {"scan.clean", "scan", LayerScan},
 	ScanRetry:     {"scan.retry", "retry", LayerScan},
 	ScanBorrow:    {"scan.borrow", "borrow", LayerScan},

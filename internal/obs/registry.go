@@ -18,6 +18,22 @@ const (
 	// GaugeAuditLastStep is the scheduler step of the most recent audit
 	// violation (0 when no probe ever fired; see internal/obs/audit).
 	GaugeAuditLastStep
+	// GaugeSpacePeakRegs..GaugeSpaceMaxBits are the space-accounting totals
+	// (see internal/obs/space): physical registers attached, registers
+	// actually written, peak state words, and the widest effective
+	// per-word width in bits.
+	GaugeSpacePeakRegs
+	GaugeSpaceLiveRegs
+	GaugeSpacePeakWords
+	GaugeSpaceMaxBits
+	// GaugeSpaceBitsRegister..GaugeSpaceBitsCore are the per-layer effective
+	// width family, in space.Layer enum order (register, scan, strip, walk,
+	// core). Contiguity is relied on by the publisher.
+	GaugeSpaceBitsRegister
+	GaugeSpaceBitsScan
+	GaugeSpaceBitsStrip
+	GaugeSpaceBitsWalk
+	GaugeSpaceBitsCore
 	numGauges
 )
 
@@ -32,6 +48,24 @@ func (g GaugeID) String() string {
 		return "core.max_strip_len"
 	case GaugeAuditLastStep:
 		return "audit.last_violation_step"
+	case GaugeSpacePeakRegs:
+		return "space.peak_regs"
+	case GaugeSpaceLiveRegs:
+		return "space.live_regs"
+	case GaugeSpacePeakWords:
+		return "space.peak_words"
+	case GaugeSpaceMaxBits:
+		return "space.max_bits"
+	case GaugeSpaceBitsRegister:
+		return "space.bits.register"
+	case GaugeSpaceBitsScan:
+		return "space.bits.scan"
+	case GaugeSpaceBitsStrip:
+		return "space.bits.strip"
+	case GaugeSpaceBitsWalk:
+		return "space.bits.walk"
+	case GaugeSpaceBitsCore:
+		return "space.bits.core"
 	default:
 		return "gauge.unknown"
 	}

@@ -1,0 +1,44 @@
+package space
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzParseUsage drives arbitrary bytes through the -space input path:
+// malformed input must come back as an error — never a panic — and any
+// snapshot the parser accepts must survive a marshal/parse round trip and
+// merge cleanly with itself (Merge must be idempotent on a single snapshot).
+func FuzzParseUsage(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"regs": 16, "live_regs": 16, "peak_words": 56, "max_bits": 12}`))
+	f.Add([]byte(`{"layers": {"walk": {"words": 12, "declared_bits": 12, "measured_bits": 5, "max_abs": 9}}}`))
+	f.Add([]byte(`{"layers": {"core": {"declared_bits": -1, "measured_bits": 3}}}`))
+	f.Add([]byte(`{"layers": {"turbo": {}}}`))
+	f.Add([]byte(`{"regs": -5}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		u, err := ParseUsage(data)
+		if err != nil {
+			return
+		}
+		out, merr := json.Marshal(u)
+		if merr != nil {
+			t.Fatalf("accepted snapshot does not marshal: %v", merr)
+		}
+		back, perr := ParseUsage(out)
+		if perr != nil {
+			t.Fatalf("round trip rejected: %v\ninput: %q\nre-encoded: %q", perr, data, out)
+		}
+		if back.Regs != u.Regs || back.LiveRegs != u.LiveRegs ||
+			back.PeakWords != u.PeakWords || back.MaxBits != u.MaxBits {
+			t.Fatalf("round trip changed totals: %+v vs %+v", back, u)
+		}
+		self := Merge(u, u)
+		if self.Regs != u.Regs || self.PeakWords != u.PeakWords || self.MaxBits != u.MaxBits {
+			t.Fatalf("Merge(u, u) changed totals: %+v vs %+v", self, u)
+		}
+		if err := self.Validate(); err != nil {
+			t.Fatalf("self-merge of a valid snapshot does not validate: %v", err)
+		}
+	})
+}

@@ -1,0 +1,26 @@
+package space
+
+import "github.com/dsrepro/consensus/internal/obs"
+
+// Publish pushes the meter's final readings into the sink's registry as the
+// space gauge family: the four totals plus one effective-width gauge per
+// layer. GaugeMax semantics make publication idempotent and batch merging
+// (MergeSnapshots takes gauge maxima) agree with space.Merge. Publishing
+// emits no events, so metered traces stay byte-identical to unmetered ones;
+// from the registry the family flows into Result.Gauges, harness tables and
+// the Prometheus exporter without further wiring.
+func (m *Meter) Publish(s *obs.Sink) {
+	if m == nil {
+		return
+	}
+	u := m.Usage()
+	s.GaugeMax(obs.GaugeSpacePeakRegs, u.Regs)
+	s.GaugeMax(obs.GaugeSpaceLiveRegs, u.LiveRegs)
+	s.GaugeMax(obs.GaugeSpacePeakWords, u.PeakWords)
+	s.GaugeMax(obs.GaugeSpaceMaxBits, int64(u.MaxBits))
+	for l := Layer(0); l < NumLayers; l++ {
+		if lu, ok := u.Layers[l.String()]; ok {
+			s.GaugeMax(obs.GaugeSpaceBitsRegister+obs.GaugeID(l), int64(lu.Bits()))
+		}
+	}
+}

@@ -1,0 +1,201 @@
+package space
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestDomainBits(t *testing.T) {
+	cases := []struct {
+		size int64
+		want int
+	}{
+		{0, 0}, {1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4},
+		{2051, 12}, // the bounded walk at default M=1024: 2M+3 values
+	}
+	for _, c := range cases {
+		if got := DomainBits(c.size); got != c.want {
+			t.Errorf("DomainBits(%d) = %d, want %d", c.size, got, c.want)
+		}
+	}
+}
+
+func TestMeasuredBits(t *testing.T) {
+	cases := []struct {
+		maxAbs  int64
+		negSeen bool
+		want    int
+	}{
+		{0, false, 0}, {1, false, 1}, {1, true, 2}, {2, false, 2},
+		{3, false, 2}, {4, false, 3}, {7, true, 4}, {1024, false, 11},
+	}
+	for _, c := range cases {
+		if got := MeasuredBits(c.maxAbs, c.negSeen); got != c.want {
+			t.Errorf("MeasuredBits(%d, %v) = %d, want %d", c.maxAbs, c.negSeen, got, c.want)
+		}
+	}
+}
+
+func TestMeterUsage(t *testing.T) {
+	m := NewMeter()
+	m.AddRegs(LayerRegister, 4)
+	m.RegTouched(LayerRegister)
+	m.RegTouched(LayerRegister)
+	m.AddWords(LayerWalk, 12)
+	m.DeclareDomain(LayerWalk, 2051)
+	m.NoteValue(LayerWalk, -9)
+	m.NoteValue(LayerWalk, 5)
+	m.DeclareUnbounded(LayerCore)
+	m.NoteValue(LayerCore, 3)
+
+	u := m.Usage()
+	if u.Regs != 4 || u.LiveRegs != 2 || u.PeakWords != 12 {
+		t.Errorf("totals = regs %d live %d words %d, want 4/2/12", u.Regs, u.LiveRegs, u.PeakWords)
+	}
+	walk := u.Layers["walk"]
+	if walk.DeclaredBits != 12 {
+		t.Errorf("walk declared bits = %d, want 12", walk.DeclaredBits)
+	}
+	if walk.MeasuredBits != 5 { // |−9| needs 4 magnitude bits + sign
+		t.Errorf("walk measured bits = %d, want 5", walk.MeasuredBits)
+	}
+	if walk.MaxAbs != 9 {
+		t.Errorf("walk max|v| = %d, want 9", walk.MaxAbs)
+	}
+	core := u.Layers["core"]
+	if core.DeclaredBits != UnboundedBits {
+		t.Errorf("core declared bits = %d, want unbounded sentinel", core.DeclaredBits)
+	}
+	if core.Bits() != 2 { // unbounded declaration: measured width wins
+		t.Errorf("core effective bits = %d, want 2", core.Bits())
+	}
+	if u.MaxBits != 12 {
+		t.Errorf("MaxBits = %d, want 12", u.MaxBits)
+	}
+	if _, ok := u.Layers["strip"]; ok {
+		t.Error("untouched layer must be omitted from the snapshot")
+	}
+}
+
+// TestNilMeterSafe locks the disabled-meter contract: every method on a nil
+// *Meter is a no-op, and its Usage is the zero value.
+func TestNilMeterSafe(t *testing.T) {
+	var m *Meter
+	if m.Enabled() {
+		t.Fatal("nil meter reports enabled")
+	}
+	m.AddRegs(LayerRegister, 1)
+	m.RegTouched(LayerScan)
+	m.AddWords(LayerWalk, 1)
+	m.DeclareDomain(LayerStrip, 6)
+	m.DeclareUnbounded(LayerCore)
+	m.NoteValue(LayerWalk, 99)
+	if got := m.MaxAbs(LayerWalk); got != 0 {
+		t.Errorf("nil meter MaxAbs = %d, want 0", got)
+	}
+	if u := m.Usage(); !u.Empty() {
+		t.Errorf("nil meter usage = %+v, want empty", u)
+	}
+}
+
+// TestMeterBoundsChecked locks that out-of-range layers are ignored, not a
+// panic (hook sites pass compile-time constants, but the meter is also fed
+// from parsed artifacts).
+func TestMeterBoundsChecked(t *testing.T) {
+	m := NewMeter()
+	m.AddRegs(Layer(-1), 5)
+	m.NoteValue(NumLayers, 5)
+	if u := m.Usage(); !u.Empty() {
+		t.Errorf("out-of-range layer recorded: %+v", u)
+	}
+}
+
+// TestMeterAllocFree locks the hot-path contract behind observation-does-not-
+// perturb: metering, enabled or disabled, never allocates.
+func TestMeterAllocFree(t *testing.T) {
+	var nilMeter *Meter
+	if avg := testing.AllocsPerRun(200, func() {
+		nilMeter.AddWords(LayerWalk, 1)
+		nilMeter.NoteValue(LayerWalk, 7)
+		nilMeter.RegTouched(LayerRegister)
+	}); avg != 0 {
+		t.Errorf("nil meter allocates %.1f/op", avg)
+	}
+	m := NewMeter()
+	if avg := testing.AllocsPerRun(200, func() {
+		m.AddWords(LayerWalk, 1)
+		m.NoteValue(LayerWalk, -7)
+		m.DeclareDomain(LayerStrip, 6)
+		m.RegTouched(LayerRegister)
+	}); avg != 0 {
+		t.Errorf("enabled meter allocates %.1f/op", avg)
+	}
+}
+
+func TestMergeSemantics(t *testing.T) {
+	mk := func(walkBits int, maxAbs int64, regs int64) Usage {
+		return Usage{
+			Layers: map[string]LayerUsage{
+				"walk": {DeclaredBits: walkBits, MeasuredBits: MeasuredBits(maxAbs, false), MaxAbs: maxAbs, Words: regs},
+			},
+			Regs: regs, LiveRegs: regs, PeakWords: regs, MaxBits: walkBits,
+		}
+	}
+	a := mk(12, 9, 16)
+	b := mk(UnboundedBits, 20, 8)
+
+	got := Merge(a, b)
+	if got.Regs != 16 || got.PeakWords != 16 {
+		t.Errorf("merge totals = %d/%d, want element-wise max 16/16", got.Regs, got.PeakWords)
+	}
+	if got.Layers["walk"].DeclaredBits != UnboundedBits {
+		t.Error("unbounded declared width must absorb the bounded one")
+	}
+	if got.Layers["walk"].MaxAbs != 20 {
+		t.Errorf("merged max|v| = %d, want 20", got.Layers["walk"].MaxAbs)
+	}
+
+	// Commutative, and the zero Usage is the identity.
+	if ab, ba := Merge(a, b), Merge(b, a); ab.Layers["walk"] != ba.Layers["walk"] || ab.Regs != ba.Regs {
+		t.Error("Merge is not commutative")
+	}
+	if id := Merge(a, Usage{}); id.Layers["walk"] != a.Layers["walk"] || id.Regs != a.Regs {
+		t.Error("zero Usage is not the Merge identity")
+	}
+}
+
+func TestParseUsageRoundTrip(t *testing.T) {
+	m := NewMeter()
+	m.AddRegs(LayerRegister, 4)
+	m.AddWords(LayerWalk, 12)
+	m.DeclareDomain(LayerWalk, 2051)
+	m.NoteValue(LayerWalk, -9)
+	u := m.Usage()
+
+	data, err := json.Marshal(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseUsage(data)
+	if err != nil {
+		t.Fatalf("ParseUsage: %v", err)
+	}
+	if back.Regs != u.Regs || back.MaxBits != u.MaxBits || back.Layers["walk"] != u.Layers["walk"] {
+		t.Errorf("round trip diverged: %+v vs %+v", back, u)
+	}
+}
+
+func TestParseUsageRejects(t *testing.T) {
+	bad := []string{
+		`{"regs": -1}`,
+		`{"layers": {"turbo": {}}}`,
+		`{"layers": {"walk": {"words": -2}}}`,
+		`{"layers": {"walk": {"declared_bits": -2}}}`,
+		`not json`,
+	}
+	for _, s := range bad {
+		if _, err := ParseUsage([]byte(s)); err == nil {
+			t.Errorf("ParseUsage(%q) accepted invalid input", s)
+		}
+	}
+}

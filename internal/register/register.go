@@ -28,8 +28,46 @@ import (
 
 	"github.com/dsrepro/consensus/internal/obs"
 	"github.com/dsrepro/consensus/internal/obs/audit"
+	"github.com/dsrepro/consensus/internal/obs/space"
 	"github.com/dsrepro/consensus/internal/sched"
 )
+
+// SpaceSetter is implemented by every register (and the scannable memories
+// built from them) so a space meter installed at the top of a protocol stack
+// propagates down to each primitive. Installing a meter (re)declares the
+// register under the given layer and re-arms its first-write liveness mark;
+// a nil meter detaches. Call before the run starts, never while processes
+// are active.
+type SpaceSetter interface {
+	SetSpace(m *space.Meter, l space.Layer)
+}
+
+// spaceMark is the embedded per-register liveness bookkeeping: the meter a
+// register reports to and a CAS-guarded first-write flag, atomic so the
+// native substrate's concurrent writers mark exactly once.
+type spaceMark struct {
+	spc     *space.Meter
+	layer   space.Layer
+	touched atomic.Bool
+}
+
+// set installs the meter (nil detaches), declaring regs physical registers
+// and re-arming the first-write mark.
+func (s *spaceMark) set(m *space.Meter, l space.Layer, regs int64) {
+	s.spc = m
+	s.layer = l
+	s.touched.Store(false)
+	m.AddRegs(l, regs)
+}
+
+// markWrite records the register's first write of the run. It takes no
+// scheduler steps and allocates nothing, so metered runs stay byte-identical
+// to unmetered ones.
+func (s *spaceMark) markWrite() {
+	if s.spc != nil && !s.touched.Load() && s.touched.CompareAndSwap(false, true) {
+		s.spc.RegTouched(s.layer)
+	}
+}
 
 // NativeSetter is implemented by every register and scannable memory so the
 // storage mode chosen by the substrate propagates down a protocol stack the
@@ -64,6 +102,7 @@ type SWMR[T any] struct {
 	owner  int
 	sink   *obs.Sink
 	native bool
+	space  spaceMark
 	mu     sync.Mutex
 	v      T
 	cell   natCell[T]
@@ -80,6 +119,9 @@ func (r *SWMR[T]) Owner() int { return r.owner }
 
 // SetSink installs the observability sink (call before the run starts).
 func (r *SWMR[T]) SetSink(s *obs.Sink) { r.sink = s }
+
+// SetSpace implements SpaceSetter: one physical register.
+func (r *SWMR[T]) SetSpace(m *space.Meter, l space.Layer) { r.space.set(m, l, 1) }
 
 // SetNative switches the storage mode (call before the run starts, never
 // while processes are active): true moves the current value into the padded
@@ -118,6 +160,7 @@ func (r *SWMR[T]) Write(p *sched.Proc, v T) {
 	}
 	p.Step()
 	r.sink.Emit(obs.Event{Step: p.Now(), Pid: p.ID(), Kind: obs.RegSWMRWrite, Value: int64(r.owner)})
+	r.space.markWrite()
 	if r.native {
 		// Copy via new(T) rather than &v: taking the parameter's address
 		// would make it escape on the simulated path too, breaking the
@@ -185,6 +228,11 @@ func NewToggledSWMR[T any](owner int, init T) *ToggledSWMR[T] {
 
 // SetSink installs the observability sink on the wrapped register.
 func (r *ToggledSWMR[T]) SetSink(s *obs.Sink) { r.reg.SetSink(s) }
+
+// SetSpace installs the space meter on the wrapped register (the toggle bit
+// is part of the same physical register, accounted as scan-layer overhead by
+// the memory that owns this wrapper).
+func (r *ToggledSWMR[T]) SetSpace(m *space.Meter, l space.Layer) { r.reg.SetSpace(m, l) }
 
 // SetNative switches the wrapped register's storage mode. The toggle-bit
 // bookkeeping needs no change: r.next is owner-local state.
@@ -260,6 +308,7 @@ type Direct2W struct {
 	a, b   int // the two parties allowed to access the register
 	sink   *obs.Sink
 	native bool
+	space  spaceMark
 	mu     sync.Mutex
 	v      bool
 	cell   natBoolCell
@@ -286,6 +335,14 @@ func (r *Direct2W) checkParty(pid int) {
 
 // SetSink installs the observability sink.
 func (r *Direct2W) SetSink(s *obs.Sink) { r.sink = s }
+
+// SetSpace implements SpaceSetter: one physical register holding one
+// boolean word.
+func (r *Direct2W) SetSpace(m *space.Meter, l space.Layer) {
+	r.space.set(m, l, 1)
+	m.AddWords(l, 1)
+	m.DeclareDomain(l, 2)
+}
 
 // SetNative switches the storage mode (see SWMR.SetNative).
 func (r *Direct2W) SetNative(on bool) {
@@ -318,6 +375,7 @@ func (r *Direct2W) Write(p *sched.Proc, v bool) {
 	r.checkParty(p.ID())
 	p.Step()
 	r.sink.Emit(obs.Event{Step: p.Now(), Pid: p.ID(), Kind: obs.Reg2WWrite})
+	r.space.markWrite()
 	if r.native {
 		r.cell.v.Store(v)
 		return
@@ -399,6 +457,16 @@ func (r *Bloom2W) SetSink(s *obs.Sink) {
 func (r *Bloom2W) SetNative(on bool) {
 	r.sub[0].SetNative(on)
 	r.sub[1].SetNative(on)
+}
+
+// SetSpace installs the space meter on both SWMR sub-registers: the Bloom
+// construction's physical footprint is its two single-writer halves, each
+// holding a (value, tag) pair of booleans.
+func (r *Bloom2W) SetSpace(m *space.Meter, l space.Layer) {
+	r.sub[0].SetSpace(m, l)
+	r.sub[1].SetSpace(m, l)
+	m.AddWords(l, 4)
+	m.DeclareDomain(l, 2)
 }
 
 // Write implements TwoWriter. Two atomic steps.

@@ -25,6 +25,7 @@ import (
 	"github.com/dsrepro/consensus/internal/obs"
 	"github.com/dsrepro/consensus/internal/obs/audit"
 	"github.com/dsrepro/consensus/internal/obs/prof"
+	"github.com/dsrepro/consensus/internal/obs/space"
 	"github.com/dsrepro/consensus/internal/pad"
 	"github.com/dsrepro/consensus/internal/register"
 	"github.com/dsrepro/consensus/internal/sched"
@@ -192,6 +193,26 @@ func (a *Arrow[T]) SetMonitor(m *audit.Monitor) {
 // profiler is strictly passive; every hook site is guarded by Enabled().
 func (a *Arrow[T]) SetProfiler(f *prof.Profiler) { a.prof = f }
 
+// SetSpace installs the space meter down the register stack, attributing the
+// n value registers to the register layer and the snapshot machinery — one
+// toggle bit per value register plus the n(n-1) arrow registers — to the
+// scan layer (nil detaches; see register.SpaceSetter). The payload width of
+// the values themselves is declared by the protocol that owns the entries.
+func (a *Arrow[T]) SetSpace(m *space.Meter, _ space.Layer) {
+	for i := 0; i < a.n; i++ {
+		a.vals[i].SetSpace(m, space.LayerRegister)
+		for j := 0; j < a.n; j++ {
+			if i != j {
+				if sp, ok := a.arrows[i][j].(register.SpaceSetter); ok {
+					sp.SetSpace(m, space.LayerScan)
+				}
+			}
+		}
+	}
+	m.AddWords(space.LayerScan, int64(a.n)) // toggle bits
+	m.DeclareDomain(space.LayerScan, 2)
+}
+
 // Write implements Memory: set the arrow in every other process's scanner
 // register, then publish the value. Wait-free; n atomic steps (2n with Bloom
 // arrow registers).
@@ -321,6 +342,7 @@ type SeqSnap[T any] struct {
 	n     int
 	sink  *obs.Sink
 	prof  *prof.Profiler
+	spc   *space.Meter
 	vals  []*register.SWMR[seqCell[T]]
 	local []T
 	seq   []uint64 // next sequence number per writer (owner-only access)
@@ -381,6 +403,19 @@ func (s *SeqSnap[T]) SetSink(sk *obs.Sink) {
 // SetProfiler attaches the step profiler (nil detaches; see Arrow).
 func (s *SeqSnap[T]) SetProfiler(f *prof.Profiler) { s.prof = f }
 
+// SetSpace installs the space meter: value registers on the register layer,
+// the per-register sequence number — the unbounded word this baseline pays
+// for its snapshots — on the scan layer, with its growth measured online in
+// Write.
+func (s *SeqSnap[T]) SetSpace(m *space.Meter, _ space.Layer) {
+	s.spc = m
+	for _, r := range s.vals {
+		r.SetSpace(m, space.LayerRegister)
+	}
+	m.AddWords(space.LayerScan, int64(s.n)) // sequence numbers
+	m.DeclareUnbounded(space.LayerScan)
+}
+
 // SetNative switches every value register's storage mode (see Arrow).
 func (s *SeqSnap[T]) SetNative(on bool) {
 	for _, r := range s.vals {
@@ -393,6 +428,7 @@ func (s *SeqSnap[T]) SetNative(on bool) {
 func (s *SeqSnap[T]) Write(p *sched.Proc, v T) {
 	i := p.ID()
 	s.seq[i]++
+	s.spc.NoteValue(space.LayerScan, int64(s.seq[i]))
 	s.vals[i].Write(p, seqCell[T]{val: v, seq: s.seq[i]})
 	s.local[i] = v
 	if s.prof.Enabled() {
@@ -524,6 +560,14 @@ func (c *Collect[T]) SetSink(s *obs.Sink) {
 func (c *Collect[T]) SetNative(on bool) {
 	for _, r := range c.vals {
 		r.SetNative(on)
+	}
+}
+
+// SetSpace installs the space meter on the value registers (the
+// single-collect baseline has no snapshot machinery to account).
+func (c *Collect[T]) SetSpace(m *space.Meter, _ space.Layer) {
+	for _, r := range c.vals {
+		r.SetSpace(m, space.LayerRegister)
 	}
 }
 

@@ -3,6 +3,7 @@ package scan
 import (
 	"github.com/dsrepro/consensus/internal/obs"
 	"github.com/dsrepro/consensus/internal/obs/prof"
+	"github.com/dsrepro/consensus/internal/obs/space"
 	"github.com/dsrepro/consensus/internal/pad"
 	"github.com/dsrepro/consensus/internal/register"
 	"github.com/dsrepro/consensus/internal/sched"
@@ -147,6 +148,26 @@ func (w *WaitFree[T]) SetSink(s *obs.Sink) {
 
 // SetProfiler attaches the step profiler (nil detaches; see Arrow).
 func (w *WaitFree[T]) SetProfiler(f *prof.Profiler) { w.prof = f }
+
+// SetSpace installs the space meter: the n value registers on the register
+// layer, and the construction's bounded snapshot machinery on the scan layer
+// — per register one toggle bit, n handshake p-bits, one embedded view slot
+// per process, plus the n(n-1) handshake-bit registers. The payload width of
+// the values is declared by the protocol that owns the entries.
+func (w *WaitFree[T]) SetSpace(m *space.Meter, _ space.Layer) {
+	n := int64(w.n)
+	for i := 0; i < w.n; i++ {
+		w.regs[i].SetSpace(m, space.LayerRegister)
+		for j := 0; j < w.n; j++ {
+			if i != j {
+				w.hands[i][j].SetSpace(m, space.LayerScan)
+			}
+		}
+	}
+	// toggle + p-vector + embedded view per record, one bit per handshake reg.
+	m.AddWords(space.LayerScan, n*(1+n+n)+n*(n-1))
+	m.DeclareDomain(space.LayerScan, 2)
+}
 
 // SetNative switches every underlying register's storage mode (see Arrow).
 func (w *WaitFree[T]) SetNative(on bool) {

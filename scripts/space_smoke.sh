@@ -1,0 +1,45 @@
+#!/bin/sh
+# space_smoke.sh — end-to-end check of the space accounting layer.
+#
+# For each of the six protocols: run one metered instance from a fixed seed,
+# export the usage snapshot, and validate it through traceview -space. The
+# bounded run uses a deliberately tight coin bound (M=6 at barrier b·n=4), so
+# consensus-sim's built-in static-bound check has teeth: it exits nonzero if
+# any measured payload escapes |coin| <= M+1 or a strip counter escapes
+# mod 3K. Then re-check the committed traceview -space golden, which locks
+# the n=4 bounded usage snapshot to the fixed seed. Exits nonzero on any
+# failure.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT INT TERM
+
+go build -o "$TMP/consensus-sim" ./cmd/consensus-sim
+go build -o "$TMP/traceview" ./cmd/traceview
+
+for alg in bounded aspnes-herlihy local-coin strong-coin abrahamson anonymous; do
+	extra=""
+	if [ "$alg" = bounded ]; then
+		extra="-b 1 -m 6" # tight clamp: the static-bound check must still hold
+	fi
+	# shellcheck disable=SC2086 # extra is deliberately word-split
+	"$TMP/consensus-sim" -alg "$alg" -inputs 0,1,1,0 -schedule random -seed 42 \
+		$extra -space -space-json "$TMP/$alg.space.json" \
+		>"$TMP/$alg.stdout" ||
+		{ echo "space_smoke: $alg: metered run failed (bound exceeded?)" >&2; cat "$TMP/$alg.stdout" >&2; exit 1; }
+	grep -q '^space     :' "$TMP/$alg.stdout" ||
+		{ echo "space_smoke: $alg: no space summary line" >&2; cat "$TMP/$alg.stdout" >&2; exit 1; }
+	"$TMP/traceview" -space "$TMP/$alg.space.json" >/dev/null ||
+		{ echo "space_smoke: $alg: usage snapshot did not render" >&2; exit 1; }
+done
+
+grep -q 'static bounds hold' "$TMP/bounded.stdout" ||
+	{ echo "space_smoke: bounded: static-bound verdict line missing" >&2; cat "$TMP/bounded.stdout" >&2; exit 1; }
+
+# The golden locks byte-determinism of the n=4 bounded usage snapshot.
+go test -run 'TestSpaceGolden' -count=1 ./cmd/traceview >/dev/null ||
+	{ echo "space_smoke: traceview -space golden diverged" >&2; exit 1; }
+
+echo "space_smoke: ok (6 protocols metered, bounds hold, golden stable)"

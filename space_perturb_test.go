@@ -1,0 +1,92 @@
+package consensus
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// everyAlgorithm lists all six protocols for the cross-protocol space suites.
+var everyAlgorithm = []Algorithm{Bounded, AspnesHerlihy, LocalCoin, StrongCoin, Abrahamson, Anonymous}
+
+// TestSpaceObservationDoesNotPerturb locks the meters' core contract: a
+// metered run is byte-identical to an unmetered one. The meters hook typed
+// mutation sites but take no scheduler steps, draw no randomness, and emit
+// no events, so the full cross-layer JSONL trace — every register operation,
+// scan, coin flip and decision in order — must not change when metering is
+// switched on, for every protocol.
+func TestSpaceObservationDoesNotPerturb(t *testing.T) {
+	for _, alg := range everyAlgorithm {
+		alg := alg
+		t.Run(alg.String(), func(t *testing.T) {
+			run := func(metered bool) ([]byte, Result) {
+				var buf bytes.Buffer
+				res, err := Solve(Config{
+					Inputs:     []int{0, 1, 1, 0},
+					Algorithm:  alg,
+					Seed:       42,
+					Schedule:   Schedule{Kind: RandomSchedule},
+					MaxSteps:   200_000_000,
+					Space:      metered,
+					TraceJSONL: &buf,
+				})
+				if err != nil {
+					t.Fatalf("Solve(metered=%v): %v", metered, err)
+				}
+				return buf.Bytes(), res
+			}
+			plain, plainRes := run(false)
+			metered, meteredRes := run(true)
+			if !bytes.Equal(plain, metered) {
+				t.Fatalf("metered trace diverged from unmetered (%d vs %d bytes); the meters perturbed the run",
+					len(plain), len(metered))
+			}
+			if plainRes.Value != meteredRes.Value || plainRes.Steps != meteredRes.Steps {
+				t.Fatalf("metered outcome diverged: value %d/%d steps %d/%d",
+					plainRes.Value, meteredRes.Value, plainRes.Steps, meteredRes.Steps)
+			}
+			if plainRes.Space != nil {
+				t.Error("unmetered run produced a space usage")
+			}
+			if meteredRes.Space == nil || meteredRes.Space.Empty() {
+				t.Error("metered run produced no space usage")
+			}
+		})
+	}
+}
+
+// TestBatchSpaceDeterministic locks batch aggregation: the merged usage is an
+// element-wise max folded in instance order, so it must be identical at any
+// worker count.
+func TestBatchSpaceDeterministic(t *testing.T) {
+	for _, alg := range everyAlgorithm {
+		alg := alg
+		t.Run(alg.String(), func(t *testing.T) {
+			run := func(parallel int) BatchResult {
+				res, err := SolveBatch(BatchConfig{
+					Instances: 24,
+					Seed:      9,
+					Parallel:  parallel,
+					Base: Config{
+						Inputs:    []int{0, 1, 1, 0},
+						Algorithm: alg,
+						MaxSteps:  200_000_000,
+						Space:     true,
+					},
+				})
+				if err != nil {
+					t.Fatalf("SolveBatch(parallel=%d): %v", parallel, err)
+				}
+				return res
+			}
+			serial := run(1)
+			fanned := run(4)
+			if serial.Space == nil || fanned.Space == nil {
+				t.Fatal("batch with Space: true produced no usage")
+			}
+			if !reflect.DeepEqual(*serial.Space, *fanned.Space) {
+				t.Errorf("batch usage differs across worker counts:\nserial: %+v\nfanned: %+v", *serial.Space, *fanned.Space)
+			}
+		})
+	}
+}
