@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all ci build test test-race test-short bench bench-json bench-check live-smoke prof-smoke space-smoke native-smoke native-stress experiments experiments-quick fuzz vet fmt fmt-check clean
+.PHONY: all ci build test test-race test-short bench bench-json bench-check live-smoke prof-smoke space-smoke native-smoke dispatch-smoke native-stress experiments experiments-quick fuzz vet fmt fmt-check clean
 
 all: vet test build
 
@@ -21,13 +21,17 @@ all: vet test build
 # protocol metered, the bounded protocol's static payload bounds enforced,
 # and the traceview -space golden), and the native-substrate smoke test (every
 # protocol on real goroutines + lock-free registers with the audit monitor as
-# the online correctness oracle). The -short -race pass is also the native
-# race lane: it drives the substrate conformance suite and the native
-# preemption stress sweep (GOMAXPROCS x randomized yields), so the lock-free
-# register stack is race-checked on every CI run.
+# the online correctness oracle), and the commuting-dispatch smoke test
+# (every protocol under both dispatch modes with the monitor escalated, a
+# seed-determinism check, the native+commuting rejection, and a capped n=32
+# commuting workload). The -short -race pass is also the native race lane: it
+# drives the substrate conformance suite and the native preemption stress
+# sweep (GOMAXPROCS x randomized yields), so the lock-free register stack is
+# race-checked on every CI run — and the commuting engine's replay
+# equivalence suite, so the batched grant path is race-checked too.
 ci: fmt-check vet build test
 	$(GO) test -short -race -timeout 900s ./...
-	$(GO) test -run XXX_none -bench 'BenchmarkSolveObservability|BenchmarkDispatch|BenchmarkRendezvous' -benchtime 0.2s -timeout 600s . ./internal/sched/
+	$(GO) test -run XXX_none -bench 'BenchmarkSolveObservability|BenchmarkSolveDispatch|BenchmarkDispatch|BenchmarkRendezvous' -benchtime 0.2s -timeout 600s . ./internal/sched/
 	for alg in bounded aspnes-herlihy local-coin strong-coin abrahamson anonymous; do \
 		$(GO) run ./cmd/consensus-sim -alg $$alg -inputs 0,1,1,0 -schedule random -seed 42 -audit -audit-sample 1 >/dev/null || exit 1; \
 	done
@@ -35,6 +39,7 @@ ci: fmt-check vet build test
 	./scripts/prof_smoke.sh
 	./scripts/space_smoke.sh
 	./scripts/native_smoke.sh
+	./scripts/dispatch_smoke.sh
 	$(GO) run ./cmd/benchdiff BENCH_batch.json BENCH_batch.json
 
 build:
@@ -54,13 +59,14 @@ bench:
 
 # bench-json emits the machine-readable batch benchmark artifact (schema in
 # DESIGN.md): the standard workload matrix ({bounded, aspnes-herlihy} x
-# {n=4, n=8, n=16} x {simulated, native} plus the K/M space-time frontier
-# rows and the anonymous variant), each entry carrying throughput, the step
-# distribution, the merged metrics snapshot, derived ratios, the phase
-# histograms, and the space-accounting block (peak/live registers, words,
-# per-layer bits) that benchdiff's space gates compare. The substrate and
-# K/M knobs are part of each workload's key, so benchdiff never
-# pair-compares a native row against a simulated one or across knobs.
+# {n=4, n=8, n=16, n=32} x {simulated, native} plus the commuting-dispatch
+# rows, the K/M space-time frontier rows and the anonymous variant), each
+# entry carrying throughput, the step distribution, the merged metrics
+# snapshot, derived ratios, the phase histograms, and the space-accounting
+# block (peak/live registers, words, per-layer bits) that benchdiff's space
+# gates compare. The substrate, dispatch mode and K/M knobs are part of each
+# workload's key, so benchdiff never pair-compares a native row against a
+# simulated one, a commuting row against a sequential one, or across knobs.
 bench-json:
 	$(GO) run ./cmd/consensus-load -matrix -seed 42 -json > BENCH_batch.json
 	@echo "wrote BENCH_batch.json"
@@ -86,6 +92,9 @@ space-smoke:
 native-smoke:
 	./scripts/native_smoke.sh
 
+dispatch-smoke:
+	./scripts/dispatch_smoke.sh
+
 # native-stress is the full (non -short) race-checked native sweep: the
 # substrate conformance suite plus the preemption/crash stress matrices.
 native-stress:
@@ -106,6 +115,7 @@ fuzz:
 	$(GO) test -fuzz FuzzAuditDump -fuzztime 30s ./internal/obs/audit/
 	$(GO) test -fuzz FuzzProfReport -fuzztime 30s ./internal/obs/prof/
 	$(GO) test -fuzz FuzzParseUsage -fuzztime 30s ./internal/obs/space/
+	$(GO) test -fuzz FuzzCommutingGrant -fuzztime 30s ./internal/sched/
 
 vet:
 	$(GO) vet ./...

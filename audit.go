@@ -28,6 +28,10 @@ func runInfoFor(cfg Config, alg Algorithm, instance int, batchSeed int64) audit.
 		f := false
 		replayable = &f
 	}
+	dispatch := ""
+	if cfg.ParallelDispatch {
+		dispatch = "commuting"
+	}
 	return audit.RunInfo{
 		Algorithm:  alg.String(),
 		N:          len(cfg.Inputs),
@@ -46,6 +50,7 @@ func runInfoFor(cfg Config, alg Algorithm, instance int, batchSeed int64) audit.
 		MaxSteps:   cfg.MaxSteps,
 		Mutation:   audit.ActiveMutation(),
 		Substrate:  substrate,
+		Dispatch:   dispatch,
 		Replayable: replayable,
 	}
 }
@@ -82,6 +87,9 @@ func ReplayConfig(info audit.RunInfo) (Config, error) {
 	if info.N != 0 && info.N != len(info.Inputs) {
 		return Config{}, fmt.Errorf("consensus: replay info n=%d but %d inputs", info.N, len(info.Inputs))
 	}
+	if info.Dispatch != "" && info.Dispatch != "sequential" && info.Dispatch != "commuting" {
+		return Config{}, fmt.Errorf("consensus: unknown dispatch mode %q", info.Dispatch)
+	}
 	return Config{
 		Inputs:           append([]int(nil), info.Inputs...),
 		Algorithm:        alg,
@@ -94,6 +102,7 @@ func ReplayConfig(info audit.RunInfo) (Config, error) {
 		Memory:           mem,
 		UseBloomArrows:   info.Bloom,
 		FastDecide:       info.FastPath,
+		ParallelDispatch: info.Dispatch == "commuting",
 		Audit:            true,
 		AuditSampleEvery: 1,
 	}, nil

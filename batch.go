@@ -173,6 +173,9 @@ func SolveBatch(cfg BatchConfig) (BatchResult, error) {
 		if sub != nil && sub.NativeRegisters() && c.Profile {
 			return BatchResult{}, fmt.Errorf("consensus: batch instance %d: Profile requires the simulated substrate", k)
 		}
+		if sub != nil && sub.NativeRegisters() && c.ParallelDispatch {
+			return BatchResult{}, fmt.Errorf("consensus: batch instance %d: ParallelDispatch requires the simulated substrate", k)
+		}
 		// Each audited instance gets its own monitor: flight rings and
 		// violation counters are per-instance state, so workers never share.
 		var mon *audit.Monitor
@@ -226,6 +229,7 @@ func SolveBatch(cfg BatchConfig) (BatchResult, error) {
 			Profiler:  pr,
 			Space:     sm,
 			Substrate: sub,
+			Commuting: c.ParallelDispatch,
 		}
 	}
 

@@ -95,6 +95,46 @@ func BenchmarkSolve(b *testing.B) {
 	}
 }
 
+// BenchmarkSolveDispatch compares sequential and commuting dispatch on the
+// sizes where scan retries dominate — the n-scaling wall the commuting
+// engine exists to crack.
+func BenchmarkSolveDispatch(b *testing.B) {
+	for _, c := range []struct {
+		name     string
+		n        int
+		parallel bool
+	}{
+		{"sequential/n=8", 8, false},
+		{"commuting/n=8", 8, true},
+		{"sequential/n=16", 16, false},
+		{"commuting/n=16", 16, true},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			inputs := make([]int, c.n)
+			for i := range inputs {
+				inputs[i] = i % 2
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := Solve(Config{
+					Inputs:           inputs,
+					Seed:             int64(i + 1),
+					Schedule:         Schedule{Kind: RandomSchedule},
+					MaxSteps:         200_000_000,
+					B:                2,
+					ParallelDispatch: c.parallel,
+				})
+				if err != nil {
+					b.Fatalf("Solve: %v", err)
+				}
+				if res.Value != 0 && res.Value != 1 {
+					b.Fatalf("bad decision %d", res.Value)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkSolveBatch measures batch throughput at several worker counts:
 // 32 pooled instances per iteration, seed-sharded. Speedup over parallel=1
 // scales with hardware threads (the per-instance scheduler is itself

@@ -39,6 +39,7 @@ func run() int {
 		algFlag   = flag.String("alg", "bounded", "algorithm: bounded | aspnes-herlihy | local-coin | strong-coin | abrahamson | anonymous")
 		schedFlag = flag.String("schedule", "random", "schedule: round-robin | random (ignored by -substrate native: the hardware schedules)")
 		subFlag   = flag.String("substrate", "simulated", "execution backend: simulated | native (real goroutines on lock-free registers; not deterministic)")
+		dispFlag  = flag.String("dispatch", "sequential", "dispatch engine: sequential | commuting (batch disjoint-footprint steps between adversary consults; simulated substrate only)")
 		seed      = flag.Int64("seed", 1, "batch seed (instance k replays with Seed = InstanceSeed(seed, k))")
 		maxSteps  = flag.Int64("max-steps", 100_000_000, "per-instance step budget")
 		b         = flag.Int("b", 4, "shared-coin barrier multiplier")
@@ -62,6 +63,10 @@ func run() int {
 		return 2
 	}
 	if _, err := parseSubstrate(*subFlag); err != nil {
+		fmt.Fprintf(os.Stderr, "consensus-load: %v\n", err)
+		return 2
+	}
+	if _, err := parseDispatch(*dispFlag); err != nil {
 		fmt.Fprintf(os.Stderr, "consensus-load: %v\n", err)
 		return 2
 	}
@@ -141,7 +146,7 @@ func run() int {
 	if *tail > 0 {
 		ring = obs.NewRing(*tail)
 	}
-	r, res, code := runWorkload(workloadSpec{Alg: *algFlag, N: *n, Instances: *instances, Substrate: *subFlag, K: *kFlag, M: *mFlag}, opts, ring)
+	r, res, code := runWorkload(workloadSpec{Alg: *algFlag, N: *n, Instances: *instances, Substrate: *subFlag, Dispatch: *dispFlag, K: *kFlag, M: *mFlag}, opts, ring)
 	if code == 2 {
 		return 2
 	}
@@ -163,13 +168,15 @@ func run() int {
 }
 
 // workloadSpec names one batch workload of the matrix: an algorithm, a
-// process count, a substrate ("" = simulated), how many instances to run, and
-// optional K/M overrides for the space–time frontier rows (0 = defaults).
+// process count, a substrate ("" = simulated), a dispatch mode ("" =
+// sequential), how many instances to run, and optional K/M overrides for the
+// space–time frontier rows (0 = defaults).
 type workloadSpec struct {
 	Alg       string
 	N         int
 	Instances int
 	Substrate string
+	Dispatch  string
 	K         int
 	M         int
 }
@@ -188,24 +195,40 @@ type workloadSpec struct {
 // arbiter — so the counts match the simulated rows. Native rows never
 // pair-compare against simulated ones (the substrate is part of the workload
 // key).
-// The frontier rows at the bottom sweep the space knobs on the simulated
-// substrate — strip constant K, coin bound M, and the anonymous variant —
-// so the artifact carries the measured space–time frontier: every report's
-// space block (peak registers, bits per register) pairs with its steps
-// summary. Explicit K/M are part of the workload key.
+// The frontier rows sweep the space knobs on the simulated substrate —
+// strip constant K, coin bound M, and the anonymous variant — so the
+// artifact carries the measured space–time frontier: every report's space
+// block (peak registers, bits per register) pairs with its steps summary.
+// Explicit K/M are part of the workload key.
+// The n=32 rows measure past the scaling wall on both substrates; the
+// sequential simulated pair is deliberately tiny (each instance runs
+// millions of steps), which is itself the datum motivating the rows below
+// them. The commuting rows rerun the contended sizes under commuting-step
+// dispatch (batched disjoint-footprint grants + epoch scan repair) — the
+// dispatch mode is part of the workload key, so they never pair-compare
+// against sequential rows.
 var matrixWorkloads = []workloadSpec{
 	{Alg: "bounded", N: 4, Instances: 400},
 	{Alg: "bounded", N: 8, Instances: 60},
 	{Alg: "bounded", N: 16, Instances: 12},
+	{Alg: "bounded", N: 32, Instances: 4},
 	{Alg: "aspnes-herlihy", N: 4, Instances: 200},
 	{Alg: "aspnes-herlihy", N: 8, Instances: 40},
 	{Alg: "aspnes-herlihy", N: 16, Instances: 8},
+	{Alg: "aspnes-herlihy", N: 32, Instances: 4},
 	{Alg: "bounded", N: 4, Instances: 400, Substrate: "native"},
 	{Alg: "bounded", N: 8, Instances: 60, Substrate: "native"},
 	{Alg: "bounded", N: 16, Instances: 12, Substrate: "native"},
+	{Alg: "bounded", N: 32, Instances: 12, Substrate: "native"},
 	{Alg: "aspnes-herlihy", N: 4, Instances: 200, Substrate: "native"},
 	{Alg: "aspnes-herlihy", N: 8, Instances: 40, Substrate: "native"},
 	{Alg: "aspnes-herlihy", N: 16, Instances: 8, Substrate: "native"},
+	{Alg: "aspnes-herlihy", N: 32, Instances: 12, Substrate: "native"},
+	{Alg: "bounded", N: 8, Instances: 200, Dispatch: "commuting"},
+	{Alg: "bounded", N: 16, Instances: 40, Dispatch: "commuting"},
+	{Alg: "bounded", N: 32, Instances: 12, Dispatch: "commuting"},
+	{Alg: "aspnes-herlihy", N: 8, Instances: 200, Dispatch: "commuting"},
+	{Alg: "aspnes-herlihy", N: 32, Instances: 12, Dispatch: "commuting"},
 	{Alg: "bounded", N: 4, Instances: 200, K: 3},
 	{Alg: "bounded", N: 4, Instances: 200, K: 4},
 	{Alg: "bounded", N: 4, Instances: 200, M: 64},
@@ -266,6 +289,15 @@ func runWorkload(ws workloadSpec, opts workloadOpts, ring *obs.Ring) (benchfmt.R
 		fmt.Fprintf(os.Stderr, "consensus-load: %v\n", err)
 		return benchfmt.Report{}, consensus.BatchResult{}, 2
 	}
+	commuting, err := parseDispatch(ws.Dispatch)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "consensus-load: %v\n", err)
+		return benchfmt.Report{}, consensus.BatchResult{}, 2
+	}
+	if sub == consensus.NativeSubstrate && commuting {
+		fmt.Fprintf(os.Stderr, "consensus-load: %s/n=%d: commuting dispatch requires the simulated substrate\n", ws.Alg, ws.N)
+		return benchfmt.Report{}, consensus.BatchResult{}, 2
+	}
 	profile := opts.profile
 	if sub == consensus.NativeSubstrate && profile {
 		// The step profiler requires serialized steps; native workloads of a
@@ -302,6 +334,7 @@ func runWorkload(ws workloadSpec, opts workloadOpts, ring *obs.Ring) (benchfmt.R
 			Algorithm:        alg,
 			Schedule:         opts.schedule,
 			Substrate:        sub,
+			ParallelDispatch: commuting,
 			MaxSteps:         opts.maxSteps,
 			B:                opts.b,
 			K:                ws.K,
@@ -327,12 +360,17 @@ func runWorkload(ws workloadSpec, opts workloadOpts, ring *obs.Ring) (benchfmt.R
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	dispatch := ""
+	if commuting {
+		dispatch = "commuting"
+	}
 	r := benchfmt.Report{
 		Algorithm:       ws.Alg,
 		N:               ws.N,
 		K:               ws.K,
 		M:               ws.M,
 		Substrate:       sub.String(),
+		Dispatch:        dispatch,
 		Instances:       ws.Instances,
 		Parallel:        workers,
 		Seed:            opts.seed,
@@ -389,7 +427,8 @@ func derivedStats(counters map[string]int64) map[string]float64 {
 
 // printReport renders one workload's report in the human text format.
 func printReport(r benchfmt.Report, ring *obs.Ring) {
-	fmt.Printf("algorithm     : %s (n=%d, %s substrate)\n", r.Algorithm, r.N, benchfmt.NormSubstrate(r.Substrate))
+	fmt.Printf("algorithm     : %s (n=%d, %s substrate, %s dispatch)\n",
+		r.Algorithm, r.N, benchfmt.NormSubstrate(r.Substrate), benchfmt.NormDispatch(r.Dispatch))
 	if r.K != 0 || r.M != 0 {
 		fmt.Printf("knobs         : K=%d M=%d (0 = default)\n", r.K, r.M)
 	}
@@ -540,6 +579,17 @@ func parseSubstrate(s string) (consensus.SubstrateKind, error) {
 		return consensus.NativeSubstrate, nil
 	default:
 		return 0, fmt.Errorf("unknown substrate %q (want simulated | native)", s)
+	}
+}
+
+func parseDispatch(s string) (bool, error) {
+	switch s {
+	case "", "sequential", "seq":
+		return false, nil
+	case "commuting":
+		return true, nil
+	default:
+		return false, fmt.Errorf("unknown dispatch %q (want sequential | commuting)", s)
 	}
 }
 

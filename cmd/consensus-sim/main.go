@@ -37,6 +37,7 @@ func run() int {
 		algFlag    = flag.String("alg", "bounded", "algorithm: bounded | aspnes-herlihy | local-coin | strong-coin | abrahamson | anonymous")
 		schedFlag  = flag.String("schedule", "round-robin", "schedule: round-robin | random | lagger")
 		subFlag    = flag.String("substrate", "simulated", "execution backend: simulated | native (real goroutines on lock-free registers; -crash and lagger starvation are emulated, other schedule kinds and replay do not apply)")
+		dispFlag   = flag.String("dispatch", "sequential", "dispatch engine: sequential (one adversary grant per step) | commuting (batch steps with disjoint register footprints between consults; simulated substrate only)")
 		victim     = flag.Int("victim", 0, "lagger: starved process id")
 		period     = flag.Int("period", 16, "lagger: victim scheduled once per period steps")
 		crashFlag  = flag.String("crash", "", "crashes as pid:step,pid:step")
@@ -82,18 +83,24 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "consensus-sim: %v\n", err)
 		return 2
 	}
+	commuting, err := parseDispatch(*dispFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "consensus-sim: %v\n", err)
+		return 2
+	}
 
 	cfg := consensus.Config{
-		Inputs:         inputs,
-		Algorithm:      alg,
-		Seed:           *seed,
-		Schedule:       schedule,
-		Substrate:      substrate,
-		MaxSteps:       *maxSteps,
-		B:              *b,
-		M:              *m,
-		K:              *k,
-		UseBloomArrows: *bloom,
+		Inputs:           inputs,
+		Algorithm:        alg,
+		Seed:             *seed,
+		Schedule:         schedule,
+		Substrate:        substrate,
+		ParallelDispatch: commuting,
+		MaxSteps:         *maxSteps,
+		B:                *b,
+		M:                *m,
+		K:                *k,
+		UseBloomArrows:   *bloom,
 	}
 	if *spaceJSON != "" {
 		*spaceFlag = true
@@ -151,6 +158,9 @@ func run() int {
 	fmt.Printf("algorithm : %v\n", alg)
 	if substrate == consensus.NativeSubstrate {
 		fmt.Printf("substrate : native (hardware interleaving — not replayable)\n")
+	}
+	if commuting {
+		fmt.Printf("dispatch  : commuting (batched disjoint-footprint grants; deterministic, seed-reproducible)\n")
 	}
 	fmt.Printf("inputs    : %v\n", inputs)
 	fmt.Printf("decision  : %d\n", res.Value)
@@ -384,6 +394,17 @@ func parseAlg(s string) (consensus.Algorithm, error) {
 		return consensus.Anonymous, nil
 	default:
 		return 0, fmt.Errorf("unknown algorithm %q", s)
+	}
+}
+
+func parseDispatch(s string) (bool, error) {
+	switch s {
+	case "", "sequential", "seq":
+		return false, nil
+	case "commuting":
+		return true, nil
+	default:
+		return false, fmt.Errorf("unknown dispatch %q (want sequential | commuting)", s)
 	}
 }
 

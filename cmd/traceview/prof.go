@@ -170,8 +170,16 @@ func profTables(name string, p *prof.Profile) []*harness.Table {
 	return tables
 }
 
-// contentionTable lists the registers by attributed scan failures, busiest
-// first (ties by register index).
+// contentionHotK is how many of the hottest registers the contention table
+// lists individually; the rest are folded into one aggregate row so the table
+// stays readable at n=32 and beyond.
+const contentionHotK = 5
+
+// contentionTable lists the hottest registers by attributed scan failures,
+// busiest first (ties by register index): the top contentionHotK
+// individually with a running cumulative share, then one aggregate row for
+// the remainder. The cumulative column is the profile-guided repair signal —
+// a steep head means the epoch scan's hot-register settling is buying steps.
 func contentionTable(name string, p *prof.Profile) *harness.Table {
 	type reg struct {
 		idx int
@@ -190,13 +198,21 @@ func contentionTable(name string, p *prof.Profile) *harness.Table {
 		return regs[i].idx < regs[j].idx
 	})
 	t := &harness.Table{
-		Title:   fmt.Sprintf("%s: contended registers", name),
-		Columns: []string{"register", "owner", "tripped scans", "share"},
+		Title:   fmt.Sprintf("%s: hottest registers (top %d of %d contended)", name, min(contentionHotK, len(regs)), len(regs)),
+		Columns: []string{"register", "owner", "tripped scans", "share", "cum share"},
 	}
 	total := p.Contention.Sum()
-	for _, r := range regs {
-		t.Add(fmt.Sprintf("r%d", r.idx), fmt.Sprintf("p%d", r.idx), r.v,
-			fmt.Sprintf("%.1f%%", 100*float64(r.v)/float64(total)))
+	pct := func(v int64) string { return fmt.Sprintf("%.1f%%", 100*float64(v)/float64(total)) }
+	var cum int64
+	for i, r := range regs {
+		if i >= contentionHotK {
+			break
+		}
+		cum += r.v
+		t.Add(fmt.Sprintf("r%d", r.idx), fmt.Sprintf("p%d", r.idx), r.v, pct(r.v), pct(cum))
+	}
+	if rest := len(regs) - contentionHotK; rest > 0 {
+		t.Add(fmt.Sprintf("(%d more)", rest), "-", total-cum, pct(total-cum), pct(total))
 	}
 	t.Note("registers are single-writer: register i is process i's slot in the snapshot object.")
 	return t

@@ -277,6 +277,24 @@ type Config struct {
 	// the SubstrateKind docs for what carries over.
 	Substrate SubstrateKind
 
+	// ParallelDispatch enables commuting-step dispatch on the simulated
+	// substrate: each adversary pick seeds a batch of steps with pairwise
+	// disjoint register footprints (different registers, or read-read on the
+	// same register), granted together between adversary consults. Every
+	// schedule it produces is a legal sequential grant order — the equivalence
+	// suite proves each run's trace byte-identical to replaying its recorded
+	// grant sequence through the sequential engine — so agreement, validity
+	// and step-accounting semantics are unchanged; only the adversary's
+	// consult granularity coarsens (it still picks every batch leader, and
+	// eligibility-aware adversaries veto extensions; adversaries without an
+	// eligibility notion degrade to exact sequential dispatch). Runs are
+	// deterministic and seed-reproducible, but a seed's schedule differs from
+	// its sequential-dispatch schedule. It also switches the scan layer to
+	// the dirty-bit epoch retry path, which re-checks only tripped registers
+	// on failed double collects. Rejected with NativeSubstrate (hardware
+	// picks that schedule, there is no dispatcher to batch).
+	ParallelDispatch bool
+
 	// NativePreemptEvery > 0 injects a randomized goroutine yield with
 	// probability 1/k before each step on the native substrate — a stress
 	// knob that forces fine-grained interleavings even on few cores. The
@@ -476,6 +494,9 @@ func Solve(cfg Config) (Result, error) {
 	if sub != nil && sub.NativeRegisters() && cfg.Profile {
 		return Result{}, errors.New("consensus: Profile requires the simulated substrate (profiler hooks assume serialized steps)")
 	}
+	if sub != nil && sub.NativeRegisters() && cfg.ParallelDispatch {
+		return Result{}, errors.New("consensus: ParallelDispatch requires the simulated substrate (native runs schedule on the hardware, not the adversary)")
+	}
 	// One sink serves every trace surface: the human-readable log filters the
 	// shared event stream to the core layer, the JSONL export takes all of
 	// it, and the metrics registry counts regardless. With no consumer the
@@ -532,6 +553,7 @@ func Solve(cfg Config) (Result, error) {
 		Profiler:  profiler,
 		Space:     meter,
 		Substrate: sub,
+		Commuting: cfg.ParallelDispatch,
 	})
 	if jsonl != nil {
 		if ferr := jsonl.Flush(); ferr != nil && err == nil {

@@ -29,7 +29,14 @@ type Report struct {
 	// Substrate names the execution backend the workload ran on ("simulated"
 	// or "native"). Empty means simulated — artifacts predate the field — so
 	// old and new artifacts keep pairing on the same keys.
-	Substrate       string           `json:"substrate,omitempty"`
+	Substrate string `json:"substrate,omitempty"`
+	// Dispatch names the scheduling engine ("sequential" or "commuting").
+	// Empty means sequential — artifacts predate the field — so old and new
+	// artifacts keep pairing on the same keys. Dispatch modes are different
+	// workloads: commuting schedules have a different interleaving
+	// distribution, so their step counts must never pair-compare against
+	// sequential rows.
+	Dispatch        string           `json:"dispatch,omitempty"`
 	Instances       int              `json:"instances"`
 	Parallel        int              `json:"parallel"`
 	Seed            int64            `json:"seed"`
@@ -116,6 +123,9 @@ func (r Report) Key() string {
 	if s := NormSubstrate(r.Substrate); s != "simulated" {
 		k += "/" + s
 	}
+	if d := NormDispatch(r.Dispatch); d != "sequential" {
+		k += "/" + d
+	}
 	return k
 }
 
@@ -124,6 +134,15 @@ func (r Report) Key() string {
 func NormSubstrate(s string) string {
 	if s == "" {
 		return "simulated"
+	}
+	return s
+}
+
+// NormDispatch maps a report's dispatch name to its canonical form: the
+// empty string (artifacts predating the field) is sequential dispatch.
+func NormDispatch(s string) string {
+	if s == "" {
+		return "sequential"
 	}
 	return s
 }

@@ -64,14 +64,17 @@ func (f Finding) String() string {
 }
 
 // Compare diffs two reports and returns the regressions found under the given
-// thresholds. The reports must describe the same workload (algorithm, n and
-// substrate — native timings are not comparable to simulated ones); a
-// mismatch is an error, not a finding, since the comparison would be
-// meaningless. Improvements never produce findings.
+// thresholds. The reports must describe the same workload (algorithm, n,
+// substrate and dispatch mode — native timings are not comparable to
+// simulated ones, and commuting schedules draw from a different interleaving
+// distribution than sequential ones); a mismatch is an error, not a finding,
+// since the comparison would be meaningless. Improvements never produce
+// findings.
 func Compare(old, new Report, th Thresholds) ([]Finding, error) {
 	if old.Algorithm != new.Algorithm || old.N != new.N ||
 		old.K != new.K || old.M != new.M ||
-		NormSubstrate(old.Substrate) != NormSubstrate(new.Substrate) {
+		NormSubstrate(old.Substrate) != NormSubstrate(new.Substrate) ||
+		NormDispatch(old.Dispatch) != NormDispatch(new.Dispatch) {
 		return nil, fmt.Errorf("benchfmt: incomparable reports: %s vs %s", old.Key(), new.Key())
 	}
 	var out []Finding

@@ -96,6 +96,14 @@ func (a *Abrahamson) SetNative(on bool) {
 	}
 }
 
+// SetScanEpoch toggles the scan layer's dirty-bit epoch retry path (see
+// Bounded.SetScanEpoch).
+func (a *Abrahamson) SetScanEpoch(on bool) {
+	if se, ok := a.mem.(interface{ SetEpoch(bool) }); ok {
+		se.SetEpoch(on)
+	}
+}
+
 // SetSpace installs the space meter (nil detaches). Entries carry only a
 // preference and an explicit round number, so the static layout is tiny —
 // the unbounded part is the round magnitude, measured online in inc.

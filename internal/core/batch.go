@@ -49,6 +49,9 @@ type Instance struct {
 	// nil runs the simulated step scheduler. Substrates are stateless across
 	// runs, so one value may be shared by every instance of a batch.
 	Substrate sched.Substrate
+	// Commuting selects commuting-step dispatch (see ExecConfig.Commuting).
+	// Rejected when Substrate is native.
+	Commuting bool
 }
 
 // BatchOutcome pairs one instance's outcome with its setup error. Out is
@@ -112,6 +115,7 @@ func RunBatchProgress(parallel int, sink *obs.Sink, prog *obs.BatchProgress, ins
 			Profiler:  inst.Profiler,
 			Space:     inst.Space,
 			Substrate: inst.Substrate,
+			Commuting: inst.Commuting,
 		})
 		out[k] = BatchOutcome{Out: o, Err: err}
 	}

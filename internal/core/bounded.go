@@ -245,6 +245,15 @@ func (b *Bounded) SetNative(on bool) {
 	}
 }
 
+// SetScanEpoch toggles the scan layer's dirty-bit epoch retry path (see
+// scan.Arrow.SetEpoch). ExecuteProto enables it together with commuting
+// dispatch and always calls it, so pooled instances never carry a stale mode.
+func (b *Bounded) SetScanEpoch(on bool) {
+	if se, ok := b.mem.(interface{ SetEpoch(bool) }); ok {
+		se.SetEpoch(on)
+	}
+}
+
 // SetSpace installs the space meter on the protocol and the memory stack
 // beneath it (nil detaches — ExecuteProto always calls it), and declares the
 // protocol's static layout: per process the entry carries pref +

@@ -151,6 +151,33 @@ type ExecConfig struct {
 	// Ignored when Substrate is non-nil.
 	Rendezvous bool
 
+	// Commuting selects the commuting-step dispatch engine (see
+	// sched.Config.Commuting): the adversary's pick seeds a batch of steps
+	// with pairwise-disjoint register footprints, granted together between
+	// consults. Every schedule it produces is a legal sequential grant order,
+	// so safety results transfer unchanged. Enabling it also switches the scan
+	// layer to the dirty-bit epoch retry path (Arrow.SetEpoch), which is where
+	// the step savings compound. Incompatible with native substrates (their
+	// scheduling is the hardware's, not the adversary's).
+	Commuting bool
+
+	// CommuteQuantum caps each batch member's run extension under commuting
+	// dispatch (0 = the sched default). See sched.Config.CommuteQuantum.
+	CommuteQuantum int
+
+	// ScanEpoch forces the scan layer's dirty-bit epoch retry path even under
+	// sequential dispatch (Commuting implies it). The dispatch-equivalence
+	// suite uses it to replay a commuting run's recorded schedule through the
+	// sequential engine with the process bodies unchanged — the retry path is
+	// body behavior, not engine behavior, so it must match across the pair.
+	ScanEpoch bool
+
+	// OnStep, if non-nil, is forwarded to sched.Config.OnStep: it observes
+	// every scheduler grant as (pid, step) in grant order. The equivalence
+	// suites use it to record a commuting run's schedule for sequential
+	// replay.
+	OnStep func(pid int, step int64)
+
 	// Substrate selects the execution backend (see sched.Substrate). Nil
 	// runs the deterministic simulated step scheduler — the default and the
 	// only mode with byte-reproducible traces. A substrate with
@@ -222,10 +249,18 @@ func ExecuteProto(proto Protocol, ec ExecConfig) (Outcome, error) {
 	if native && ec.Profiler.Enabled() {
 		return Outcome{}, errors.New("core: the step profiler requires the simulated substrate (its hooks assume serialized steps)")
 	}
+	if native && ec.Commuting {
+		return Outcome{}, errors.New("core: commuting dispatch requires the simulated substrate (native runs schedule on the hardware, not the adversary)")
+	}
 	// Always set the storage mode — a pooled instance may have last run on a
 	// different substrate.
 	if s, ok := proto.(interface{ SetNative(bool) }); ok {
 		s.SetNative(native)
+	}
+	// Always set the scan-retry mode too — a pooled instance may have last run
+	// under the other dispatch engine.
+	if s, ok := proto.(interface{ SetScanEpoch(bool) }); ok {
+		s.SetScanEpoch((ec.Commuting || ec.ScanEpoch) && !native)
 	}
 	// Native runs are not step-serialized: register-ops reach the monitor out
 	// of linearization order (phantom regularity violations) and hardware
@@ -276,12 +311,15 @@ func ExecuteProto(proto Protocol, ec ExecConfig) (Outcome, error) {
 		Values:  make([]int, n),
 	}
 	runCfg := sched.Config{
-		N:          n,
-		Seed:       ec.Seed,
-		Adversary:  ec.Adversary,
-		MaxSteps:   ec.MaxSteps,
-		Sink:       sink,
-		Rendezvous: ec.Rendezvous,
+		N:              n,
+		Seed:           ec.Seed,
+		Adversary:      ec.Adversary,
+		MaxSteps:       ec.MaxSteps,
+		Sink:           sink,
+		Rendezvous:     ec.Rendezvous,
+		Commuting:      ec.Commuting,
+		CommuteQuantum: ec.CommuteQuantum,
+		OnStep:         ec.OnStep,
 	}
 	body := func(p *sched.Proc) {
 		v := proto.Run(p, ec.Inputs[p.ID()])

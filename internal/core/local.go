@@ -138,6 +138,14 @@ func (l *ExpLocal) SetNative(on bool) {
 	}
 }
 
+// SetScanEpoch toggles the scan layer's dirty-bit epoch retry path (see
+// Bounded.SetScanEpoch).
+func (l *ExpLocal) SetScanEpoch(on bool) {
+	if se, ok := l.mem.(interface{ SetEpoch(bool) }); ok {
+		se.SetEpoch(on)
+	}
+}
+
 // SetSpace installs the space meter (nil detaches). The layout is identical
 // to the bounded protocol's — the baseline keeps the coin slots in its
 // entries, they just stay zero — so the frontier tables show it matching

@@ -21,17 +21,21 @@ import (
 // atomic coin flip operation" whose availability [CIL87] assumes and whose
 // absence motivates the rest of the literature.)
 type Oracle struct {
+	fp   int64 // footprint key: every flip mutates the shared bit store
 	mu   sync.Mutex
 	bits map[int64]int8
 	spc  *space.Meter
 }
 
 // NewOracle returns an empty oracle.
-func NewOracle() *Oracle { return &Oracle{bits: make(map[int64]int8)} }
+func NewOracle() *Oracle {
+	return &Oracle{fp: sched.NewFootprintKey(), bits: make(map[int64]int8)}
+}
 
 // Flip returns the shared random bit of the given round, drawing it from the
 // caller's randomness if this is the first flip for that round.
 func (o *Oracle) Flip(p *sched.Proc, round int64) int8 {
+	p.DeclareWrite(o.fp)
 	p.Step()
 	o.mu.Lock()
 	defer o.mu.Unlock()
@@ -138,6 +142,14 @@ func (s *StrongCoin) SetProfiler(f *prof.Profiler) {
 func (s *StrongCoin) SetNative(on bool) {
 	if sn, ok := s.mem.(interface{ SetNative(bool) }); ok {
 		sn.SetNative(on)
+	}
+}
+
+// SetScanEpoch toggles the scan layer's dirty-bit epoch retry path (see
+// Bounded.SetScanEpoch).
+func (s *StrongCoin) SetScanEpoch(on bool) {
+	if se, ok := s.mem.(interface{ SetEpoch(bool) }); ok {
+		se.SetEpoch(on)
 	}
 }
 

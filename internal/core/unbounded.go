@@ -126,6 +126,14 @@ func (u *AHUnbounded) SetNative(on bool) {
 	}
 }
 
+// SetScanEpoch toggles the scan layer's dirty-bit epoch retry path (see
+// Bounded.SetScanEpoch).
+func (u *AHUnbounded) SetScanEpoch(on bool) {
+	if se, ok := u.mem.(interface{ SetEpoch(bool) }); ok {
+		se.SetEpoch(on)
+	}
+}
+
 // SetSpace installs the space meter (nil detaches). The static layout is
 // pref + round per process (core); everything else — the explicit round
 // number, the per-round coin counters and the strip itself — is unbounded,

@@ -173,6 +173,10 @@ type RunInfo struct {
 	// deterministic step scheduler; "native" means real goroutines with no
 	// arbiter).
 	Substrate string `json:"substrate,omitempty"`
+	// Dispatch names the scheduling engine ("" or "sequential" means one
+	// adversary grant per step; "commuting" means batched commuting-step
+	// dispatch). Replay restores the mode so schedules re-derive exactly.
+	Dispatch string `json:"dispatch,omitempty"`
 	// Replayable reports whether the dump can be replayed deterministically
 	// from this header. Nil means true (dumps predating the field were all
 	// simulated); native-substrate dumps carry an explicit false, and

@@ -21,6 +21,7 @@ import (
 // Storage mirrors SWMR: a mutex-guarded value under the deterministic
 // substrate, a padded atomic cell in native mode (see SWMR.SetNative).
 type DirectMRMW[T any] struct {
+	fp     int64 // footprint key for commuting dispatch
 	sink   *obs.Sink
 	native bool
 	space  spaceMark
@@ -33,7 +34,7 @@ type DirectMRMW[T any] struct {
 // mode can be chosen at construction so lazily grown register files match
 // the substrate of the run that grows them.
 func NewDirectMRMW[T any](init T, native bool) *DirectMRMW[T] {
-	r := &DirectMRMW[T]{v: init}
+	r := &DirectMRMW[T]{fp: sched.NewFootprintKey(), v: init}
 	if native {
 		r.SetNative(true)
 	}
@@ -64,6 +65,7 @@ func (r *DirectMRMW[T]) SetNative(on bool) {
 
 // Read returns the register's current value. One atomic step.
 func (r *DirectMRMW[T]) Read(p *sched.Proc) T {
+	p.DeclareRead(r.fp)
 	p.Step()
 	r.sink.Emit(obs.Event{Step: p.Now(), Pid: p.ID(), Kind: obs.RegMRMWRead, Value: int64(p.ID())})
 	if r.native {
@@ -76,6 +78,7 @@ func (r *DirectMRMW[T]) Read(p *sched.Proc) T {
 
 // Write stores v. One atomic step. Any process may write.
 func (r *DirectMRMW[T]) Write(p *sched.Proc, v T) {
+	p.DeclareWrite(r.fp)
 	p.Step()
 	r.sink.Emit(obs.Event{Step: p.Now(), Pid: p.ID(), Kind: obs.RegMRMWWrite, Value: int64(p.ID())})
 	r.space.markWrite()

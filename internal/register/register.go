@@ -100,6 +100,7 @@ type SinkSetter interface {
 // hardware atomic register: one read or write is one atomic step.
 type SWMR[T any] struct {
 	owner  int
+	fp     int64 // footprint key for commuting dispatch (sched.NewFootprintKey)
 	sink   *obs.Sink
 	native bool
 	space  spaceMark
@@ -111,7 +112,7 @@ type SWMR[T any] struct {
 // NewSWMR returns an SWMR register owned (writable) by process owner,
 // initialized to init.
 func NewSWMR[T any](owner int, init T) *SWMR[T] {
-	return &SWMR[T]{owner: owner, v: init}
+	return &SWMR[T]{owner: owner, fp: sched.NewFootprintKey(), v: init}
 }
 
 // Owner returns the pid of the register's single writer.
@@ -142,6 +143,7 @@ func (r *SWMR[T]) SetNative(on bool) {
 
 // Read returns the register's current value. One atomic step.
 func (r *SWMR[T]) Read(p *sched.Proc) T {
+	p.DeclareRead(r.fp)
 	p.Step()
 	r.sink.Emit(obs.Event{Step: p.Now(), Pid: p.ID(), Kind: obs.RegSWMRRead, Value: int64(r.owner)})
 	if r.native {
@@ -158,6 +160,7 @@ func (r *SWMR[T]) Write(p *sched.Proc, v T) {
 	if p.ID() != r.owner {
 		panic(fmt.Sprintf("register: process %d wrote SWMR register owned by %d", p.ID(), r.owner))
 	}
+	p.DeclareWrite(r.fp)
 	p.Step()
 	r.sink.Emit(obs.Event{Step: p.Now(), Pid: p.ID(), Kind: obs.RegSWMRWrite, Value: int64(r.owner)})
 	r.space.markWrite()
@@ -305,7 +308,8 @@ type TwoWriter interface {
 // write is one atomic step. It stands in for the bounded constructions cited
 // by the paper when experiments do not need sub-operation granularity.
 type Direct2W struct {
-	a, b   int // the two parties allowed to access the register
+	a, b   int   // the two parties allowed to access the register
+	fp     int64 // footprint key for commuting dispatch
 	sink   *obs.Sink
 	native bool
 	space  spaceMark
@@ -324,7 +328,7 @@ type natBoolCell struct {
 
 // NewDirect2W returns a direct-model 2W2R register shared by processes a and b.
 func NewDirect2W(a, b int, init bool) *Direct2W {
-	return &Direct2W{a: a, b: b, v: init}
+	return &Direct2W{a: a, b: b, fp: sched.NewFootprintKey(), v: init}
 }
 
 func (r *Direct2W) checkParty(pid int) {
@@ -360,6 +364,7 @@ func (r *Direct2W) SetNative(on bool) {
 // Read implements TwoWriter. One atomic step.
 func (r *Direct2W) Read(p *sched.Proc) bool {
 	r.checkParty(p.ID())
+	p.DeclareRead(r.fp)
 	p.Step()
 	r.sink.Emit(obs.Event{Step: p.Now(), Pid: p.ID(), Kind: obs.Reg2WRead})
 	if r.native {
@@ -373,6 +378,7 @@ func (r *Direct2W) Read(p *sched.Proc) bool {
 // Write implements TwoWriter. One atomic step.
 func (r *Direct2W) Write(p *sched.Proc, v bool) {
 	r.checkParty(p.ID())
+	p.DeclareWrite(r.fp)
 	p.Step()
 	r.sink.Emit(obs.Event{Step: p.Now(), Pid: p.ID(), Kind: obs.Reg2WWrite})
 	r.space.markWrite()

@@ -87,6 +87,14 @@ type Arrow[T any] struct {
 	view   [][]T
 
 	retries []pad.Int64 // per-pid scan retry counts (metrics)
+
+	// epoch selects the dirty-bit retry path (see SetEpoch / scanEpoch). The
+	// per-pid scratch below is allocated on first enable and owned by each
+	// pid's goroutine, like c1/c2.
+	epoch   bool
+	epTrip  [][]bool  // epTrip[i][j]: register j tripped in i's last pass
+	epArrow [][]bool  // epArrow[i][j]: arrow (i,j) observed set, needs re-clearing
+	epHot   [][]int32 // epHot[i][j]: consecutive passes j has tripped
 }
 
 // NewArrow builds an Arrow memory for n processes using factory (direct
@@ -213,6 +221,27 @@ func (a *Arrow[T]) SetSpace(m *space.Meter, _ space.Layer) {
 	m.DeclareDomain(space.LayerScan, 2)
 }
 
+// SetEpoch selects (or deselects) the dirty-bit epoch retry path for every
+// scanner. It changes only the *cost* of retrying scans — views, events and
+// probe verdicts keep their semantics — but it does change step counts on
+// retry, so it is opt-in: ExecuteProto enables it together with commuting
+// dispatch and leaves the default path byte-identical to previous releases.
+// Idempotent; call only between runs (pooled instances are re-armed like
+// SetNative).
+func (a *Arrow[T]) SetEpoch(on bool) {
+	a.epoch = on
+	if on && a.epTrip == nil {
+		a.epTrip = make([][]bool, a.n)
+		a.epArrow = make([][]bool, a.n)
+		a.epHot = make([][]int32, a.n)
+		for i := 0; i < a.n; i++ {
+			a.epTrip[i] = make([]bool, a.n)
+			a.epArrow[i] = make([]bool, a.n)
+			a.epHot[i] = make([]int32, a.n)
+		}
+	}
+}
+
 // Write implements Memory: set the arrow in every other process's scanner
 // register, then publish the value. Wait-free; n atomic steps (2n with Bloom
 // arrow registers).
@@ -234,6 +263,9 @@ func (a *Arrow[T]) Write(p *sched.Proc, v T) {
 // until a clean pass. Not wait-free, but lock-free in the paper's sense: a
 // retry implies some other process completed a new write.
 func (a *Arrow[T]) Scan(p *sched.Proc) []T {
+	if a.epoch {
+		return a.scanEpoch(p)
+	}
 	i := p.ID()
 	v1, v2, out := a.c1[i], a.c2[i], a.view[i]
 	var tries, passStart int64
@@ -317,6 +349,147 @@ func (a *Arrow[T]) Scan(p *sched.Proc) []T {
 				reason = prof.BlameArrow
 			}
 			a.prof.ScanRetry(i, dirtyAt, reason, p.Steps()-passStart, p.Now())
+		}
+	}
+}
+
+// Epoch-path tuning: hotTrips is how many consecutive passes a register must
+// trip before the scanner tight-loops on it, and maxHotSettle caps the extra
+// settling reads per hot register per pass (each costs one step, so the cap
+// bounds the worst case at maxHotSettle·k extra steps for k hot registers).
+const (
+	hotTrips     = 2
+	maxHotSettle = 8
+)
+
+// scanEpoch is the dirty-bit retry path (profile-guided: the n=8 blame
+// matrix attributes 57.9% of steps to scan-retry burn concentrated on two
+// registers, and the classic retry re-pays 4(n-1) steps to re-check n-3
+// registers that never moved). Each failed pass records exactly which
+// registers tripped — by toggle mismatch or set arrow — and the retry
+// re-establishes a first read only for those: it re-clears their arrows,
+// re-reads them (tight-looping on persistently hot registers until their
+// toggle settles, the backoff-free path), and then runs one *unified* read
+// pass over all n-1 registers followed by a full arrow check.
+//
+// Soundness (the P1–P3 argument, spelled out in DESIGN.md §16): for every
+// register j the pair (v1[j], v2[j]) is a valid per-register double collect —
+// both reads happen after arrow (i,j) was last cleared, and the final arrow
+// check reads it clear, so at most one write of j completed between them and
+// the toggle comparison is decisive (P1). All v1 reads precede the unified
+// pass and all v2 reads are inside it, so the instant U just before the
+// unified pass's first read lies in every register's constancy window: the
+// view is the memory state at U, a true snapshot (P2), and scans linearize at
+// their U instants (P3). The first pass is step-identical to the classic path
+// on success; only retry passes cost differently (≈ 2(n-1)+2k instead of
+// 4(n-1) for k tripped registers).
+func (a *Arrow[T]) scanEpoch(p *sched.Proc) []T {
+	i := p.ID()
+	v1, v2, out := a.c1[i], a.c2[i], a.view[i]
+	trip, arr, hot := a.epTrip[i], a.epArrow[i], a.epHot[i]
+	for j := 0; j < a.n; j++ {
+		// First pass: every register is unconfirmed, every arrow needs a clear.
+		trip[j] = j != i
+		arr[j] = j != i
+		hot[j] = 0
+	}
+	var tries, passStart int64
+	for {
+		if a.prof.Enabled() {
+			passStart = p.Steps()
+		}
+		// Re-clear only the arrows observed set (all of them on the first pass).
+		for j := 0; j < a.n; j++ {
+			if arr[j] {
+				a.arrows[i][j].Write(p, false)
+			}
+		}
+		// Re-establish the first read of each tripped register. For registers
+		// hot across consecutive passes, keep re-reading until the toggle
+		// settles: the writer is mid-burst, and one step per extra read is far
+		// cheaper than failing the pass and re-paying the unified sweep.
+		for j := 0; j < a.n; j++ {
+			if !trip[j] {
+				continue // v1[j] keeps the confirmed read from the previous pass
+			}
+			v1[j] = a.vals[j].Read(p)
+			if hot[j] >= hotTrips {
+				for s := 0; s < maxHotSettle; s++ {
+					nv := a.vals[j].Read(p)
+					if nv.Toggle == v1[j].Toggle {
+						break
+					}
+					v1[j] = nv
+				}
+			}
+		}
+		// Unified confirm pass: one read of every register. The instant before
+		// its first read is the scan's linearization point candidate.
+		for j := 0; j < a.n; j++ {
+			if j == i {
+				continue
+			}
+			v2[j] = a.vals[j].Read(p)
+			out[j] = v2[j].Val
+			trip[j] = v1[j].Toggle != v2[j].Toggle && !MutTornScan.Load()
+		}
+		// Full arrow check — every slot, no prefix short-circuit: a retry pass
+		// must know the complete tripped set, or an unread dirty arrow would be
+		// mistaken for a confirmed register next pass.
+		firstTrip, firstArrow := -1, false
+		for j := 0; j < a.n; j++ {
+			if j == i {
+				continue
+			}
+			arr[j] = a.arrows[i][j].Read(p)
+			trip[j] = trip[j] || arr[j]
+			if trip[j] && firstTrip < 0 {
+				firstTrip, firstArrow = j, arr[j]
+			}
+		}
+		if firstTrip < 0 {
+			if a.mon.Enabled() {
+				// Independent handshake audit, as on the classic path: v1/v2
+				// hold each register's two window reads.
+				firstBad := -1
+				for j := 0; j < a.n; j++ {
+					if j != i && v1[j].Toggle != v2[j].Toggle {
+						firstBad = j
+						break
+					}
+				}
+				a.mon.ScanHandshake(p.Now(), i, firstBad)
+			}
+			a.sink.Emit(obs.Event{Step: p.Now(), Pid: i, Kind: obs.ScanClean, Value: tries})
+			a.sink.Observe(obs.HistScanRetries, tries)
+			out[i] = a.local[i]
+			if a.prof.Enabled() {
+				a.prof.CleanScan(i, p.Now(), p.Steps())
+			}
+			return out
+		}
+		// Failed pass: confirmed registers carry their unified read forward as
+		// next pass's first read; tripped ones accumulate heat.
+		for j := 0; j < a.n; j++ {
+			if j == i {
+				continue
+			}
+			if trip[j] {
+				hot[j]++
+			} else {
+				hot[j] = 0
+				v1[j] = v2[j]
+			}
+		}
+		a.retries[i].Add(1)
+		tries++
+		a.sink.Emit(obs.Event{Step: p.Now(), Pid: i, Kind: obs.ScanRetry, Value: tries})
+		if a.prof.Enabled() {
+			reason := prof.BlameToggle
+			if firstArrow {
+				reason = prof.BlameArrow
+			}
+			a.prof.ScanRetry(i, firstTrip, reason, p.Steps()-passStart, p.Now())
 		}
 	}
 }

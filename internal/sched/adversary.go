@@ -20,6 +20,10 @@ func (a *roundRobin) Next(waiting []int, _ int64) int {
 	return waiting[0]
 }
 
+// Eligible implements Extender: round-robin has no starvation semantics, so
+// the commuting engine may batch and extend freely.
+func (a *roundRobin) Eligible(int, int64) bool { return true }
+
 // NewRandom returns an adversary that picks a uniformly random waiting
 // process at every step, deterministically from seed.
 func NewRandom(seed int64) Adversary {
@@ -31,6 +35,10 @@ type randomAdv struct{ rng *rand.Rand }
 func (a *randomAdv) Next(waiting []int, _ int64) int {
 	return waiting[a.rng.Intn(len(waiting))]
 }
+
+// Eligible implements Extender: the random adversary constrains nothing
+// beyond its leader picks.
+func (a *randomAdv) Eligible(int, int64) bool { return true }
 
 // NewLagger returns an adversary that starves the victim process: the victim
 // is scheduled only once every period steps (period >= 1), and otherwise the
@@ -63,6 +71,11 @@ func (a *lagger) Next(waiting []int, step int64) int {
 	return others[a.rng.Intn(len(others))]
 }
 
+// Eligible implements Extender: the victim only ever moves through the
+// adversary's own periodic picks — engine-chosen grants would break the
+// starvation the lagger exists to model.
+func (a *lagger) Eligible(pid int, _ int64) bool { return pid != a.victim }
+
 // NewCrash returns an adversary that behaves like inner but permanently stops
 // scheduling each pid in crashAt once the global step count reaches its
 // value. If every waiting process is crashed it returns -1, stalling the run
@@ -92,6 +105,18 @@ func (a *crash) Next(waiting []int, step int64) int {
 		return -1
 	}
 	return a.inner.Next(alive, step)
+}
+
+// Eligible implements Extender: a crashed pid never moves again; otherwise
+// defer to the inner adversary's eligibility (absent, unconstrained).
+func (a *crash) Eligible(pid int, step int64) bool {
+	if at, ok := a.crashAt[pid]; ok && step >= at {
+		return false
+	}
+	if e, ok := a.inner.(Extender); ok {
+		return e.Eligible(pid, step)
+	}
+	return true
 }
 
 // FuncAdversary adapts a plain function to the Adversary interface. It is the
@@ -140,6 +165,10 @@ func (a *quantumAdv) Next(waiting []int, _ int64) int {
 	a.cur, a.used = pick, 1
 	return pick
 }
+
+// Eligible implements Extender: the quantum scheduler already hands out runs;
+// commuting batches only coarsen them further.
+func (a *quantumAdv) Eligible(int, int64) bool { return true }
 
 // NewPCT returns a Probabilistic Concurrency Testing scheduler after
 // Burckhardt, Kothari, Musuvathi and Nagarakatte (ASPLOS 2010): processes get

@@ -70,6 +70,13 @@ type Proc struct {
 	rng   *rand.Rand
 	steps int64
 	gate  gate
+
+	// Pending footprint declaration for the next Step (see footprint.go).
+	// Written by DeclareRead/DeclareWrite immediately before Step and consumed
+	// by the commuting engine's gate; a step taken without a declaration has
+	// fpKey 0 (undeclared) and is treated as conflicting with everything.
+	fpKey   int64
+	fpWrite bool
 }
 
 // gate abstracts how a Step is granted.
@@ -100,6 +107,17 @@ func (p *Proc) Step() {
 	p.gate.step(p)
 	p.steps++
 }
+
+// DeclareRead declares that this process's next Step reads the register
+// identified by key (from NewFootprintKey). Register implementations call it
+// immediately before Step; the commuting engine uses the declaration to admit
+// provably-commuting steps into one batch. Under every other gate the two
+// field stores are the entire cost.
+func (p *Proc) DeclareRead(key int64) { p.fpKey, p.fpWrite = key, false }
+
+// DeclareWrite declares that this process's next Step writes the register
+// identified by key. See DeclareRead.
+func (p *Proc) DeclareWrite(key int64) { p.fpKey, p.fpWrite = key, true }
 
 // newProc builds the per-process handle; the RNG derivation is shared by both
 // engines and free-running mode so a seed reproduces identical private coins
@@ -158,6 +176,19 @@ type Config struct {
 	// decisions per seed. The flag exists only so the equivalence tests can
 	// prove that, and will be removed once the legacy gate is retired.
 	Rendezvous bool
+
+	// Commuting selects the commuting-dispatch engine (see commute.go): each
+	// adversary consult opens a batch of pairwise-commuting steps and every
+	// batch member receives a quantum-bounded run before the adversary is
+	// consulted again. Executions remain sequential and deterministic, and
+	// every produced schedule replays byte-identically through the sequential
+	// dispatcher. Ignored when Rendezvous is set.
+	Commuting bool
+
+	// CommuteQuantum caps the run length one batch member may coalesce under
+	// the commuting engine; <= 0 selects defaultCommuteQuantum. Only
+	// meaningful with Commuting.
+	CommuteQuantum int
 }
 
 // Result reports what happened during a run.
@@ -404,6 +435,9 @@ func Run(cfg Config, body func(*Proc)) (Result, error) {
 	adv := cfg.Adversary
 	if adv == nil {
 		adv = NewRoundRobin()
+	}
+	if cfg.Commuting {
+		return runCommuting(cfg, adv, body)
 	}
 	d := newDispatcher(cfg, adv)
 

@@ -77,10 +77,20 @@ func Decode(e [][]int, k int) (*Graph, error) {
 // distance-table buffer) when g has matching dimensions; a nil or mismatched
 // g allocates fresh. It is the pooling-path variant: a per-process scratch
 // graph makes repeated scans decode without allocating.
+//
+// It also memoizes on the counter matrix: when e is off-diagonal-identical to
+// the matrix of the previous successful decode through the same g, the graph
+// — including its cached longest-path table — is still valid and is returned
+// untouched. Under the adversaries that matter (laggers, crash-heavy
+// schedules) a process frequently re-snapshots counters nobody has advanced;
+// the memo turns each such IncRow from a decode plus an O(n^3) path
+// recomputation into one O(n^2) compare.
 func DecodeInto(g *Graph, e [][]int, k int) (*Graph, error) {
 	n := len(e)
 	if g == nil || g.N != n || g.K != k {
 		g = NewGraph(n, k)
+	} else if g.sameCounters(e) {
+		return g, nil
 	} else {
 		g.invalidate()
 	}
@@ -94,6 +104,7 @@ func DecodeInto(g *Graph, e [][]int, k int) (*Graph, error) {
 			g.W[i][j], g.W[j][i] = wij, wji
 		}
 	}
+	g.noteCounters(e)
 	return g, nil
 }
 

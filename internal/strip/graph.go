@@ -16,6 +16,14 @@ type Graph struct {
 	// decode scratch (DecodeInto) does not reallocate it on every recompute.
 	dist   [][]int
 	distOK bool
+
+	// lastE mirrors the counter matrix the current Has/W were decoded from
+	// (lastEOK gates validity). DecodeInto compares against it to skip
+	// re-decoding — and, crucially, re-invalidating the distance table —
+	// when a process re-snapshots counters that have not moved. Like dist,
+	// the buffer survives invalidation.
+	lastE   [][]int
+	lastEOK bool
 }
 
 // NewGraph returns the graph of the initial state: all tokens tied at the
@@ -61,9 +69,42 @@ func FromPositions(pos []int, k int) *Graph {
 	return g
 }
 
-// invalidate drops the cached distance table after a mutation (the buffer is
-// retained for the next recompute).
-func (g *Graph) invalidate() { g.distOK = false }
+// invalidate drops the cached distance table and the decode memo after a
+// mutation (the buffers are retained for the next recompute).
+func (g *Graph) invalidate() {
+	g.distOK = false
+	g.lastEOK = false
+}
+
+// sameCounters reports whether the decode memo is valid and matches e on
+// every off-diagonal entry (the diagonal is ignored by decoding).
+func (g *Graph) sameCounters(e [][]int) bool {
+	if !g.lastEOK || len(g.lastE) != len(e) {
+		return false
+	}
+	for i := range e {
+		for j, v := range e[i] {
+			if j != i && g.lastE[i][j] != v {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// noteCounters records e as the matrix the current Has/W were decoded from.
+func (g *Graph) noteCounters(e [][]int) {
+	if len(g.lastE) != len(e) {
+		g.lastE = make([][]int, len(e))
+		for i := range e {
+			g.lastE[i] = make([]int, len(e[i]))
+		}
+	}
+	for i := range e {
+		copy(g.lastE[i], e[i])
+	}
+	g.lastEOK = true
+}
 
 // distances computes (and caches) all-pairs longest-path weights. Graphs
 // derived from legal states have no positive cycles (§4.2 property 2), so a

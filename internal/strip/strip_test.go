@@ -451,3 +451,69 @@ func TestQuickFromPositionsAlwaysValid(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestDecodeIntoMemoizesUnchangedCounters(t *testing.T) {
+	// Re-decoding an unchanged counter matrix through the same scratch graph
+	// must keep the cached longest-path table valid (the memo is the point:
+	// a re-snapshot of quiescent counters costs one compare, not an O(n^3)
+	// path recomputation) — and must still produce correct results after the
+	// matrix actually moves.
+	rng := rand.New(rand.NewSource(11))
+	const n, k = 5, 2
+	e := CounterMatrix(n)
+	var g *Graph
+	for step := 0; step < 400; step++ {
+		var err error
+		g, err = DecodeInto(g, e, k)
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		g.distances() // force the path table so the memo has something to keep
+		g2, err := DecodeInto(g, e, k)
+		if err != nil {
+			t.Fatalf("step %d re-decode: %v", step, err)
+		}
+		if g2 != g {
+			t.Fatalf("step %d: re-decode of unchanged counters reallocated the graph", step)
+		}
+		if !g2.distOK {
+			t.Fatalf("step %d: re-decode of unchanged counters dropped the distance cache", step)
+		}
+		fresh, err := Decode(e, k)
+		if err != nil {
+			t.Fatalf("step %d fresh decode: %v", step, err)
+		}
+		if !g2.Equal(fresh) {
+			t.Fatalf("step %d: memoized graph differs from fresh decode", step)
+		}
+		i := rng.Intn(n)
+		row, err := IncRow(i, e, k)
+		if err != nil {
+			t.Fatalf("step %d inc: %v", step, err)
+		}
+		e[i] = row
+	}
+}
+
+func TestGraphIncInvalidatesDecodeMemo(t *testing.T) {
+	// Inc mutates the graph in place, so a subsequent DecodeInto with the old
+	// matrix must not take the memo path and return the mutated graph.
+	const n, k = 3, 2
+	e := CounterMatrix(n)
+	g, err := DecodeInto(nil, e, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Inc(0)
+	g2, err := DecodeInto(g, e, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := Decode(e, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g2.Equal(fresh) {
+		t.Fatal("DecodeInto after Inc returned the mutated graph instead of re-decoding")
+	}
+}
