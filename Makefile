@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all ci build test test-race test-short bench bench-json bench-check live-smoke prof-smoke space-smoke native-smoke dispatch-smoke native-stress experiments experiments-quick fuzz vet fmt fmt-check clean
+.PHONY: all ci build test test-race test-short bench bench-json bench-check live-smoke prof-smoke space-smoke native-smoke dispatch-smoke tail-smoke native-stress experiments experiments-quick fuzz vet fmt fmt-check clean
 
 all: vet test build
 
@@ -24,7 +24,10 @@ all: vet test build
 # the online correctness oracle), and the commuting-dispatch smoke test
 # (every protocol under both dispatch modes with the monitor escalated, a
 # seed-determinism check, the native+commuting rejection, and a capped n=32
-# commuting workload). The -short -race pass is also the native race lane: it
+# commuting workload), and the tail-latency smoke test (a metered batch with
+# straggler digest + deterministic replay, bundle completeness, the traceview
+# -tail views, and the live /timeseries + /stream SSE feed). The -short -race
+# pass is also the native race lane: it
 # drives the substrate conformance suite and the native preemption stress
 # sweep (GOMAXPROCS x randomized yields), so the lock-free register stack is
 # race-checked on every CI run — and the commuting engine's replay
@@ -40,6 +43,7 @@ ci: fmt-check vet build test
 	./scripts/space_smoke.sh
 	./scripts/native_smoke.sh
 	./scripts/dispatch_smoke.sh
+	./scripts/tail_smoke.sh
 	$(GO) run ./cmd/benchdiff BENCH_batch.json BENCH_batch.json
 
 build:
@@ -62,9 +66,11 @@ bench:
 # {n=4, n=8, n=16, n=32} x {simulated, native} plus the commuting-dispatch
 # rows, the K/M space-time frontier rows and the anonymous variant), each
 # entry carrying throughput, the step distribution, the merged metrics
-# snapshot, derived ratios, the phase histograms, and the space-accounting
+# snapshot, derived ratios, the phase histograms, the space-accounting
 # block (peak/live registers, words, per-layer bits) that benchdiff's space
-# gates compare. The substrate, dispatch mode and K/M knobs are part of each
+# gates compare, and the wall-clock latency block (quantiles + straggler
+# digests + environment stamp) behind benchdiff's p99 tail gate and the
+# traceview -tail view. The substrate, dispatch mode and K/M knobs are part of each
 # workload's key, so benchdiff never pair-compares a native row against a
 # simulated one, a commuting row against a sequential one, or across knobs.
 bench-json:
@@ -95,6 +101,9 @@ native-smoke:
 dispatch-smoke:
 	./scripts/dispatch_smoke.sh
 
+tail-smoke:
+	./scripts/tail_smoke.sh
+
 # native-stress is the full (non -short) race-checked native sweep: the
 # substrate conformance suite plus the preemption/crash stress matrices.
 native-stress:
@@ -116,6 +125,7 @@ fuzz:
 	$(GO) test -fuzz FuzzProfReport -fuzztime 30s ./internal/obs/prof/
 	$(GO) test -fuzz FuzzParseUsage -fuzztime 30s ./internal/obs/space/
 	$(GO) test -fuzz FuzzCommutingGrant -fuzztime 30s ./internal/sched/
+	$(GO) test -fuzz FuzzTimeseriesDelta -fuzztime 30s ./internal/obs/tail/
 
 vet:
 	$(GO) vet ./...

@@ -110,7 +110,7 @@ func ReplayConfig(info audit.RunInfo) (Config, error) {
 
 // algorithmForName inverts Algorithm.String.
 func algorithmForName(name string) (Algorithm, error) {
-	for _, a := range []Algorithm{Bounded, AspnesHerlihy, LocalCoin, StrongCoin, Abrahamson} {
+	for _, a := range []Algorithm{Bounded, AspnesHerlihy, LocalCoin, StrongCoin, Abrahamson, Anonymous} {
 		if a.String() == name {
 			return a, nil
 		}

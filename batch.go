@@ -10,6 +10,7 @@ import (
 	"github.com/dsrepro/consensus/internal/obs/audit"
 	"github.com/dsrepro/consensus/internal/obs/prof"
 	"github.com/dsrepro/consensus/internal/obs/space"
+	"github.com/dsrepro/consensus/internal/obs/tail"
 )
 
 // InstanceSeed derives the seed of batch instance k from the batch seed. The
@@ -60,6 +61,14 @@ type BatchConfig struct {
 	// instances start and finish — the probe behind the live server's
 	// consensus_batch_* gauges. Reporting-only; results are unaffected.
 	Progress *obs.BatchProgress
+
+	// Stragglers, when > 0, keeps a digest of the k slowest instances by
+	// wall-clock latency in BatchResult.Stragglers — seed, latency, step
+	// count and decision per entry, everything needed to replay the instance
+	// deterministically with full instrumentation (see ReplayStraggler). The
+	// digest is computed after the batch from the per-instance latencies, so
+	// it never affects execution.
+	Stragglers int
 }
 
 // BatchResult aggregates a batch: per-instance decisions, step counts and
@@ -74,6 +83,17 @@ type BatchResult struct {
 	Errors []error
 	// ErrCount is the number of non-nil entries in Errors.
 	ErrCount int
+
+	// Latencies[k] is instance k's wall-clock solve latency in nanoseconds,
+	// measured on the monotonic clock around the instance's execution. Always
+	// populated (the measurement is observation-only and free); unlike every
+	// other per-instance column it is NOT deterministic — re-running the
+	// batch measures different values. Summarize with LatencySummary.
+	Latencies []int64
+	// Stragglers digests the BatchConfig.Stragglers slowest instances,
+	// slowest first (latency ties break toward the lower index). Nil when the
+	// knob is 0. Each entry replays deterministically via ReplayStraggler.
+	Stragglers []tail.Straggler
 
 	// Counters and Gauges merge the observability registries of every
 	// instance (event counts sum; gauges take the batch-wide maximum).
@@ -103,6 +123,13 @@ type BatchResult struct {
 	// AuditDumps lists every flight-recorder dump file written under
 	// Base.AuditDumpDir, in instance order (deterministic at any Parallel).
 	AuditDumps []string
+}
+
+// LatencySummary summarizes the per-instance wall-clock latencies with exact
+// nearest-rank quantiles (p50/p90/p99/p999), the distribution behind the
+// bench artifact's latency block.
+func (r BatchResult) LatencySummary() tail.Summary {
+	return tail.Summarize(r.Latencies)
 }
 
 // StepsPercentile returns the exact nearest-rank p-th percentile (0 < p <=
@@ -230,6 +257,7 @@ func SolveBatch(cfg BatchConfig) (BatchResult, error) {
 			Space:     sm,
 			Substrate: sub,
 			Commuting: c.ParallelDispatch,
+			Latency:   c.Latency,
 		}
 	}
 
@@ -248,9 +276,11 @@ func SolveBatch(cfg BatchConfig) (BatchResult, error) {
 		Decisions: make([]int, cfg.Instances),
 		Steps:     make([]int64, cfg.Instances),
 		Errors:    make([]error, cfg.Instances),
+		Latencies: make([]int64, cfg.Instances),
 	}
 	for k, bo := range outs {
 		res.Decisions[k] = -1
+		res.Latencies[k] = bo.ElapsedNS
 		err := bo.Err
 		if err == nil {
 			res.Steps[k] = bo.Out.Sched.Steps
@@ -267,6 +297,26 @@ func SolveBatch(cfg BatchConfig) (BatchResult, error) {
 			res.Errors[k] = err
 			res.ErrCount++
 		}
+	}
+	if cfg.Stragglers > 0 {
+		// Build the digest in instance order from the post-run columns; given
+		// the measured latencies the selection is a pure function, so any
+		// Parallel produces the same digest for the same measurements.
+		tk := tail.TopK{K: cfg.Stragglers}
+		for k := range outs {
+			s := tail.Straggler{
+				Index:     k,
+				Seed:      instances[k].Seed, // post-PerInstance, the seed that actually ran
+				LatencyNS: res.Latencies[k],
+				Steps:     res.Steps[k],
+				Decision:  res.Decisions[k],
+			}
+			if res.Errors[k] != nil {
+				s.Err = res.Errors[k].Error()
+			}
+			tk.Add(s)
+		}
+		res.Stragglers = tk.Sorted()
 	}
 	snap := sink.Registry().Snapshot()
 	if profs != nil {

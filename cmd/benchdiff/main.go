@@ -33,6 +33,8 @@ func run() int {
 		"max fractional growth of the steps mean/p50/p90/p99")
 	flag.Float64Var(&th.MaxPhaseMeanGrowth, "max-phase-growth", th.MaxPhaseMeanGrowth,
 		"max fractional growth of each phase.steps.* mean")
+	flag.Float64Var(&th.MaxLatencyP99Growth, "max-latency-p99-growth", th.MaxLatencyP99Growth,
+		"max fractional growth of the wall-clock latency p99 (workloads carrying a latency block)")
 	flag.Parse()
 
 	if flag.NArg() != 2 {
@@ -49,6 +51,13 @@ func run() int {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
 		return 2
+	}
+
+	// Environment mismatches are warnings, not findings: they tell the reader
+	// why wall-clock deltas may be meaningless, without failing the gate over
+	// a machine or toolchain change.
+	for _, w := range benchfmt.EnvWarnings(oldMat, newMat) {
+		fmt.Fprintf(os.Stderr, "benchdiff: warning: %s\n", w)
 	}
 
 	findings, err := benchfmt.CompareMatrix(oldMat, newMat, th)

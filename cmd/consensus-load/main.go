@@ -9,12 +9,14 @@
 //	consensus-load -alg strong-coin -n 8 -instances 50 -parallel 4
 //	consensus-load -matrix -json > BENCH_batch.json
 //	consensus-load -instances 5000 -listen 127.0.0.1:9090   # then scrape /metrics
+//	consensus-load -instances 500 -stragglers 3 -straggler-replay   # forensic bundles
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"strings"
@@ -54,6 +56,12 @@ func run() int {
 		auditOn   = flag.Bool("audit", false, "run the online invariant monitor on every instance; non-zero exit if any probe fires")
 		auditN    = flag.Int("audit-sample", 0, "audit: run sampled probes every N opportunities (0 = default 64, 1 = every)")
 		auditDir  = flag.String("audit-dir", "", "audit: write flight-recorder dumps to this directory (replay with consensus-audit)")
+
+		latency     = flag.Bool("latency", true, "meter per-instance wall-clock latency (the lat.solve histogram and the report's latency block); values jitter run to run, identities stay deterministic")
+		stragglers  = flag.Int("stragglers", 0, "keep a digest of the N slowest instances per workload (seed, latency, steps, decision) in the report")
+		stragReplay = flag.Bool("straggler-replay", false, "deterministically re-execute each straggler with trace+prof+audit into a forensic bundle (simulated substrate only)")
+		stragDir    = flag.String("straggler-dir", "stragglers", "directory for -straggler-replay bundles (one subdirectory per straggler)")
+		progEvery   = flag.Duration("progress", 0, "print batch progress with ETA to stderr at this interval (0 = off)")
 	)
 	flag.Parse()
 
@@ -76,30 +84,64 @@ func run() int {
 	if *listen != "" {
 		srv = live.New()
 		srv.AddProgress(prog)
+		// The timeseries ring turns point scrapes into trends: /timeseries
+		// dumps the retained window, /stream pushes it as SSE.
+		srv.EnableTimeseries(300, time.Second)
 		addr, err := srv.Start(*listen)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "consensus-load: %v\n", err)
 			return 2
 		}
 		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "consensus-load: telemetry on http://%s/metrics\n", addr)
+		fmt.Fprintf(os.Stderr, "consensus-load: telemetry on http://%s/metrics (also /healthz /timeseries /stream)\n", addr)
 	}
 	lingerAtExit := func() {
+		if srv != nil {
+			// Stamp one final sample so short batches leave a trend behind.
+			srv.SampleTimeseries()
+		}
 		if srv != nil && *linger > 0 {
 			fmt.Fprintf(os.Stderr, "consensus-load: lingering %s for scrapes\n", *linger)
 			time.Sleep(*linger)
 		}
 	}
 
+	// The progress printer is a stderr-side view of the same probe /healthz
+	// serves: completion fraction, windowed rate, and the ETA estimate.
+	if *progEvery > 0 {
+		stopProg := make(chan struct{})
+		defer close(stopProg)
+		go func() {
+			tick := time.NewTicker(*progEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stopProg:
+					return
+				case <-tick.C:
+					s := prog.Snapshot()
+					if s.Total == 0 {
+						continue
+					}
+					fmt.Fprintf(os.Stderr, "consensus-load: progress %d/%d (%.1f%%), %.1f/s, eta %s\n",
+						s.Completed, s.Total, 100*float64(s.Completed)/float64(s.Total),
+						s.WindowPerSec, etaLabel(s.ETASec))
+				}
+			}
+		}()
+	}
+
 	opts := workloadOpts{
-		schedule: schedule,
-		seed:     *seed,
-		maxSteps: *maxSteps,
-		b:        *b,
-		parallel: *parallel,
-		prog:     prog,
-		srv:      srv,
-		profile:  *profOn,
+		schedule:   schedule,
+		seed:       *seed,
+		maxSteps:   *maxSteps,
+		b:          *b,
+		parallel:   *parallel,
+		prog:       prog,
+		srv:        srv,
+		profile:    *profOn,
+		latency:    *latency,
+		stragglers: *stragglers,
 	}
 	if *auditOn || *auditDir != "" || *auditN > 0 {
 		opts.audit = true
@@ -111,12 +153,15 @@ func run() int {
 		m := benchfmt.Matrix{}
 		bad := 0
 		for _, ws := range matrixWorkloads {
-			r, res, code := runWorkload(ws, opts, nil)
+			r, res, base, code := runWorkload(ws, opts, nil)
 			if code == 2 {
 				return 2
 			}
 			bad += reportErrors(res)
 			bad += int(reportViolations(res))
+			if *stragReplay {
+				bad += replayStragglers(base, r, *stragDir)
+			}
 			m.Workloads = append(m.Workloads, r)
 			if !*jsonOut {
 				printReport(r, nil)
@@ -146,11 +191,15 @@ func run() int {
 	if *tail > 0 {
 		ring = obs.NewRing(*tail)
 	}
-	r, res, code := runWorkload(workloadSpec{Alg: *algFlag, N: *n, Instances: *instances, Substrate: *subFlag, Dispatch: *dispFlag, K: *kFlag, M: *mFlag}, opts, ring)
+	r, res, base, code := runWorkload(workloadSpec{Alg: *algFlag, N: *n, Instances: *instances, Substrate: *subFlag, Dispatch: *dispFlag, K: *kFlag, M: *mFlag}, opts, ring)
 	if code == 2 {
 		return 2
 	}
 	reconcileTailDrops(&r, ring)
+	bad := 0
+	if *stragReplay {
+		bad = replayStragglers(base, r, *stragDir)
+	}
 
 	if *jsonOut {
 		if err := benchfmt.Write(os.Stdout, r); err != nil {
@@ -161,10 +210,47 @@ func run() int {
 		printReport(r, ring)
 	}
 	lingerAtExit()
-	if reportErrors(res)+int(reportViolations(res)) > 0 {
+	if bad+reportErrors(res)+int(reportViolations(res)) > 0 {
 		return 1
 	}
 	return 0
+}
+
+// replayStragglers re-executes each straggler of a workload's digest into a
+// forensic bundle under dir (one subdirectory per straggler, keyed by the
+// workload and instance index). Native workloads are skipped with a notice —
+// hardware interleavings are not replayable — and replay failures count
+// toward the exit status without aborting the remaining stragglers.
+func replayStragglers(base consensus.Config, r benchfmt.Report, dir string) int {
+	if len(r.Stragglers) == 0 {
+		return 0
+	}
+	if base.Substrate == consensus.NativeSubstrate {
+		fmt.Fprintf(os.Stderr, "consensus-load: %s/n=%d: straggler digest is print-only on the native substrate (no deterministic replay)\n", r.Algorithm, r.N)
+		return 0
+	}
+	bad := 0
+	for _, s := range r.Stragglers {
+		name := fmt.Sprintf("%s-n%d-i%d", r.Algorithm, r.N, s.Index)
+		b, err := consensus.ReplayStraggler(base, s, filepath.Join(dir, name))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "consensus-load: straggler %s: %v\n", name, err)
+			bad++
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "consensus-load: straggler %s: %d steps, decision %d, bundle %s\n",
+			name, b.ReplaySteps, b.ReplayDecision, b.Dir)
+	}
+	return bad
+}
+
+// etaLabel renders an ETA estimate: "?" before any completion establishes a
+// rate, otherwise a rounded duration.
+func etaLabel(sec float64) string {
+	if sec < 0 {
+		return "?"
+	}
+	return (time.Duration(sec * float64(time.Second))).Round(100 * time.Millisecond).String()
 }
 
 // workloadSpec names one batch workload of the matrix: an algorithm, a
@@ -250,6 +336,8 @@ type workloadOpts struct {
 	auditSample int
 	auditDir    string
 	profile     bool
+	latency     bool
+	stragglers  int
 }
 
 // reconcileTailDrops folds the ring's final drop total into the report. The
@@ -276,27 +364,29 @@ func reconcileTailDrops(r *benchfmt.Report, ring *obs.Ring) {
 }
 
 // runWorkload runs one batch workload into a fresh sink and builds its
-// report. The returned code is 0 on success and 2 on a usage/config error
+// report. It also returns the base config the batch ran with, so straggler
+// digests can be replayed against exactly the configuration that produced
+// them. The returned code is 0 on success and 2 on a usage/config error
 // (already printed); per-instance errors are in the result, not the code.
-func runWorkload(ws workloadSpec, opts workloadOpts, ring *obs.Ring) (benchfmt.Report, consensus.BatchResult, int) {
+func runWorkload(ws workloadSpec, opts workloadOpts, ring *obs.Ring) (benchfmt.Report, consensus.BatchResult, consensus.Config, int) {
 	alg, err := parseAlg(ws.Alg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "consensus-load: %v\n", err)
-		return benchfmt.Report{}, consensus.BatchResult{}, 2
+		return benchfmt.Report{}, consensus.BatchResult{}, consensus.Config{}, 2
 	}
 	sub, err := parseSubstrate(ws.Substrate)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "consensus-load: %v\n", err)
-		return benchfmt.Report{}, consensus.BatchResult{}, 2
+		return benchfmt.Report{}, consensus.BatchResult{}, consensus.Config{}, 2
 	}
 	commuting, err := parseDispatch(ws.Dispatch)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "consensus-load: %v\n", err)
-		return benchfmt.Report{}, consensus.BatchResult{}, 2
+		return benchfmt.Report{}, consensus.BatchResult{}, consensus.Config{}, 2
 	}
 	if sub == consensus.NativeSubstrate && commuting {
 		fmt.Fprintf(os.Stderr, "consensus-load: %s/n=%d: commuting dispatch requires the simulated substrate\n", ws.Alg, ws.N)
-		return benchfmt.Report{}, consensus.BatchResult{}, 2
+		return benchfmt.Report{}, consensus.BatchResult{}, consensus.Config{}, 2
 	}
 	profile := opts.profile
 	if sub == consensus.NativeSubstrate && profile {
@@ -326,34 +416,37 @@ func runWorkload(ws workloadSpec, opts workloadOpts, ring *obs.Ring) (benchfmt.R
 		opts.srv.AddRegistry(sink.Registry())
 	}
 
+	base := consensus.Config{
+		Inputs:           inputs,
+		Algorithm:        alg,
+		Schedule:         opts.schedule,
+		Substrate:        sub,
+		ParallelDispatch: commuting,
+		MaxSteps:         opts.maxSteps,
+		B:                opts.b,
+		K:                ws.K,
+		M:                ws.M,
+		Audit:            opts.audit,
+		AuditSampleEvery: opts.auditSample,
+		AuditDumpDir:     opts.auditDir,
+		Profile:          profile,
+		Space:            true,
+		Latency:          opts.latency,
+	}
 	start := time.Now()
 	res, err := consensus.SolveBatch(consensus.BatchConfig{
-		Instances: ws.Instances,
-		Base: consensus.Config{
-			Inputs:           inputs,
-			Algorithm:        alg,
-			Schedule:         opts.schedule,
-			Substrate:        sub,
-			ParallelDispatch: commuting,
-			MaxSteps:         opts.maxSteps,
-			B:                opts.b,
-			K:                ws.K,
-			M:                ws.M,
-			Audit:            opts.audit,
-			AuditSampleEvery: opts.auditSample,
-			AuditDumpDir:     opts.auditDir,
-			Profile:          profile,
-			Space:            true,
-		},
-		Seed:     opts.seed,
-		Parallel: opts.parallel,
-		Sink:     sink,
-		Progress: opts.prog,
+		Instances:  ws.Instances,
+		Base:       base,
+		Seed:       opts.seed,
+		Parallel:   opts.parallel,
+		Sink:       sink,
+		Progress:   opts.prog,
+		Stragglers: opts.stragglers,
 	})
 	elapsed := time.Since(start)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "consensus-load: %v\n", err)
-		return benchfmt.Report{}, consensus.BatchResult{}, 2
+		return benchfmt.Report{}, consensus.BatchResult{}, consensus.Config{}, 2
 	}
 
 	workers := opts.parallel
@@ -387,6 +480,14 @@ func runWorkload(ws workloadSpec, opts workloadOpts, ring *obs.Ring) (benchfmt.R
 	if res.Space != nil {
 		r.Space = benchfmt.SpaceFromUsage(*res.Space)
 	}
+	if opts.latency {
+		lat := res.LatencySummary()
+		r.Latency = &lat
+		// Wall-clock numbers are only comparable between matching
+		// environments, so the stamp travels with them.
+		r.Env = benchfmt.CurrentEnv()
+	}
+	r.Stragglers = res.Stragglers
 	for _, v := range res.Violations {
 		r.Violations += v
 	}
@@ -397,7 +498,7 @@ func runWorkload(ws workloadSpec, opts workloadOpts, ring *obs.Ring) (benchfmt.R
 		ps := profSnapshot(res)
 		opts.srv.AddSnapshot(func() obs.Snapshot { return ps })
 	}
-	return r, res, 0
+	return r, res, base, 0
 }
 
 // profSnapshot extracts the profiler-owned portion of a batch result — the
@@ -450,6 +551,15 @@ func printReport(r benchfmt.Report, ring *obs.Ring) {
 	if r.Space != nil {
 		fmt.Printf("space         : %d regs peak (%d live), %d words, %s/register\n",
 			r.Space.PeakRegs, r.Space.LiveRegs, r.Space.PeakWords, bitsLabel(r.Space.MaxBits))
+	}
+	if r.Latency != nil && r.Latency.Count > 0 {
+		fmt.Printf("latency       : p50 %s, p90 %s, p99 %s, p999 %s (max %s)\n",
+			nsLabel(r.Latency.P50NS), nsLabel(r.Latency.P90NS), nsLabel(r.Latency.P99NS),
+			nsLabel(r.Latency.P999NS), nsLabel(r.Latency.MaxNS))
+	}
+	for _, s := range r.Stragglers {
+		fmt.Printf("straggler     : instance %d, %s, %d steps, decision %d (seed %d)\n",
+			s.Index, nsLabel(s.LatencyNS), s.Steps, s.Decision, s.Seed)
 	}
 	fmt.Printf("errors        : %d\n", r.Errors)
 	if r.Violations > 0 {
@@ -560,6 +670,19 @@ func parseAlg(s string) (consensus.Algorithm, error) {
 		return consensus.Anonymous, nil
 	default:
 		return 0, fmt.Errorf("unknown algorithm %q", s)
+	}
+}
+
+// nsLabel renders a nanosecond latency as a rounded duration.
+func nsLabel(ns int64) string {
+	d := time.Duration(ns)
+	switch {
+	case d >= time.Second:
+		return d.Round(10 * time.Millisecond).String()
+	case d >= time.Millisecond:
+		return d.Round(10 * time.Microsecond).String()
+	default:
+		return d.Round(100 * time.Nanosecond).String()
 	}
 }
 

@@ -1,0 +1,184 @@
+// Command consensus-straggler is the tail-forensics driver: it runs a batch
+// with wall-clock metering, names the k slowest instances, deterministically
+// re-executes each one with full instrumentation (JSONL trace, causal step
+// profiler, escalated audit probes), and prints a blame table explaining
+// where every straggler's steps went. Bundles land under -dir, one
+// subdirectory per straggler (inspect with: traceview -tail DIR/summary.json).
+//
+// Usage examples:
+//
+//	consensus-straggler -instances 500
+//	consensus-straggler -alg aspnes-herlihy -n 8 -instances 200 -stragglers 5
+//	consensus-straggler -instances 1000 -schedule random -seed 7 -dir /tmp/forensics
+//
+// Exit status: 0 all replays matched, 1 a replay diverged or failed, 2 usage
+// error. The native substrate is refused: hardware interleavings are not
+// replayable, so there is nothing deterministic to instrument.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	consensus "github.com/dsrepro/consensus"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		instances  = flag.Int("instances", 200, "independent consensus instances to run")
+		stragglers = flag.Int("stragglers", 3, "replay the N slowest instances")
+		parallel   = flag.Int("parallel", 0, "batch worker count (0 = GOMAXPROCS); the digest and replays are unaffected")
+		n          = flag.Int("n", 4, "processes per instance (alternating binary inputs)")
+		algFlag    = flag.String("alg", "bounded", "algorithm: bounded | aspnes-herlihy | local-coin | strong-coin | abrahamson | anonymous")
+		schedFlag  = flag.String("schedule", "random", "schedule: round-robin | random")
+		subFlag    = flag.String("substrate", "simulated", "execution backend; only simulated is replayable (native is refused)")
+		seed       = flag.Int64("seed", 1, "batch seed (instance k replays with Seed = InstanceSeed(seed, k))")
+		maxSteps   = flag.Int64("max-steps", 100_000_000, "per-instance step budget")
+		b          = flag.Int("b", 4, "shared-coin barrier multiplier")
+		kFlag      = flag.Int("k", 0, "rounds-strip constant (0 = algorithm default)")
+		mFlag      = flag.Int("m", 0, "coin-counter bound (0 = algorithm default)")
+		dir        = flag.String("dir", "stragglers", "directory for forensic bundles (one subdirectory per straggler)")
+	)
+	flag.Parse()
+
+	if *subFlag != "" && *subFlag != "simulated" && *subFlag != "sim" {
+		fmt.Fprintf(os.Stderr, "consensus-straggler: substrate %q is not replayable — straggler forensics needs the simulated substrate's deterministic interleavings (native stragglers are print-only; see consensus-load -stragglers)\n", *subFlag)
+		return 2
+	}
+	alg, err := parseAlg(*algFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "consensus-straggler: %v\n", err)
+		return 2
+	}
+	schedule, err := parseSchedule(*schedFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "consensus-straggler: %v\n", err)
+		return 2
+	}
+	if *n < 1 || *instances < 1 || *stragglers < 1 {
+		fmt.Fprintf(os.Stderr, "consensus-straggler: -n, -instances and -stragglers must be >= 1\n")
+		return 2
+	}
+
+	inputs := make([]int, *n)
+	for i := range inputs {
+		inputs[i] = i % 2
+	}
+	base := consensus.Config{
+		Inputs:    inputs,
+		Algorithm: alg,
+		Schedule:  schedule,
+		MaxSteps:  *maxSteps,
+		B:         *b,
+		K:         *kFlag,
+		M:         *mFlag,
+		Latency:   true,
+	}
+
+	res, err := consensus.SolveBatch(consensus.BatchConfig{
+		Instances:  *instances,
+		Base:       base,
+		Seed:       *seed,
+		Parallel:   *parallel,
+		Stragglers: *stragglers,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "consensus-straggler: %v\n", err)
+		return 2
+	}
+
+	lat := res.LatencySummary()
+	fmt.Printf("batch         : %s n=%d, %d instances, seed %d\n", *algFlag, *n, *instances, *seed)
+	fmt.Printf("latency       : p50 %.2fms, p90 %.2fms, p99 %.2fms, p999 %.2fms (max %.2fms)\n",
+		ms(lat.P50NS), ms(lat.P90NS), ms(lat.P99NS), ms(lat.P999NS), ms(lat.MaxNS))
+	fmt.Println()
+
+	bad := 0
+	fmt.Printf("%-4s %9s %10s %8s  %-24s %s\n", "inst", "latency", "steps", "decision", "blame (steps by class)", "bundle")
+	for _, s := range res.Stragglers {
+		bdir := filepath.Join(*dir, fmt.Sprintf("%s-n%d-i%d", *algFlag, *n, s.Index))
+		bundle, err := consensus.ReplayStraggler(base, s, bdir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "consensus-straggler: instance %d: %v\n", s.Index, err)
+			bad++
+			continue
+		}
+		fmt.Printf("%-4d %7.2fms %10d %8d  %-24s %s\n",
+			s.Index, ms(s.LatencyNS), bundle.ReplaySteps, bundle.ReplayDecision,
+			blameLine(bundle), bundle.Dir)
+	}
+	if bad > 0 {
+		return 1
+	}
+	return 0
+}
+
+// blameLine compresses a bundle's summary.json blame digest into one table
+// cell: the dominant step classes as percentages of the replayed step total.
+func blameLine(b consensus.StragglerBundle) string {
+	data, err := os.ReadFile(b.SummaryPath)
+	if err != nil {
+		return "?"
+	}
+	sum, err := consensus.ParseStragglerSummary(data)
+	if err != nil {
+		return "?"
+	}
+	total := float64(b.ReplaySteps)
+	if total <= 0 {
+		return "-"
+	}
+	num := func(key string) float64 {
+		// ParseStragglerSummary keeps numbers as json.Number (exact int64s).
+		if n, ok := sum[key].(json.Number); ok {
+			v, _ := n.Float64()
+			return v
+		}
+		v, _ := sum[key].(float64)
+		return v
+	}
+	return fmt.Sprintf("prod %.0f%% retry %.0f%% coin %.0f%%",
+		100*num("steps_productive")/total,
+		100*num("steps_scan_retry")/total,
+		100*num("steps_coin_spin")/total)
+}
+
+// ms converts nanoseconds to milliseconds for the table.
+func ms(ns int64) float64 { return float64(ns) / 1e6 }
+
+func parseAlg(s string) (consensus.Algorithm, error) {
+	switch s {
+	case "bounded":
+		return consensus.Bounded, nil
+	case "aspnes-herlihy", "ah":
+		return consensus.AspnesHerlihy, nil
+	case "local-coin", "local":
+		return consensus.LocalCoin, nil
+	case "strong-coin", "strong":
+		return consensus.StrongCoin, nil
+	case "abrahamson", "a88":
+		return consensus.Abrahamson, nil
+	case "anonymous", "anon":
+		return consensus.Anonymous, nil
+	default:
+		return 0, fmt.Errorf("unknown algorithm %q", s)
+	}
+}
+
+func parseSchedule(kind string) (consensus.Schedule, error) {
+	switch kind {
+	case "round-robin", "rr":
+		return consensus.Schedule{Kind: consensus.RoundRobin}, nil
+	case "random":
+		return consensus.Schedule{Kind: consensus.RandomSchedule}, nil
+	default:
+		return consensus.Schedule{}, fmt.Errorf("unknown schedule %q (want round-robin | random)", kind)
+	}
+}

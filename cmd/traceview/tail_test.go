@@ -1,0 +1,165 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	consensus "github.com/dsrepro/consensus"
+	"github.com/dsrepro/consensus/internal/benchfmt"
+	"github.com/dsrepro/consensus/internal/harness"
+	"github.com/dsrepro/consensus/internal/obs/tail"
+)
+
+var updateTail = flag.Bool("update-tail", false, "regenerate testdata/tail-bench.{json,golden} from the fixed artifact literal")
+
+// tailGoldenMatrix is the fixed bench artifact behind the tail golden. Real
+// latency measurements jitter run to run, so the golden locks the *rendering*
+// of a synthetic artifact, not a live run: fixed quantiles, one straggler
+// digest per workload, one unmetered legacy row, and a fixed environment
+// stamp.
+func tailGoldenMatrix() benchfmt.Matrix {
+	mk := func(alg string, n int, count, scaleNS int64) benchfmt.Report {
+		return benchfmt.Report{
+			Algorithm: alg,
+			N:         n,
+			Instances: int(count),
+			Parallel:  4,
+			Seed:      42,
+			Latency: &tail.Summary{
+				Count:  int(count),
+				MeanNS: float64(2 * scaleNS),
+				MinNS:  scaleNS / 2,
+				P50NS:  scaleNS,
+				P90NS:  4 * scaleNS,
+				P99NS:  9 * scaleNS,
+				P999NS: 12 * scaleNS,
+				MaxNS:  13 * scaleNS,
+			},
+			Stragglers: []tail.Straggler{
+				{Index: 7, Seed: -1234567890123, LatencyNS: 13 * scaleNS, Steps: 31_000, Decision: 1},
+			},
+			Env: &benchfmt.EnvStamp{GoVersion: "go1.22.1", GOMAXPROCS: 8, NumCPU: 8, OS: "linux", Arch: "amd64"},
+		}
+	}
+	legacy := benchfmt.Report{Algorithm: "local-coin", N: 4, Instances: 50, Parallel: 4, Seed: 42}
+	return benchfmt.Matrix{Workloads: []benchfmt.Report{
+		mk("bounded", 4, 400, 1_000_000),
+		mk("aspnes-herlihy", 8, 60, 25_000_000),
+		legacy,
+	}}
+}
+
+// TestTailGolden locks the -tail rendering end to end: the fixed artifact
+// must render byte-identically to the checked-in golden. Regenerate with:
+//
+//	go test ./cmd/traceview -run TestTailGolden -update-tail
+func TestTailGolden(t *testing.T) {
+	m := tailGoldenMatrix()
+	var art bytes.Buffer
+	if err := benchfmt.WriteMatrix(&art, m); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	for _, tbl := range tailTables("testdata/tail-bench.json", m) {
+		tbl.RenderAs(&buf, harness.FormatText)
+	}
+
+	if *updateTail {
+		if err := os.WriteFile("testdata/tail-bench.json", art.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile("testdata/tail-bench.golden", buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Log("testdata/tail-bench.{json,golden} regenerated")
+		return
+	}
+
+	want, err := os.ReadFile("testdata/tail-bench.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(art.Bytes(), want) {
+		t.Errorf("fixed artifact diverged from testdata/tail-bench.json:\n--- got ---\n%s\n--- want ---\n%s", art.Bytes(), want)
+	}
+	golden, err := os.ReadFile("testdata/tail-bench.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), golden) {
+		t.Errorf("rendered tail view diverged from golden:\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), golden)
+	}
+}
+
+// TestTailGoldenParsesFromDisk exercises the -tail input path on the
+// checked-in artifact: ReadAny must decode it, and the latency blocks and
+// straggler digests must survive the round trip.
+func TestTailGoldenParsesFromDisk(t *testing.T) {
+	m, err := benchfmt.ReadAny("testdata/tail-bench.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Workloads) != 3 {
+		t.Fatalf("got %d workloads, want 3", len(m.Workloads))
+	}
+	r := m.Workloads[0]
+	if r.Latency == nil || r.Latency.P99NS != 9_000_000 {
+		t.Errorf("latency block did not survive: %+v", r.Latency)
+	}
+	if len(r.Stragglers) != 1 || r.Stragglers[0].Seed != -1234567890123 {
+		t.Errorf("straggler digest did not survive: %+v", r.Stragglers)
+	}
+	if r.Env == nil || r.Env.GoVersion != "go1.22.1" {
+		t.Errorf("env stamp did not survive: %+v", r.Env)
+	}
+	if m.Workloads[2].Latency != nil {
+		t.Errorf("legacy workload grew a latency block: %+v", m.Workloads[2].Latency)
+	}
+}
+
+// TestTailSummaryTable renders a real straggler bundle's summary.json through
+// the -tail summary path: replay a straggler from a small fixed-seed batch
+// and check the rendered table names the replay fingerprint.
+func TestTailSummaryTable(t *testing.T) {
+	base := consensus.Config{
+		Inputs:   []int{0, 1, 0, 1},
+		Schedule: consensus.Schedule{Kind: consensus.RandomSchedule},
+		Latency:  true,
+	}
+	res, err := consensus.SolveBatch(consensus.BatchConfig{
+		Instances:  8,
+		Base:       base,
+		Seed:       42,
+		Stragglers: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stragglers) != 1 {
+		t.Fatalf("got %d stragglers, want 1", len(res.Stragglers))
+	}
+	dir := filepath.Join(t.TempDir(), "bundle")
+	b, err := consensus.ReplayStraggler(base, res.Stragglers[0], dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(b.SummaryPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := consensus.ParseStragglerSummary(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	summaryTable(b.SummaryPath, sum).RenderAs(&buf, harness.FormatText)
+	out := buf.String()
+	for _, want := range []string{"bounded/n=4", "replay steps", "steps scan-retry", "audit violations"} {
+		if !bytes.Contains(buf.Bytes(), []byte(want)) {
+			t.Errorf("summary table missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -44,6 +44,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"time"
 
 	"github.com/dsrepro/consensus/internal/core"
 	"github.com/dsrepro/consensus/internal/obs"
@@ -352,6 +353,16 @@ type Config struct {
 	// Result.Profile report.
 	Profile bool
 
+	// Latency enables wall-clock accounting: the solve's monotonic elapsed
+	// time is reported in Result.LatencyNS and observed into the lat.solve
+	// histogram (Result.Hists). Measurement happens strictly outside the
+	// execution — the clock is read before the first step and after the last,
+	// never in between — so metered runs are byte-identical to unmetered ones
+	// (same traces, decisions and step counts); only the lat.solve entry and
+	// LatencyNS differ, and their values are wall-clock noise, not replayable
+	// state. See internal/obs/tail for the batch-level tail machinery.
+	Latency bool
+
 	// Space enables the space-accounting meters (internal/obs/space): live
 	// and peak register counts, per-layer word layouts, and bits-per-register
 	// both declared (information-theoretic width of the value domain — coin
@@ -398,6 +409,10 @@ type Result struct {
 
 	// Steps is the total number of atomic shared-memory steps taken.
 	Steps int64
+	// LatencyNS is the wall-clock solve latency in nanoseconds when
+	// Config.Latency is set; 0 otherwise. Unlike Steps it is NOT
+	// deterministic — equal seeds measure different wall clocks.
+	LatencyNS int64
 	// PerProcSteps breaks Steps down by process.
 	PerProcSteps []int64
 	// Rounds is each process's count of round advances.
@@ -536,6 +551,7 @@ func Solve(cfg Config) (Result, error) {
 	if cfg.Space {
 		meter = space.NewMeter()
 	}
+	solveStart := time.Now() // monotonic; read only when cfg.Latency below
 	out, err := core.Execute(kind, core.Config{
 		K:              cfg.K,
 		B:              cfg.B,
@@ -555,6 +571,15 @@ func Solve(cfg Config) (Result, error) {
 		Substrate: sub,
 		Commuting: cfg.ParallelDispatch,
 	})
+	var latencyNS int64
+	if cfg.Latency {
+		// The clock is read strictly after execution finished, so the meter
+		// cannot perturb the run; it lands in the registry before Snapshot.
+		latencyNS = time.Since(solveStart).Nanoseconds()
+		if h := sink.Registry().Hist(obs.HistLatSolve); h != nil {
+			h.Observe(latencyNS)
+		}
+	}
 	if jsonl != nil {
 		if ferr := jsonl.Flush(); ferr != nil && err == nil {
 			err = fmt.Errorf("consensus: flushing JSONL trace: %w", ferr)
@@ -580,6 +605,7 @@ func Solve(cfg Config) (Result, error) {
 		Decided:      out.Decided,
 		Values:       out.Values,
 		Steps:        out.Sched.Steps,
+		LatencyNS:    latencyNS,
 		PerProcSteps: out.Sched.PerProc,
 		Rounds:       out.Metrics.Rounds,
 		CoinFlips:    out.Metrics.CoinFlips,

@@ -10,9 +10,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 
 	"github.com/dsrepro/consensus/internal/obs"
 	"github.com/dsrepro/consensus/internal/obs/space"
+	"github.com/dsrepro/consensus/internal/obs/tail"
 )
 
 // Report is one consensus-load invocation's results. Field names are the
@@ -71,6 +73,69 @@ type Report struct {
 	// Absent from artifacts generated before the field existed — benchdiff
 	// then skips space comparisons.
 	Space *SpaceStats `json:"space,omitempty"`
+	// Latency is the per-instance wall-clock distribution when the workload
+	// ran with -latency metering. Unlike steps it is NOT deterministic per
+	// seed: benchdiff gates only the p99 ratio, and loosely. Absent from
+	// artifacts generated before the field existed.
+	Latency *tail.Summary `json:"latency,omitempty"`
+	// Stragglers digests the top-k slowest instances (seed, latency, steps,
+	// decision) when the workload ran with -stragglers. The seeds make each
+	// one replayable offline via cmd/consensus-straggler.
+	Stragglers []tail.Straggler `json:"stragglers,omitempty"`
+	// Env stamps the environment the workload ran in. Latency numbers are
+	// only comparable between matching environments; benchdiff warns (never
+	// errors) on a mismatch. Absent from artifacts generated before the
+	// field existed.
+	Env *EnvStamp `json:"env,omitempty"`
+}
+
+// EnvStamp records the run environment a report's wall-clock numbers were
+// measured in. Step counts are environment-independent; latency and
+// throughput are not, so benchdiff surfaces stamp mismatches as warnings.
+type EnvStamp struct {
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	OS         string `json:"os"`
+	Arch       string `json:"arch"`
+}
+
+// CurrentEnv stamps the calling process's environment.
+func CurrentEnv() *EnvStamp {
+	return &EnvStamp{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		OS:         runtime.GOOS,
+		Arch:       runtime.GOARCH,
+	}
+}
+
+// Diff lists the fields on which two stamps disagree, formatted for the
+// benchdiff warning stream ("go_version: go1.22.1 -> go1.23.0"). A nil stamp
+// on either side yields no diffs — artifacts predating the field are mute,
+// not mismatched.
+func (e *EnvStamp) Diff(other *EnvStamp) []string {
+	if e == nil || other == nil {
+		return nil
+	}
+	var out []string
+	if e.GoVersion != other.GoVersion {
+		out = append(out, fmt.Sprintf("go_version: %s -> %s", e.GoVersion, other.GoVersion))
+	}
+	if e.GOMAXPROCS != other.GOMAXPROCS {
+		out = append(out, fmt.Sprintf("gomaxprocs: %d -> %d", e.GOMAXPROCS, other.GOMAXPROCS))
+	}
+	if e.NumCPU != other.NumCPU {
+		out = append(out, fmt.Sprintf("num_cpu: %d -> %d", e.NumCPU, other.NumCPU))
+	}
+	if e.OS != other.OS {
+		out = append(out, fmt.Sprintf("os: %s -> %s", e.OS, other.OS))
+	}
+	if e.Arch != other.Arch {
+		out = append(out, fmt.Sprintf("arch: %s -> %s", e.Arch, other.Arch))
+	}
+	return out
 }
 
 // SpaceStats is the bench-artifact form of a space.Usage: the totals benchdiff

@@ -33,17 +33,24 @@ type Thresholds struct {
 	// register quietly widening by more than this many bits is a regression;
 	// going from bounded to unbounded always is).
 	MaxBitsGrowthAbs int
+	// MaxLatencyP99Growth bounds the relative growth of the per-instance
+	// wall-clock p99 (latency.p99_ns), compared only when both reports carry
+	// a latency block. Wall clocks on shared machines are by far the
+	// noisiest metric here, so the default allows a doubling — the gate is
+	// for tail blowups (lock convoys, a quadratic slow path), not jitter.
+	MaxLatencyP99Growth float64
 }
 
 // DefaultThresholds are the `make bench-check` settings.
 func DefaultThresholds() Thresholds {
 	return Thresholds{
-		MaxThroughputDrop:  0.40,
-		MaxStepGrowth:      0.25,
-		MaxPhaseMeanGrowth: 0.35,
-		MaxPeakRegsGrowth:  0.10,
-		MaxPeakWordsGrowth: 0.25,
-		MaxBitsGrowthAbs:   1,
+		MaxThroughputDrop:   0.40,
+		MaxStepGrowth:       0.25,
+		MaxPhaseMeanGrowth:  0.35,
+		MaxPeakRegsGrowth:   0.10,
+		MaxPeakWordsGrowth:  0.25,
+		MaxBitsGrowthAbs:    1,
+		MaxLatencyP99Growth: 1.00,
 	}
 }
 
@@ -156,7 +163,47 @@ func Compare(old, new Report, th Thresholds) ([]Finding, error) {
 			})
 		}
 	}
+
+	// Latency tail: compared only when both reports carry a measured latency
+	// block, so artifacts predating the field (or runs without -latency) diff
+	// clean. growth's denominator floor of 1 is inert here — p99s are in
+	// nanoseconds, far above 1.
+	if old.Latency != nil && new.Latency != nil && old.Latency.Count > 0 && new.Latency.Count > 0 {
+		o, n := float64(old.Latency.P99NS), float64(new.Latency.P99NS)
+		if growth(o, n) > th.MaxLatencyP99Growth {
+			out = append(out, Finding{Metric: "latency.p99_ns", Old: o, New: n, Limit: th.MaxLatencyP99Growth})
+		}
+	}
 	return out, nil
+}
+
+// EnvWarnings reports environment-stamp mismatches between paired workloads
+// of two matrix artifacts. Mismatches are warnings, never findings: latency
+// numbers measured on different machines aren't comparable, but failing the
+// gate over a toolchain upgrade would make every environment change a
+// false regression. Workloads missing a stamp on either side (older
+// artifacts) produce no warnings. Duplicate messages (every workload of an
+// artifact usually shares one environment) are collapsed.
+func EnvWarnings(old, new Matrix) []string {
+	byKey := make(map[string]Report, len(new.Workloads))
+	for _, r := range new.Workloads {
+		byKey[r.Key()] = r
+	}
+	seen := make(map[string]bool)
+	var out []string
+	for _, o := range old.Workloads {
+		n, ok := byKey[o.Key()]
+		if !ok {
+			continue
+		}
+		for _, d := range o.Env.Diff(n.Env) {
+			if !seen[d] {
+				seen[d] = true
+				out = append(out, "environment mismatch: "+d)
+			}
+		}
+	}
+	return out
 }
 
 // CompareMatrix diffs two matrix artifacts workload by workload, pairing

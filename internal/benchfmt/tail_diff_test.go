@@ -1,0 +1,182 @@
+package benchfmt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/dsrepro/consensus/internal/obs/tail"
+)
+
+// latencyBaseline is baseline() extended with the tail-latency block: a
+// measured latency summary, a straggler digest, and an environment stamp.
+func latencyBaseline() Report {
+	r := baseline()
+	r.Latency = &tail.Summary{
+		Count:  400,
+		MeanNS: 1_200_000,
+		MinNS:  200_000,
+		P50NS:  900_000,
+		P90NS:  2_500_000,
+		P99NS:  6_000_000,
+		P999NS: 9_000_000,
+		MaxNS:  9_500_000,
+	}
+	r.Stragglers = []tail.Straggler{
+		{Index: 17, Seed: -7489203, LatencyNS: 9_500_000, Steps: 44_000, Decision: 1},
+		{Index: 3, Seed: 112233, LatencyNS: 8_100_000, Steps: 39_500, Decision: 0},
+	}
+	r.Env = &EnvStamp{GoVersion: "go1.22.1", GOMAXPROCS: 8, NumCPU: 8, OS: "linux", Arch: "amd64"}
+	return r
+}
+
+func TestCompareLatencySelfIsClean(t *testing.T) {
+	r := latencyBaseline()
+	findings, err := Compare(r, r, DefaultThresholds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Errorf("latency self-compare produced findings: %v", findings)
+	}
+}
+
+// TestCompareFlagsLatencyP99Regression is the acceptance criterion: a
+// synthetic p99 blowup must trip the tail gate.
+func TestCompareFlagsLatencyP99Regression(t *testing.T) {
+	old, new := latencyBaseline(), latencyBaseline()
+	lat := *old.Latency
+	lat.P99NS = old.Latency.P99NS * 3 // +200% > default 100% limit
+	lat.MaxNS = lat.P99NS
+	new.Latency = &lat
+	findings, err := Compare(old, new, DefaultThresholds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 || findings[0].Metric != "latency.p99_ns" {
+		t.Errorf("findings = %v, want one latency.p99_ns regression", findings)
+	}
+}
+
+func TestCompareLatencyWithinThresholdIsClean(t *testing.T) {
+	old, new := latencyBaseline(), latencyBaseline()
+	lat := *old.Latency
+	lat.P99NS = int64(float64(old.Latency.P99NS) * 1.8) // +80% < default 100% limit
+	new.Latency = &lat
+	findings, err := Compare(old, new, DefaultThresholds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Errorf("sub-threshold latency jitter flagged: %v", findings)
+	}
+}
+
+// TestCompareLatencySkippedWhenAbsent mimics diffing a metered artifact
+// against one generated before the latency field existed (or without
+// -latency): the tail gate is skipped, never tripped by the missing block.
+func TestCompareLatencySkippedWhenAbsent(t *testing.T) {
+	old, new := baseline(), latencyBaseline()
+	new.Latency.P99NS *= 100
+	findings, err := Compare(old, new, DefaultThresholds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Errorf("latency-less baseline produced findings: %v", findings)
+	}
+	// Empty (Count 0) blocks are equally mute: nothing was measured.
+	old = latencyBaseline()
+	old.Latency = &tail.Summary{}
+	if findings, err = Compare(old, new, DefaultThresholds()); err != nil {
+		t.Fatal(err)
+	} else if len(findings) != 0 {
+		t.Errorf("empty latency block produced findings: %v", findings)
+	}
+}
+
+func TestEnvStampDiff(t *testing.T) {
+	a := &EnvStamp{GoVersion: "go1.22.1", GOMAXPROCS: 8, NumCPU: 8, OS: "linux", Arch: "amd64"}
+	if d := a.Diff(a); len(d) != 0 {
+		t.Errorf("identical stamps diff: %v", d)
+	}
+	b := &EnvStamp{GoVersion: "go1.23.0", GOMAXPROCS: 4, NumCPU: 8, OS: "linux", Arch: "amd64"}
+	d := a.Diff(b)
+	if len(d) != 2 {
+		t.Fatalf("diff = %v, want [go_version, gomaxprocs]", d)
+	}
+	if !strings.Contains(d[0], "go1.22.1 -> go1.23.0") || !strings.Contains(d[1], "8 -> 4") {
+		t.Errorf("diff messages = %v", d)
+	}
+	// Nil on either side (artifacts predating the stamp) is mute.
+	if d := (*EnvStamp)(nil).Diff(b); d != nil {
+		t.Errorf("nil stamp diff: %v", d)
+	}
+	if d := a.Diff(nil); d != nil {
+		t.Errorf("diff against nil: %v", d)
+	}
+}
+
+func TestEnvWarnings(t *testing.T) {
+	mk := func(env *EnvStamp) Matrix {
+		m := Matrix{Workloads: []Report{latencyBaseline(), latencyBaseline()}}
+		m.Workloads[1].N = 8
+		for i := range m.Workloads {
+			m.Workloads[i].Env = env
+		}
+		return m
+	}
+	same := mk(&EnvStamp{GoVersion: "go1.22.1", GOMAXPROCS: 8, NumCPU: 8, OS: "linux", Arch: "amd64"})
+	if w := EnvWarnings(same, same); len(w) != 0 {
+		t.Errorf("matching environments warned: %v", w)
+	}
+
+	other := mk(&EnvStamp{GoVersion: "go1.22.1", GOMAXPROCS: 2, NumCPU: 2, OS: "linux", Arch: "amd64"})
+	w := EnvWarnings(same, other)
+	// Both workloads share the stamp, so the two field diffs dedupe to two
+	// messages, not four.
+	if len(w) != 2 {
+		t.Fatalf("warnings = %v, want 2 deduped messages", w)
+	}
+	for _, msg := range w {
+		if !strings.Contains(msg, "environment mismatch") {
+			t.Errorf("warning %q missing prefix", msg)
+		}
+	}
+
+	// Stamp-less artifacts are mute, not mismatched.
+	if w := EnvWarnings(mk(nil), other); len(w) != 0 {
+		t.Errorf("stamp-less baseline warned: %v", w)
+	}
+}
+
+func TestCurrentEnvIsPopulated(t *testing.T) {
+	e := CurrentEnv()
+	if e.GoVersion == "" || e.GOMAXPROCS <= 0 || e.NumCPU <= 0 || e.OS == "" || e.Arch == "" {
+		t.Errorf("CurrentEnv() = %+v, want all fields populated", e)
+	}
+}
+
+// TestLatencyBlockRoundTrip pins the artifact schema: latency, stragglers and
+// the env stamp survive the JSON round trip, and their absence decodes as nil.
+func TestLatencyBlockRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMatrix(&buf, Matrix{Workloads: []Report{latencyBaseline()}}); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"latency"`, `"p99_ns"`, `"stragglers"`, `"env"`, `"go_version"`} {
+		if !bytes.Contains(buf.Bytes(), []byte(want)) {
+			t.Errorf("artifact missing %s:\n%s", want, buf.String())
+		}
+	}
+
+	buf.Reset()
+	if err := WriteMatrix(&buf, matrixBaseline()); err != nil {
+		t.Fatal(err)
+	}
+	for _, absent := range []string{`"latency"`, `"stragglers"`, `"env"`} {
+		if bytes.Contains(buf.Bytes(), []byte(absent)) {
+			t.Errorf("unmetered artifact leaked %s:\n%s", absent, buf.String())
+		}
+	}
+}

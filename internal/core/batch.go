@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/dsrepro/consensus/internal/obs"
 	"github.com/dsrepro/consensus/internal/obs/audit"
@@ -52,6 +53,12 @@ type Instance struct {
 	// Commuting selects commuting-step dispatch (see ExecConfig.Commuting).
 	// Rejected when Substrate is native.
 	Commuting bool
+	// Latency, when set, records this instance's wall-clock solve latency
+	// into the sink's lat.solve histogram. The elapsed time is always
+	// measured (BatchOutcome.ElapsedNS); the flag only controls whether it
+	// enters the metrics registry, so determinism suites that DeepEqual
+	// merged histograms across parallelism keep passing with the flag off.
+	Latency bool
 }
 
 // BatchOutcome pairs one instance's outcome with its setup error. Out is
@@ -60,6 +67,11 @@ type Instance struct {
 type BatchOutcome struct {
 	Out Outcome
 	Err error
+	// ElapsedNS is the instance's wall-clock solve latency in nanoseconds
+	// (validation through ExecuteProto return), measured on the monotonic
+	// clock. Populated for every instance, including failed ones. Not
+	// deterministic: re-running measures a different value.
+	ElapsedNS int64
 }
 
 // RunBatch executes the instances over a pool of parallel workers, each
@@ -94,6 +106,18 @@ func RunBatchProgress(parallel int, sink *obs.Sink, prog *obs.BatchProgress, ins
 		prog.InstanceStarted()
 		defer prog.InstanceDone()
 		inst := instances[k]
+		start := time.Now() // monotonic; elapsed survives wall-clock jumps
+		defer func() {
+			elapsed := time.Since(start).Nanoseconds()
+			out[k].ElapsedNS = elapsed
+			// Metering is observation-only: the elapsed value is read after
+			// the instance finished, so it cannot feed back into execution.
+			if inst.Latency && sink != nil {
+				if h := sink.Registry().Hist(obs.HistLatSolve); h != nil {
+					h.Observe(elapsed)
+				}
+			}
+		}()
 		if err := validateInputs(inst.Inputs); err != nil {
 			out[k] = BatchOutcome{Err: err}
 			return

@@ -158,14 +158,19 @@ func (h *Histogram) Buckets() []Bucket {
 // are the wire schema of benchmark reports (BENCH_batch.json "hists",
 // consensus-load -json; see DESIGN.md §10).
 type HistSnapshot struct {
-	Count   int64    `json:"count"`
-	Sum     int64    `json:"sum"`
-	Min     int64    `json:"min"`
-	Max     int64    `json:"max"`
-	Mean    float64  `json:"mean"`
-	P50     float64  `json:"p50"`
-	P90     float64  `json:"p90"`
-	P99     float64  `json:"p99"`
+	Count int64   `json:"count"`
+	Sum   int64   `json:"sum"`
+	Min   int64   `json:"min"`
+	Max   int64   `json:"max"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+	// P999 is the 99.9th percentile, added for the tail-latency family
+	// (lat.solve); omitted from artifacts that predate it, and zero decodes as
+	// "not recorded" (a real p999 of a non-empty histogram is >= min > 0 for
+	// duration data).
+	P999    float64  `json:"p999,omitempty"`
 	Buckets []Bucket `json:"buckets,omitempty"`
 }
 
@@ -180,6 +185,7 @@ func (h *Histogram) Snapshot() HistSnapshot {
 		P50:     h.Percentile(50),
 		P90:     h.Percentile(90),
 		P99:     h.Percentile(99),
+		P999:    h.Percentile(99.9),
 		Buckets: h.Buckets(),
 	}
 }

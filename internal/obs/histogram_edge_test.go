@@ -90,6 +90,75 @@ func TestPercentileFromBucketsMatchesLive(t *testing.T) {
 	}
 }
 
+// TestP999EdgeCases pins the 99.9th percentile (added for the lat.solve tail
+// family) at the degenerate shapes: empty histograms, a single sample, a
+// single-bucket (bound-less) histogram, and the snapshot/merge paths.
+func TestP999EdgeCases(t *testing.T) {
+	empty := NewHistogram(10, 100)
+	if got := empty.Percentile(99.9); got != 0 {
+		t.Errorf("empty p999 = %v, want 0", got)
+	}
+	if s := empty.Snapshot(); s.P999 != 0 {
+		t.Errorf("empty snapshot p999 = %v, want 0", s.P999)
+	}
+
+	single := NewHistogram(10, 100)
+	single.Observe(42)
+	if got := single.Percentile(99.9); got != 42 {
+		t.Errorf("single-sample p999 = %v, want 42", got)
+	}
+
+	// A bound-less histogram is one overflow bucket: every percentile of the
+	// bucket estimate must clamp to the exact max.
+	oneBucket := NewHistogram()
+	oneBucket.Observe(7)
+	oneBucket.Observe(9_999)
+	if s := oneBucket.Snapshot(); s.P999 != 9_999 {
+		t.Errorf("single-bucket snapshot p999 = %v, want exact max 9999", s.P999)
+	}
+
+	// p999 is monotone with the other quantiles and lands in the top bucket
+	// once the population is big enough to resolve it.
+	h := NewHistogram(10, 100, 1000)
+	for i := 0; i < 999; i++ {
+		h.Observe(5)
+	}
+	h.Observe(500)
+	s := h.Snapshot()
+	if s.P999 < s.P99 || s.P999 > float64(s.Max) {
+		t.Errorf("p999 = %v out of order (p99 %v, max %d)", s.P999, s.P99, s.Max)
+	}
+	if s.P999 != 500 {
+		// Rank ceil(0.999*1000) = 999 ... the 1000th value is the outlier;
+		// rank 999 is still a 5. Nearest-rank puts p999 at the 5s' bucket
+		// bound (10).
+		if s.P999 != 10 {
+			t.Errorf("p999 = %v, want the rank-999 bucket bound 10", s.P999)
+		}
+	}
+
+	// The snapshot-side re-estimator agrees with the live histogram at 99.9.
+	if live, snap := h.Percentile(99.9), percentileFromBuckets(s.Buckets, s.Count, s.Min, s.Max, 99.9); live != snap {
+		t.Errorf("p999 live %v != snapshot %v", live, snap)
+	}
+
+	// Merging preserves p999 re-estimation from the merged buckets.
+	a, b := NewHistogram(10, 100), NewHistogram(10, 100)
+	a.Observe(5)
+	b.Observe(90)
+	m := MergeHistSnapshots(a.Snapshot(), b.Snapshot())
+	if m.P999 != 90 {
+		t.Errorf("merged p999 = %v, want 90 (rank-2 bucket bound clamped to max)", m.P999)
+	}
+	// Mismatched bucket shapes degrade every quantile to the range endpoints.
+	c := NewHistogram(7)
+	c.Observe(3)
+	deg := MergeHistSnapshots(a.Snapshot(), c.Snapshot())
+	if deg.P999 != float64(deg.Max) {
+		t.Errorf("degraded p999 = %v, want max %d", deg.P999, deg.Max)
+	}
+}
+
 // TestHistSnapshotSum pins the Sum field added for the phase-decomposition
 // invariant (phase sums must total steps_to_decide's sum).
 func TestHistSnapshotSum(t *testing.T) {

@@ -1,21 +1,26 @@
 // Package live serves the observability registry over HTTP while a run is in
 // flight: a Prometheus text-format /metrics endpoint built from merged
-// registry snapshots, a /healthz liveness probe, expvar, and net/http/pprof
-// profiling — one process-local telemetry surface shared by consensus-load
-// and consensus-sim (the -listen flag).
+// registry snapshots, a /timeseries ring plus /stream SSE feed of windowed
+// rates (trends, not point snapshots), a /healthz JSON probe carrying batch
+// progress and ETA, expvar, and net/http/pprof profiling — one process-local
+// telemetry surface shared by consensus-load and consensus-sim (the -listen
+// flag).
 //
 // The server is strictly read-only with respect to execution: it samples
 // atomic registries and progress probes, so scraping never perturbs a run.
 package live
 
 import (
+	"encoding/json"
 	"expvar"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"sync"
+	"time"
 
 	"github.com/dsrepro/consensus/internal/obs"
+	"github.com/dsrepro/consensus/internal/obs/tail"
 )
 
 // Server aggregates snapshot sources and batch-progress probes and serves
@@ -25,6 +30,11 @@ type Server struct {
 	mu      sync.Mutex
 	sources []func() obs.Snapshot
 	progs   []*obs.BatchProgress
+
+	ts         *tail.Timeseries
+	tsStop     chan struct{}
+	tsStopped  chan struct{}
+	streamPoll time.Duration // /stream poll cadence; tests shorten it
 
 	httpSrv *http.Server
 	ln      net.Listener
@@ -65,15 +75,82 @@ func (s *Server) AddProgress(p *obs.BatchProgress) {
 	s.mu.Unlock()
 }
 
-// Handler returns the telemetry mux: /metrics, /healthz, /debug/vars
-// (expvar) and /debug/pprof/*.
+// EnableTimeseries arms the /timeseries ring and /stream SSE feed: a sampler
+// goroutine snapshots the merged sources every interval into a bounded ring
+// of the most recent capacity deltas (windowed decisions/sec, scan retry
+// ratio, latency quantiles — see tail.Delta). The sampler runs until Close.
+// Calling it again replaces the ring. The returned ring lets callers sample
+// on demand (e.g. one final sample when a batch ends).
+func (s *Server) EnableTimeseries(capacity int, interval time.Duration) *tail.Timeseries {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	ts := tail.NewTimeseries(capacity)
+	stop := make(chan struct{})
+	stopped := make(chan struct{})
+
+	s.mu.Lock()
+	prevStop, prevStopped := s.tsStop, s.tsStopped
+	s.ts = ts
+	s.tsStop = stop
+	s.tsStopped = stopped
+	s.mu.Unlock()
+	if prevStop != nil {
+		close(prevStop)
+		<-prevStopped
+	}
+
+	go func() {
+		defer close(stopped)
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				ts.Sample(s.merged())
+			}
+		}
+	}()
+	return ts
+}
+
+// SampleTimeseries takes one sample immediately (no-op before
+// EnableTimeseries). Callers use it to stamp a final sample at batch end and
+// tests to fill the ring without waiting on the sampler cadence.
+func (s *Server) SampleTimeseries() {
+	s.mu.Lock()
+	ts := s.ts
+	s.mu.Unlock()
+	if ts != nil {
+		ts.Sample(s.merged())
+	}
+}
+
+// merged returns the merged snapshot of every source plus the aggregated
+// progress view — the single input both /metrics and the sampler consume.
+func (s *Server) merged() (obs.Snapshot, obs.ProgressSnapshot) {
+	s.mu.Lock()
+	sources := append([]func() obs.Snapshot(nil), s.sources...)
+	progs := append([]*obs.BatchProgress(nil), s.progs...)
+	s.mu.Unlock()
+
+	snaps := make([]obs.Snapshot, 0, len(sources))
+	for _, f := range sources {
+		snaps = append(snaps, f())
+	}
+	return obs.MergeSnapshots(snaps...), aggregateProgress(progs)
+}
+
+// Handler returns the telemetry mux: /metrics, /healthz, /timeseries,
+// /stream, /debug/vars (expvar) and /debug/pprof/*.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", s.handleMetrics)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		_, _ = w.Write([]byte("ok\n"))
-	})
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/timeseries", s.handleTimeseries)
+	mux.HandleFunc("/stream", s.handleStream)
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -86,25 +163,143 @@ func (s *Server) Handler() http.Handler {
 // handleMetrics merges one snapshot per source and writes the Prometheus
 // text exposition.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	merged, prog := s.merged()
 	s.mu.Lock()
-	sources := append([]func() obs.Snapshot(nil), s.sources...)
-	progs := append([]*obs.BatchProgress(nil), s.progs...)
+	withProgress := len(s.progs) > 0
 	s.mu.Unlock()
 
-	snaps := make([]obs.Snapshot, 0, len(sources))
-	for _, f := range sources {
-		snaps = append(snaps, f())
-	}
-	merged := obs.MergeSnapshots(snaps...)
-
-	prog := aggregateProgress(progs)
-
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	writeProm(w, merged, prog, len(progs) > 0)
+	writeProm(w, merged, prog, withProgress)
 }
 
-// aggregateProgress folds multiple probes into one view: instance counts sum,
-// elapsed takes the longest-running probe, throughput sums.
+// healthzBody is the /healthz JSON schema: liveness plus the batch-progress
+// view (all progress fields zero when no probe is registered).
+type healthzBody struct {
+	Status       string  `json:"status"`
+	Total        int64   `json:"total"`
+	Completed    int64   `json:"completed"`
+	InFlight     int64   `json:"inflight"`
+	ElapsedSec   float64 `json:"elapsed_sec"`
+	PerSec       float64 `json:"per_sec"`
+	WindowPerSec float64 `json:"window_per_sec"`
+	// ETASec estimates remaining seconds: 0 done/idle, -1 no rate yet.
+	ETASec float64 `json:"eta_sec"`
+}
+
+// handleHealthz reports liveness as JSON with the aggregated batch progress
+// and ETA, so `curl /healthz` answers "is it up" and "how long to go" in one
+// round trip.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	progs := append([]*obs.BatchProgress(nil), s.progs...)
+	s.mu.Unlock()
+	prog := aggregateProgress(progs)
+
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(healthzBody{
+		Status:       "ok",
+		Total:        prog.Total,
+		Completed:    prog.Completed,
+		InFlight:     prog.InFlight,
+		ElapsedSec:   prog.ElapsedSec,
+		PerSec:       prog.PerSec,
+		WindowPerSec: prog.WindowPerSec,
+		ETASec:       prog.ETASec,
+	})
+}
+
+// handleTimeseries dumps the retained ring as {"samples": [...]}, oldest
+// first. 404 when the ring was never enabled — the endpoint's absence is
+// itself the signal that the process runs without -listen telemetry sampling.
+func (s *Server) handleTimeseries(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	ts := s.ts
+	s.mu.Unlock()
+	if ts == nil {
+		http.Error(w, "timeseries not enabled", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	_ = json.NewEncoder(w).Encode(struct {
+		Samples []tail.Delta `json:"samples"`
+	}{Samples: ts.Samples()})
+}
+
+// handleStream serves the ring as Server-Sent Events: each sample is one
+// `data:` frame of tail.Delta JSON. The handler first replays the retained
+// ring, then polls for new samples until the client disconnects. Frames are
+// keyed by Seq, so a reconnecting client skips what it already saw by
+// discarding seqs it has (the ring is small; replay is cheap).
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	ts := s.ts
+	poll := s.streamPoll
+	s.mu.Unlock()
+	if ts == nil {
+		http.Error(w, "timeseries not enabled", http.StatusNotFound)
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	if poll <= 0 {
+		poll = 200 * time.Millisecond
+	}
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	var lastSeq int64
+	write := func(deltas []tail.Delta) bool {
+		for _, d := range deltas {
+			data, err := tail.EncodeDelta(d)
+			if err != nil {
+				return false
+			}
+			if _, err := w.Write([]byte("data: ")); err != nil {
+				return false
+			}
+			if _, err := w.Write(data); err != nil {
+				return false
+			}
+			if _, err := w.Write([]byte("\n\n")); err != nil {
+				return false
+			}
+			lastSeq = d.Seq
+		}
+		if len(deltas) > 0 {
+			flusher.Flush()
+		}
+		return true
+	}
+
+	if !write(ts.Since(0)) {
+		return
+	}
+	tick := time.NewTicker(poll)
+	defer tick.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-tick.C:
+			if !write(ts.Since(lastSeq)) {
+				return
+			}
+		}
+	}
+}
+
+// aggregateProgress folds multiple probes into one view: instance counts and
+// rates sum, elapsed takes the longest-running probe, and the ETA is
+// recomputed from the summed remaining work and summed rates (preferring the
+// windowed rate, like the per-probe estimate).
 func aggregateProgress(progs []*obs.BatchProgress) obs.ProgressSnapshot {
 	var out obs.ProgressSnapshot
 	for _, p := range progs {
@@ -116,6 +311,18 @@ func aggregateProgress(progs []*obs.BatchProgress) obs.ProgressSnapshot {
 			out.ElapsedSec = ps.ElapsedSec
 		}
 		out.PerSec += ps.PerSec
+		out.WindowPerSec += ps.WindowPerSec
+	}
+	remaining := out.Total - out.Completed
+	switch {
+	case remaining <= 0:
+		out.ETASec = 0
+	case out.WindowPerSec > 0:
+		out.ETASec = float64(remaining) / out.WindowPerSec
+	case out.PerSec > 0:
+		out.ETASec = float64(remaining) / out.PerSec
+	default:
+		out.ETASec = -1
 	}
 	return out
 }
@@ -137,13 +344,20 @@ func (s *Server) Start(addr string) (string, error) {
 	return ln.Addr().String(), nil
 }
 
-// Close stops the listener started by Start (no-op otherwise).
+// Close stops the listener started by Start and the timeseries sampler
+// (no-ops for whichever was never started).
 func (s *Server) Close() error {
 	s.mu.Lock()
 	srv := s.httpSrv
 	s.httpSrv = nil
 	s.ln = nil
+	stop, stopped := s.tsStop, s.tsStopped
+	s.tsStop, s.tsStopped = nil, nil
 	s.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-stopped
+	}
 	if srv == nil {
 		return nil
 	}

@@ -1,13 +1,17 @@
 package live
 
 import (
+	"bufio"
+	"encoding/json"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"github.com/dsrepro/consensus/internal/obs"
+	"github.com/dsrepro/consensus/internal/obs/tail"
 )
 
 // populated returns a registry with every family the exposition covers:
@@ -57,8 +61,15 @@ func TestServerEndpoints(t *testing.T) {
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
-	if code, body := get(t, ts, "/healthz"); code != 200 || body != "ok\n" {
+	if code, body := get(t, ts, "/healthz"); code != 200 || !strings.Contains(body, `"status":"ok"`) {
 		t.Errorf("/healthz = %d %q", code, body)
+	} else {
+		var h healthzBody
+		if err := json.Unmarshal([]byte(body), &h); err != nil {
+			t.Errorf("/healthz not JSON: %v (%q)", err, body)
+		} else if h.Total != 10 || h.Completed != 1 {
+			t.Errorf("/healthz progress = %+v, want total 10 completed 1", h)
+		}
 	}
 
 	code, body := get(t, ts, "/metrics")
@@ -197,6 +208,135 @@ func TestMetricsDeterministic(t *testing.T) {
 	_, second := get(t, ts, "/metrics")
 	if first != second {
 		t.Errorf("static registry scraped differently:\n%s\nvs\n%s", first, second)
+	}
+}
+
+// TestTimeseriesEndpoint drives the ring through SampleTimeseries and checks
+// the /timeseries JSON dump, plus the 404 before the ring is enabled.
+func TestTimeseriesEndpoint(t *testing.T) {
+	sink := obs.NewSink(nil)
+	srv := New()
+	srv.AddRegistry(sink.Registry())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Close()
+
+	if code, _ := get(t, ts, "/timeseries"); code != 404 {
+		t.Errorf("/timeseries before enable = %d, want 404", code)
+	}
+	if code, _ := get(t, ts, "/stream"); code != 404 {
+		t.Errorf("/stream before enable = %d, want 404", code)
+	}
+
+	srv.EnableTimeseries(16, time.Hour) // sampler effectively idle; we sample by hand
+	sink.Count(obs.CoreDecide)
+	srv.SampleTimeseries()
+	sink.Count(obs.CoreDecide)
+	srv.SampleTimeseries()
+
+	code, body := get(t, ts, "/timeseries")
+	if code != 200 {
+		t.Fatalf("/timeseries = %d", code)
+	}
+	var out struct {
+		Samples []tail.Delta `json:"samples"`
+	}
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatalf("/timeseries not JSON: %v (%q)", err, body)
+	}
+	if len(out.Samples) != 2 {
+		t.Fatalf("got %d samples, want 2: %+v", len(out.Samples), out.Samples)
+	}
+	if out.Samples[0].Seq != 1 || out.Samples[1].Seq != 2 {
+		t.Errorf("sample seqs = %d,%d, want 1,2", out.Samples[0].Seq, out.Samples[1].Seq)
+	}
+	if out.Samples[0].Decisions != 1 || out.Samples[1].Decisions != 2 {
+		t.Errorf("cumulative decisions = %d,%d, want 1,2",
+			out.Samples[0].Decisions, out.Samples[1].Decisions)
+	}
+}
+
+// TestStreamSSE opens /stream, takes samples while the stream is live, and
+// checks that each arrives as a data: frame with increasing seqs.
+func TestStreamSSE(t *testing.T) {
+	sink := obs.NewSink(nil)
+	srv := New()
+	srv.AddRegistry(sink.Registry())
+	srv.streamPoll = 5 * time.Millisecond
+	srv.EnableTimeseries(16, time.Hour)
+	srv.SampleTimeseries() // one retained sample to replay on connect
+
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Close()
+
+	resp, err := http.Get(ts.URL + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type = %q", ct)
+	}
+
+	// A second sample lands while the stream is open; the poller must emit it.
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		sink.Count(obs.CoreDecide)
+		srv.SampleTimeseries()
+	}()
+
+	sc := bufio.NewScanner(resp.Body)
+	var seqs []int64
+	deadline := time.After(5 * time.Second)
+	for len(seqs) < 2 {
+		select {
+		case <-deadline:
+			t.Fatalf("stream produced %d frames before timeout: %v", len(seqs), seqs)
+		default:
+		}
+		if !sc.Scan() {
+			t.Fatalf("stream ended early (frames %v): %v", seqs, sc.Err())
+		}
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		d, err := tail.DecodeDelta([]byte(strings.TrimPrefix(line, "data: ")))
+		if err != nil {
+			t.Fatalf("bad frame %q: %v", line, err)
+		}
+		seqs = append(seqs, d.Seq)
+	}
+	if seqs[0] != 1 || seqs[1] != 2 {
+		t.Errorf("frame seqs = %v, want [1 2]", seqs)
+	}
+}
+
+// TestHealthzETA: with a progress probe mid-batch, /healthz carries a usable
+// ETA estimate (completed instances give it a rate).
+func TestHealthzETA(t *testing.T) {
+	prog := &obs.BatchProgress{}
+	prog.Begin(100)
+	for i := 0; i < 10; i++ {
+		prog.InstanceStarted()
+		prog.InstanceDone()
+	}
+	srv := New()
+	srv.AddProgress(prog)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	_, body := get(t, ts, "/healthz")
+	var h healthzBody
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatalf("/healthz not JSON: %v (%q)", err, body)
+	}
+	if h.Status != "ok" || h.Total != 100 || h.Completed != 10 {
+		t.Errorf("healthz = %+v", h)
+	}
+	if h.ETASec <= 0 {
+		t.Errorf("mid-batch ETA = %v, want > 0 (10 done should give a rate)", h.ETASec)
 	}
 }
 

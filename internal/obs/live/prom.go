@@ -94,6 +94,8 @@ func writeProm(w io.Writer, snap obs.Snapshot, prog obs.ProgressSnapshot, withPr
 		writeProgressGauge(w, "consensus_batch_inflight", "Instances currently executing.", float64(prog.InFlight))
 		writeProgressGauge(w, "consensus_batch_elapsed_seconds", "Wall-clock seconds since the batch began.", prog.ElapsedSec)
 		writeProgressGauge(w, "consensus_batch_instances_per_sec", "Completed instances per second.", prog.PerSec)
+		writeProgressGauge(w, "consensus_batch_window_instances_per_sec", "Completed instances per second over the recent window.", prog.WindowPerSec)
+		writeProgressGauge(w, "consensus_batch_eta_seconds", "Estimated seconds until the batch completes (-1 unknown).", prog.ETASec)
 	}
 }
 

@@ -84,8 +84,10 @@ func MergeHistSnapshots(a, b HistSnapshot) HistSnapshot {
 		m.P50 = percentileFromBuckets(m.Buckets, m.Count, m.Min, m.Max, 50)
 		m.P90 = percentileFromBuckets(m.Buckets, m.Count, m.Min, m.Max, 90)
 		m.P99 = percentileFromBuckets(m.Buckets, m.Count, m.Min, m.Max, 99)
+		m.P999 = percentileFromBuckets(m.Buckets, m.Count, m.Min, m.Max, 99.9)
 	} else {
 		m.P50, m.P90, m.P99 = float64(m.Min), float64(m.Max), float64(m.Max)
+		m.P999 = float64(m.Max)
 	}
 	return m
 }

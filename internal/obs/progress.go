@@ -5,6 +5,24 @@ import (
 	"time"
 )
 
+// progressWindowBuckets x progressBucketNanos is the sliding window behind
+// the ETA estimate: completion events are binned into one-second epochs in a
+// small ring, so the windowed rate tracks the current regime (e.g. the slow
+// n=32 tail of a mixed batch) instead of the whole-batch average.
+const (
+	progressWindowBuckets = 8
+	progressBucketNanos   = int64(time.Second)
+)
+
+// progressBucket is one ring slot: the epoch it currently holds and the
+// completions counted in that epoch. A slot is lazily reclaimed when a newer
+// epoch lands on it; the reclaim (CAS epoch, then reset count) can drop a
+// concurrent increment, which is acceptable for a reporting-only probe.
+type progressBucket struct {
+	epoch atomic.Int64 // 0 = never used; otherwise 1 + (doneNano-startNano)/bucketNanos
+	count atomic.Int64
+}
+
 // BatchProgress is an atomic probe into a running batch: total, completed and
 // in-flight instance counts plus the wall-clock start, updated by the batch
 // engine's workers (core.RunBatch) and read concurrently by the live
@@ -18,18 +36,27 @@ type BatchProgress struct {
 	completed atomic.Int64
 	inflight  atomic.Int64
 	startNano atomic.Int64
+	window    [progressWindowBuckets]progressBucket
 }
 
 // Begin (re)arms the probe for a batch of total instances, stamping the
 // wall-clock start.
 func (p *BatchProgress) Begin(total int) {
+	p.beginAt(total, time.Now().UnixNano())
+}
+
+func (p *BatchProgress) beginAt(total int, nowNano int64) {
 	if p == nil {
 		return
 	}
 	p.total.Store(int64(total))
 	p.completed.Store(0)
 	p.inflight.Store(0)
-	p.startNano.Store(time.Now().UnixNano())
+	for i := range p.window {
+		p.window[i].epoch.Store(0)
+		p.window[i].count.Store(0)
+	}
+	p.startNano.Store(nowNano)
 }
 
 // InstanceStarted marks one instance as picked up by a worker.
@@ -42,11 +69,37 @@ func (p *BatchProgress) InstanceStarted() {
 
 // InstanceDone marks one in-flight instance as completed.
 func (p *BatchProgress) InstanceDone() {
+	p.instanceDoneAt(time.Now().UnixNano())
+}
+
+func (p *BatchProgress) instanceDoneAt(nowNano int64) {
 	if p == nil {
 		return
 	}
 	p.inflight.Add(-1)
 	p.completed.Add(1)
+	start := p.startNano.Load()
+	if start == 0 || nowNano < start {
+		return
+	}
+	epoch := (nowNano-start)/progressBucketNanos + 1
+	b := &p.window[epoch%progressWindowBuckets]
+	for {
+		e := b.epoch.Load()
+		if e == epoch {
+			b.count.Add(1)
+			return
+		}
+		if e > epoch {
+			// A newer epoch already owns the slot (clock skew between
+			// workers); drop the sample rather than corrupt the newer bin.
+			return
+		}
+		if b.epoch.CompareAndSwap(e, epoch) {
+			b.count.Store(1)
+			return
+		}
+	}
 }
 
 // ProgressSnapshot is a point-in-time view of a BatchProgress.
@@ -57,11 +110,24 @@ type ProgressSnapshot struct {
 	ElapsedSec float64
 	// PerSec is Completed / ElapsedSec (0 when elapsed is 0).
 	PerSec float64
+	// WindowPerSec is the completion rate over the recent sliding window
+	// (~8s), which tracks the current regime in batches whose instances vary
+	// wildly in cost. 0 when nothing completed within the window.
+	WindowPerSec float64
+	// ETASec estimates the remaining wall-clock seconds: instances remaining
+	// divided by WindowPerSec, falling back to the whole-batch PerSec when
+	// the window is empty. 0 when done; negative (-1) when no rate exists yet
+	// to estimate from.
+	ETASec float64
 }
 
 // Snapshot reads the probe. Safe to call concurrently with worker updates; a
 // nil probe returns the zero snapshot.
 func (p *BatchProgress) Snapshot() ProgressSnapshot {
+	return p.snapshotAt(time.Now().UnixNano())
+}
+
+func (p *BatchProgress) snapshotAt(nowNano int64) ProgressSnapshot {
 	if p == nil {
 		return ProgressSnapshot{}
 	}
@@ -70,11 +136,40 @@ func (p *BatchProgress) Snapshot() ProgressSnapshot {
 		Completed: p.completed.Load(),
 		InFlight:  p.inflight.Load(),
 	}
-	if start := p.startNano.Load(); start != 0 {
-		s.ElapsedSec = time.Since(time.Unix(0, start)).Seconds()
+	start := p.startNano.Load()
+	if start != 0 && nowNano > start {
+		s.ElapsedSec = float64(nowNano-start) / float64(time.Second)
 	}
 	if s.ElapsedSec > 0 {
 		s.PerSec = float64(s.Completed) / s.ElapsedSec
+	}
+	if start != 0 && nowNano >= start {
+		curEpoch := (nowNano-start)/progressBucketNanos + 1
+		var recent int64
+		for i := range p.window {
+			e := p.window[i].epoch.Load()
+			if e > 0 && e <= curEpoch && curEpoch-e < progressWindowBuckets {
+				recent += p.window[i].count.Load()
+			}
+		}
+		winSec := s.ElapsedSec
+		if max := float64(progressWindowBuckets) * float64(progressBucketNanos) / float64(time.Second); winSec > max {
+			winSec = max
+		}
+		if winSec > 0 && recent > 0 {
+			s.WindowPerSec = float64(recent) / winSec
+		}
+	}
+	remaining := s.Total - s.Completed
+	switch {
+	case remaining <= 0:
+		s.ETASec = 0
+	case s.WindowPerSec > 0:
+		s.ETASec = float64(remaining) / s.WindowPerSec
+	case s.PerSec > 0:
+		s.ETASec = float64(remaining) / s.PerSec
+	default:
+		s.ETASec = -1
 	}
 	return s
 }

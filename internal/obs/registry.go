@@ -89,6 +89,12 @@ const (
 	HistPhaseCoin
 	HistPhaseStrip
 	HistPhaseDecide
+	// HistLatSolve is the distribution of per-instance wall-clock solve
+	// latencies in nanoseconds (one sample per instance, recorded only when
+	// latency metering is on — see core.Instance.Latency). Unlike every other
+	// histogram it measures real time, so its contents are NOT deterministic
+	// per seed; determinism suites must compare snapshots modulo this key.
+	HistLatSolve
 	numHists
 )
 
@@ -111,10 +117,17 @@ func (h HistID) String() string {
 		return PhaseStepsPrefix + "strip"
 	case HistPhaseDecide:
 		return PhaseStepsPrefix + "decide"
+	case HistLatSolve:
+		return "lat.solve"
 	default:
 		return "hist.unknown"
 	}
 }
+
+// LatSolveKey is the snapshot key of the per-instance wall-clock latency
+// histogram (nanoseconds). Exported so determinism suites and report tooling
+// can filter the one non-deterministic histogram by name.
+const LatSolveKey = "lat.solve"
 
 // Registry is the unified metrics registry: one counter per event kind, a
 // small set of max-gauges, and fixed-bucket histograms. All mutation paths
@@ -142,7 +155,19 @@ func NewRegistry() *Registry {
 	for ph := PhaseID(0); ph < NumPhases; ph++ {
 		r.hists[ph.HistID()] = NewHistogram(phaseStepsBounds...)
 	}
+	r.hists[HistLatSolve] = NewHistogram(latSolveBounds...)
 	return r
+}
+
+// latSolveBounds are the lat.solve buckets in nanoseconds: a coarse
+// exponential ladder from 10µs (a trivial n=4 instance on the native
+// substrate) to 100s (an n=32 simulated straggler), ~3 buckets per decade so
+// tail quantiles resolve without bloating every snapshot.
+var latSolveBounds = []int64{
+	10_000, 30_000, 100_000, 300_000, // 10µs .. 300µs
+	1_000_000, 3_000_000, 10_000_000, 30_000_000, // 1ms .. 30ms
+	100_000_000, 300_000_000, 1_000_000_000, 3_000_000_000, // 100ms .. 3s
+	10_000_000_000, 30_000_000_000, 100_000_000_000, // 10s .. 100s
 }
 
 // countKind increments the counter of kind k.

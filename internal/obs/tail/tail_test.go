@@ -1,0 +1,108 @@
+package tail
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestTopKSelectsSlowest pins the digest's contract: the k largest latencies
+// survive, ordered slowest first.
+func TestTopKSelectsSlowest(t *testing.T) {
+	tk := TopK{K: 3}
+	lats := []int64{50, 900, 10, 300, 700, 5, 800}
+	for i, l := range lats {
+		tk.Add(Straggler{Index: i, Seed: int64(100 + i), LatencyNS: l})
+	}
+	got := tk.Sorted()
+	wantLat := []int64{900, 800, 700}
+	if len(got) != 3 {
+		t.Fatalf("kept %d stragglers, want 3", len(got))
+	}
+	for i, s := range got {
+		if s.LatencyNS != wantLat[i] {
+			t.Errorf("rank %d latency = %d, want %d", i, s.LatencyNS, wantLat[i])
+		}
+	}
+	if got[0].Index != 1 || got[0].Seed != 101 {
+		t.Errorf("slowest straggler lost its identity: %+v", got[0])
+	}
+}
+
+// TestTopKTiesBreakByIndex: equal latencies keep the lower instance index, so
+// the digest is a pure function of the measured values.
+func TestTopKTiesBreakByIndex(t *testing.T) {
+	tk := TopK{K: 2}
+	for i := 0; i < 5; i++ {
+		tk.Add(Straggler{Index: i, LatencyNS: 100})
+	}
+	got := tk.Sorted()
+	if len(got) != 2 || got[0].Index != 0 || got[1].Index != 1 {
+		t.Errorf("tie-break wrong: %+v (want indices 0, 1)", got)
+	}
+}
+
+// TestTopKDeterministicAcrossOrder: the digest must not depend on Add order —
+// batch workers complete out of order, but the post-run pass feeds instances
+// in index order; this locks that even adversarial orders agree.
+func TestTopKDeterministicAcrossOrder(t *testing.T) {
+	lats := []int64{5, 42, 42, 7, 99, 3, 42, 77}
+	forward := TopK{K: 4}
+	backward := TopK{K: 4}
+	for i, l := range lats {
+		forward.Add(Straggler{Index: i, LatencyNS: l})
+	}
+	for i := len(lats) - 1; i >= 0; i-- {
+		backward.Add(Straggler{Index: i, LatencyNS: lats[i]})
+	}
+	if !reflect.DeepEqual(forward.Sorted(), backward.Sorted()) {
+		t.Errorf("order-dependent digest:\nforward  %+v\nbackward %+v", forward.Sorted(), backward.Sorted())
+	}
+}
+
+// TestTopKDisabled: K <= 0 keeps nothing (the batch default).
+func TestTopKDisabled(t *testing.T) {
+	var tk TopK
+	tk.Add(Straggler{LatencyNS: 1})
+	if got := tk.Sorted(); len(got) != 0 {
+		t.Errorf("disabled digest kept %d stragglers", len(got))
+	}
+}
+
+// TestSummarizeExact checks the nearest-rank quantiles on a small exact set.
+func TestSummarizeExact(t *testing.T) {
+	ns := make([]int64, 100)
+	for i := range ns {
+		ns[i] = int64(i + 1) // 1..100
+	}
+	s := Summarize(ns)
+	if s.Count != 100 || s.MinNS != 1 || s.MaxNS != 100 {
+		t.Fatalf("count/min/max wrong: %+v", s)
+	}
+	if s.P50NS != 50 || s.P90NS != 90 || s.P99NS != 99 || s.P999NS != 100 {
+		t.Errorf("quantiles wrong: %+v", s)
+	}
+	if s.MeanNS != 50.5 {
+		t.Errorf("mean = %v, want 50.5", s.MeanNS)
+	}
+}
+
+// TestSummarizeEdges: empty and single-sample inputs.
+func TestSummarizeEdges(t *testing.T) {
+	if s := Summarize(nil); s != (Summary{}) {
+		t.Errorf("empty summary not zero: %+v", s)
+	}
+	s := Summarize([]int64{42})
+	if s.Count != 1 || s.P50NS != 42 || s.P999NS != 42 || s.MinNS != 42 || s.MaxNS != 42 {
+		t.Errorf("single-sample summary wrong: %+v", s)
+	}
+}
+
+// TestSummarizeDoesNotMutate: the input slice must stay in caller order
+// (BatchResult.Latencies is indexed by instance).
+func TestSummarizeDoesNotMutate(t *testing.T) {
+	ns := []int64{3, 1, 2}
+	Summarize(ns)
+	if !reflect.DeepEqual(ns, []int64{3, 1, 2}) {
+		t.Errorf("Summarize reordered its input: %v", ns)
+	}
+}

@@ -1,0 +1,158 @@
+package tail
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/dsrepro/consensus/internal/obs"
+)
+
+// Delta is one time-series sample: the windowed rates since the previous
+// sample plus the cumulative tail quantiles at sample time. The JSON field
+// names are the wire schema of the live server's /timeseries and /stream
+// endpoints (DESIGN.md §17); rates are 0 on the first sample of a series
+// (there is no previous window to rate against).
+type Delta struct {
+	// Seq numbers samples monotonically from 1 within one Timeseries; clients
+	// resume an SSE stream with Since(Seq).
+	Seq int64 `json:"seq"`
+	// UnixNano is the sample's wall-clock timestamp; WindowSec the seconds
+	// since the previous sample (0 on the first).
+	UnixNano  int64   `json:"unix_nano"`
+	WindowSec float64 `json:"window_sec"`
+
+	// Decisions is the cumulative core.decide count; DecisionsPerSec its rate
+	// over the window.
+	Decisions       int64   `json:"decisions"`
+	DecisionsPerSec float64 `json:"decisions_per_sec"`
+	// ScanRetryRatio is the cumulative scan.retry / scan.clean ratio (0 when
+	// no scan completed yet).
+	ScanRetryRatio float64 `json:"scan_retry_ratio"`
+
+	// Completed/Total mirror the batch-progress probe; InstancesPerSec is the
+	// windowed completion rate and ETASec the probe's remaining-time estimate
+	// (0 done, -1 unknown).
+	Completed       int64   `json:"completed"`
+	Total           int64   `json:"total"`
+	InstancesPerSec float64 `json:"instances_per_sec"`
+	ETASec          float64 `json:"eta_sec"`
+
+	// LatP50NS..LatMaxNS are the cumulative lat.solve quantiles (bucket
+	// resolution, nanoseconds); all zero when latency metering is off.
+	LatP50NS  float64 `json:"lat_p50_ns"`
+	LatP90NS  float64 `json:"lat_p90_ns"`
+	LatP99NS  float64 `json:"lat_p99_ns"`
+	LatP999NS float64 `json:"lat_p999_ns"`
+	LatMaxNS  int64   `json:"lat_max_ns"`
+}
+
+// EncodeDelta renders one sample as its wire JSON.
+func EncodeDelta(d Delta) ([]byte, error) {
+	return json.Marshal(d)
+}
+
+// DecodeDelta parses one wire-JSON sample, rejecting anything that is not a
+// JSON object. Unknown fields are ignored (the schema only ever grows).
+func DecodeDelta(data []byte) (Delta, error) {
+	var d Delta
+	if err := json.Unmarshal(data, &d); err != nil {
+		return Delta{}, fmt.Errorf("tail: parsing delta: %w", err)
+	}
+	return d, nil
+}
+
+// Timeseries is a bounded ring of samples: a sampler calls Sample on a fixed
+// cadence with the current merged metrics snapshot and progress view, and the
+// ring keeps the most recent capacity deltas for /timeseries scrapes and SSE
+// resume. Reads never block the sampler for long — all methods copy under a
+// mutex held for O(capacity).
+type Timeseries struct {
+	mu            sync.Mutex
+	capacity      int
+	ring          []Delta
+	seq           int64
+	prevNano      int64
+	prevDecisions int64
+	prevCompleted int64
+}
+
+// NewTimeseries returns a ring keeping the most recent capacity samples
+// (minimum 1).
+func NewTimeseries(capacity int) *Timeseries {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Timeseries{capacity: capacity}
+}
+
+// Sample appends one sample stamped with the current wall clock.
+func (t *Timeseries) Sample(snap obs.Snapshot, prog obs.ProgressSnapshot) Delta {
+	return t.SampleAt(time.Now().UnixNano(), snap, prog)
+}
+
+// SampleAt is Sample with an explicit timestamp, so tests drive the ring
+// deterministically.
+func (t *Timeseries) SampleAt(nowNano int64, snap obs.Snapshot, prog obs.ProgressSnapshot) Delta {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+
+	t.seq++
+	d := Delta{
+		Seq:       t.seq,
+		UnixNano:  nowNano,
+		Decisions: snap.Counters["core.decide"],
+		Completed: prog.Completed,
+		Total:     prog.Total,
+		ETASec:    prog.ETASec,
+	}
+	if clean := snap.Counters["scan.clean"]; clean > 0 {
+		d.ScanRetryRatio = float64(snap.Counters["scan.retry"]) / float64(clean)
+	}
+	if lat, ok := snap.Hists[obs.LatSolveKey]; ok && lat.Count > 0 {
+		d.LatP50NS = lat.P50
+		d.LatP90NS = lat.P90
+		d.LatP99NS = lat.P99
+		d.LatP999NS = lat.P999
+		d.LatMaxNS = lat.Max
+	}
+	if t.prevNano != 0 && nowNano > t.prevNano {
+		d.WindowSec = float64(nowNano-t.prevNano) / float64(time.Second)
+		if dd := d.Decisions - t.prevDecisions; dd > 0 {
+			d.DecisionsPerSec = float64(dd) / d.WindowSec
+		}
+		if dc := d.Completed - t.prevCompleted; dc > 0 {
+			d.InstancesPerSec = float64(dc) / d.WindowSec
+		}
+	}
+	t.prevNano = nowNano
+	t.prevDecisions = d.Decisions
+	t.prevCompleted = d.Completed
+
+	t.ring = append(t.ring, d)
+	if len(t.ring) > t.capacity {
+		t.ring = append(t.ring[:0], t.ring[len(t.ring)-t.capacity:]...)
+	}
+	return d
+}
+
+// Samples returns a copy of the retained samples, oldest first.
+func (t *Timeseries) Samples() []Delta {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Delta(nil), t.ring...)
+}
+
+// Since returns the retained samples with Seq > seq, oldest first — the SSE
+// resume primitive. Samples evicted from the ring are gone; a client that
+// fell more than capacity samples behind simply resumes from what remains.
+func (t *Timeseries) Since(seq int64) []Delta {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	i := 0
+	for i < len(t.ring) && t.ring[i].Seq <= seq {
+		i++
+	}
+	return append([]Delta(nil), t.ring[i:]...)
+}

@@ -1,0 +1,131 @@
+package tail
+
+import (
+	"testing"
+	"time"
+
+	"github.com/dsrepro/consensus/internal/obs"
+)
+
+func snapAt(decisions, retries, cleans int64) obs.Snapshot {
+	return obs.Snapshot{
+		Counters: map[string]int64{
+			"core.decide": decisions,
+			"scan.retry":  retries,
+			"scan.clean":  cleans,
+		},
+		Hists: map[string]obs.HistSnapshot{
+			obs.LatSolveKey: {Count: decisions, P50: 1000, P90: 2000, P99: 3000, P999: 4000, Max: 5000},
+		},
+	}
+}
+
+// TestTimeseriesWindowedRates drives the ring with explicit timestamps: the
+// first sample has no window, later samples rate the counter deltas.
+func TestTimeseriesWindowedRates(t *testing.T) {
+	ts := NewTimeseries(16)
+	base := int64(1_000_000_000)
+	sec := int64(time.Second)
+
+	d1 := ts.SampleAt(base, snapAt(10, 0, 10), obs.ProgressSnapshot{Total: 100, Completed: 10, ETASec: -1})
+	if d1.Seq != 1 || d1.WindowSec != 0 || d1.DecisionsPerSec != 0 {
+		t.Errorf("first sample should have no window: %+v", d1)
+	}
+	if d1.Decisions != 10 || d1.LatP99NS != 3000 || d1.LatP999NS != 4000 || d1.LatMaxNS != 5000 {
+		t.Errorf("cumulative fields wrong: %+v", d1)
+	}
+
+	d2 := ts.SampleAt(base+2*sec, snapAt(50, 30, 20), obs.ProgressSnapshot{Total: 100, Completed: 30, ETASec: 7})
+	if d2.Seq != 2 || d2.WindowSec != 2 {
+		t.Fatalf("second sample window wrong: %+v", d2)
+	}
+	if d2.DecisionsPerSec != 20 { // (50-10)/2s
+		t.Errorf("decisions/sec = %v, want 20", d2.DecisionsPerSec)
+	}
+	if d2.InstancesPerSec != 10 { // (30-10)/2s
+		t.Errorf("instances/sec = %v, want 10", d2.InstancesPerSec)
+	}
+	if d2.ScanRetryRatio != 1.5 {
+		t.Errorf("scan retry ratio = %v, want 1.5", d2.ScanRetryRatio)
+	}
+	if d2.ETASec != 7 {
+		t.Errorf("eta = %v, want 7", d2.ETASec)
+	}
+}
+
+// TestTimeseriesRingBounds: the ring keeps only the newest capacity samples,
+// and Since resumes past evictions.
+func TestTimeseriesRingBounds(t *testing.T) {
+	ts := NewTimeseries(3)
+	for i := 0; i < 10; i++ {
+		ts.SampleAt(int64(i+1)*int64(time.Second), obs.Snapshot{}, obs.ProgressSnapshot{})
+	}
+	got := ts.Samples()
+	if len(got) != 3 || got[0].Seq != 8 || got[2].Seq != 10 {
+		t.Fatalf("ring contents wrong: %+v", got)
+	}
+	since := ts.Since(8)
+	if len(since) != 2 || since[0].Seq != 9 || since[1].Seq != 10 {
+		t.Errorf("Since(8) = %+v, want seqs 9,10", since)
+	}
+	if all := ts.Since(0); len(all) != 3 {
+		t.Errorf("Since(0) should return the whole ring, got %d", len(all))
+	}
+	if none := ts.Since(10); len(none) != 0 {
+		t.Errorf("Since(latest) should be empty, got %+v", none)
+	}
+}
+
+// TestDeltaRoundTrip: encode/decode is lossless for a fully populated sample.
+func TestDeltaRoundTrip(t *testing.T) {
+	d := Delta{
+		Seq: 7, UnixNano: 123456789, WindowSec: 0.25,
+		Decisions: 42, DecisionsPerSec: 168, ScanRetryRatio: 1.25,
+		Completed: 10, Total: 20, InstancesPerSec: 4, ETASec: 2.5,
+		LatP50NS: 1e6, LatP90NS: 2e6, LatP99NS: 3e6, LatP999NS: 4e6, LatMaxNS: 5_000_000,
+	}
+	data, err := EncodeDelta(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeDelta(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != d {
+		t.Errorf("round trip changed the sample:\n in  %+v\n out %+v", d, back)
+	}
+}
+
+// FuzzTimeseriesDelta fuzzes the wire decoder: any input that decodes must
+// re-encode and decode to the same value (the schema is float64/int64 only,
+// which JSON round-trips exactly), and the decoder must never panic.
+func FuzzTimeseriesDelta(f *testing.F) {
+	seed, err := EncodeDelta(Delta{Seq: 1, UnixNano: 2, WindowSec: 0.5, Decisions: 3, LatP999NS: 4.5})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"seq":-1,"lat_p99_ns":1e308}`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := DecodeDelta(data)
+		if err != nil {
+			return
+		}
+		enc, err := EncodeDelta(d)
+		if err != nil {
+			// Unrepresentable floats (NaN/Inf) cannot come out of a JSON
+			// decode, so encode must succeed for any decoded value.
+			t.Fatalf("decoded delta failed to re-encode: %v (%+v)", err, d)
+		}
+		back, err := DecodeDelta(enc)
+		if err != nil {
+			t.Fatalf("re-encoded delta failed to decode: %v (%s)", err, enc)
+		}
+		if back != d {
+			t.Fatalf("round trip not stable:\n in  %+v\n out %+v", d, back)
+		}
+	})
+}

@@ -45,8 +45,12 @@ wait_done() {
 }
 wait_done || { echo "live_smoke: batch never completed via /metrics" >&2; exit 1; }
 
+# /healthz is JSON: liveness plus the batch progress and ETA view.
 HEALTH="$(curl -sf "http://$ADDR/healthz")"
-[ "$HEALTH" = "ok" ] || { echo "live_smoke: /healthz said '$HEALTH'" >&2; exit 1; }
+printf '%s\n' "$HEALTH" | grep -q '"status":"ok"' ||
+	{ echo "live_smoke: /healthz said '$HEALTH'" >&2; exit 1; }
+printf '%s\n' "$HEALTH" | grep -q '"eta_sec":0' ||
+	{ echo "live_smoke: /healthz of a finished batch should report eta_sec 0: '$HEALTH'" >&2; exit 1; }
 
 METRICS="$(curl -sf "http://$ADDR/metrics")"
 for want in \

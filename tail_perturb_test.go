@@ -1,0 +1,316 @@
+package consensus
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/dsrepro/consensus/internal/obs"
+	"github.com/dsrepro/consensus/internal/obs/tail"
+)
+
+// TestLatencyMeteringDoesNotPerturb locks the wall-clock accounting's core
+// contract: a latency-metered run is byte-identical to an unmetered one. The
+// clock reads sit strictly outside execution (before the first step, after
+// the last), so the full cross-layer JSONL trace and the decision must not
+// change when metering is switched on, for every protocol.
+func TestLatencyMeteringDoesNotPerturb(t *testing.T) {
+	for _, alg := range everyAlgorithm {
+		alg := alg
+		t.Run(alg.String(), func(t *testing.T) {
+			run := func(metered bool) ([]byte, Result) {
+				var buf bytes.Buffer
+				res, err := Solve(Config{
+					Inputs:     []int{0, 1, 1, 0},
+					Algorithm:  alg,
+					Seed:       42,
+					Schedule:   Schedule{Kind: RandomSchedule},
+					MaxSteps:   200_000_000,
+					Latency:    metered,
+					TraceJSONL: &buf,
+				})
+				if err != nil {
+					t.Fatalf("Solve(latency=%v): %v", metered, err)
+				}
+				return buf.Bytes(), res
+			}
+			plain, plainRes := run(false)
+			metered, meteredRes := run(true)
+			if !bytes.Equal(plain, metered) {
+				t.Fatalf("metered trace diverged from unmetered (%d vs %d bytes); latency metering perturbed the run",
+					len(plain), len(metered))
+			}
+			if plainRes.Value != meteredRes.Value || plainRes.Steps != meteredRes.Steps {
+				t.Fatalf("metered outcome diverged: value %d/%d steps %d/%d",
+					plainRes.Value, meteredRes.Value, plainRes.Steps, meteredRes.Steps)
+			}
+			if plainRes.LatencyNS != 0 {
+				t.Error("unmetered run reported a latency")
+			}
+			if meteredRes.LatencyNS <= 0 {
+				t.Error("metered run reported no latency")
+			}
+		})
+	}
+}
+
+// TestBatchLatencyMeteringDoesNotPerturb is the batch-side acceptance
+// criterion: a latency-metered SolveBatch must be identical to an unmetered
+// one — decisions, steps, errors, and the merged metrics modulo the lat.*
+// histogram and the straggler digest — at Parallel 1 and 4, for every
+// protocol.
+func TestBatchLatencyMeteringDoesNotPerturb(t *testing.T) {
+	for _, alg := range everyAlgorithm {
+		alg := alg
+		t.Run(alg.String(), func(t *testing.T) {
+			run := func(metered bool, parallel int) BatchResult {
+				res, err := SolveBatch(BatchConfig{
+					Instances: 16,
+					Seed:      9,
+					Parallel:  parallel,
+					Base: Config{
+						Inputs:    []int{0, 1, 1, 0},
+						Algorithm: alg,
+						MaxSteps:  200_000_000,
+						Latency:   metered,
+					},
+					Stragglers: boolToK(metered, 3),
+				})
+				if err != nil {
+					t.Fatalf("SolveBatch(latency=%v, parallel=%d): %v", metered, parallel, err)
+				}
+				return res
+			}
+			for _, parallel := range []int{1, 4} {
+				plain := run(false, parallel)
+				metered := run(true, parallel)
+				if !reflect.DeepEqual(plain.Decisions, metered.Decisions) {
+					t.Fatalf("parallel=%d: decisions diverged under latency metering", parallel)
+				}
+				if !reflect.DeepEqual(plain.Steps, metered.Steps) {
+					t.Fatalf("parallel=%d: step counts diverged under latency metering", parallel)
+				}
+				if plain.ErrCount != metered.ErrCount {
+					t.Fatalf("parallel=%d: error counts diverged: %d vs %d", parallel, plain.ErrCount, metered.ErrCount)
+				}
+				if !reflect.DeepEqual(plain.Counters, metered.Counters) {
+					t.Errorf("parallel=%d: counters diverged under latency metering:\nplain:   %v\nmetered: %v",
+						parallel, plain.Counters, metered.Counters)
+				}
+				if !reflect.DeepEqual(plain.Gauges, metered.Gauges) {
+					t.Errorf("parallel=%d: gauges diverged under latency metering", parallel)
+				}
+				// Histograms must agree modulo the one histogram latency
+				// metering is allowed to populate.
+				for key, ph := range plain.Hists {
+					if key == obs.LatSolveKey {
+						continue
+					}
+					if mh, ok := metered.Hists[key]; !ok || !reflect.DeepEqual(ph, mh) {
+						t.Errorf("parallel=%d: histogram %q diverged under latency metering", parallel, key)
+					}
+				}
+				if h, ok := metered.Hists[obs.LatSolveKey]; !ok || h.Count != 16 {
+					t.Errorf("parallel=%d: metered batch lat.solve count = %+v, want 16 observations", parallel, h)
+				}
+				if h, ok := plain.Hists[obs.LatSolveKey]; ok && h.Count != 0 {
+					t.Errorf("parallel=%d: unmetered batch observed lat.solve: %+v", parallel, h)
+				}
+				// Latencies are always measured (observation-only); only the
+				// registry entry and the digest are gated.
+				if len(plain.Latencies) != 16 || len(metered.Latencies) != 16 {
+					t.Errorf("parallel=%d: latency columns missing", parallel)
+				}
+				if plain.Stragglers != nil {
+					t.Errorf("parallel=%d: digest produced with Stragglers=0", parallel)
+				}
+				if len(metered.Stragglers) != 3 {
+					t.Errorf("parallel=%d: got %d stragglers, want 3", parallel, len(metered.Stragglers))
+				}
+			}
+		})
+	}
+}
+
+// boolToK returns k when on, else 0.
+func boolToK(on bool, k int) int {
+	if on {
+		return k
+	}
+	return 0
+}
+
+// TestStragglerReplayDeterministic is the forensics acceptance criterion: for
+// every protocol, replaying a straggler digest reproduces the original
+// instance's decision and step count exactly, and the bundle's trace is
+// byte-identical to an equally-instrumented Solve of the same seed — wall
+// clock differs, identity does not.
+func TestStragglerReplayDeterministic(t *testing.T) {
+	for _, alg := range everyAlgorithm {
+		alg := alg
+		t.Run(alg.String(), func(t *testing.T) {
+			base := Config{
+				Inputs:    []int{0, 1, 1, 0},
+				Algorithm: alg,
+				Schedule:  Schedule{Kind: RandomSchedule},
+				MaxSteps:  200_000_000,
+				Latency:   true,
+			}
+			res, err := SolveBatch(BatchConfig{
+				Instances:  12,
+				Base:       base,
+				Seed:       7,
+				Stragglers: 2,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Stragglers) != 2 {
+				t.Fatalf("got %d stragglers, want 2", len(res.Stragglers))
+			}
+			for _, s := range res.Stragglers {
+				dir := filepath.Join(t.TempDir(), "bundle")
+				b, err := ReplayStraggler(base, s, dir)
+				if err != nil {
+					t.Fatalf("instance %d: %v", s.Index, err)
+				}
+				if b.ReplaySteps != s.Steps || b.ReplayDecision != s.Decision {
+					t.Fatalf("instance %d: replay fingerprint (%d steps, decision %d) != recorded (%d, %d)",
+						s.Index, b.ReplaySteps, b.ReplayDecision, s.Steps, s.Decision)
+				}
+				if s.Seed != InstanceSeed(7, s.Index) {
+					t.Errorf("instance %d: digest seed %d != InstanceSeed(7, %d)", s.Index, s.Seed, s.Index)
+				}
+
+				// The bundle's trace must byte-match a fresh equally-
+				// instrumented run of the same seed: the straggler's identity
+				// is fully determined by (config, seed).
+				bundleTrace, err := os.ReadFile(b.TracePath)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var ref bytes.Buffer
+				cfg := base
+				cfg.Seed = s.Seed
+				cfg.TraceJSONL = &ref
+				cfg.Profile = true
+				cfg.Audit = true
+				cfg.AuditSampleEvery = 1
+				refRes, err := Solve(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(bundleTrace, ref.Bytes()) {
+					t.Errorf("instance %d: bundle trace (%d bytes) != reference trace (%d bytes)",
+						s.Index, len(bundleTrace), len(ref.Bytes()))
+				}
+				if refRes.Steps != s.Steps || refRes.Value != s.Decision {
+					t.Errorf("instance %d: reference run diverged from digest", s.Index)
+				}
+
+				// The bundle summary parses and records the match verdict.
+				sumData, err := os.ReadFile(b.SummaryPath)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sum, err := ParseStragglerSummary(sumData)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if sum["algorithm"] != alg.String() {
+					t.Errorf("summary algorithm = %v, want %s", sum["algorithm"], alg)
+				}
+			}
+		})
+	}
+}
+
+// TestStragglerDigestDeterministicAcrossParallelism locks the selection:
+// given the same measured latencies the top-k digest is a pure function, so
+// replaying both digests must land on the same (seed, steps, decision)
+// identities even though the measured latencies (and possibly the chosen
+// instances) differ between runs. The identity invariants are what the
+// forensics workflow depends on.
+func TestStragglerDigestIdentities(t *testing.T) {
+	base := Config{
+		Inputs:   []int{0, 1, 0, 1},
+		Schedule: Schedule{Kind: RandomSchedule},
+		Latency:  true,
+	}
+	res, err := SolveBatch(BatchConfig{Instances: 20, Base: base, Seed: 3, Parallel: 4, Stragglers: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stragglers) != 5 {
+		t.Fatalf("got %d stragglers, want 5", len(res.Stragglers))
+	}
+	for i, s := range res.Stragglers {
+		if s.Seed != InstanceSeed(3, s.Index) {
+			t.Errorf("straggler %d: seed %d != InstanceSeed(3, %d)", i, s.Seed, s.Index)
+		}
+		if s.Steps != res.Steps[s.Index] || s.Decision != res.Decisions[s.Index] {
+			t.Errorf("straggler %d: digest identity diverged from batch columns", i)
+		}
+		if i > 0 && s.LatencyNS > res.Stragglers[i-1].LatencyNS {
+			t.Errorf("digest not sorted slowest-first at %d", i)
+		}
+	}
+}
+
+// TestParseStragglerSummaryKeepsSeedExact pins the numeric decoding:
+// straggler seeds are full-range int64s that float64 corrupts past 2^53, so
+// the parsed map must carry numbers as json.Number with the digits intact —
+// a user copying the rendered seed must land on the same instance.
+func TestParseStragglerSummaryKeepsSeedExact(t *testing.T) {
+	const seed = "-2548818271126279034" // rounds to ...168 through float64
+	data := []byte(`{
+		"straggler": {"index": 40, "seed": ` + seed + `, "latency_ns": 1, "steps": 2, "decision": 1},
+		"algorithm": "bounded", "n": 4, "schedule": "random",
+		"replay_steps": 2, "replay_decision": 1, "replay_latency_ns": 1, "match": true}`)
+	sum, err := ParseStragglerSummary(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ok := sum["straggler"].(map[string]any)
+	if !ok {
+		t.Fatalf("no straggler object in %v", sum)
+	}
+	n, ok := s["seed"].(json.Number)
+	if !ok {
+		t.Fatalf("seed decoded as %T (%v), want json.Number", s["seed"], s["seed"])
+	}
+	if n.String() != seed {
+		t.Fatalf("seed decoded as %s, want %s", n, seed)
+	}
+}
+
+// TestReplayStragglerRefusesNative pins the refusal: native interleavings are
+// hardware-chosen, so there is no deterministic instance to replay.
+func TestReplayStragglerRefusesNative(t *testing.T) {
+	base := Config{Inputs: []int{0, 1}, Substrate: NativeSubstrate}
+	_, err := ReplayStraggler(base, tail.Straggler{Index: 1, Seed: 5}, t.TempDir())
+	if err == nil || !strings.Contains(err.Error(), "simulated substrate") {
+		t.Fatalf("expected a native-substrate refusal, got %v", err)
+	}
+}
+
+// TestReplayStragglerDetectsDivergence pins the fingerprint check: replaying
+// a digest against a config that does not describe the original batch is an
+// error, not a silently wrong bundle.
+func TestReplayStragglerDetectsDivergence(t *testing.T) {
+	base := Config{Inputs: []int{0, 1, 0, 1}, Schedule: Schedule{Kind: RandomSchedule}, Latency: true}
+	res, err := SolveBatch(BatchConfig{Instances: 4, Base: base, Seed: 11, Stragglers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Stragglers[0]
+	wrong := base
+	wrong.Inputs = []int{1, 1, 1, 1} // unanimous inputs decide differently/faster
+	if _, err := ReplayStraggler(wrong, s, t.TempDir()); err == nil || !strings.Contains(err.Error(), "diverged") {
+		t.Fatalf("expected a divergence error, got %v", err)
+	}
+}
